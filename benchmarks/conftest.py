@@ -1,0 +1,52 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table/figure of the paper's evaluation:
+it runs the corresponding scenario once (``benchmark.pedantic`` — these
+are minutes-long simulations, not microbenchmarks), prints the series
+the figure plots, and asserts the claim the paper draws from it.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import ClaimTable
+from repro.sim.engine import Simulation
+from repro.sim.metrics import MetricsLog
+from repro.sim.reporting import series_table, summarize
+
+
+def run_once(benchmark, make_and_run) -> Simulation:
+    """Execute a scenario exactly once under the benchmark timer.
+
+    ``make_and_run`` builds a simulation, runs it to completion (either
+    via ``sim.run()`` or by stepping manually to sample mid-run state)
+    and returns it.
+    """
+    holder = {}
+
+    def target():
+        sim = make_and_run()
+        holder["sim"] = sim
+        return sim
+
+    benchmark.pedantic(target, rounds=1, iterations=1)
+    return holder["sim"]
+
+
+def print_figure(title: str, log: MetricsLog, columns, points: int = 18,
+                 claims: ClaimTable = None) -> None:
+    """Emit the figure's series table, run summary and claim verdicts."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}")
+    print(series_table(log, columns, points=points))
+    print("-" * 72)
+    print(summarize(log))
+    if claims is not None:
+        print("-" * 72)
+        print(claims.render())
+    print(bar)

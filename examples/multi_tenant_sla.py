@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Multi-tenant differentiated SLAs: the paper's three-application cloud.
+
+Reproduces the §III-A setting in miniature: three applications share
+one 200-server cloud through three virtual rings demanding 2, 3 and 4
+well-dispersed replicas.  Shows that each ring converges to its own
+replication degree, that expensive servers end up underused, and what
+each tenant's protection level costs.
+
+Run:  python examples/multi_tenant_sla.py
+"""
+
+import numpy as np
+
+from repro import Simulation, availability, paper_scenario
+from repro.analysis.stats import describe
+from repro.sim.reporting import format_table
+
+
+def main() -> None:
+    config = paper_scenario(epochs=50, partitions=60)
+    sim = Simulation(config)
+    log = sim.run()
+    last = log.last
+
+    print(f"{last.live_servers}-server cloud, "
+          f"{last.vnodes_total} virtual nodes after {len(log)} epochs\n")
+
+    rows = []
+    for ring in sim.rings:
+        spec = config.app(ring.app_id)
+        partitions = ring.partitions()
+        replica_counts = [
+            sim.catalog.replica_count(p.pid) for p in partitions
+        ]
+        avails = [
+            availability(sim.cloud, sim.catalog.servers_of(p.pid))
+            for p in partitions
+        ]
+        rows.append([
+            spec.name,
+            f"{ring.level.target_replicas}",
+            f"{ring.level.threshold:.0f}",
+            f"{np.mean(replica_counts):.2f}",
+            f"{min(avails):.0f}",
+            f"{sum(1 for a in avails if a < ring.level.threshold)}",
+        ])
+    print(format_table(
+        ["tenant", "SLA replicas", "threshold", "mean replicas",
+         "min avail", "violations"],
+        rows,
+    ))
+
+    print("\nwho pays for what (vnodes on expensive 125$ servers):")
+    print(f"  expensive servers host {last.vnodes_on_expensive} of "
+          f"{last.vnodes_total} vnodes "
+          f"({last.vnodes_on_expensive / last.vnodes_total:.1%})")
+
+    loads = describe(list(last.vnodes_per_server.values()))
+    print("\nvnode placement balance across servers:")
+    print(f"  mean {loads['mean']:.1f}, min {loads['min']:.0f}, "
+          f"max {loads['max']:.0f}, Jain {loads['jain']:.3f}, "
+          f"Gini {loads['gini']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Quickstart: a Skute cloud as a key-value store with an SLA.
+
+Builds a small geo-distributed cloud, creates one application with a
+2-replica availability SLA, lets the virtual economy place and protect
+the replicas, and then uses the data-plane KV API (put / get / delete)
+against the resulting placement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AvailabilityLevel,
+    CloudLayout,
+    KVStore,
+    ReplicaCatalog,
+    RingSet,
+    Router,
+    Simulation,
+    availability,
+    paper_scenario,
+)
+from repro.cluster import Location, build_cloud
+from repro.sim.config import AppConfig, RingConfig, SimConfig
+
+
+def main() -> None:
+    # -- 1. Describe the scenario: one app, one ring, SLA of 2 dispersed
+    #       replicas (threshold 20 forces at least cross-datacenter pairs).
+    layout = CloudLayout(
+        countries=4, countries_per_continent=2,
+        datacenters_per_country=2, rooms_per_datacenter=1,
+        racks_per_room=2, servers_per_rack=3,
+    )
+    config = SimConfig(
+        layout=layout,
+        apps=(
+            AppConfig(
+                app_id=0,
+                name="quickstart-app",
+                query_share=1.0,
+                rings=(
+                    RingConfig(
+                        ring_id=0, threshold=20.0, target_replicas=2,
+                        partitions=16,
+                        partition_capacity=64 * 1024,
+                        initial_partition_size=0,
+                    ),
+                ),
+            ),
+        ),
+        epochs=15,
+        server_storage=4 * 1024 * 1024,
+        server_query_capacity=500,
+        replication_budget=1024 * 1024,
+        migration_budget=512 * 1024,
+        base_rate=300.0,
+    )
+
+    # -- 2. Let the economy converge: agents replicate until every
+    #       partition meets the availability threshold.
+    sim = Simulation(config)
+    log = sim.run()
+    last = log.last
+    print(f"cloud: {last.live_servers} servers over "
+          f"{layout.countries} countries")
+    print(f"after {len(log)} epochs: {last.vnodes_total} replicas for "
+          f"{len(sim.rings.all_partitions())} partitions, "
+          f"{last.unsatisfied_partitions} below SLA")
+
+    # -- 3. Use the data plane against the converged placement.
+    store = KVStore(sim.cloud, sim.rings, sim.catalog)
+    store.put(0, 0, "user:42", b'{"name": "Ada"}')
+    store.put(0, 0, "user:43", b'{"name": "Grace"}')
+
+    client = Location(1, 0, 0, 0, 0, 0)  # a client in continent 1
+    result = store.get(0, 0, "user:42", client=client)
+    print(f"get(user:42) -> {result.value!r} served by server "
+          f"{result.server_id} at geographic distance {result.distance}")
+
+    # -- 4. Inspect the SLA the economy maintains.
+    router = Router(sim.cloud, sim.rings, sim.catalog)
+    partition = router.partition_of(0, 0, "user:42")
+    replicas = sim.catalog.servers_of(partition.pid)
+    avail = availability(sim.cloud, replicas)
+    print(f"partition {partition.pid}: replicas on servers {replicas}, "
+          f"availability {avail:.0f} (threshold "
+          f"{sim.rings.ring(0, 0).level.threshold:.0f})")
+    for sid in replicas:
+        print(f"  server {sid}: {sim.cloud.server(sid).location}")
+
+    store.delete(0, 0, "user:43")
+    print("deleted user:43; contains ->",
+          store.contains(0, 0, "user:43"))
+
+
+if __name__ == "__main__":
+    main()

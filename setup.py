@@ -1,0 +1,6 @@
+"""Setup shim for environments whose setuptools lacks PEP 660 editable
+wheel support (no `wheel` package available offline)."""
+
+from setuptools import setup
+
+setup()

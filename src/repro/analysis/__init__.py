@@ -1,0 +1,71 @@
+"""Analysis helpers: series shapes, distribution stats, claim tables."""
+
+from repro.analysis.durability import (
+    DurabilityError,
+    DurabilitySummary,
+    FailureModel,
+    monte_carlo_loss,
+    partition_loss_table,
+    summarize_durability,
+    survival_probability,
+)
+from repro.analysis.latency import (
+    DEFAULT_RTT_MS,
+    LatencyError,
+    LatencyModel,
+    OverheadLedger,
+    app_response_times,
+    expected_response_time,
+)
+from repro.analysis.series import (
+    SeriesError,
+    convergence_epoch,
+    first_nonzero_epoch,
+    is_flat,
+    moving_average,
+    peak_epoch,
+    relative_spread,
+    step_change,
+)
+from repro.analysis.stats import (
+    StatsError,
+    coefficient_of_variation,
+    describe,
+    gini,
+    jain_index,
+    ratio_with_bounds,
+)
+from repro.analysis.tables import Claim, ClaimTable, TableError
+
+__all__ = [
+    "Claim",
+    "DurabilityError",
+    "DurabilitySummary",
+    "FailureModel",
+    "monte_carlo_loss",
+    "partition_loss_table",
+    "summarize_durability",
+    "survival_probability",
+    "DEFAULT_RTT_MS",
+    "LatencyError",
+    "LatencyModel",
+    "OverheadLedger",
+    "app_response_times",
+    "expected_response_time",
+    "ClaimTable",
+    "SeriesError",
+    "StatsError",
+    "TableError",
+    "coefficient_of_variation",
+    "convergence_epoch",
+    "describe",
+    "first_nonzero_epoch",
+    "gini",
+    "is_flat",
+    "jain_index",
+    "moving_average",
+    "peak_epoch",
+    "ratio_with_bounds",
+    "relative_spread",
+    "step_change",
+]

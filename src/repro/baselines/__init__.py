@@ -1,0 +1,26 @@
+"""Baseline policies and ablation transforms."""
+
+from repro.baselines.random_placement import (
+    RandomPlacementDecider,
+    RandomScorer,
+    random_placement_decider,
+)
+from repro.baselines.single_ring import (
+    AblationError,
+    expected_replica_bytes,
+    strictest_level,
+    undifferentiated,
+)
+from repro.baselines.static import StaticDecider, static_decider
+
+__all__ = [
+    "AblationError",
+    "RandomPlacementDecider",
+    "RandomScorer",
+    "StaticDecider",
+    "expected_replica_bytes",
+    "random_placement_decider",
+    "static_decider",
+    "strictest_level",
+    "undifferentiated",
+]

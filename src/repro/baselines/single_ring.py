@@ -1,0 +1,66 @@
+"""Single-availability-level ablation: no differentiation.
+
+Without Skute's multiple virtual rings, a shared cloud must offer every
+application the *strictest* availability any tenant demands (§I's
+argument for per-ring differentiation).  This transform rewrites a
+scenario so every ring carries the maximum threshold / replica target,
+and the ablation bench compares its storage and rent cost against the
+differentiated original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Tuple
+
+from repro.sim.config import AppConfig, RingConfig, SimConfig
+
+
+class AblationError(ValueError):
+    """Raised when a scenario cannot be transformed."""
+
+
+def strictest_level(config: SimConfig) -> Tuple[float, int]:
+    """The maximum (threshold, target_replicas) over all rings."""
+    rings = [r for app in config.apps for r in app.rings]
+    if not rings:
+        raise AblationError("scenario has no rings")
+    threshold = max(r.threshold for r in rings)
+    replicas = max(r.target_replicas for r in rings)
+    return threshold, replicas
+
+
+def undifferentiated(config: SimConfig) -> SimConfig:
+    """Every application pinned to the strictest availability level.
+
+    Models the no-virtual-rings alternative: one shared availability
+    class sized for the most demanding tenant.  All other scenario
+    parameters are untouched so cost deltas are attributable to the
+    missing differentiation alone.
+    """
+    threshold, replicas = strictest_level(config)
+    new_apps = []
+    for app in config.apps:
+        new_rings = tuple(
+            replace(ring, threshold=threshold, target_replicas=replicas)
+            for ring in app.rings
+        )
+        new_apps.append(replace(app, rings=new_rings))
+    return replace(config, apps=tuple(new_apps))
+
+
+def expected_replica_bytes(config: SimConfig) -> int:
+    """Steady-state replica bytes implied by each ring's target degree.
+
+    A planning helper for the ablation tables: initial primary bytes ×
+    target replicas, summed over rings.
+    """
+    total = 0
+    for app in config.apps:
+        for ring in app.rings:
+            total += (
+                ring.partitions
+                * ring.initial_partition_size
+                * ring.target_replicas
+            )
+    return total

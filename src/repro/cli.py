@@ -1,0 +1,193 @@
+"""Command-line front end: run scenarios and print their series.
+
+Examples::
+
+    python -m repro.cli info
+    python -m repro.cli run --scenario paper --epochs 50
+    python -m repro.cli run --scenario slashdot --epochs 200 --points 25
+    python -m repro.cli run --scenario paper --fig3-events --epochs 300
+    python -m repro.cli compare --epochs 40 --partitions 80
+
+``run`` executes one scenario and prints the per-epoch series the
+paper's figures plot; ``compare`` runs the economic policy against the
+static and random baselines on an identical scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines.random_placement import random_placement_decider
+from repro.baselines.static import static_decider
+from repro.cluster.events import fig3_schedule
+from repro.sim.config import (
+    SimConfig,
+    paper_scenario,
+    saturation_scenario,
+    slashdot_scenario,
+)
+from repro.sim.engine import Simulation, economic_decider
+from repro.sim.reporting import format_table, series_table, summarize
+from repro.sim.seeds import RngStreams
+
+SCENARIOS = ("paper", "slashdot", "saturation")
+
+POLICIES = {
+    "economic": economic_decider,
+    "static": static_decider,
+    "random": random_placement_decider,
+}
+
+
+class CliError(SystemExit):
+    """Raised (as exit) for invalid command lines."""
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Skute (ICDE 2010) reproduction — scenario runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one scenario, print its series")
+    run.add_argument("--scenario", choices=SCENARIOS, default="paper")
+    run.add_argument("--epochs", type=int, default=100)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--partitions", type=int, default=200,
+                     help="partitions per application ring")
+    run.add_argument("--points", type=int, default=20,
+                     help="epochs sampled in the output table")
+    run.add_argument("--policy", choices=sorted(POLICIES),
+                     default="economic")
+    run.add_argument("--fig3-events", action="store_true",
+                     help="add the +20/-20 server schedule of Fig. 3")
+
+    compare = sub.add_parser(
+        "compare", help="economic vs static vs random on one scenario"
+    )
+    compare.add_argument("--epochs", type=int, default=40)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--partitions", type=int, default=100)
+
+    sub.add_parser("info", help="print the paper scenario's parameters")
+    return parser
+
+
+def make_config(args) -> SimConfig:
+    if args.scenario == "paper":
+        return paper_scenario(
+            epochs=args.epochs, seed=args.seed, partitions=args.partitions
+        )
+    if args.scenario == "slashdot":
+        return slashdot_scenario(
+            epochs=args.epochs, seed=args.seed, partitions=args.partitions
+        )
+    return saturation_scenario(epochs=args.epochs, seed=args.seed)
+
+
+def cmd_run(args, out) -> int:
+    config = make_config(args)
+    events = None
+    if args.fig3_events:
+        events = fig3_schedule(
+            layout=config.layout,
+            storage_capacity=config.server_storage,
+            query_capacity=config.server_query_capacity,
+            rng=RngStreams(config.seed).events,
+        )
+    sim = Simulation(
+        config, events=events, decider_factory=POLICIES[args.policy]
+    )
+    log = sim.run()
+    columns = {
+        "queries": log.series("total_queries"),
+        "servers": log.series("live_servers"),
+        "vnodes": log.series("vnodes_total"),
+        "repairs": log.series("repairs"),
+        "migr": log.series("migrations"),
+        "unsat": log.series("unsatisfied_partitions"),
+    }
+    if config.inserts is not None:
+        columns["ins_fail"] = log.series("insert_failures")
+        columns["used%"] = 100.0 * log.storage_fraction_series()
+    print(f"scenario={args.scenario} policy={args.policy} "
+          f"seed={args.seed}", file=out)
+    print(series_table(log, columns, points=args.points), file=out)
+    print("-" * 60, file=out)
+    print(summarize(log), file=out)
+    return 0
+
+
+def cmd_compare(args, out) -> int:
+    rows = []
+    for name, factory in sorted(POLICIES.items()):
+        cfg = paper_scenario(
+            epochs=args.epochs, seed=args.seed, partitions=args.partitions
+        )
+        sim = Simulation(cfg, decider_factory=factory)
+        log = sim.run()
+        last = log.last
+        rows.append([
+            name,
+            last.vnodes_total,
+            f"{last.vnodes_on_expensive / max(last.vnodes_total, 1):.1%}",
+            f"{last.mean_price * last.vnodes_total:.1f}",
+            last.unsatisfied_partitions,
+            sum(log.action_totals().values()),
+        ])
+    print(
+        format_table(
+            ["policy", "vnodes", "on-expensive", "rent/epoch", "unsat",
+             "actions"],
+            rows,
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_info(out) -> int:
+    cfg = paper_scenario()
+    rows = [
+        ["servers", cfg.layout.total_servers],
+        ["countries", cfg.layout.countries],
+        ["applications", len(cfg.apps)],
+        ["partitions/app", cfg.apps[0].rings[0].partitions],
+        ["partition capacity (MB)",
+         cfg.apps[0].rings[0].partition_capacity >> 20],
+        ["replication budget (MB/epoch)", cfg.replication_budget >> 20],
+        ["migration budget (MB/epoch)", cfg.migration_budget >> 20],
+        ["base query rate (/epoch)", cfg.base_rate],
+        ["cheap rent ($/month)", cfg.cheap_rent],
+        ["expensive rent ($/month)", cfg.expensive_rent],
+        ["expensive fraction", cfg.expensive_fraction],
+    ]
+    print("paper scenario (§III-A):", file=out)
+    print(format_table(["parameter", "value"], rows), file=out)
+    for app in cfg.apps:
+        ring = app.rings[0]
+        print(
+            f"  {app.name}: share {app.query_share:.3f}, ring "
+            f"{ring.ring_id}, threshold {ring.threshold:.0f} "
+            f"({ring.target_replicas} replicas)",
+            file=out,
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args, out)
+    if args.command == "compare":
+        return cmd_compare(args, out)
+    return cmd_info(out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,246 @@
+"""Physical servers: capacities, per-epoch bandwidth budgets and usage.
+
+A physical node (paper §I, §III-A) hosts a varying number of virtual
+nodes.  It has a fixed storage capacity, a fixed bandwidth capacity for
+serving queries, and *reserved* per-epoch bandwidth budgets for
+replication (300 MB/epoch in the paper) and migration (100 MB/epoch).
+It also carries a real monthly rent (100$ or 125$ in the evaluation)
+from which the marginal usage price of eq. 1 is derived.
+
+Sizes are tracked in bytes throughout; helpers accept/display MB and GB
+where that is the natural unit in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.location import Location
+
+#: One binary megabyte / gigabyte, in bytes.
+MB: int = 1 << 20
+GB: int = 1 << 30
+
+#: Paper defaults (§III-A).
+DEFAULT_REPLICATION_BUDGET: int = 300 * MB
+DEFAULT_MIGRATION_BUDGET: int = 100 * MB
+
+
+class CapacityError(ValueError):
+    """Raised when a reservation would exceed a server capacity."""
+
+
+@dataclass
+class BandwidthBudget:
+    """A per-epoch byte budget that transfers draw from.
+
+    The paper reserves distinct budgets for replication and migration so
+    background data movement cannot starve either activity.  ``reserve``
+    is all-or-nothing: a transfer either fits in the remaining budget of
+    this epoch or must wait for a later epoch.
+    """
+
+    capacity: int
+    used: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise CapacityError(f"capacity must be >= 0, got {self.capacity}")
+        if not 0 <= self.used <= self.capacity:
+            raise CapacityError(
+                f"used must be in [0, {self.capacity}], got {self.used}"
+            )
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.used
+
+    def can_reserve(self, nbytes: int) -> bool:
+        return 0 <= nbytes <= self.available
+
+    def reserve(self, nbytes: int) -> None:
+        """Consume ``nbytes`` of this epoch's budget, or raise."""
+        if nbytes < 0:
+            raise CapacityError(f"cannot reserve negative bytes: {nbytes}")
+        if nbytes > self.available:
+            raise CapacityError(
+                f"budget exhausted: need {nbytes}, have {self.available}"
+            )
+        self.used += nbytes
+
+    def release(self, nbytes: int) -> None:
+        """Give back a failed reservation within the same epoch."""
+        if not 0 <= nbytes <= self.used:
+            raise CapacityError(
+                f"cannot release {nbytes} bytes, only {self.used} used"
+            )
+        self.used -= nbytes
+
+    def reset(self) -> None:
+        """Start a new epoch with a full budget."""
+        self.used = 0
+
+
+@dataclass
+class Server:
+    """One physical node of the data cloud.
+
+    Attributes mirror the paper's model: a geographic :class:`Location`,
+    a subjective ``confidence``, a ``monthly_rent`` in real currency, a
+    raw storage capacity, a query-serving capacity (queries/epoch the
+    access link sustains) and separate replication/migration budgets.
+
+    The mutable fields (``storage_used``, ``queries_this_epoch``) are
+    maintained by the store and the simulator; the server object itself
+    only enforces capacity invariants.
+    """
+
+    server_id: int
+    location: Location
+    monthly_rent: float
+    storage_capacity: int
+    query_capacity: int = 1_000_000
+    confidence: float = 1.0
+    replication_budget: BandwidthBudget = field(
+        default_factory=lambda: BandwidthBudget(DEFAULT_REPLICATION_BUDGET)
+    )
+    migration_budget: BandwidthBudget = field(
+        default_factory=lambda: BandwidthBudget(DEFAULT_MIGRATION_BUDGET)
+    )
+    storage_used: int = 0
+    queries_this_epoch: float = 0.0
+    alive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.server_id < 0:
+            raise ValueError(f"server_id must be >= 0, got {self.server_id}")
+        if self.monthly_rent < 0:
+            raise ValueError(f"monthly_rent must be >= 0, got {self.monthly_rent}")
+        if self.storage_capacity <= 0:
+            raise CapacityError(
+                f"storage_capacity must be > 0, got {self.storage_capacity}"
+            )
+        if self.query_capacity <= 0:
+            raise CapacityError(
+                f"query_capacity must be > 0, got {self.query_capacity}"
+            )
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(
+                f"confidence must be in [0, 1], got {self.confidence}"
+            )
+        if not 0 <= self.storage_used <= self.storage_capacity:
+            raise CapacityError(
+                f"storage_used out of range: {self.storage_used}"
+            )
+
+    # -- storage ----------------------------------------------------------
+
+    @property
+    def storage_available(self) -> int:
+        return self.storage_capacity - self.storage_used
+
+    @property
+    def storage_usage(self) -> float:
+        """Fraction of storage in use, the eq. 1 ``storage_usage`` term."""
+        return self.storage_used / self.storage_capacity
+
+    def can_store(self, nbytes: int) -> bool:
+        return self.alive and 0 <= nbytes <= self.storage_available
+
+    def allocate_storage(self, nbytes: int) -> None:
+        """Account for ``nbytes`` of new replica data, or raise."""
+        if nbytes < 0:
+            raise CapacityError(f"cannot allocate negative bytes: {nbytes}")
+        if not self.alive:
+            raise CapacityError(f"server {self.server_id} is down")
+        if nbytes > self.storage_available:
+            raise CapacityError(
+                f"server {self.server_id} full: need {nbytes}, "
+                f"have {self.storage_available}"
+            )
+        self.storage_used += nbytes
+
+    def free_storage(self, nbytes: int) -> None:
+        """Account for replica data removed from this server."""
+        if not 0 <= nbytes <= self.storage_used:
+            raise CapacityError(
+                f"cannot free {nbytes} bytes, only {self.storage_used} used"
+            )
+        self.storage_used -= nbytes
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def query_load(self) -> float:
+        """Fraction of query capacity used, the eq. 1 ``query_load`` term.
+
+        May exceed 1.0 under overload; eq. 1 then prices the server high
+        enough that unpopular virtual nodes move away.
+        """
+        return self.queries_this_epoch / self.query_capacity
+
+    def record_queries(self, count: float) -> None:
+        """Charge queries to this server; fractional shares are allowed.
+
+        The simulator routes a partition's epoch queries to its replicas
+        as (possibly fractional) shares rather than individual query
+        objects, so the counter is a float.
+        """
+        if count < 0:
+            raise ValueError(f"query count must be >= 0, got {count}")
+        self.queries_this_epoch += count
+
+    # -- epoch lifecycle ----------------------------------------------------
+
+    def begin_epoch(self) -> None:
+        """Reset per-epoch counters and bandwidth budgets."""
+        self.queries_this_epoch = 0.0
+        self.replication_budget.reset()
+        self.migration_budget.reset()
+
+    def fail(self) -> None:
+        """Mark the server as failed; its replicas are lost instantly."""
+        self.alive = False
+
+    def restore(self) -> None:
+        """Bring a failed server back, empty."""
+        self.alive = True
+        self.storage_used = 0
+        self.queries_this_epoch = 0.0
+        self.replication_budget.reset()
+        self.migration_budget.reset()
+
+    def __str__(self) -> str:
+        state = "up" if self.alive else "DOWN"
+        return (
+            f"Server#{self.server_id}[{self.location}] "
+            f"{state} rent={self.monthly_rent}$ "
+            f"store={self.storage_used}/{self.storage_capacity}"
+        )
+
+
+def make_server(server_id: int, location: Location, *,
+                monthly_rent: float = 100.0,
+                storage_capacity: int = 50 * GB,
+                query_capacity: int = 1_000_000,
+                confidence: float = 1.0,
+                replication_budget: Optional[int] = None,
+                migration_budget: Optional[int] = None) -> Server:
+    """Convenience constructor with the paper's bandwidth defaults."""
+    return Server(
+        server_id=server_id,
+        location=location,
+        monthly_rent=monthly_rent,
+        storage_capacity=storage_capacity,
+        query_capacity=query_capacity,
+        confidence=confidence,
+        replication_budget=BandwidthBudget(
+            DEFAULT_REPLICATION_BUDGET if replication_budget is None
+            else replication_budget
+        ),
+        migration_budget=BandwidthBudget(
+            DEFAULT_MIGRATION_BUDGET if migration_budget is None
+            else migration_budget
+        ),
+    )

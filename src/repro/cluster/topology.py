@@ -1,0 +1,309 @@
+"""The data cloud: a collection of servers with cached pairwise diversity.
+
+Builds the paper's evaluation layout (§III-A): 200 servers over 10
+countries — 2 datacenters per country, 1 room per datacenter, 2 racks per
+room, 5 servers per rack — and keeps an integer diversity matrix so the
+per-epoch placement scoring (eq. 3) can be vectorised with numpy.
+
+The cloud is elastic: servers can be added (resource upgrade) or removed
+(failure) at runtime, as the Fig. 3 experiment requires.  Server ids are
+never reused so historical metrics stay unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.confidence import ConfidenceModel, uniform_confidence
+from repro.cluster.location import Location, diversity
+from repro.cluster.server import GB, Server, make_server
+
+
+class TopologyError(ValueError):
+    """Raised for invalid topology layouts or unknown servers."""
+
+
+@dataclass(frozen=True)
+class CloudLayout:
+    """Shape of a regularly-structured cloud, paper defaults included.
+
+    ``countries_per_continent`` spreads the countries over continents so
+    that both cross-country (31) and cross-continent (63) diversities
+    occur; the paper speaks only of "10 countries", so the continent
+    grouping is a free parameter (default: 2 countries per continent,
+    i.e. 5 continents).
+    """
+
+    countries: int = 10
+    countries_per_continent: int = 2
+    datacenters_per_country: int = 2
+    rooms_per_datacenter: int = 1
+    racks_per_room: int = 2
+    servers_per_rack: int = 5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "countries",
+            "countries_per_continent",
+            "datacenters_per_country",
+            "rooms_per_datacenter",
+            "racks_per_room",
+            "servers_per_rack",
+        ):
+            if getattr(self, name) <= 0:
+                raise TopologyError(f"{name} must be > 0")
+
+    @property
+    def total_servers(self) -> int:
+        return (
+            self.countries
+            * self.datacenters_per_country
+            * self.rooms_per_datacenter
+            * self.racks_per_room
+            * self.servers_per_rack
+        )
+
+    def locations(self) -> Iterator[Location]:
+        """Yield every server location of the layout, in a stable order."""
+        for country in range(self.countries):
+            continent = country // self.countries_per_continent
+            country_in_continent = country % self.countries_per_continent
+            for dc in range(self.datacenters_per_country):
+                for room in range(self.rooms_per_datacenter):
+                    for rack in range(self.racks_per_room):
+                        for srv in range(self.servers_per_rack):
+                            yield Location(
+                                continent=continent,
+                                country=country_in_continent,
+                                datacenter=dc,
+                                room=room,
+                                rack=rack,
+                                server=srv,
+                            )
+
+
+#: Paper §III-A layout: exactly 200 servers.
+PAPER_LAYOUT = CloudLayout()
+
+
+class Cloud:
+    """Mutable set of servers plus a cached pairwise diversity matrix.
+
+    The matrix is indexed by *dense slots*, a compaction of the live
+    server ids: ``slot_of[server_id]`` gives the row/column.  Rebuilt
+    incrementally on arrivals and lazily compacted on removals, it keeps
+    eq. 3 candidate scoring a single numpy expression per virtual node.
+    """
+
+    def __init__(self, servers: Iterable[Server] = ()) -> None:
+        self._servers: Dict[int, Server] = {}
+        self._slot_of: Dict[int, int] = {}
+        self._server_at_slot: List[int] = []
+        self._diversity: np.ndarray = np.zeros((0, 0), dtype=np.int16)
+        self._next_id = 0
+        for server in servers:
+            self.add_server(server)
+
+    # -- accessors ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __contains__(self, server_id: int) -> bool:
+        return server_id in self._servers
+
+    def __iter__(self) -> Iterator[Server]:
+        return iter(self._servers.values())
+
+    @property
+    def server_ids(self) -> List[int]:
+        """Live server ids in slot order (stable across an epoch)."""
+        return list(self._server_at_slot)
+
+    def server(self, server_id: int) -> Server:
+        try:
+            return self._servers[server_id]
+        except KeyError:
+            raise TopologyError(f"unknown server id {server_id}") from None
+
+    def servers(self) -> List[Server]:
+        return [self._servers[sid] for sid in self._server_at_slot]
+
+    def slot(self, server_id: int) -> int:
+        try:
+            return self._slot_of[server_id]
+        except KeyError:
+            raise TopologyError(f"unknown server id {server_id}") from None
+
+    @property
+    def total_storage_capacity(self) -> int:
+        return sum(s.storage_capacity for s in self._servers.values())
+
+    @property
+    def total_storage_used(self) -> int:
+        return sum(s.storage_used for s in self._servers.values())
+
+    # -- diversity ----------------------------------------------------------
+
+    def diversity(self, a: int, b: int) -> int:
+        """Pairwise diversity of two live servers, from the cache."""
+        return int(self._diversity[self.slot(a), self.slot(b)])
+
+    def diversity_row(self, server_id: int) -> np.ndarray:
+        """Diversity of one server against all live servers, slot order."""
+        return self._diversity[self.slot(server_id)]
+
+    def diversity_matrix(self) -> np.ndarray:
+        """The full (read-only view) pairwise diversity matrix."""
+        view = self._diversity.view()
+        view.flags.writeable = False
+        return view
+
+    # -- mutation -----------------------------------------------------------
+
+    def add_server(self, server: Server) -> Server:
+        """Register a server and extend the diversity matrix by one slot."""
+        if server.server_id in self._servers:
+            raise TopologyError(f"duplicate server id {server.server_id}")
+        n = len(self._server_at_slot)
+        grown = np.zeros((n + 1, n + 1), dtype=np.int16)
+        grown[:n, :n] = self._diversity
+        for slot, other_id in enumerate(self._server_at_slot):
+            other = self._servers[other_id]
+            d = diversity(server.location, other.location)
+            grown[n, slot] = d
+            grown[slot, n] = d
+        self._diversity = grown
+        self._servers[server.server_id] = server
+        self._slot_of[server.server_id] = n
+        self._server_at_slot.append(server.server_id)
+        self._next_id = max(self._next_id, server.server_id + 1)
+        return server
+
+    def spawn_server(self, location: Location, **kwargs) -> Server:
+        """Create and register a server with the next free id."""
+        server = make_server(self._next_id, location, **kwargs)
+        return self.add_server(server)
+
+    def remove_server(self, server_id: int) -> Server:
+        """Remove a server (crash or decommission) and compact the matrix."""
+        server = self.server(server_id)
+        gone = self._slot_of.pop(server_id)
+        del self._servers[server_id]
+        self._server_at_slot.pop(gone)
+        keep = [s for s in range(self._diversity.shape[0]) if s != gone]
+        self._diversity = self._diversity[np.ix_(keep, keep)]
+        for slot, sid in enumerate(self._server_at_slot):
+            self._slot_of[sid] = slot
+        server.fail()
+        return server
+
+    def begin_epoch(self) -> None:
+        """Reset per-epoch counters on every server."""
+        for server in self._servers.values():
+            server.begin_epoch()
+
+    # -- vector views (for placement scoring) --------------------------------
+
+    def rent_vector(self, prices: Dict[int, float]) -> np.ndarray:
+        """Per-slot vector of virtual rent prices from a price mapping."""
+        return np.array(
+            [prices[sid] for sid in self._server_at_slot], dtype=np.float64
+        )
+
+    def confidence_vector(self) -> np.ndarray:
+        return np.array(
+            [self._servers[sid].confidence for sid in self._server_at_slot],
+            dtype=np.float64,
+        )
+
+    def storage_available_vector(self) -> np.ndarray:
+        return np.array(
+            [
+                self._servers[sid].storage_available
+                for sid in self._server_at_slot
+            ],
+            dtype=np.int64,
+        )
+
+
+def build_cloud(layout: CloudLayout = PAPER_LAYOUT, *,
+                storage_capacity: int = 50 * GB,
+                query_capacity: int = 1_000_000,
+                expensive_fraction: float = 0.3,
+                cheap_rent: float = 100.0,
+                expensive_rent: float = 125.0,
+                confidence: Optional[ConfidenceModel] = None,
+                rng: Optional[np.random.Generator] = None) -> Cloud:
+    """Build a cloud per the paper's evaluation setup.
+
+    70 % of servers cost 100$/month and 30 % cost 125$ (§III-A); which
+    servers are expensive is chosen uniformly at random from ``rng`` (or
+    deterministically — the last 30 % in layout order — when no rng is
+    given, which keeps unit tests reproducible without seeding).
+    """
+    if not 0.0 <= expensive_fraction <= 1.0:
+        raise TopologyError(
+            f"expensive_fraction must be in [0, 1], got {expensive_fraction}"
+        )
+    model = confidence if confidence is not None else uniform_confidence()
+    locations = list(layout.locations())
+    n = len(locations)
+    n_expensive = round(n * expensive_fraction)
+    if rng is None:
+        expensive_ids = set(range(n - n_expensive, n))
+    else:
+        expensive_ids = set(
+            rng.choice(n, size=n_expensive, replace=False).tolist()
+        )
+    cloud = Cloud()
+    for server_id, location in enumerate(locations):
+        rent = expensive_rent if server_id in expensive_ids else cheap_rent
+        cloud.add_server(
+            make_server(
+                server_id,
+                location,
+                monthly_rent=rent,
+                storage_capacity=storage_capacity,
+                query_capacity=query_capacity,
+                confidence=model.for_server(server_id, location),
+            )
+        )
+    return cloud
+
+
+def fresh_locations(layout: CloudLayout, existing: Sequence[Location],
+                    count: int) -> List[Location]:
+    """Pick ``count`` locations for new servers, reusing the layout's racks.
+
+    New servers join existing racks round-robin (extra slots in a rack),
+    mimicking capacity upgrades in place rather than new datacenters.
+    """
+    if count < 0:
+        raise TopologyError(f"count must be >= 0, got {count}")
+    taken = set(existing)
+    racks: List[Tuple[int, ...]] = []
+    seen = set()
+    for loc in layout.locations():
+        rack_key = loc.prefix(5)
+        if rack_key not in seen:
+            seen.add(rack_key)
+            racks.append(rack_key)
+    out: List[Location] = []
+    next_index: Dict[Tuple[int, ...], int] = {}
+    rack_cycle = 0
+    while len(out) < count:
+        rack_key = racks[rack_cycle % len(racks)]
+        rack_cycle += 1
+        idx = next_index.get(rack_key, layout.servers_per_rack)
+        candidate = Location.from_parts(rack_key + (idx,))
+        while candidate in taken:
+            idx += 1
+            candidate = Location.from_parts(rack_key + (idx,))
+        next_index[rack_key] = idx + 1
+        taken.add(candidate)
+        out.append(candidate)
+    return out

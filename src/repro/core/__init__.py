@@ -1,0 +1,63 @@
+"""Skute's core: the virtual economy for replica management."""
+
+from repro.core.agent import AgentError, AgentRegistry, VNodeAgent
+from repro.core.availability import (
+    AvailabilityError,
+    availability,
+    availability_without,
+    dispersed_threshold,
+    diversity_histogram,
+    max_availability,
+    pair_gain,
+    paper_thresholds,
+    strict_threshold,
+)
+from repro.core.board import BoardError, PriceBoard, update_board
+from repro.core.decision import (
+    DecisionEngine,
+    DecisionStats,
+    EconomicPolicy,
+    PolicyError,
+)
+from repro.core.economy import (
+    DEFAULT_EPOCHS_PER_MONTH,
+    EconomyError,
+    RentModel,
+    UsageTracker,
+)
+from repro.core.placement import (
+    Candidate,
+    PlacementError,
+    PlacementScorer,
+    proximity_weights,
+)
+
+__all__ = [
+    "AgentError",
+    "AgentRegistry",
+    "AvailabilityError",
+    "BoardError",
+    "Candidate",
+    "DEFAULT_EPOCHS_PER_MONTH",
+    "DecisionEngine",
+    "DecisionStats",
+    "EconomicPolicy",
+    "EconomyError",
+    "PlacementError",
+    "PlacementScorer",
+    "PolicyError",
+    "PriceBoard",
+    "RentModel",
+    "UsageTracker",
+    "VNodeAgent",
+    "availability",
+    "availability_without",
+    "dispersed_threshold",
+    "diversity_histogram",
+    "max_availability",
+    "pair_gain",
+    "paper_thresholds",
+    "proximity_weights",
+    "strict_threshold",
+    "update_board",
+]

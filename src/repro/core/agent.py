@@ -1,0 +1,187 @@
+"""Virtual-node agents: the autonomous per-replica optimizers.
+
+Every replica of every partition is managed by one agent acting on the
+data owner's behalf (§II).  The agent accrues utility from the queries
+its replica answers, pays the hosting server's virtual rent, and keeps
+the recent balance history that drives the migrate/suicide/replicate
+hysteresis ("negative balance for the last f epochs", §II-C).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.ring.partition import PartitionId
+
+
+class AgentError(ValueError):
+    """Raised for registry misuse (duplicate or missing agents)."""
+
+
+@dataclass
+class VNodeAgent:
+    """One virtual node: a partition replica on a specific server."""
+
+    pid: PartitionId
+    server_id: int
+    window: int
+    balances: Deque[float] = field(default_factory=deque)
+    wealth: float = 0.0
+    epochs_alive: int = 0
+    moves: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise AgentError(f"window must be >= 1, got {self.window}")
+        self.balances = deque(self.balances, maxlen=self.window)
+
+    def record(self, utility: float, rent: float) -> float:
+        """Account one epoch: append the balance, accumulate wealth."""
+        balance = utility - rent
+        self.balances.append(balance)
+        self.wealth += balance
+        self.epochs_alive += 1
+        return balance
+
+    @property
+    def last_balance(self) -> Optional[float]:
+        return self.balances[-1] if self.balances else None
+
+    @property
+    def negative_streak(self) -> bool:
+        """True when the last ``window`` balances are all negative."""
+        return (
+            len(self.balances) == self.balances.maxlen
+            and all(b < 0 for b in self.balances)
+        )
+
+    @property
+    def positive_streak(self) -> bool:
+        """True when the last ``window`` balances are all positive."""
+        return (
+            len(self.balances) == self.balances.maxlen
+            and all(b > 0 for b in self.balances)
+        )
+
+    def reset_history(self) -> None:
+        """Forget the balance window (after a move or replication)."""
+        self.balances.clear()
+
+    def moved_to(self, server_id: int) -> None:
+        """Re-home the agent after a migration."""
+        self.server_id = server_id
+        self.moves += 1
+        self.reset_history()
+
+    def __str__(self) -> str:
+        return (
+            f"vnode({self.pid}@s{self.server_id} wealth={self.wealth:.3f})"
+        )
+
+
+class AgentRegistry:
+    """All live agents, indexed by (partition, server) and by partition.
+
+    Mirrors the replica catalog: every catalog mutation has a registry
+    counterpart, so agent existence ⇔ replica existence.  The registry
+    never invents replicas — the engine is responsible for calling the
+    matching pairs (place ⇔ spawn, drop ⇔ retire, move ⇔ rehome).
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise AgentError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._agents: Dict[Tuple[PartitionId, int], VNodeAgent] = {}
+        self._by_pid: Dict[PartitionId, List[VNodeAgent]] = {}
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    def __len__(self) -> int:
+        return len(self._agents)
+
+    def __iter__(self) -> Iterator[VNodeAgent]:
+        return iter(self._agents.values())
+
+    def spawn(self, pid: PartitionId, server_id: int) -> VNodeAgent:
+        key = (pid, server_id)
+        if key in self._agents:
+            raise AgentError(f"agent already exists for {pid}@{server_id}")
+        agent = VNodeAgent(pid=pid, server_id=server_id, window=self._window)
+        self._agents[key] = agent
+        self._by_pid.setdefault(pid, []).append(agent)
+        return agent
+
+    def retire(self, pid: PartitionId, server_id: int) -> VNodeAgent:
+        key = (pid, server_id)
+        try:
+            agent = self._agents.pop(key)
+        except KeyError:
+            raise AgentError(f"no agent for {pid}@{server_id}") from None
+        self._by_pid[pid].remove(agent)
+        if not self._by_pid[pid]:
+            del self._by_pid[pid]
+        return agent
+
+    def rehome(self, pid: PartitionId, src: int, dst: int) -> VNodeAgent:
+        agent = self.retire(pid, src)
+        agent.moved_to(dst)
+        self._agents[(pid, dst)] = agent
+        self._by_pid.setdefault(pid, []).append(agent)
+        return agent
+
+    def get(self, pid: PartitionId, server_id: int) -> VNodeAgent:
+        try:
+            return self._agents[(pid, server_id)]
+        except KeyError:
+            raise AgentError(f"no agent for {pid}@{server_id}") from None
+
+    def has(self, pid: PartitionId, server_id: int) -> bool:
+        return (pid, server_id) in self._agents
+
+    def of_partition(self, pid: PartitionId) -> List[VNodeAgent]:
+        return list(self._by_pid.get(pid, ()))
+
+    def on_server(self, server_id: int) -> List[VNodeAgent]:
+        return [a for a in self._agents.values() if a.server_id == server_id]
+
+    def drop_server(self, server_id: int) -> List[VNodeAgent]:
+        """Retire every agent on a failed server; returns the casualties."""
+        victims = self.on_server(server_id)
+        for agent in victims:
+            self.retire(agent.pid, agent.server_id)
+        return victims
+
+    def split_partition(self, parent: PartitionId, low: PartitionId,
+                        high: PartitionId) -> None:
+        """Replace a split partition's agents with per-child agents.
+
+        Children inherit the parent agent's wealth split evenly (the
+        balance window restarts — the children face fresh economics).
+        """
+        parents = self.of_partition(parent)
+        for agent in parents:
+            self.retire(parent, agent.server_id)
+            for child in (low, high):
+                spawned = self.spawn(child, agent.server_id)
+                spawned.wealth = agent.wealth / 2.0
+
+    def check_mirror(self, servers_of) -> None:
+        """Verify agent existence matches a catalog view (test hook).
+
+        ``servers_of`` is a callable pid -> list of server ids.
+        """
+        for (pid, sid) in self._agents:
+            if sid not in servers_of(pid):
+                raise AgentError(f"agent {pid}@{sid} has no replica")
+        for pid, agents in self._by_pid.items():
+            expected = set(servers_of(pid))
+            actual = {a.server_id for a in agents}
+            if expected != actual:
+                raise AgentError(
+                    f"agent mismatch for {pid}: {actual} != {expected}"
+                )

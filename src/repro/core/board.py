@@ -1,0 +1,103 @@
+"""The price board: per-epoch virtual rent announcements.
+
+The paper posts every server's virtual rent on "a board (i.e. an
+elected server)" updated at the start of each epoch (§II).  The board
+is the only shared state of the decentralised optimisation: virtual
+nodes read candidate prices from it, and the epoch's *lowest* price
+doubles as the utility floor that stops unpopular virtual nodes from
+migrating forever (§II-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.topology import Cloud
+from repro.core.economy import RentModel, UsageTracker
+
+
+class BoardError(LookupError):
+    """Raised when prices are read before any epoch was posted."""
+
+
+class PriceBoard:
+    """Published virtual rent prices for the current epoch."""
+
+    def __init__(self) -> None:
+        self._prices: Dict[int, float] = {}
+        self._epoch: Optional[int] = None
+
+    @property
+    def epoch(self) -> Optional[int]:
+        return self._epoch
+
+    def post(self, epoch: int, prices: Dict[int, float]) -> None:
+        """Publish the price table for ``epoch``, replacing the old one."""
+        if not prices:
+            raise BoardError("cannot post an empty price table")
+        for sid, price in prices.items():
+            if price < 0:
+                raise BoardError(f"negative price for server {sid}: {price}")
+        self._prices = dict(prices)
+        self._epoch = epoch
+
+    def price(self, server_id: int) -> float:
+        self._require_posted()
+        try:
+            return self._prices[server_id]
+        except KeyError:
+            raise BoardError(f"no price posted for server {server_id}") from None
+
+    def has_price(self, server_id: int) -> bool:
+        return server_id in self._prices
+
+    def prices(self) -> Dict[int, float]:
+        self._require_posted()
+        return dict(self._prices)
+
+    def min_price(self) -> float:
+        """The epoch's cheapest rent — the §II-C utility floor."""
+        self._require_posted()
+        return min(self._prices.values())
+
+    def max_price(self) -> float:
+        self._require_posted()
+        return max(self._prices.values())
+
+    def mean_price(self) -> float:
+        self._require_posted()
+        return sum(self._prices.values()) / len(self._prices)
+
+    def cheapest(self, count: int = 1) -> List[Tuple[int, float]]:
+        """The ``count`` cheapest (server, price) pairs, ascending."""
+        self._require_posted()
+        ranked = sorted(self._prices.items(), key=lambda kv: (kv[1], kv[0]))
+        return ranked[:count]
+
+    def drop_servers(self, server_ids: Iterable[int]) -> None:
+        """Remove failed servers' prices mid-epoch."""
+        for sid in server_ids:
+            self._prices.pop(sid, None)
+
+    def price_vector(self, server_ids: List[int]) -> np.ndarray:
+        """Prices for ``server_ids`` in order, for vectorised scoring."""
+        self._require_posted()
+        return np.array(
+            [self._prices[sid] for sid in server_ids], dtype=np.float64
+        )
+
+    def _require_posted(self) -> None:
+        if not self._prices:
+            raise BoardError("no prices posted yet")
+
+
+def update_board(board: PriceBoard, epoch: int, cloud: Cloud,
+                 model: RentModel,
+                 tracker: Optional[UsageTracker] = None) -> Dict[int, float]:
+    """Reprice the cloud (eq. 1) and post the table; returns the prices."""
+    means = tracker.means() if tracker is not None else None
+    prices = model.price_cloud(cloud, means)
+    board.post(epoch, prices)
+    return prices

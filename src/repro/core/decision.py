@@ -1,0 +1,433 @@
+"""The per-epoch virtual-node decision process (paper §II-C).
+
+At the end of every epoch each virtual node:
+
+1. checks its partition's availability (eq. 2) against the ring's
+   threshold and **replicates** to the eq. 3 best server when short;
+2. otherwise, with a *negative* balance for the last ``f`` epochs,
+   **suicides** when availability stays satisfied without it, else
+   **migrates** to a cheaper server closer to its clients;
+3. with a *positive* balance for the last ``f`` epochs, **replicates**
+   if its popularity compensates the added consistency cost and the
+   candidate's rent;
+4. otherwise does nothing.
+
+Utilities are floored at the epoch's lowest virtual rent so unpopular
+nodes stop migrating once they sit on the cheapest viable server.
+All bookkeeping flows through the transfer engine (bandwidth budgets),
+the replica catalog (storage) and the agent registry (balances), so a
+decision that cannot be executed this epoch is simply retried later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.topology import Cloud
+from repro.core.agent import AgentRegistry, VNodeAgent
+from repro.core.availability import availability, availability_without
+from repro.core.board import PriceBoard
+from repro.core.economy import RentModel
+from repro.core.placement import PlacementScorer
+from repro.ring.partition import Partition, PartitionId
+from repro.ring.virtualring import RingSet
+from repro.store.consistency import DEFAULT_CONSISTENCY, ConsistencyModel
+from repro.store.replica import ReplicaCatalog
+from repro.store.transfer import TransferEngine, TransferKind
+from repro.workload.mix import EpochLoad
+
+
+class PolicyError(ValueError):
+    """Raised for invalid policy parameters."""
+
+
+@dataclass(frozen=True)
+class EconomicPolicy:
+    """Tunable knobs of the §II-C decision process.
+
+    ``hysteresis`` is the paper's ``f``: how many consecutive epochs of
+    one-signed balance trigger an action.  ``revenue_per_query``
+    normalises query utility to monetary units (eq. 5's u).
+    ``utility_floor_to_min_rent`` implements the anti-thrashing rule;
+    ``repair_iterations`` bounds how many replicas an SLA repair may add
+    in a single epoch; ``max_replicas`` is an optional hard cap on the
+    economically chosen replication degree (SLA repairs ignore it).
+    """
+
+    hysteresis: int = 3
+    revenue_per_query: float = 0.01
+    utility_floor_to_min_rent: bool = True
+    repair_iterations: int = 8
+    rent_weight: float = 1.0
+    migration_margin: float = 0.05
+    storage_headroom: float = 0.1
+    move_large_via_replication: bool = True
+    max_replicas: Optional[int] = None
+    consistency: ConsistencyModel = DEFAULT_CONSISTENCY
+
+    def __post_init__(self) -> None:
+        if self.hysteresis < 1:
+            raise PolicyError(
+                f"hysteresis must be >= 1, got {self.hysteresis}"
+            )
+        if self.revenue_per_query < 0:
+            raise PolicyError(
+                f"revenue_per_query must be >= 0, got {self.revenue_per_query}"
+            )
+        if self.repair_iterations < 1:
+            raise PolicyError(
+                f"repair_iterations must be >= 1, got {self.repair_iterations}"
+            )
+        if self.rent_weight < 0:
+            raise PolicyError(
+                f"rent_weight must be >= 0, got {self.rent_weight}"
+            )
+        if not 0.0 <= self.migration_margin < 1.0:
+            raise PolicyError(
+                f"migration_margin must be in [0, 1), got "
+                f"{self.migration_margin}"
+            )
+        if not 0.0 <= self.storage_headroom < 1.0:
+            raise PolicyError(
+                f"storage_headroom must be in [0, 1), got "
+                f"{self.storage_headroom}"
+            )
+        if self.max_replicas is not None and self.max_replicas < 1:
+            raise PolicyError(
+                f"max_replicas must be >= 1, got {self.max_replicas}"
+            )
+
+
+@dataclass
+class DecisionStats:
+    """What the decision pass did in one epoch."""
+
+    repairs: int = 0
+    economic_replications: int = 0
+    migrations: int = 0
+    suicides: int = 0
+    deferred: int = 0
+    unsatisfied_partitions: int = 0
+    lost_partitions: int = 0
+
+    @property
+    def total_actions(self) -> int:
+        return (
+            self.repairs
+            + self.economic_replications
+            + self.migrations
+            + self.suicides
+        )
+
+
+class DecisionEngine:
+    """Runs settlement (eq. 5) and decisions (§II-C) for the whole cloud."""
+
+    def __init__(self, cloud: Cloud, rings: RingSet,
+                 catalog: ReplicaCatalog, registry: AgentRegistry,
+                 transfers: TransferEngine,
+                 policy: EconomicPolicy,
+                 rent_model: Optional[RentModel] = None) -> None:
+        self._rent_model = rent_model if rent_model is not None else RentModel()
+        self._cloud = cloud
+        self._rings = rings
+        self._catalog = catalog
+        self._registry = registry
+        self._transfers = transfers
+        self._policy = policy
+        # Eq. 2 memo keyed by the sorted live replica set.  Valid for
+        # the lifetime of the engine: server ids are never reused and
+        # pairwise diversity/confidence are immutable, so a replica
+        # set's availability can never change value.
+        self._avail_memo: Dict[Tuple[int, ...], float] = {}
+
+    # -- settlement (eq. 5) --------------------------------------------------
+
+    def settle(self, load: EpochLoad, board: PriceBoard,
+               g_of_app: Optional[Dict[int, np.ndarray]] = None) -> None:
+        """Charge queries to servers and record every agent's balance.
+
+        Under the uniform geography of §III-A a partition's epoch
+        queries are split equally among its live replicas.  With a
+        discrete client geography, replicas attract queries in
+        proportion to their eq. 4 proximity weight g — clients route
+        to nearby copies — so close replicas both serve more traffic
+        and earn more per query.  Each agent's utility is floored at
+        the epoch's minimum rent (§II-C anti-thrashing) and its
+        server's posted price is charged as rent.
+        """
+        floor = board.min_price() if self._policy.utility_floor_to_min_rent else 0.0
+        for pid in self._catalog.partitions():
+            servers = self._live_replicas(pid)
+            if not servers:
+                continue
+            queries = load.queries_for(pid)
+            g_vec = None
+            if g_of_app is not None:
+                g_vec = g_of_app.get(pid.app_id)
+            if g_vec is None:
+                shares = [queries / len(servers)] * len(servers)
+                gs = [1.0] * len(servers)
+            else:
+                gs = [
+                    float(g_vec[self._cloud.slot(sid)]) for sid in servers
+                ]
+                g_total = sum(gs)
+                if g_total <= 0:
+                    shares = [queries / len(servers)] * len(servers)
+                else:
+                    shares = [queries * g / g_total for g in gs]
+            for sid, share, g in zip(servers, shares, gs):
+                server = self._cloud.server(sid)
+                if share:
+                    server.record_queries(share)
+                utility = self._policy.revenue_per_query * share * g
+                utility = max(utility, floor)
+                rent = board.price(sid)
+                agent = self._registry.get(pid, sid)
+                agent.record(utility, rent)
+
+    # -- decisions (§II-C) ------------------------------------------------------
+
+    def decide(self, board: PriceBoard, load: EpochLoad,
+               rng: np.random.Generator,
+               g_of_app: Optional[Dict[int, np.ndarray]] = None
+               ) -> DecisionStats:
+        """One full decision pass over every partition of every ring."""
+        stats = DecisionStats()
+        scorer = self._make_scorer(board)
+        work: List[Tuple[Partition, float]] = []
+        for ring in self._rings:
+            threshold = ring.level.threshold
+            for partition in ring:
+                work.append((partition, threshold))
+        order = rng.permutation(len(work))
+        for idx in order:
+            partition, threshold = work[idx]
+            g_vec = None
+            if g_of_app is not None:
+                g_vec = g_of_app.get(partition.pid.app_id)
+            self._decide_partition(
+                partition, threshold, board, scorer, load, g_vec, stats
+            )
+        return stats
+
+    def _make_scorer(self, board: PriceBoard) -> PlacementScorer:
+        """Build the epoch's placement scorer; ablations override this."""
+        return PlacementScorer(
+            self._cloud, board,
+            rent_weight=self._policy.rent_weight,
+            storage_alpha=self._rent_model.alpha,
+            epochs_per_month=self._rent_model.epochs_per_month,
+        )
+
+    # -- per-partition logic ------------------------------------------------------
+
+    def _live_replicas(self, pid: PartitionId) -> List[int]:
+        return [
+            sid
+            for sid in self._catalog.servers_of(pid)
+            if sid in self._cloud and self._cloud.server(sid).alive
+        ]
+
+    def _availability_set(self, servers: Sequence[int]) -> float:
+        key = tuple(sorted(servers))
+        cached = self._avail_memo.get(key)
+        if cached is None:
+            cached = availability(self._cloud, servers)
+            self._avail_memo[key] = cached
+        return cached
+
+    def _availability(self, pid: PartitionId) -> float:
+        return self._availability_set(self._live_replicas(pid))
+
+    def _decide_partition(self, partition: Partition, threshold: float,
+                          board: PriceBoard, scorer: PlacementScorer,
+                          load: EpochLoad, g_vec: Optional[np.ndarray],
+                          stats: DecisionStats) -> None:
+        pid = partition.pid
+        servers = self._live_replicas(pid)
+        if not servers:
+            stats.lost_partitions += 1
+            return
+        avail = self._availability_set(servers)
+        if avail < threshold:
+            self._repair(partition, threshold, avail, scorer, g_vec, stats)
+            return
+        # Availability satisfied: each agent optimises its own cost.
+        for agent in list(self._registry.of_partition(pid)):
+            if agent.negative_streak:
+                self._shed(partition, threshold, agent, board, scorer,
+                           g_vec, stats)
+            elif agent.positive_streak:
+                self._expand(partition, agent, board, scorer, load,
+                             g_vec, stats)
+
+    def _pick_source(self, servers: Sequence[int], nbytes: int) -> Optional[int]:
+        """A live replica whose replication budget can ship ``nbytes``."""
+        best, headroom = None, -1
+        for sid in servers:
+            server = self._cloud.server(sid)
+            avail = server.replication_budget.available
+            if avail >= nbytes and avail > headroom:
+                best, headroom = sid, avail
+        return best
+
+    def _repair(self, partition: Partition, threshold: float, avail: float,
+                scorer: PlacementScorer, g_vec: Optional[np.ndarray],
+                stats: DecisionStats) -> None:
+        """Replicate until the SLA is met (bounded per epoch)."""
+        pid = partition.pid
+        for __ in range(self._policy.repair_iterations):
+            servers = self._live_replicas(pid)
+            if avail >= threshold:
+                return
+            source = self._pick_source(servers, partition.size)
+            if source is None:
+                stats.deferred += 1
+                stats.unsatisfied_partitions += 1
+                return
+            candidate = scorer.best(
+                servers, need_bytes=partition.size, g=g_vec,
+                budget="replication",
+            )
+            if candidate is None:
+                stats.unsatisfied_partitions += 1
+                return
+            result = self._transfers.replicate(
+                partition, source, candidate.server_id
+            )
+            if not result.ok:
+                stats.deferred += 1
+                stats.unsatisfied_partitions += 1
+                return
+            scorer.consume_budget(
+                candidate.server_id, partition.size, "replication"
+            )
+            self._registry.spawn(pid, candidate.server_id)
+            stats.repairs += 1
+            avail = self._availability(pid)
+        if avail < threshold:
+            stats.unsatisfied_partitions += 1
+
+    def _shed(self, partition: Partition, threshold: float,
+              agent: VNodeAgent, board: PriceBoard,
+              scorer: PlacementScorer, g_vec: Optional[np.ndarray],
+              stats: DecisionStats) -> None:
+        """Negative streak: suicide if safe, else migrate somewhere cheaper."""
+        pid = partition.pid
+        servers = self._live_replicas(pid)
+        if agent.server_id not in servers:
+            return
+        remaining = self._availability_set(
+            [sid for sid in servers if sid != agent.server_id]
+        )
+        if remaining >= threshold:
+            self._transfers.suicide(partition, agent.server_id)
+            self._registry.retire(pid, agent.server_id)
+            scorer.release_storage(agent.server_id, partition.size)
+            stats.suicides += 1
+            return
+        # Require a *meaningfully* cheaper host.  At equilibrium, posted
+        # prices differ only by small usage terms; without this margin
+        # every vnode above the epoch's minimum price migrates forever,
+        # which is exactly the thrashing the paper's utility floor is
+        # meant to prevent.
+        current_rent = board.price(agent.server_id)
+        rent_cap = current_rent * (1.0 - self._policy.migration_margin)
+        if rent_cap <= board.min_price():
+            # No server can be priced below the cap — skip the scoring
+            # pass entirely (this is where cold vnodes settle).
+            return
+        # A partition larger than the migration budget can never move on
+        # that budget (the paper's own parameters allow this: 256 MB
+        # partitions vs 100 MB/epoch migration).  With the policy flag
+        # set, such moves ride the roomier replication budget instead:
+        # replicate to the target, then suicide the source copy.
+        budget_kind = "migration"
+        if (
+            self._policy.move_large_via_replication
+            and partition.size
+            > self._cloud.server(agent.server_id).migration_budget.capacity
+        ):
+            budget_kind = "replication"
+        others = [sid for sid in servers if sid != agent.server_id]
+        candidate = scorer.best(
+            others,
+            need_bytes=partition.size,
+            g=g_vec,
+            max_rent=rent_cap,
+            exclude=(agent.server_id,),
+            budget=budget_kind,
+            headroom_fraction=self._policy.storage_headroom,
+        )
+        if candidate is None:
+            return
+        if budget_kind == "migration":
+            result = self._transfers.migrate(
+                partition, agent.server_id, candidate.server_id
+            )
+            if not result.ok:
+                stats.deferred += 1
+                return
+        else:
+            result = self._transfers.replicate(
+                partition, agent.server_id, candidate.server_id
+            )
+            if not result.ok:
+                stats.deferred += 1
+                return
+            self._transfers.suicide(partition, agent.server_id)
+        scorer.consume_budget(
+            candidate.server_id, partition.size, budget_kind
+        )
+        scorer.release_storage(agent.server_id, partition.size)
+        self._registry.rehome(pid, agent.server_id, candidate.server_id)
+        stats.migrations += 1
+
+    def _expand(self, partition: Partition, agent: VNodeAgent,
+                board: PriceBoard, scorer: PlacementScorer,
+                load: EpochLoad, g_vec: Optional[np.ndarray],
+                stats: DecisionStats) -> None:
+        """Positive streak: replicate when popularity funds the new copy."""
+        pid = partition.pid
+        servers = self._live_replicas(pid)
+        n = len(servers)
+        if self._policy.max_replicas is not None and n >= self._policy.max_replicas:
+            return
+        candidate = scorer.best(
+            servers, need_bytes=partition.size, g=g_vec,
+            budget="replication",
+            headroom_fraction=self._policy.storage_headroom,
+        )
+        if candidate is None:
+            return
+        queries = load.queries_for(pid)
+        predicted_utility = (
+            self._policy.revenue_per_query * queries / (n + 1)
+        )
+        sync_cost = self._policy.consistency.marginal_cost(queries, n)
+        # The candidate's rent will rise once this replica's bytes land
+        # there (§II-C: "the potentially increased virtual rent of the
+        # candidate server after replication").
+        predicted_rent = candidate.rent + scorer.anticipated_rent_bump(
+            candidate.server_id, partition.size
+        )
+        if predicted_utility < predicted_rent + sync_cost:
+            return
+        result = self._transfers.replicate(
+            partition, agent.server_id, candidate.server_id
+        )
+        if not result.ok:
+            stats.deferred += 1
+            return
+        scorer.consume_budget(
+            candidate.server_id, partition.size, "replication"
+        )
+        spawned = self._registry.spawn(pid, candidate.server_id)
+        spawned.reset_history()
+        agent.reset_history()
+        stats.economic_replications += 1

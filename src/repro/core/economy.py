@@ -1,0 +1,144 @@
+"""Virtual rent pricing — eq. 1 of the paper.
+
+Each epoch a server agent announces the virtual rent price
+
+    c = up · (1 + α · storage_usage + β · query_load)
+
+where ``up`` is the server's *marginal usage price*, derived from the
+real monthly rent the data owner pays (100$ or 125$ in the evaluation)
+spread over the epochs of a month, and the usage terms are the server's
+storage fill fraction and normalised query load of the *current* epoch
+(good approximations for the next epoch, §II-A).  Expensive and busy
+servers therefore price themselves out of unpopular virtual nodes,
+which is the stabilising feedback loop of the whole economy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cluster.server import Server
+from repro.cluster.topology import Cloud
+
+#: Epochs per month used to spread the real rent.  The evaluation's
+#: epoch is best read as ~1 hour (bandwidth budgets of 300 MB/epoch),
+#: giving 30 · 24 = 720 epochs per month.
+DEFAULT_EPOCHS_PER_MONTH: int = 720
+
+
+class EconomyError(ValueError):
+    """Raised for invalid pricing parameters."""
+
+
+@dataclass(frozen=True)
+class RentModel:
+    """Parameters of the eq. 1 price function.
+
+    ``alpha`` weights storage pressure, ``beta`` query pressure; both
+    are the paper's normalising factors.  ``epochs_per_month`` converts
+    the real monthly rent into the per-epoch marginal usage price
+    ``up``.  ``mean_usage_floor`` keeps ``up`` finite on idle servers
+    when usage-normalised pricing is enabled.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    epochs_per_month: int = DEFAULT_EPOCHS_PER_MONTH
+    normalize_by_usage: bool = False
+    mean_usage_floor: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise EconomyError(f"alpha must be >= 0, got {self.alpha}")
+        if self.beta < 0:
+            raise EconomyError(f"beta must be >= 0, got {self.beta}")
+        if self.epochs_per_month <= 0:
+            raise EconomyError(
+                f"epochs_per_month must be > 0, got {self.epochs_per_month}"
+            )
+        if not 0 < self.mean_usage_floor <= 1:
+            raise EconomyError(
+                f"mean_usage_floor must be in (0, 1], got "
+                f"{self.mean_usage_floor}"
+            )
+
+    def usage_price(self, server: Server,
+                    mean_usage: Optional[float] = None) -> float:
+        """Marginal usage price ``up`` of one server.
+
+        The paper derives ``up`` from the total monthly real rent and
+        the server's mean usage over the previous month; with
+        ``normalize_by_usage`` off (default) the rent is simply spread
+        over the month's epochs, which the evaluation's equal-usage
+        startup makes equivalent.
+        """
+        base = server.monthly_rent / self.epochs_per_month
+        if not self.normalize_by_usage:
+            return base
+        usage = self.mean_usage_floor if mean_usage is None else max(
+            mean_usage, self.mean_usage_floor
+        )
+        return base / usage
+
+    def price(self, server: Server,
+              mean_usage: Optional[float] = None) -> float:
+        """Eq. 1: the virtual rent of ``server`` for the next epoch."""
+        up = self.usage_price(server, mean_usage)
+        return up * (
+            1.0
+            + self.alpha * server.storage_usage
+            + self.beta * server.query_load
+        )
+
+    def price_cloud(self, cloud: Cloud,
+                    mean_usages: Optional[Dict[int, float]] = None
+                    ) -> Dict[int, float]:
+        """Price every live server of the cloud for the next epoch."""
+        usages = mean_usages or {}
+        return {
+            server.server_id: self.price(
+                server, usages.get(server.server_id)
+            )
+            for server in cloud
+        }
+
+
+class UsageTracker:
+    """Trailing mean usage per server, for usage-normalised pricing.
+
+    Tracks an exponentially weighted mean of the combined storage/query
+    usage so that ``up`` can reflect "the mean usage of the server in
+    the previous month" (§II-A) without storing a month of history.
+    """
+
+    def __init__(self, horizon: int = DEFAULT_EPOCHS_PER_MONTH) -> None:
+        if horizon <= 0:
+            raise EconomyError(f"horizon must be > 0, got {horizon}")
+        self._decay = 1.0 - 1.0 / horizon
+        self._means: Dict[int, float] = {}
+
+    def observe(self, server: Server) -> None:
+        usage = 0.5 * (server.storage_usage + min(server.query_load, 1.0))
+        prev = self._means.get(server.server_id)
+        if prev is None:
+            self._means[server.server_id] = usage
+        else:
+            self._means[server.server_id] = (
+                self._decay * prev + (1.0 - self._decay) * usage
+            )
+
+    def observe_cloud(self, cloud: Cloud) -> None:
+        for server in cloud:
+            self.observe(server)
+
+    def mean_usage(self, server_id: int) -> Optional[float]:
+        return self._means.get(server_id)
+
+    def means(self) -> Dict[int, float]:
+        return dict(self._means)
+
+    def forget(self, server_id: int) -> None:
+        self._means.pop(server_id, None)

@@ -1,0 +1,298 @@
+"""Replica placement: candidate scoring (eq. 3) and proximity (eq. 4).
+
+When a virtual node must add or move a replica it scores every server
+
+    score_j = Σ_k g_j · conf_j · diversity(s_k, s_j) − c_j         (eq. 3)
+
+over its current replica locations s_k, where c_j is the candidate's
+posted virtual rent and g_j the client-proximity preference
+
+    g_j = Σ_l q_l / (1 + Σ_l q_l · diversity(l, s_j))              (eq. 4)
+
+computed from the per-location query counts q_l of the node's
+partition.  Diversity values are integers up to 63 while rents are
+fractions of a dollar, so diversity dominates and the rent acts as the
+cost tie-breaker among equally dispersed candidates — "availability is
+increased as much as possible at the minimum cost" (§II-B).
+
+Scoring is vectorised over the cloud's slot order; with N servers each
+call is a handful of O(N) numpy operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.location import Location, diversity
+from repro.cluster.topology import Cloud
+from repro.core.board import PriceBoard
+from repro.workload.clients import ClientGeography
+
+
+class PlacementError(ValueError):
+    """Raised for invalid placement queries."""
+
+
+def proximity_weights(cloud: Cloud, geography: ClientGeography,
+                      query_counts: Optional[Dict[Location, float]] = None
+                      ) -> np.ndarray:
+    """Eq. 4 preference weight of every server (cloud slot order).
+
+    ``query_counts`` are the per-client-location query counts q_l of
+    one partition; when omitted, the geography's long-run shares stand
+    in for them.  The uniform geography yields g ≡ 1 exactly as the
+    paper assumes (§III-A); discrete geographies are normalised by the
+    maximum so g stays in (0, 1] and eq. 3's diversity scale is
+    preserved.
+    """
+    n = len(cloud)
+    if n == 0:
+        raise PlacementError("empty cloud")
+    if geography.is_uniform:
+        return np.ones(n, dtype=np.float64)
+    if query_counts is not None:
+        weighted = [(loc, float(q)) for loc, q in query_counts.items() if q > 0]
+    else:
+        weighted = geography.weighted_sites()
+    if not weighted:
+        return np.ones(n, dtype=np.float64)
+    servers = cloud.servers()
+    total_q = sum(q for __, q in weighted)
+    distance = np.zeros(n, dtype=np.float64)
+    for site, q in weighted:
+        site_div = np.array(
+            [diversity(site, s.location) for s in servers], dtype=np.float64
+        )
+        distance += q * site_div
+    raw = total_q / (1.0 + distance)
+    peak = raw.max()
+    if peak <= 0:
+        return np.ones(n, dtype=np.float64)
+    return raw / peak
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A scored placement candidate."""
+
+    server_id: int
+    score: float
+    diversity_gain: float
+    rent: float
+
+
+class PlacementScorer:
+    """Eq. 3 scorer bound to one epoch's cloud state and price board.
+
+    Instantiate once per epoch (the simulator does); individual calls
+    then reuse the slot-ordered rent/confidence/storage vectors.
+
+    Prices are *anticipated*: every transfer routed through
+    :meth:`consume_budget` bumps the destination's cached rent by the
+    eq. 1 storage term its bytes will add (the paper's "potentially
+    increased virtual rent of the candidate server").  Without this,
+    every agent in an epoch sees the same static board and herds onto
+    the one argmax server until it is full.
+    """
+
+    def __init__(self, cloud: Cloud, board: PriceBoard,
+                 rent_weight: float = 1.0,
+                 storage_alpha: float = 1.0,
+                 epochs_per_month: int = 720) -> None:
+        if rent_weight < 0:
+            raise PlacementError(
+                f"rent_weight must be >= 0, got {rent_weight}"
+            )
+        if storage_alpha < 0:
+            raise PlacementError(
+                f"storage_alpha must be >= 0, got {storage_alpha}"
+            )
+        if epochs_per_month <= 0:
+            raise PlacementError(
+                f"epochs_per_month must be > 0, got {epochs_per_month}"
+            )
+        self._cloud = cloud
+        self._ids: List[int] = cloud.server_ids
+        self._slot_of: Dict[int, int] = {
+            sid: i for i, sid in enumerate(self._ids)
+        }
+        self._rents = board.price_vector(self._ids)
+        self._conf = cloud.confidence_vector()
+        self._storage = cloud.storage_available_vector()
+        self._capacity = np.array(
+            [cloud.server(sid).storage_capacity for sid in self._ids],
+            dtype=np.int64,
+        )
+        self._usage_price = np.array(
+            [
+                cloud.server(sid).monthly_rent / epochs_per_month
+                for sid in self._ids
+            ],
+            dtype=np.float64,
+        )
+        self._alive = np.array(
+            [cloud.server(sid).alive for sid in self._ids], dtype=bool
+        )
+        self._rent_weight = rent_weight
+        self._storage_alpha = storage_alpha
+        self._headroom: Dict[str, np.ndarray] = {}
+
+    @property
+    def server_ids(self) -> List[int]:
+        return list(self._ids)
+
+    def scores(self, replica_servers: Sequence[int],
+               g: Optional[np.ndarray] = None) -> np.ndarray:
+        """Raw eq. 3 score of every server (no feasibility masking)."""
+        n = len(self._ids)
+        div_sum = np.zeros(n, dtype=np.float64)
+        for sid in replica_servers:
+            if sid in self._cloud:
+                div_sum += self._cloud.diversity_row(sid)
+        gain = div_sum * self._conf
+        if g is not None:
+            if len(g) != n:
+                raise PlacementError(
+                    f"g has {len(g)} entries for {n} servers"
+                )
+            gain = gain * g
+        return gain - self._rent_weight * self._rents
+
+    def best(self, replica_servers: Sequence[int], *,
+             need_bytes: int = 0,
+             g: Optional[np.ndarray] = None,
+             max_rent: Optional[float] = None,
+             exclude: Sequence[int] = (),
+             budget: Optional[str] = None,
+             headroom_fraction: float = 0.0) -> Optional[Candidate]:
+        """Feasible argmax of eq. 3, or None when no server qualifies.
+
+        Excluded are: current replica holders (a server holds at most
+        one copy of a partition), dead servers, servers without
+        ``need_bytes`` free storage, servers in ``exclude``, and — when
+        ``max_rent`` is given (migration hunts for *cheaper* hosts) —
+        servers at or above that rent.  With ``budget`` set to
+        ``"replication"`` or ``"migration"``, destinations whose
+        remaining per-epoch bandwidth budget of that class cannot absorb
+        ``need_bytes`` are masked as well — without this, every agent in
+        an epoch converges on the same argmax server and all but the
+        first two transfers bounce off its budget.
+
+        ``headroom_fraction`` reserves that share of each candidate's
+        raw capacity on top of ``need_bytes``: cost-motivated moves
+        (migration, economic replication) should not pack a destination
+        to the brim, or the next insert there fails immediately.  SLA
+        repairs pass 0 — protecting data beats placement hygiene.
+        """
+        if not 0.0 <= headroom_fraction < 1.0:
+            raise PlacementError(
+                f"headroom_fraction must be in [0, 1), got "
+                f"{headroom_fraction}"
+            )
+        mask = self._alive.copy()
+        if headroom_fraction > 0.0:
+            reserve = (self._capacity * headroom_fraction).astype(np.int64)
+            mask &= self._storage >= need_bytes + reserve
+        else:
+            mask &= self._storage >= need_bytes
+        if max_rent is not None:
+            mask &= self._rents < max_rent
+        if budget is not None:
+            mask &= self._budget_headroom(budget) >= need_bytes
+        blocked = set(replica_servers) | set(exclude)
+        if blocked:
+            for i, sid in enumerate(self._ids):
+                if sid in blocked:
+                    mask[i] = False
+        if not mask.any():
+            return None
+        scores = self.scores(replica_servers, g)
+        scores = np.where(mask, scores, -np.inf)
+        idx = int(np.argmax(scores))
+        if not np.isfinite(scores[idx]):
+            return None
+        div_sum = 0.0
+        for sid in replica_servers:
+            if sid in self._cloud:
+                div_sum += float(
+                    self._cloud.diversity_row(sid)[idx]
+                )
+        return Candidate(
+            server_id=self._ids[idx],
+            score=float(scores[idx]),
+            diversity_gain=div_sum * float(self._conf[idx]),
+            rent=float(self._rents[idx]),
+        )
+
+    def _budget_headroom(self, kind: str) -> np.ndarray:
+        """Remaining per-epoch bandwidth of every server, slot order.
+
+        Built once per scorer (i.e. per epoch) and then maintained
+        incrementally via :meth:`consume_budget` as transfers complete,
+        which is what spreads simultaneous placements over distinct
+        destinations without rescanning the cloud on every call.
+        """
+        cached = self._headroom.get(kind)
+        if cached is not None:
+            return cached
+        if kind == "replication":
+            values = [
+                self._cloud.server(sid).replication_budget.available
+                for sid in self._ids
+            ]
+        elif kind == "migration":
+            values = [
+                self._cloud.server(sid).migration_budget.available
+                for sid in self._ids
+            ]
+        else:
+            raise PlacementError(f"unknown budget kind {kind!r}")
+        arr = np.array(values, dtype=np.int64)
+        self._headroom[kind] = arr
+        return arr
+
+    def anticipated_rent_bump(self, server_id: int, nbytes: int) -> float:
+        """Eq. 1 rent increase ``nbytes`` would cause at a destination.
+
+        ``Δc = up · α · nbytes / capacity`` — the storage term of the
+        price function evaluated for the incoming replica's bytes.
+        """
+        idx = self._slot(server_id)
+        return float(
+            self._usage_price[idx]
+            * self._storage_alpha
+            * nbytes
+            / self._capacity[idx]
+        )
+
+    def consume_budget(self, server_id: int, nbytes: int, kind: str) -> None:
+        """Mirror a completed transfer into the cached headroom/storage.
+
+        The caller (decision engine) invokes this for the destination of
+        every successful transfer so later placements within the same
+        epoch see the reduced budget and storage — and a correspondingly
+        *higher* anticipated rent, which is what disperses simultaneous
+        placements instead of herding them onto one argmax server.
+        """
+        idx = self._slot(server_id)
+        headroom = self._headroom.get(kind)
+        if headroom is not None:
+            headroom[idx] = max(headroom[idx] - nbytes, 0)
+        self._storage[idx] = max(self._storage[idx] - nbytes, 0)
+        self._rents[idx] += self.anticipated_rent_bump(server_id, nbytes)
+
+    def release_storage(self, server_id: int, nbytes: int) -> None:
+        """Mirror freed bytes (migration source, suicide) into the cache."""
+        self._storage[self._slot(server_id)] += nbytes
+
+    def _slot(self, server_id: int) -> int:
+        try:
+            return self._slot_of[server_id]
+        except KeyError:
+            raise PlacementError(f"unknown server {server_id}") from None
+
+    def rent_of(self, server_id: int) -> float:
+        return float(self._rents[self._slot(server_id)])

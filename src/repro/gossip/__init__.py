@@ -1,0 +1,35 @@
+"""Gossip substrate: heartbeats, versioned dissemination, board election.
+
+The decentralised machinery the paper assumes (§II): failure detection
+without a coordinator, the price table spreading from the elected board
+server, and the election itself.  The simulator's epochs treat these as
+instantaneous; `benchmarks/test_membership.py` quantifies why that is
+justified (detection and dissemination complete in O(log N) gossip
+rounds, orders of magnitude below an epoch).
+"""
+
+from repro.gossip.dissemination import VersionedGossip, VersionRecord
+from repro.gossip.election import BoardElection, ElectionView
+from repro.gossip.heartbeat import (
+    ALIVE,
+    DEAD,
+    SUSPECT,
+    FailureDetector,
+    GossipConfig,
+    GossipError,
+    PeerRecord,
+)
+
+__all__ = [
+    "ALIVE",
+    "BoardElection",
+    "DEAD",
+    "ElectionView",
+    "FailureDetector",
+    "GossipConfig",
+    "GossipError",
+    "PeerRecord",
+    "SUSPECT",
+    "VersionRecord",
+    "VersionedGossip",
+]

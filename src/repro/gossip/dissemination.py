@@ -1,0 +1,127 @@
+"""Epidemic dissemination of versioned values (the price table).
+
+The virtual rent table is "announced at a board ... and is updated at
+the beginning of a new epoch" (§II).  Between the board and 200
+servers, the natural transport is push gossip: the board injects a new
+version each epoch, every informed node pushes it to ``fanout`` random
+peers per round, and coverage reaches all N nodes in O(log N) rounds.
+:class:`VersionedGossip` models exactly that, so the staleness every
+server decides on is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.gossip.heartbeat import GossipConfig, GossipError
+
+
+@dataclass
+class VersionRecord:
+    """What one node currently holds."""
+
+    version: int = -1
+    received_round: int = -1
+
+
+class VersionedGossip:
+    """Push-gossip spread of a monotonically versioned value."""
+
+    def __init__(self, node_ids: Sequence[int], config: GossipConfig,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if not node_ids:
+            raise GossipError("need at least one node")
+        if len(set(node_ids)) != len(node_ids):
+            raise GossipError("node ids must be unique")
+        self.config = config
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._nodes: List[int] = list(node_ids)
+        self._crashed: Set[int] = set()
+        self._round = 0
+        self.records: Dict[int, VersionRecord] = {
+            n: VersionRecord() for n in node_ids
+        }
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def crash(self, node_id: int) -> None:
+        if node_id not in self.records:
+            raise GossipError(f"unknown node {node_id}")
+        self._crashed.add(node_id)
+
+    def live_nodes(self) -> List[int]:
+        return [n for n in self._nodes if n not in self._crashed]
+
+    def publish(self, origin: int, version: int) -> None:
+        """The board injects a new version at ``origin``."""
+        if origin not in self.records:
+            raise GossipError(f"unknown node {origin}")
+        if origin in self._crashed:
+            raise GossipError(f"origin {origin} is crashed")
+        record = self.records[origin]
+        if version <= record.version:
+            raise GossipError(
+                f"version must increase: {version} <= {record.version}"
+            )
+        record.version = version
+        record.received_round = self._round
+
+    def step(self) -> None:
+        """One synchronous push round."""
+        self._round += 1
+        pushes: List[tuple] = []
+        for sender in self.live_nodes():
+            record = self.records[sender]
+            if record.version < 0:
+                continue
+            peers = [n for n in self._nodes if n != sender]
+            if not peers:
+                continue
+            k = min(self.config.fanout, len(peers))
+            chosen = self._rng.choice(len(peers), size=k, replace=False)
+            for idx in chosen:
+                if self._rng.random() < self.config.loss:
+                    continue
+                pushes.append((peers[idx], record.version))
+        for receiver, version in pushes:
+            if receiver in self._crashed:
+                continue
+            record = self.records[receiver]
+            if version > record.version:
+                record.version = version
+                record.received_round = self._round
+
+    def coverage(self, version: int) -> float:
+        """Fraction of live nodes holding at least ``version``."""
+        live = self.live_nodes()
+        if not live:
+            return 0.0
+        holders = sum(
+            1 for n in live if self.records[n].version >= version
+        )
+        return holders / len(live)
+
+    def rounds_to_coverage(self, version: int, target: float = 1.0,
+                           max_rounds: int = 200) -> int:
+        """Steps until ``target`` coverage of ``version`` is reached."""
+        if not 0.0 < target <= 1.0:
+            raise GossipError(f"target must be in (0, 1], got {target}")
+        for extra in range(max_rounds + 1):
+            if self.coverage(version) >= target:
+                return extra
+            self.step()
+        raise GossipError(
+            f"coverage {target} not reached within {max_rounds} rounds"
+        )
+
+    def staleness(self, node_id: int, current_version: int) -> int:
+        """How many versions behind one node is."""
+        record = self.records[node_id]
+        if record.version < 0:
+            return current_version + 1
+        return max(current_version - record.version, 0)

@@ -1,0 +1,75 @@
+"""Board election on top of the failure detector.
+
+The price board lives on "an elected server" (§II).  With a membership
+view at every node, the election can be deterministic: every node
+nominates the smallest server id it currently believes alive, so no
+extra message rounds are needed and agreement follows from view
+agreement.  Disagreement windows exist only while a board crash is
+propagating through the detector — their length is what the membership
+bench measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.gossip.heartbeat import ALIVE, FailureDetector, GossipError
+
+
+@dataclass(frozen=True)
+class ElectionView:
+    """One snapshot of who believes whom to be the board."""
+
+    choices: Dict[int, int]
+
+    @property
+    def agreed(self) -> bool:
+        return len(set(self.choices.values())) == 1
+
+    @property
+    def board(self) -> Optional[int]:
+        """The agreed board, or None during a disagreement window."""
+        winners = set(self.choices.values())
+        return winners.pop() if len(winners) == 1 else None
+
+
+class BoardElection:
+    """Deterministic lowest-live-id election over detector views."""
+
+    def __init__(self, detector: FailureDetector) -> None:
+        self._detector = detector
+
+    def nominate(self, observer: int) -> int:
+        """The board in ``observer``'s current view (may be itself)."""
+        candidates = [observer]
+        for peer, status in self._detector.view(observer).items():
+            if status == ALIVE:
+                candidates.append(peer)
+        return min(candidates)
+
+    def snapshot(self) -> ElectionView:
+        """Every live node's current nomination."""
+        live = self._detector.live_nodes()
+        if not live:
+            raise GossipError("no live nodes to elect a board")
+        return ElectionView(
+            choices={node: self.nominate(node) for node in live}
+        )
+
+    def rounds_to_agreement(self, max_rounds: int = 200) -> int:
+        """Gossip rounds until all live nodes agree on a *live* board.
+
+        Right after a board crash the cluster still "agrees" on the
+        dead board (stale views); that does not count — the clock stops
+        only when the common nomination is actually alive.
+        """
+        live = set(self._detector.live_nodes())
+        for extra in range(max_rounds + 1):
+            view = self.snapshot()
+            if view.agreed and view.board in live:
+                return extra
+            self._detector.step()
+        raise GossipError(
+            f"no agreement within {max_rounds} rounds"
+        )

@@ -1,0 +1,189 @@
+"""Gossip-style heartbeats and failure detection.
+
+The paper's protocol needs two pieces of shared knowledge without any
+global coordinator (§II): who is alive (so virtual nodes stop counting
+replicas on dead servers) and the current price table (posted at "a
+board, i.e. an elected server").  Both ride on a round-based push
+gossip: every round each live node picks ``fanout`` random peers and
+sends its state; messages are lost independently with probability
+``loss``.
+
+:class:`FailureDetector` implements the classic heartbeat scheme on
+top: every node keeps, per peer, the freshest heartbeat counter it has
+heard (directly or transitively) and the round it heard it; a peer
+unheard-of for ``suspect_rounds`` rounds is suspected, and declared
+dead after ``dead_rounds``.  The simulator's epochs are far longer
+than a gossip round, which is what justifies the engine's instant
+failure detection — quantified by the membership bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+
+class GossipError(ValueError):
+    """Raised for invalid gossip parameters."""
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Round-based push-gossip parameters."""
+
+    fanout: int = 3
+    loss: float = 0.0
+    suspect_rounds: int = 4
+    dead_rounds: int = 10
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise GossipError(f"fanout must be >= 1, got {self.fanout}")
+        if not 0.0 <= self.loss < 1.0:
+            raise GossipError(f"loss must be in [0, 1), got {self.loss}")
+        if self.suspect_rounds < 1:
+            raise GossipError(
+                f"suspect_rounds must be >= 1, got {self.suspect_rounds}"
+            )
+        if self.dead_rounds <= self.suspect_rounds:
+            raise GossipError(
+                "dead_rounds must exceed suspect_rounds"
+            )
+
+
+#: Peer states as seen by one node's detector.
+ALIVE, SUSPECT, DEAD = "alive", "suspect", "dead"
+
+
+@dataclass
+class PeerRecord:
+    """Freshest knowledge one node has about one peer."""
+
+    heartbeat: int = 0
+    heard_round: int = 0
+
+
+class FailureDetector:
+    """Per-node heartbeat tables updated by a shared gossip fabric."""
+
+    def __init__(self, node_ids: Sequence[int], config: GossipConfig,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if len(set(node_ids)) != len(node_ids):
+            raise GossipError("node ids must be unique")
+        if not node_ids:
+            raise GossipError("need at least one node")
+        self.config = config
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._nodes: List[int] = list(node_ids)
+        self._crashed: Set[int] = set()
+        self._round = 0
+        self._heartbeat: Dict[int, int] = {n: 0 for n in node_ids}
+        # tables[a][b] = what a knows about b.
+        self.tables: Dict[int, Dict[int, PeerRecord]] = {
+            a: {b: PeerRecord() for b in node_ids if b != a}
+            for a in node_ids
+        }
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    @property
+    def node_ids(self) -> List[int]:
+        return list(self._nodes)
+
+    def live_nodes(self) -> List[int]:
+        return [n for n in self._nodes if n not in self._crashed]
+
+    def crash(self, node_id: int) -> None:
+        """The node stops heartbeating (its table freezes)."""
+        if node_id not in self._heartbeat:
+            raise GossipError(f"unknown node {node_id}")
+        self._crashed.add(node_id)
+
+    def recover(self, node_id: int) -> None:
+        if node_id not in self._heartbeat:
+            raise GossipError(f"unknown node {node_id}")
+        self._crashed.discard(node_id)
+
+    # -- the gossip round ----------------------------------------------------
+
+    def step(self) -> None:
+        """One synchronous gossip round."""
+        self._round += 1
+        for node in self.live_nodes():
+            self._heartbeat[node] += 1
+        # Each live node pushes its full table (plus its own counter)
+        # to ``fanout`` random peers.
+        updates: List[Tuple[int, Dict[int, int]]] = []
+        for sender in self.live_nodes():
+            view = {n: r.heartbeat for n, r in self.tables[sender].items()}
+            view[sender] = self._heartbeat[sender]
+            peers = [n for n in self._nodes if n != sender]
+            if not peers:
+                continue
+            k = min(self.config.fanout, len(peers))
+            chosen = self._rng.choice(len(peers), size=k, replace=False)
+            for idx in chosen:
+                if self._rng.random() < self.config.loss:
+                    continue
+                updates.append((peers[idx], view))
+        for receiver, view in updates:
+            if receiver in self._crashed:
+                continue
+            table = self.tables[receiver]
+            for node, beat in view.items():
+                if node == receiver:
+                    continue
+                record = table[node]
+                if beat > record.heartbeat:
+                    record.heartbeat = beat
+                    record.heard_round = self._round
+
+    def run(self, rounds: int) -> None:
+        for __ in range(rounds):
+            self.step()
+
+    # -- verdicts ----------------------------------------------------------------
+
+    def status(self, observer: int, peer: int) -> str:
+        """``observer``'s verdict about ``peer``."""
+        if observer == peer:
+            return ALIVE
+        record = self.tables[observer][peer]
+        silence = self._round - record.heard_round
+        if silence >= self.config.dead_rounds:
+            return DEAD
+        if silence >= self.config.suspect_rounds:
+            return SUSPECT
+        return ALIVE
+
+    def view(self, observer: int) -> Dict[int, str]:
+        """Complete membership view of one node."""
+        return {
+            peer: self.status(observer, peer)
+            for peer in self._nodes
+            if peer != observer
+        }
+
+    def detected_by_all(self, peer: int) -> bool:
+        """True when every live node considers ``peer`` dead."""
+        return all(
+            self.status(observer, peer) == DEAD
+            for observer in self.live_nodes()
+        )
+
+    def detection_round(self, peer: int, max_rounds: int = 100) -> int:
+        """Rounds until every live node declares ``peer`` dead.
+
+        Steps the fabric forward; intended for measurement harnesses.
+        """
+        for extra in range(max_rounds + 1):
+            if self.detected_by_all(peer):
+                return extra
+            self.step()
+        raise GossipError(
+            f"{peer} not detected within {max_rounds} rounds"
+        )

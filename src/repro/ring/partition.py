@@ -1,0 +1,149 @@
+"""Data partitions: the unit of replication, migration and accounting.
+
+A partition owns one :class:`~repro.ring.keyspace.KeyRange` of one
+virtual ring and carries the byte size of the data stored under that
+range.  When the size exceeds the ring's partition capacity (256 MB in
+the paper) the partition splits into two children covering half the arc
+each; the split conserves bytes and popularity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.cluster.server import MB
+from repro.ring.keyspace import KeyRange
+
+#: Paper §III-A: maximum partition capacity before a split.
+DEFAULT_PARTITION_CAPACITY: int = 256 * MB
+
+
+class PartitionError(ValueError):
+    """Raised for invalid partition operations."""
+
+
+@dataclass(frozen=True, order=True)
+class PartitionId:
+    """Globally unique partition identity.
+
+    ``app_id`` and ``ring_id`` locate the virtual ring (one ring per
+    application availability level); ``seq`` distinguishes partitions
+    within the ring and is never reused, so children of a split get
+    fresh ids and metrics stay unambiguous.
+    """
+
+    app_id: int
+    ring_id: int
+    seq: int
+
+    def __str__(self) -> str:
+        return f"p{self.app_id}.{self.ring_id}.{self.seq}"
+
+
+@dataclass
+class Partition:
+    """One key-range of data for one application's virtual ring.
+
+    ``size`` is the byte size of the primary copy (each replica stores
+    the same bytes); ``popularity`` is the partition's share weight in
+    the query distribution, maintained by the workload layer.
+    """
+
+    pid: PartitionId
+    key_range: KeyRange
+    size: int = 0
+    popularity: float = 0.0
+    capacity: int = DEFAULT_PARTITION_CAPACITY
+    parent: Optional[PartitionId] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise PartitionError(f"size must be >= 0, got {self.size}")
+        if self.popularity < 0:
+            raise PartitionError(
+                f"popularity must be >= 0, got {self.popularity}"
+            )
+        if self.capacity <= 0:
+            raise PartitionError(
+                f"capacity must be > 0, got {self.capacity}"
+            )
+
+    @property
+    def overfull(self) -> bool:
+        """True when the partition must split before absorbing more data."""
+        return self.size > self.capacity
+
+    @property
+    def fill_fraction(self) -> float:
+        return self.size / self.capacity
+
+    def grow(self, nbytes: int) -> None:
+        """Add inserted bytes to the partition."""
+        if nbytes < 0:
+            raise PartitionError(f"cannot grow by negative bytes: {nbytes}")
+        self.size += nbytes
+
+    def shrink(self, nbytes: int) -> None:
+        """Remove deleted bytes from the partition."""
+        if not 0 <= nbytes <= self.size:
+            raise PartitionError(
+                f"cannot shrink by {nbytes}, size is {self.size}"
+            )
+        self.size -= nbytes
+
+    def split(self, low_seq: int, high_seq: int, *,
+              low_share: float = 0.5) -> Tuple["Partition", "Partition"]:
+        """Split into two children halving the key range.
+
+        ``low_share`` is the fraction of bytes (and popularity) that
+        lands in the low half — 0.5 for uniformly hashed keys, but the
+        caller may pass the measured share.  Bytes and popularity are
+        conserved exactly: the high child receives the remainders.
+        """
+        if not 0.0 <= low_share <= 1.0:
+            raise PartitionError(
+                f"low_share must be in [0, 1], got {low_share}"
+            )
+        low_range, high_range = self.key_range.split()
+        low_size = int(self.size * low_share)
+        low_pop = self.popularity * low_share
+        low = Partition(
+            pid=replace(self.pid, seq=low_seq),
+            key_range=low_range,
+            size=low_size,
+            popularity=low_pop,
+            capacity=self.capacity,
+            parent=self.pid,
+        )
+        high = Partition(
+            pid=replace(self.pid, seq=high_seq),
+            key_range=high_range,
+            size=self.size - low_size,
+            popularity=self.popularity - low_pop,
+            capacity=self.capacity,
+            parent=self.pid,
+        )
+        return low, high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.pid}[{self.key_range}] size={self.size} "
+            f"pop={self.popularity:.4g}"
+        )
+
+
+class PartitionIdAllocator:
+    """Hands out never-reused sequence numbers per (app, ring)."""
+
+    def __init__(self) -> None:
+        self._counters: dict = {}
+
+    def next_seq(self, app_id: int, ring_id: int) -> int:
+        key = (app_id, ring_id)
+        counter = self._counters.setdefault(key, itertools.count())
+        return next(counter)
+
+    def new_id(self, app_id: int, ring_id: int) -> PartitionId:
+        return PartitionId(app_id, ring_id, self.next_seq(app_id, ring_id))

@@ -1,0 +1,113 @@
+"""Request router: key → virtual ring → partition → serving replica.
+
+Thin coordination layer used by clients (and the workload generator) to
+resolve where a query executes.  The router prefers the geographically
+closest live replica, which realises the paper's network-proximity goal
+(§II-B): data mostly accessed from a region should be served from — and
+eventually migrate to — that region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cluster.location import Location, diversity
+from repro.cluster.topology import Cloud
+from repro.ring.hashing import Key
+from repro.ring.partition import Partition, PartitionId
+from repro.ring.virtualring import RingSet
+from repro.store.replica import ReplicaCatalog
+
+
+class RoutingError(LookupError):
+    """Raised when a key cannot be resolved to a live replica."""
+
+
+@dataclass(frozen=True)
+class Route:
+    """A resolved query route."""
+
+    pid: PartitionId
+    server_id: int
+    distance: int
+
+    def __str__(self) -> str:
+        return f"{self.pid} -> s{self.server_id} (d={self.distance})"
+
+
+class Router:
+    """Resolves keys to replicas over the current catalog state."""
+
+    def __init__(self, cloud: Cloud, rings: RingSet,
+                 catalog: ReplicaCatalog) -> None:
+        self._cloud = cloud
+        self._rings = rings
+        self._catalog = catalog
+
+    def partition_of(self, app_id: int, ring_id: int, key: Key) -> Partition:
+        return self._rings.ring(app_id, ring_id).lookup(key)
+
+    def live_replicas(self, pid: PartitionId) -> List[int]:
+        return [
+            sid
+            for sid in self._catalog.servers_of(pid)
+            if sid in self._cloud and self._cloud.server(sid).alive
+        ]
+
+    def route(self, app_id: int, ring_id: int, key: Key,
+              *, client: Optional[Location] = None) -> Route:
+        """Resolve a query to the closest live replica of its partition."""
+        partition = self.partition_of(app_id, ring_id, key)
+        return self.route_partition(partition.pid, client=client)
+
+    def route_partition(self, pid: PartitionId,
+                        *, client: Optional[Location] = None) -> Route:
+        """Resolve a query already attributed to a partition."""
+        replicas = self.live_replicas(pid)
+        if not replicas:
+            raise RoutingError(f"no live replica for {pid}")
+        if client is None:
+            return Route(pid, replicas[0], 0)
+        best_sid, best_d = replicas[0], diversity(
+            client, self._cloud.server(replicas[0]).location
+        )
+        for sid in replicas[1:]:
+            d = diversity(client, self._cloud.server(sid).location)
+            if d < best_d:
+                best_sid, best_d = sid, d
+        return Route(pid, best_sid, best_d)
+
+    def spread(self, pid: PartitionId,
+               weights: Optional[List[Tuple[Location, float]]] = None
+               ) -> List[Tuple[int, float]]:
+        """Share of a partition's queries each live replica attracts.
+
+        With no client geography every replica gets an equal share; with
+        weighted client locations each location's share goes to its
+        closest replica.  Used by the simulator to charge query load to
+        servers without routing every query object individually.
+        """
+        replicas = self.live_replicas(pid)
+        if not replicas:
+            raise RoutingError(f"no live replica for {pid}")
+        if not weights:
+            share = 1.0 / len(replicas)
+            return [(sid, share) for sid in replicas]
+        totals = {sid: 0.0 for sid in replicas}
+        grand = 0.0
+        for client, weight in weights:
+            if weight <= 0:
+                continue
+            best = min(
+                replicas,
+                key=lambda sid: diversity(
+                    client, self._cloud.server(sid).location
+                ),
+            )
+            totals[best] += weight
+            grand += weight
+        if grand == 0:
+            share = 1.0 / len(replicas)
+            return [(sid, share) for sid in replicas]
+        return [(sid, w / grand) for sid, w in totals.items()]

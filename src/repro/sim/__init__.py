@@ -1,0 +1,63 @@
+"""Discrete-epoch simulator: configs, engine, metrics, reporting."""
+
+from repro.sim.config import (
+    AppConfig,
+    ConfigError,
+    InsertConfig,
+    RingConfig,
+    SimConfig,
+    paper_apps_config,
+    paper_scenario,
+    saturation_scenario,
+    slashdot_scenario,
+)
+from repro.sim.engine import (
+    DeciderFactory,
+    SimContext,
+    Simulation,
+    SimulationError,
+    economic_decider,
+)
+from repro.sim.metrics import (
+    EpochFrame,
+    MetricsError,
+    MetricsLog,
+    load_balance_index,
+)
+from repro.sim.reporting import (
+    format_table,
+    histogram_table,
+    sample_epochs,
+    series_table,
+    summarize,
+)
+from repro.sim.seeds import STREAMS, RngStreams, SeedError
+
+__all__ = [
+    "AppConfig",
+    "ConfigError",
+    "DeciderFactory",
+    "EpochFrame",
+    "InsertConfig",
+    "MetricsError",
+    "MetricsLog",
+    "RingConfig",
+    "RngStreams",
+    "STREAMS",
+    "SeedError",
+    "SimConfig",
+    "SimContext",
+    "Simulation",
+    "SimulationError",
+    "economic_decider",
+    "format_table",
+    "histogram_table",
+    "load_balance_index",
+    "paper_apps_config",
+    "paper_scenario",
+    "sample_epochs",
+    "saturation_scenario",
+    "series_table",
+    "slashdot_scenario",
+    "summarize",
+]

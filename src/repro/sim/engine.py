@@ -1,0 +1,404 @@
+"""The discrete-epoch simulator tying every subsystem together.
+
+One epoch proceeds exactly as the paper's model (§III-A) prescribes:
+
+1. cloud events (arrivals/failures) fire and lost replicas disappear;
+2. every server posts its eq. 1 virtual rent for the epoch, computed
+   from the previous epoch's query load and its current storage usage;
+3. bandwidth budgets and query counters reset;
+4. the workload mix draws the epoch's queries and routes them to the
+   partitions' live replicas; agents settle their eq. 5 balances;
+5. every virtual node runs the §II-C decision process (replicate /
+   migrate / suicide / nothing) with transfers debited against the
+   replication and migration budgets;
+6. the insert stream (if configured) grows partitions, failing inserts
+   that no replica server can absorb;
+7. overfull partitions split; 8. metrics are collected.
+
+The decision logic is pluggable via ``decider_factory`` so the baseline
+policies (static, random) run under the identical substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.events import EventSchedule
+from repro.cluster.server import BandwidthBudget
+from repro.cluster.topology import Cloud, build_cloud
+from repro.core.agent import AgentRegistry
+from repro.core.availability import availability
+from repro.core.board import PriceBoard, update_board
+from repro.core.decision import DecisionEngine, DecisionStats, EconomicPolicy
+from repro.core.economy import UsageTracker
+from repro.core.placement import proximity_weights
+from repro.ring.partition import Partition, PartitionId
+from repro.ring.virtualring import AvailabilityLevel, RingSet
+from repro.sim.config import SimConfig
+from repro.sim.metrics import EpochFrame, MetricsLog
+from repro.sim.seeds import RngStreams
+from repro.store.replica import ReplicaCatalog
+from repro.store.transfer import TransferEngine
+from repro.workload.inserts import InsertOutcome, InsertWorkload
+from repro.workload.mix import ApplicationSpec, EpochLoad, WorkloadMix
+from repro.workload.popularity import PopularityMap
+
+
+class SimulationError(RuntimeError):
+    """Raised for inconsistent simulator usage."""
+
+
+@dataclass
+class SimContext:
+    """Everything a decision policy needs to act on the cloud."""
+
+    cloud: Cloud
+    rings: RingSet
+    catalog: ReplicaCatalog
+    registry: AgentRegistry
+    transfers: TransferEngine
+    policy: EconomicPolicy
+    rent_model: object = None
+
+
+DeciderFactory = Callable[[SimContext], object]
+
+
+def economic_decider(ctx: SimContext) -> DecisionEngine:
+    """The paper's policy — the default decider."""
+    return DecisionEngine(
+        ctx.cloud, ctx.rings, ctx.catalog, ctx.registry, ctx.transfers,
+        ctx.policy, rent_model=ctx.rent_model,
+    )
+
+
+class Simulation:
+    """A fully built scenario, steppable epoch by epoch."""
+
+    def __init__(self, config: SimConfig, *,
+                 events: Optional[EventSchedule] = None,
+                 decider_factory: DeciderFactory = economic_decider) -> None:
+        self.config = config
+        self.streams = RngStreams(config.seed)
+        self.cloud = build_cloud(
+            config.layout,
+            storage_capacity=config.server_storage,
+            query_capacity=config.server_query_capacity,
+            expensive_fraction=config.expensive_fraction,
+            cheap_rent=config.cheap_rent,
+            expensive_rent=config.expensive_rent,
+            rng=self.streams.topology,
+        )
+        self._apply_budgets(self.cloud.server_ids)
+        self.rings = RingSet()
+        for app in config.apps:
+            for ring_cfg in app.rings:
+                self.rings.add_ring(
+                    app.app_id,
+                    ring_cfg.ring_id,
+                    AvailabilityLevel(
+                        threshold=ring_cfg.threshold,
+                        target_replicas=ring_cfg.target_replicas,
+                    ),
+                    ring_cfg.partitions,
+                    partition_capacity=ring_cfg.partition_capacity,
+                    initial_size=ring_cfg.initial_partition_size,
+                )
+        self.catalog = ReplicaCatalog(self.cloud)
+        self.registry = AgentRegistry(config.policy.hysteresis)
+        self.transfers = TransferEngine(self.cloud, self.catalog)
+        self.board = PriceBoard()
+        self.popularity = PopularityMap.pareto(
+            [p.pid for p in self.rings.all_partitions()],
+            shape=config.popularity_shape,
+            scale=config.popularity_scale,
+            rng=self.streams.popularity,
+        )
+        self.mix = WorkloadMix(
+            [
+                ApplicationSpec(
+                    app_id=a.app_id,
+                    name=a.name,
+                    query_share=a.query_share,
+                    geography=a.geography,
+                )
+                for a in config.apps
+            ],
+            config.rate_profile,
+            self.streams.workload,
+        )
+        self.insert_workload: Optional[InsertWorkload] = None
+        if config.inserts is not None:
+            self.insert_workload = InsertWorkload(
+                rate=config.inserts.rate,
+                object_size=config.inserts.object_size,
+                routing=config.inserts.routing,
+                rng=self.streams.inserts,
+            )
+        self.events = events if events is not None else EventSchedule(
+            [], layout=config.layout, rng=self.streams.events
+        )
+        self.context = SimContext(
+            cloud=self.cloud,
+            rings=self.rings,
+            catalog=self.catalog,
+            registry=self.registry,
+            transfers=self.transfers,
+            policy=config.policy,
+            rent_model=config.rent_model,
+        )
+        self.decider = decider_factory(self.context)
+        self.metrics = MetricsLog()
+        # Usage-normalised pricing (§II-A: up derived from "the mean
+        # usage of the server in the previous month") tracks a trailing
+        # usage mean only when the rent model asks for it.
+        self.usage_tracker: Optional[UsageTracker] = None
+        if config.rent_model.normalize_by_usage:
+            self.usage_tracker = UsageTracker(
+                horizon=config.rent_model.epochs_per_month
+            )
+        self._g_of_app: Dict[int, Optional[np.ndarray]] = {}
+        self._g_dirty = True
+        self._epoch = 0
+        self._seed_placement()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _apply_budgets(self, server_ids: Sequence[int]) -> None:
+        for sid in server_ids:
+            server = self.cloud.server(sid)
+            server.replication_budget = BandwidthBudget(
+                self.config.replication_budget
+            )
+            server.migration_budget = BandwidthBudget(
+                self.config.migration_budget
+            )
+
+    def _seed_placement(self) -> None:
+        """Place one replica of each partition on a random server.
+
+        The paper starts from an arbitrary assignment and lets the
+        replication process converge (Fig. 2); a single random replica
+        per partition is the weakest such start — agents must build all
+        redundancy themselves.
+        """
+        rng = self.streams.topology
+        ids = self.cloud.server_ids
+        for partition in self.rings.all_partitions():
+            order = rng.permutation(len(ids))
+            placed = False
+            for idx in order:
+                server = self.cloud.server(ids[idx])
+                if server.can_store(partition.size):
+                    self.catalog.place(partition, server.server_id)
+                    self.registry.spawn(partition.pid, server.server_id)
+                    placed = True
+                    break
+            if not placed:
+                raise SimulationError(
+                    f"cloud too small to seed {partition.pid} "
+                    f"({partition.size} bytes)"
+                )
+
+    # -- per-epoch machinery ------------------------------------------------
+
+    def _refresh_proximity(self) -> None:
+        self._g_of_app = {}
+        for app in self.config.apps:
+            if app.geography.is_uniform:
+                self._g_of_app[app.app_id] = None
+            else:
+                self._g_of_app[app.app_id] = proximity_weights(
+                    self.cloud, app.geography
+                )
+        self._g_dirty = False
+
+    def _partitions_of_apps(self) -> Dict[int, List[PartitionId]]:
+        out: Dict[int, List[PartitionId]] = {}
+        for ring in self.rings:
+            out.setdefault(ring.app_id, []).extend(
+                p.pid for p in ring
+            )
+        return out
+
+    def _apply_inserts(self, epoch: int) -> InsertOutcome:
+        outcome = InsertOutcome(epoch=epoch)
+        workload = self.insert_workload
+        cfg = self.config.inserts
+        if workload is None or cfg is None or epoch < cfg.start_epoch:
+            return outcome
+        batch = workload.batch(
+            epoch, self.rings.all_partitions(), self.popularity
+        )
+        outcome.attempted = batch.total_inserts
+        for pid, count in batch.counts.items():
+            partition = self.rings.partition(pid)
+            replicas = [
+                sid
+                for sid in self.catalog.servers_of(pid)
+                if sid in self.cloud and self.cloud.server(sid).alive
+            ]
+            if not replicas:
+                outcome.failed += count
+                continue
+            headroom = min(
+                self.cloud.server(sid).storage_available for sid in replicas
+            )
+            feasible = min(count, headroom // batch.object_size)
+            if feasible > 0:
+                nbytes = feasible * batch.object_size
+                self.catalog.grow_replicas(pid, nbytes)
+                partition.grow(nbytes)
+                outcome.succeeded += feasible
+                outcome.bytes_written += nbytes
+            outcome.failed += count - feasible
+        return outcome
+
+    def _apply_splits(self) -> List[Tuple[PartitionId, PartitionId, PartitionId]]:
+        """Split every overfull partition (cascading) across all rings."""
+        done: List[Tuple[PartitionId, PartitionId, PartitionId]] = []
+        for ring in self.rings:
+            while True:
+                overfull = [
+                    p
+                    for p in ring
+                    if p.overfull
+                    and p.key_range.span >= 2
+                    and self.catalog.replica_count(p.pid) > 0
+                ]
+                if not overfull:
+                    break
+                for parent in overfull:
+                    low, high = ring.split_partition(parent.pid)
+                    self.catalog.split_partition(parent, low, high)
+                    self.registry.split_partition(
+                        parent.pid, low.pid, high.pid
+                    )
+                    self.popularity.split(parent.pid, low.pid, high.pid)
+                    done.append((parent.pid, low.pid, high.pid))
+        return done
+
+    def step(self) -> EpochFrame:
+        """Advance the simulation by one epoch and return its frame."""
+        epoch = self._epoch
+        added, removed = self.events.apply(epoch, self.cloud)
+        if added:
+            self._apply_budgets(added)
+        for sid in removed:
+            self.catalog.drop_server(sid)
+            self.registry.drop_server(sid)
+        if added or removed:
+            self._g_dirty = True
+        if self.usage_tracker is not None and epoch > 0:
+            # Observe last epoch's usage before counters reset.
+            self.usage_tracker.observe_cloud(self.cloud)
+        update_board(
+            self.board, epoch, self.cloud, self.config.rent_model,
+            self.usage_tracker,
+        )
+        self.cloud.begin_epoch()
+        self.transfers.begin_epoch()
+        if self._g_dirty:
+            self._refresh_proximity()
+        load = self.mix.draw(
+            epoch, self._partitions_of_apps(), self.popularity
+        )
+        self.decider.settle(load, self.board, self._g_of_app)
+        stats: DecisionStats = self.decider.decide(
+            self.board, load, self.streams.decisions, self._g_of_app
+        )
+        insert_outcome = self._apply_inserts(epoch)
+        self._apply_splits()
+        frame = self._collect(epoch, load, stats, insert_outcome)
+        self.metrics.append(frame)
+        self._epoch += 1
+        return frame
+
+    def run(self, epochs: Optional[int] = None) -> MetricsLog:
+        """Run ``epochs`` (default: the configured horizon) and return metrics."""
+        remaining = self.config.epochs if epochs is None else epochs
+        if remaining < 0:
+            raise SimulationError(f"epochs must be >= 0, got {remaining}")
+        for __ in range(remaining):
+            self.step()
+        return self.metrics
+
+    # -- observables -----------------------------------------------------------
+
+    def _live_replicas(self, pid: PartitionId) -> List[int]:
+        return [
+            sid
+            for sid in self.catalog.servers_of(pid)
+            if sid in self.cloud and self.cloud.server(sid).alive
+        ]
+
+    def _collect(self, epoch: int, load: EpochLoad, stats: DecisionStats,
+                 inserts: InsertOutcome) -> EpochFrame:
+        vnodes_per_server = {
+            sid: self.catalog.vnode_count(sid)
+            for sid in self.cloud.server_ids
+        }
+        vnodes_per_ring: Dict[Tuple[int, int], int] = {}
+        queries_per_ring: Dict[Tuple[int, int], float] = {}
+        avail_per_ring: Dict[Tuple[int, int], float] = {}
+        unavailable = 0
+        lost = 0
+        for ring in self.rings:
+            key = (ring.app_id, ring.ring_id)
+            count = 0
+            served = 0.0
+            avails: List[float] = []
+            for partition in ring:
+                replicas = self._live_replicas(partition.pid)
+                count += len(replicas)
+                queries = load.queries_for(partition.pid)
+                if replicas:
+                    served += queries
+                    avails.append(availability(self.cloud, replicas))
+                else:
+                    unavailable += queries
+                    lost += 1
+            vnodes_per_ring[key] = count
+            queries_per_ring[key] = served
+            avail_per_ring[key] = (
+                float(np.mean(avails)) if avails else 0.0
+            )
+        expensive = 0
+        cheap = 0
+        for sid, n in vnodes_per_server.items():
+            if self.cloud.server(sid).monthly_rent > self.config.cheap_rent:
+                expensive += n
+            else:
+                cheap += n
+        return EpochFrame(
+            epoch=epoch,
+            total_queries=load.total_queries,
+            live_servers=len(self.cloud),
+            vnodes_total=self.catalog.total_replicas,
+            vnodes_per_ring=vnodes_per_ring,
+            vnodes_per_server=vnodes_per_server,
+            queries_per_ring=queries_per_ring,
+            mean_availability_per_ring=avail_per_ring,
+            unsatisfied_partitions=stats.unsatisfied_partitions,
+            lost_partitions=lost,
+            storage_used=self.cloud.total_storage_used,
+            storage_capacity=self.cloud.total_storage_capacity,
+            insert_attempts=inserts.attempted,
+            insert_failures=inserts.failed,
+            repairs=stats.repairs,
+            economic_replications=stats.economic_replications,
+            migrations=stats.migrations,
+            suicides=stats.suicides,
+            deferred=stats.deferred,
+            min_price=self.board.min_price(),
+            mean_price=self.board.mean_price(),
+            max_price=self.board.max_price(),
+            unavailable_queries=unavailable,
+            vnodes_on_expensive=expensive,
+            vnodes_on_cheap=cheap,
+            replication_bytes=self.transfers.stats.replication_bytes,
+            migration_bytes=self.transfers.stats.migration_bytes,
+        )

@@ -1,0 +1,186 @@
+"""Per-epoch metric collection for the paper's figures.
+
+Each epoch the engine emits one :class:`EpochFrame` holding exactly the
+observables the evaluation plots: virtual nodes per server (Fig. 2),
+virtual nodes per ring (Fig. 3), average query load per ring per server
+(Fig. 4) and storage usage plus insert failures (Fig. 5) — along with
+economic diagnostics (prices, actions, availability satisfaction) the
+ablation benches use.  :class:`MetricsLog` turns the frame stream into
+named series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class MetricsError(KeyError):
+    """Raised when a requested series is unavailable."""
+
+
+@dataclass(frozen=True)
+class EpochFrame:
+    """One epoch's observables."""
+
+    epoch: int
+    total_queries: int
+    live_servers: int
+    vnodes_total: int
+    vnodes_per_ring: Dict[Tuple[int, int], int]
+    vnodes_per_server: Dict[int, int]
+    queries_per_ring: Dict[Tuple[int, int], float]
+    mean_availability_per_ring: Dict[Tuple[int, int], float]
+    unsatisfied_partitions: int
+    lost_partitions: int
+    storage_used: int
+    storage_capacity: int
+    insert_attempts: int
+    insert_failures: int
+    repairs: int
+    economic_replications: int
+    migrations: int
+    suicides: int
+    deferred: int
+    min_price: float
+    mean_price: float
+    max_price: float
+    unavailable_queries: int
+    vnodes_on_expensive: int
+    vnodes_on_cheap: int
+    replication_bytes: int = 0
+    migration_bytes: int = 0
+
+    @property
+    def bytes_moved(self) -> int:
+        """Maintenance traffic over access links this epoch."""
+        return self.replication_bytes + self.migration_bytes
+
+    @property
+    def storage_fraction(self) -> float:
+        if self.storage_capacity == 0:
+            return 0.0
+        return self.storage_used / self.storage_capacity
+
+    def query_load_per_server(self, ring: Tuple[int, int]) -> float:
+        """Fig. 4 observable: a ring's queries averaged over live servers."""
+        if self.live_servers == 0:
+            return 0.0
+        return self.queries_per_ring.get(ring, 0.0) / self.live_servers
+
+
+class MetricsLog:
+    """Ordered frames plus series extraction helpers."""
+
+    def __init__(self) -> None:
+        self._frames: List[EpochFrame] = []
+
+    def append(self, frame: EpochFrame) -> None:
+        if self._frames and frame.epoch <= self._frames[-1].epoch:
+            raise MetricsError(
+                f"non-monotonic epoch {frame.epoch} after "
+                f"{self._frames[-1].epoch}"
+            )
+        self._frames.append(frame)
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __iter__(self):
+        return iter(self._frames)
+
+    def __getitem__(self, idx: int) -> EpochFrame:
+        return self._frames[idx]
+
+    @property
+    def last(self) -> EpochFrame:
+        if not self._frames:
+            raise MetricsError("no frames collected")
+        return self._frames[-1]
+
+    def epochs(self) -> List[int]:
+        return [f.epoch for f in self._frames]
+
+    def series(self, name: str) -> np.ndarray:
+        """A scalar attribute of every frame as an array."""
+        if not self._frames:
+            raise MetricsError("no frames collected")
+        if not hasattr(self._frames[0], name):
+            raise MetricsError(f"unknown series {name!r}")
+        return np.array(
+            [getattr(f, name) for f in self._frames], dtype=np.float64
+        )
+
+    def ring_series(self, attr: str, ring: Tuple[int, int]) -> np.ndarray:
+        """A per-ring dict attribute projected onto one ring."""
+        out = []
+        for frame in self._frames:
+            mapping: Dict = getattr(frame, attr)
+            out.append(mapping.get(ring, 0))
+        return np.array(out, dtype=np.float64)
+
+    def rings(self) -> List[Tuple[int, int]]:
+        seen: Dict[Tuple[int, int], None] = {}
+        for frame in self._frames:
+            for ring in frame.vnodes_per_ring:
+                seen.setdefault(ring, None)
+        return sorted(seen)
+
+    def query_load_series(self, ring: Tuple[int, int]) -> np.ndarray:
+        """Fig. 4 series: average per-server query load of one ring."""
+        return np.array(
+            [f.query_load_per_server(ring) for f in self._frames],
+            dtype=np.float64,
+        )
+
+    def vnode_histogram(self, epoch_index: int = -1) -> Dict[int, int]:
+        """Fig. 2 snapshot: vnodes per server at one epoch."""
+        return dict(self._frames[epoch_index].vnodes_per_server)
+
+    def storage_fraction_series(self) -> np.ndarray:
+        return np.array(
+            [f.storage_fraction for f in self._frames], dtype=np.float64
+        )
+
+    def cumulative_insert_failures(self) -> np.ndarray:
+        return np.cumsum(self.series("insert_failures"))
+
+    def total_rent_paid(self) -> float:
+        """Sum over epochs of mean price × vnodes — total cost proxy."""
+        return float(
+            sum(f.mean_price * f.vnodes_total for f in self._frames)
+        )
+
+    def total_bytes_moved(self) -> int:
+        """Cumulative maintenance traffic (replication + migration)."""
+        return int(
+            sum(f.replication_bytes + f.migration_bytes for f in self._frames)
+        )
+
+    def action_totals(self) -> Dict[str, int]:
+        return {
+            "repairs": int(self.series("repairs").sum()),
+            "economic_replications": int(
+                self.series("economic_replications").sum()
+            ),
+            "migrations": int(self.series("migrations").sum()),
+            "suicides": int(self.series("suicides").sum()),
+            "deferred": int(self.series("deferred").sum()),
+        }
+
+
+def load_balance_index(loads: Sequence[float]) -> float:
+    """Jain's fairness index of per-server loads: 1.0 = perfectly even.
+
+    Used to quantify the Fig. 4 claim that "the query load per server
+    remains quite balanced despite the variations in the total load".
+    """
+    arr = np.asarray(list(loads), dtype=np.float64)
+    if arr.size == 0:
+        return 1.0
+    total = arr.sum()
+    if total == 0:
+        return 1.0
+    return float(total * total / (arr.size * np.square(arr).sum()))

@@ -1,0 +1,107 @@
+"""Plain-text reporting of simulation results.
+
+The benchmark harness must *print* the rows/series each figure plots;
+these helpers render epoch series and summary tables as aligned ASCII,
+so ``pytest benchmarks/ --benchmark-only -s`` regenerates the paper's
+evaluation in the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.metrics import MetricsLog
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        cells.append([
+            f"{v:.4g}" if isinstance(v, float) else str(v) for v in row
+        ])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def sample_epochs(n_epochs: int, points: int = 20) -> List[int]:
+    """Pick ~``points`` evenly spaced epoch indices, always including ends."""
+    if n_epochs <= 0:
+        return []
+    if n_epochs <= points:
+        return list(range(n_epochs))
+    idx = np.linspace(0, n_epochs - 1, points)
+    return sorted(set(int(round(i)) for i in idx))
+
+
+def series_table(log: MetricsLog,
+                 columns: Dict[str, np.ndarray],
+                 points: int = 20) -> str:
+    """Tabulate named epoch series at sampled epochs."""
+    epochs = log.epochs()
+    picks = sample_epochs(len(epochs), points)
+    headers = ["epoch"] + list(columns)
+    rows = []
+    for i in picks:
+        row: List[object] = [epochs[i]]
+        for series in columns.values():
+            row.append(float(series[i]))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def histogram_table(values: Dict[int, int], *,
+                    key_header: str = "server",
+                    value_header: str = "vnodes",
+                    bins: int = 10) -> str:
+    """Bucket a per-server histogram into a compact distribution table."""
+    if not values:
+        return "(empty)"
+    counts = np.array(sorted(values.values()), dtype=np.float64)
+    lo, hi = counts.min(), counts.max()
+    if lo == hi:
+        return format_table(
+            [f"{value_header} per {key_header}", "servers"],
+            [[f"{int(lo)}", len(counts)]],
+        )
+    edges = np.linspace(lo, hi + 1e-9, bins + 1)
+    rows = []
+    for i in range(bins):
+        in_bin = int(((counts >= edges[i]) & (counts < edges[i + 1])).sum())
+        rows.append([f"[{edges[i]:.1f}, {edges[i + 1]:.1f})", in_bin])
+    return format_table(
+        [f"{value_header} per {key_header}", "servers"], rows
+    )
+
+
+def summarize(log: MetricsLog) -> str:
+    """One-paragraph run summary used by every bench footer."""
+    last = log.last
+    actions = log.action_totals()
+    lines = [
+        f"epochs: {len(log)}",
+        f"final vnodes: {last.vnodes_total} on {last.live_servers} servers",
+        f"final storage: {last.storage_fraction:.1%} "
+        f"({last.storage_used}/{last.storage_capacity} bytes)",
+        "actions: "
+        + ", ".join(f"{k}={v}" for k, v in actions.items()),
+        f"final prices: min={last.min_price:.4f} "
+        f"mean={last.mean_price:.4f} max={last.max_price:.4f}",
+        f"unsatisfied partitions (last epoch): {last.unsatisfied_partitions}",
+        f"lost partitions (last epoch): {last.lost_partitions}",
+    ]
+    return "\n".join(lines)

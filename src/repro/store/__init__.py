@@ -1,0 +1,53 @@
+"""Storage substrate: replica catalog, transfers, consistency, KV engine."""
+
+from repro.store.consistency import (
+    DEFAULT_CONSISTENCY,
+    ConsistencyError,
+    ConsistencyModel,
+)
+from repro.store.kvstore import (
+    KVStore,
+    NoReplicaError,
+    ReadResult,
+    StoreError,
+)
+from repro.store.quorum import (
+    Level,
+    QuorumError,
+    QuorumKVStore,
+    QuorumReadResult,
+    QuorumWriteResult,
+    Versioned,
+)
+from repro.store.replica import ReplicaCatalog, ReplicaError, ReplicaKey
+from repro.store.transfer import (
+    TransferEngine,
+    TransferKind,
+    TransferOutcome,
+    TransferResult,
+    TransferStats,
+)
+
+__all__ = [
+    "ConsistencyError",
+    "ConsistencyModel",
+    "DEFAULT_CONSISTENCY",
+    "KVStore",
+    "Level",
+    "QuorumError",
+    "QuorumKVStore",
+    "QuorumReadResult",
+    "QuorumWriteResult",
+    "Versioned",
+    "NoReplicaError",
+    "ReadResult",
+    "ReplicaCatalog",
+    "ReplicaError",
+    "ReplicaKey",
+    "StoreError",
+    "TransferEngine",
+    "TransferKind",
+    "TransferOutcome",
+    "TransferResult",
+    "TransferStats",
+]

@@ -1,0 +1,81 @@
+"""Consistency-cost model for write propagation across replicas.
+
+Before replicating, a virtual node must verify its popularity
+"compensates for the increased network cost for data consistency"
+(§II-C): every additional replica means every write must be shipped to
+one more server over its access link.  This module prices that cost so
+the replicate decision can weigh it against expected query revenue.
+
+Access links are the assumed bottleneck (§II-A), so the cost of
+propagating a write is per-replica and independent of server distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ConsistencyError(ValueError):
+    """Raised for invalid consistency-model parameters."""
+
+
+@dataclass(frozen=True)
+class ConsistencyModel:
+    """Per-epoch cost of keeping ``n`` replicas of a partition in sync.
+
+    ``write_fraction`` — share of a partition's queries that are writes
+    (each write is propagated to all other replicas).
+    ``unit_cost`` — virtual currency charged per propagated write, the
+    access-link price of shipping one update.
+    ``base_sync_cost`` — fixed per-replica-pair anti-entropy cost per
+    epoch (background synchronisation), paid even without writes.
+    """
+
+    write_fraction: float = 0.1
+    unit_cost: float = 0.001
+    base_sync_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ConsistencyError(
+                f"write_fraction must be in [0, 1], got {self.write_fraction}"
+            )
+        if self.unit_cost < 0:
+            raise ConsistencyError(
+                f"unit_cost must be >= 0, got {self.unit_cost}"
+            )
+        if self.base_sync_cost < 0:
+            raise ConsistencyError(
+                f"base_sync_cost must be >= 0, got {self.base_sync_cost}"
+            )
+
+    def epoch_cost(self, queries: float, replicas: int) -> float:
+        """Total consistency cost of one partition for one epoch.
+
+        With ``replicas`` copies, each of the ``queries·write_fraction``
+        writes is propagated to ``replicas - 1`` other servers.
+        """
+        if replicas < 0:
+            raise ConsistencyError(f"replicas must be >= 0, got {replicas}")
+        if queries < 0:
+            raise ConsistencyError(f"queries must be >= 0, got {queries}")
+        if replicas <= 1:
+            return 0.0
+        fanout = replicas - 1
+        write_cost = queries * self.write_fraction * self.unit_cost * fanout
+        sync_cost = self.base_sync_cost * fanout
+        return write_cost + sync_cost
+
+    def marginal_cost(self, queries: float, replicas: int) -> float:
+        """Extra per-epoch cost of going from ``replicas`` to one more.
+
+        This is the quantity the §II-C replicate check compares against
+        the candidate's rent and the partition's surplus.
+        """
+        return self.epoch_cost(queries, replicas + 1) - self.epoch_cost(
+            queries, replicas
+        )
+
+
+#: Read-mostly default used by the evaluation scenarios.
+DEFAULT_CONSISTENCY = ConsistencyModel()

@@ -1,0 +1,248 @@
+"""Quorum reads/writes with per-replica versions and read repair.
+
+The economy prices the network cost of keeping replicas consistent
+(§II-C); this module supplies the consistency substrate itself, in the
+Dynamo tradition the paper builds on [5]: every replica holds its own
+versioned copy, writes succeed once ``W`` replicas acknowledge, reads
+consult ``R`` replicas and return the freshest version (optionally
+repairing stale copies), and ``R + W > N`` yields read-your-writes.
+
+Unlike :class:`~repro.store.kvstore.KVStore` (which models replicas as
+byte-identical and is the economy's data plane), the quorum store keeps
+*physically separate* per-server copies so staleness, divergence after
+failures, and repair are all observable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.location import Location, diversity
+from repro.cluster.topology import Cloud
+from repro.ring.hashing import Key
+from repro.ring.partition import PartitionId
+from repro.ring.virtualring import RingSet
+from repro.store.replica import ReplicaCatalog
+
+
+class QuorumError(RuntimeError):
+    """Raised when a quorum cannot be assembled."""
+
+
+class StaleRead(Exception):
+    """Never raised; documents that ONE-level reads may be stale."""
+
+
+class Level(enum.Enum):
+    """Per-operation consistency level."""
+
+    ONE = "one"
+    QUORUM = "quorum"
+    ALL = "all"
+
+    def required(self, n: int) -> int:
+        """Acks needed out of ``n`` replicas."""
+        if n <= 0:
+            return 1
+        if self is Level.ONE:
+            return 1
+        if self is Level.QUORUM:
+            return n // 2 + 1
+        return n
+
+
+@dataclass(frozen=True)
+class Versioned:
+    """One replica's copy of one key."""
+
+    value: Optional[bytes]  # None = tombstone
+    version: int
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.value is None
+
+
+@dataclass(frozen=True)
+class QuorumReadResult:
+    """Outcome of a quorum read."""
+
+    value: Optional[bytes]
+    version: int
+    contacted: Tuple[int, ...]
+    stale_replicas: Tuple[int, ...]
+
+    @property
+    def found(self) -> bool:
+        return self.value is not None
+
+
+@dataclass(frozen=True)
+class QuorumWriteResult:
+    """Outcome of a quorum write."""
+
+    version: int
+    acked: Tuple[int, ...]
+    missed: Tuple[int, ...]
+
+
+class QuorumKVStore:
+    """Per-replica versioned store with quorum operations."""
+
+    def __init__(self, cloud: Cloud, rings: RingSet,
+                 catalog: ReplicaCatalog, *,
+                 read_repair: bool = True) -> None:
+        self._cloud = cloud
+        self._rings = rings
+        self._catalog = catalog
+        self._read_repair = read_repair
+        # (server, partition) -> key -> Versioned
+        self._copies: Dict[Tuple[int, PartitionId], Dict[bytes, Versioned]] = {}
+        self._next_version: Dict[Tuple[PartitionId, bytes], int] = {}
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _key_bytes(self, key: Key) -> bytes:
+        if isinstance(key, bytes):
+            return key
+        if isinstance(key, str):
+            return key.encode("utf-8")
+        return int(key).to_bytes(16, "big", signed=True)
+
+    def _route(self, app_id: int, ring_id: int, key: Key) -> PartitionId:
+        return self._rings.ring(app_id, ring_id).lookup(key).pid
+
+    def _live_replicas(self, pid: PartitionId,
+                       client: Optional[Location]) -> List[int]:
+        """Live replica servers, closest to the client first."""
+        live = [
+            sid
+            for sid in self._catalog.servers_of(pid)
+            if sid in self._cloud and self._cloud.server(sid).alive
+        ]
+        if client is not None:
+            live.sort(
+                key=lambda sid: diversity(
+                    client, self._cloud.server(sid).location
+                )
+            )
+        return live
+
+    def _copy(self, sid: int, pid: PartitionId) -> Dict[bytes, Versioned]:
+        return self._copies.setdefault((sid, pid), {})
+
+    # -- operations -----------------------------------------------------------
+
+    def put(self, app_id: int, ring_id: int, key: Key, value: bytes, *,
+            level: Level = Level.QUORUM,
+            client: Optional[Location] = None) -> QuorumWriteResult:
+        """Write ``value``; succeeds when ``level`` many replicas ack.
+
+        Dead replicas miss the write and stay stale until read repair
+        or a later write reaches them — the divergence window the
+        consistency-cost model charges for.
+        """
+        if not isinstance(value, bytes):
+            raise TypeError(f"value must be bytes, got {type(value).__name__}")
+        return self._write(app_id, ring_id, key, value, level, client)
+
+    def delete(self, app_id: int, ring_id: int, key: Key, *,
+               level: Level = Level.QUORUM,
+               client: Optional[Location] = None) -> QuorumWriteResult:
+        """Tombstone ``key`` under the same quorum rules as a write."""
+        return self._write(app_id, ring_id, key, None, level, client)
+
+    def _write(self, app_id: int, ring_id: int, key: Key,
+               value: Optional[bytes], level: Level,
+               client: Optional[Location]) -> QuorumWriteResult:
+        pid = self._route(app_id, ring_id, key)
+        kb = self._key_bytes(key)
+        all_replicas = self._catalog.servers_of(pid)
+        live = self._live_replicas(pid, client)
+        need = level.required(len(all_replicas))
+        if len(live) < need:
+            raise QuorumError(
+                f"write quorum {need}/{len(all_replicas)} unreachable "
+                f"for {pid}: only {len(live)} live replicas"
+            )
+        vkey = (pid, kb)
+        version = self._next_version.get(vkey, 0) + 1
+        self._next_version[vkey] = version
+        stamped = Versioned(value=value, version=version)
+        for sid in live:
+            self._copy(sid, pid)[kb] = stamped
+        missed = tuple(sid for sid in all_replicas if sid not in live)
+        return QuorumWriteResult(
+            version=version, acked=tuple(live), missed=missed
+        )
+
+    def get(self, app_id: int, ring_id: int, key: Key, *,
+            level: Level = Level.QUORUM,
+            client: Optional[Location] = None) -> QuorumReadResult:
+        """Read ``key`` from ``level`` many replicas; freshest wins.
+
+        With ``read_repair`` enabled (default), contacted replicas
+        holding older versions are updated in place, Dynamo-style.
+        """
+        pid = self._route(app_id, ring_id, key)
+        kb = self._key_bytes(key)
+        all_replicas = self._catalog.servers_of(pid)
+        live = self._live_replicas(pid, client)
+        need = level.required(len(all_replicas))
+        if len(live) < need:
+            raise QuorumError(
+                f"read quorum {need}/{len(all_replicas)} unreachable "
+                f"for {pid}: only {len(live)} live replicas"
+            )
+        contacted = live[:need]
+        freshest: Optional[Versioned] = None
+        holders: Dict[int, int] = {}
+        for sid in contacted:
+            copy = self._copy(sid, pid).get(kb)
+            holders[sid] = copy.version if copy else -1
+            if copy is not None and (
+                freshest is None or copy.version > freshest.version
+            ):
+                freshest = copy
+        if freshest is None:
+            return QuorumReadResult(
+                value=None, version=0,
+                contacted=tuple(contacted), stale_replicas=(),
+            )
+        stale = tuple(
+            sid for sid, v in holders.items() if v < freshest.version
+        )
+        if self._read_repair and stale:
+            for sid in stale:
+                self._copy(sid, pid)[kb] = freshest
+        value = None if freshest.is_tombstone else freshest.value
+        return QuorumReadResult(
+            value=value,
+            version=freshest.version,
+            contacted=tuple(contacted),
+            stale_replicas=stale,
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    def replica_version(self, app_id: int, ring_id: int, key: Key,
+                        server_id: int) -> int:
+        """The version one replica holds (-1 when it has no copy)."""
+        pid = self._route(app_id, ring_id, key)
+        copy = self._copy(server_id, pid).get(self._key_bytes(key))
+        return copy.version if copy is not None else -1
+
+    def divergence(self, app_id: int, ring_id: int, key: Key) -> int:
+        """Version gap between the freshest and stalest replica copy."""
+        pid = self._route(app_id, ring_id, key)
+        kb = self._key_bytes(key)
+        versions = [
+            (self._copy(sid, pid).get(kb).version
+             if self._copy(sid, pid).get(kb) else -1)
+            for sid in self._catalog.servers_of(pid)
+        ]
+        if not versions:
+            return 0
+        return max(versions) - min(versions)

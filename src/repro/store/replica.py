@@ -1,0 +1,203 @@
+"""Replica catalog: which servers hold a copy of which partition.
+
+The catalog is the ground truth the economy reasons over: eq. 2
+availability is computed over a partition's replica set, and every
+replicate / migrate / suicide decision is a catalog mutation with
+storage accounting on the affected servers.
+
+Each replica corresponds to one *virtual node* in the paper's terms —
+an agent responsible for one copy of one partition on one server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.cluster.topology import Cloud
+from repro.ring.partition import Partition, PartitionId
+
+
+class ReplicaError(ValueError):
+    """Raised for catalog misuse (duplicate or missing replicas)."""
+
+
+@dataclass(frozen=True, order=True)
+class ReplicaKey:
+    """Identity of one replica: (partition, hosting server)."""
+
+    pid: PartitionId
+    server_id: int
+
+    def __str__(self) -> str:
+        return f"{self.pid}@s{self.server_id}"
+
+
+class ReplicaCatalog:
+    """Bidirectional partition ↔ server replica index with byte accounting.
+
+    Mutations keep three invariants:
+
+    * a (partition, server) pair appears at most once;
+    * ``server.storage_used`` equals the sum of the sizes of the
+      partitions it hosts (enforced via allocate/free on every change);
+    * the per-server index and per-partition index stay mirror images.
+    """
+
+    def __init__(self, cloud: Cloud) -> None:
+        self._cloud = cloud
+        self._servers_of: Dict[PartitionId, List[int]] = {}
+        self._partitions_on: Dict[int, Set[PartitionId]] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def servers_of(self, pid: PartitionId) -> List[int]:
+        """Server ids holding a replica of ``pid``, in placement order."""
+        return list(self._servers_of.get(pid, ()))
+
+    def partitions_on(self, server_id: int) -> List[PartitionId]:
+        return sorted(self._partitions_on.get(server_id, ()))
+
+    def replica_count(self, pid: PartitionId) -> int:
+        return len(self._servers_of.get(pid, ()))
+
+    def vnode_count(self, server_id: int) -> int:
+        """Number of virtual nodes (replicas) hosted by one server."""
+        return len(self._partitions_on.get(server_id, ()))
+
+    def has_replica(self, pid: PartitionId, server_id: int) -> bool:
+        return server_id in self._servers_of.get(pid, ())
+
+    def partitions(self) -> List[PartitionId]:
+        return list(self._servers_of.keys())
+
+    def replicas(self) -> Iterator[ReplicaKey]:
+        for pid, servers in self._servers_of.items():
+            for sid in servers:
+                yield ReplicaKey(pid, sid)
+
+    @property
+    def total_replicas(self) -> int:
+        return sum(len(s) for s in self._servers_of.values())
+
+    # -- mutations -----------------------------------------------------------
+
+    def place(self, partition: Partition, server_id: int) -> ReplicaKey:
+        """Create a replica of ``partition`` on ``server_id``.
+
+        Allocates the partition's bytes on the server; raises if the
+        server is down, full, or already holds a replica.
+        """
+        pid = partition.pid
+        if self.has_replica(pid, server_id):
+            raise ReplicaError(f"{pid} already has a replica on {server_id}")
+        server = self._cloud.server(server_id)
+        server.allocate_storage(partition.size)
+        self._servers_of.setdefault(pid, []).append(server_id)
+        self._partitions_on.setdefault(server_id, set()).add(pid)
+        return ReplicaKey(pid, server_id)
+
+    def drop(self, partition: Partition, server_id: int) -> None:
+        """Remove the replica of ``partition`` from ``server_id``."""
+        pid = partition.pid
+        if not self.has_replica(pid, server_id):
+            raise ReplicaError(f"{pid} has no replica on {server_id}")
+        if server_id in self._cloud:
+            self._cloud.server(server_id).free_storage(partition.size)
+        self._servers_of[pid].remove(server_id)
+        if not self._servers_of[pid]:
+            del self._servers_of[pid]
+        self._partitions_on[server_id].discard(pid)
+        if not self._partitions_on[server_id]:
+            del self._partitions_on[server_id]
+
+    def move(self, partition: Partition, src: int, dst: int) -> ReplicaKey:
+        """Migrate one replica between servers atomically."""
+        if not self.has_replica(partition.pid, src):
+            raise ReplicaError(f"{partition.pid} has no replica on {src}")
+        key = self.place(partition, dst)
+        self.drop(partition, src)
+        return key
+
+    def grow_replicas(self, pid: PartitionId, nbytes: int) -> None:
+        """Account ``nbytes`` of new data on every replica's server.
+
+        Called by the insert path *after* the partition object grew; the
+        catalog only mirrors the growth onto server storage counters.
+        """
+        if nbytes < 0:
+            raise ReplicaError(f"cannot grow by negative bytes: {nbytes}")
+        for sid in self._servers_of.get(pid, ()):
+            self._cloud.server(sid).allocate_storage(nbytes)
+
+    def can_grow_replicas(self, pid: PartitionId, nbytes: int) -> bool:
+        """True when every hosting server can absorb ``nbytes`` more."""
+        servers = self._servers_of.get(pid, ())
+        if not servers:
+            return False
+        return all(
+            self._cloud.server(sid).can_store(nbytes) for sid in servers
+        )
+
+    def drop_server(self, server_id: int) -> List[PartitionId]:
+        """Forget every replica on a failed server (bytes die with it).
+
+        Storage is *not* freed on the server object — the machine is
+        gone; the catalog simply stops referencing it.  Returns the
+        partitions that lost a replica so agents can re-protect them.
+        """
+        lost = sorted(self._partitions_on.pop(server_id, ()))
+        for pid in lost:
+            self._servers_of[pid].remove(server_id)
+            if not self._servers_of[pid]:
+                del self._servers_of[pid]
+        return lost
+
+    def split_partition(self, parent: Partition, low: Partition,
+                        high: Partition) -> None:
+        """Re-home a split: every parent replica becomes low+high replicas.
+
+        The byte deltas are already consistent (children conserve the
+        parent's size), so servers see no net storage change beyond
+        rounding of the share split.
+        """
+        servers = self.servers_of(parent.pid)
+        if not servers:
+            raise ReplicaError(f"{parent.pid} has no replicas to split")
+        for sid in servers:
+            self.drop(parent, sid)
+            server = self._cloud.server(sid)
+            server.allocate_storage(low.size + high.size)
+            self._servers_of.setdefault(low.pid, []).append(sid)
+            self._servers_of.setdefault(high.pid, []).append(sid)
+            self._partitions_on.setdefault(sid, set()).update(
+                (low.pid, high.pid)
+            )
+
+    # -- integrity ------------------------------------------------------------
+
+    def check_consistency(self, partitions: Dict[PartitionId, Partition]
+                          ) -> None:
+        """Verify both indexes mirror each other and byte accounting holds."""
+        for pid, servers in self._servers_of.items():
+            if len(set(servers)) != len(servers):
+                raise ReplicaError(f"duplicate replica entries for {pid}")
+            for sid in servers:
+                if pid not in self._partitions_on.get(sid, ()):
+                    raise ReplicaError(
+                        f"index mismatch: {pid} not in server {sid} view"
+                    )
+        for sid, pids in self._partitions_on.items():
+            for pid in pids:
+                if sid not in self._servers_of.get(pid, ()):
+                    raise ReplicaError(
+                        f"index mismatch: server {sid} not in {pid} view"
+                    )
+            if sid in self._cloud:
+                expected = sum(partitions[pid].size for pid in pids)
+                actual = self._cloud.server(sid).storage_used
+                if expected != actual:
+                    raise ReplicaError(
+                        f"server {sid} storage mismatch: "
+                        f"catalog={expected}, server={actual}"
+                    )

@@ -1,0 +1,183 @@
+"""Replica transfers under the paper's per-epoch bandwidth budgets.
+
+Every server reserves 300 MB/epoch for replication and 100 MB/epoch for
+migration (§III-A).  A transfer succeeds only when *both* endpoints have
+enough remaining budget of the right class this epoch; otherwise the
+requesting virtual node must retry in a later epoch.  Completed
+transfers apply instantly, as the paper assumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.server import BandwidthBudget, CapacityError, Server
+from repro.cluster.topology import Cloud
+from repro.ring.partition import Partition
+from repro.store.replica import ReplicaCatalog, ReplicaError
+
+
+class TransferKind(enum.Enum):
+    """Which bandwidth budget a transfer draws from."""
+
+    REPLICATION = "replication"
+    MIGRATION = "migration"
+
+
+class TransferOutcome(enum.Enum):
+    COMPLETED = "completed"
+    NO_SOURCE_BANDWIDTH = "no_source_bandwidth"
+    NO_DEST_BANDWIDTH = "no_dest_bandwidth"
+    NO_DEST_STORAGE = "no_dest_storage"
+    DEST_DOWN = "dest_down"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one attempted replica transfer."""
+
+    kind: TransferKind
+    outcome: TransferOutcome
+    pid: object
+    src: Optional[int]
+    dst: int
+    nbytes: int
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is TransferOutcome.COMPLETED
+
+
+@dataclass
+class TransferStats:
+    """Aggregate transfer accounting for one epoch (reset by the engine)."""
+
+    replications: int = 0
+    migrations: int = 0
+    deferred: int = 0
+    bytes_moved: int = 0
+    replication_bytes: int = 0
+    migration_bytes: int = 0
+    failures: List[TransferResult] = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.replications = 0
+        self.migrations = 0
+        self.deferred = 0
+        self.bytes_moved = 0
+        self.replication_bytes = 0
+        self.migration_bytes = 0
+        self.failures.clear()
+
+
+def _budget(server: Server, kind: TransferKind) -> BandwidthBudget:
+    if kind is TransferKind.REPLICATION:
+        return server.replication_budget
+    return server.migration_budget
+
+
+class TransferEngine:
+    """Executes replicate/migrate requests against catalog and budgets."""
+
+    def __init__(self, cloud: Cloud, catalog: ReplicaCatalog) -> None:
+        self._cloud = cloud
+        self._catalog = catalog
+        self.stats = TransferStats()
+
+    def begin_epoch(self) -> None:
+        self.stats.reset()
+
+    def _check_endpoints(self, partition: Partition, src_id: Optional[int],
+                         dst_id: int, kind: TransferKind
+                         ) -> Optional[TransferOutcome]:
+        """Validate a transfer; reserve bandwidth on success."""
+        dst = self._cloud.server(dst_id)
+        if not dst.alive:
+            return TransferOutcome.DEST_DOWN
+        if not dst.can_store(partition.size):
+            return TransferOutcome.NO_DEST_STORAGE
+        src_budget = None
+        if src_id is not None:
+            src_budget = _budget(self._cloud.server(src_id), kind)
+            if not src_budget.can_reserve(partition.size):
+                return TransferOutcome.NO_SOURCE_BANDWIDTH
+        dst_budget = _budget(dst, kind)
+        if not dst_budget.can_reserve(partition.size):
+            return TransferOutcome.NO_DEST_BANDWIDTH
+        if src_budget is not None:
+            src_budget.reserve(partition.size)
+        dst_budget.reserve(partition.size)
+        return None
+
+    def replicate(self, partition: Partition, src_id: Optional[int],
+                  dst_id: int) -> TransferResult:
+        """Copy a partition replica from ``src_id`` to ``dst_id``.
+
+        ``src_id`` may be ``None`` when re-protecting a partition whose
+        only surviving copy sits on an unknown/already-counted source
+        (e.g. initial seeding); only the destination budget is charged
+        then.
+        """
+        kind = TransferKind.REPLICATION
+        if self._catalog.has_replica(partition.pid, dst_id):
+            result = TransferResult(
+                kind, TransferOutcome.REJECTED, partition.pid,
+                src_id, dst_id, partition.size,
+            )
+            self.stats.failures.append(result)
+            return result
+        blocked = self._check_endpoints(partition, src_id, dst_id, kind)
+        if blocked is not None:
+            result = TransferResult(
+                kind, blocked, partition.pid, src_id, dst_id, partition.size
+            )
+            self.stats.deferred += 1
+            self.stats.failures.append(result)
+            return result
+        self._catalog.place(partition, dst_id)
+        self.stats.replications += 1
+        self.stats.bytes_moved += partition.size
+        self.stats.replication_bytes += partition.size
+        return TransferResult(
+            kind, TransferOutcome.COMPLETED, partition.pid,
+            src_id, dst_id, partition.size,
+        )
+
+    def migrate(self, partition: Partition, src_id: int,
+                dst_id: int) -> TransferResult:
+        """Move a replica from ``src_id`` to ``dst_id``."""
+        kind = TransferKind.MIGRATION
+        if not self._catalog.has_replica(partition.pid, src_id):
+            raise ReplicaError(
+                f"{partition.pid} has no replica on {src_id} to migrate"
+            )
+        if self._catalog.has_replica(partition.pid, dst_id):
+            result = TransferResult(
+                kind, TransferOutcome.REJECTED, partition.pid,
+                src_id, dst_id, partition.size,
+            )
+            self.stats.failures.append(result)
+            return result
+        blocked = self._check_endpoints(partition, src_id, dst_id, kind)
+        if blocked is not None:
+            result = TransferResult(
+                kind, blocked, partition.pid, src_id, dst_id, partition.size
+            )
+            self.stats.deferred += 1
+            self.stats.failures.append(result)
+            return result
+        self._catalog.move(partition, src_id, dst_id)
+        self.stats.migrations += 1
+        self.stats.bytes_moved += partition.size
+        self.stats.migration_bytes += partition.size
+        return TransferResult(
+            kind, TransferOutcome.COMPLETED, partition.pid,
+            src_id, dst_id, partition.size,
+        )
+
+    def suicide(self, partition: Partition, server_id: int) -> None:
+        """Delete one replica (no bandwidth needed)."""
+        self._catalog.drop(partition, server_id)

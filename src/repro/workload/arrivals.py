@@ -1,0 +1,104 @@
+"""Query arrival processes: Poisson epochs with pluggable rate profiles.
+
+The evaluation draws the number of queries per epoch from a Poisson
+distribution with mean λ = 3000 (§III-A); the Slashdot experiment
+(§III-D) replaces the constant rate with a spike profile.  A rate
+profile is any callable ``epoch -> λ``; this module provides the ones
+the paper uses plus composition helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+RateProfile = Callable[[int], float]
+
+
+class ArrivalError(ValueError):
+    """Raised for invalid arrival-process parameters."""
+
+
+@dataclass(frozen=True)
+class ConstantRate:
+    """λ identical in every epoch — the base scenario's 3000/epoch."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ArrivalError(f"rate must be >= 0, got {self.rate}")
+
+    def __call__(self, epoch: int) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearRate:
+    """Rate interpolated linearly between (epoch, rate) breakpoints.
+
+    Before the first breakpoint the first rate holds; after the last,
+    the last rate holds.  This is the building block for spike shapes.
+    """
+
+    points: Sequence
+
+    def __post_init__(self) -> None:
+        pts = list(self.points)
+        if not pts:
+            raise ArrivalError("need at least one breakpoint")
+        epochs = [e for e, __ in pts]
+        if epochs != sorted(epochs) or len(set(epochs)) != len(epochs):
+            raise ArrivalError("breakpoint epochs must strictly increase")
+        for __, rate in pts:
+            if rate < 0:
+                raise ArrivalError(f"rate must be >= 0, got {rate}")
+
+    def __call__(self, epoch: int) -> float:
+        pts = list(self.points)
+        if epoch <= pts[0][0]:
+            return float(pts[0][1])
+        for (e0, r0), (e1, r1) in zip(pts, pts[1:]):
+            if e0 <= epoch <= e1:
+                if e1 == e0:
+                    return float(r1)
+                frac = (epoch - e0) / (e1 - e0)
+                return float(r0 + frac * (r1 - r0))
+        return float(pts[-1][1])
+
+
+def scaled(profile: RateProfile, factor: float) -> RateProfile:
+    """A profile multiplied by a constant factor (per-application share)."""
+    if factor < 0:
+        raise ArrivalError(f"factor must be >= 0, got {factor}")
+
+    def rate(epoch: int) -> float:
+        return profile(epoch) * factor
+
+    return rate
+
+
+class PoissonArrivals:
+    """Draws the per-epoch query count: ``Poisson(profile(epoch))``."""
+
+    def __init__(self, profile: RateProfile,
+                 rng: np.random.Generator) -> None:
+        self._profile = profile
+        self._rng = rng
+
+    def rate(self, epoch: int) -> float:
+        return self._profile(epoch)
+
+    def draw(self, epoch: int) -> int:
+        lam = self._profile(epoch)
+        if lam < 0:
+            raise ArrivalError(f"profile returned negative rate {lam}")
+        if lam == 0:
+            return 0
+        return int(self._rng.poisson(lam))
+
+    def series(self, epochs: int) -> np.ndarray:
+        """Convenience: the whole arrival series for a run."""
+        return np.array([self.draw(e) for e in range(epochs)], dtype=np.int64)

@@ -1,0 +1,39 @@
+"""The Slashdot-effect load profile of the Fig. 4 experiment.
+
+§III-D: "At epoch 100, the mean rate queries/epoch increases from 3000
+to 183000 in 25 epochs and then slowly decreases for 250 epochs until it
+reaches the initial rate of 3000."  The profile is a linear ramp up over
+25 epochs followed by a linear decay over 250 epochs back to baseline.
+"""
+
+from __future__ import annotations
+
+from repro.workload.arrivals import ArrivalError, PiecewiseLinearRate, RateProfile
+
+
+def slashdot_profile(*, base_rate: float = 3000.0,
+                     peak_rate: float = 183000.0,
+                     spike_epoch: int = 100,
+                     ramp_epochs: int = 25,
+                     decay_epochs: int = 250) -> RateProfile:
+    """Build the paper's Slashdot spike as a piecewise-linear profile."""
+    if base_rate < 0 or peak_rate < base_rate:
+        raise ArrivalError(
+            f"need 0 <= base_rate <= peak_rate, got {base_rate}, {peak_rate}"
+        )
+    if spike_epoch < 0:
+        raise ArrivalError(f"spike_epoch must be >= 0, got {spike_epoch}")
+    if ramp_epochs <= 0 or decay_epochs <= 0:
+        raise ArrivalError("ramp_epochs and decay_epochs must be > 0")
+    return PiecewiseLinearRate(
+        points=(
+            (0, base_rate),
+            (spike_epoch, base_rate),
+            (spike_epoch + ramp_epochs, peak_rate),
+            (spike_epoch + ramp_epochs + decay_epochs, base_rate),
+        )
+    )
+
+
+#: Ratio between the spike peak and the base rate in the paper: 61x.
+PAPER_SPIKE_FACTOR: float = 183000.0 / 3000.0

@@ -1,0 +1,149 @@
+"""Unit tests for the latency / communication-overhead models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.latency import (
+    DEFAULT_RTT_MS,
+    LatencyError,
+    LatencyModel,
+    OverheadLedger,
+    app_response_times,
+    expected_response_time,
+)
+from repro.cluster.location import Location
+from repro.cluster.server import make_server
+from repro.cluster.topology import Cloud, CloudLayout
+from repro.ring.virtualring import AvailabilityLevel, RingSet
+from repro.store.replica import ReplicaCatalog
+from repro.workload.clients import hotspot, uniform_geography
+
+LAYOUT = CloudLayout(
+    countries=2, countries_per_continent=1, datacenters_per_country=1,
+    rooms_per_datacenter=1, racks_per_room=1, servers_per_rack=2,
+)
+
+
+def setup():
+    cloud = Cloud()
+    cloud.add_server(make_server(0, Location(0, 0, 0, 0, 0, 0),
+                                 storage_capacity=10**9))
+    cloud.add_server(make_server(1, Location(1, 0, 0, 0, 0, 0),
+                                 storage_capacity=10**9))
+    rings = RingSet()
+    ring = rings.add_ring(0, 0, AvailabilityLevel(1.0, 2), 2,
+                          initial_size=10)
+    catalog = ReplicaCatalog(cloud)
+    for p in ring:
+        catalog.place(p, 0)
+        catalog.place(p, 1)
+    return cloud, ring, catalog
+
+
+class TestLatencyModel:
+    def test_defaults_are_monotone(self):
+        model = LatencyModel()
+        values = [model.rtt(d) for d in sorted(DEFAULT_RTT_MS)]
+        assert values == sorted(values)
+
+    def test_invalid_diversity(self):
+        with pytest.raises(LatencyError):
+            LatencyModel().rtt(5)
+
+    def test_non_monotone_rejected(self):
+        table = dict(DEFAULT_RTT_MS)
+        table[63] = 0.01
+        with pytest.raises(LatencyError):
+            LatencyModel(rtt_ms=table)
+
+    def test_missing_key_rejected(self):
+        table = dict(DEFAULT_RTT_MS)
+        del table[31]
+        with pytest.raises(LatencyError):
+            LatencyModel(rtt_ms=table)
+
+    def test_best_replica_prefers_close(self):
+        cloud, ring, catalog = setup()
+        model = LatencyModel()
+        client = Location(1, 0, 0, 0, 0, 5)  # continent 1
+        pid = ring.partitions()[0].pid
+        rtt = model.best_replica_rtt(client, cloud,
+                                     catalog.servers_of(pid))
+        # Closest replica is server 1, same continent/country but
+        # different server: diversity 1 -> 0.3ms.
+        assert rtt == pytest.approx(DEFAULT_RTT_MS[1])
+
+    def test_best_replica_skips_dead(self):
+        cloud, ring, catalog = setup()
+        cloud.server(1).fail()
+        model = LatencyModel()
+        client = Location(1, 0, 0, 0, 0, 5)
+        pid = ring.partitions()[0].pid
+        rtt = model.best_replica_rtt(client, cloud,
+                                     catalog.servers_of(pid))
+        assert rtt == pytest.approx(DEFAULT_RTT_MS[63])
+
+    def test_no_live_replica(self):
+        cloud, ring, catalog = setup()
+        model = LatencyModel()
+        with pytest.raises(LatencyError):
+            model.best_replica_rtt(Location(0, 0, 0, 0, 0, 0), cloud, [])
+
+
+class TestExpectedResponseTime:
+    def test_hotspot_geography(self):
+        cloud, ring, catalog = setup()
+        model = LatencyModel()
+        pid = ring.partitions()[0].pid
+        # All clients in country 0 -> replica on server 0 is local.
+        geo = hotspot(LAYOUT, 0, concentration=1.0)
+        rtt = expected_response_time(model, cloud, catalog, pid, geo)
+        assert rtt <= DEFAULT_RTT_MS[1]
+
+    def test_uniform_uses_server_population(self):
+        cloud, ring, catalog = setup()
+        model = LatencyModel()
+        pid = ring.partitions()[0].pid
+        rtt = expected_response_time(
+            model, cloud, catalog, pid, uniform_geography()
+        )
+        # Each of the two server-locations has a same-continent replica.
+        assert rtt <= DEFAULT_RTT_MS[1]
+
+    def test_app_summary(self):
+        cloud, ring, catalog = setup()
+        model = LatencyModel()
+        pids = [p.pid for p in ring]
+        stats = app_response_times(
+            model, cloud, catalog, pids, uniform_geography()
+        )
+        assert set(stats) == {"mean_ms", "p50_ms", "p95_ms", "max_ms"}
+        assert stats["mean_ms"] <= stats["max_ms"]
+
+    def test_app_summary_empty(self):
+        cloud, __, catalog = setup()
+        with pytest.raises(LatencyError):
+            app_response_times(
+                LatencyModel(), cloud, catalog, [], uniform_geography()
+            )
+
+
+class TestOverheadLedger:
+    def test_accumulates(self):
+        ledger = OverheadLedger()
+        ledger.record(100, 50)
+        ledger.record(10, 0)
+        assert ledger.replication_bytes == 110
+        assert ledger.migration_bytes == 50
+        assert ledger.total_bytes == 160
+        assert ledger.per_epoch() == pytest.approx(80.0)
+
+    def test_overhead_ratio(self):
+        ledger = OverheadLedger()
+        ledger.record(300, 100)
+        assert ledger.overhead_ratio(1000) == pytest.approx(0.4)
+        assert ledger.overhead_ratio(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(LatencyError):
+            OverheadLedger().record(-1, 0)

@@ -1,0 +1,75 @@
+"""Tests for the random-placement ablation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_placement import (
+    RandomScorer,
+    random_placement_decider,
+)
+from repro.core.board import PriceBoard
+from repro.sim.engine import Simulation
+from tests.core.test_placement import FOUR, build
+from tests.sim.test_engine import consistency_check, small_config
+
+
+class TestRandomScorer:
+    def test_respects_feasibility(self):
+        cloud, board = build(FOUR, storage=100)
+        cloud.server(2).allocate_storage(95)
+        scorer = RandomScorer(cloud, board, np.random.default_rng(0))
+        for __ in range(20):
+            candidate = scorer.best([0], need_bytes=50)
+            assert candidate.server_id in (1, 3)
+
+    def test_respects_max_rent(self):
+        cloud, board = build(FOUR, rents={0: 1.0, 1: 5.0, 2: 5.0, 3: 0.5})
+        scorer = RandomScorer(cloud, board, np.random.default_rng(0))
+        for __ in range(20):
+            candidate = scorer.best([0], need_bytes=1, max_rent=1.0)
+            assert candidate.server_id == 3
+
+    def test_returns_none_when_infeasible(self):
+        cloud, board = build(FOUR, storage=10)
+        scorer = RandomScorer(cloud, board, np.random.default_rng(0))
+        assert scorer.best([0], need_bytes=100) is None
+
+    def test_choice_varies(self):
+        cloud, board = build(FOUR)
+        scorer = RandomScorer(cloud, board, np.random.default_rng(0))
+        picks = {
+            scorer.best([0], need_bytes=1).server_id for __ in range(30)
+        }
+        assert len(picks) >= 2
+
+    def test_respects_budget_mask(self):
+        cloud, board = build(FOUR)
+        for sid in (2, 3):
+            cloud.server(sid).replication_budget.reserve(
+                cloud.server(sid).replication_budget.capacity
+            )
+        scorer = RandomScorer(cloud, board, np.random.default_rng(0))
+        for __ in range(10):
+            candidate = scorer.best([0], need_bytes=10, budget="replication")
+            assert candidate.server_id == 1
+
+
+class TestRandomPlacementDecider:
+    def test_meets_availability_eventually(self):
+        sim = Simulation(small_config(epochs=15),
+                         decider_factory=random_placement_decider)
+        log = sim.run()
+        assert log.last.unsatisfied_partitions == 0
+        consistency_check(sim)
+
+    def test_uses_more_replicas_than_diversity_aware(self):
+        """Random placement wastes replicas: reaching the same threshold
+        with low-diversity picks needs more copies on average."""
+        rand_sim = Simulation(small_config(seed=4, epochs=15),
+                              decider_factory=random_placement_decider)
+        rand_log = rand_sim.run()
+        econ_sim = Simulation(small_config(seed=4, epochs=15))
+        econ_log = econ_sim.run()
+        assert (
+            rand_log.last.vnodes_total >= econ_log.last.vnodes_total
+        )

@@ -1,0 +1,81 @@
+"""Unit tests for the confidence model."""
+
+import pytest
+
+from repro.cluster.confidence import (
+    ConfidenceError,
+    ConfidenceModel,
+    blended,
+    from_mapping,
+    uniform_confidence,
+)
+from repro.cluster.location import Location
+
+LOC = Location(0, 3, 0, 0, 0, 0)
+
+
+class TestUniform:
+    def test_default_is_one(self):
+        model = uniform_confidence()
+        assert model.for_server(0, LOC) == 1.0
+
+    def test_custom_base(self):
+        model = uniform_confidence(0.9)
+        assert model.for_server(5, LOC) == pytest.approx(0.9)
+
+    def test_invalid_base(self):
+        with pytest.raises(ConfidenceError):
+            uniform_confidence(1.2)
+
+
+class TestFactors:
+    def test_country_factor_multiplies(self):
+        model = uniform_confidence(0.8).with_country(3, 0.5)
+        assert model.for_server(0, LOC) == pytest.approx(0.4)
+
+    def test_other_country_unaffected(self):
+        model = uniform_confidence().with_country(9, 0.5)
+        assert model.for_server(0, LOC) == 1.0
+
+    def test_server_override_wins(self):
+        model = uniform_confidence().with_country(3, 0.5).with_server(0, 0.99)
+        assert model.for_server(0, LOC) == pytest.approx(0.99)
+
+    def test_with_methods_do_not_mutate(self):
+        base = uniform_confidence()
+        base.with_country(3, 0.5)
+        assert base.for_server(0, LOC) == 1.0
+
+    def test_invalid_country_factor(self):
+        with pytest.raises(ConfidenceError):
+            ConfidenceModel(country_factors={1: 2.0})
+
+
+class TestFromMapping:
+    def test_mapping_overrides(self):
+        model = from_mapping({1: 0.3}, default=0.7)
+        assert model.for_server(1, LOC) == pytest.approx(0.3)
+        assert model.for_server(2, LOC) == pytest.approx(0.7)
+
+    def test_invalid_value(self):
+        with pytest.raises(ConfidenceError):
+            from_mapping({1: -0.1})
+
+
+class TestBlended:
+    def test_geometric_mean_default(self):
+        assert blended(0.64, 1.0) == pytest.approx(0.8)
+
+    def test_weighted(self):
+        assert blended(1.0, 0.0, weight=0.25) == pytest.approx(0.25)
+
+    def test_punishes_imbalance(self):
+        assert blended(1.0, 0.01) < blended(0.5, 0.5)
+
+    def test_invalid_weight(self):
+        with pytest.raises(ConfidenceError):
+            blended(0.5, 0.5, weight=1.5)
+
+    def test_invalid_scores(self):
+        with pytest.raises(ConfidenceError):
+            blended(1.1, 0.5)

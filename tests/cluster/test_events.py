@@ -1,0 +1,157 @@
+"""Unit tests for cloud event schedules (arrivals, failures, outages)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.events import (
+    AddServers,
+    EventError,
+    EventSchedule,
+    RemoveServers,
+    ScopedOutage,
+    fig3_schedule,
+)
+from repro.cluster.topology import CloudLayout, build_cloud
+
+
+def tiny_layout():
+    return CloudLayout(
+        countries=2,
+        countries_per_continent=1,
+        datacenters_per_country=1,
+        rooms_per_datacenter=1,
+        racks_per_room=1,
+        servers_per_rack=5,
+    )
+
+
+class TestEventValidation:
+    def test_add_zero_count(self):
+        with pytest.raises(EventError):
+            AddServers(epoch=0, count=0)
+
+    def test_remove_negative_epoch(self):
+        with pytest.raises(EventError):
+            RemoveServers(epoch=-1, count=1)
+
+    def test_outage_depth_bounds(self):
+        with pytest.raises(EventError):
+            ScopedOutage(epoch=0, depth=6)
+        with pytest.raises(EventError):
+            ScopedOutage(epoch=0, depth=0)
+
+
+class TestAddServers:
+    def test_add_grows_cloud(self):
+        layout = tiny_layout()
+        cloud = build_cloud(layout)
+        schedule = EventSchedule([AddServers(epoch=3, count=4)], layout=layout)
+        added, removed = schedule.apply(3, cloud)
+        assert len(added) == 4
+        assert removed == []
+        assert len(cloud) == 14
+
+    def test_add_fires_only_at_its_epoch(self):
+        layout = tiny_layout()
+        cloud = build_cloud(layout)
+        schedule = EventSchedule([AddServers(epoch=3, count=4)], layout=layout)
+        assert schedule.apply(2, cloud) == ([], [])
+        assert len(cloud) == 10
+
+    def test_added_servers_have_custom_capacity(self):
+        layout = tiny_layout()
+        cloud = build_cloud(layout)
+        schedule = EventSchedule(
+            [AddServers(epoch=0, count=1, storage_capacity=123456)],
+            layout=layout,
+        )
+        added, __ = schedule.apply(0, cloud)
+        assert cloud.server(added[0]).storage_capacity == 123456
+
+
+class TestRemoveServers:
+    def test_remove_shrinks_cloud(self):
+        layout = tiny_layout()
+        cloud = build_cloud(layout)
+        schedule = EventSchedule(
+            [RemoveServers(epoch=0, count=3)],
+            layout=layout,
+            rng=np.random.default_rng(1),
+        )
+        __, removed = schedule.apply(0, cloud)
+        assert len(removed) == 3
+        assert len(cloud) == 7
+        for sid in removed:
+            assert sid not in cloud
+
+    def test_remove_excludes_recent_additions(self):
+        layout = tiny_layout()
+        cloud = build_cloud(layout)
+        schedule = EventSchedule(
+            [
+                AddServers(epoch=1, count=3),
+                RemoveServers(epoch=2, count=5),
+            ],
+            layout=layout,
+            rng=np.random.default_rng(0),
+        )
+        added, __ = schedule.apply(1, cloud)
+        __, removed = schedule.apply(2, cloud)
+        assert not set(added) & set(removed)
+
+    def test_remove_more_than_available(self):
+        layout = tiny_layout()
+        cloud = build_cloud(layout)
+        schedule = EventSchedule(
+            [RemoveServers(epoch=0, count=11)], layout=layout
+        )
+        with pytest.raises(EventError):
+            schedule.apply(0, cloud)
+
+
+class TestScopedOutage:
+    def test_outage_removes_a_whole_prefix(self):
+        layout = tiny_layout()
+        cloud = build_cloud(layout)
+        schedule = EventSchedule(
+            [ScopedOutage(epoch=0, depth=5)],  # one rack
+            layout=layout,
+            rng=np.random.default_rng(2),
+        )
+        __, removed = schedule.apply(0, cloud)
+        assert len(removed) == 5  # servers_per_rack
+        assert len(cloud) == 5
+
+    def test_country_outage(self):
+        layout = tiny_layout()
+        cloud = build_cloud(layout)
+        schedule = EventSchedule(
+            [ScopedOutage(epoch=0, depth=2)],
+            layout=layout,
+            rng=np.random.default_rng(2),
+        )
+        __, removed = schedule.apply(0, cloud)
+        assert len(removed) == 5  # one country of this layout
+
+
+class TestFig3Schedule:
+    def test_paper_schedule_shape(self):
+        schedule = fig3_schedule()
+        events = schedule.events
+        assert len(events) == 2
+        assert isinstance(events[0], AddServers)
+        assert events[0].epoch == 100 and events[0].count == 20
+        assert isinstance(events[1], RemoveServers)
+        assert events[1].epoch == 200 and events[1].count == 20
+
+    def test_log_records_actions(self):
+        layout = tiny_layout()
+        cloud = build_cloud(layout)
+        schedule = fig3_schedule(
+            add_epoch=0, remove_epoch=1, count=2, layout=layout,
+            rng=np.random.default_rng(0),
+        )
+        schedule.apply(0, cloud)
+        schedule.apply(1, cloud)
+        assert len(schedule.log.all_added) == 2
+        assert len(schedule.log.all_removed) == 2

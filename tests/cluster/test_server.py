@@ -1,0 +1,176 @@
+"""Unit tests for servers, storage accounting and bandwidth budgets."""
+
+import pytest
+
+from repro.cluster.location import Location
+from repro.cluster.server import (
+    DEFAULT_MIGRATION_BUDGET,
+    DEFAULT_REPLICATION_BUDGET,
+    GB,
+    MB,
+    BandwidthBudget,
+    CapacityError,
+    Server,
+    make_server,
+)
+
+LOC = Location(0, 0, 0, 0, 0, 0)
+
+
+class TestBandwidthBudget:
+    def test_reserve_and_available(self):
+        budget = BandwidthBudget(100)
+        budget.reserve(40)
+        assert budget.available == 60
+        assert budget.used == 40
+
+    def test_reserve_over_capacity(self):
+        budget = BandwidthBudget(100)
+        with pytest.raises(CapacityError):
+            budget.reserve(101)
+
+    def test_reserve_negative(self):
+        with pytest.raises(CapacityError):
+            BandwidthBudget(100).reserve(-1)
+
+    def test_all_or_nothing(self):
+        budget = BandwidthBudget(100)
+        budget.reserve(70)
+        assert not budget.can_reserve(31)
+        assert budget.can_reserve(30)
+
+    def test_release(self):
+        budget = BandwidthBudget(100)
+        budget.reserve(50)
+        budget.release(20)
+        assert budget.available == 70
+
+    def test_release_too_much(self):
+        budget = BandwidthBudget(100)
+        budget.reserve(10)
+        with pytest.raises(CapacityError):
+            budget.release(11)
+
+    def test_reset(self):
+        budget = BandwidthBudget(100)
+        budget.reserve(100)
+        budget.reset()
+        assert budget.available == 100
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            BandwidthBudget(-1)
+
+
+class TestServerConstruction:
+    def test_paper_default_budgets(self):
+        server = make_server(0, LOC)
+        assert server.replication_budget.capacity == 300 * MB
+        assert server.migration_budget.capacity == 100 * MB
+        assert DEFAULT_REPLICATION_BUDGET == 300 * MB
+        assert DEFAULT_MIGRATION_BUDGET == 100 * MB
+
+    def test_custom_budgets(self):
+        server = make_server(0, LOC, replication_budget=10, migration_budget=5)
+        assert server.replication_budget.capacity == 10
+        assert server.migration_budget.capacity == 5
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            make_server(0, LOC, confidence=1.5)
+
+    def test_zero_storage_rejected(self):
+        with pytest.raises(CapacityError):
+            make_server(0, LOC, storage_capacity=0)
+
+    def test_negative_rent_rejected(self):
+        with pytest.raises(ValueError):
+            make_server(0, LOC, monthly_rent=-1.0)
+
+
+class TestStorageAccounting:
+    def test_allocate_and_free(self):
+        server = make_server(0, LOC, storage_capacity=1000)
+        server.allocate_storage(400)
+        assert server.storage_used == 400
+        assert server.storage_available == 600
+        assert server.storage_usage == pytest.approx(0.4)
+        server.free_storage(150)
+        assert server.storage_used == 250
+
+    def test_allocate_beyond_capacity(self):
+        server = make_server(0, LOC, storage_capacity=1000)
+        with pytest.raises(CapacityError):
+            server.allocate_storage(1001)
+
+    def test_free_more_than_used(self):
+        server = make_server(0, LOC, storage_capacity=1000)
+        server.allocate_storage(10)
+        with pytest.raises(CapacityError):
+            server.free_storage(11)
+
+    def test_can_store(self):
+        server = make_server(0, LOC, storage_capacity=100)
+        assert server.can_store(100)
+        assert not server.can_store(101)
+
+    def test_dead_server_cannot_store(self):
+        server = make_server(0, LOC, storage_capacity=100)
+        server.fail()
+        assert not server.can_store(1)
+        with pytest.raises(CapacityError):
+            server.allocate_storage(1)
+
+
+class TestQueriesAndEpochs:
+    def test_query_load_fraction(self):
+        server = make_server(0, LOC, query_capacity=100)
+        server.record_queries(25)
+        assert server.query_load == pytest.approx(0.25)
+
+    def test_fractional_queries(self):
+        server = make_server(0, LOC, query_capacity=100)
+        server.record_queries(0.5)
+        server.record_queries(1.25)
+        assert server.queries_this_epoch == pytest.approx(1.75)
+
+    def test_negative_queries_rejected(self):
+        server = make_server(0, LOC)
+        with pytest.raises(ValueError):
+            server.record_queries(-1)
+
+    def test_overload_allows_load_above_one(self):
+        server = make_server(0, LOC, query_capacity=10)
+        server.record_queries(25)
+        assert server.query_load == pytest.approx(2.5)
+
+    def test_begin_epoch_resets_counters_and_budgets(self):
+        server = make_server(0, LOC)
+        server.record_queries(5)
+        server.replication_budget.reserve(10)
+        server.migration_budget.reserve(10)
+        server.begin_epoch()
+        assert server.queries_this_epoch == 0
+        assert server.replication_budget.used == 0
+        assert server.migration_budget.used == 0
+
+    def test_begin_epoch_preserves_storage(self):
+        server = make_server(0, LOC, storage_capacity=1000)
+        server.allocate_storage(123)
+        server.begin_epoch()
+        assert server.storage_used == 123
+
+    def test_fail_and_restore(self):
+        server = make_server(0, LOC, storage_capacity=1000)
+        server.allocate_storage(10)
+        server.fail()
+        assert not server.alive
+        server.restore()
+        assert server.alive
+        assert server.storage_used == 0
+
+    def test_str_shows_state(self):
+        server = make_server(3, LOC)
+        assert "Server#3" in str(server)
+        server.fail()
+        assert "DOWN" in str(server)

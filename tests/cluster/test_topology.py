@@ -1,0 +1,192 @@
+"""Unit tests for the cloud topology and the cached diversity matrix."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.location import Location, diversity
+from repro.cluster.server import make_server
+from repro.cluster.topology import (
+    PAPER_LAYOUT,
+    Cloud,
+    CloudLayout,
+    TopologyError,
+    build_cloud,
+    fresh_locations,
+)
+
+
+class TestCloudLayout:
+    def test_paper_layout_has_200_servers(self):
+        assert PAPER_LAYOUT.total_servers == 200
+
+    def test_paper_layout_structure(self):
+        locations = list(PAPER_LAYOUT.locations())
+        assert len(locations) == 200
+        assert len(set(locations)) == 200
+        # 10 countries over 5 continents (2 each).
+        continents = {l.continent for l in locations}
+        assert continents == set(range(5))
+        # 5 servers per rack.
+        racks = {}
+        for l in locations:
+            racks.setdefault(l.prefix(5), 0)
+            racks[l.prefix(5)] += 1
+        assert set(racks.values()) == {5}
+        assert len(racks) == 40  # 10 countries * 2 DCs * 1 room * 2 racks
+
+    def test_invalid_layout(self):
+        with pytest.raises(TopologyError):
+            CloudLayout(countries=0)
+
+    def test_custom_layout_count(self):
+        layout = CloudLayout(
+            countries=2,
+            countries_per_continent=1,
+            datacenters_per_country=1,
+            rooms_per_datacenter=1,
+            racks_per_room=1,
+            servers_per_rack=3,
+        )
+        assert layout.total_servers == 6
+
+
+def small_cloud(n=4):
+    cloud = Cloud()
+    for i in range(n):
+        cloud.add_server(
+            make_server(i, Location(i % 2, 0, 0, 0, 0, i // 2),
+                        storage_capacity=1000)
+        )
+    return cloud
+
+
+class TestCloudMutation:
+    def test_add_and_len(self):
+        cloud = small_cloud(4)
+        assert len(cloud) == 4
+        assert set(cloud.server_ids) == {0, 1, 2, 3}
+
+    def test_duplicate_id_rejected(self):
+        cloud = small_cloud(1)
+        with pytest.raises(TopologyError):
+            cloud.add_server(make_server(0, Location(0, 0, 0, 0, 0, 9)))
+
+    def test_unknown_server(self):
+        cloud = small_cloud(1)
+        with pytest.raises(TopologyError):
+            cloud.server(99)
+
+    def test_remove_compacts_matrix(self):
+        cloud = small_cloud(4)
+        before = {
+            (a, b): cloud.diversity(a, b)
+            for a in cloud.server_ids
+            for b in cloud.server_ids
+        }
+        cloud.remove_server(1)
+        assert 1 not in cloud
+        assert len(cloud) == 3
+        for a in cloud.server_ids:
+            for b in cloud.server_ids:
+                assert cloud.diversity(a, b) == before[(a, b)]
+
+    def test_removed_server_is_marked_dead(self):
+        cloud = small_cloud(2)
+        server = cloud.remove_server(0)
+        assert not server.alive
+
+    def test_spawn_server_gets_fresh_id(self):
+        cloud = small_cloud(3)
+        cloud.remove_server(2)
+        spawned = cloud.spawn_server(Location(1, 1, 0, 0, 0, 0))
+        assert spawned.server_id == 3  # id 2 is never reused
+
+    def test_matrix_matches_pairwise_diversity(self):
+        cloud = build_cloud(CloudLayout(
+            countries=2, countries_per_continent=1,
+            datacenters_per_country=1, rooms_per_datacenter=1,
+            racks_per_room=1, servers_per_rack=3,
+        ))
+        for a in cloud.server_ids:
+            for b in cloud.server_ids:
+                expected = diversity(
+                    cloud.server(a).location, cloud.server(b).location
+                )
+                assert cloud.diversity(a, b) == expected
+
+    def test_diversity_matrix_readonly(self):
+        cloud = small_cloud(3)
+        matrix = cloud.diversity_matrix()
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 5
+
+    def test_begin_epoch_propagates(self):
+        cloud = small_cloud(2)
+        cloud.server(0).record_queries(5)
+        cloud.begin_epoch()
+        assert cloud.server(0).queries_this_epoch == 0
+
+
+class TestVectors:
+    def test_rent_vector_order(self):
+        cloud = small_cloud(3)
+        prices = {0: 1.0, 1: 2.0, 2: 3.0}
+        assert np.allclose(cloud.rent_vector(prices), [1.0, 2.0, 3.0])
+
+    def test_confidence_vector(self):
+        cloud = small_cloud(2)
+        assert np.allclose(cloud.confidence_vector(), [1.0, 1.0])
+
+    def test_storage_available_vector(self):
+        cloud = small_cloud(2)
+        cloud.server(0).allocate_storage(100)
+        vec = cloud.storage_available_vector()
+        assert vec[cloud.slot(0)] == 900
+        assert vec[cloud.slot(1)] == 1000
+
+
+class TestBuildCloud:
+    def test_paper_build(self):
+        cloud = build_cloud()
+        assert len(cloud) == 200
+        rents = [s.monthly_rent for s in cloud]
+        assert rents.count(125.0) == 60
+        assert rents.count(100.0) == 140
+
+    def test_expensive_fraction_with_rng(self):
+        cloud = build_cloud(rng=np.random.default_rng(7))
+        rents = [s.monthly_rent for s in cloud]
+        assert rents.count(125.0) == 60
+
+    def test_rng_choice_is_deterministic(self):
+        a = build_cloud(rng=np.random.default_rng(3))
+        b = build_cloud(rng=np.random.default_rng(3))
+        assert [s.monthly_rent for s in a] == [s.monthly_rent for s in b]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(TopologyError):
+            build_cloud(expensive_fraction=1.5)
+
+
+class TestFreshLocations:
+    def test_new_locations_unique_and_disjoint(self):
+        layout = CloudLayout()
+        existing = list(layout.locations())
+        fresh = fresh_locations(layout, existing, 20)
+        assert len(fresh) == 20
+        assert len(set(fresh)) == 20
+        assert not set(fresh) & set(existing)
+
+    def test_fills_existing_racks(self):
+        layout = CloudLayout()
+        existing = list(layout.locations())
+        fresh = fresh_locations(layout, existing, 5)
+        existing_racks = {l.prefix(5) for l in existing}
+        assert all(l.prefix(5) in existing_racks for l in fresh)
+
+    def test_zero_count(self):
+        assert fresh_locations(CloudLayout(), [], 0) == []
+
+    def test_negative_count(self):
+        with pytest.raises(TopologyError):
+            fresh_locations(CloudLayout(), [], -1)

@@ -1,0 +1,158 @@
+"""Unit tests for eq. 2 availability and the threshold helpers."""
+
+import pytest
+
+from repro.cluster.location import Location, MAX_DIVERSITY
+from repro.cluster.server import make_server
+from repro.cluster.topology import Cloud
+from repro.core.availability import (
+    AvailabilityError,
+    availability,
+    availability_without,
+    dispersed_threshold,
+    diversity_histogram,
+    max_availability,
+    pair_gain,
+    paper_thresholds,
+    strict_threshold,
+)
+
+
+def cloud_with(*locations, confidence=1.0):
+    cloud = Cloud()
+    for i, loc in enumerate(locations):
+        cloud.add_server(
+            make_server(i, Location(*loc), confidence=confidence)
+        )
+    return cloud
+
+
+class TestAvailability:
+    def test_single_replica_is_zero(self):
+        cloud = cloud_with((0, 0, 0, 0, 0, 0))
+        assert availability(cloud, [0]) == 0.0
+
+    def test_empty_set_is_zero(self):
+        cloud = cloud_with((0, 0, 0, 0, 0, 0))
+        assert availability(cloud, []) == 0.0
+
+    def test_two_cross_continent_replicas(self):
+        cloud = cloud_with((0, 0, 0, 0, 0, 0), (1, 0, 0, 0, 0, 0))
+        assert availability(cloud, [0, 1]) == 63.0
+
+    def test_three_replicas_sum_pairs(self):
+        # continents 0, 1, plus a same-rack neighbour of server 0.
+        cloud = cloud_with(
+            (0, 0, 0, 0, 0, 0),
+            (1, 0, 0, 0, 0, 0),
+            (0, 0, 0, 0, 0, 1),
+        )
+        # pairs: (0,1)=63, (0,2)=1, (1,2)=63
+        assert availability(cloud, [0, 1, 2]) == 127.0
+
+    def test_confidence_scales_quadratically(self):
+        cloud = cloud_with(
+            (0, 0, 0, 0, 0, 0), (1, 0, 0, 0, 0, 0), confidence=0.5
+        )
+        assert availability(cloud, [0, 1]) == pytest.approx(63 * 0.25)
+
+    def test_dead_replica_contributes_nothing(self):
+        cloud = cloud_with(
+            (0, 0, 0, 0, 0, 0), (1, 0, 0, 0, 0, 0), (2, 0, 0, 0, 0, 0)
+        )
+        full = availability(cloud, [0, 1, 2])
+        cloud.server(2).fail()
+        assert availability(cloud, [0, 1, 2]) == 63.0 < full
+
+    def test_unknown_replica_ignored(self):
+        cloud = cloud_with((0, 0, 0, 0, 0, 0), (1, 0, 0, 0, 0, 0))
+        assert availability(cloud, [0, 1, 99]) == 63.0
+
+    def test_duplicate_replicas_rejected(self):
+        cloud = cloud_with((0, 0, 0, 0, 0, 0))
+        with pytest.raises(AvailabilityError):
+            availability(cloud, [0, 0])
+
+    def test_adding_replica_never_decreases(self):
+        cloud = cloud_with(
+            (0, 0, 0, 0, 0, 0),
+            (0, 0, 0, 0, 0, 1),
+            (1, 0, 0, 0, 0, 0),
+            (2, 0, 0, 0, 0, 0),
+        )
+        sets = [[0], [0, 1], [0, 1, 2], [0, 1, 2, 3]]
+        values = [availability(cloud, s) for s in sets]
+        assert values == sorted(values)
+
+
+class TestWithoutAndGain:
+    def test_availability_without(self):
+        cloud = cloud_with(
+            (0, 0, 0, 0, 0, 0), (1, 0, 0, 0, 0, 0), (2, 0, 0, 0, 0, 0)
+        )
+        total = availability(cloud, [0, 1, 2])
+        without = availability_without(cloud, [0, 1, 2], 2)
+        assert without == availability(cloud, [0, 1])
+        assert without < total
+
+    def test_without_requires_membership(self):
+        cloud = cloud_with((0, 0, 0, 0, 0, 0), (1, 0, 0, 0, 0, 0))
+        with pytest.raises(AvailabilityError):
+            availability_without(cloud, [0, 1], 5)
+
+    def test_pair_gain_matches_delta(self):
+        cloud = cloud_with(
+            (0, 0, 0, 0, 0, 0), (1, 0, 0, 0, 0, 0), (2, 1, 0, 0, 0, 0)
+        )
+        before = availability(cloud, [0, 1])
+        gain = pair_gain(cloud, [0, 1], 2)
+        after = availability(cloud, [0, 1, 2])
+        assert before + gain == pytest.approx(after)
+
+    def test_pair_gain_candidate_must_be_new(self):
+        cloud = cloud_with((0, 0, 0, 0, 0, 0), (1, 0, 0, 0, 0, 0))
+        with pytest.raises(AvailabilityError):
+            pair_gain(cloud, [0, 1], 1)
+
+
+class TestThresholds:
+    def test_max_availability(self):
+        assert max_availability(2) == 63
+        assert max_availability(3) == 3 * 63
+        assert max_availability(4) == 6 * 63
+        assert max_availability(1) == 0
+
+    def test_strict_threshold_unreachable_by_fewer(self):
+        for n in (2, 3, 4):
+            th = strict_threshold(n)
+            assert max_availability(n - 1) < th
+            assert max_availability(n) >= th
+
+    def test_dispersed_threshold_values(self):
+        assert dispersed_threshold(2) == 31.0
+        assert dispersed_threshold(3) == 93.0
+        assert dispersed_threshold(4) == 186.0
+
+    def test_paper_thresholds_sit_in_the_right_bands(self):
+        th = paper_thresholds()
+        # Ring 1 (3 replicas): unreachable with 2, reachable with 3
+        # cross-country replicas.
+        assert th[3] > max_availability(2)
+        assert th[3] <= dispersed_threshold(3)
+        # Ring 2 (4 replicas): unreachable with 3 even at max dispersion.
+        assert th[4] > max_availability(3)
+
+    def test_thresholds_increase_with_level(self):
+        th = paper_thresholds()
+        assert th[2] < th[3] < th[4]
+
+
+class TestHistogram:
+    def test_histogram_counts_pairs(self):
+        cloud = cloud_with(
+            (0, 0, 0, 0, 0, 0),
+            (0, 0, 0, 0, 0, 1),
+            (1, 0, 0, 0, 0, 0),
+        )
+        hist = diversity_histogram(cloud, [0, 1, 2])
+        assert hist == {1: 1, 63: 2}

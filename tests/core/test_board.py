@@ -1,0 +1,96 @@
+"""Unit tests for the price board."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.location import Location
+from repro.cluster.server import make_server
+from repro.cluster.topology import Cloud
+from repro.core.board import BoardError, PriceBoard, update_board
+from repro.core.economy import RentModel
+
+
+class TestPosting:
+    def test_post_and_read(self):
+        board = PriceBoard()
+        board.post(0, {1: 0.5, 2: 0.7})
+        assert board.epoch == 0
+        assert board.price(1) == 0.5
+        assert board.has_price(2)
+        assert not board.has_price(3)
+
+    def test_read_before_post(self):
+        with pytest.raises(BoardError):
+            PriceBoard().price(0)
+        with pytest.raises(BoardError):
+            PriceBoard().min_price()
+
+    def test_post_empty_rejected(self):
+        with pytest.raises(BoardError):
+            PriceBoard().post(0, {})
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(BoardError):
+            PriceBoard().post(0, {1: -0.1})
+
+    def test_repost_replaces(self):
+        board = PriceBoard()
+        board.post(0, {1: 0.5})
+        board.post(1, {2: 0.9})
+        assert board.epoch == 1
+        assert not board.has_price(1)
+
+    def test_unknown_server(self):
+        board = PriceBoard()
+        board.post(0, {1: 0.5})
+        with pytest.raises(BoardError):
+            board.price(99)
+
+
+class TestAggregates:
+    def test_min_mean_max(self):
+        board = PriceBoard()
+        board.post(0, {1: 1.0, 2: 2.0, 3: 3.0})
+        assert board.min_price() == 1.0
+        assert board.mean_price() == pytest.approx(2.0)
+        assert board.max_price() == 3.0
+
+    def test_cheapest_ranking(self):
+        board = PriceBoard()
+        board.post(0, {1: 3.0, 2: 1.0, 3: 2.0})
+        assert board.cheapest(2) == [(2, 1.0), (3, 2.0)]
+
+    def test_cheapest_tie_breaks_by_id(self):
+        board = PriceBoard()
+        board.post(0, {5: 1.0, 2: 1.0})
+        assert board.cheapest(1) == [(2, 1.0)]
+
+    def test_price_vector_order(self):
+        board = PriceBoard()
+        board.post(0, {1: 0.1, 2: 0.2, 3: 0.3})
+        assert np.allclose(board.price_vector([3, 1]), [0.3, 0.1])
+
+    def test_drop_servers(self):
+        board = PriceBoard()
+        board.post(0, {1: 1.0, 2: 2.0})
+        board.drop_servers([2, 99])
+        assert not board.has_price(2)
+        assert board.max_price() == 1.0
+
+
+class TestUpdateBoard:
+    def test_update_board_posts_eq1_prices(self):
+        cloud = Cloud()
+        cloud.add_server(
+            make_server(0, Location(0, 0, 0, 0, 0, 0), monthly_rent=100.0)
+        )
+        cloud.add_server(
+            make_server(1, Location(1, 0, 0, 0, 0, 0), monthly_rent=125.0)
+        )
+        board = PriceBoard()
+        model = RentModel(epochs_per_month=100)
+        prices = update_board(board, 7, cloud, model)
+        assert board.epoch == 7
+        assert prices[0] == pytest.approx(1.0)
+        assert prices[1] == pytest.approx(1.25)
+        assert board.min_price() == pytest.approx(1.0)

@@ -1,0 +1,335 @@
+"""Behavioural tests for the §II-C decision process."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.location import Location
+from repro.cluster.server import make_server
+from repro.cluster.topology import Cloud
+from repro.core.agent import AgentRegistry
+from repro.core.availability import availability
+from repro.core.board import PriceBoard
+from repro.core.decision import DecisionEngine, EconomicPolicy, PolicyError
+from repro.core.economy import RentModel
+from repro.ring.virtualring import AvailabilityLevel, RingSet
+from repro.store.replica import ReplicaCatalog
+from repro.store.transfer import TransferEngine
+from repro.workload.mix import EpochLoad
+
+RNG = np.random.default_rng(0)
+
+#: Six servers: two racks in continent 0, one server in each of four
+#: other continents.  Index -> location.
+LOCS = [
+    (0, 0, 0, 0, 0, 0),
+    (0, 0, 0, 0, 0, 1),
+    (1, 0, 0, 0, 0, 0),
+    (2, 0, 0, 0, 0, 0),
+    (3, 0, 0, 0, 0, 0),
+    (4, 0, 0, 0, 0, 0),
+]
+
+
+def harness(threshold=20.0, *, partitions=1, policy=None, rents=None,
+            storage=10_000, initial_size=100):
+    cloud = Cloud()
+    for i, loc in enumerate(LOCS):
+        cloud.add_server(
+            make_server(
+                i, Location(*loc),
+                monthly_rent=(rents or {}).get(i, 100.0),
+                storage_capacity=storage,
+                replication_budget=10_000,
+                migration_budget=10_000,
+            )
+        )
+    rings = RingSet()
+    ring = rings.add_ring(
+        0, 0, AvailabilityLevel(threshold, 2), partitions,
+        partition_capacity=1_000_000, initial_size=initial_size,
+    )
+    catalog = ReplicaCatalog(cloud)
+    pol = policy or EconomicPolicy(hysteresis=2)
+    registry = AgentRegistry(pol.hysteresis)
+    transfers = TransferEngine(cloud, catalog)
+    engine = DecisionEngine(cloud, rings, catalog, registry, transfers, pol)
+    board = PriceBoard()
+    board.post(0, RentModel(epochs_per_month=100).price_cloud(cloud))
+    return cloud, rings, ring, catalog, registry, transfers, engine, board
+
+
+def load_for(ring, queries=0):
+    per_partition = {p.pid: queries for p in ring}
+    return EpochLoad(
+        epoch=0,
+        total_queries=queries * len(per_partition),
+        per_app={0: queries * len(per_partition)},
+        per_partition=per_partition,
+    )
+
+
+def force_streak(registry, pid, sign):
+    for agent in registry.of_partition(pid):
+        agent.balances.extend(
+            [sign] * agent.balances.maxlen
+        )
+
+
+class TestPolicyValidation:
+    def test_invalid_hysteresis(self):
+        with pytest.raises(PolicyError):
+            EconomicPolicy(hysteresis=0)
+
+    def test_invalid_margin(self):
+        with pytest.raises(PolicyError):
+            EconomicPolicy(migration_margin=1.0)
+
+    def test_invalid_revenue(self):
+        with pytest.raises(PolicyError):
+            EconomicPolicy(revenue_per_query=-0.1)
+
+
+class TestRepair:
+    def test_repairs_until_threshold(self):
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            threshold=20.0
+        )
+        p = ring.partitions()[0]
+        catalog.place(p, 0)
+        registry.spawn(p.pid, 0)
+        stats = engine.decide(board, load_for(ring), RNG)
+        servers = catalog.servers_of(p.pid)
+        assert availability(cloud, servers) >= 20.0
+        assert stats.repairs >= 1
+        assert stats.unsatisfied_partitions == 0
+        # Every replica has an agent.
+        for sid in servers:
+            assert registry.has(p.pid, sid)
+
+    def test_repair_picks_cross_continent(self):
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            threshold=20.0
+        )
+        p = ring.partitions()[0]
+        catalog.place(p, 0)
+        registry.spawn(p.pid, 0)
+        engine.decide(board, load_for(ring), RNG)
+        added = [s for s in catalog.servers_of(p.pid) if s != 0]
+        # Max diversity candidates are the other continents (2..5),
+        # never the same-rack server 1.
+        assert added and all(s >= 2 for s in added)
+
+    def test_repair_blocked_without_source_bandwidth(self):
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            threshold=20.0
+        )
+        p = ring.partitions()[0]
+        catalog.place(p, 0)
+        registry.spawn(p.pid, 0)
+        cloud.server(0).replication_budget.reserve(
+            cloud.server(0).replication_budget.capacity
+        )
+        stats = engine.decide(board, load_for(ring), RNG)
+        assert stats.repairs == 0
+        assert stats.unsatisfied_partitions == 1
+        assert stats.deferred == 1
+
+    def test_high_threshold_needs_more_replicas(self):
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            threshold=150.0  # needs 3 well-dispersed replicas
+        )
+        p = ring.partitions()[0]
+        catalog.place(p, 0)
+        registry.spawn(p.pid, 0)
+        engine.decide(board, load_for(ring), RNG)
+        assert len(catalog.servers_of(p.pid)) >= 3
+
+    def test_lost_partition_counted(self):
+        cloud, rings, ring, catalog, registry, __, engine, board = harness()
+        stats = engine.decide(board, load_for(ring), RNG)
+        assert stats.lost_partitions == 1
+
+
+class TestSuicide:
+    def test_redundant_replica_suicides_on_negative_streak(self):
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            threshold=20.0
+        )
+        p = ring.partitions()[0]
+        for sid in (0, 2, 3):  # three cross-continent replicas
+            catalog.place(p, sid)
+            registry.spawn(p.pid, sid)
+        force_streak(registry, p.pid, -1.0)
+        stats = engine.decide(board, load_for(ring), RNG)
+        assert stats.suicides >= 1
+        remaining = catalog.servers_of(p.pid)
+        assert availability(cloud, remaining) >= 20.0
+
+    def test_no_suicide_when_availability_would_break(self):
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            threshold=60.0, rents={0: 100.0, 2: 100.0}
+        )
+        p = ring.partitions()[0]
+        for sid in (0, 2):  # exactly enough (63 >= 60)
+            catalog.place(p, sid)
+            registry.spawn(p.pid, sid)
+        force_streak(registry, p.pid, -1.0)
+        stats = engine.decide(board, load_for(ring), RNG)
+        assert stats.suicides == 0
+        assert len(catalog.servers_of(p.pid)) == 2
+
+
+class TestMigration:
+    def test_migrates_to_meaningfully_cheaper_server(self):
+        # Server 4 is pricey, server 5 cheap; both in their own continent
+        # so diversity is unaffected by the move.
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            threshold=60.0,
+            rents={4: 200.0},
+            policy=EconomicPolicy(hysteresis=2, migration_margin=0.05),
+        )
+        p = ring.partitions()[0]
+        for sid in (0, 4):
+            catalog.place(p, sid)
+            registry.spawn(p.pid, sid)
+        force_streak(registry, p.pid, -1.0)
+        stats = engine.decide(board, load_for(ring), RNG)
+        assert stats.migrations >= 1
+        servers = catalog.servers_of(p.pid)
+        assert 4 not in servers
+        assert registry.of_partition(p.pid)[0].pid == p.pid
+
+    def test_no_migration_within_margin(self):
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            threshold=60.0,
+            policy=EconomicPolicy(hysteresis=2, migration_margin=0.5),
+        )
+        p = ring.partitions()[0]
+        for sid in (0, 2):
+            catalog.place(p, sid)
+            registry.spawn(p.pid, sid)
+        force_streak(registry, p.pid, -1.0)
+        stats = engine.decide(board, load_for(ring), RNG)
+        assert stats.migrations == 0
+
+    def test_migration_keeps_availability(self):
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            threshold=60.0, rents={2: 300.0}
+        )
+        p = ring.partitions()[0]
+        for sid in (0, 2):
+            catalog.place(p, sid)
+            registry.spawn(p.pid, sid)
+        force_streak(registry, p.pid, -1.0)
+        engine.decide(board, load_for(ring), RNG)
+        servers = catalog.servers_of(p.pid)
+        assert availability(cloud, servers) >= 60.0
+
+
+class TestEconomicReplication:
+    def test_popular_partition_replicates(self):
+        policy = EconomicPolicy(
+            hysteresis=2, revenue_per_query=0.01, migration_margin=0.05
+        )
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            threshold=20.0, policy=policy
+        )
+        p = ring.partitions()[0]
+        for sid in (0, 2):
+            catalog.place(p, sid)
+            registry.spawn(p.pid, sid)
+        force_streak(registry, p.pid, +1.0)
+        # 1000 queries/epoch: predicted utility/replica = 3.33 >> rent.
+        stats = engine.decide(board, load_for(ring, queries=1000), RNG)
+        assert stats.economic_replications >= 1
+        assert len(catalog.servers_of(p.pid)) >= 3
+
+    def test_unpopular_partition_does_not_replicate(self):
+        policy = EconomicPolicy(hysteresis=2, revenue_per_query=0.01)
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            threshold=20.0, policy=policy
+        )
+        p = ring.partitions()[0]
+        for sid in (0, 2):
+            catalog.place(p, sid)
+            registry.spawn(p.pid, sid)
+        force_streak(registry, p.pid, +1.0)
+        stats = engine.decide(board, load_for(ring, queries=10), RNG)
+        assert stats.economic_replications == 0
+
+    def test_max_replicas_cap(self):
+        policy = EconomicPolicy(
+            hysteresis=2, revenue_per_query=0.01, max_replicas=2
+        )
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            threshold=20.0, policy=policy
+        )
+        p = ring.partitions()[0]
+        for sid in (0, 2):
+            catalog.place(p, sid)
+            registry.spawn(p.pid, sid)
+        force_streak(registry, p.pid, +1.0)
+        stats = engine.decide(board, load_for(ring, queries=10_000), RNG)
+        assert stats.economic_replications == 0
+        assert len(catalog.servers_of(p.pid)) == 2
+
+    def test_replication_resets_initiator_history(self):
+        policy = EconomicPolicy(hysteresis=2, revenue_per_query=0.01)
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            threshold=20.0, policy=policy
+        )
+        p = ring.partitions()[0]
+        for sid in (0, 2):
+            catalog.place(p, sid)
+            registry.spawn(p.pid, sid)
+        force_streak(registry, p.pid, +1.0)
+        engine.decide(board, load_for(ring, queries=1000), RNG)
+        assert all(
+            not a.positive_streak for a in registry.of_partition(p.pid)
+        )
+
+
+class TestSettle:
+    def test_settle_charges_servers_and_agents(self):
+        cloud, rings, ring, catalog, registry, __, engine, board = harness()
+        p = ring.partitions()[0]
+        for sid in (0, 2):
+            catalog.place(p, sid)
+            registry.spawn(p.pid, sid)
+        engine.settle(load_for(ring, queries=100), board)
+        assert cloud.server(0).queries_this_epoch == pytest.approx(50.0)
+        assert cloud.server(2).queries_this_epoch == pytest.approx(50.0)
+        agent = registry.get(p.pid, 0)
+        assert agent.epochs_alive == 1
+        assert agent.last_balance is not None
+
+    def test_utility_floor_applies(self):
+        policy = EconomicPolicy(
+            hysteresis=2, revenue_per_query=0.01,
+            utility_floor_to_min_rent=True,
+        )
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            policy=policy
+        )
+        p = ring.partitions()[0]
+        catalog.place(p, 0)
+        registry.spawn(p.pid, 0)
+        engine.settle(load_for(ring, queries=0), board)
+        agent = registry.get(p.pid, 0)
+        # Floored utility == min rent; rent on server 0 == min rent
+        # (all same price) -> balance exactly 0.
+        assert agent.last_balance == pytest.approx(0.0)
+
+    def test_no_floor_gives_negative_balance(self):
+        policy = EconomicPolicy(
+            hysteresis=2, revenue_per_query=0.01,
+            utility_floor_to_min_rent=False,
+        )
+        cloud, rings, ring, catalog, registry, __, engine, board = harness(
+            policy=policy
+        )
+        p = ring.partitions()[0]
+        catalog.place(p, 0)
+        registry.spawn(p.pid, 0)
+        engine.settle(load_for(ring, queries=0), board)
+        assert registry.get(p.pid, 0).last_balance < 0

@@ -1,0 +1,129 @@
+"""Unit tests for eq. 1 virtual rent pricing."""
+
+import pytest
+
+from repro.cluster.location import Location
+from repro.cluster.server import make_server
+from repro.cluster.topology import Cloud
+from repro.core.economy import (
+    DEFAULT_EPOCHS_PER_MONTH,
+    EconomyError,
+    RentModel,
+    UsageTracker,
+)
+
+LOC = Location(0, 0, 0, 0, 0, 0)
+
+
+class TestRentModel:
+    def test_idle_server_price_is_usage_price(self):
+        model = RentModel(alpha=1.0, beta=1.0, epochs_per_month=100)
+        server = make_server(0, LOC, monthly_rent=100.0)
+        assert model.price(server) == pytest.approx(1.0)
+
+    def test_eq1_formula(self):
+        model = RentModel(alpha=2.0, beta=3.0, epochs_per_month=100)
+        server = make_server(
+            0, LOC, monthly_rent=100.0,
+            storage_capacity=1000, query_capacity=10,
+        )
+        server.allocate_storage(500)   # usage 0.5
+        server.record_queries(5)       # load 0.5
+        # up * (1 + 2*0.5 + 3*0.5) = 1.0 * 3.5
+        assert model.price(server) == pytest.approx(3.5)
+
+    def test_expensive_server_prices_higher(self):
+        model = RentModel()
+        cheap = make_server(0, LOC, monthly_rent=100.0)
+        pricey = make_server(1, LOC, monthly_rent=125.0)
+        assert model.price(pricey) == pytest.approx(
+            model.price(cheap) * 1.25
+        )
+
+    def test_price_monotone_in_load(self):
+        model = RentModel()
+        server = make_server(0, LOC, query_capacity=100)
+        p0 = model.price(server)
+        server.record_queries(50)
+        assert model.price(server) > p0
+
+    def test_price_monotone_in_storage(self):
+        model = RentModel()
+        server = make_server(0, LOC, storage_capacity=100)
+        p0 = model.price(server)
+        server.allocate_storage(50)
+        assert model.price(server) > p0
+
+    def test_usage_normalized_pricing(self):
+        model = RentModel(normalize_by_usage=True, epochs_per_month=100)
+        server = make_server(0, LOC, monthly_rent=100.0)
+        # Busy server: up is spread over more usage -> lower marginal price.
+        busy = model.usage_price(server, mean_usage=0.5)
+        idle = model.usage_price(server, mean_usage=0.1)
+        assert busy < idle
+
+    def test_usage_floor_prevents_divide_blowup(self):
+        model = RentModel(normalize_by_usage=True, mean_usage_floor=0.05)
+        server = make_server(0, LOC, monthly_rent=100.0)
+        assert model.usage_price(server, mean_usage=0.0) == (
+            model.usage_price(server, mean_usage=0.05)
+        )
+
+    def test_price_cloud(self):
+        model = RentModel()
+        cloud = Cloud()
+        cloud.add_server(make_server(0, LOC, monthly_rent=100.0))
+        cloud.add_server(
+            make_server(1, Location(1, 0, 0, 0, 0, 0), monthly_rent=125.0)
+        )
+        prices = model.price_cloud(cloud)
+        assert set(prices) == {0, 1}
+        assert prices[1] > prices[0]
+
+    def test_invalid_params(self):
+        with pytest.raises(EconomyError):
+            RentModel(alpha=-1)
+        with pytest.raises(EconomyError):
+            RentModel(epochs_per_month=0)
+        with pytest.raises(EconomyError):
+            RentModel(mean_usage_floor=0.0)
+
+    def test_default_epoch_count_is_a_month_of_hours(self):
+        assert DEFAULT_EPOCHS_PER_MONTH == 720
+
+
+class TestUsageTracker:
+    def test_first_observation_sets_mean(self):
+        tracker = UsageTracker(horizon=10)
+        server = make_server(0, LOC, storage_capacity=100, query_capacity=10)
+        server.allocate_storage(50)
+        tracker.observe(server)
+        assert tracker.mean_usage(0) == pytest.approx(0.25)
+
+    def test_ewma_moves_toward_new_usage(self):
+        tracker = UsageTracker(horizon=2)
+        server = make_server(0, LOC, storage_capacity=100, query_capacity=10)
+        tracker.observe(server)  # usage 0
+        server.allocate_storage(100)
+        server.record_queries(10)
+        tracker.observe(server)  # usage 1.0
+        mean = tracker.mean_usage(0)
+        assert 0.0 < mean < 1.0
+
+    def test_query_load_clipped_at_one(self):
+        tracker = UsageTracker()
+        server = make_server(0, LOC, query_capacity=10)
+        server.record_queries(100)  # load 10x
+        tracker.observe(server)
+        assert tracker.mean_usage(0) <= 0.5  # (0 storage + 1.0 clipped)/2
+
+    def test_forget(self):
+        tracker = UsageTracker()
+        server = make_server(0, LOC)
+        tracker.observe(server)
+        tracker.forget(0)
+        assert tracker.mean_usage(0) is None
+
+    def test_invalid_horizon(self):
+        with pytest.raises(EconomyError):
+            UsageTracker(horizon=0)

@@ -1,0 +1,205 @@
+"""Unit tests for eq. 3 placement scoring and eq. 4 proximity weights."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.location import Location
+from repro.cluster.server import make_server
+from repro.cluster.topology import Cloud
+from repro.core.board import PriceBoard
+from repro.core.placement import (
+    PlacementError,
+    PlacementScorer,
+    proximity_weights,
+)
+from repro.workload.clients import ClientGeography, uniform_geography
+
+
+def build(locations, rents=None, storage=1000):
+    cloud = Cloud()
+    for i, loc in enumerate(locations):
+        cloud.add_server(
+            make_server(i, Location(*loc), storage_capacity=storage)
+        )
+    board = PriceBoard()
+    prices = rents or {i: 1.0 for i in range(len(locations))}
+    board.post(0, prices)
+    return cloud, board
+
+
+FOUR = [
+    (0, 0, 0, 0, 0, 0),  # server 0
+    (0, 0, 0, 0, 0, 1),  # server 1: same rack as 0
+    (1, 0, 0, 0, 0, 0),  # server 2: other continent
+    (2, 0, 0, 0, 0, 0),  # server 3: third continent
+]
+
+
+class TestProximityWeights:
+    def test_uniform_geography_is_all_ones(self):
+        cloud, __ = build(FOUR)
+        g = proximity_weights(cloud, uniform_geography())
+        assert np.allclose(g, 1.0)
+
+    def test_hotspot_prefers_local_servers(self):
+        cloud, __ = build(FOUR)
+        site = Location(1, 0, 0, 0, 0, 0)
+        geo = ClientGeography(sites=(site,), shares=(1.0,))
+        g = proximity_weights(cloud, geo)
+        assert g[cloud.slot(2)] == pytest.approx(1.0)  # local = max
+        assert g[cloud.slot(0)] < g[cloud.slot(2)]
+
+    def test_query_counts_override_shares(self):
+        cloud, __ = build(FOUR)
+        site_far = Location(2, 0, 0, 0, 0, 0)
+        geo = ClientGeography(
+            sites=(Location(1, 0, 0, 0, 0, 0),), shares=(1.0,)
+        )
+        g = proximity_weights(cloud, geo, query_counts={site_far: 10.0})
+        assert g[cloud.slot(3)] == pytest.approx(1.0)
+
+    def test_empty_cloud_rejected(self):
+        with pytest.raises(PlacementError):
+            proximity_weights(Cloud(), uniform_geography())
+
+
+class TestScoring:
+    def test_prefers_max_diversity(self):
+        cloud, board = build(FOUR)
+        scorer = PlacementScorer(cloud, board)
+        # Replica on server 0: server 2/3 (other continents) beat 1.
+        candidate = scorer.best([0], need_bytes=10)
+        assert candidate.server_id in (2, 3)
+        assert candidate.diversity_gain == 63.0
+
+    def test_rent_breaks_ties(self):
+        cloud, board = build(
+            FOUR, rents={0: 1.0, 1: 1.0, 2: 3.0, 3: 2.0}
+        )
+        scorer = PlacementScorer(cloud, board)
+        # Servers 2 and 3 tie on diversity (63); 3 is cheaper.
+        candidate = scorer.best([0], need_bytes=10)
+        assert candidate.server_id == 3
+        assert candidate.rent == 2.0
+
+    def test_scores_match_eq3(self):
+        cloud, board = build(FOUR, rents={0: 1.0, 1: 0.5, 2: 2.0, 3: 1.5})
+        scorer = PlacementScorer(cloud, board)
+        scores = scorer.scores([0, 2])
+        # For server 3: div(0,3)=63, div(2,3)=63 -> 126 - 1.5
+        assert scores[cloud.slot(3)] == pytest.approx(126 - 1.5)
+        # For server 1: div(0,1)=1, div(2,1)=63 -> 64 - 0.5
+        assert scores[cloud.slot(1)] == pytest.approx(64 - 0.5)
+
+    def test_g_weights_scale_diversity_term(self):
+        cloud, board = build(FOUR)
+        scorer = PlacementScorer(cloud, board)
+        g = np.ones(len(cloud))
+        g[cloud.slot(3)] = 0.01  # server 3 far from clients
+        candidate = scorer.best([0], need_bytes=10, g=g)
+        assert candidate.server_id == 2
+
+    def test_rent_weight_scales_cost_term(self):
+        cloud, board = build(FOUR, rents={0: 1.0, 1: 1.0, 2: 70.0, 3: 1.0})
+        # With rent_weight=1, server 2's rent (70) exceeds its diversity
+        # edge over server 1 (63 vs 1): best is server 3 (63 - 1).
+        scorer = PlacementScorer(cloud, board, rent_weight=1.0)
+        assert scorer.best([0], need_bytes=1).server_id == 3
+        # With rent_weight=0 cost vanishes; 2 and 3 tie, argmax stable.
+        free = PlacementScorer(cloud, board, rent_weight=0.0)
+        assert free.best([0], need_bytes=1).server_id in (2, 3)
+
+
+class TestFeasibilityMasks:
+    def test_existing_replicas_excluded(self):
+        cloud, board = build(FOUR)
+        scorer = PlacementScorer(cloud, board)
+        candidate = scorer.best([0, 2, 3], need_bytes=10)
+        assert candidate.server_id == 1
+
+    def test_storage_mask(self):
+        cloud, board = build(FOUR, storage=100)
+        cloud.server(2).allocate_storage(95)
+        cloud.server(3).allocate_storage(95)
+        scorer = PlacementScorer(cloud, board)
+        candidate = scorer.best([0], need_bytes=50)
+        assert candidate.server_id == 1  # only one with space
+
+    def test_dead_server_mask(self):
+        cloud, board = build(FOUR)
+        cloud.server(2).fail()
+        cloud.server(3).fail()
+        scorer = PlacementScorer(cloud, board)
+        assert scorer.best([0], need_bytes=1).server_id == 1
+
+    def test_max_rent_mask(self):
+        cloud, board = build(FOUR, rents={0: 1.0, 1: 0.4, 2: 2.0, 3: 0.9})
+        scorer = PlacementScorer(cloud, board)
+        candidate = scorer.best([0], need_bytes=1, max_rent=1.0)
+        assert candidate.server_id in (1, 3)
+        assert candidate.rent < 1.0
+
+    def test_explicit_exclude(self):
+        cloud, board = build(FOUR)
+        scorer = PlacementScorer(cloud, board)
+        candidate = scorer.best([0], need_bytes=1, exclude=(2, 3))
+        assert candidate.server_id == 1
+
+    def test_no_feasible_candidate(self):
+        cloud, board = build(FOUR, storage=10)
+        scorer = PlacementScorer(cloud, board)
+        assert scorer.best([0], need_bytes=100) is None
+
+    def test_budget_mask(self):
+        cloud, board = build(FOUR)
+        cloud.server(2).replication_budget.reserve(
+            cloud.server(2).replication_budget.capacity
+        )
+        cloud.server(3).replication_budget.reserve(
+            cloud.server(3).replication_budget.capacity
+        )
+        scorer = PlacementScorer(cloud, board)
+        candidate = scorer.best([0], need_bytes=10, budget="replication")
+        assert candidate.server_id == 1
+
+    def test_unknown_budget_kind(self):
+        cloud, board = build(FOUR)
+        scorer = PlacementScorer(cloud, board)
+        with pytest.raises(PlacementError):
+            scorer.best([0], need_bytes=1, budget="teleport")
+
+
+class TestIncrementalCaches:
+    def test_consume_budget_masks_for_later_calls(self):
+        cloud, board = build(FOUR)
+        scorer = PlacementScorer(cloud, board)
+        first = scorer.best([0], need_bytes=10, budget="replication")
+        # Exhaust the winner's cached budget; next call must avoid it.
+        scorer.consume_budget(first.server_id, 10**12, "replication")
+        second = scorer.best([0], need_bytes=10, budget="replication")
+        assert second.server_id != first.server_id
+
+    def test_consume_budget_updates_storage_mask(self):
+        cloud, board = build(FOUR, storage=100)
+        scorer = PlacementScorer(cloud, board)
+        first = scorer.best([0], need_bytes=60)
+        scorer.consume_budget(first.server_id, 60, "replication")
+        second = scorer.best([0], need_bytes=60)
+        assert second is None or second.server_id != first.server_id
+
+    def test_release_storage_unmasks(self):
+        cloud, board = build(FOUR, storage=100)
+        scorer = PlacementScorer(cloud, board)
+        scorer.consume_budget(2, 100, "replication")
+        scorer.consume_budget(3, 100, "replication")
+        scorer.consume_budget(1, 100, "replication")
+        assert scorer.best([0], need_bytes=50) is None
+        scorer.release_storage(3, 100)
+        assert scorer.best([0], need_bytes=50).server_id == 3
+
+    def test_rent_of(self):
+        cloud, board = build(FOUR, rents={0: 0.1, 1: 0.2, 2: 0.3, 3: 0.4})
+        scorer = PlacementScorer(cloud, board)
+        assert scorer.rent_of(2) == pytest.approx(0.3)
+        with pytest.raises(PlacementError):
+            scorer.rent_of(99)

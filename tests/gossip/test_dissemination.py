@@ -1,0 +1,93 @@
+"""Tests for epidemic dissemination of the price table."""
+
+import numpy as np
+import pytest
+
+from repro.gossip.dissemination import VersionedGossip
+from repro.gossip.heartbeat import GossipConfig, GossipError
+
+
+def fabric(n=50, *, fanout=3, loss=0.0, seed=0):
+    return VersionedGossip(
+        list(range(n)),
+        GossipConfig(fanout=fanout, loss=loss),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestPublish:
+    def test_publish_and_spread(self):
+        g = fabric(n=20)
+        g.publish(0, 1)
+        assert g.coverage(1) == pytest.approx(1 / 20)
+        rounds = g.rounds_to_coverage(1)
+        assert rounds <= 12
+
+    def test_version_must_increase(self):
+        g = fabric()
+        g.publish(0, 3)
+        with pytest.raises(GossipError):
+            g.publish(0, 3)
+
+    def test_unknown_origin(self):
+        with pytest.raises(GossipError):
+            fabric().publish(999, 1)
+
+    def test_crashed_origin_rejected(self):
+        g = fabric()
+        g.crash(0)
+        with pytest.raises(GossipError):
+            g.publish(0, 1)
+
+
+class TestSpread:
+    def test_logarithmic_coverage(self):
+        """Push gossip covers N nodes in O(log N) rounds."""
+        rounds = {}
+        for n in (25, 100, 200):
+            g = fabric(n=n, seed=2)
+            g.publish(0, 1)
+            rounds[n] = g.rounds_to_coverage(1)
+        assert rounds[200] <= 2 * rounds[25] + 4
+
+    def test_loss_slows_but_does_not_stop(self):
+        clean = fabric(n=100, seed=3)
+        clean.publish(0, 1)
+        lossy = fabric(n=100, loss=0.3, seed=3)
+        lossy.publish(0, 1)
+        r_clean = clean.rounds_to_coverage(1)
+        r_lossy = lossy.rounds_to_coverage(1)
+        assert r_lossy >= r_clean
+        assert r_lossy <= 30
+
+    def test_newer_version_overtakes(self):
+        g = fabric(n=30, seed=4)
+        g.publish(0, 1)
+        g.rounds_to_coverage(1)
+        g.publish(0, 2)
+        g.rounds_to_coverage(2)
+        assert all(
+            g.records[n].version == 2 for n in g.live_nodes()
+        )
+
+    def test_crashed_nodes_do_not_block_coverage(self):
+        g = fabric(n=30, seed=5)
+        for node in (7, 8, 9):
+            g.crash(node)
+        g.publish(0, 1)
+        assert g.rounds_to_coverage(1) <= 15
+        assert g.coverage(1) == 1.0  # over live nodes
+
+    def test_staleness(self):
+        g = fabric(n=10, seed=6)
+        g.publish(0, 5)
+        assert g.staleness(0, 5) == 0
+        assert g.staleness(1, 5) == 6  # never heard anything
+        g.rounds_to_coverage(5)
+        assert g.staleness(1, 5) == 0
+
+    def test_invalid_target(self):
+        g = fabric()
+        g.publish(0, 1)
+        with pytest.raises(GossipError):
+            g.rounds_to_coverage(1, target=0.0)

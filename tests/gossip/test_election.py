@@ -1,0 +1,65 @@
+"""Tests for the board election."""
+
+import numpy as np
+import pytest
+
+from repro.gossip.election import BoardElection
+from repro.gossip.heartbeat import FailureDetector, GossipConfig, GossipError
+
+
+def setup(n=12, seed=0):
+    detector = FailureDetector(
+        list(range(n)),
+        GossipConfig(fanout=3, suspect_rounds=3, dead_rounds=6),
+        rng=np.random.default_rng(seed),
+    )
+    detector.run(10)  # warm up views
+    return detector, BoardElection(detector)
+
+
+class TestElection:
+    def test_healthy_cluster_agrees_on_lowest_id(self):
+        detector, election = setup()
+        view = election.snapshot()
+        assert view.agreed
+        assert view.board == 0
+
+    def test_board_crash_triggers_reelection(self):
+        detector, election = setup()
+        detector.crash(0)
+        rounds = election.rounds_to_agreement(max_rounds=40)
+        view = election.snapshot()
+        assert view.agreed
+        assert view.board == 1
+        # Agreement within the dead timeout plus a small spread margin.
+        assert rounds <= detector.config.dead_rounds + 6
+
+    def test_cascading_crashes(self):
+        detector, election = setup()
+        detector.crash(0)
+        detector.crash(1)
+        detector.crash(2)
+        election.rounds_to_agreement(max_rounds=60)
+        assert election.snapshot().board == 3
+
+    def test_disagreement_window_exists(self):
+        """Right after the board dies, some nodes still nominate it."""
+        detector, election = setup(seed=1)
+        detector.crash(0)
+        detector.step()
+        view = election.snapshot()
+        assert 0 in view.choices.values()  # stale nominations linger
+
+    def test_no_live_nodes(self):
+        detector, election = setup(n=2)
+        detector.crash(0)
+        detector.crash(1)
+        with pytest.raises(GossipError):
+            election.snapshot()
+
+    def test_nominate_includes_self(self):
+        detector, election = setup()
+        detector.crash(0)
+        detector.run(10)
+        # Node 1 nominates itself once 0 is dead in its view.
+        assert election.nominate(1) == 1

@@ -1,0 +1,139 @@
+"""Tests for gossip heartbeats and failure detection."""
+
+import numpy as np
+import pytest
+
+from repro.gossip.heartbeat import (
+    ALIVE,
+    DEAD,
+    SUSPECT,
+    FailureDetector,
+    GossipConfig,
+    GossipError,
+)
+
+
+def detector(n=10, *, fanout=3, loss=0.0, seed=0,
+             suspect_rounds=4, dead_rounds=10):
+    return FailureDetector(
+        list(range(n)),
+        GossipConfig(fanout=fanout, loss=loss,
+                     suspect_rounds=suspect_rounds,
+                     dead_rounds=dead_rounds),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(GossipError):
+            GossipConfig(fanout=0)
+        with pytest.raises(GossipError):
+            GossipConfig(loss=1.0)
+        with pytest.raises(GossipError):
+            GossipConfig(suspect_rounds=5, dead_rounds=5)
+
+
+class TestConstruction:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(GossipError):
+            FailureDetector([1, 1], GossipConfig())
+
+    def test_empty_rejected(self):
+        with pytest.raises(GossipError):
+            FailureDetector([], GossipConfig())
+
+    def test_crash_unknown(self):
+        with pytest.raises(GossipError):
+            detector().crash(99)
+
+
+class TestHealthyCluster:
+    def test_all_alive_after_warmup(self):
+        d = detector()
+        d.run(12)
+        for observer in d.node_ids:
+            assert all(
+                status == ALIVE for status in d.view(observer).values()
+            )
+
+    def test_views_stay_alive_with_message_loss(self):
+        d = detector(loss=0.2, seed=3)
+        d.run(20)
+        stale = sum(
+            1
+            for observer in d.node_ids
+            for status in d.view(observer).values()
+            if status != ALIVE
+        )
+        assert stale == 0
+
+
+class TestFailureDetection:
+    def test_crashed_node_eventually_dead_everywhere(self):
+        d = detector()
+        d.run(10)
+        d.crash(5)
+        rounds = d.detection_round(5)
+        assert rounds <= d.config.dead_rounds + 3
+
+    def test_suspect_precedes_dead(self):
+        """A fixed observer's verdict passes through SUSPECT on its way
+        from ALIVE to DEAD — never jumps straight to DEAD."""
+        d = detector(suspect_rounds=3, dead_rounds=8)
+        d.run(10)
+        d.crash(2)
+        observer = 0
+        seen = []
+        for __ in range(20):
+            d.step()
+            status = d.status(observer, 2)
+            if not seen or seen[-1] != status:
+                seen.append(status)
+        assert seen[-1] == DEAD
+        assert SUSPECT in seen
+        assert seen.index(SUSPECT) < seen.index(DEAD)
+
+    def test_recovered_node_returns_to_alive(self):
+        d = detector()
+        d.run(10)
+        d.crash(4)
+        d.run(12)
+        assert d.detected_by_all(4)
+        d.recover(4)
+        d.run(6)
+        assert all(
+            d.status(o, 4) == ALIVE for o in d.live_nodes() if o != 4
+        )
+
+    def test_self_view_is_alive(self):
+        d = detector()
+        assert d.status(3, 3) == ALIVE
+
+    def test_detection_bounded_under_loss(self):
+        d = detector(n=30, loss=0.1, seed=7)
+        d.run(12)
+        d.crash(11)
+        rounds = d.detection_round(11, max_rounds=60)
+        assert rounds <= 20
+
+    def test_detection_timeout_raises(self):
+        d = detector(n=3)
+        d.run(5)
+        # Node 0 never crashed; it can't be declared dead.
+        with pytest.raises(GossipError):
+            d.detection_round(0, max_rounds=5)
+
+
+class TestScaling:
+    def test_detection_grows_slowly_with_n(self):
+        """Heartbeat detection latency is dominated by the dead timeout,
+        not the cluster size — the property that lets the simulator
+        treat detection as instantaneous at epoch scale."""
+        rounds = {}
+        for n in (10, 50, 100):
+            d = detector(n=n, seed=1)
+            d.run(12)
+            d.crash(n // 2)
+            rounds[n] = d.detection_round(n // 2, max_rounds=60)
+        assert rounds[100] <= rounds[10] + 6

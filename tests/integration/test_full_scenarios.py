@@ -1,0 +1,76 @@
+"""Cross-cutting integration: scenario factories end to end.
+
+Short runs of every stock scenario, checking the invariants that the
+figure benches assert at full scale — these keep the scenario wiring
+itself under unit-test-speed coverage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.static import static_decider
+from repro.sim.config import (
+    paper_scenario,
+    saturation_scenario,
+    slashdot_scenario,
+)
+from repro.sim.engine import Simulation
+
+
+class TestPaperScenario:
+    def test_short_run_reaches_targets(self):
+        sim = Simulation(paper_scenario(epochs=15, partitions=20))
+        log = sim.run()
+        assert log.last.unsatisfied_partitions == 0
+        ring_totals = log.last.vnodes_per_ring
+        assert ring_totals[(0, 0)] >= 2 * 20
+        assert ring_totals[(1, 1)] >= 3 * 20
+        assert ring_totals[(2, 2)] >= 4 * 20
+
+    def test_deterministic_across_runs(self):
+        a = Simulation(paper_scenario(epochs=10, partitions=15, seed=2))
+        b = Simulation(paper_scenario(epochs=10, partitions=15, seed=2))
+        assert list(a.run().series("vnodes_total")) == list(
+            b.run().series("vnodes_total")
+        )
+
+    def test_static_decider_runs_paper_scenario(self):
+        sim = Simulation(
+            paper_scenario(epochs=10, partitions=15),
+            decider_factory=static_decider,
+        )
+        log = sim.run()
+        for ring in sim.rings:
+            for p in ring:
+                assert (
+                    sim.catalog.replica_count(p.pid)
+                    == ring.level.target_replicas
+                )
+
+
+class TestSlashdotScenario:
+    def test_spike_profile_wired(self):
+        cfg = slashdot_scenario(
+            epochs=30, partitions=15, spike_epoch=5, ramp_epochs=5,
+            decay_epochs=15, base_rate=500.0, peak_rate=5000.0,
+        )
+        log = Simulation(cfg).run()
+        totals = log.series("total_queries")
+        assert totals[10:14].max() > 3 * totals[:5].mean()
+
+
+class TestSaturationScenario:
+    def test_inserts_and_policy_wired(self):
+        cfg = saturation_scenario(epochs=10, insert_rate=500)
+        assert cfg.policy.hysteresis == 2
+        assert cfg.rent_model.alpha == 8.0
+        log = Simulation(cfg).run()
+        assert log.series("insert_attempts").sum() == 10 * 500
+        assert log.last.storage_used > 0
+
+    def test_popularity_routing_variant(self):
+        cfg = saturation_scenario(
+            epochs=5, insert_rate=200, insert_routing="popularity"
+        )
+        log = Simulation(cfg).run()
+        assert log.series("insert_attempts").sum() == 5 * 200

@@ -1,0 +1,122 @@
+"""Property-based tests for quorum-consistency invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.location import Location
+from repro.cluster.server import make_server
+from repro.cluster.topology import Cloud
+from repro.ring.virtualring import AvailabilityLevel, RingSet
+from repro.store.quorum import Level, QuorumError, QuorumKVStore
+from repro.store.replica import ReplicaCatalog
+
+
+def build_store(n_replicas=3):
+    cloud = Cloud()
+    for i in range(n_replicas):
+        cloud.add_server(
+            make_server(i, Location(i, 0, 0, 0, 0, 0),
+                        storage_capacity=10**9)
+        )
+    rings = RingSet()
+    ring = rings.add_ring(0, 0, AvailabilityLevel(1.0, n_replicas), 2,
+                          initial_size=0)
+    catalog = ReplicaCatalog(cloud)
+    for p in ring:
+        for sid in range(n_replicas):
+            catalog.place(p, sid)
+    return cloud, QuorumKVStore(cloud, rings, catalog)
+
+
+# An operation: (kind, key_index, fail/restore server).
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "delete", "fail", "restore"]),
+        st.integers(0, 3),   # key index / server id
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestQuorumInvariants:
+    @given(ops)
+    @settings(max_examples=60, deadline=None)
+    def test_quorum_read_never_older_than_last_quorum_write(self, script):
+        """R + W > N: after any history of quorum writes and failures,
+        a quorum read returns a version >= the last acked quorum write
+        of that key."""
+        cloud, store = build_store()
+        last_version = {}
+        counter = 0
+        for kind, arg in script:
+            if kind == "fail":
+                cloud.server(arg % 3).fail()
+            elif kind == "restore":
+                cloud.server(arg % 3).restore()
+            else:
+                key = f"key-{arg}"
+                counter += 1
+                try:
+                    if kind == "put":
+                        result = store.put(
+                            0, 0, key, f"v{counter}".encode(),
+                            level=Level.QUORUM,
+                        )
+                    else:
+                        result = store.delete(
+                            0, 0, key, level=Level.QUORUM
+                        )
+                    last_version[key] = result.version
+                except QuorumError:
+                    pass  # quorum unreachable: no guarantee established
+        for sid in range(3):
+            cloud.server(sid).restore()
+        for key, version in last_version.items():
+            read = store.get(0, 0, key, level=Level.QUORUM)
+            assert read.version >= version
+
+    @given(ops)
+    @settings(max_examples=40, deadline=None)
+    def test_versions_monotone_per_key(self, script):
+        cloud, store = build_store()
+        seen = {}
+        counter = 0
+        for kind, arg in script:
+            if kind in ("fail", "restore"):
+                continue
+            key = f"key-{arg}"
+            counter += 1
+            result = store.put(0, 0, key, f"v{counter}".encode(),
+                               level=Level.ONE)
+            assert result.version > seen.get(key, 0)
+            seen[key] = result.version
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=6, deadline=None)
+    def test_quorum_size_majority(self, n):
+        assert Level.QUORUM.required(n) * 2 > n
+
+    @given(ops)
+    @settings(max_examples=40, deadline=None)
+    def test_divergence_bounded_by_write_count(self, script):
+        """Divergence never exceeds the number of writes to the key."""
+        cloud, store = build_store()
+        writes = {}
+        counter = 0
+        for kind, arg in script:
+            if kind == "fail":
+                cloud.server(arg % 3).fail()
+            elif kind == "restore":
+                cloud.server(arg % 3).restore()
+            else:
+                key = f"key-{arg}"
+                counter += 1
+                try:
+                    store.put(0, 0, key, b"x", level=Level.ONE)
+                    writes[key] = writes.get(key, 0) + 1
+                except QuorumError:
+                    pass
+        for key, count in writes.items():
+            assert store.divergence(0, 0, key) <= count + 1

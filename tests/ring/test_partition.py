@@ -1,0 +1,119 @@
+"""Unit tests for partitions, splits and id allocation."""
+
+import pytest
+
+from repro.ring.keyspace import KeyRange
+from repro.ring.partition import (
+    DEFAULT_PARTITION_CAPACITY,
+    Partition,
+    PartitionError,
+    PartitionId,
+    PartitionIdAllocator,
+)
+
+
+def part(size=0, capacity=100, pop=0.0):
+    return Partition(
+        pid=PartitionId(0, 0, 0),
+        key_range=KeyRange(0, 1 << 32),
+        size=size,
+        popularity=pop,
+        capacity=capacity,
+    )
+
+
+class TestPartitionBasics:
+    def test_default_capacity_is_256mb(self):
+        assert DEFAULT_PARTITION_CAPACITY == 256 * (1 << 20)
+
+    def test_grow_shrink(self):
+        p = part()
+        p.grow(60)
+        assert p.size == 60
+        p.shrink(10)
+        assert p.size == 50
+
+    def test_grow_negative(self):
+        with pytest.raises(PartitionError):
+            part().grow(-1)
+
+    def test_shrink_too_much(self):
+        p = part(size=5)
+        with pytest.raises(PartitionError):
+            p.shrink(6)
+
+    def test_overfull(self):
+        p = part(size=100, capacity=100)
+        assert not p.overfull
+        p.grow(1)
+        assert p.overfull
+
+    def test_fill_fraction(self):
+        assert part(size=25, capacity=100).fill_fraction == pytest.approx(0.25)
+
+    def test_invalid_construction(self):
+        with pytest.raises(PartitionError):
+            part(size=-1)
+        with pytest.raises(PartitionError):
+            Partition(
+                pid=PartitionId(0, 0, 0),
+                key_range=KeyRange(0, 1),
+                capacity=0,
+            )
+
+
+class TestSplit:
+    def test_split_conserves_bytes_and_popularity(self):
+        p = part(size=101, capacity=100, pop=2.0)
+        low, high = p.split(1, 2)
+        assert low.size + high.size == 101
+        assert low.popularity + high.popularity == pytest.approx(2.0)
+
+    def test_split_halves_key_range(self):
+        p = part(size=10)
+        low, high = p.split(1, 2)
+        assert low.key_range.span + high.key_range.span == p.key_range.span
+        assert low.key_range.end == high.key_range.start
+
+    def test_split_children_reference_parent(self):
+        p = part(size=10)
+        low, high = p.split(1, 2)
+        assert low.parent == p.pid
+        assert high.parent == p.pid
+
+    def test_split_share(self):
+        p = part(size=100, pop=1.0)
+        low, high = p.split(1, 2, low_share=0.25)
+        assert low.size == 25
+        assert high.size == 75
+        assert low.popularity == pytest.approx(0.25)
+
+    def test_split_share_bounds(self):
+        with pytest.raises(PartitionError):
+            part(size=10).split(1, 2, low_share=1.5)
+
+    def test_split_ids_use_given_seqs(self):
+        p = part(size=10)
+        low, high = p.split(7, 8)
+        assert low.pid == PartitionId(0, 0, 7)
+        assert high.pid == PartitionId(0, 0, 8)
+
+
+class TestAllocator:
+    def test_sequences_are_per_ring(self):
+        alloc = PartitionIdAllocator()
+        assert alloc.next_seq(0, 0) == 0
+        assert alloc.next_seq(0, 0) == 1
+        assert alloc.next_seq(1, 0) == 0
+
+    def test_new_id(self):
+        alloc = PartitionIdAllocator()
+        pid = alloc.new_id(2, 3)
+        assert pid == PartitionId(2, 3, 0)
+        assert alloc.new_id(2, 3).seq == 1
+
+    def test_ids_are_ordered_and_hashable(self):
+        a = PartitionId(0, 0, 1)
+        b = PartitionId(0, 1, 0)
+        assert a < b
+        assert len({a, b, PartitionId(0, 0, 1)}) == 2

@@ -1,0 +1,105 @@
+"""Unit tests for the request router."""
+
+import pytest
+
+from repro.cluster.location import Location
+from repro.cluster.server import make_server
+from repro.cluster.topology import Cloud
+from repro.ring.partition import PartitionId
+from repro.ring.router import Router, RoutingError
+from repro.ring.virtualring import AvailabilityLevel, RingSet
+from repro.store.replica import ReplicaCatalog
+
+LEVEL = AvailabilityLevel(threshold=1.0, target_replicas=2)
+
+
+def setup():
+    """Two servers in different continents plus one colocated pair."""
+    cloud = Cloud()
+    cloud.add_server(make_server(0, Location(0, 0, 0, 0, 0, 0),
+                                 storage_capacity=10**9))
+    cloud.add_server(make_server(1, Location(1, 0, 0, 0, 0, 0),
+                                 storage_capacity=10**9))
+    cloud.add_server(make_server(2, Location(0, 0, 0, 0, 0, 1),
+                                 storage_capacity=10**9))
+    rings = RingSet()
+    ring = rings.add_ring(0, 0, LEVEL, 4, initial_size=100)
+    catalog = ReplicaCatalog(cloud)
+    for p in ring:
+        catalog.place(p, 0)
+        catalog.place(p, 1)
+    return cloud, rings, catalog, ring
+
+
+class TestRoute:
+    def test_route_resolves_to_replica_holder(self):
+        cloud, rings, catalog, ring = setup()
+        router = Router(cloud, rings, catalog)
+        route = router.route(0, 0, "some-key")
+        assert route.server_id in (0, 1)
+        assert route.pid == ring.lookup("some-key").pid
+
+    def test_route_prefers_close_replica(self):
+        cloud, rings, catalog, __ = setup()
+        router = Router(cloud, rings, catalog)
+        client_in_continent_1 = Location(1, 0, 0, 0, 0, 5)
+        route = router.route(0, 0, "k", client=client_in_continent_1)
+        assert route.server_id == 1
+        assert route.distance < 63
+
+    def test_route_skips_dead_replicas(self):
+        cloud, rings, catalog, __ = setup()
+        cloud.server(1).fail()
+        router = Router(cloud, rings, catalog)
+        client = Location(1, 0, 0, 0, 0, 5)
+        route = router.route(0, 0, "k", client=client)
+        assert route.server_id == 0
+
+    def test_route_no_live_replica(self):
+        cloud, rings, catalog, __ = setup()
+        cloud.server(0).fail()
+        cloud.server(1).fail()
+        router = Router(cloud, rings, catalog)
+        with pytest.raises(RoutingError):
+            router.route(0, 0, "k")
+
+    def test_route_partition_unknown(self):
+        cloud, rings, catalog, __ = setup()
+        router = Router(cloud, rings, catalog)
+        with pytest.raises(RoutingError):
+            router.route_partition(PartitionId(9, 9, 9))
+
+
+class TestSpread:
+    def test_uniform_spread(self):
+        cloud, rings, catalog, ring = setup()
+        router = Router(cloud, rings, catalog)
+        pid = ring.partitions()[0].pid
+        shares = dict(router.spread(pid))
+        assert shares == {0: 0.5, 1: 0.5}
+
+    def test_weighted_spread_goes_to_closest(self):
+        cloud, rings, catalog, ring = setup()
+        router = Router(cloud, rings, catalog)
+        pid = ring.partitions()[0].pid
+        client0 = Location(0, 0, 0, 0, 0, 9)   # continent 0 -> server 0
+        client1 = Location(1, 0, 0, 0, 0, 9)   # continent 1 -> server 1
+        shares = dict(router.spread(pid, [(client0, 3.0), (client1, 1.0)]))
+        assert shares[0] == pytest.approx(0.75)
+        assert shares[1] == pytest.approx(0.25)
+
+    def test_spread_shares_sum_to_one(self):
+        cloud, rings, catalog, ring = setup()
+        router = Router(cloud, rings, catalog)
+        pid = ring.partitions()[0].pid
+        client = Location(0, 1, 0, 0, 0, 0)
+        shares = router.spread(pid, [(client, 10.0)])
+        assert sum(s for __, s in shares) == pytest.approx(1.0)
+
+    def test_zero_weights_fall_back_to_uniform(self):
+        cloud, rings, catalog, ring = setup()
+        router = Router(cloud, rings, catalog)
+        pid = ring.partitions()[0].pid
+        client = Location(0, 0, 0, 0, 0, 0)
+        shares = dict(router.spread(pid, [(client, 0.0)]))
+        assert shares == {0: 0.5, 1: 0.5}

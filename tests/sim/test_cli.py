@@ -1,0 +1,83 @@
+"""Tests for the command-line front end."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_invalid_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "bogus"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "paper"
+        assert args.policy == "economic"
+        assert not args.fig3_events
+
+
+class TestInfo:
+    def test_prints_paper_parameters(self):
+        code, text = run_cli("info")
+        assert code == 0
+        assert "200" in text            # servers
+        assert "app-1" in text
+        assert "replication budget" in text.lower() or "300" in text
+
+
+class TestRun:
+    def test_paper_run(self):
+        code, text = run_cli(
+            "run", "--scenario", "paper", "--epochs", "5",
+            "--partitions", "10", "--points", "5",
+        )
+        assert code == 0
+        assert "vnodes" in text
+        assert "final vnodes" in text
+        assert "scenario=paper" in text
+
+    def test_static_policy(self):
+        code, text = run_cli(
+            "run", "--epochs", "5", "--partitions", "10",
+            "--policy", "static",
+        )
+        assert code == 0
+        assert "policy=static" in text
+
+    def test_fig3_events(self):
+        code, text = run_cli(
+            "run", "--epochs", "5", "--partitions", "10", "--fig3-events",
+        )
+        assert code == 0
+
+    def test_saturation_columns(self):
+        code, text = run_cli(
+            "run", "--scenario", "saturation", "--epochs", "4",
+        )
+        assert code == 0
+        assert "used%" in text
+        assert "ins_fail" in text
+
+
+class TestCompare:
+    def test_compare_three_policies(self):
+        code, text = run_cli(
+            "compare", "--epochs", "6", "--partitions", "12",
+        )
+        assert code == 0
+        for policy in ("economic", "static", "random"):
+            assert policy in text
+        assert "rent/epoch" in text

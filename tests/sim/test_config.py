@@ -1,0 +1,118 @@
+"""Unit tests for scenario configuration."""
+
+import pytest
+
+from repro.cluster.server import MB
+from repro.core.availability import paper_thresholds
+from repro.sim.config import (
+    AppConfig,
+    ConfigError,
+    InsertConfig,
+    RingConfig,
+    SimConfig,
+    paper_apps_config,
+    paper_scenario,
+    saturation_scenario,
+    slashdot_scenario,
+)
+
+
+class TestRingConfig:
+    def test_defaults_match_paper(self):
+        ring = RingConfig(ring_id=0, threshold=20.0, target_replicas=2)
+        assert ring.partitions == 200
+        assert ring.partition_capacity == 256 * MB
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RingConfig(ring_id=0, threshold=-1, target_replicas=2)
+        with pytest.raises(ConfigError):
+            RingConfig(ring_id=0, threshold=1, target_replicas=0)
+        with pytest.raises(ConfigError):
+            RingConfig(
+                ring_id=0, threshold=1, target_replicas=1,
+                partition_capacity=10, initial_partition_size=11,
+            )
+
+
+class TestAppConfig:
+    def test_needs_rings(self):
+        with pytest.raises(ConfigError):
+            AppConfig(app_id=0, name="a", query_share=1.0, rings=())
+
+    def test_duplicate_ring_ids(self):
+        ring = RingConfig(ring_id=0, threshold=1, target_replicas=1)
+        with pytest.raises(ConfigError):
+            AppConfig(
+                app_id=0, name="a", query_share=1.0, rings=(ring, ring)
+            )
+
+
+class TestPaperAppsConfig:
+    def test_three_apps_with_increasing_replicas(self):
+        apps = paper_apps_config()
+        assert len(apps) == 3
+        assert [a.rings[0].target_replicas for a in apps] == [2, 3, 4]
+        th = paper_thresholds()
+        assert [a.rings[0].threshold for a in apps] == [
+            th[2], th[3], th[4]
+        ]
+
+    def test_query_shares(self):
+        apps = paper_apps_config()
+        assert [a.query_share for a in apps] == pytest.approx(
+            [4 / 7, 2 / 7, 1 / 7]
+        )
+
+
+class TestSimConfig:
+    def test_paper_scenario_defaults(self):
+        cfg = paper_scenario()
+        assert cfg.layout.total_servers == 200
+        assert cfg.base_rate == 3000.0
+        assert cfg.replication_budget == 300 * MB
+        assert cfg.migration_budget == 100 * MB
+        assert cfg.rate_profile(0) == 3000.0
+
+    def test_total_initial_bytes(self):
+        cfg = paper_scenario(partitions=10,
+                             initial_partition_size=1000)
+        assert cfg.total_initial_bytes == 3 * 10 * 1000
+
+    def test_app_lookup(self):
+        cfg = paper_scenario()
+        assert cfg.app(1).name == "app-2"
+        with pytest.raises(ConfigError):
+            cfg.app(7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SimConfig(apps=())
+        with pytest.raises(ConfigError):
+            paper_scenario(epochs=0)
+
+    def test_duplicate_app_ids(self):
+        apps = paper_apps_config()
+        with pytest.raises(ConfigError):
+            SimConfig(apps=(apps[0], apps[0]))
+
+
+class TestScenarioVariants:
+    def test_slashdot_scenario_profile(self):
+        cfg = slashdot_scenario(epochs=400)
+        assert cfg.rate_profile(0) == 3000.0
+        assert cfg.rate_profile(125) == 183000.0
+        assert cfg.rate_profile(300) > 3000.0
+        assert cfg.rate_profile(380) < 183000.0
+
+    def test_saturation_scenario_inserts(self):
+        cfg = saturation_scenario()
+        assert cfg.inserts is not None
+        assert cfg.inserts.rate == 2000
+        assert cfg.inserts.object_size == 500 * 1024
+
+    def test_insert_config_validation(self):
+        with pytest.raises(ConfigError):
+            InsertConfig(rate=-1)
+        with pytest.raises(ConfigError):
+            InsertConfig(object_size=0)

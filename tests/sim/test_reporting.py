@@ -1,0 +1,58 @@
+"""Unit tests for ASCII reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.reporting import (
+    format_table,
+    histogram_table,
+    sample_epochs,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [[1, 2.5], [100, 0.333333]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bbb" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.333333333]])
+        assert "0.3333" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestSampleEpochs:
+    def test_includes_endpoints(self):
+        picks = sample_epochs(1000, points=10)
+        assert picks[0] == 0
+        assert picks[-1] == 999
+
+    def test_short_series_returned_whole(self):
+        assert sample_epochs(5, points=10) == [0, 1, 2, 3, 4]
+
+    def test_empty(self):
+        assert sample_epochs(0) == []
+
+    def test_sorted_unique(self):
+        picks = sample_epochs(777, points=25)
+        assert picks == sorted(set(picks))
+
+
+class TestHistogramTable:
+    def test_uniform_values(self):
+        out = histogram_table({0: 5, 1: 5, 2: 5})
+        assert "5" in out
+
+    def test_spread_values_bucketed(self):
+        values = {i: i for i in range(100)}
+        out = histogram_table(values, bins=5)
+        assert len(out.splitlines()) == 7  # header + rule + 5 bins
+
+    def test_empty(self):
+        assert histogram_table({}) == "(empty)"

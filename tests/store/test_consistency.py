@@ -1,0 +1,70 @@
+"""Unit tests for the write-propagation consistency-cost model."""
+
+import pytest
+
+from repro.store.consistency import (
+    DEFAULT_CONSISTENCY,
+    ConsistencyError,
+    ConsistencyModel,
+)
+
+
+class TestValidation:
+    def test_defaults(self):
+        assert DEFAULT_CONSISTENCY.write_fraction == pytest.approx(0.1)
+
+    def test_invalid_write_fraction(self):
+        with pytest.raises(ConsistencyError):
+            ConsistencyModel(write_fraction=1.5)
+
+    def test_invalid_unit_cost(self):
+        with pytest.raises(ConsistencyError):
+            ConsistencyModel(unit_cost=-0.1)
+
+
+class TestEpochCost:
+    def test_single_replica_costs_nothing(self):
+        model = ConsistencyModel(write_fraction=0.5, unit_cost=1.0)
+        assert model.epoch_cost(queries=100, replicas=1) == 0.0
+        assert model.epoch_cost(queries=100, replicas=0) == 0.0
+
+    def test_cost_scales_with_fanout(self):
+        model = ConsistencyModel(write_fraction=0.1, unit_cost=0.01)
+        # 100 queries -> 10 writes, each to (n-1) other replicas.
+        assert model.epoch_cost(100, 2) == pytest.approx(0.1)
+        assert model.epoch_cost(100, 3) == pytest.approx(0.2)
+        assert model.epoch_cost(100, 5) == pytest.approx(0.4)
+
+    def test_base_sync_cost_paid_without_writes(self):
+        model = ConsistencyModel(
+            write_fraction=0.0, unit_cost=1.0, base_sync_cost=0.5
+        )
+        assert model.epoch_cost(0, 3) == pytest.approx(1.0)
+
+    def test_negative_queries_rejected(self):
+        with pytest.raises(ConsistencyError):
+            DEFAULT_CONSISTENCY.epoch_cost(-1, 2)
+
+    def test_negative_replicas_rejected(self):
+        with pytest.raises(ConsistencyError):
+            DEFAULT_CONSISTENCY.epoch_cost(1, -1)
+
+
+class TestMarginalCost:
+    def test_marginal_is_difference(self):
+        model = ConsistencyModel(write_fraction=0.1, unit_cost=0.01)
+        assert model.marginal_cost(100, 2) == pytest.approx(
+            model.epoch_cost(100, 3) - model.epoch_cost(100, 2)
+        )
+
+    def test_marginal_constant_in_replica_count(self):
+        """Each extra replica adds the same propagation fanout."""
+        model = ConsistencyModel(write_fraction=0.2, unit_cost=0.05)
+        assert model.marginal_cost(50, 2) == pytest.approx(
+            model.marginal_cost(50, 7)
+        )
+
+    def test_first_replica_marginal(self):
+        model = ConsistencyModel(write_fraction=0.1, unit_cost=0.01)
+        # Going from 1 to 2 replicas starts costing.
+        assert model.marginal_cost(100, 1) > 0

@@ -1,0 +1,165 @@
+"""Unit tests for the user-facing KV engine."""
+
+import pytest
+
+from repro.cluster.location import Location
+from repro.cluster.server import CapacityError, make_server
+from repro.cluster.topology import Cloud
+from repro.ring.virtualring import AvailabilityLevel, RingSet
+from repro.store.kvstore import KVStore, NoReplicaError, StoreError
+from repro.store.replica import ReplicaCatalog
+
+LEVEL = AvailabilityLevel(threshold=1.0, target_replicas=2)
+
+
+def setup(num_partitions=4, capacity=10_000, server_storage=100_000):
+    cloud = Cloud()
+    for i in range(4):
+        cloud.add_server(
+            make_server(i, Location(i % 2, i // 2, 0, 0, 0, 0),
+                        storage_capacity=server_storage)
+        )
+    rings = RingSet()
+    ring = rings.add_ring(
+        0, 0, LEVEL, num_partitions, partition_capacity=capacity
+    )
+    catalog = ReplicaCatalog(cloud)
+    for p in ring:
+        catalog.place(p, 0)
+        catalog.place(p, 1)
+    store = KVStore(cloud, rings, catalog)
+    return cloud, rings, catalog, store
+
+
+class TestPutGet:
+    def test_roundtrip(self):
+        __, __, __, store = setup()
+        store.put(0, 0, "user:1", b"alice")
+        result = store.get(0, 0, "user:1")
+        assert result.value == b"alice"
+
+    def test_get_missing_key(self):
+        __, __, __, store = setup()
+        with pytest.raises(StoreError):
+            store.get(0, 0, "nope")
+
+    def test_put_grows_partition_and_servers(self):
+        cloud, rings, __, store = setup()
+        pid = store.put(0, 0, "k", b"x" * 64)
+        assert rings.partition(pid).size == 64
+        assert cloud.server(0).storage_used == 64
+        assert cloud.server(1).storage_used == 64
+
+    def test_overwrite_accounts_delta(self):
+        cloud, rings, __, store = setup()
+        pid = store.put(0, 0, "k", b"x" * 64)
+        store.put(0, 0, "k", b"y" * 16)
+        assert rings.partition(pid).size == 16
+        assert cloud.server(0).storage_used == 16
+
+    def test_put_non_bytes_rejected(self):
+        __, __, __, store = setup()
+        with pytest.raises(TypeError):
+            store.put(0, 0, "k", "not-bytes")
+
+    def test_get_serves_closest_replica(self):
+        cloud, __, __, store = setup()
+        store.put(0, 0, "k", b"v")
+        client = Location(1, 0, 9, 9, 9, 9)  # continent 1 -> server 1
+        result = store.get(0, 0, "k", client=client)
+        assert result.server_id == 1
+
+    def test_get_with_all_replicas_dead(self):
+        cloud, __, __, store = setup()
+        store.put(0, 0, "k", b"v")
+        cloud.server(0).fail()
+        cloud.server(1).fail()
+        with pytest.raises(NoReplicaError):
+            store.get(0, 0, "k")
+
+    def test_contains(self):
+        __, __, __, store = setup()
+        assert not store.contains(0, 0, "k")
+        store.put(0, 0, "k", b"v")
+        assert store.contains(0, 0, "k")
+
+    def test_int_and_bytes_keys(self):
+        __, __, __, store = setup()
+        store.put(0, 0, 42, b"int-key")
+        store.put(0, 0, b"raw", b"bytes-key")
+        assert store.get(0, 0, 42).value == b"int-key"
+        assert store.get(0, 0, b"raw").value == b"bytes-key"
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        cloud, rings, __, store = setup()
+        pid = store.put(0, 0, "k", b"x" * 32)
+        assert store.delete(0, 0, "k")
+        assert rings.partition(pid).size == 0
+        assert cloud.server(0).storage_used == 0
+        assert not store.contains(0, 0, "k")
+
+    def test_delete_missing_returns_false(self):
+        __, __, __, store = setup()
+        assert not store.delete(0, 0, "nope")
+
+
+class TestSplitOnOverflow:
+    def test_put_splits_overfull_partition(self):
+        cloud, rings, catalog, store = setup(
+            num_partitions=1, capacity=1000
+        )
+        ring = rings.ring(0, 0)
+        for i in range(40):
+            store.put(0, 0, f"key-{i}", b"z" * 30)
+        assert len(ring) > 1
+        ring.check_invariants()
+        # All data still readable after splits.
+        for i in range(40):
+            assert store.get(0, 0, f"key-{i}").value == b"z" * 30
+
+    def test_split_conserves_bytes(self):
+        cloud, rings, __, store = setup(num_partitions=1, capacity=1000)
+        total = 0
+        for i in range(40):
+            store.put(0, 0, f"key-{i}", b"z" * 30)
+            total += 30
+        assert rings.ring(0, 0).total_size == total
+        # Each server hosts every child, so per-server usage == total.
+        assert cloud.server(0).storage_used == total
+
+    def test_partition_sizes_are_exact_after_split(self):
+        __, rings, __, store = setup(num_partitions=1, capacity=500)
+        for i in range(30):
+            store.put(0, 0, f"k{i}", b"w" * 25)
+        ring = rings.ring(0, 0)
+        for p in ring:
+            measured = sum(
+                len(store.get(0, 0, k).value)
+                for k in [kb.decode() for kb in store.keys_in(p.pid)]
+            )
+            assert measured == p.size
+
+
+class TestCapacityFailures:
+    def test_put_fails_when_a_replica_server_is_full(self):
+        cloud, __, __, store = setup(server_storage=100)
+        store.put(0, 0, "a", b"x" * 60)
+        # Find a key landing in a partition hosted by servers 0/1 (all
+        # are), whose growth would exceed the 100-byte server capacity.
+        with pytest.raises(CapacityError):
+            store.put(0, 0, "b", b"y" * 60)
+
+
+class TestLostPartitions:
+    def test_drop_lost_partitions(self):
+        cloud, rings, catalog, store = setup()
+        store.put(0, 0, "k", b"v")
+        pid = store.put(0, 0, "k", b"v")
+        for sid in list(catalog.servers_of(pid)):
+            catalog.drop(rings.partition(pid), sid)
+        lost = store.drop_lost_partitions()
+        assert pid in lost
+        with pytest.raises(StoreError):
+            store.get(0, 0, "k")

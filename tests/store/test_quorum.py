@@ -1,0 +1,176 @@
+"""Tests for the quorum store: levels, staleness, read repair."""
+
+import pytest
+
+from repro.cluster.location import Location
+from repro.cluster.server import make_server
+from repro.cluster.topology import Cloud
+from repro.ring.virtualring import AvailabilityLevel, RingSet
+from repro.store.quorum import (
+    Level,
+    QuorumError,
+    QuorumKVStore,
+    Versioned,
+)
+from repro.store.replica import ReplicaCatalog
+
+
+def setup(replicas=3, read_repair=True):
+    cloud = Cloud()
+    for i in range(4):
+        cloud.add_server(
+            make_server(i, Location(i, 0, 0, 0, 0, 0),
+                        storage_capacity=10**9)
+        )
+    rings = RingSet()
+    ring = rings.add_ring(0, 0, AvailabilityLevel(1.0, replicas), 4,
+                          initial_size=0)
+    catalog = ReplicaCatalog(cloud)
+    for p in ring:
+        for sid in range(replicas):
+            catalog.place(p, sid)
+    store = QuorumKVStore(cloud, rings, catalog, read_repair=read_repair)
+    return cloud, store
+
+
+class TestLevels:
+    def test_required_counts(self):
+        assert Level.ONE.required(3) == 1
+        assert Level.QUORUM.required(3) == 2
+        assert Level.QUORUM.required(4) == 3
+        assert Level.ALL.required(3) == 3
+        assert Level.QUORUM.required(0) == 1
+
+
+class TestHappyPath:
+    def test_write_then_read(self):
+        __, store = setup()
+        result = store.put(0, 0, "k", b"v1")
+        assert len(result.acked) == 3
+        assert result.missed == ()
+        read = store.get(0, 0, "k")
+        assert read.value == b"v1"
+        assert read.version == result.version
+
+    def test_versions_increase(self):
+        __, store = setup()
+        v1 = store.put(0, 0, "k", b"a").version
+        v2 = store.put(0, 0, "k", b"b").version
+        assert v2 > v1
+        assert store.get(0, 0, "k").value == b"b"
+
+    def test_missing_key(self):
+        __, store = setup()
+        read = store.get(0, 0, "nope")
+        assert not read.found
+        assert read.value is None
+
+    def test_non_bytes_rejected(self):
+        __, store = setup()
+        with pytest.raises(TypeError):
+            store.put(0, 0, "k", "str")
+
+
+class TestStalenessAndRepair:
+    def test_dead_replica_misses_write(self):
+        cloud, store = setup()
+        store.put(0, 0, "k", b"v1", level=Level.ALL)
+        cloud.server(2).fail()
+        result = store.put(0, 0, "k", b"v2", level=Level.QUORUM)
+        assert 2 not in result.acked
+        cloud.server(2).restore()
+        assert store.divergence(0, 0, "k") > 0
+
+    def test_quorum_read_sees_fresh_after_partial_write(self):
+        """R + W > N: a QUORUM read must overlap the QUORUM write."""
+        cloud, store = setup()
+        store.put(0, 0, "k", b"old", level=Level.ALL)
+        cloud.server(2).fail()
+        store.put(0, 0, "k", b"new", level=Level.QUORUM)
+        cloud.server(2).restore()
+        read = store.get(0, 0, "k", level=Level.QUORUM)
+        assert read.value == b"new"
+
+    def test_one_read_may_be_stale(self):
+        cloud, store = setup(read_repair=False)
+        store.put(0, 0, "k", b"old", level=Level.ALL)
+        cloud.server(0).fail()
+        cloud.server(1).fail()
+        store.put(0, 0, "k", b"new", level=Level.ONE)  # only server 2
+        cloud.server(0).restore()
+        cloud.server(1).restore()
+        # A ONE read routed to a stale replica returns the old value.
+        client_near_0 = Location(0, 0, 0, 0, 0, 5)
+        read = store.get(0, 0, "k", level=Level.ONE, client=client_near_0)
+        assert read.value == b"old"
+
+    def test_read_repair_fixes_stale_copies(self):
+        cloud, store = setup(read_repair=True)
+        store.put(0, 0, "k", b"old", level=Level.ALL)
+        cloud.server(2).fail()
+        store.put(0, 0, "k", b"new")
+        cloud.server(2).restore()
+        read = store.get(0, 0, "k", level=Level.ALL)
+        assert read.value == b"new"
+        assert 2 in read.stale_replicas
+        assert store.divergence(0, 0, "k") == 0  # repaired
+
+    def test_no_read_repair_preserves_divergence(self):
+        cloud, store = setup(read_repair=False)
+        store.put(0, 0, "k", b"old", level=Level.ALL)
+        cloud.server(2).fail()
+        store.put(0, 0, "k", b"new")
+        cloud.server(2).restore()
+        store.get(0, 0, "k", level=Level.ALL)
+        assert store.divergence(0, 0, "k") > 0
+
+
+class TestQuorumFailures:
+    def test_write_quorum_unreachable(self):
+        cloud, store = setup()
+        cloud.server(0).fail()
+        cloud.server(1).fail()
+        with pytest.raises(QuorumError):
+            store.put(0, 0, "k", b"v", level=Level.QUORUM)
+
+    def test_one_still_works_with_single_survivor(self):
+        cloud, store = setup()
+        cloud.server(0).fail()
+        cloud.server(1).fail()
+        result = store.put(0, 0, "k", b"v", level=Level.ONE)
+        assert result.acked == (2,)
+
+    def test_all_fails_with_any_dead_replica(self):
+        cloud, store = setup()
+        cloud.server(1).fail()
+        with pytest.raises(QuorumError):
+            store.put(0, 0, "k", b"v", level=Level.ALL)
+
+
+class TestDelete:
+    def test_tombstone_hides_value(self):
+        __, store = setup()
+        store.put(0, 0, "k", b"v")
+        store.delete(0, 0, "k")
+        read = store.get(0, 0, "k")
+        assert not read.found
+        assert read.version > 0  # the tombstone is versioned
+
+    def test_write_after_delete_resurrects(self):
+        __, store = setup()
+        store.put(0, 0, "k", b"v1")
+        store.delete(0, 0, "k")
+        store.put(0, 0, "k", b"v2")
+        assert store.get(0, 0, "k").value == b"v2"
+
+
+class TestIntrospection:
+    def test_replica_version(self):
+        cloud, store = setup()
+        store.put(0, 0, "k", b"v")
+        assert store.replica_version(0, 0, "k", 0) == 1
+        assert store.replica_version(0, 0, "k", 3) == -1  # not a replica
+
+    def test_versioned_tombstone_flag(self):
+        assert Versioned(value=None, version=1).is_tombstone
+        assert not Versioned(value=b"x", version=1).is_tombstone

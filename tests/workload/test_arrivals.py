@@ -1,0 +1,93 @@
+"""Unit tests for arrival processes and rate profiles."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import (
+    ArrivalError,
+    ConstantRate,
+    PiecewiseLinearRate,
+    PoissonArrivals,
+    scaled,
+)
+
+
+class TestConstantRate:
+    def test_constant(self):
+        rate = ConstantRate(3000.0)
+        assert rate(0) == rate(999) == 3000.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ArrivalError):
+            ConstantRate(-1.0)
+
+
+class TestPiecewiseLinear:
+    def test_interpolation(self):
+        profile = PiecewiseLinearRate(points=((0, 0.0), (10, 100.0)))
+        assert profile(5) == pytest.approx(50.0)
+
+    def test_holds_before_and_after(self):
+        profile = PiecewiseLinearRate(points=((10, 5.0), (20, 15.0)))
+        assert profile(0) == 5.0
+        assert profile(100) == 15.0
+
+    def test_exact_breakpoints(self):
+        profile = PiecewiseLinearRate(points=((0, 1.0), (10, 11.0)))
+        assert profile(0) == 1.0
+        assert profile(10) == 11.0
+
+    def test_non_increasing_epochs_rejected(self):
+        with pytest.raises(ArrivalError):
+            PiecewiseLinearRate(points=((10, 1.0), (5, 2.0)))
+        with pytest.raises(ArrivalError):
+            PiecewiseLinearRate(points=((5, 1.0), (5, 2.0)))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ArrivalError):
+            PiecewiseLinearRate(points=((0, -1.0),))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ArrivalError):
+            PiecewiseLinearRate(points=())
+
+
+class TestScaled:
+    def test_scaling(self):
+        profile = scaled(ConstantRate(100.0), 0.25)
+        assert profile(0) == 25.0
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ArrivalError):
+            scaled(ConstantRate(1.0), -0.5)
+
+
+class TestPoissonArrivals:
+    def test_mean_close_to_rate(self):
+        arrivals = PoissonArrivals(
+            ConstantRate(3000.0), np.random.default_rng(0)
+        )
+        draws = arrivals.series(300)
+        assert abs(draws.mean() - 3000.0) < 50.0
+
+    def test_zero_rate_draws_zero(self):
+        arrivals = PoissonArrivals(
+            ConstantRate(0.0), np.random.default_rng(0)
+        )
+        assert arrivals.draw(0) == 0
+
+    def test_rate_accessor(self):
+        arrivals = PoissonArrivals(
+            ConstantRate(7.0), np.random.default_rng(0)
+        )
+        assert arrivals.rate(5) == 7.0
+
+    def test_negative_profile_rejected_at_draw(self):
+        arrivals = PoissonArrivals(lambda e: -5.0, np.random.default_rng(0))
+        with pytest.raises(ArrivalError):
+            arrivals.draw(0)
+
+    def test_deterministic_with_seed(self):
+        a = PoissonArrivals(ConstantRate(100.0), np.random.default_rng(5))
+        b = PoissonArrivals(ConstantRate(100.0), np.random.default_rng(5))
+        assert list(a.series(20)) == list(b.series(20))

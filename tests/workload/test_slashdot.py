@@ -1,0 +1,49 @@
+"""Unit tests for the Fig. 4 Slashdot load profile."""
+
+import pytest
+
+from repro.workload.arrivals import ArrivalError
+from repro.workload.slashdot import PAPER_SPIKE_FACTOR, slashdot_profile
+
+
+class TestSlashdotProfile:
+    def test_paper_shape(self):
+        profile = slashdot_profile()
+        assert profile(0) == 3000.0
+        assert profile(100) == 3000.0          # spike starts here
+        assert profile(125) == 183000.0        # peak after 25-epoch ramp
+        assert profile(375) == 3000.0          # back to base after decay
+        assert profile(500) == 3000.0
+
+    def test_ramp_is_monotone(self):
+        profile = slashdot_profile()
+        values = [profile(e) for e in range(100, 126)]
+        assert values == sorted(values)
+
+    def test_decay_is_monotone(self):
+        profile = slashdot_profile()
+        values = [profile(e) for e in range(125, 376)]
+        assert values == sorted(values, reverse=True)
+
+    def test_decay_slower_than_ramp(self):
+        profile = slashdot_profile()
+        ramp_slope = profile(101) - profile(100)
+        decay_slope = profile(126) - profile(127)
+        assert ramp_slope > decay_slope > 0
+
+    def test_spike_factor(self):
+        assert PAPER_SPIKE_FACTOR == pytest.approx(61.0)
+
+    def test_custom_parameters(self):
+        profile = slashdot_profile(
+            base_rate=10.0, peak_rate=100.0, spike_epoch=5,
+            ramp_epochs=5, decay_epochs=10,
+        )
+        assert profile(10) == 100.0
+        assert profile(20) == 10.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ArrivalError):
+            slashdot_profile(base_rate=100.0, peak_rate=50.0)
+        with pytest.raises(ArrivalError):
+            slashdot_profile(ramp_epochs=0)
