@@ -1,0 +1,144 @@
+"""Epoch-throughput regression harness (PR 1's perf baseline).
+
+Measures the production (vectorized) and reference (scalar) epoch
+kernels on the Fig. 4 Slashdot scenario and a 10×-partitions variant,
+writes ``BENCH_epoch_throughput.json`` at the repo root so the perf
+trajectory is tracked across PRs, and asserts the vectorized kernel
+holds its multiple over the scalar reference — the scalar kernel
+preserves the pre-refactor implementation (per-replica settlement,
+per-use O(R²) availability, per-agent list rebuilds), so the ratio is
+the refactor's speedup, measured on whatever machine runs the bench.
+
+Both kernels emit bit-identical ``EpochFrame`` streams (enforced by
+``tests/integration/test_kernel_equivalence.py``), so this is a pure
+throughput comparison.
+
+Run just this harness with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+import dataclasses
+
+from repro.cluster.topology import CloudLayout
+from repro.sim.config import slashdot_scenario
+from repro.sim.profiling import compare_kernels, speedup
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "BENCH_epoch_throughput.json"
+
+#: The vectorized kernel must stay at least this much faster than the
+#: scalar reference on the Fig. 4 scenario — the PR-1 acceptance bar.
+#: Measured at PR 1: ~4.7× on fig4-slashdot and ~8× on the 10× variant,
+#: so the floor leaves ~1.5× headroom for shared-machine timer noise
+#: while a real regression (losing the batched settlement, the
+#: incremental availability, or the expansion rent floor) still fails
+#: loudly.
+MIN_SPEEDUP = 3.0
+
+#: Scenario horizons: long enough to cross the Slashdot ramp and give
+#: stable timings, short enough for CI.
+FIG4_EPOCHS = 150
+FIG4_10X_EPOCHS = 12
+#: The 10× variant measures the steady state at scale: the first epochs
+#: after single-replica seeding are a transfer-bound replication
+#: bootstrap in any kernel, so they warm up untimed.
+FIG4_10X_WARMUP = 25
+
+
+def _fig4_config(partitions: int):
+    # Compress the spike into the measured window so the bench exercises
+    # the surge regime (ramp + peak + early decay), not just idle load.
+    return slashdot_scenario(
+        epochs=FIG4_EPOCHS,
+        seed=0,
+        partitions=partitions,
+        spike_epoch=30,
+        ramp_epochs=25,
+        decay_epochs=60,
+    )
+
+
+def _fig4_10x_config():
+    # 10× partitions on a 10× cloud (same geography tree, deeper racks):
+    # scaling only the partition count would oversubscribe the paper
+    # cloud's storage and measure a permanent repair storm instead of
+    # epoch throughput.
+    cfg = _fig4_config(2000)
+    return dataclasses.replace(
+        cfg,
+        epochs=FIG4_10X_WARMUP + FIG4_10X_EPOCHS,
+        layout=CloudLayout(racks_per_room=4, servers_per_rack=25),
+    )
+
+
+def _entry(config, results):
+    ratio = speedup(results)
+    return {
+        "epochs": {k: r.epochs for k, r in results.items()},
+        "partitions_per_app": config.apps[0].rings[0].partitions,
+        "total_partitions": sum(
+            ring.partitions for app in config.apps for ring in app.rings
+        ),
+        "epochs_per_sec": {
+            kernel: round(r.epochs_per_sec, 2)
+            for kernel, r in results.items()
+        },
+        "speedup_vectorized_over_scalar": (
+            round(ratio, 2) if ratio is not None else None
+        ),
+    }
+
+
+def test_epoch_throughput_fig4():
+    payload = {
+        "harness": "benchmarks/perf/test_epoch_throughput.py",
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "scenarios": {},
+    }
+
+    base = _fig4_config(200)
+    base_results = compare_kernels(base, epochs=FIG4_EPOCHS, repeats=2)
+    payload["scenarios"]["fig4-slashdot"] = _entry(base, base_results)
+
+    scaled = _fig4_10x_config()
+    scaled_results = compare_kernels(
+        scaled, epochs=FIG4_10X_EPOCHS, warmup_epochs=FIG4_10X_WARMUP
+    )
+    payload["scenarios"]["fig4-slashdot-10x"] = _entry(
+        scaled, scaled_results
+    )
+
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    print("\nepoch throughput (epochs/sec):")
+    for name, entry in payload["scenarios"].items():
+        eps = entry["epochs_per_sec"]
+        print(
+            f"  {name:20s} vectorized {eps['vectorized']:8.2f}   "
+            f"scalar {eps['scalar']:8.2f}   "
+            f"speedup {entry['speedup_vectorized_over_scalar']}x"
+        )
+
+    base_ratio = payload["scenarios"]["fig4-slashdot"][
+        "speedup_vectorized_over_scalar"
+    ]
+    assert base_ratio is not None and base_ratio >= MIN_SPEEDUP, (
+        f"vectorized kernel regressed: {base_ratio}x < {MIN_SPEEDUP}x "
+        f"over the scalar reference on fig4-slashdot"
+    )
+    scaled_ratio = payload["scenarios"]["fig4-slashdot-10x"][
+        "speedup_vectorized_over_scalar"
+    ]
+    assert scaled_ratio is not None and scaled_ratio >= MIN_SPEEDUP, (
+        f"vectorized kernel regressed at 10x scale: {scaled_ratio}x"
+    )

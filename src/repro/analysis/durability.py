@@ -15,12 +15,12 @@ and the economic placement must beat diversity-blind baselines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.location import LEVELS, Location
+from repro.cluster.location import LEVELS
 from repro.cluster.topology import Cloud
 from repro.ring.partition import PartitionId
 from repro.store.replica import ReplicaCatalog

@@ -28,6 +28,10 @@ class RandomScorer(PlacementScorer):
     *choice*, not to feasibility.
     """
 
+    #: Every ``best`` call consumes a draw: the decision engine must
+    #: not skip calls, or the stream would depend on the skip logic.
+    best_is_pure = False
+
     def __init__(self, cloud, board, rng: np.random.Generator,
                  rent_weight: float = 1.0) -> None:
         super().__init__(cloud, board, rent_weight=rent_weight)
@@ -39,7 +43,10 @@ class RandomScorer(PlacementScorer):
              max_rent: Optional[float] = None,
              exclude: Sequence[int] = (),
              budget: Optional[str] = None,
-             headroom_fraction: float = 0.0) -> Optional[Candidate]:
+             headroom_fraction: float = 0.0,
+             cache_key: Optional[object] = None) -> Optional[Candidate]:
+        # ``cache_key`` identifies the replica set for eq. 3 gain
+        # caching; the random ablation never scores, so it is unused.
         ids = self.server_ids
         blocked = set(replica_servers) | set(exclude)
         headroom = (
@@ -94,4 +101,5 @@ def random_placement_decider(ctx: SimContext) -> RandomPlacementDecider:
     return RandomPlacementDecider(
         ctx.cloud, ctx.rings, ctx.catalog, ctx.registry, ctx.transfers,
         ctx.policy, rent_model=ctx.rent_model,
+        kernel=ctx.kernel, avail_index=ctx.avail_index,
     )

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Tuple
 
-from repro.sim.config import AppConfig, RingConfig, SimConfig
+from repro.sim.config import SimConfig
 
 
 class AblationError(ValueError):

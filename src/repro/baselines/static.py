@@ -94,4 +94,5 @@ def static_decider(ctx: SimContext) -> StaticDecider:
     return StaticDecider(
         ctx.cloud, ctx.rings, ctx.catalog, ctx.registry, ctx.transfers,
         ctx.policy, rent_model=ctx.rent_model,
+        kernel=ctx.kernel, avail_index=ctx.avail_index,
     )

@@ -7,21 +7,28 @@ Examples::
     python -m repro.cli run --scenario slashdot --epochs 200 --points 25
     python -m repro.cli run --scenario paper --fig3-events --epochs 300
     python -m repro.cli compare --epochs 40 --partitions 80
+    python -m repro.cli profile --scenario slashdot --epochs 60
+    python -m repro.cli profile --kernel vectorized --cprofile
 
 ``run`` executes one scenario and prints the per-epoch series the
 paper's figures plot; ``compare`` runs the economic policy against the
-static and random baselines on an identical scenario.
+static and random baselines on an identical scenario; ``profile``
+measures epoch throughput under the vectorized and scalar epoch
+kernels (optionally with a cProfile hot-spot listing).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.baselines.random_placement import random_placement_decider
 from repro.baselines.static import static_decider
 from repro.cluster.events import fig3_schedule
+from repro.core.decision import KERNELS
 from repro.sim.config import (
     SimConfig,
     paper_scenario,
@@ -29,6 +36,7 @@ from repro.sim.config import (
     slashdot_scenario,
 )
 from repro.sim.engine import Simulation, economic_decider
+from repro.sim.profiling import compare_kernels, measure_throughput, speedup
 from repro.sim.reporting import format_table, series_table, summarize
 from repro.sim.seeds import RngStreams
 
@@ -71,6 +79,27 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--epochs", type=int, default=40)
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--partitions", type=int, default=100)
+
+    profile = sub.add_parser(
+        "profile",
+        help="measure epoch throughput of the epoch kernels",
+    )
+    profile.add_argument("--scenario", choices=SCENARIOS,
+                         default="slashdot")
+    profile.add_argument("--epochs", type=int, default=60)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--partitions", type=int, default=200)
+    profile.add_argument("--repeats", type=int, default=2,
+                         help="timed runs per kernel (best-of)")
+    profile.add_argument("--warmup", type=int, default=0,
+                         help="untimed epochs before the measurement")
+    profile.add_argument("--kernel", choices=("both",) + KERNELS,
+                         default="both")
+    profile.add_argument("--cprofile", action="store_true",
+                         help="print cProfile hot spots of one "
+                              "vectorized run")
+    profile.add_argument("--json", dest="json_path", default=None,
+                         help="also write the results to this JSON file")
 
     sub.add_parser("info", help="print the paper scenario's parameters")
     return parser
@@ -149,6 +178,81 @@ def cmd_compare(args, out) -> int:
     return 0
 
 
+def cmd_profile(args, out) -> int:
+    config = make_config(args)
+    if args.kernel == "both":
+        results = compare_kernels(
+            config, epochs=args.epochs, warmup_epochs=args.warmup,
+            repeats=args.repeats,
+        )
+    else:
+        cfg = dataclasses.replace(config, kernel=args.kernel)
+        results = {
+            args.kernel: measure_throughput(
+                cfg, epochs=args.epochs, warmup_epochs=args.warmup,
+                repeats=args.repeats,
+            )
+        }
+    rows = [
+        [
+            kernel,
+            r.epochs,
+            f"{r.seconds:.3f}",
+            f"{r.epochs_per_sec:.2f}",
+            f"{r.total_queries / max(r.seconds, 1e-9):,.0f}",
+        ]
+        for kernel, r in sorted(results.items())
+    ]
+    print(
+        f"scenario={args.scenario} partitions={args.partitions} "
+        f"seed={args.seed} warmup={args.warmup}",
+        file=out,
+    )
+    print(
+        format_table(
+            ["kernel", "epochs", "seconds", "epochs/s", "queries/s"], rows
+        ),
+        file=out,
+    )
+    ratio = speedup(results)
+    if ratio is not None:
+        print(f"speedup (vectorized / scalar): {ratio:.2f}x", file=out)
+    if args.json_path:
+        payload = {
+            "scenario": args.scenario,
+            "partitions": args.partitions,
+            "seed": args.seed,
+            "results": {
+                kernel: {
+                    "epochs": r.epochs,
+                    "seconds": r.seconds,
+                    "epochs_per_sec": r.epochs_per_sec,
+                }
+                for kernel, r in results.items()
+            },
+            "speedup_vectorized_over_scalar": ratio,
+        }
+        with open(args.json_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json_path}", file=out)
+    if args.cprofile:
+        import cProfile
+        import pstats
+
+        sim = Simulation(
+            dataclasses.replace(config, kernel="vectorized")
+        )
+        if args.warmup:
+            sim.run(args.warmup)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        sim.run(args.epochs)
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=out)
+        stats.sort_stats("tottime").print_stats(20)
+    return 0
+
+
 def cmd_info(out) -> int:
     cfg = paper_scenario()
     rows = [
@@ -186,6 +290,8 @@ def main(argv: Optional[Sequence[str]] = None,
         return cmd_run(args, out)
     if args.command == "compare":
         return cmd_compare(args, out)
+    if args.command == "profile":
+        return cmd_profile(args, out)
     return cmd_info(out)
 
 

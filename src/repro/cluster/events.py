@@ -11,11 +11,10 @@ the failure modes the introduction motivates (a PDU failure takes out
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.location import Location
 from repro.cluster.server import GB
 from repro.cluster.topology import Cloud, CloudLayout, fresh_locations
 

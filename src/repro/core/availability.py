@@ -15,9 +15,8 @@ colocated machines together.
 from __future__ import annotations
 
 from math import comb
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Sequence
 
-import numpy as np
 
 from repro.cluster.location import (
     CROSS_COUNTRY_DIVERSITY,
@@ -137,6 +136,165 @@ def paper_thresholds() -> Dict[int, float]:
       (four cross-country replicas under the paper layout).
     """
     return {2: 20.0, 3: 80.0, 4: 250.0}
+
+
+class AvailabilityIndex:
+    """Incrementally maintained eq. 2 availability of every partition.
+
+    The scalar engine recomputes the O(R²) pair sum from scratch every
+    time a partition's availability is consulted — in the decision pass
+    *and* again in metrics collection.  This index instead subscribes to
+    the replica catalog and folds every membership change into a cached
+    per-partition pair sum:
+
+    * replicate onto ``s``:  ``S += Σ_k conf_s · conf_k · div(s, k)``;
+    * suicide / drop of ``s``:  ``S -= `` the same pair gain;
+    * migration: the add and the remove, in catalog order;
+    * partition split: children inherit the parent's replica set, so
+      they inherit ``S`` verbatim;
+    * server death: the lost partitions are recomputed from their
+      surviving replicas (the dead server's diversity row is gone from
+      the cloud, so its pair terms cannot be subtracted — and deaths are
+      rare enough that an O(R²) rebuild per lost partition is free).
+
+    Exactness: under the evaluation's confidence model (conf ≡ 1.0, the
+    default of :func:`repro.cluster.topology.build_cloud`) every pair
+    term is a small integer, so the float64 pair sum is *exact* and the
+    delta-maintained value is bit-identical to the scalar double loop
+    regardless of accumulation order.  With fractional confidences the
+    cached value can drift from the scalar loop by rounding ulps; callers
+    needing the scalar anchor there should use :func:`availability`.
+    """
+
+    def __init__(self, cloud: Cloud, catalog=None) -> None:
+        self._cloud = cloud
+        self._catalog = None
+        self._avail: Dict[object, float] = {}
+        # Per-(partition, server) pair-term totals for the suicide test,
+        # memoised until the partition's membership changes.  Negative
+        # streaks persist across epochs while membership rarely moves,
+        # so the hit rate in steady state is high.
+        self._contrib: Dict[object, Dict[int, float]] = {}
+        if catalog is not None:
+            self.bind(catalog)
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind(self, catalog) -> None:
+        """Subscribe to ``catalog`` and bootstrap from its current state."""
+        self._catalog = catalog
+        catalog.add_listener(self)
+        self.rebuild(catalog)
+
+    def rebuild(self, catalog) -> None:
+        """Recompute every partition's pair sum from catalog state."""
+        self._contrib = {}
+        self._avail = {
+            pid: availability(self._cloud, catalog.servers_of(pid))
+            for pid in catalog.partitions()
+        }
+
+    # -- queries -----------------------------------------------------------
+
+    def availability_of(self, pid) -> float:
+        """Cached eq. 2 availability (0.0 for unknown / lost partitions)."""
+        return self._avail.get(pid, 0.0)
+
+    def contribution(self, pid, server_id: int,
+                     servers: Sequence[int]) -> float:
+        """Pair terms ``server_id`` contributes to its partition's sum.
+
+        ``availability_of(pid) - contribution(...)`` is the §II-C
+        suicide test ("does availability stay satisfied without me?")
+        in O(R) instead of O(R²) — and usually O(1): the value is
+        memoised per (partition, server) until the partition's
+        membership changes.  ``servers`` must be the partition's current
+        live replica set (the memo is keyed on membership events, not on
+        the argument).
+        """
+        cache = self._contrib.get(pid)
+        if cache is None:
+            cache = {}
+            self._contrib[pid] = cache
+        else:
+            cached = cache.get(server_id)
+            if cached is not None:
+                return cached
+        cloud = self._cloud
+        total = 0.0
+        if server_id in cloud:
+            me = cloud.server(server_id)
+            if me.alive:
+                row = cloud.diversity_row(server_id)
+                slot = cloud.slot
+                server = cloud.server
+                for sid in servers:
+                    if (
+                        sid != server_id
+                        and sid in cloud
+                        and server(sid).alive
+                    ):
+                        total += (
+                            me.confidence
+                            * server(sid).confidence
+                            * row[slot(sid)]
+                        )
+        cache[server_id] = total
+        return total
+
+    # -- CatalogListener callbacks ------------------------------------------
+
+    def replica_added(self, pid, server_id: int,
+                      servers: Sequence[int]) -> None:
+        self._contrib.pop(pid, None)
+        others = [sid for sid in servers if sid != server_id]
+        gain = 0.0
+        if others:
+            gain = pair_gain(self._cloud, others, server_id)
+        self._avail[pid] = self._avail.get(pid, 0.0) + gain
+
+    def replica_removed(self, pid, server_id: int,
+                        servers: Sequence[int]) -> None:
+        self._contrib.pop(pid, None)
+        if not servers:
+            self._avail.pop(pid, None)
+            return
+        if server_id in self._cloud and self._cloud.server(server_id).alive:
+            loss = pair_gain(self._cloud, servers, server_id)
+        else:
+            # The server is gone from the cloud (death path without the
+            # bulk drop): its pair terms cannot be derived, recompute.
+            self._avail[pid] = availability(self._cloud, servers)
+            return
+        self._avail[pid] = self._avail.get(pid, 0.0) - loss
+
+    def server_dropped(self, server_id: int, lost: Sequence) -> None:
+        # The dead server's diversity row left the cloud with it, so its
+        # pair terms cannot be subtracted; recompute each affected
+        # partition's pair sum over the survivors (exact, and deaths are
+        # rare enough that the O(R²) rebuild per lost partition is free).
+        catalog = self._catalog
+        for pid in lost:
+            self._contrib.pop(pid, None)
+            servers = catalog.servers_of(pid) if catalog is not None else ()
+            if servers:
+                self._avail[pid] = availability(self._cloud, servers)
+            else:
+                self._avail.pop(pid, None)
+
+    def partition_split(self, parent, low, high,
+                        servers: Sequence[int]) -> None:
+        # Children inherit the parent's replica set verbatim, so both
+        # the pair sum and the per-server pair terms carry over.
+        contrib = self._contrib.pop(parent, None)
+        if contrib is not None:
+            self._contrib[low] = dict(contrib)
+            self._contrib[high] = dict(contrib)
+        inherited = self._avail.pop(parent, None)
+        if inherited is None:
+            return
+        self._avail[low] = inherited
+        self._avail[high] = inherited
 
 
 def diversity_histogram(cloud: Cloud, server_ids: Sequence[int]

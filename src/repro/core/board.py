@@ -28,6 +28,11 @@ class PriceBoard:
     def __init__(self) -> None:
         self._prices: Dict[int, float] = {}
         self._epoch: Optional[int] = None
+        # min/mean/max are consulted once per §II-C shed decision (the
+        # utility floor and the migration rent cap), i.e. tens of
+        # thousands of times per epoch at scale — memoise them per
+        # posted table instead of re-scanning the price dict.
+        self._stats: Optional[Tuple[float, float, float]] = None
 
     @property
     def epoch(self) -> Optional[int]:
@@ -42,6 +47,18 @@ class PriceBoard:
                 raise BoardError(f"negative price for server {sid}: {price}")
         self._prices = dict(prices)
         self._epoch = epoch
+        self._stats = None
+
+    def _price_stats(self) -> Tuple[float, float, float]:
+        self._require_posted()
+        stats = self._stats
+        if stats is None:
+            values = self._prices.values()
+            stats = (
+                min(values), sum(values) / len(values), max(values)
+            )
+            self._stats = stats
+        return stats
 
     def price(self, server_id: int) -> float:
         self._require_posted()
@@ -59,16 +76,23 @@ class PriceBoard:
 
     def min_price(self) -> float:
         """The epoch's cheapest rent — the §II-C utility floor."""
+        return self._price_stats()[0]
+
+    def scan_min_price(self) -> float:
+        """Uncached minimum scan — the pre-refactor reference path.
+
+        Same value as :meth:`min_price`; kept so the scalar reference
+        kernel preserves the pre-refactor cost model the perf harness
+        measures speedups against.
+        """
         self._require_posted()
         return min(self._prices.values())
 
     def max_price(self) -> float:
-        self._require_posted()
-        return max(self._prices.values())
+        return self._price_stats()[2]
 
     def mean_price(self) -> float:
-        self._require_posted()
-        return sum(self._prices.values()) / len(self._prices)
+        return self._price_stats()[1]
 
     def cheapest(self, count: int = 1) -> List[Tuple[int, float]]:
         """The ``count`` cheapest (server, price) pairs, ascending."""
@@ -80,6 +104,7 @@ class PriceBoard:
         """Remove failed servers' prices mid-epoch."""
         for sid in server_ids:
             self._prices.pop(sid, None)
+        self._stats = None
 
     def price_vector(self, server_ids: List[int]) -> np.ndarray:
         """Prices for ``server_ids`` in order, for vectorised scoring."""

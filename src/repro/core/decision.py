@@ -21,14 +21,14 @@ decision that cannot be executed this epoch is simply retried later.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cluster.topology import Cloud
 from repro.core.agent import AgentRegistry, VNodeAgent
-from repro.core.availability import availability, availability_without
+from repro.core.availability import AvailabilityIndex, availability
 from repro.core.board import PriceBoard
 from repro.core.economy import RentModel
 from repro.core.placement import PlacementScorer
@@ -36,12 +36,23 @@ from repro.ring.partition import Partition, PartitionId
 from repro.ring.virtualring import RingSet
 from repro.store.consistency import DEFAULT_CONSISTENCY, ConsistencyModel
 from repro.store.replica import ReplicaCatalog
-from repro.store.transfer import TransferEngine, TransferKind
+from repro.store.transfer import TransferEngine
 from repro.workload.mix import EpochLoad
+
+#: Epoch-kernel implementations accepted by :class:`DecisionEngine` and
+#: :class:`repro.sim.config.SimConfig`.  ``"vectorized"`` is the default
+#: production kernel (batched eq. 5 settlement + incremental eq. 2
+#: availability); ``"scalar"`` is the straight-line reference the
+#: property tests and the perf harness compare against.
+KERNELS = ("vectorized", "scalar")
 
 
 class PolicyError(ValueError):
     """Raised for invalid policy parameters."""
+
+
+class KernelError(ValueError):
+    """Raised for unknown epoch-kernel names."""
 
 
 @dataclass(frozen=True)
@@ -130,7 +141,13 @@ class DecisionEngine:
                  catalog: ReplicaCatalog, registry: AgentRegistry,
                  transfers: TransferEngine,
                  policy: EconomicPolicy,
-                 rent_model: Optional[RentModel] = None) -> None:
+                 rent_model: Optional[RentModel] = None,
+                 kernel: str = "vectorized",
+                 avail_index: Optional[AvailabilityIndex] = None) -> None:
+        if kernel not in KERNELS:
+            raise KernelError(
+                f"kernel must be one of {KERNELS}, got {kernel!r}"
+            )
         self._rent_model = rent_model if rent_model is not None else RentModel()
         self._cloud = cloud
         self._rings = rings
@@ -138,11 +155,28 @@ class DecisionEngine:
         self._registry = registry
         self._transfers = transfers
         self._policy = policy
-        # Eq. 2 memo keyed by the sorted live replica set.  Valid for
-        # the lifetime of the engine: server ids are never reused and
-        # pairwise diversity/confidence are immutable, so a replica
-        # set's availability can never change value.
+        self._kernel = kernel
+        # Eq. 2 memo keyed by the sorted live replica set (scalar kernel
+        # only).  Valid for the lifetime of the engine: server ids are
+        # never reused and pairwise diversity/confidence are immutable,
+        # so a replica set's availability can never change value.
         self._avail_memo: Dict[Tuple[int, ...], float] = {}
+        self._live_ids: frozenset = frozenset()
+        self._index: Optional[AvailabilityIndex] = None
+        if kernel == "vectorized":
+            self._index = (
+                avail_index if avail_index is not None
+                else AvailabilityIndex(cloud, catalog)
+            )
+
+    @property
+    def kernel(self) -> str:
+        return self._kernel
+
+    @property
+    def avail_index(self) -> Optional[AvailabilityIndex]:
+        """The incremental eq. 2 cache (None under the scalar kernel)."""
+        return self._index
 
     # -- settlement (eq. 5) --------------------------------------------------
 
@@ -159,7 +193,19 @@ class DecisionEngine:
         the epoch's minimum rent (§II-C anti-thrashing) and its
         server's posted price is charged as rent.
         """
-        floor = board.min_price() if self._policy.utility_floor_to_min_rent else 0.0
+        if self._kernel == "vectorized":
+            self._settle_batched(load, board, g_of_app)
+        else:
+            self._settle_scalar(load, board, g_of_app)
+
+    def _settle_scalar(self, load: EpochLoad, board: PriceBoard,
+                       g_of_app: Optional[Dict[int, np.ndarray]] = None
+                       ) -> None:
+        """Reference eq. 5 settlement: one Python pass per replica."""
+        floor = (
+            board.scan_min_price()
+            if self._policy.utility_floor_to_min_rent else 0.0
+        )
         for pid in self._catalog.partitions():
             servers = self._live_replicas(pid)
             if not servers:
@@ -190,6 +236,128 @@ class DecisionEngine:
                 agent = self._registry.get(pid, sid)
                 agent.record(utility, rent)
 
+    def _settle_batched(self, load: EpochLoad, board: PriceBoard,
+                        g_of_app: Optional[Dict[int, np.ndarray]] = None
+                        ) -> None:
+        """Slot-ordered numpy eq. 5 settlement.
+
+        Bit-identical to :meth:`_settle_scalar`: every elementwise
+        operation maps one-to-one onto the scalar arithmetic, and the
+        two order-sensitive accumulations — the per-partition proximity
+        normaliser ``Σ g`` and the per-server query counters — are kept
+        as strict left folds in the scalar visit order (numpy reductions
+        are pairwise, which would change low bits).  Per-server counters
+        start each epoch at exactly 0.0, so folding into a fresh
+        accumulator and adding the total once is the same float
+        computation the scalar loop performs.
+        """
+        cloud = self._cloud
+        registry = self._registry
+        policy = self._policy
+        floor = board.min_price() if policy.utility_floor_to_min_rent else 0.0
+        view = self._catalog.flat_view()
+        queries_for = load.queries_for
+        slot_of = {sid: i for i, sid in enumerate(cloud.server_ids)}
+        alive = [cloud.server(sid).alive for sid in cloud.server_ids]
+
+        # Phase 1 — one Python pass over partitions to flatten the
+        # incidence structure into parallel per-replica lists.
+        rep_pids: List[PartitionId] = []
+        rep_sids: List[int] = []
+        rep_slots: List[int] = []
+        rep_agents: List[VNodeAgent] = []
+        part_offsets: List[int] = [0]
+        part_queries: List[float] = []
+        part_g: List[Optional[np.ndarray]] = []
+        pids, offsets, flat = view.pids, view.offsets, view.server_ids
+        get_g = g_of_app.get if g_of_app is not None else None
+        of_partition = registry.of_partition
+        for i, pid in enumerate(pids):
+            members = flat[offsets[i]:offsets[i + 1]]
+            slots = []
+            sids = []
+            for sid in members:
+                slot = slot_of.get(sid)
+                if slot is not None and alive[slot]:
+                    slots.append(slot)
+                    sids.append(sid)
+            if not sids:
+                continue
+            rep_pids.extend([pid] * len(sids))
+            rep_sids.extend(sids)
+            rep_slots.extend(slots)
+            # Registry mutations mirror catalog mutations 1:1, so the
+            # per-partition agent list normally matches ``sids`` in
+            # placement order; phase 3 verifies per item and falls back
+            # to the keyed lookup on any mismatch.
+            agents = of_partition(pid)
+            if len(agents) == len(sids):
+                rep_agents.extend(agents)
+            else:
+                rep_agents.extend(None for __ in sids)
+            part_offsets.append(len(rep_sids))
+            part_queries.append(queries_for(pid))
+            part_g.append(get_g(pid.app_id) if get_g is not None else None)
+        n_rep = len(rep_sids)
+        if not n_rep:
+            return
+
+        # Phase 2 — array math.  Shares, proximity weights, utilities
+        # and rents for every replica at once.
+        slots_arr = np.array(rep_slots, dtype=np.intp)
+        counts = np.diff(np.array(part_offsets, dtype=np.intp))
+        q_rep = np.repeat(
+            np.array(part_queries, dtype=np.float64), counts
+        )
+        count_rep = np.repeat(counts.astype(np.float64), counts)
+        g_rep = np.ones(n_rep, dtype=np.float64)
+        uniform_rep = np.ones(n_rep, dtype=bool)
+        gtot_rep = np.empty(n_rep, dtype=np.float64)
+        for p, g_vec in enumerate(part_g):
+            if g_vec is None:
+                continue
+            lo, hi = part_offsets[p], part_offsets[p + 1]
+            gs = g_vec[slots_arr[lo:hi]]
+            # Strict left fold, matching the scalar ``sum(gs)``.
+            total = 0.0
+            for value in gs.tolist():
+                total += value
+            # g enters the utility term even when the share computation
+            # falls back to the uniform split (degenerate Σg <= 0).
+            g_rep[lo:hi] = gs
+            if total > 0:
+                gtot_rep[lo:hi] = total
+                uniform_rep[lo:hi] = False
+        shares = np.empty(n_rep, dtype=np.float64)
+        shares[uniform_rep] = q_rep[uniform_rep] / count_rep[uniform_rep]
+        prox = ~uniform_rep
+        if prox.any():
+            shares[prox] = q_rep[prox] * g_rep[prox] / gtot_rep[prox]
+        utilities = np.maximum(
+            policy.revenue_per_query * shares * g_rep, floor
+        )
+        rents = board.price_vector(cloud.server_ids)[slots_arr]
+
+        # Phase 3 — order-sensitive application.  Per-server counters
+        # fold in scalar visit order; agents record their balances.
+        acc: List[float] = [0.0] * len(alive)
+        shares_list = shares.tolist()
+        for slot, share in zip(rep_slots, shares_list):
+            if share:
+                acc[slot] += share
+        servers = cloud.servers()
+        for slot, total in enumerate(acc):
+            if total:
+                servers[slot].record_queries(total)
+        get_agent = registry.get
+        for agent, pid, sid, utility, rent in zip(
+            rep_agents, rep_pids, rep_sids,
+            utilities.tolist(), rents.tolist(),
+        ):
+            if agent is None or agent.server_id != sid:
+                agent = get_agent(pid, sid)
+            agent.record(utility, rent)
+
     # -- decisions (§II-C) ------------------------------------------------------
 
     def decide(self, board: PriceBoard, load: EpochLoad,
@@ -199,6 +367,12 @@ class DecisionEngine:
         """One full decision pass over every partition of every ring."""
         stats = DecisionStats()
         scorer = self._make_scorer(board)
+        # Liveness is fixed for the whole decision pass (failures land
+        # between epochs); one set build serves every partition.
+        self._live_ids = frozenset(
+            sid for sid in self._cloud.server_ids
+            if self._cloud.server(sid).alive
+        )
         work: List[Tuple[Partition, float]] = []
         for ring in self._rings:
             threshold = ring.level.threshold
@@ -241,30 +415,116 @@ class DecisionEngine:
             self._avail_memo[key] = cached
         return cached
 
-    def _availability(self, pid: PartitionId) -> float:
-        return self._availability_set(self._live_replicas(pid))
+    def _avail_of(self, pid: PartitionId, servers: Sequence[int]) -> float:
+        """Eq. 2 availability of ``pid`` — incremental cache or memo."""
+        if self._index is not None:
+            return self._index.availability_of(pid)
+        return self._availability_set(servers)
+
+    def _avail_without(self, pid: PartitionId, servers: Sequence[int],
+                       excluded: int) -> float:
+        """The §II-C suicide test: availability minus one replica.
+
+        The incremental kernel subtracts the excluded replica's pair
+        terms from the cached sum (O(R)); the scalar kernel recomputes
+        the remaining set's O(R²) pair sum through the memo.
+        """
+        if self._index is not None:
+            return (
+                self._index.availability_of(pid)
+                - self._index.contribution(pid, excluded, servers)
+            )
+        return self._availability_set(
+            [sid for sid in servers if sid != excluded]
+        )
 
     def _decide_partition(self, partition: Partition, threshold: float,
                           board: PriceBoard, scorer: PlacementScorer,
                           load: EpochLoad, g_vec: Optional[np.ndarray],
                           stats: DecisionStats) -> None:
         pid = partition.pid
-        servers = self._live_replicas(pid)
+        # ``servers`` is threaded through the action helpers below and
+        # kept an exact mirror of the catalog's (live) replica list, so
+        # one build per partition replaces the per-agent rebuilds the
+        # scalar engine paid for.
+        if self._index is not None:
+            live = self._live_ids
+            servers = [
+                sid
+                for sid in self._catalog.replica_servers(pid)
+                if sid in live
+            ]
+        else:
+            servers = self._live_replicas(pid)
         if not servers:
             stats.lost_partitions += 1
             return
-        avail = self._availability_set(servers)
+        avail = self._avail_of(pid, servers)
         if avail < threshold:
-            self._repair(partition, threshold, avail, scorer, g_vec, stats)
+            self._repair(
+                partition, threshold, avail, scorer, g_vec, stats, servers
+            )
             return
         # Availability satisfied: each agent optimises its own cost.
-        for agent in list(self._registry.of_partition(pid)):
-            if agent.negative_streak:
+        if self._index is None:
+            for agent in list(self._registry.of_partition(pid)):
+                if agent.negative_streak:
+                    self._shed(partition, threshold, agent, board, scorer,
+                               g_vec, stats, servers)
+                elif agent.positive_streak:
+                    self._expand(partition, agent, board, scorer, load,
+                                 g_vec, stats, servers)
+            return
+        # Vectorized kernel: same decisions, with the overwhelmingly
+        # common no-action case triaged inline.  At economic equilibrium
+        # most agents carry a negative streak, cannot suicide (their
+        # replica is load-bearing for the SLA) and sit too close to the
+        # epoch's minimum rent to migrate — that triple check is the
+        # epoch kernel's innermost loop, so it runs without the helper
+        # call; :meth:`_shed` re-derives the same (memoised) quantities
+        # on the rare action path.
+        index = self._index
+        one_minus_margin = 1.0 - self._policy.migration_margin
+        min_price = board.min_price()
+        price = board.price
+        contribution = index.contribution
+        # ``of_partition`` already snapshots the agent list.
+        for agent in self._registry.of_partition(pid):
+            balances = agent.balances
+            if len(balances) != balances.maxlen:
+                continue
+            # One pass over the window decides both streaks (same
+            # booleans as the ``negative_streak``/``positive_streak``
+            # properties, without two generator scans).
+            neg = pos = True
+            for b in balances:
+                if b < 0:
+                    pos = False
+                    if not neg:
+                        break
+                elif b > 0:
+                    neg = False
+                    if not pos:
+                        break
+                else:
+                    neg = pos = False
+                    break
+            if neg:
+                sid = agent.server_id
+                if sid not in servers:
+                    continue
+                if avail - contribution(pid, sid, servers) < threshold:
+                    # No suicide; migration needs a meaningfully
+                    # cheaper host to exist at all.
+                    if price(sid) * one_minus_margin <= min_price:
+                        continue
                 self._shed(partition, threshold, agent, board, scorer,
-                           g_vec, stats)
-            elif agent.positive_streak:
+                           g_vec, stats, servers)
+                avail = index.availability_of(pid)
+            elif pos:
                 self._expand(partition, agent, board, scorer, load,
-                             g_vec, stats)
+                             g_vec, stats, servers)
+                avail = index.availability_of(pid)
 
     def _pick_source(self, servers: Sequence[int], nbytes: int) -> Optional[int]:
         """A live replica whose replication budget can ship ``nbytes``."""
@@ -278,11 +538,14 @@ class DecisionEngine:
 
     def _repair(self, partition: Partition, threshold: float, avail: float,
                 scorer: PlacementScorer, g_vec: Optional[np.ndarray],
-                stats: DecisionStats) -> None:
+                stats: DecisionStats, servers: List[int]) -> None:
         """Replicate until the SLA is met (bounded per epoch)."""
         pid = partition.pid
         for __ in range(self._policy.repair_iterations):
-            servers = self._live_replicas(pid)
+            if self._index is None:
+                # Reference kernel: rebuild the live set per iteration,
+                # exactly as the pre-refactor engine did.
+                servers = self._live_replicas(pid)
             if avail >= threshold:
                 return
             source = self._pick_source(servers, partition.size)
@@ -293,6 +556,10 @@ class DecisionEngine:
             candidate = scorer.best(
                 servers, need_bytes=partition.size, g=g_vec,
                 budget="replication",
+                cache_key=(
+                    (pid, tuple(servers)) if self._index is not None
+                    else None
+                ),
             )
             if candidate is None:
                 stats.unsatisfied_partitions += 1
@@ -308,27 +575,29 @@ class DecisionEngine:
                 candidate.server_id, partition.size, "replication"
             )
             self._registry.spawn(pid, candidate.server_id)
+            servers.append(candidate.server_id)
             stats.repairs += 1
-            avail = self._availability(pid)
+            avail = self._avail_of(pid, servers)
         if avail < threshold:
             stats.unsatisfied_partitions += 1
 
     def _shed(self, partition: Partition, threshold: float,
               agent: VNodeAgent, board: PriceBoard,
               scorer: PlacementScorer, g_vec: Optional[np.ndarray],
-              stats: DecisionStats) -> None:
+              stats: DecisionStats, servers: List[int]) -> None:
         """Negative streak: suicide if safe, else migrate somewhere cheaper."""
         pid = partition.pid
-        servers = self._live_replicas(pid)
+        if self._index is None:
+            # Reference kernel: per-agent rebuild, as pre-refactor.
+            servers = self._live_replicas(pid)
         if agent.server_id not in servers:
             return
-        remaining = self._availability_set(
-            [sid for sid in servers if sid != agent.server_id]
-        )
+        remaining = self._avail_without(pid, servers, agent.server_id)
         if remaining >= threshold:
             self._transfers.suicide(partition, agent.server_id)
             self._registry.retire(pid, agent.server_id)
             scorer.release_storage(agent.server_id, partition.size)
+            servers.remove(agent.server_id)
             stats.suicides += 1
             return
         # Require a *meaningfully* cheaper host.  At equilibrium, posted
@@ -338,7 +607,11 @@ class DecisionEngine:
         # meant to prevent.
         current_rent = board.price(agent.server_id)
         rent_cap = current_rent * (1.0 - self._policy.migration_margin)
-        if rent_cap <= board.min_price():
+        min_price = (
+            board.min_price() if self._index is not None
+            else board.scan_min_price()
+        )
+        if rent_cap <= min_price:
             # No server can be priced below the cap — skip the scoring
             # pass entirely (this is where cold vnodes settle).
             return
@@ -363,6 +636,9 @@ class DecisionEngine:
             exclude=(agent.server_id,),
             budget=budget_kind,
             headroom_fraction=self._policy.storage_headroom,
+            cache_key=(
+                (pid, tuple(others)) if self._index is not None else None
+            ),
         )
         if candidate is None:
             return
@@ -385,31 +661,51 @@ class DecisionEngine:
             candidate.server_id, partition.size, budget_kind
         )
         scorer.release_storage(agent.server_id, partition.size)
+        # Mirror the catalog's list order before ``rehome`` re-points
+        # the agent at its destination: dst was appended, src removed.
+        servers.remove(agent.server_id)
+        servers.append(candidate.server_id)
         self._registry.rehome(pid, agent.server_id, candidate.server_id)
         stats.migrations += 1
 
     def _expand(self, partition: Partition, agent: VNodeAgent,
                 board: PriceBoard, scorer: PlacementScorer,
                 load: EpochLoad, g_vec: Optional[np.ndarray],
-                stats: DecisionStats) -> None:
+                stats: DecisionStats, servers: List[int]) -> None:
         """Positive streak: replicate when popularity funds the new copy."""
         pid = partition.pid
-        servers = self._live_replicas(pid)
+        if self._index is None:
+            # Reference kernel: per-agent rebuild, as pre-refactor.
+            servers = self._live_replicas(pid)
         n = len(servers)
         if self._policy.max_replicas is not None and n >= self._policy.max_replicas:
-            return
-        candidate = scorer.best(
-            servers, need_bytes=partition.size, g=g_vec,
-            budget="replication",
-            headroom_fraction=self._policy.storage_headroom,
-        )
-        if candidate is None:
             return
         queries = load.queries_for(pid)
         predicted_utility = (
             self._policy.revenue_per_query * queries / (n + 1)
         )
         sync_cost = self._policy.consistency.marginal_cost(queries, n)
+        if (
+            self._index is not None
+            and scorer.best_is_pure
+            and predicted_utility
+            < scorer.expansion_rent_floor(partition.size) + sync_cost
+        ):
+            # No candidate anywhere in the cloud could be funded this
+            # epoch (anticipated rents only rise from the floor), so the
+            # eq. 3 scoring pass is skipped — provably the same outcome
+            # as scoring and then failing the funding test below.
+            return
+        candidate = scorer.best(
+            servers, need_bytes=partition.size, g=g_vec,
+            budget="replication",
+            headroom_fraction=self._policy.storage_headroom,
+            cache_key=(
+                (pid, tuple(servers)) if self._index is not None else None
+            ),
+        )
+        if candidate is None:
+            return
         # The candidate's rent will rise once this replica's bytes land
         # there (§II-C: "the potentially increased virtual rent of the
         # candidate server after replication").
@@ -430,4 +726,5 @@ class DecisionEngine:
         spawned = self._registry.spawn(pid, candidate.server_id)
         spawned.reset_history()
         agent.reset_history()
+        servers.append(candidate.server_id)
         stats.economic_replications += 1

@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
 
 from repro.cluster.server import Server
 from repro.cluster.topology import Cloud

@@ -87,6 +87,13 @@ class Candidate:
 class PlacementScorer:
     """Eq. 3 scorer bound to one epoch's cloud state and price board.
 
+    ``best_is_pure`` declares that :meth:`best` has no side effects
+    (no RNG draws, no state mutation), which is what entitles the
+    decision engine to *skip* provably-fruitless calls (the
+    :meth:`expansion_rent_floor` fast path).  Subclasses whose ``best``
+    consumes randomness — the random-placement ablation — must set it
+    to False or their draw stream would depend on the skip.
+
     Instantiate once per epoch (the simulator does); individual calls
     then reuse the slot-ordered rent/confidence/storage vectors.
 
@@ -97,6 +104,8 @@ class PlacementScorer:
     every agent in an epoch sees the same static board and herds onto
     the one argmax server until it is full.
     """
+
+    best_is_pure: bool = True
 
     def __init__(self, cloud: Cloud, board: PriceBoard,
                  rent_weight: float = 1.0,
@@ -139,20 +148,48 @@ class PlacementScorer:
         self._rent_weight = rent_weight
         self._storage_alpha = storage_alpha
         self._headroom: Dict[str, np.ndarray] = {}
+        self._gain_cache: Dict[object, np.ndarray] = {}
+        # Epoch-start rents: anticipated rents only *rise* within an
+        # epoch (consume_budget adds eq. 1 bumps), so minima over this
+        # snapshot are valid lower bounds for the whole epoch.
+        self._rents0 = self._rents.copy()
+        self._floor_cache: Dict[int, float] = {}
 
     @property
     def server_ids(self) -> List[int]:
         return list(self._ids)
 
-    def scores(self, replica_servers: Sequence[int],
-               g: Optional[np.ndarray] = None) -> np.ndarray:
-        """Raw eq. 3 score of every server (no feasibility masking)."""
+    def _diversity_gain(self, replica_servers: Sequence[int],
+                        cache_key: Optional[object] = None) -> np.ndarray:
+        """Σ_k conf · diversity(s_k, ·) over the replica set, per slot.
+
+        The expensive half of eq. 3 — O(R) full-cloud row additions —
+        depends only on the replica set, not on the scorer's mutable
+        rent state, so callers scoring the same set repeatedly within
+        one epoch (every expanding agent of a hot partition, each
+        iteration of a §II-C repair chain) can pass a ``cache_key``
+        identifying the set and pay for the rows once.
+        """
+        if cache_key is not None:
+            cached = self._gain_cache.get(cache_key)
+            if cached is not None:
+                return cached
         n = len(self._ids)
         div_sum = np.zeros(n, dtype=np.float64)
         for sid in replica_servers:
             if sid in self._cloud:
                 div_sum += self._cloud.diversity_row(sid)
         gain = div_sum * self._conf
+        if cache_key is not None:
+            self._gain_cache[cache_key] = gain
+        return gain
+
+    def scores(self, replica_servers: Sequence[int],
+               g: Optional[np.ndarray] = None,
+               cache_key: Optional[object] = None) -> np.ndarray:
+        """Raw eq. 3 score of every server (no feasibility masking)."""
+        n = len(self._ids)
+        gain = self._diversity_gain(replica_servers, cache_key)
         if g is not None:
             if len(g) != n:
                 raise PlacementError(
@@ -167,7 +204,8 @@ class PlacementScorer:
              max_rent: Optional[float] = None,
              exclude: Sequence[int] = (),
              budget: Optional[str] = None,
-             headroom_fraction: float = 0.0) -> Optional[Candidate]:
+             headroom_fraction: float = 0.0,
+             cache_key: Optional[object] = None) -> Optional[Candidate]:
         """Feasible argmax of eq. 3, or None when no server qualifies.
 
         Excluded are: current replica holders (a server holds at most
@@ -202,28 +240,36 @@ class PlacementScorer:
             mask &= self._rents < max_rent
         if budget is not None:
             mask &= self._budget_headroom(budget) >= need_bytes
-        blocked = set(replica_servers) | set(exclude)
-        if blocked:
-            for i, sid in enumerate(self._ids):
-                if sid in blocked:
-                    mask[i] = False
+        # Knock out current holders / exclusions by slot lookup — the
+        # blocked set is a handful of servers, the cloud is hundreds.
+        slot_of = self._slot_of
+        for sid in replica_servers:
+            slot = slot_of.get(sid)
+            if slot is not None:
+                mask[slot] = False
+        for sid in exclude:
+            slot = slot_of.get(sid)
+            if slot is not None:
+                mask[slot] = False
         if not mask.any():
             return None
-        scores = self.scores(replica_servers, g)
+        gain = self._diversity_gain(replica_servers, cache_key)
+        if g is not None:
+            if len(g) != len(self._ids):
+                raise PlacementError(
+                    f"g has {len(g)} entries for {len(self._ids)} servers"
+                )
+            scores = gain * g - self._rent_weight * self._rents
+        else:
+            scores = gain - self._rent_weight * self._rents
         scores = np.where(mask, scores, -np.inf)
         idx = int(np.argmax(scores))
         if not np.isfinite(scores[idx]):
             return None
-        div_sum = 0.0
-        for sid in replica_servers:
-            if sid in self._cloud:
-                div_sum += float(
-                    self._cloud.diversity_row(sid)[idx]
-                )
         return Candidate(
             server_id=self._ids[idx],
             score=float(scores[idx]),
-            diversity_gain=div_sum * float(self._conf[idx]),
+            diversity_gain=float(gain[idx]),
             rent=float(self._rents[idx]),
         )
 
@@ -253,6 +299,31 @@ class PlacementScorer:
         arr = np.array(values, dtype=np.int64)
         self._headroom[kind] = arr
         return arr
+
+    def expansion_rent_floor(self, nbytes: int) -> float:
+        """Epoch lower bound of ``candidate.rent + anticipated bump``.
+
+        For *any* server ``s`` at *any* point in this epoch,
+        ``rent_s + Δc_s(nbytes) >= min_s(rent0_s + Δc_s(nbytes))``
+        because anticipated rents start at ``rent0`` and only increase.
+        An economic replication whose predicted utility cannot clear
+        this floor plus its consistency cost would be rejected for every
+        candidate, so the caller may skip scoring entirely — same
+        decision, none of the eq. 3 work.  Cached per partition size
+        (one vector min per distinct size per epoch).
+        """
+        cached = self._floor_cache.get(nbytes)
+        if cached is None:
+            # Same operation order as anticipated_rent_bump, so every
+            # vector component is bit-identical to the scalar bump —
+            # the bound must never exceed the true value by an ulp.
+            bumps = (
+                self._usage_price * self._storage_alpha * nbytes
+                / self._capacity
+            )
+            cached = float(np.min(self._rents0 + bumps))
+            self._floor_cache[nbytes] = cached
+        return cached
 
     def anticipated_rent_bump(self, server_id: int, nbytes: int) -> float:
         """Eq. 1 rent increase ``nbytes`` would cause at a destination.

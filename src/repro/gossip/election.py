@@ -12,7 +12,7 @@ bench measures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.gossip.heartbeat import ALIVE, FailureDetector, GossipError
 

@@ -10,7 +10,7 @@ each; the split conserves bytes and popularity.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.cluster.server import MB
@@ -37,6 +37,18 @@ class PartitionId:
     app_id: int
     ring_id: int
     seq: int
+
+    def __post_init__(self) -> None:
+        # Partition ids key every hot-path dict (replica catalog, load
+        # map, agent registry, availability cache) and are hashed
+        # millions of times per run; precomputing the hash beats the
+        # generated tuple-hash by a constant that shows up in profiles.
+        object.__setattr__(
+            self, "_hash", hash((self.app_id, self.ring_id, self.seq))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"p{self.app_id}.{self.ring_id}.{self.seq}"

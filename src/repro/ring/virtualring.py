@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.ring.hashing import RING_SIZE, Key, hash_key
-from repro.ring.keyspace import KeyRange, covers_ring, ranges_from_tokens
+from repro.ring.keyspace import covers_ring, ranges_from_tokens
 from repro.ring.partition import (
     DEFAULT_PARTITION_CAPACITY,
     Partition,
@@ -84,9 +84,20 @@ class VirtualRing:
         self._allocator = allocator or PartitionIdAllocator()
         self._partitions: Dict[PartitionId, Partition] = {}
         self._ordered: List[Partition] = []
+        self._version = 0
         for p in partitions:
             self._partitions[p.pid] = p
         self._reindex()
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped whenever the partition set changes.
+
+        Per-epoch consumers (the simulator's partition/app indexes, the
+        ring set's flattened partition list) cache against this instead
+        of re-walking the ring: only splits move it.
+        """
+        return self._version
 
     # -- indexing -----------------------------------------------------------
 
@@ -98,6 +109,7 @@ class VirtualRing:
     def _reindex(self) -> None:
         self._ordered = sorted(self._partitions.values(), key=self._sort_key)
         self._ends = [p.key_range.end for p in self._ordered]
+        self._version += 1
 
     # -- accessors -----------------------------------------------------------
 
@@ -230,9 +242,19 @@ class RingSet:
     def __init__(self) -> None:
         self._rings: Dict[Tuple[int, int], VirtualRing] = {}
         self._allocator = PartitionIdAllocator()
+        self._flat_cache: Optional[List[Partition]] = None
+        self._flat_versions: Optional[Tuple[int, ...]] = None
 
     def __len__(self) -> int:
         return len(self._rings)
+
+    def versions(self) -> Tuple[int, ...]:
+        """Per-ring version stamps, in ring insertion order.
+
+        Changes exactly when a ring is added or any ring splits — the
+        dirty flag for every flattened partition index downstream.
+        """
+        return tuple(ring.version for ring in self._rings.values())
 
     def __iter__(self) -> Iterator[VirtualRing]:
         return iter(self._rings.values())
@@ -269,7 +291,21 @@ class RingSet:
         return self.ring_of(pid).partition(pid)
 
     def all_partitions(self) -> List[Partition]:
-        return [p for ring in self._rings.values() for p in ring]
+        """Every partition of every ring, cached behind the ring versions.
+
+        The simulator consults this each epoch (insert routing, seeding,
+        popularity); rebuilding the flattened list only when a split or
+        a new ring actually changed the partition set keeps the steady
+        state allocation-free.  Callers receive a fresh copy so the
+        cache cannot be mutated from outside.
+        """
+        versions = self.versions()
+        if self._flat_cache is None or self._flat_versions != versions:
+            self._flat_cache = [
+                p for ring in self._rings.values() for p in ring
+            ]
+            self._flat_versions = versions
+        return list(self._flat_cache)
 
     @property
     def total_size(self) -> int:

@@ -19,12 +19,12 @@ full-size variant.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.server import GB, MB
 from repro.cluster.topology import CloudLayout
 from repro.core.availability import paper_thresholds
-from repro.core.decision import EconomicPolicy
+from repro.core.decision import KERNELS, EconomicPolicy
 from repro.core.economy import RentModel
 from repro.workload.arrivals import ConstantRate, RateProfile
 from repro.workload.clients import ClientGeography, uniform_geography
@@ -137,10 +137,20 @@ class SimConfig:
     inserts: Optional[InsertConfig] = None
     popularity_shape: float = 1.0
     popularity_scale: float = 50.0
+    # Epoch-kernel selection: "vectorized" (production — batched eq. 5
+    # settlement, incremental eq. 2 availability) or "scalar" (the
+    # straight-line reference the equivalence tests and the perf
+    # harness compare against).  Seeded runs produce bit-identical
+    # EpochFrame streams under either kernel.
+    kernel: str = "vectorized"
 
     def __post_init__(self) -> None:
         if not self.apps:
             raise ConfigError("need at least one application")
+        if self.kernel not in KERNELS:
+            raise ConfigError(
+                f"kernel must be one of {KERNELS}, got {self.kernel!r}"
+            )
         ids = [a.app_id for a in self.apps]
         if len(set(ids)) != len(ids):
             raise ConfigError(f"duplicate app ids: {ids}")

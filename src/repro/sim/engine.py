@@ -30,12 +30,12 @@ from repro.cluster.events import EventSchedule
 from repro.cluster.server import BandwidthBudget
 from repro.cluster.topology import Cloud, build_cloud
 from repro.core.agent import AgentRegistry
-from repro.core.availability import availability
+from repro.core.availability import AvailabilityIndex, availability
 from repro.core.board import PriceBoard, update_board
 from repro.core.decision import DecisionEngine, DecisionStats, EconomicPolicy
 from repro.core.economy import UsageTracker
 from repro.core.placement import proximity_weights
-from repro.ring.partition import Partition, PartitionId
+from repro.ring.partition import PartitionId
 from repro.ring.virtualring import AvailabilityLevel, RingSet
 from repro.sim.config import SimConfig
 from repro.sim.metrics import EpochFrame, MetricsLog
@@ -62,6 +62,8 @@ class SimContext:
     transfers: TransferEngine
     policy: EconomicPolicy
     rent_model: object = None
+    kernel: str = "vectorized"
+    avail_index: Optional[AvailabilityIndex] = None
 
 
 DeciderFactory = Callable[[SimContext], object]
@@ -72,6 +74,7 @@ def economic_decider(ctx: SimContext) -> DecisionEngine:
     return DecisionEngine(
         ctx.cloud, ctx.rings, ctx.catalog, ctx.registry, ctx.transfers,
         ctx.policy, rent_model=ctx.rent_model,
+        kernel=ctx.kernel, avail_index=ctx.avail_index,
     )
 
 
@@ -108,6 +111,12 @@ class Simulation:
                     initial_size=ring_cfg.initial_partition_size,
                 )
         self.catalog = ReplicaCatalog(self.cloud)
+        # The incremental eq. 2 cache is shared by the decision engine
+        # and metrics collection (scalar kernel: both fall back to the
+        # O(R²) recomputation the reference implementation performs).
+        self.avail_index: Optional[AvailabilityIndex] = None
+        if config.kernel == "vectorized":
+            self.avail_index = AvailabilityIndex(self.cloud, self.catalog)
         self.registry = AgentRegistry(config.policy.hysteresis)
         self.transfers = TransferEngine(self.cloud, self.catalog)
         self.board = PriceBoard()
@@ -149,6 +158,8 @@ class Simulation:
             transfers=self.transfers,
             policy=config.policy,
             rent_model=config.rent_model,
+            kernel=config.kernel,
+            avail_index=self.avail_index,
         )
         self.decider = decider_factory(self.context)
         self.metrics = MetricsLog()
@@ -162,6 +173,8 @@ class Simulation:
             )
         self._g_of_app: Dict[int, Optional[np.ndarray]] = {}
         self._g_dirty = True
+        self._pids_of_apps: Dict[int, List[PartitionId]] = {}
+        self._pids_versions: Optional[Tuple[int, ...]] = None
         self._epoch = 0
         self._seed_placement()
 
@@ -217,12 +230,22 @@ class Simulation:
         self._g_dirty = False
 
     def _partitions_of_apps(self) -> Dict[int, List[PartitionId]]:
-        out: Dict[int, List[PartitionId]] = {}
-        for ring in self.rings:
-            out.setdefault(ring.app_id, []).extend(
-                p.pid for p in ring
-            )
-        return out
+        """Each app's partitions across its rings, cached per ring version.
+
+        Rebuilt only when a split (or a new ring) actually changed the
+        partition set — the per-epoch steady state reuses the cached
+        index instead of re-walking every ring.
+        """
+        versions = self.rings.versions()
+        if self._pids_versions != versions:
+            out: Dict[int, List[PartitionId]] = {}
+            for ring in self.rings:
+                out.setdefault(ring.app_id, []).extend(
+                    p.pid for p in ring
+                )
+            self._pids_of_apps = out
+            self._pids_versions = versions
+        return self._pids_of_apps
 
     def _apply_inserts(self, epoch: int) -> InsertOutcome:
         outcome = InsertOutcome(epoch=epoch)
@@ -260,6 +283,12 @@ class Simulation:
     def _apply_splits(self) -> List[Tuple[PartitionId, PartitionId, PartitionId]]:
         """Split every overfull partition (cascading) across all rings."""
         done: List[Tuple[PartitionId, PartitionId, PartitionId]] = []
+        if self.insert_workload is None:
+            # Partition sizes only grow through the insert stream;
+            # without one, nothing can ever be overfull (configs cap
+            # initial_partition_size at the partition capacity) and the
+            # per-ring overfull scan is dead weight in the epoch loop.
+            return done
         for ring in self.rings:
             while True:
                 overfull = [
@@ -346,21 +375,38 @@ class Simulation:
         avail_per_ring: Dict[Tuple[int, int], float] = {}
         unavailable = 0
         lost = 0
+        # Eq. 2 values come from the epoch's incremental cache instead
+        # of a fresh O(R²) recomputation per partition per epoch (the
+        # scalar reference kernel keeps the recomputation).
+        index = self.avail_index
+        queries_for = load.queries_for
+        replica_count = self.catalog.replica_count
         for ring in self.rings:
             key = (ring.app_id, ring.ring_id)
             count = 0
             served = 0.0
             avails: List[float] = []
             for partition in ring:
-                replicas = self._live_replicas(partition.pid)
-                count += len(replicas)
-                queries = load.queries_for(partition.pid)
-                if replicas:
-                    served += queries
-                    avails.append(availability(self.cloud, replicas))
+                pid = partition.pid
+                queries = queries_for(pid)
+                if index is not None:
+                    n_replicas = replica_count(pid)
+                    if n_replicas:
+                        count += n_replicas
+                        served += queries
+                        avails.append(index.availability_of(pid))
+                    else:
+                        unavailable += queries
+                        lost += 1
                 else:
-                    unavailable += queries
-                    lost += 1
+                    replicas = self._live_replicas(pid)
+                    count += len(replicas)
+                    if replicas:
+                        served += queries
+                        avails.append(availability(self.cloud, replicas))
+                    else:
+                        unavailable += queries
+                        lost += 1
             vnodes_per_ring[key] = count
             queries_per_ring[key] = served
             avail_per_ring[key] = (

@@ -1,0 +1,129 @@
+"""Exact (bit-preserving) serialization of :class:`EpochFrame` streams.
+
+The vectorized epoch kernel carries a hard behavioral contract: a
+seeded run must emit the *identical* frame stream as the scalar
+reference implementation — not "close", identical.  Comparing floats
+through ``json.dumps(..., float -> repr)`` round-trips are not good
+enough to witness that, so this codec encodes every float through
+``float.hex()`` (lossless) and every dict through a canonical sorted
+key order.  The golden files under ``tests/integration/golden/`` are
+produced with this codec from the pre-refactor engine and pin the
+kernel's behavior across PRs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.sim.metrics import EpochFrame, MetricsLog
+
+
+class FrameDumpError(ValueError):
+    """Raised for values the codec cannot represent exactly."""
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        # Lossless: float.hex round-trips every finite float64 exactly.
+        return {"__float__": value.hex()}
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str) or value is None:
+        return value
+    if isinstance(value, dict):
+        return [
+            [_encode_key(k), _encode_value(v)]
+            for k, v in sorted(value.items())
+        ]
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    raise FrameDumpError(f"cannot encode {type(value).__name__}: {value!r}")
+
+
+def _encode_key(key: Any) -> Any:
+    if isinstance(key, tuple):
+        return list(key)
+    if isinstance(key, (int, str)):
+        return key
+    raise FrameDumpError(f"cannot encode dict key {key!r}")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        return float.fromhex(value["__float__"])
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def frame_to_jsonable(frame: EpochFrame) -> Dict[str, Any]:
+    """One frame as a JSON-able dict with lossless float encoding."""
+    out: Dict[str, Any] = {}
+    for f in dataclasses.fields(frame):
+        out[f.name] = _encode_value(getattr(frame, f.name))
+    return out
+
+
+def frames_to_jsonable(frames: Iterable[EpochFrame]) -> List[Dict[str, Any]]:
+    return [frame_to_jsonable(frame) for frame in frames]
+
+
+def dump_frames(frames: Iterable[EpochFrame]) -> str:
+    """Canonical JSON text of a frame stream (stable across runs)."""
+    return json.dumps(
+        frames_to_jsonable(frames), sort_keys=True, separators=(",", ":")
+    )
+
+
+def frames_digest(frames: Iterable[EpochFrame]) -> str:
+    """SHA-256 of the canonical dump — a compact behavioral fingerprint."""
+    return hashlib.sha256(dump_frames(frames).encode("ascii")).hexdigest()
+
+
+def dump_log(log: MetricsLog) -> str:
+    return dump_frames(iter(log))
+
+
+def frame_diff(expected: Dict[str, Any], actual: Dict[str, Any]
+               ) -> List[str]:
+    """Human-readable field-level differences between two encoded frames."""
+    problems: List[str] = []
+    for name in sorted(set(expected) | set(actual)):
+        a, b = expected.get(name), actual.get(name)
+        if a != b:
+            problems.append(
+                f"{name}: expected {_decode_value(a)!r}, "
+                f"got {_decode_value(b)!r}"
+            )
+    return problems
+
+
+def compare_streams(expected: List[Dict[str, Any]],
+                    actual: Iterable[EpochFrame]) -> List[str]:
+    """Differences between a stored golden stream and a live frame stream.
+
+    Returns a list of mismatch descriptions (empty = identical).  Stops
+    detailing after the first few divergent frames to keep failure
+    output readable.
+    """
+    problems: List[str] = []
+    encoded = frames_to_jsonable(actual)
+    if len(expected) != len(encoded):
+        problems.append(
+            f"frame count differs: expected {len(expected)}, "
+            f"got {len(encoded)}"
+        )
+    for i, (exp, act) in enumerate(zip(expected, encoded)):
+        if exp == act:
+            continue
+        for line in frame_diff(exp, act):
+            problems.append(f"epoch {i}: {line}")
+        if len(problems) > 24:
+            problems.append("... (truncated)")
+            break
+    return problems

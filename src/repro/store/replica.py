@@ -12,7 +12,7 @@ an agent responsible for one copy of one partition on one server.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.topology import Cloud
 from repro.ring.partition import Partition, PartitionId
@@ -20,6 +20,50 @@ from repro.ring.partition import Partition, PartitionId
 
 class ReplicaError(ValueError):
     """Raised for catalog misuse (duplicate or missing replicas)."""
+
+
+class CatalogListener:
+    """Observer interface for catalog membership changes.
+
+    The vectorized epoch kernel maintains derived structures (the eq. 2
+    availability cache, most notably) incrementally instead of re-walking
+    the catalog every epoch; listeners are how those structures hear
+    about mutations.  All callbacks fire *after* the catalog indexes
+    were updated, so ``catalog.servers_of(pid)`` reflects the new state.
+    """
+
+    def replica_added(self, pid: PartitionId, server_id: int,
+                      servers: Sequence[int]) -> None:
+        """A replica appeared; ``servers`` is the post-add replica set."""
+
+    def replica_removed(self, pid: PartitionId, server_id: int,
+                        servers: Sequence[int]) -> None:
+        """A replica left; ``servers`` is the post-remove replica set."""
+
+    def server_dropped(self, server_id: int,
+                       lost: Sequence[PartitionId]) -> None:
+        """A server died; ``lost`` are the partitions that lost a copy."""
+
+    def partition_split(self, parent: PartitionId, low: PartitionId,
+                        high: PartitionId,
+                        servers: Sequence[int]) -> None:
+        """A split re-homed ``parent`` onto two children on ``servers``."""
+
+
+@dataclass(frozen=True)
+class FlatReplicaView:
+    """Slot-friendly snapshot of the replica incidence structure.
+
+    ``pids[i]`` owns the replicas ``server_ids[offsets[i]:offsets[i+1]]``
+    (placement order preserved); ``offsets`` has ``len(pids) + 1``
+    entries.  The batched eq. 5 settlement consumes this layout directly
+    instead of performing per-replica dict lookups.
+    """
+
+    version: int
+    pids: Tuple[PartitionId, ...]
+    offsets: Tuple[int, ...]
+    server_ids: Tuple[int, ...]
 
 
 @dataclass(frozen=True, order=True)
@@ -48,12 +92,70 @@ class ReplicaCatalog:
         self._cloud = cloud
         self._servers_of: Dict[PartitionId, List[int]] = {}
         self._partitions_on: Dict[int, Set[PartitionId]] = {}
+        self._listeners: List[CatalogListener] = []
+        self._version = 0
+        self._flat_view: Optional[FlatReplicaView] = None
+        self._in_split = False
+
+    # -- listeners ---------------------------------------------------------
+
+    def add_listener(self, listener: CatalogListener) -> None:
+        """Subscribe ``listener`` to membership changes (idempotent)."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: CatalogListener) -> None:
+        self._listeners = [l for l in self._listeners if l is not listener]
+
+    def _touch(self) -> None:
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter; derived caches key off it."""
+        return self._version
+
+    def flat_view(self) -> FlatReplicaView:
+        """The maintained replica-incidence structure, rebuilt lazily.
+
+        Cached against :attr:`version`, so epochs without catalog
+        mutations (and repeated consumers within one epoch) pay nothing;
+        a rebuild is one O(total replicas) pass with no per-item dict
+        lookups on the consumer side.
+        """
+        view = self._flat_view
+        if view is not None and view.version == self._version:
+            return view
+        pids: List[PartitionId] = []
+        offsets: List[int] = [0]
+        flat: List[int] = []
+        for pid, servers in self._servers_of.items():
+            pids.append(pid)
+            flat.extend(servers)
+            offsets.append(len(flat))
+        view = FlatReplicaView(
+            version=self._version,
+            pids=tuple(pids),
+            offsets=tuple(offsets),
+            server_ids=tuple(flat),
+        )
+        self._flat_view = view
+        return view
 
     # -- queries -----------------------------------------------------------
 
     def servers_of(self, pid: PartitionId) -> List[int]:
         """Server ids holding a replica of ``pid``, in placement order."""
         return list(self._servers_of.get(pid, ()))
+
+    def replica_servers(self, pid: PartitionId) -> Sequence[int]:
+        """Zero-copy view of :meth:`servers_of` — read-only by contract.
+
+        The epoch kernel touches every partition's replica list several
+        times per epoch; handing out the internal list (callers must
+        not mutate it) avoids thousands of per-epoch copies.
+        """
+        return self._servers_of.get(pid, ())
 
     def partitions_on(self, server_id: int) -> List[PartitionId]:
         return sorted(self._partitions_on.get(server_id, ()))
@@ -95,6 +197,11 @@ class ReplicaCatalog:
         server.allocate_storage(partition.size)
         self._servers_of.setdefault(pid, []).append(server_id)
         self._partitions_on.setdefault(server_id, set()).add(pid)
+        self._touch()
+        if self._listeners and not self._in_split:
+            servers = self._servers_of[pid]
+            for listener in self._listeners:
+                listener.replica_added(pid, server_id, servers)
         return ReplicaKey(pid, server_id)
 
     def drop(self, partition: Partition, server_id: int) -> None:
@@ -105,11 +212,16 @@ class ReplicaCatalog:
         if server_id in self._cloud:
             self._cloud.server(server_id).free_storage(partition.size)
         self._servers_of[pid].remove(server_id)
+        remaining: Sequence[int] = self._servers_of.get(pid, ())
         if not self._servers_of[pid]:
             del self._servers_of[pid]
         self._partitions_on[server_id].discard(pid)
         if not self._partitions_on[server_id]:
             del self._partitions_on[server_id]
+        self._touch()
+        if self._listeners and not self._in_split:
+            for listener in self._listeners:
+                listener.replica_removed(pid, server_id, remaining)
 
     def move(self, partition: Partition, src: int, dst: int) -> ReplicaKey:
         """Migrate one replica between servers atomically."""
@@ -151,6 +263,10 @@ class ReplicaCatalog:
             self._servers_of[pid].remove(server_id)
             if not self._servers_of[pid]:
                 del self._servers_of[pid]
+        if lost:
+            self._touch()
+            for listener in self._listeners:
+                listener.server_dropped(server_id, lost)
         return lost
 
     def split_partition(self, parent: Partition, low: Partition,
@@ -164,15 +280,27 @@ class ReplicaCatalog:
         servers = self.servers_of(parent.pid)
         if not servers:
             raise ReplicaError(f"{parent.pid} has no replicas to split")
-        for sid in servers:
-            self.drop(parent, sid)
-            server = self._cloud.server(sid)
-            server.allocate_storage(low.size + high.size)
-            self._servers_of.setdefault(low.pid, []).append(sid)
-            self._servers_of.setdefault(high.pid, []).append(sid)
-            self._partitions_on.setdefault(sid, set()).update(
-                (low.pid, high.pid)
-            )
+        # Per-replica add/remove notifications are suppressed for the
+        # split: listeners get the single structural event below, whose
+        # invariant (children inherit the parent's exact replica set) is
+        # what lets the availability cache transfer values instead of
+        # recomputing pair sums.
+        self._in_split = True
+        try:
+            for sid in servers:
+                self.drop(parent, sid)
+                server = self._cloud.server(sid)
+                server.allocate_storage(low.size + high.size)
+                self._servers_of.setdefault(low.pid, []).append(sid)
+                self._servers_of.setdefault(high.pid, []).append(sid)
+                self._partitions_on.setdefault(sid, set()).update(
+                    (low.pid, high.pid)
+                )
+        finally:
+            self._in_split = False
+        self._touch()
+        for listener in self._listeners:
+            listener.partition_split(parent.pid, low.pid, high.pid, servers)
 
     # -- integrity ------------------------------------------------------------
 

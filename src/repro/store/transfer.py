@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.cluster.server import BandwidthBudget, CapacityError, Server
+from repro.cluster.server import BandwidthBudget, Server
 from repro.cluster.topology import Cloud
 from repro.ring.partition import Partition
 from repro.store.replica import ReplicaCatalog, ReplicaError

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.location import Location
-from repro.cluster.topology import Cloud, CloudLayout
+from repro.cluster.topology import CloudLayout
 
 
 class GeographyError(ValueError):

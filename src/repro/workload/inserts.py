@@ -26,7 +26,6 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.cluster.server import MB
 from repro.ring.partition import Partition, PartitionId
 from repro.workload.popularity import PopularityMap
 

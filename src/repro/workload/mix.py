@@ -12,7 +12,7 @@ queries/epoch Slashdot peak).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -80,6 +80,10 @@ class WorkloadMix:
         )
         self._arrivals = PoissonArrivals(profile, rng)
         self._rng = rng
+        # Per-app popularity share vectors, cached while neither the
+        # app's partition list (same object ⇒ same contents: the engine
+        # rebuilds it only on splits) nor the popularity map changed.
+        self._share_cache: Dict[int, Tuple[object, int, np.ndarray]] = {}
 
     def app(self, app_id: int) -> ApplicationSpec:
         for spec in self.apps:
@@ -107,12 +111,22 @@ class WorkloadMix:
             per_app[spec.app_id] = int(count)
             if count == 0:
                 continue
-            pids = list(partitions_of.get(spec.app_id, ()))
+            pids = partitions_of.get(spec.app_id, ())
             if not pids:
                 raise WorkloadError(
                     f"app {spec.app_id} has queries but no partitions"
                 )
-            shares = popularity.shares(pids)
+            pop_version = popularity.version
+            cached = self._share_cache.get(spec.app_id)
+            if (
+                cached is not None
+                and cached[0] is pids
+                and cached[1] == pop_version
+            ):
+                shares = cached[2]
+            else:
+                shares = popularity.shares(pids)
+                self._share_cache[spec.app_id] = (pids, pop_version, shares)
             counts = self._rng.multinomial(count, shares)
             for pid, c in zip(pids, counts.tolist()):
                 if c:

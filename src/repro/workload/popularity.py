@@ -63,9 +63,19 @@ class PopularityMap:
 
     def __init__(self, weights: Dict[PartitionId, float] = None) -> None:
         self._weights: Dict[PartitionId, float] = {}
+        self._version = 0
         if weights:
             for pid, w in weights.items():
                 self.set(pid, w)
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every weight change.
+
+        Lets per-epoch consumers (the workload mix's share vectors)
+        cache derived arrays until the popularity actually moves.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return len(self._weights)
@@ -83,8 +93,10 @@ class PopularityMap:
         if weight < 0:
             raise PopularityError(f"weight must be >= 0, got {weight}")
         self._weights[pid] = float(weight)
+        self._version += 1
 
     def remove(self, pid: PartitionId) -> float:
+        self._version += 1
         return self._weights.pop(pid, 0.0)
 
     def split(self, parent: PartitionId, low: PartitionId,
@@ -97,6 +109,7 @@ class PopularityMap:
         weight = self._weights.pop(parent, 0.0)
         self._weights[low] = weight * low_share
         self._weights[high] = weight - self._weights[low]
+        self._version += 1
 
     @property
     def total(self) -> float:

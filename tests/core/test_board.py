@@ -77,6 +77,20 @@ class TestAggregates:
         assert not board.has_price(2)
         assert board.max_price() == 1.0
 
+    def test_cached_stats_invalidated_by_post_and_drop(self):
+        board = PriceBoard()
+        board.post(0, {1: 1.0, 2: 2.0, 3: 6.0})
+        # Warm the memo, then mutate both ways.
+        assert board.min_price() == 1.0
+        assert board.mean_price() == 3.0
+        board.drop_servers([1])
+        assert board.min_price() == 2.0
+        assert board.mean_price() == 4.0
+        board.post(1, {1: 5.0, 2: 7.0})
+        assert board.min_price() == 5.0
+        assert board.max_price() == 7.0
+        assert board.scan_min_price() == board.min_price()
+
 
 class TestUpdateBoard:
     def test_update_board_posts_eq1_prices(self):

@@ -1,0 +1,97 @@
+"""The vectorized epoch kernel's hard behavioral contract.
+
+Golden tests: both kernels must reproduce, bit for bit, the
+``EpochFrame`` streams recorded from the pre-refactor scalar engine
+(``tests/integration/golden/``, generated at PR 1).  Any float that
+moves — a price, a share, an availability mean — fails the test with a
+field-level diff.
+
+Property tests: freshly seeded twin runs (same config, different
+kernel) must stay frame-identical across uniform and discrete
+geographies, server failures and partition splits, for seeds never seen
+by the golden set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from golden_scenarios import (
+    build_config,
+    build_events,
+    golden_path,
+    scenario_names,
+)
+from repro.baselines.random_placement import random_placement_decider
+from repro.baselines.static import static_decider
+from repro.sim.engine import Simulation
+from repro.sim.framedump import (
+    compare_streams,
+    frames_digest,
+    frames_to_jsonable,
+)
+
+KERNELS = ("vectorized", "scalar")
+
+
+def run_kernel(name: str, kernel: str) -> Simulation:
+    config = dataclasses.replace(build_config(name), kernel=kernel)
+    events = build_events(name, config)
+    sim = Simulation(config, events=events)
+    sim.run()
+    return sim
+
+
+class TestGoldenStreams:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_matches_pre_refactor_engine(self, name, kernel):
+        golden = json.loads(golden_path(name).read_text())
+        sim = run_kernel(name, kernel)
+        frames = list(sim.metrics)
+        if frames_digest(frames) == golden["digest"]:
+            return
+        problems = compare_streams(golden["frames"], frames)
+        pytest.fail(
+            f"{name} [{kernel}] diverged from the pre-refactor "
+            f"engine:\n" + "\n".join(problems[:20])
+        )
+
+
+class TestKernelTwins:
+    """Seeds outside the golden set: kernels must agree with each other."""
+
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    @pytest.mark.parametrize(
+        "scenario", ["paper-uniform", "discrete-geo", "fig3-elasticity",
+                     "saturation-splits"]
+    )
+    def test_twin_streams_identical(self, scenario, seed):
+        frames = {}
+        for kernel in KERNELS:
+            config = dataclasses.replace(
+                build_config(scenario), seed=seed, epochs=15, kernel=kernel
+            )
+            events = build_events(scenario, config)
+            sim = Simulation(config, events=events)
+            sim.run()
+            frames[kernel] = frames_to_jsonable(sim.metrics)
+        assert frames["vectorized"] == frames["scalar"]
+
+    @pytest.mark.parametrize(
+        "factory", [static_decider, random_placement_decider],
+        ids=["static", "random"],
+    )
+    def test_baseline_deciders_kernel_invariant(self, factory):
+        frames = {}
+        for kernel in KERNELS:
+            config = dataclasses.replace(
+                build_config("paper-uniform"), epochs=12, kernel=kernel
+            )
+            sim = Simulation(config, decider_factory=factory)
+            sim.run()
+            frames[kernel] = frames_to_jsonable(sim.metrics)
+        assert frames["vectorized"] == frames["scalar"]
