@@ -12,7 +12,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.tables import ClaimTable
 from repro.sim.engine import Simulation

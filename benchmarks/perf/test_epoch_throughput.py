@@ -1,4 +1,4 @@
-"""Epoch-throughput regression harness (PR 1's perf baseline).
+"""Epoch-throughput regression harness (perf baseline since PR 1).
 
 Measures the production (vectorized) and reference (scalar) epoch
 kernels on the Fig. 4 Slashdot scenario and a 10×-partitions variant,
@@ -13,21 +13,28 @@ Both kernels emit bit-identical ``EpochFrame`` streams (enforced by
 ``tests/integration/test_kernel_equivalence.py``), so this is a pure
 throughput comparison.
 
+A 100× scale probe (``fig4-slashdot-100x``: 60 000 partitions on a
+20 000-server cloud, vectorized kernel only — the scalar reference
+would need hours per run) is gated behind ``REPRO_BENCH_100X=1`` so CI
+stays fast; when skipped, the previously measured entry is carried
+over in the JSON unchanged.
+
 Run just this harness with::
 
     PYTHONPATH=src python -m pytest benchmarks/perf -q -s
+    REPRO_BENCH_100X=1 PYTHONPATH=src python -m pytest benchmarks/perf -q -s
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 from pathlib import Path
 
 import dataclasses
 
-from repro.cluster.topology import CloudLayout
-from repro.sim.config import slashdot_scenario
+from repro.sim.config import scaled_paper_layout, slashdot_scenario
 from repro.sim.profiling import compare_kernels, speedup
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -46,10 +53,16 @@ MIN_SPEEDUP = 3.0
 #: stable timings, short enough for CI.
 FIG4_EPOCHS = 150
 FIG4_10X_EPOCHS = 12
-#: The 10× variant measures the steady state at scale: the first epochs
-#: after single-replica seeding are a transfer-bound replication
+#: The scaled variants measure the steady state at scale: the first
+#: epochs after single-replica seeding are a transfer-bound replication
 #: bootstrap in any kernel, so they warm up untimed.
 FIG4_10X_WARMUP = 25
+FIG4_100X_EPOCHS = 5
+FIG4_100X_WARMUP = 25
+
+#: Opt-in gate for the 100× probe (minutes of wall clock + a ~1 GB
+#: diversity matrix — not CI material).
+RUN_100X = os.environ.get("REPRO_BENCH_100X", "") not in ("", "0")
 
 
 def _fig4_config(partitions: int):
@@ -65,16 +78,16 @@ def _fig4_config(partitions: int):
     )
 
 
-def _fig4_10x_config():
-    # 10× partitions on a 10× cloud (same geography tree, deeper racks):
-    # scaling only the partition count would oversubscribe the paper
-    # cloud's storage and measure a permanent repair storm instead of
-    # epoch throughput.
-    cfg = _fig4_config(2000)
+def _fig4_scaled_config(scale: int, warmup: int, epochs: int):
+    # scale× partitions on a scale× cloud (same geography tree, deeper
+    # racks): scaling only the partition count would oversubscribe the
+    # paper cloud's storage and measure a permanent repair storm
+    # instead of epoch throughput.
+    cfg = _fig4_config(200 * scale)
     return dataclasses.replace(
         cfg,
-        epochs=FIG4_10X_WARMUP + FIG4_10X_EPOCHS,
-        layout=CloudLayout(racks_per_room=4, servers_per_rack=25),
+        epochs=warmup + epochs,
+        layout=scaled_paper_layout(scale),
     )
 
 
@@ -110,7 +123,9 @@ def test_epoch_throughput_fig4():
     base_results = compare_kernels(base, epochs=FIG4_EPOCHS, repeats=2)
     payload["scenarios"]["fig4-slashdot"] = _entry(base, base_results)
 
-    scaled = _fig4_10x_config()
+    scaled = _fig4_scaled_config(
+        10, FIG4_10X_WARMUP, FIG4_10X_EPOCHS
+    )
     scaled_results = compare_kernels(
         scaled, epochs=FIG4_10X_EPOCHS, warmup_epochs=FIG4_10X_WARMUP
     )
@@ -118,15 +133,46 @@ def test_epoch_throughput_fig4():
         scaled, scaled_results
     )
 
+    if RUN_100X:
+        big = _fig4_scaled_config(
+            100, FIG4_100X_WARMUP, FIG4_100X_EPOCHS
+        )
+        big_results = compare_kernels(
+            big, epochs=FIG4_100X_EPOCHS,
+            warmup_epochs=FIG4_100X_WARMUP,
+            kernels=("vectorized",),
+        )
+        entry = _entry(big, big_results)
+        # Stamp where this number was measured: when later runs carry
+        # it over, the top-level machine block describes *them*.
+        entry["measured_on"] = dict(payload["machine"])
+        payload["scenarios"]["fig4-slashdot-100x"] = entry
+    elif BENCH_PATH.exists():
+        # Keep the last opted-in measurement on record instead of
+        # silently dropping the scenario from the JSON.  A corrupt file
+        # (interrupted write) must not wedge the harness — the rewrite
+        # below heals it.
+        try:
+            previous = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            previous = {}
+        carried = previous.get("scenarios", {}).get("fig4-slashdot-100x")
+        if carried is not None:
+            payload["scenarios"]["fig4-slashdot-100x"] = carried
+
     BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
 
     print("\nepoch throughput (epochs/sec):")
     for name, entry in payload["scenarios"].items():
         eps = entry["epochs_per_sec"]
+        scalar = (
+            f"{eps['scalar']:8.2f}" if "scalar" in eps else "       —"
+        )
+        ratio = entry["speedup_vectorized_over_scalar"]
         print(
             f"  {name:20s} vectorized {eps['vectorized']:8.2f}   "
-            f"scalar {eps['scalar']:8.2f}   "
-            f"speedup {entry['speedup_vectorized_over_scalar']}x"
+            f"scalar {scalar}   "
+            f"speedup {ratio if ratio is not None else '—'}x"
         )
 
     base_ratio = payload["scenarios"]["fig4-slashdot"][

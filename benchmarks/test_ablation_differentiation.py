@@ -7,7 +7,6 @@ scenario against its undifferentiated transform (every ring pinned to
 the 4-replica level) and prices the difference.
 """
 
-import numpy as np
 
 from conftest import run_once
 from repro.analysis.tables import ClaimTable

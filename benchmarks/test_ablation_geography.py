@@ -9,7 +9,6 @@ measures what proximity-aware placement buys in expected response time
 the maintenance traffic both runs pay.
 """
 
-import numpy as np
 
 from conftest import run_once
 from repro.analysis.latency import (

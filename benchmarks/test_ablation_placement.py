@@ -12,7 +12,6 @@ under three policies and compares cost and availability:
   (isolates eq. 3's diversity/cost scoring).
 """
 
-import numpy as np
 
 from conftest import run_once
 from repro.analysis.tables import ClaimTable

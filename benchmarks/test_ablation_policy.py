@@ -11,12 +11,11 @@ equations; this bench quantifies each:
 
 from dataclasses import replace
 
-import numpy as np
 
 from conftest import run_once
 from repro.analysis.tables import ClaimTable
 from repro.core.decision import EconomicPolicy
-from repro.sim.config import InsertConfig, paper_scenario, saturation_scenario
+from repro.sim.config import paper_scenario, saturation_scenario
 from repro.sim.engine import Simulation
 from repro.sim.reporting import format_table
 

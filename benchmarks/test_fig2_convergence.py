@@ -15,7 +15,7 @@ import numpy as np
 
 from conftest import print_figure, run_once
 from repro.analysis.series import convergence_epoch
-from repro.analysis.stats import describe, gini
+from repro.analysis.stats import describe
 from repro.analysis.tables import ClaimTable
 from repro.sim.config import paper_scenario
 from repro.sim.engine import Simulation

@@ -9,7 +9,6 @@ This bench runs the base scenario for 300 epochs under exactly that
 event schedule and prints the per-ring virtual-node totals over time.
 """
 
-import numpy as np
 
 from conftest import print_figure, run_once
 from repro.analysis.series import relative_spread, step_change

@@ -11,7 +11,6 @@ figure's series: each ring's average per-server query load, plus the
 Jain fairness of the per-server load at sampled epochs.
 """
 
-import numpy as np
 
 from conftest import print_figure, run_once
 from repro.analysis.stats import jain_index

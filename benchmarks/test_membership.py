@@ -15,7 +15,6 @@ including a lossy-network variant.  With rounds of ~1 s and epochs of
 
 import numpy as np
 
-from conftest import run_once
 from repro.analysis.tables import ClaimTable
 from repro.gossip.dissemination import VersionedGossip
 from repro.gossip.election import BoardElection

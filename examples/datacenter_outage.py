@@ -13,7 +13,6 @@ down".  This example fails an entire datacenter mid-run and shows
 Run:  python examples/datacenter_outage.py
 """
 
-import numpy as np
 
 from repro import Simulation, availability, paper_scenario
 from repro.cluster.events import EventSchedule, ScopedOutage

@@ -10,17 +10,13 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    AvailabilityLevel,
     CloudLayout,
     KVStore,
-    ReplicaCatalog,
-    RingSet,
     Router,
     Simulation,
     availability,
-    paper_scenario,
 )
-from repro.cluster import Location, build_cloud
+from repro.cluster import Location
 from repro.sim.config import AppConfig, RingConfig, SimConfig
 
 

@@ -10,7 +10,6 @@ no operator, no global coordinator.
 Run:  python examples/slashdot_surge.py
 """
 
-import numpy as np
 
 from repro import Simulation, slashdot_scenario
 from repro.analysis.stats import jain_index

@@ -33,6 +33,7 @@ from repro.sim.config import (
     SimConfig,
     paper_scenario,
     saturation_scenario,
+    scaled_paper_layout,
     slashdot_scenario,
 )
 from repro.sim.engine import Simulation, economic_decider
@@ -89,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--epochs", type=int, default=60)
     profile.add_argument("--seed", type=int, default=0)
     profile.add_argument("--partitions", type=int, default=200)
+    profile.add_argument("--scale", type=int, default=1,
+                         help="grow the scenario N× (partitions and "
+                              "cloud together, as the perf harness's "
+                              "10x/100x variants do)")
     profile.add_argument("--repeats", type=int, default=2,
                          help="timed runs per kernel (best-of)")
     profile.add_argument("--warmup", type=int, default=0,
@@ -179,7 +184,22 @@ def cmd_compare(args, out) -> int:
 
 
 def cmd_profile(args, out) -> int:
-    config = make_config(args)
+    if args.scale < 1:
+        raise CliError("--scale must be >= 1")
+    if args.scale > 1:
+        if args.scenario == "saturation":
+            # The saturation scenario's parameters (shrunken disks,
+            # fixed insert rate) encode a deliberate oversubscription
+            # ratio that growing only the cloud would silently destroy.
+            raise CliError(
+                "--scale supports the paper and slashdot scenarios"
+            )
+        args.partitions = args.partitions * args.scale
+        config = dataclasses.replace(
+            make_config(args), layout=scaled_paper_layout(args.scale)
+        )
+    else:
+        config = make_config(args)
     if args.kernel == "both":
         results = compare_kernels(
             config, epochs=args.epochs, warmup_epochs=args.warmup,
@@ -205,7 +225,7 @@ def cmd_profile(args, out) -> int:
     ]
     print(
         f"scenario={args.scenario} partitions={args.partitions} "
-        f"seed={args.seed} warmup={args.warmup}",
+        f"seed={args.seed} scale={args.scale} warmup={args.warmup}",
         file=out,
     )
     print(
@@ -221,6 +241,7 @@ def cmd_profile(args, out) -> int:
         payload = {
             "scenario": args.scenario,
             "partitions": args.partitions,
+            "scale": args.scale,
             "seed": args.seed,
             "results": {
                 kernel: {

@@ -18,7 +18,12 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.confidence import ConfidenceModel, uniform_confidence
-from repro.cluster.location import Location, diversity
+from repro.cluster.location import (
+    Location,
+    NUM_LEVELS,
+    diversity,
+    diversity_from_depth,
+)
 from repro.cluster.server import GB, Server, make_server
 
 
@@ -104,8 +109,18 @@ class Cloud:
         self._server_at_slot: List[int] = []
         self._diversity: np.ndarray = np.zeros((0, 0), dtype=np.int16)
         self._next_id = 0
-        for server in servers:
-            self.add_server(server)
+        self._version = 0
+        self.add_servers(servers)
+
+    @property
+    def version(self) -> int:
+        """Monotone membership counter (bumped on add/remove).
+
+        Slot order, the diversity matrix and per-slot caches are stable
+        between two equal version reads; derived slot-ordered structures
+        (cost vectors, the epoch kernel's incidence caches) key off it.
+        """
+        return self._version
 
     # -- accessors ----------------------------------------------------------
 
@@ -181,7 +196,77 @@ class Cloud:
         self._slot_of[server.server_id] = n
         self._server_at_slot.append(server.server_id)
         self._next_id = max(self._next_id, server.server_id + 1)
+        self._version += 1
         return server
+
+    def add_servers(self, servers: Iterable[Server]) -> None:
+        """Register many servers with one vectorized matrix extension.
+
+        Appending one server at a time re-allocates (and copies) the
+        whole diversity matrix per addition — O(n³) cumulative work that
+        makes 10 000+-server clouds unbuildable.  This path appends all
+        new slots at once and fills their rows with a chunked numpy
+        prefix-similarity computation; values and slot order are
+        identical to repeated :meth:`add_server` calls.
+        """
+        new = list(servers)
+        if not new:
+            return
+        seen = set(self._servers)
+        for server in new:
+            if server.server_id in seen:
+                raise TopologyError(
+                    f"duplicate server id {server.server_id}"
+                )
+            seen.add(server.server_id)
+        n_old = len(self._server_at_slot)
+        n = n_old + len(new)
+        grown = np.zeros((n, n), dtype=np.int16)
+        grown[:n_old, :n_old] = self._diversity
+        parts = np.array(
+            [
+                self._servers[sid].location.parts()
+                for sid in self._server_at_slot
+            ]
+            + [server.location.parts() for server in new],
+            dtype=np.int64,
+        ).reshape(n, NUM_LEVELS)
+        # Canonical per-depth prefix codes: two servers share the first
+        # d+1 location levels iff codes[d] matches (codes fold the
+        # parent code with the level value through np.unique, so
+        # equality is exact — no hashing).
+        codes = np.zeros((NUM_LEVELS, n), dtype=np.int64)
+        parent = np.zeros(n, dtype=np.int64)
+        for d in range(NUM_LEVELS):
+            pair = np.stack([parent, parts[:, d]], axis=1)
+            __, parent = np.unique(pair, axis=0, return_inverse=True)
+            codes[d] = parent
+        # Diversity tabulated by shared-prefix depth — the same
+        # function the incremental path applies pair by pair.
+        lut = np.array(
+            [diversity_from_depth(d) for d in range(NUM_LEVELS + 1)],
+            dtype=np.int16,
+        )
+        # Chunk the new rows so per-level comparison temporaries stay
+        # modest even for 10⁴-server clouds.
+        chunk = max(1, (128 << 20) // max(n * 8, 1))
+        for start in range(n_old, n, chunk):
+            stop = min(start + chunk, n)
+            depth = np.zeros((stop - start, n), dtype=np.int8)
+            for d in range(NUM_LEVELS):
+                depth += codes[d, start:stop, None] == codes[d, None, :]
+            grown[start:stop, :] = lut[depth]
+        # Mirror the new rows into the new columns in one pass (writing
+        # per-chunk column stripes is a strided-scatter hot spot).
+        grown[:n_old, n_old:] = grown[n_old:, :n_old].T
+        self._diversity = grown
+        for offset, server in enumerate(new):
+            slot = n_old + offset
+            self._servers[server.server_id] = server
+            self._slot_of[server.server_id] = slot
+            self._server_at_slot.append(server.server_id)
+            self._next_id = max(self._next_id, server.server_id + 1)
+        self._version += 1
 
     def spawn_server(self, location: Location, **kwargs) -> Server:
         """Create and register a server with the next free id."""
@@ -199,6 +284,7 @@ class Cloud:
         for slot, sid in enumerate(self._server_at_slot):
             self._slot_of[sid] = slot
         server.fail()
+        self._version += 1
         return server
 
     def begin_epoch(self) -> None:
@@ -259,20 +345,19 @@ def build_cloud(layout: CloudLayout = PAPER_LAYOUT, *,
         expensive_ids = set(
             rng.choice(n, size=n_expensive, replace=False).tolist()
         )
-    cloud = Cloud()
-    for server_id, location in enumerate(locations):
-        rent = expensive_rent if server_id in expensive_ids else cheap_rent
-        cloud.add_server(
-            make_server(
-                server_id,
-                location,
-                monthly_rent=rent,
-                storage_capacity=storage_capacity,
-                query_capacity=query_capacity,
-                confidence=model.for_server(server_id, location),
-            )
+    return Cloud(
+        make_server(
+            server_id,
+            location,
+            monthly_rent=(
+                expensive_rent if server_id in expensive_ids else cheap_rent
+            ),
+            storage_capacity=storage_capacity,
+            query_capacity=query_capacity,
+            confidence=model.for_server(server_id, location),
         )
-    return cloud
+        for server_id, location in enumerate(locations)
+    )
 
 
 def fresh_locations(layout: CloudLayout, existing: Sequence[Location],

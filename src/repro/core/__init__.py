@@ -1,6 +1,6 @@
 """Skute's core: the virtual economy for replica management."""
 
-from repro.core.agent import AgentError, AgentRegistry, VNodeAgent
+from repro.core.agent import AgentError, AgentLedger, AgentRegistry, VNodeAgent
 from repro.core.availability import (
     AvailabilityError,
     availability,
@@ -21,6 +21,7 @@ from repro.core.decision import (
 )
 from repro.core.economy import (
     DEFAULT_EPOCHS_PER_MONTH,
+    CloudCostIndex,
     EconomyError,
     RentModel,
     UsageTracker,
@@ -34,10 +35,12 @@ from repro.core.placement import (
 
 __all__ = [
     "AgentError",
+    "AgentLedger",
     "AgentRegistry",
     "AvailabilityError",
     "BoardError",
     "Candidate",
+    "CloudCostIndex",
     "DEFAULT_EPOCHS_PER_MONTH",
     "DecisionEngine",
     "DecisionStats",

@@ -5,13 +5,23 @@ data owner's behalf (§II).  The agent accrues utility from the queries
 its replica answers, pays the hosting server's virtual rent, and keeps
 the recent balance history that drives the migrate/suicide/replicate
 hysteresis ("negative balance for the last f epochs", §II-C).
+
+Storage is *array-native*: every agent's balance window, wealth and
+streak state live as one row of the registry-level
+:class:`AgentLedger` — a ring-buffer balance matrix plus
+wealth/streak-run vectors — so the epoch kernel settles all agents with
+one vectorized column write (:meth:`AgentLedger.record_batch`) and
+triages §II-C streaks as array masks instead of scanning each agent's
+window.  :class:`VNodeAgent` remains the object API callers and tests
+use; it is a thin view onto its ledger row.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.ring.partition import PartitionId
 
@@ -20,58 +30,388 @@ class AgentError(ValueError):
     """Raised for registry misuse (duplicate or missing agents)."""
 
 
-@dataclass
+class AgentLedger:
+    """Columnar store of every agent's §II-C economic state.
+
+    One *row* per agent: a ring-buffered balance window of length
+    ``window`` (the paper's hysteresis ``f``), cumulative wealth, epochs
+    alive, the hosting server id, and two streak-run counters.  The run
+    counters make streak checks O(1): ``neg_run[row] >= window`` holds
+    exactly when the last ``window`` recorded balances are all negative
+    (a run resets to zero on any non-negative balance), which is the
+    same predicate the old per-agent deque scan computed.
+
+    The scalar :meth:`record` and the vectorized :meth:`record_batch`
+    perform the identical float64 operations (``balance = utility -
+    rent``; ``wealth += balance``), so a row ends an epoch bit-identical
+    regardless of which path recorded it — the property the two epoch
+    kernels' frame-equivalence contract rests on.
+    """
+
+    def __init__(self, window: int, capacity: int = 0) -> None:
+        if window < 1:
+            raise AgentError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._cap = 0
+        self._bal = np.zeros((0, window), dtype=np.float64)
+        self._pos = np.zeros(0, dtype=np.int64)
+        self._count = np.zeros(0, dtype=np.int64)
+        self._neg_run = np.zeros(0, dtype=np.int64)
+        self._pos_run = np.zeros(0, dtype=np.int64)
+        self._wealth = np.zeros(0, dtype=np.float64)
+        self._epochs = np.zeros(0, dtype=np.int64)
+        self._sid = np.zeros(0, dtype=np.int64)
+        #: Materialized streak flags (plain lists: O(1) scalar reads in
+        #: the decision loop without numpy scalar-indexing overhead).
+        self._neg_flags: List[bool] = []
+        self._pos_flags: List[bool] = []
+        self._free: List[int] = []
+        self._live = 0
+        if capacity:
+            self._grow(capacity)
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def capacity(self) -> int:
+        return self._cap
+
+    @property
+    def live_rows(self) -> int:
+        return self._live
+
+    def _grow(self, need: int) -> None:
+        """Grow to exactly ``need`` rows (or doubling, if larger).
+
+        Callers wanting amortized growth pass a padded ``need`` (see
+        :meth:`acquire`); explicit capacities — one-row detached
+        ledgers, compaction targets — are honored exactly so the
+        retirement path does not allocate 16-row blocks per agent.
+        """
+        new_cap = max(need, self._cap * 2)
+        extra = new_cap - self._cap
+
+        def pad(arr: np.ndarray, shape) -> np.ndarray:
+            grown = np.zeros(shape, dtype=arr.dtype)
+            grown[: self._cap] = arr
+            return grown
+
+        self._bal = pad(self._bal, (new_cap, self._window))
+        self._pos = pad(self._pos, new_cap)
+        self._count = pad(self._count, new_cap)
+        self._neg_run = pad(self._neg_run, new_cap)
+        self._pos_run = pad(self._pos_run, new_cap)
+        self._wealth = pad(self._wealth, new_cap)
+        self._epochs = pad(self._epochs, new_cap)
+        sid = np.full(new_cap, -1, dtype=np.int64)
+        sid[: self._cap] = self._sid
+        self._sid = sid
+        # Extend flag lists *in place*: the decision pass holds direct
+        # references to them across a decide() call.
+        self._neg_flags.extend([False] * extra)
+        self._pos_flags.extend([False] * extra)
+        # Hand out low row indices first.
+        self._free.extend(range(new_cap - 1, self._cap - 1, -1))
+        self._cap = new_cap
+
+    def acquire(self, server_id: int) -> int:
+        """Claim a zeroed row for a new agent; returns the row index."""
+        if not self._free:
+            self._grow(max(self._cap + 1, 16))
+        row = self._free.pop()
+        self._sid[row] = server_id
+        self._live += 1
+        return row
+
+    def release(self, row: int) -> None:
+        """Return a row to the free pool, clearing its state."""
+        self._sid[row] = -1
+        self._pos[row] = 0
+        self._count[row] = 0
+        self._neg_run[row] = 0
+        self._pos_run[row] = 0
+        self._wealth[row] = 0.0
+        self._epochs[row] = 0
+        self._neg_flags[row] = False
+        self._pos_flags[row] = False
+        self._free.append(row)
+        self._live -= 1
+
+    # -- per-row accessors -------------------------------------------------
+
+    def server_id(self, row: int) -> int:
+        return int(self._sid[row])
+
+    def set_server_id(self, row: int, server_id: int) -> None:
+        self._sid[row] = server_id
+
+    def server_id_vector(self) -> np.ndarray:
+        """Hosting server per row (read-only by contract; -1 = free)."""
+        return self._sid
+
+    def wealth(self, row: int) -> float:
+        return float(self._wealth[row])
+
+    def set_wealth(self, row: int, value: float) -> None:
+        self._wealth[row] = value
+
+    def epochs_alive(self, row: int) -> int:
+        return int(self._epochs[row])
+
+    def window_values(self, row: int) -> List[float]:
+        """The recorded balances, oldest first (≤ ``window`` entries)."""
+        count = int(self._count[row])
+        if count < self._window:
+            # Writes restart at slot 0 after every reset, so an
+            # unsaturated window is simply the leading slots in order.
+            return self._bal[row, :count].tolist()
+        pos = int(self._pos[row])
+        vals = self._bal[row]
+        return vals[pos:].tolist() + vals[:pos].tolist()
+
+    def neg_streak(self, row: int) -> bool:
+        return bool(self._neg_run[row] >= self._window)
+
+    def pos_streak(self, row: int) -> bool:
+        return bool(self._pos_run[row] >= self._window)
+
+    def streak_flags(self) -> Tuple[List[bool], List[bool]]:
+        """(negative, positive) streak flags, indexed by row.
+
+        The returned lists are live views the ledger keeps current
+        through scalar records, resets, acquires and releases;
+        :meth:`record_batch` rebuilds their *contents* in place.
+        """
+        return self._neg_flags, self._pos_flags
+
+    def streak_run_vectors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(neg_run, pos_run) row vectors — read-only by contract."""
+        return self._neg_run, self._pos_run
+
+    # -- recording ---------------------------------------------------------
+
+    def seed_balance(self, row: int, balance: float) -> None:
+        """Append a balance without wealth/epoch accounting (seeding)."""
+        self._write_balance(row, float(balance))
+
+    def _write_balance(self, row: int, balance: float) -> None:
+        w = self._window
+        pos = int(self._pos[row])
+        self._bal[row, pos] = balance
+        self._pos[row] = (pos + 1) % w
+        count = int(self._count[row])
+        if count < w:
+            self._count[row] = count + 1
+        if balance < 0:
+            run = int(self._neg_run[row]) + 1
+            self._neg_run[row] = w if run > w else run
+            self._pos_run[row] = 0
+            self._neg_flags[row] = run >= w
+            self._pos_flags[row] = False
+        elif balance > 0:
+            run = int(self._pos_run[row]) + 1
+            self._pos_run[row] = w if run > w else run
+            self._neg_run[row] = 0
+            self._pos_flags[row] = run >= w
+            self._neg_flags[row] = False
+        else:
+            self._neg_run[row] = 0
+            self._pos_run[row] = 0
+            self._neg_flags[row] = False
+            self._pos_flags[row] = False
+
+    def record(self, row: int, utility: float, rent: float) -> float:
+        """Account one epoch for one row; returns the balance."""
+        balance = utility - rent
+        self._write_balance(row, balance)
+        self._wealth[row] += balance
+        self._epochs[row] += 1
+        return balance
+
+    def record_batch(self, rows: np.ndarray, utilities: np.ndarray,
+                     rents: np.ndarray) -> None:
+        """Vectorized :meth:`record` for many *distinct* rows at once.
+
+        ``rows`` must not contain duplicates (each agent settles once
+        per epoch) — fancy-index accumulation would drop repeats.
+        """
+        if not len(rows):
+            return
+        balances = utilities - rents
+        w = self._window
+        pos = self._pos[rows]
+        self._bal[rows, pos] = balances
+        self._pos[rows] = (pos + 1) % w
+        self._count[rows] = np.minimum(self._count[rows] + 1, w)
+        neg = balances < 0
+        pos_b = balances > 0
+        self._neg_run[rows] = np.where(
+            neg, np.minimum(self._neg_run[rows] + 1, w), 0
+        )
+        self._pos_run[rows] = np.where(
+            pos_b, np.minimum(self._pos_run[rows] + 1, w), 0
+        )
+        self._wealth[rows] += balances
+        self._epochs[rows] += 1
+        self._neg_flags[:] = (self._neg_run >= w).tolist()
+        self._pos_flags[:] = (self._pos_run >= w).tolist()
+
+    def reset_window(self, row: int) -> None:
+        """Forget the balance window (after a move or replication)."""
+        self._pos[row] = 0
+        self._count[row] = 0
+        self._neg_run[row] = 0
+        self._pos_run[row] = 0
+        self._neg_flags[row] = False
+        self._pos_flags[row] = False
+
+    # -- maintenance -------------------------------------------------------
+
+    def copy_row_state(self, row: int) -> Dict[str, object]:
+        """Snapshot one row (detaching agents, compaction)."""
+        return {
+            "balances": self.window_values(row),
+            "count": int(self._count[row]),
+            "neg_run": int(self._neg_run[row]),
+            "pos_run": int(self._pos_run[row]),
+            "wealth": float(self._wealth[row]),
+            "epochs": int(self._epochs[row]),
+            "sid": int(self._sid[row]),
+        }
+
+    def restore_row_state(self, row: int, state: Dict[str, object]) -> None:
+        balances = state["balances"]
+        self._count[row] = state["count"]
+        self._bal[row, : len(balances)] = balances
+        self._pos[row] = len(balances) % self._window
+        self._neg_run[row] = state["neg_run"]
+        self._pos_run[row] = state["pos_run"]
+        self._wealth[row] = state["wealth"]
+        self._epochs[row] = state["epochs"]
+        self._sid[row] = state["sid"]
+        self._neg_flags[row] = state["neg_run"] >= self._window
+        self._pos_flags[row] = state["pos_run"] >= self._window
+
+
 class VNodeAgent:
-    """One virtual node: a partition replica on a specific server."""
+    """One virtual node: a partition replica on a specific server.
 
-    pid: PartitionId
-    server_id: int
-    window: int
-    balances: Deque[float] = field(default_factory=deque)
-    wealth: float = 0.0
-    epochs_alive: int = 0
-    moves: int = 0
+    A thin view over one :class:`AgentLedger` row.  Registry-spawned
+    agents share the registry's ledger (so batched settlement reaches
+    them); a directly constructed agent owns a private single-row ledger
+    with identical semantics.
+    """
 
-    def __post_init__(self) -> None:
-        if self.window < 1:
-            raise AgentError(f"window must be >= 1, got {self.window}")
-        self.balances = deque(self.balances, maxlen=self.window)
+    __slots__ = ("pid", "_ledger", "_row", "moves")
+
+    def __init__(self, pid: PartitionId, server_id: int,
+                 window: Optional[int] = None,
+                 balances: Sequence[float] = (), *,
+                 ledger: Optional[AgentLedger] = None,
+                 row: Optional[int] = None) -> None:
+        if ledger is None:
+            if window is None:
+                raise AgentError("window required for a detached agent")
+            ledger = AgentLedger(window, capacity=1)
+            row = ledger.acquire(server_id)
+            for balance in deque(balances, maxlen=window):
+                ledger.seed_balance(row, balance)
+        elif row is None:
+            raise AgentError("registry-backed agent needs its row")
+        self.pid = pid
+        self._ledger = ledger
+        self._row = row
+        self.moves = 0
+
+    # -- ledger plumbing ---------------------------------------------------
+
+    @property
+    def row(self) -> int:
+        """This agent's ledger row (internal to the epoch kernel)."""
+        return self._row
+
+    def _rebind(self, ledger: AgentLedger, row: int) -> None:
+        """Point the view at a new row (registry compaction)."""
+        self._ledger = ledger
+        self._row = row
+
+    def _detach(self) -> None:
+        """Move state onto a private ledger (row is being released)."""
+        state = self._ledger.copy_row_state(self._row)
+        private = AgentLedger(self._ledger.window, capacity=1)
+        row = private.acquire(int(state["sid"]))
+        private.restore_row_state(row, state)
+        self._ledger = private
+        self._row = row
+
+    # -- paper-facing API --------------------------------------------------
+
+    @property
+    def window(self) -> int:
+        return self._ledger.window
+
+    @property
+    def server_id(self) -> int:
+        return self._ledger.server_id(self._row)
+
+    @server_id.setter
+    def server_id(self, value: int) -> None:
+        self._ledger.set_server_id(self._row, value)
+
+    @property
+    def wealth(self) -> float:
+        return self._ledger.wealth(self._row)
+
+    @wealth.setter
+    def wealth(self, value: float) -> None:
+        self._ledger.set_wealth(self._row, value)
+
+    @property
+    def epochs_alive(self) -> int:
+        return self._ledger.epochs_alive(self._row)
+
+    @property
+    def balances(self) -> Tuple[float, ...]:
+        """The balance window, oldest first — an *immutable* snapshot.
+
+        The pre-ledger agent exposed its live deque; state now lives in
+        the array ledger, so the window is handed out as a tuple —
+        attempted mutation fails loudly instead of silently editing a
+        throwaway copy.  Drive state through :meth:`record` /
+        :meth:`reset_history`.
+        """
+        return tuple(self._ledger.window_values(self._row))
 
     def record(self, utility: float, rent: float) -> float:
         """Account one epoch: append the balance, accumulate wealth."""
-        balance = utility - rent
-        self.balances.append(balance)
-        self.wealth += balance
-        self.epochs_alive += 1
-        return balance
+        return self._ledger.record(self._row, utility, rent)
 
     @property
     def last_balance(self) -> Optional[float]:
-        return self.balances[-1] if self.balances else None
+        values = self._ledger.window_values(self._row)
+        return values[-1] if values else None
 
     @property
     def negative_streak(self) -> bool:
         """True when the last ``window`` balances are all negative."""
-        return (
-            len(self.balances) == self.balances.maxlen
-            and all(b < 0 for b in self.balances)
-        )
+        return self._ledger.neg_streak(self._row)
 
     @property
     def positive_streak(self) -> bool:
         """True when the last ``window`` balances are all positive."""
-        return (
-            len(self.balances) == self.balances.maxlen
-            and all(b > 0 for b in self.balances)
-        )
+        return self._ledger.pos_streak(self._row)
 
     def reset_history(self) -> None:
         """Forget the balance window (after a move or replication)."""
-        self.balances.clear()
+        self._ledger.reset_window(self._row)
 
     def moved_to(self, server_id: int) -> None:
         """Re-home the agent after a migration."""
-        self.server_id = server_id
+        self._ledger.set_server_id(self._row, server_id)
         self.moves += 1
         self.reset_history()
 
@@ -88,18 +428,30 @@ class AgentRegistry:
     counterpart, so agent existence ⇔ replica existence.  The registry
     never invents replicas — the engine is responsible for calling the
     matching pairs (place ⇔ spawn, drop ⇔ retire, move ⇔ rehome).
+
+    All agent state lives in the shared :class:`AgentLedger`;
+    :attr:`version` stamps every membership change so the epoch kernel
+    can cache row/replica incidence structures across epochs.
     """
 
     def __init__(self, window: int) -> None:
-        if window < 1:
-            raise AgentError(f"window must be >= 1, got {window}")
-        self._window = window
+        self._ledger = AgentLedger(window)
         self._agents: Dict[Tuple[PartitionId, int], VNodeAgent] = {}
         self._by_pid: Dict[PartitionId, List[VNodeAgent]] = {}
+        self._version = 0
 
     @property
     def window(self) -> int:
-        return self._window
+        return self._ledger.window
+
+    @property
+    def ledger(self) -> AgentLedger:
+        return self._ledger
+
+    @property
+    def version(self) -> int:
+        """Monotone membership counter; derived caches key off it."""
+        return self._version
 
     def __len__(self) -> int:
         return len(self._agents)
@@ -107,13 +459,23 @@ class AgentRegistry:
     def __iter__(self) -> Iterator[VNodeAgent]:
         return iter(self._agents.values())
 
+    def streak_flags(self) -> Tuple[List[bool], List[bool]]:
+        return self._ledger.streak_flags()
+
+    def record_batch(self, rows: np.ndarray, utilities: np.ndarray,
+                     rents: np.ndarray) -> None:
+        """Settle many agents at once (see AgentLedger.record_batch)."""
+        self._ledger.record_batch(rows, utilities, rents)
+
     def spawn(self, pid: PartitionId, server_id: int) -> VNodeAgent:
         key = (pid, server_id)
         if key in self._agents:
             raise AgentError(f"agent already exists for {pid}@{server_id}")
-        agent = VNodeAgent(pid=pid, server_id=server_id, window=self._window)
+        row = self._ledger.acquire(server_id)
+        agent = VNodeAgent(pid, server_id, ledger=self._ledger, row=row)
         self._agents[key] = agent
         self._by_pid.setdefault(pid, []).append(agent)
+        self._version += 1
         return agent
 
     def retire(self, pid: PartitionId, server_id: int) -> VNodeAgent:
@@ -125,13 +487,30 @@ class AgentRegistry:
         self._by_pid[pid].remove(agent)
         if not self._by_pid[pid]:
             del self._by_pid[pid]
+        # Detach before the row is recycled so callers holding the
+        # object (split bookkeeping, failure reporting) still read the
+        # agent's final state.
+        row = agent.row
+        agent._detach()
+        self._ledger.release(row)
+        self._version += 1
         return agent
 
     def rehome(self, pid: PartitionId, src: int, dst: int) -> VNodeAgent:
-        agent = self.retire(pid, src)
+        key = (pid, src)
+        try:
+            agent = self._agents.pop(key)
+        except KeyError:
+            raise AgentError(f"no agent for {pid}@{src}") from None
         agent.moved_to(dst)
         self._agents[(pid, dst)] = agent
-        self._by_pid.setdefault(pid, []).append(agent)
+        # The agent keeps its ledger row; only the (pid, server) key and
+        # the per-partition list order change (removed, re-appended) to
+        # mirror the catalog's move (place dst, drop src).
+        agents = self._by_pid[pid]
+        agents.remove(agent)
+        agents.append(agent)
+        self._version += 1
         return agent
 
     def get(self, pid: PartitionId, server_id: int) -> VNodeAgent:
@@ -145,6 +524,10 @@ class AgentRegistry:
 
     def of_partition(self, pid: PartitionId) -> List[VNodeAgent]:
         return list(self._by_pid.get(pid, ()))
+
+    def agents_of(self, pid: PartitionId) -> Sequence[VNodeAgent]:
+        """Zero-copy view of one partition's agents (do not mutate)."""
+        return self._by_pid.get(pid, ())
 
     def on_server(self, server_id: int) -> List[VNodeAgent]:
         return [a for a in self._agents.values() if a.server_id == server_id]
@@ -165,10 +548,58 @@ class AgentRegistry:
         """
         parents = self.of_partition(parent)
         for agent in parents:
+            inherited = agent.wealth / 2.0
             self.retire(parent, agent.server_id)
             for child in (low, high):
                 spawned = self.spawn(child, agent.server_id)
-                spawned.wealth = agent.wealth / 2.0
+                spawned.wealth = inherited
+
+    def compact(self) -> None:
+        """Repack the ledger densely after retirements.
+
+        Live rows are renumbered 0..N-1 (in current row order), every
+        agent view is re-pointed, and the backing arrays shrink to the
+        live population.  Bumps :attr:`version` so cached row/incidence
+        structures rebuild.
+        """
+        old = self._ledger
+        agents = sorted(self._agents.values(), key=lambda a: a.row)
+        fresh = AgentLedger(old.window, capacity=max(len(agents), 1))
+        if agents:
+            rows = np.array([a.row for a in agents], dtype=np.intp)
+            fresh._bal[: len(agents)] = old._bal[rows]
+            fresh._pos[: len(agents)] = old._pos[rows]
+            fresh._count[: len(agents)] = old._count[rows]
+            fresh._neg_run[: len(agents)] = old._neg_run[rows]
+            fresh._pos_run[: len(agents)] = old._pos_run[rows]
+            fresh._wealth[: len(agents)] = old._wealth[rows]
+            fresh._epochs[: len(agents)] = old._epochs[rows]
+            fresh._sid[: len(agents)] = old._sid[rows]
+            window = old.window
+            fresh._neg_flags[: len(agents)] = (
+                old._neg_run[rows] >= window
+            ).tolist()
+            fresh._pos_flags[: len(agents)] = (
+                old._pos_run[rows] >= window
+            ).tolist()
+            fresh._free = [
+                r for r in range(fresh._cap - 1, -1, -1) if r >= len(agents)
+            ]
+            fresh._live = len(agents)
+            for new_row, agent in enumerate(agents):
+                agent._rebind(fresh, new_row)
+        self._ledger = fresh
+        self._version += 1
+
+    def maybe_compact(self, min_capacity: int = 64) -> bool:
+        """Compact when more than half the ledger rows sit free."""
+        ledger = self._ledger
+        if ledger.capacity <= min_capacity:
+            return False
+        if ledger.capacity - ledger.live_rows <= ledger.live_rows:
+            return False
+        self.compact()
+        return True
 
     def check_mirror(self, servers_of) -> None:
         """Verify agent existence matches a catalog view (test hook).

@@ -282,6 +282,9 @@ class AvailabilityIndex:
             else:
                 self._avail.pop(pid, None)
 
+    def storage_changed(self, server_id: int, delta: int) -> None:
+        """Byte accounting is irrelevant to eq. 2 — no-op."""
+
     def partition_split(self, parent, low, high,
                         servers: Sequence[int]) -> None:
         # Children inherit the parent's replica set verbatim, so both

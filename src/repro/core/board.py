@@ -33,6 +33,11 @@ class PriceBoard:
         # thousands of times per epoch at scale — memoise them per
         # posted table instead of re-scanning the price dict.
         self._stats: Optional[Tuple[float, float, float]] = None
+        # Slot-ordered posting (the vectorized eq. 1 path): the ids and
+        # the price vector are kept so :meth:`price_vector` can hand the
+        # epoch kernel a copy without S per-server dict lookups.
+        self._ids: Optional[List[int]] = None
+        self._vector: Optional[np.ndarray] = None
 
     @property
     def epoch(self) -> Optional[int]:
@@ -48,6 +53,37 @@ class PriceBoard:
         self._prices = dict(prices)
         self._epoch = epoch
         self._stats = None
+        self._ids = None
+        self._vector = None
+
+    def post_vector(self, epoch: int, server_ids: List[int],
+                    prices: np.ndarray) -> Dict[int, float]:
+        """Publish a slot-ordered price vector (vectorized eq. 1 path).
+
+        Equivalent to :meth:`post` with ``dict(zip(server_ids,
+        prices))`` — same mapping, same insertion order — but validated
+        as one array comparison, and the vector is retained so
+        :meth:`price_vector` for the same id order is a plain copy.
+        Returns the posted mapping (treat as read-only).
+        """
+        if len(server_ids) != len(prices) or not len(prices):
+            raise BoardError(
+                f"price vector mismatch: {len(server_ids)} ids, "
+                f"{len(prices)} prices"
+            )
+        if np.any(prices < 0):
+            sid = server_ids[int(np.argmin(prices))]
+            raise BoardError(
+                f"negative price for server {sid}: {prices.min()}"
+            )
+        self._prices = dict(zip(server_ids, prices.tolist()))
+        self._epoch = epoch
+        self._stats = None
+        self._ids = list(server_ids)
+        # Defensive copy: the board must not desynchronize from the
+        # posted dict if the caller reuses its buffer.
+        self._vector = prices.astype(np.float64, copy=True)
+        return self._prices
 
     def _price_stats(self) -> Tuple[float, float, float]:
         self._require_posted()
@@ -105,10 +141,20 @@ class PriceBoard:
         for sid in server_ids:
             self._prices.pop(sid, None)
         self._stats = None
+        self._ids = None
+        self._vector = None
 
     def price_vector(self, server_ids: List[int]) -> np.ndarray:
-        """Prices for ``server_ids`` in order, for vectorised scoring."""
+        """Prices for ``server_ids`` in order, for vectorised scoring.
+
+        Returns a fresh array (callers mutate it for anticipated-rent
+        bookkeeping); when the board was posted through
+        :meth:`post_vector` with the same id order this is a single
+        array copy instead of S dict lookups.
+        """
         self._require_posted()
+        if self._vector is not None and server_ids == self._ids:
+            return self._vector.copy()
         return np.array(
             [self._prices[sid] for sid in server_ids], dtype=np.float64
         )
@@ -120,8 +166,27 @@ class PriceBoard:
 
 def update_board(board: PriceBoard, epoch: int, cloud: Cloud,
                  model: RentModel,
-                 tracker: Optional[UsageTracker] = None) -> Dict[int, float]:
-    """Reprice the cloud (eq. 1) and post the table; returns the prices."""
+                 tracker: Optional[UsageTracker] = None,
+                 cost_index: Optional["CloudCostIndex"] = None
+                 ) -> Dict[int, float]:
+    """Reprice the cloud (eq. 1) and post the table; returns the prices.
+
+    With a :class:`~repro.core.economy.CloudCostIndex` supplied (the
+    vectorized kernel) the whole cloud is priced in one slot-ordered
+    array pass over the index's maintained storage/query-load vectors;
+    without one (the scalar reference, or usage-normalised pricing,
+    which needs the tracker's per-server means) every server is priced
+    through one :meth:`RentModel.price` call, as pre-refactor.
+    """
+    if (
+        cost_index is not None
+        and tracker is None
+        and not model.normalize_by_usage
+    ):
+        ids, prices = cost_index.price_vector()
+        # Copy: callers own the returned mapping on both paths (the
+        # scalar branch returns a fresh dict too).
+        return dict(board.post_vector(epoch, ids, prices))
     means = tracker.means() if tracker is not None else None
     prices = model.price_cloud(cloud, means)
     board.post(epoch, prices)

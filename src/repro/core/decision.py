@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.cluster.topology import Cloud
 from repro.core.agent import AgentRegistry, VNodeAgent
-from repro.core.availability import AvailabilityIndex, availability
+from repro.core.availability import AvailabilityIndex, availability, pair_gain
 from repro.core.board import PriceBoard
 from repro.core.economy import RentModel
 from repro.core.placement import PlacementScorer
@@ -134,6 +134,32 @@ class DecisionStats:
         )
 
 
+@dataclass
+class _FlatState:
+    """Slot-ordered live replica/agent incidence (vectorized kernel).
+
+    ``pids[p]`` owns replicas ``offsets[p]:offsets[p+1]`` of the
+    parallel per-replica arrays, in catalog placement order, restricted
+    to live servers.  ``rep_rows`` are the owning agents' ledger rows
+    (−1 where the registry rows could not be aligned with the catalog's
+    member order; ``aligned[p]`` aggregates that per partition).  Valid
+    while the (catalog, registry, cloud) version key holds — i.e. until
+    any membership mutation — so steady-state epochs reuse it whole.
+    """
+
+    key: Tuple[int, int, int]
+    pids: List[PartitionId]
+    pid_seg: Dict[PartitionId, int]
+    offsets: np.ndarray
+    counts: np.ndarray
+    rep_slots: np.ndarray
+    rep_sids: np.ndarray
+    rep_rows: np.ndarray
+    aligned: np.ndarray
+    all_aligned: bool
+    n_slots: int
+
+
 class DecisionEngine:
     """Runs settlement (eq. 5) and decisions (§II-C) for the whole cloud."""
 
@@ -168,6 +194,20 @@ class DecisionEngine:
                 avail_index if avail_index is not None
                 else AvailabilityIndex(cloud, catalog)
             )
+        # Vectorized-kernel caches: the flat replica/agent incidence
+        # structure (valid while catalog, registry and cloud versions
+        # hold), the rings' work list, and the confidence vector.
+        self._flat_cache: Optional[_FlatState] = None
+        self._work_cache: Optional[
+            Tuple[object, List[Tuple[Partition, float]],
+                  Dict[PartitionId, float]]
+        ] = None
+        self._conf_cache: Optional[Tuple[int, np.ndarray]] = None
+        #: Per-slot query totals of the last batched settlement and the
+        #: cloud version they were computed under — the eq. 1 query-load
+        #: handoff consumed by :class:`repro.core.economy.CloudCostIndex`.
+        self.query_totals: Optional[np.ndarray] = None
+        self.query_totals_version: int = -1
 
     @property
     def kernel(self) -> str:
@@ -236,98 +276,169 @@ class DecisionEngine:
                 agent = self._registry.get(pid, sid)
                 agent.record(utility, rent)
 
+    def _flat_state(self) -> _FlatState:
+        """The epoch kernel's live replica/agent incidence, cached.
+
+        Rebuilt only when the catalog, registry or cloud version moved
+        (any membership mutation); mutation-free epochs — the steady
+        state — reuse the whole structure.
+        """
+        key = (
+            self._catalog.version,
+            self._registry.version,
+            self._cloud.version,
+        )
+        cached = self._flat_cache
+        if cached is not None and cached.key == key:
+            return cached
+        cloud = self._cloud
+        view = self._catalog.flat_view()
+        ids = cloud.server_ids
+        n_slots = len(ids)
+        n_all = len(view.server_ids)
+        if not n_slots or not n_all:
+            flat = _FlatState(
+                key=key, pids=[], pid_seg={},
+                offsets=np.zeros(1, dtype=np.intp),
+                counts=np.zeros(0, dtype=np.intp),
+                rep_slots=np.zeros(0, dtype=np.intp),
+                rep_sids=np.zeros(0, dtype=np.int64),
+                rep_rows=np.zeros(0, dtype=np.intp),
+                aligned=np.zeros(0, dtype=bool),
+                all_aligned=True, n_slots=n_slots,
+            )
+            self._flat_cache = flat
+            return flat
+        max_id = max(ids)
+        id_to_slot = np.full(max_id + 2, -1, dtype=np.int64)
+        id_to_slot[np.asarray(ids, dtype=np.int64)] = np.arange(n_slots)
+        alive = np.fromiter(
+            (cloud.server(sid).alive for sid in ids), dtype=bool,
+            count=n_slots,
+        )
+        sids_all = np.asarray(view.server_ids, dtype=np.int64)
+        slots_all = id_to_slot[np.minimum(sids_all, max_id + 1)]
+        known = slots_all >= 0
+        live_rep = known & alive[np.where(known, slots_all, 0)]
+        offsets_all = np.asarray(view.offsets, dtype=np.intp)
+        counts_all = np.diff(offsets_all)
+        kept = np.add.reduceat(live_rep.astype(np.intp), offsets_all[:-1])
+        # Registry ledger rows aligned with the catalog's member order
+        # (mutations mirror 1:1, so the per-partition agent list
+        # normally matches placement order; any mismatch is verified
+        # below and routed to the keyed fallback).
+        rows_all = np.empty(n_all, dtype=np.intp)
+        aligned_all = np.ones(len(counts_all), dtype=bool)
+        agents_of = self._registry.agents_of
+        counts_list = counts_all.tolist()
+        pos = 0
+        for i, pid in enumerate(view.pids):
+            n = counts_list[i]
+            agents = agents_of(pid)
+            if len(agents) == n:
+                rows_all[pos:pos + n] = [a.row for a in agents]
+            else:
+                rows_all[pos:pos + n] = -1
+                aligned_all[i] = False
+            pos += n
+        sid_of_row = self._registry.ledger.server_id_vector()
+        valid = rows_all >= 0
+        row_sid = np.where(
+            valid, sid_of_row[np.where(valid, rows_all, 0)], -1
+        )
+        rep_ok = valid & (row_sid == sids_all)
+        part_ok = aligned_all & np.logical_and.reduceat(
+            rep_ok | ~live_rep, offsets_all[:-1]
+        )
+        live_part = kept > 0
+        pids = [
+            pid
+            for pid, keep in zip(view.pids, live_part.tolist())
+            if keep
+        ]
+        counts = kept[live_part]
+        offsets = np.zeros(len(pids) + 1, dtype=np.intp)
+        np.cumsum(counts, out=offsets[1:])
+        aligned = part_ok[live_part]
+        rows = np.where(rep_ok, rows_all, -1)
+        flat = _FlatState(
+            key=key,
+            pids=pids,
+            pid_seg={pid: i for i, pid in enumerate(pids)},
+            offsets=offsets,
+            counts=counts,
+            rep_slots=slots_all[live_rep],
+            rep_sids=sids_all[live_rep],
+            rep_rows=rows[live_rep],
+            aligned=aligned,
+            all_aligned=bool(aligned.all()),
+            n_slots=n_slots,
+        )
+        self._flat_cache = flat
+        return flat
+
     def _settle_batched(self, load: EpochLoad, board: PriceBoard,
                         g_of_app: Optional[Dict[int, np.ndarray]] = None
                         ) -> None:
-        """Slot-ordered numpy eq. 5 settlement.
+        """Slot-ordered numpy eq. 5 settlement over the flat incidence.
 
         Bit-identical to :meth:`_settle_scalar`: every elementwise
         operation maps one-to-one onto the scalar arithmetic, and the
         two order-sensitive accumulations — the per-partition proximity
-        normaliser ``Σ g`` and the per-server query counters — are kept
-        as strict left folds in the scalar visit order (numpy reductions
-        are pairwise, which would change low bits).  Per-server counters
-        start each epoch at exactly 0.0, so folding into a fresh
-        accumulator and adding the total once is the same float
-        computation the scalar loop performs.
+        normaliser ``Σ g`` and the per-server query counters — keep the
+        scalar visit order (``np.bincount`` accumulates its weights
+        sequentially in data order, i.e. the same left fold; per-server
+        counters start each epoch at exactly 0.0, so adding the folded
+        total once is the same float computation).  Agent balances land
+        through one vectorized ledger column write
+        (:meth:`AgentRegistry.record_batch`) instead of a per-replica
+        Python pass.
         """
         cloud = self._cloud
         registry = self._registry
         policy = self._policy
         floor = board.min_price() if policy.utility_floor_to_min_rent else 0.0
-        view = self._catalog.flat_view()
-        queries_for = load.queries_for
-        slot_of = {sid: i for i, sid in enumerate(cloud.server_ids)}
-        alive = [cloud.server(sid).alive for sid in cloud.server_ids]
-
-        # Phase 1 — one Python pass over partitions to flatten the
-        # incidence structure into parallel per-replica lists.
-        rep_pids: List[PartitionId] = []
-        rep_sids: List[int] = []
-        rep_slots: List[int] = []
-        rep_agents: List[VNodeAgent] = []
-        part_offsets: List[int] = [0]
-        part_queries: List[float] = []
-        part_g: List[Optional[np.ndarray]] = []
-        pids, offsets, flat = view.pids, view.offsets, view.server_ids
-        get_g = g_of_app.get if g_of_app is not None else None
-        of_partition = registry.of_partition
-        for i, pid in enumerate(pids):
-            members = flat[offsets[i]:offsets[i + 1]]
-            slots = []
-            sids = []
-            for sid in members:
-                slot = slot_of.get(sid)
-                if slot is not None and alive[slot]:
-                    slots.append(slot)
-                    sids.append(sid)
-            if not sids:
-                continue
-            rep_pids.extend([pid] * len(sids))
-            rep_sids.extend(sids)
-            rep_slots.extend(slots)
-            # Registry mutations mirror catalog mutations 1:1, so the
-            # per-partition agent list normally matches ``sids`` in
-            # placement order; phase 3 verifies per item and falls back
-            # to the keyed lookup on any mismatch.
-            agents = of_partition(pid)
-            if len(agents) == len(sids):
-                rep_agents.extend(agents)
-            else:
-                rep_agents.extend(None for __ in sids)
-            part_offsets.append(len(rep_sids))
-            part_queries.append(queries_for(pid))
-            part_g.append(get_g(pid.app_id) if get_g is not None else None)
-        n_rep = len(rep_sids)
+        flat = self._flat_state()
+        self.query_totals = np.zeros(flat.n_slots, dtype=np.float64)
+        self.query_totals_version = cloud.version
+        n_parts = len(flat.pids)
+        n_rep = len(flat.rep_slots)
         if not n_rep:
             return
 
-        # Phase 2 — array math.  Shares, proximity weights, utilities
-        # and rents for every replica at once.
-        slots_arr = np.array(rep_slots, dtype=np.intp)
-        counts = np.diff(np.array(part_offsets, dtype=np.intp))
-        q_rep = np.repeat(
-            np.array(part_queries, dtype=np.float64), counts
+        queries_for = load.queries_for
+        q_part = np.fromiter(
+            (queries_for(pid) for pid in flat.pids), dtype=np.float64,
+            count=n_parts,
         )
+        counts = flat.counts
+        q_rep = np.repeat(q_part, counts)
         count_rep = np.repeat(counts.astype(np.float64), counts)
         g_rep = np.ones(n_rep, dtype=np.float64)
         uniform_rep = np.ones(n_rep, dtype=bool)
-        gtot_rep = np.empty(n_rep, dtype=np.float64)
-        for p, g_vec in enumerate(part_g):
-            if g_vec is None:
-                continue
-            lo, hi = part_offsets[p], part_offsets[p + 1]
-            gs = g_vec[slots_arr[lo:hi]]
-            # Strict left fold, matching the scalar ``sum(gs)``.
-            total = 0.0
-            for value in gs.tolist():
-                total += value
-            # g enters the utility term even when the share computation
-            # falls back to the uniform split (degenerate Σg <= 0).
-            g_rep[lo:hi] = gs
-            if total > 0:
-                gtot_rep[lo:hi] = total
-                uniform_rep[lo:hi] = False
+        if g_of_app is not None and any(
+            vec is not None for vec in g_of_app.values()
+        ):
+            gtot_rep = np.empty(n_rep, dtype=np.float64)
+            get_g = g_of_app.get
+            offsets = flat.offsets.tolist()
+            for p, pid in enumerate(flat.pids):
+                g_vec = get_g(pid.app_id)
+                if g_vec is None:
+                    continue
+                lo, hi = offsets[p], offsets[p + 1]
+                gs = g_vec[flat.rep_slots[lo:hi]]
+                # Strict left fold, matching the scalar ``sum(gs)``.
+                total = 0.0
+                for value in gs.tolist():
+                    total += value
+                # g enters the utility term even when the share
+                # computation falls back to the uniform split
+                # (degenerate Σg <= 0).
+                g_rep[lo:hi] = gs
+                if total > 0:
+                    gtot_rep[lo:hi] = total
+                    uniform_rep[lo:hi] = False
         shares = np.empty(n_rep, dtype=np.float64)
         shares[uniform_rep] = q_rep[uniform_rep] / count_rep[uniform_rep]
         prox = ~uniform_rep
@@ -336,27 +447,34 @@ class DecisionEngine:
         utilities = np.maximum(
             policy.revenue_per_query * shares * g_rep, floor
         )
-        rents = board.price_vector(cloud.server_ids)[slots_arr]
+        rents = board.price_vector(cloud.server_ids)[flat.rep_slots]
 
-        # Phase 3 — order-sensitive application.  Per-server counters
-        # fold in scalar visit order; agents record their balances.
-        acc: List[float] = [0.0] * len(alive)
-        shares_list = shares.tolist()
-        for slot, share in zip(rep_slots, shares_list):
-            if share:
-                acc[slot] += share
+        # Per-server query counters: one sequential (left-fold) bincount
+        # in replica visit order, applied to the touched servers only.
+        totals = np.bincount(
+            flat.rep_slots, weights=shares, minlength=flat.n_slots
+        )
         servers = cloud.servers()
-        for slot, total in enumerate(acc):
-            if total:
-                servers[slot].record_queries(total)
-        get_agent = registry.get
-        for agent, pid, sid, utility, rent in zip(
-            rep_agents, rep_pids, rep_sids,
-            utilities.tolist(), rents.tolist(),
-        ):
-            if agent is None or agent.server_id != sid:
-                agent = get_agent(pid, sid)
-            agent.record(utility, rent)
+        for slot in np.flatnonzero(totals).tolist():
+            servers[slot].record_queries(float(totals[slot]))
+        self.query_totals = totals
+
+        # Agent ledger: one vectorized column write for the aligned
+        # rows; keyed fallback for any misaligned partition.
+        if flat.all_aligned:
+            registry.record_batch(flat.rep_rows, utilities, rents)
+        else:
+            ok = np.repeat(flat.aligned, counts)
+            registry.record_batch(
+                flat.rep_rows[ok], utilities[ok], rents[ok]
+            )
+            get_agent = registry.get
+            offsets = flat.offsets
+            for p in np.flatnonzero(~flat.aligned).tolist():
+                pid = flat.pids[p]
+                for j in range(int(offsets[p]), int(offsets[p + 1])):
+                    agent = get_agent(pid, int(flat.rep_sids[j]))
+                    agent.record(float(utilities[j]), float(rents[j]))
 
     # -- decisions (§II-C) ------------------------------------------------------
 
@@ -373,21 +491,161 @@ class DecisionEngine:
             sid for sid in self._cloud.server_ids
             if self._cloud.server(sid).alive
         )
-        work: List[Tuple[Partition, float]] = []
-        for ring in self._rings:
-            threshold = ring.level.threshold
-            for partition in ring:
-                work.append((partition, threshold))
+        work, thresholds = self._work_list()
         order = rng.permutation(len(work))
+        if self._index is None:
+            for idx in order:
+                partition, threshold = work[idx]
+                g_vec = None
+                if g_of_app is not None:
+                    g_vec = g_of_app.get(partition.pid.app_id)
+                self._decide_partition(
+                    partition, threshold, board, scorer, load, g_vec,
+                    stats,
+                )
+            return stats
+        # Vectorized kernel: pre-triage every partition with one array
+        # pass.  A partition is *skipped* only when the per-agent §II-C
+        # walk would provably do nothing — its SLA holds and every
+        # streaked agent fails the same suicide/migration precheck the
+        # inline loop applies — which depends solely on that partition's
+        # own membership and the epoch-static price board, so actions on
+        # earlier-visited partitions cannot invalidate the mask.
+        seg_of, visit = self._build_triage(board, thresholds)
         for idx in order:
             partition, threshold = work[idx]
+            pid = partition.pid
+            seg = seg_of.get(pid)
+            if seg is not None and not visit[seg]:
+                continue
             g_vec = None
             if g_of_app is not None:
-                g_vec = g_of_app.get(partition.pid.app_id)
+                g_vec = g_of_app.get(pid.app_id)
             self._decide_partition(
                 partition, threshold, board, scorer, load, g_vec, stats
             )
         return stats
+
+    def _work_list(self) -> Tuple[
+        List[Tuple[Partition, float]], Dict[PartitionId, float]
+    ]:
+        """(partition, threshold) work items, cached per ring state.
+
+        Ring versions only track partition-set changes, so the cache
+        key also carries each ring's (immutable, replaceable) level —
+        an elasticity event swapping a ring's SLA tier mid-run
+        invalidates the cached thresholds instead of being ignored.
+        """
+        key = (
+            self._rings.versions(),
+            tuple(ring.level for ring in self._rings),
+        )
+        cached = self._work_cache
+        if cached is not None and cached[0] == key:
+            return cached[1], cached[2]
+        work: List[Tuple[Partition, float]] = []
+        thresholds: Dict[PartitionId, float] = {}
+        for ring in self._rings:
+            threshold = ring.level.threshold
+            for partition in ring:
+                work.append((partition, threshold))
+                thresholds[partition.pid] = threshold
+        self._work_cache = (key, work, thresholds)
+        return work, thresholds
+
+    def _confidence_vector(self) -> np.ndarray:
+        cached = self._conf_cache
+        version = self._cloud.version
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        conf = self._cloud.confidence_vector()
+        self._conf_cache = (version, conf)
+        return conf
+
+    def _batched_contributions(self, flat: _FlatState) -> np.ndarray:
+        """Every live replica's eq. 2 pair-term total, in one pass.
+
+        Mirrors :meth:`AvailabilityIndex.contribution` for all replicas
+        at once, batched by replication degree so each group is a dense
+        (partitions × R × R) diversity gather.  Under the evaluation's
+        conf ≡ 1.0 model every value is an exact small integer in
+        float64, hence bit-identical to the scalar accumulation; with
+        fractional confidences it shares the incremental kernel's
+        documented ulp-drift caveat.
+        """
+        contrib = np.zeros(len(flat.rep_slots), dtype=np.float64)
+        if not len(flat.rep_slots):
+            return contrib
+        conf = self._confidence_vector()
+        matrix = self._cloud.diversity_matrix()
+        counts = flat.counts
+        for degree in np.unique(counts).tolist():
+            if degree < 2:
+                continue
+            seg = np.flatnonzero(counts == degree)
+            starts = flat.offsets[seg]
+            idx = starts[:, None] + np.arange(degree)[None, :]
+            slots = flat.rep_slots[idx]
+            conf_r = conf[slots]
+            pair = (
+                matrix[slots[:, :, None], slots[:, None, :]]
+                * conf_r[:, None, :]
+            )
+            contrib[idx] = conf_r * pair.sum(axis=2)
+        return contrib
+
+    def _build_triage(self, board: PriceBoard,
+                      thresholds: Dict[PartitionId, float]
+                      ) -> Tuple[Dict[PartitionId, int], List[bool]]:
+        """Per-partition visit mask for the §II-C pass (one array pass).
+
+        Reproduces, vectorized, exactly the checks the inline loop runs
+        for the no-action case: full-window streak flags from the agent
+        ledger, the suicide feasibility test ``avail − contribution ≥
+        threshold`` and the migration floor ``price · (1 − margin) >
+        min_price``.  Partitions whose replicas all land in "no action"
+        (and whose SLA holds) are skipped without touching their agents.
+        """
+        flat = self._flat_state()
+        if not flat.pids:
+            return {}, []
+        index = self._index
+        n_parts = len(flat.pids)
+        avail = np.fromiter(
+            (index.availability_of(pid) for pid in flat.pids),
+            dtype=np.float64, count=n_parts,
+        )
+        thr = np.fromiter(
+            (thresholds.get(pid, np.inf) for pid in flat.pids),
+            dtype=np.float64, count=n_parts,
+        )
+        window = self._registry.window
+        neg_run, pos_run = self._registry.ledger.streak_run_vectors()
+        rows = flat.rep_rows
+        valid = rows >= 0
+        safe = np.where(valid, rows, 0)
+        neg_rep = valid & (neg_run[safe] >= window)
+        pos_rep = valid & (pos_run[safe] >= window)
+        offsets = flat.offsets[:-1]
+        if neg_rep.any():
+            contrib = self._batched_contributions(flat)
+            avail_rep = np.repeat(avail, flat.counts)
+            thr_rep = np.repeat(thr, flat.counts)
+            prices = board.price_vector(self._cloud.server_ids)[
+                flat.rep_slots
+            ]
+            one_minus_margin = 1.0 - self._policy.migration_margin
+            min_price = board.min_price()
+            act_neg = neg_rep & (
+                (avail_rep - contrib >= thr_rep)
+                | (prices * one_minus_margin > min_price)
+            )
+            act_rep = pos_rep | act_neg
+        else:
+            act_rep = pos_rep
+        any_act = np.logical_or.reduceat(act_rep, offsets)
+        visit = (avail < thr) | any_act | ~flat.aligned
+        return flat.pid_seg, visit.tolist()
 
     def _make_scorer(self, board: PriceBoard) -> PlacementScorer:
         """Build the epoch's placement scorer; ablations override this."""
@@ -488,28 +746,15 @@ class DecisionEngine:
         min_price = board.min_price()
         price = board.price
         contribution = index.contribution
+        # O(1) streak reads: the ledger keeps the flag lists current
+        # through every record/reset/spawn/retire, so indexing them is
+        # the same boolean the ``negative_streak``/``positive_streak``
+        # properties would compute from the window.
+        neg_flags, pos_flags = self._registry.streak_flags()
         # ``of_partition`` already snapshots the agent list.
         for agent in self._registry.of_partition(pid):
-            balances = agent.balances
-            if len(balances) != balances.maxlen:
-                continue
-            # One pass over the window decides both streaks (same
-            # booleans as the ``negative_streak``/``positive_streak``
-            # properties, without two generator scans).
-            neg = pos = True
-            for b in balances:
-                if b < 0:
-                    pos = False
-                    if not neg:
-                        break
-                elif b > 0:
-                    neg = False
-                    if not pos:
-                        break
-                else:
-                    neg = pos = False
-                    break
-            if neg:
+            row = agent.row
+            if neg_flags[row]:
                 sid = agent.server_id
                 if sid not in servers:
                     continue
@@ -521,14 +766,27 @@ class DecisionEngine:
                 self._shed(partition, threshold, agent, board, scorer,
                            g_vec, stats, servers)
                 avail = index.availability_of(pid)
-            elif pos:
+            elif pos_flags[row]:
                 self._expand(partition, agent, board, scorer, load,
                              g_vec, stats, servers)
                 avail = index.availability_of(pid)
 
-    def _pick_source(self, servers: Sequence[int], nbytes: int) -> Optional[int]:
-        """A live replica whose replication budget can ship ``nbytes``."""
+    def _pick_source(self, servers: Sequence[int], nbytes: int,
+                     batch=None) -> Optional[int]:
+        """A live replica whose replication budget can ship ``nbytes``.
+
+        With a pending :class:`~repro.store.transfer.TransferBatch`,
+        availability is read through its mirror (real budget minus the
+        chain's queued reservations) — the same value the server object
+        would show had the queued transfers already executed.
+        """
         best, headroom = None, -1
+        if batch is not None:
+            for sid in servers:
+                avail = batch.budget_available(sid)
+                if avail >= nbytes and avail > headroom:
+                    best, headroom = sid, avail
+            return best
         for sid in servers:
             server = self._cloud.server(sid)
             avail = server.replication_budget.available
@@ -539,46 +797,98 @@ class DecisionEngine:
     def _repair(self, partition: Partition, threshold: float, avail: float,
                 scorer: PlacementScorer, g_vec: Optional[np.ndarray],
                 stats: DecisionStats, servers: List[int]) -> None:
-        """Replicate until the SLA is met (bounded per epoch)."""
+        """Replicate until the SLA is met (bounded per epoch).
+
+        The vectorized kernel queues the whole repair chain as one
+        :class:`~repro.store.transfer.TransferBatch` — feasibility is
+        checked against the batch's exact pending mirrors, the chain's
+        availability is advanced with the same ``pair_gain`` expression
+        the catalog listener applies at execution, and the queued
+        transfers then run as one grouped application.  Decisions,
+        stats and post-commit state are identical to the one-at-a-time
+        reference path.
+        """
         pid = partition.pid
-        for __ in range(self._policy.repair_iterations):
-            if self._index is None:
-                # Reference kernel: rebuild the live set per iteration,
-                # exactly as the pre-refactor engine did.
+        if self._index is None:
+            # Reference kernel: rebuild the live set per iteration and
+            # execute transfers immediately, as pre-refactor.
+            for __ in range(self._policy.repair_iterations):
                 servers = self._live_replicas(pid)
+                if avail >= threshold:
+                    return
+                source = self._pick_source(servers, partition.size)
+                if source is None:
+                    stats.deferred += 1
+                    stats.unsatisfied_partitions += 1
+                    return
+                candidate = scorer.best(
+                    servers, need_bytes=partition.size, g=g_vec,
+                    budget="replication",
+                )
+                if candidate is None:
+                    stats.unsatisfied_partitions += 1
+                    return
+                result = self._transfers.replicate(
+                    partition, source, candidate.server_id
+                )
+                if not result.ok:
+                    stats.deferred += 1
+                    stats.unsatisfied_partitions += 1
+                    return
+                scorer.consume_budget(
+                    candidate.server_id, partition.size, "replication"
+                )
+                self._registry.spawn(pid, candidate.server_id)
+                servers.append(candidate.server_id)
+                stats.repairs += 1
+                avail = self._avail_of(pid, servers)
+            if avail < threshold:
+                stats.unsatisfied_partitions += 1
+            return
+        batch = self._transfers.open_batch()
+        satisfied = False
+        for __ in range(self._policy.repair_iterations):
             if avail >= threshold:
-                return
-            source = self._pick_source(servers, partition.size)
+                satisfied = True
+                break
+            source = self._pick_source(servers, partition.size, batch)
             if source is None:
                 stats.deferred += 1
                 stats.unsatisfied_partitions += 1
+                batch.commit()
                 return
             candidate = scorer.best(
                 servers, need_bytes=partition.size, g=g_vec,
                 budget="replication",
-                cache_key=(
-                    (pid, tuple(servers)) if self._index is not None
-                    else None
-                ),
+                cache_key=(pid, tuple(servers)),
             )
             if candidate is None:
                 stats.unsatisfied_partitions += 1
+                batch.commit()
                 return
-            result = self._transfers.replicate(
+            blocked = batch.add_replication(
                 partition, source, candidate.server_id
             )
-            if not result.ok:
+            if blocked is not None:
                 stats.deferred += 1
                 stats.unsatisfied_partitions += 1
+                batch.commit()
                 return
             scorer.consume_budget(
                 candidate.server_id, partition.size, "replication"
             )
             self._registry.spawn(pid, candidate.server_id)
+            # Same expression (and operand order) as the availability
+            # index's replica_added listener applies at commit, so the
+            # chain-local value stays bit-identical to the post-commit
+            # cached sum the next reader sees.
+            avail = avail + pair_gain(
+                self._cloud, servers, candidate.server_id
+            )
             servers.append(candidate.server_id)
             stats.repairs += 1
-            avail = self._avail_of(pid, servers)
-        if avail < threshold:
+        batch.commit()
+        if not satisfied and avail < threshold:
             stats.unsatisfied_partitions += 1
 
     def _shed(self, partition: Partition, threshold: float,
@@ -643,12 +953,27 @@ class DecisionEngine:
         if candidate is None:
             return
         if budget_kind == "migration":
-            result = self._transfers.migrate(
-                partition, agent.server_id, candidate.server_id
-            )
-            if not result.ok:
-                stats.deferred += 1
-                return
+            if self._index is not None:
+                # Vectorized kernel: route the move through the intent
+                # batch — a single-intent batch's mirrors equal the
+                # live state, so outcomes (and deferred/failure stats)
+                # are identical to the immediate call, and the grouped
+                # commit lands before any subsequent state read.
+                batch = self._transfers.open_batch()
+                blocked = batch.add_migration(
+                    partition, agent.server_id, candidate.server_id
+                )
+                if blocked is not None:
+                    stats.deferred += 1
+                    return
+                batch.commit()
+            else:
+                result = self._transfers.migrate(
+                    partition, agent.server_id, candidate.server_id
+                )
+                if not result.ok:
+                    stats.deferred += 1
+                    return
         else:
             result = self._transfers.replicate(
                 partition, agent.server_id, candidate.server_id

@@ -16,11 +16,13 @@ which is the stabilising feedback loop of the whole economy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
+import numpy as np
 
 from repro.cluster.server import Server
 from repro.cluster.topology import Cloud
+from repro.store.replica import CatalogListener
 
 #: Epochs per month used to spread the real rent.  The evaluation's
 #: epoch is best read as ~1 hour (bandwidth budgets of 300 MB/epoch),
@@ -104,6 +106,29 @@ class RentModel:
             for server in cloud
         }
 
+    def price_array(self, up: np.ndarray, storage_used: np.ndarray,
+                    storage_capacity: np.ndarray, queries: np.ndarray,
+                    query_capacity: np.ndarray) -> np.ndarray:
+        """Eq. 1 over slot-ordered vectors — one pass for the cloud.
+
+        Every elementwise operation maps one-to-one, in the same
+        evaluation order, onto the scalar :meth:`price` arithmetic
+        (``up · (1 + α·storage_usage + β·query_load)``), so each entry
+        is bit-identical to pricing that server through the scalar
+        call.  Only the non-usage-normalised mode is vectorised; the
+        normalised mode needs per-server trailing means and stays on
+        :meth:`price_cloud`.
+        """
+        if self.normalize_by_usage:
+            raise EconomyError(
+                "price_array does not support usage-normalised pricing"
+            )
+        storage_usage = storage_used / storage_capacity
+        query_load = queries / query_capacity
+        return up * (
+            1.0 + self.alpha * storage_usage + self.beta * query_load
+        )
+
 
 class UsageTracker:
     """Trailing mean usage per server, for usage-normalised pricing.
@@ -141,3 +166,133 @@ class UsageTracker:
 
     def forget(self, server_id: int) -> None:
         self._means.pop(server_id, None)
+
+
+class CloudCostIndex(CatalogListener):
+    """Maintained slot-ordered cost vectors for one-pass eq. 1 pricing.
+
+    The scalar path prices servers one Python call at a time from the
+    live ``Server`` objects — the last O(S) Python loop at epoch start.
+    This index keeps the eq. 1 inputs as slot-ordered numpy vectors
+    instead:
+
+    * **static terms** (marginal usage price ``up``, storage and query
+      capacities) rebuild only when cloud membership changes
+      (:attr:`Cloud.version`);
+    * **storage usage** is folded incrementally from the replica
+      catalog's ``storage_changed`` events (every replicate / migrate /
+      suicide / insert growth / split mutates storage *through* the
+      catalog in the epoch loop);
+    * **query load** is handed over by the epoch kernel: the batched
+      eq. 5 settlement already folds per-server query totals, and those
+      counters are exactly eq. 1's ``query_load`` numerator for the
+      next epoch's repricing.
+
+    Each repriced entry is bit-identical to the scalar
+    :meth:`RentModel.price` call (see :meth:`RentModel.price_array`),
+    which is what keeps the two epoch kernels frame-identical.  The
+    index assumes the engine's discipline — storage moves through the
+    catalog, membership through ``Cloud.add/remove`` — and falls back
+    to a full rebuild whenever the cloud version moved.
+    """
+
+    def __init__(self, cloud: Cloud, model: RentModel,
+                 catalog=None) -> None:
+        if model.normalize_by_usage:
+            raise EconomyError(
+                "CloudCostIndex does not support usage-normalised "
+                "pricing (per-server trailing means are dict-shaped)"
+            )
+        self._cloud = cloud
+        self._model = model
+        self._cloud_version = -1
+        self._ids: List[int] = []
+        self._up = np.zeros(0, dtype=np.float64)
+        self._capacity = np.zeros(0, dtype=np.int64)
+        self._query_capacity = np.zeros(0, dtype=np.int64)
+        self._storage = np.zeros(0, dtype=np.int64)
+        self._queries = np.zeros(0, dtype=np.float64)
+        self._catalog = catalog
+        if catalog is not None:
+            catalog.add_listener(self)
+
+    def detach(self) -> None:
+        """Unsubscribe from the catalog (when vectorized pricing is
+        disabled mid-run, so mutations stop paying for a dead cache)."""
+        if self._catalog is not None:
+            self._catalog.remove_listener(self)
+            self._catalog = None
+
+    def _sync(self) -> None:
+        cloud = self._cloud
+        if self._cloud_version == cloud.version:
+            return
+        servers = cloud.servers()
+        self._ids = cloud.server_ids
+        self._up = np.array(
+            [s.monthly_rent for s in servers], dtype=np.float64
+        ) / float(self._model.epochs_per_month)
+        self._capacity = np.array(
+            [s.storage_capacity for s in servers], dtype=np.int64
+        )
+        self._query_capacity = np.array(
+            [s.query_capacity for s in servers], dtype=np.int64
+        )
+        self._storage = np.array(
+            [s.storage_used for s in servers], dtype=np.int64
+        )
+        self._queries = np.array(
+            [s.queries_this_epoch for s in servers], dtype=np.float64
+        )
+        self._cloud_version = cloud.version
+
+    def refresh(self) -> None:
+        """Force a full rebuild from the live server objects."""
+        self._cloud_version = -1
+        self._sync()
+
+    # -- CatalogListener -----------------------------------------------------
+
+    def storage_changed(self, server_id: int, delta: int) -> None:
+        if self._cloud_version != self._cloud.version:
+            return  # stale; the next sync rebuilds from the objects
+        self._storage[self._cloud.slot(server_id)] += delta
+
+    # -- epoch handoffs ------------------------------------------------------
+
+    def set_query_totals(self, totals: np.ndarray,
+                         cloud_version: int) -> None:
+        """Install the epoch's per-slot query counters (from settlement).
+
+        Ignored when the slot order has since changed (``cloud_version``
+        mismatch) — the next :meth:`_sync` then reads the surviving
+        servers' own counters, which the settlement kept equally
+        up to date.
+        """
+        if cloud_version != self._cloud.version:
+            return
+        self._sync()
+        self._queries = totals
+
+    # -- pricing -------------------------------------------------------------
+
+    def price_vector(self) -> Tuple[List[int], np.ndarray]:
+        """(server ids, eq. 1 prices), slot-ordered, for this epoch."""
+        self._sync()
+        return self._ids, self._model.price_array(
+            self._up, self._storage, self._capacity,
+            self._queries, self._query_capacity,
+        )
+
+    def verify(self) -> None:
+        """Assert the maintained vectors mirror the server objects."""
+        self._sync()
+        cloud = self._cloud
+        for slot, sid in enumerate(self._ids):
+            server = cloud.server(sid)
+            if int(self._storage[slot]) != server.storage_used:
+                raise EconomyError(
+                    f"storage drift on server {sid}: index "
+                    f"{int(self._storage[slot])}, object "
+                    f"{server.storage_used}"
+                )

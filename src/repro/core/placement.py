@@ -154,6 +154,18 @@ class PlacementScorer:
         # snapshot are valid lower bounds for the whole epoch.
         self._rents0 = self._rents.copy()
         self._floor_cache: Dict[int, float] = {}
+        # Cached feasibility masks: the alive/storage/budget mask of
+        # :meth:`best` depends only on (need_bytes, budget kind,
+        # headroom) and the scorer's mutable storage/budget state, so
+        # it is cached per key and the whole cache is dropped whenever
+        # that state moves (consume_budget / release_storage — every
+        # surviving entry would be stale then anyway).  Within an epoch
+        # most ``best`` calls share one partition size and no
+        # intervening transfer — the pre-PR O(S) mask rebuild per call
+        # collapses to a dict hit.
+        self._mask_cache: Dict[
+            Tuple[int, Optional[str], float], np.ndarray
+        ] = {}
 
     @property
     def server_ids(self) -> List[int]:
@@ -230,28 +242,14 @@ class PlacementScorer:
                 f"headroom_fraction must be in [0, 1), got "
                 f"{headroom_fraction}"
             )
-        mask = self._alive.copy()
-        if headroom_fraction > 0.0:
-            reserve = (self._capacity * headroom_fraction).astype(np.int64)
-            mask &= self._storage >= need_bytes + reserve
-        else:
-            mask &= self._storage >= need_bytes
+        mask = self._feasible_mask(need_bytes, budget, headroom_fraction)
         if max_rent is not None:
-            mask &= self._rents < max_rent
-        if budget is not None:
-            mask &= self._budget_headroom(budget) >= need_bytes
-        # Knock out current holders / exclusions by slot lookup — the
-        # blocked set is a handful of servers, the cloud is hundreds.
-        slot_of = self._slot_of
-        for sid in replica_servers:
-            slot = slot_of.get(sid)
-            if slot is not None:
-                mask[slot] = False
-        for sid in exclude:
-            slot = slot_of.get(sid)
-            if slot is not None:
-                mask[slot] = False
+            # The rent cap varies per caller (migration hunts under the
+            # agent's own rent), so it stays out of the cached mask.
+            mask = mask & (self._rents < max_rent)
         if not mask.any():
+            # Budget/storage-exhausted epochs hit this constantly; skip
+            # the eq. 3 gain/score work when no server qualifies.
             return None
         gain = self._diversity_gain(replica_servers, cache_key)
         if g is not None:
@@ -263,6 +261,18 @@ class PlacementScorer:
         else:
             scores = gain - self._rent_weight * self._rents
         scores = np.where(mask, scores, -np.inf)
+        # Knock out current holders / exclusions by slot lookup — the
+        # blocked set is a handful of servers, the cloud is hundreds
+        # (and the cached mask must stay unmutated).
+        slot_of = self._slot_of
+        for sid in replica_servers:
+            slot = slot_of.get(sid)
+            if slot is not None:
+                scores[slot] = -np.inf
+        for sid in exclude:
+            slot = slot_of.get(sid)
+            if slot is not None:
+                scores[slot] = -np.inf
         idx = int(np.argmax(scores))
         if not np.isfinite(scores[idx]):
             return None
@@ -272,6 +282,28 @@ class PlacementScorer:
             diversity_gain=float(gain[idx]),
             rent=float(self._rents[idx]),
         )
+
+    def _feasible_mask(self, need_bytes: int, budget: Optional[str],
+                       headroom_fraction: float) -> np.ndarray:
+        """Alive ∧ storage ∧ budget feasibility, cached per key.
+
+        Treat the returned array as read-only: it is shared across calls
+        until storage or budget state moves.
+        """
+        key = (need_bytes, budget, headroom_fraction)
+        cached = self._mask_cache.get(key)
+        if cached is not None:
+            return cached
+        mask = self._alive.copy()
+        if headroom_fraction > 0.0:
+            reserve = (self._capacity * headroom_fraction).astype(np.int64)
+            mask &= self._storage >= need_bytes + reserve
+        else:
+            mask &= self._storage >= need_bytes
+        if budget is not None:
+            mask &= self._budget_headroom(budget) >= need_bytes
+        self._mask_cache[key] = mask
+        return mask
 
     def _budget_headroom(self, kind: str) -> np.ndarray:
         """Remaining per-epoch bandwidth of every server, slot order.
@@ -354,10 +386,12 @@ class PlacementScorer:
             headroom[idx] = max(headroom[idx] - nbytes, 0)
         self._storage[idx] = max(self._storage[idx] - nbytes, 0)
         self._rents[idx] += self.anticipated_rent_bump(server_id, nbytes)
+        self._mask_cache.clear()
 
     def release_storage(self, server_id: int, nbytes: int) -> None:
         """Mirror freed bytes (migration source, suicide) into the cache."""
         self._storage[self._slot(server_id)] += nbytes
+        self._mask_cache.clear()
 
     def _slot(self, server_id: int) -> int:
         try:

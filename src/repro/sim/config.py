@@ -35,6 +35,29 @@ class ConfigError(ValueError):
     """Raised for inconsistent scenario configurations."""
 
 
+def scaled_paper_layout(scale: int = 1) -> CloudLayout:
+    """The §III-A cloud grown ``scale``× (same geography tree).
+
+    Scaling only the partition count would oversubscribe the paper
+    cloud's storage and measure a permanent repair storm instead of
+    epoch throughput, so scale variants grow the cloud alongside:
+    the 10 countries / 2 datacenters skeleton is kept and racks get
+    deeper (and, at 10×+, more numerous), exactly how capacity upgrades
+    land in practice.  Scales 10 and 100 match the perf harness's
+    ``fig4-slashdot-10x``/``-100x`` scenarios; other factors deepen
+    racks linearly.
+    """
+    if scale < 1:
+        raise ConfigError(f"scale must be >= 1, got {scale}")
+    if scale == 1:
+        return CloudLayout()
+    if scale == 10:
+        return CloudLayout(racks_per_room=4, servers_per_rack=25)
+    if scale == 100:
+        return CloudLayout(racks_per_room=8, servers_per_rack=125)
+    return CloudLayout(servers_per_rack=5 * scale)
+
+
 @dataclass(frozen=True)
 class RingConfig:
     """One virtual ring of one application."""

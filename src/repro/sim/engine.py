@@ -33,7 +33,7 @@ from repro.core.agent import AgentRegistry
 from repro.core.availability import AvailabilityIndex, availability
 from repro.core.board import PriceBoard, update_board
 from repro.core.decision import DecisionEngine, DecisionStats, EconomicPolicy
-from repro.core.economy import UsageTracker
+from repro.core.economy import CloudCostIndex, UsageTracker
 from repro.core.placement import proximity_weights
 from repro.ring.partition import PartitionId
 from repro.ring.virtualring import AvailabilityLevel, RingSet
@@ -115,8 +115,17 @@ class Simulation:
         # and metrics collection (scalar kernel: both fall back to the
         # O(R²) recomputation the reference implementation performs).
         self.avail_index: Optional[AvailabilityIndex] = None
+        # Vectorized eq. 1: slot-ordered cost vectors maintained by the
+        # catalog listener replace the per-server Python pricing loop.
+        # (Usage-normalised pricing needs per-server trailing means and
+        # stays on the scalar path.)
+        self.cost_index: Optional[CloudCostIndex] = None
         if config.kernel == "vectorized":
             self.avail_index = AvailabilityIndex(self.cloud, self.catalog)
+            if not config.rent_model.normalize_by_usage:
+                self.cost_index = CloudCostIndex(
+                    self.cloud, config.rent_model, self.catalog
+                )
         self.registry = AgentRegistry(config.policy.hysteresis)
         self.transfers = TransferEngine(self.cloud, self.catalog)
         self.board = PriceBoard()
@@ -175,6 +184,8 @@ class Simulation:
         self._g_dirty = True
         self._pids_of_apps: Dict[int, List[PartitionId]] = {}
         self._pids_versions: Optional[Tuple[int, ...]] = None
+        self._pids_of_rings: List[Tuple[Tuple[int, int], List[PartitionId]]] = []
+        self._ring_pids_versions: Optional[Tuple[int, ...]] = None
         self._epoch = 0
         self._seed_placement()
 
@@ -246,6 +257,19 @@ class Simulation:
             self._pids_of_apps = out
             self._pids_versions = versions
         return self._pids_of_apps
+
+    def _partitions_of_rings(self) -> List[
+        Tuple[Tuple[int, int], List[PartitionId]]
+    ]:
+        """Each ring's partition ids, cached per ring version."""
+        versions = self.rings.versions()
+        if self._ring_pids_versions != versions:
+            self._pids_of_rings = [
+                ((ring.app_id, ring.ring_id), [p.pid for p in ring])
+                for ring in self.rings
+            ]
+            self._ring_pids_versions = versions
+        return self._pids_of_rings
 
     def _apply_inserts(self, epoch: int) -> InsertOutcome:
         outcome = InsertOutcome(epoch=epoch)
@@ -324,9 +348,24 @@ class Simulation:
         if self.usage_tracker is not None and epoch > 0:
             # Observe last epoch's usage before counters reset.
             self.usage_tracker.observe_cloud(self.cloud)
+        cost_index = self.cost_index
+        if cost_index is not None and epoch > 0:
+            # Hand the previous settlement's per-slot query totals to
+            # the cost index (eq. 1's query-load term).  A decider that
+            # does not expose them (custom settle) disables the
+            # vectorized pricing path for the rest of the run.
+            totals = getattr(self.decider, "query_totals", None)
+            if totals is None:
+                cost_index.detach()
+                self.cost_index = cost_index = None
+            else:
+                cost_index.set_query_totals(
+                    totals,
+                    getattr(self.decider, "query_totals_version", -1),
+                )
         update_board(
             self.board, epoch, self.cloud, self.config.rent_model,
-            self.usage_tracker,
+            self.usage_tracker, cost_index,
         )
         self.cloud.begin_epoch()
         self.transfers.begin_epoch()
@@ -343,6 +382,9 @@ class Simulation:
         self._apply_splits()
         frame = self._collect(epoch, load, stats, insert_outcome)
         self.metrics.append(frame)
+        # Keep the agent ledger dense after retirement-heavy epochs so
+        # batched settlement touches contiguous rows.
+        self.registry.maybe_compact()
         self._epoch += 1
         return frame
 
@@ -381,24 +423,44 @@ class Simulation:
         index = self.avail_index
         queries_for = load.queries_for
         replica_count = self.catalog.replica_count
-        for ring in self.rings:
-            key = (ring.app_id, ring.ring_id)
-            count = 0
-            served = 0.0
-            avails: List[float] = []
-            for partition in ring:
-                pid = partition.pid
-                queries = queries_for(pid)
-                if index is not None:
-                    n_replicas = replica_count(pid)
-                    if n_replicas:
-                        count += n_replicas
-                        served += queries
-                        avails.append(index.availability_of(pid))
-                    else:
-                        unavailable += queries
-                        lost += 1
-                else:
+        if index is not None:
+            # Vectorized kernel: gather the per-ring series through
+            # numpy.  Counts and queries are exact integers and the
+            # availability values come from the same cache in the same
+            # ring order, so every aggregate is bit-identical to the
+            # scalar loop below.
+            availability_of = index.availability_of
+            for key, pids in self._partitions_of_rings():
+                n = len(pids)
+                counts = np.fromiter(
+                    (replica_count(pid) for pid in pids),
+                    dtype=np.int64, count=n,
+                )
+                queries = np.fromiter(
+                    (queries_for(pid) for pid in pids),
+                    dtype=np.int64, count=n,
+                )
+                placed = counts > 0
+                avails = np.fromiter(
+                    (availability_of(pid) for pid in pids),
+                    dtype=np.float64, count=n,
+                )[placed]
+                vnodes_per_ring[key] = int(counts.sum())
+                queries_per_ring[key] = float(queries[placed].sum())
+                avail_per_ring[key] = (
+                    float(np.mean(avails)) if avails.size else 0.0
+                )
+                unavailable += int(queries[~placed].sum())
+                lost += int(n - int(placed.sum()))
+        else:
+            for ring in self.rings:
+                key = (ring.app_id, ring.ring_id)
+                count = 0
+                served = 0.0
+                avails: List[float] = []
+                for partition in ring:
+                    pid = partition.pid
+                    queries = queries_for(pid)
                     replicas = self._live_replicas(pid)
                     count += len(replicas)
                     if replicas:
@@ -407,11 +469,11 @@ class Simulation:
                     else:
                         unavailable += queries
                         lost += 1
-            vnodes_per_ring[key] = count
-            queries_per_ring[key] = served
-            avail_per_ring[key] = (
-                float(np.mean(avails)) if avails else 0.0
-            )
+                vnodes_per_ring[key] = count
+                queries_per_ring[key] = served
+                avail_per_ring[key] = (
+                    float(np.mean(avails)) if avails else 0.0
+                )
         expensive = 0
         cheap = 0
         for sid, n in vnodes_per_server.items():

@@ -16,6 +16,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 from typing import Any, Dict, Iterable, List
 
 from repro.sim.metrics import EpochFrame, MetricsLog
@@ -89,27 +90,67 @@ def dump_log(log: MetricsLog) -> str:
     return dump_frames(iter(log))
 
 
-def frame_diff(expected: Dict[str, Any], actual: Dict[str, Any]
-               ) -> List[str]:
-    """Human-readable field-level differences between two encoded frames."""
+def _values_close(expected: Any, actual: Any, rtol: float) -> bool:
+    """Structural equality with relative float tolerance.
+
+    Encoded floats (``{"__float__": hex}``) compare through
+    ``math.isclose(rel_tol=rtol)``; every other type must match
+    exactly, including container shape.  ``rtol=0.0`` degenerates to
+    strict equality.
+    """
+    if expected == actual:
+        return True
+    exp_float = isinstance(expected, dict) and "__float__" in expected
+    act_float = isinstance(actual, dict) and "__float__" in actual
+    if exp_float or act_float:
+        if not (exp_float and act_float):
+            return False
+        return math.isclose(
+            _decode_value(expected), _decode_value(actual),
+            rel_tol=rtol, abs_tol=0.0,
+        )
+    if isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            return False
+        return all(
+            _values_close(e, a, rtol) for e, a in zip(expected, actual)
+        )
+    return False
+
+
+def frame_diff(expected: Dict[str, Any], actual: Dict[str, Any],
+               rtol: float = 0.0) -> List[str]:
+    """Human-readable field-level differences between two encoded frames.
+
+    ``rtol`` relaxes float fields to a relative tolerance — the opt-in
+    comparison mode for scenarios (fractional confidences) whose
+    incremental eq. 2 sums legitimately drift from the scalar loop by
+    rounding ulps (see PERFORMANCE.md); the default remains
+    bit-exactness.
+    """
     problems: List[str] = []
     for name in sorted(set(expected) | set(actual)):
         a, b = expected.get(name), actual.get(name)
-        if a != b:
-            problems.append(
-                f"{name}: expected {_decode_value(a)!r}, "
-                f"got {_decode_value(b)!r}"
-            )
+        if rtol > 0.0:
+            if _values_close(a, b, rtol):
+                continue
+        elif a == b:
+            continue
+        problems.append(
+            f"{name}: expected {_decode_value(a)!r}, "
+            f"got {_decode_value(b)!r}"
+        )
     return problems
 
 
 def compare_streams(expected: List[Dict[str, Any]],
-                    actual: Iterable[EpochFrame]) -> List[str]:
+                    actual: Iterable[EpochFrame],
+                    rtol: float = 0.0) -> List[str]:
     """Differences between a stored golden stream and a live frame stream.
 
-    Returns a list of mismatch descriptions (empty = identical).  Stops
-    detailing after the first few divergent frames to keep failure
-    output readable.
+    Returns a list of mismatch descriptions (empty = identical, or
+    within ``rtol`` when a tolerance is given).  Stops detailing after
+    the first few divergent frames to keep failure output readable.
     """
     problems: List[str] = []
     encoded = frames_to_jsonable(actual)
@@ -121,7 +162,7 @@ def compare_streams(expected: List[Dict[str, Any]],
     for i, (exp, act) in enumerate(zip(expected, encoded)):
         if exp == act:
             continue
-        for line in frame_diff(exp, act):
+        for line in frame_diff(exp, act, rtol):
             problems.append(f"epoch {i}: {line}")
         if len(problems) > 24:
             problems.append("... (truncated)")

@@ -19,16 +19,24 @@ from repro.store.quorum import (
     QuorumWriteResult,
     Versioned,
 )
-from repro.store.replica import ReplicaCatalog, ReplicaError, ReplicaKey
+from repro.store.replica import (
+    CatalogListener,
+    ReplicaCatalog,
+    ReplicaError,
+    ReplicaKey,
+)
 from repro.store.transfer import (
+    TransferBatch,
     TransferEngine,
     TransferKind,
     TransferOutcome,
+    TransferRequest,
     TransferResult,
     TransferStats,
 )
 
 __all__ = [
+    "CatalogListener",
     "ConsistencyError",
     "ConsistencyModel",
     "DEFAULT_CONSISTENCY",
@@ -45,9 +53,11 @@ __all__ = [
     "ReplicaError",
     "ReplicaKey",
     "StoreError",
+    "TransferBatch",
     "TransferEngine",
     "TransferKind",
     "TransferOutcome",
+    "TransferRequest",
     "TransferResult",
     "TransferStats",
 ]

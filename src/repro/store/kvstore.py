@@ -112,8 +112,7 @@ class KVStore:
             self._catalog.grow_replicas(partition.pid, delta)
             partition.grow(delta)
         elif delta < 0:
-            for sid in self._catalog.servers_of(partition.pid):
-                self._cloud.server(sid).free_storage(-delta)
+            self._catalog.shrink_replicas(partition.pid, -delta)
             partition.shrink(-delta)
         bucket[kb] = value
         if partition.overfull:
@@ -144,8 +143,7 @@ class KVStore:
         if kb not in bucket:
             return False
         nbytes = len(bucket.pop(kb))
-        for sid in self._catalog.servers_of(partition.pid):
-            self._cloud.server(sid).free_storage(nbytes)
+        self._catalog.shrink_replicas(partition.pid, nbytes)
         partition.shrink(nbytes)
         return True
 

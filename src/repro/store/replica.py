@@ -49,6 +49,17 @@ class CatalogListener:
                         servers: Sequence[int]) -> None:
         """A split re-homed ``parent`` onto two children on ``servers``."""
 
+    def storage_changed(self, server_id: int, delta: int) -> None:
+        """``delta`` bytes were allocated (+) or freed (−) on a server.
+
+        Fired for every catalog-driven storage mutation — replica
+        placement/drop, insert growth, splits — *including* during a
+        split (unlike the membership callbacks, which a split collapses
+        into one structural event).  Not fired when a dead server's
+        bytes vanish with the machine (``drop_server``); consumers
+        tracking storage must rebuild on cloud membership changes.
+        """
+
 
 @dataclass(frozen=True)
 class FlatReplicaView:
@@ -195,6 +206,8 @@ class ReplicaCatalog:
             raise ReplicaError(f"{pid} already has a replica on {server_id}")
         server = self._cloud.server(server_id)
         server.allocate_storage(partition.size)
+        for listener in self._listeners:
+            listener.storage_changed(server_id, partition.size)
         self._servers_of.setdefault(pid, []).append(server_id)
         self._partitions_on.setdefault(server_id, set()).add(pid)
         self._touch()
@@ -211,6 +224,8 @@ class ReplicaCatalog:
             raise ReplicaError(f"{pid} has no replica on {server_id}")
         if server_id in self._cloud:
             self._cloud.server(server_id).free_storage(partition.size)
+            for listener in self._listeners:
+                listener.storage_changed(server_id, -partition.size)
         self._servers_of[pid].remove(server_id)
         remaining: Sequence[int] = self._servers_of.get(pid, ())
         if not self._servers_of[pid]:
@@ -241,6 +256,22 @@ class ReplicaCatalog:
             raise ReplicaError(f"cannot grow by negative bytes: {nbytes}")
         for sid in self._servers_of.get(pid, ()):
             self._cloud.server(sid).allocate_storage(nbytes)
+            for listener in self._listeners:
+                listener.storage_changed(sid, nbytes)
+
+    def shrink_replicas(self, pid: PartitionId, nbytes: int) -> None:
+        """Account ``nbytes`` of removed data on every replica's server.
+
+        Mirror of :meth:`grow_replicas` for the delete/overwrite path;
+        routing shrinks through the catalog keeps listeners (the eq. 1
+        cost vectors, most notably) in sync with server storage.
+        """
+        if nbytes < 0:
+            raise ReplicaError(f"cannot shrink by negative bytes: {nbytes}")
+        for sid in self._servers_of.get(pid, ()):
+            self._cloud.server(sid).free_storage(nbytes)
+            for listener in self._listeners:
+                listener.storage_changed(sid, -nbytes)
 
     def can_grow_replicas(self, pid: PartitionId, nbytes: int) -> bool:
         """True when every hosting server can absorb ``nbytes`` more."""
@@ -291,6 +322,8 @@ class ReplicaCatalog:
                 self.drop(parent, sid)
                 server = self._cloud.server(sid)
                 server.allocate_storage(low.size + high.size)
+                for listener in self._listeners:
+                    listener.storage_changed(sid, low.size + high.size)
                 self._servers_of.setdefault(low.pid, []).append(sid)
                 self._servers_of.setdefault(high.pid, []).append(sid)
                 self._partitions_on.setdefault(sid, set()).update(

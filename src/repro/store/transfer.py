@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.cluster.server import BandwidthBudget, Server
 from repro.cluster.topology import Cloud
@@ -181,3 +183,316 @@ class TransferEngine:
     def suicide(self, partition: Partition, server_id: int) -> None:
         """Delete one replica (no bandwidth needed)."""
         self._catalog.drop(partition, server_id)
+
+    # -- batched execution (§II-C action path) ------------------------------
+
+    def open_batch(self) -> "TransferBatch":
+        """Start collecting transfer intents for grouped execution."""
+        return TransferBatch(self)
+
+    def execute_batch(self, requests: Sequence["TransferRequest"],
+                      preverified: bool = False) -> List[TransferResult]:
+        """Apply many transfers with grouped array feasibility checks.
+
+        Endpoint feasibility (bandwidth budgets, destination storage,
+        liveness, duplicate replicas) is evaluated for the *whole* batch
+        as per-server aggregate sums.  When every group fits — the
+        common case, and guaranteed for intents validated through a
+        :class:`TransferBatch`'s mirrors — budgets are reserved once per
+        touched server and the catalog mutations apply in submission
+        order with no per-item re-checks.  If any aggregate fails, the
+        batch falls back to the sequential per-item path, which
+        reproduces the exact one-at-a-time outcome semantics.
+
+        The epoch kernel reaches this through :meth:`TransferBatch.commit`
+        with ``preverified=True`` (the repair chains validated every
+        intent already); the aggregate-check entry serves callers
+        submitting arbitrary request lists of their own.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        if not preverified and not self._batch_feasible(requests):
+            return [
+                self.replicate(r.partition, r.src, r.dst)
+                if r.kind is TransferKind.REPLICATION
+                else self.migrate(r.partition, r.src, r.dst)
+                for r in requests
+            ]
+        # Fast path: grouped budget reservation, then in-order apply.
+        grouped: Dict[Tuple[TransferKind, int], int] = {}
+        for r in requests:
+            size = r.partition.size
+            if r.src is not None:
+                key = (r.kind, r.src)
+                grouped[key] = grouped.get(key, 0) + size
+            key = (r.kind, r.dst)
+            grouped[key] = grouped.get(key, 0) + size
+        for (kind, sid), nbytes in grouped.items():
+            _budget(self._cloud.server(sid), kind).reserve(nbytes)
+        results: List[TransferResult] = []
+        stats = self.stats
+        for r in requests:
+            size = r.partition.size
+            if r.kind is TransferKind.REPLICATION:
+                self._catalog.place(r.partition, r.dst)
+                stats.replications += 1
+                stats.replication_bytes += size
+            else:
+                self._catalog.move(r.partition, r.src, r.dst)
+                stats.migrations += 1
+                stats.migration_bytes += size
+            stats.bytes_moved += size
+            results.append(
+                TransferResult(
+                    r.kind, TransferOutcome.COMPLETED, r.partition.pid,
+                    r.src, r.dst, size,
+                )
+            )
+        return results
+
+    def _batch_feasible(self, requests: Sequence["TransferRequest"]) -> bool:
+        """Aggregate (vectorized) feasibility of a whole batch.
+
+        Deliberately conservative: any replica-identity interaction
+        *within* the batch (duplicate destinations, a migration source
+        consumed by an earlier migration, a destination vacated
+        mid-batch) fails the aggregate check and routes the batch to
+        the sequential fallback, so the fast path can never partially
+        apply — every per-item operation it performs is guaranteed to
+        succeed.
+        """
+        sizes = np.array([r.partition.size for r in requests],
+                         dtype=np.int64)
+        dsts = [r.dst for r in requests]
+        seen: Set[Tuple[object, int]] = set()
+        vacated: Set[Tuple[object, int]] = set()
+        for r in requests:
+            key = (r.partition.pid, r.dst)
+            if key in seen or self._catalog.has_replica(*key):
+                return False
+            seen.add(key)
+            if r.kind is TransferKind.MIGRATION:
+                src_key = (r.partition.pid, r.src)
+                if (
+                    src_key in vacated
+                    or not self._catalog.has_replica(*src_key)
+                ):
+                    return False
+                vacated.add(src_key)
+        touched = sorted(
+            {sid for r in requests for sid in (r.src, r.dst)
+             if sid is not None}
+        )
+        if not all(
+            sid in self._cloud and self._cloud.server(sid).alive
+            for sid in touched
+        ):
+            return False
+        slot = {sid: i for i, sid in enumerate(touched)}
+        storage_need = np.zeros(len(touched), dtype=np.int64)
+        np.add.at(storage_need, [slot[d] for d in dsts], sizes)
+        budget_need = {
+            kind: np.zeros(len(touched), dtype=np.int64)
+            for kind in TransferKind
+        }
+        for r, size in zip(requests, sizes.tolist()):
+            need = budget_need[r.kind]
+            need[slot[r.dst]] += size
+            if r.src is not None:
+                need[slot[r.src]] += size
+        storage_avail = np.array(
+            [self._cloud.server(sid).storage_available for sid in touched],
+            dtype=np.int64,
+        )
+        if np.any(storage_need > storage_avail):
+            return False
+        for kind, need in budget_need.items():
+            avail = np.array(
+                [
+                    _budget(self._cloud.server(sid), kind).available
+                    for sid in touched
+                ],
+                dtype=np.int64,
+            )
+            if np.any(need > avail):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class TransferRequest:
+    """One queued transfer intent (see :meth:`TransferEngine.open_batch`)."""
+
+    kind: TransferKind
+    partition: Partition
+    src: Optional[int]
+    dst: int
+
+
+class TransferBatch:
+    """Intent collector with exact pending-resource mirrors.
+
+    The §II-C decision pass validates each intent against *real state
+    minus pending reservations* — the same predicate, in the same check
+    order, that an immediate :meth:`TransferEngine.replicate` /
+    :meth:`~TransferEngine.migrate` call would evaluate — so a queued
+    intent is guaranteed to succeed at :meth:`commit`, and a blocked one
+    reports the identical :class:`TransferOutcome` (and feeds the
+    engine's deferred/failure stats) as the one-at-a-time path.
+    """
+
+    def __init__(self, engine: TransferEngine) -> None:
+        self._engine = engine
+        self._cloud = engine._cloud
+        self._catalog = engine._catalog
+        self._items: List[TransferRequest] = []
+        self._pending_budget: Dict[Tuple[TransferKind, int], int] = {}
+        self._pending_storage: Dict[int, int] = {}
+        # Replica-identity mirror: placements queued (and not since
+        # vacated) / sources vacated by queued migrations.  Together
+        # with the catalog they answer "would this (pid, server) hold a
+        # replica once the queue ran?" — the predicate every sequential
+        # duplicate/source check evaluates.
+        self._pending_replicas: Set[Tuple[object, int]] = set()
+        self._vacated: Set[Tuple[object, int]] = set()
+
+    def _has_replica_now(self, pid, server_id: int) -> bool:
+        """Replica presence as of the queued state (catalog ± pending)."""
+        key = (pid, server_id)
+        if key in self._pending_replicas:
+            return True
+        return (
+            key not in self._vacated
+            and self._catalog.has_replica(pid, server_id)
+        )
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # -- mirrored resource reads -------------------------------------------
+
+    def budget_available(self, server_id: int,
+                         kind: TransferKind = TransferKind.REPLICATION
+                         ) -> int:
+        """Remaining budget as of this batch: real minus pending."""
+        real = _budget(self._cloud.server(server_id), kind).available
+        return real - self._pending_budget.get((kind, server_id), 0)
+
+    def storage_available(self, server_id: int) -> int:
+        real = self._cloud.server(server_id).storage_available
+        return real - self._pending_storage.get(server_id, 0)
+
+    # -- queuing ------------------------------------------------------------
+
+    def _check(self, partition: Partition, src_id: Optional[int],
+               dst_id: int, kind: TransferKind
+               ) -> Optional[TransferOutcome]:
+        """Mirror of ``TransferEngine._check_endpoints`` (same order)."""
+        dst = self._cloud.server(dst_id)
+        if not dst.alive:
+            return TransferOutcome.DEST_DOWN
+        size = partition.size
+        if not (0 <= size <= self.storage_available(dst_id)):
+            return TransferOutcome.NO_DEST_STORAGE
+        if src_id is not None:
+            if size > self.budget_available(src_id, kind):
+                return TransferOutcome.NO_SOURCE_BANDWIDTH
+        if size > self.budget_available(dst_id, kind):
+            return TransferOutcome.NO_DEST_BANDWIDTH
+        return None
+
+    def _reserve(self, partition: Partition, src_id: Optional[int],
+                 dst_id: int, kind: TransferKind) -> None:
+        size = partition.size
+        if src_id is not None:
+            key = (kind, src_id)
+            self._pending_budget[key] = (
+                self._pending_budget.get(key, 0) + size
+            )
+            if kind is TransferKind.MIGRATION:
+                # A queued migration vacates its source bytes, exactly
+                # as the sequential catalog.move would have by the time
+                # a later intent is checked — credit them so mixed
+                # batches see the same storage a one-at-a-time caller
+                # would.
+                self._pending_storage[src_id] = (
+                    self._pending_storage.get(src_id, 0) - size
+                )
+        key = (kind, dst_id)
+        self._pending_budget[key] = self._pending_budget.get(key, 0) + size
+        self._pending_storage[dst_id] = (
+            self._pending_storage.get(dst_id, 0) + size
+        )
+
+    def _add(self, kind: TransferKind, partition: Partition,
+             src_id: Optional[int], dst_id: int
+             ) -> Optional[TransferOutcome]:
+        pid = partition.pid
+        if self._has_replica_now(pid, dst_id):
+            result = TransferResult(
+                kind, TransferOutcome.REJECTED, pid,
+                src_id, dst_id, partition.size,
+            )
+            self._engine.stats.failures.append(result)
+            return TransferOutcome.REJECTED
+        blocked = self._check(partition, src_id, dst_id, kind)
+        if blocked is not None:
+            result = TransferResult(
+                kind, blocked, pid, src_id, dst_id, partition.size
+            )
+            self._engine.stats.deferred += 1
+            self._engine.stats.failures.append(result)
+            return blocked
+        self._reserve(partition, src_id, dst_id, kind)
+        self._pending_replicas.add((pid, dst_id))
+        self._vacated.discard((pid, dst_id))
+        if kind is TransferKind.MIGRATION:
+            self._vacated.add((pid, src_id))
+            self._pending_replicas.discard((pid, src_id))
+        self._items.append(
+            TransferRequest(kind, partition, src_id, dst_id)
+        )
+        return None
+
+    def add_replication(self, partition: Partition, src_id: Optional[int],
+                        dst_id: int) -> Optional[TransferOutcome]:
+        """Queue a replication; returns the blocking outcome, or None.
+
+        A blocked intent is accounted exactly like a failed immediate
+        call (engine deferred count + failure record) so decision stats
+        stay kernel-invariant.
+        """
+        return self._add(
+            TransferKind.REPLICATION, partition, src_id, dst_id
+        )
+
+    def add_migration(self, partition: Partition, src_id: int,
+                      dst_id: int) -> Optional[TransferOutcome]:
+        """Queue a migration; returns the blocking outcome, or None.
+
+        Raises :class:`ReplicaError` when the source would hold no
+        replica by the time the queue runs — the same error an
+        immediate :meth:`TransferEngine.migrate` at this point in the
+        sequence would raise.
+        """
+        if not self._has_replica_now(partition.pid, src_id):
+            raise ReplicaError(
+                f"{partition.pid} has no replica on {src_id} to migrate"
+            )
+        return self._add(
+            TransferKind.MIGRATION, partition, src_id, dst_id
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def commit(self) -> List[TransferResult]:
+        """Apply every queued intent (guaranteed feasible) in order."""
+        if not self._items:
+            return []
+        items, self._items = self._items, []
+        self._pending_budget.clear()
+        self._pending_storage.clear()
+        self._pending_replicas.clear()
+        self._vacated.clear()
+        return self._engine.execute_batch(items, preverified=True)

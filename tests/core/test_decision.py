@@ -69,10 +69,11 @@ def load_for(ring, queries=0):
 
 
 def force_streak(registry, pid, sign):
+    # ``balances`` is a snapshot of the array ledger, so streaks are
+    # driven through the accounting API: balance = utility - rent.
     for agent in registry.of_partition(pid):
-        agent.balances.extend(
-            [sign] * agent.balances.maxlen
-        )
+        for __ in range(agent.window):
+            agent.record(max(sign, 0.0), max(-sign, 0.0))
 
 
 class TestPolicyValidation:

@@ -1,5 +1,6 @@
 """Unit tests for eq. 1 virtual rent pricing."""
 
+import numpy as np
 import pytest
 
 from repro.cluster.location import Location
@@ -7,10 +8,14 @@ from repro.cluster.server import make_server
 from repro.cluster.topology import Cloud
 from repro.core.economy import (
     DEFAULT_EPOCHS_PER_MONTH,
+    CloudCostIndex,
     EconomyError,
     RentModel,
     UsageTracker,
 )
+from repro.ring.keyspace import KeyRange
+from repro.ring.partition import Partition, PartitionId
+from repro.store.replica import ReplicaCatalog
 
 LOC = Location(0, 0, 0, 0, 0, 0)
 
@@ -127,3 +132,128 @@ class TestUsageTracker:
     def test_invalid_horizon(self):
         with pytest.raises(EconomyError):
             UsageTracker(horizon=0)
+
+
+def _cost_harness(n=4, model=None):
+    cloud = Cloud()
+    for i in range(n):
+        cloud.add_server(
+            make_server(
+                i, Location(i, 0, 0, 0, 0, 0),
+                monthly_rent=100.0 + 25.0 * (i % 2),
+                storage_capacity=10_000,
+                query_capacity=100,
+            )
+        )
+    catalog = ReplicaCatalog(cloud)
+    rent_model = model or RentModel(alpha=2.0, beta=3.0,
+                                    epochs_per_month=100)
+    index = CloudCostIndex(cloud, rent_model, catalog)
+    return cloud, catalog, rent_model, index
+
+
+def _partition(seq=0, size=500):
+    return Partition(
+        pid=PartitionId(0, 0, seq),
+        key_range=KeyRange(0, 1000),
+        size=size,
+        capacity=100_000,
+    )
+
+
+def _assert_prices_match(index, model, cloud):
+    ids, vector = index.price_vector()
+    scalar = model.price_cloud(cloud)
+    assert ids == list(scalar)
+    for sid, price in zip(ids, vector.tolist()):
+        assert price == scalar[sid]  # bit-identical, not approx
+
+
+class TestCloudCostIndex:
+    def test_matches_scalar_pricing_after_catalog_mutations(self):
+        cloud, catalog, model, index = _cost_harness()
+        _assert_prices_match(index, model, cloud)
+        p1, p2 = _partition(1), _partition(2)
+        catalog.place(p1, 0)
+        catalog.place(p1, 2)
+        catalog.place(p2, 1)
+        _assert_prices_match(index, model, cloud)
+        catalog.drop(p1, 2)
+        catalog.grow_replicas(p2.pid, 123)
+        _assert_prices_match(index, model, cloud)
+        index.verify()
+
+    def test_shrink_replicas_keeps_storage_vector_in_sync(self):
+        # The delete/overwrite data-plane path must fire storage events
+        # like the grow path, or vectorized prices silently drift.
+        cloud, catalog, model, index = _cost_harness()
+        p = _partition(1)
+        catalog.place(p, 0)
+        catalog.place(p, 2)
+        catalog.grow_replicas(p.pid, 500)
+        catalog.shrink_replicas(p.pid, 300)
+        _assert_prices_match(index, model, cloud)
+        index.verify()
+
+    def test_split_keeps_storage_vector_in_sync(self):
+        cloud, catalog, model, index = _cost_harness()
+        parent = _partition(1, size=500)
+        catalog.place(parent, 0)
+        catalog.place(parent, 1)
+        low, high = parent.split(7, 8)
+        catalog.split_partition(parent, low, high)
+        _assert_prices_match(index, model, cloud)
+        index.verify()
+
+    def test_rebuilds_on_cloud_membership_change(self):
+        cloud, catalog, model, index = _cost_harness()
+        catalog.place(_partition(1), 0)
+        _assert_prices_match(index, model, cloud)
+        cloud.spawn_server(Location(9, 0, 0, 0, 0, 0),
+                           storage_capacity=10_000, query_capacity=100)
+        _assert_prices_match(index, model, cloud)
+        cloud.remove_server(0)
+        catalog.drop_server(0)
+        _assert_prices_match(index, model, cloud)
+
+    def test_query_totals_match_scalar_counters(self):
+        cloud, catalog, model, index = _cost_harness()
+        totals = np.zeros(len(cloud), dtype=np.float64)
+        for slot, sid in enumerate(cloud.server_ids):
+            share = 7.25 * (slot + 1)
+            cloud.server(sid).record_queries(share)
+            totals[slot] = share
+        index.set_query_totals(totals, cloud.version)
+        _assert_prices_match(index, model, cloud)
+
+    def test_stale_query_totals_ignored(self):
+        cloud, catalog, model, index = _cost_harness()
+        index.set_query_totals(
+            np.full(len(cloud), 1e9), cloud.version - 1
+        )
+        _assert_prices_match(index, model, cloud)
+
+    def test_detach_stops_consuming_catalog_events(self):
+        cloud, catalog, model, index = _cost_harness()
+        index.price_vector()  # prime the maintained vectors
+        index.detach()
+        catalog.place(_partition(1), 0)
+        # No listener fired: the maintained storage vector drifted from
+        # the server objects, which verify() must now report.
+        with pytest.raises(EconomyError):
+            index.verify()
+        index.detach()  # idempotent
+
+    def test_rejects_usage_normalized_model(self):
+        cloud = Cloud([make_server(0, LOC)])
+        with pytest.raises(EconomyError):
+            CloudCostIndex(cloud, RentModel(normalize_by_usage=True))
+
+    def test_price_array_rejects_normalized_model(self):
+        model = RentModel(normalize_by_usage=True)
+        with pytest.raises(EconomyError):
+            model.price_array(
+                np.ones(1), np.zeros(1, dtype=np.int64),
+                np.ones(1, dtype=np.int64), np.zeros(1),
+                np.ones(1, dtype=np.int64),
+            )

@@ -10,12 +10,21 @@ Property tests: freshly seeded twin runs (same config, different
 kernel) must stay frame-identical across uniform and discrete
 geographies, server failures and partition splits, for seeds never seen
 by the golden set.
+
+Tolerance mode (OFF by default): ``REPRO_EQUIV_RTOL=<rel_tol>`` in the
+environment relaxes every float comparison to a relative tolerance.
+Bit-identity holds because eq. 2 pair terms are exact integers in
+float64 under the evaluation's conf ≡ 1.0 model; a future scenario
+with *fractional* confidences legitimately drifts between kernels by
+rounding ulps (the PERFORMANCE.md caveat) and can opt out of
+bit-exactness here without forking the suite.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 
 import pytest
 
@@ -30,11 +39,16 @@ from repro.baselines.static import static_decider
 from repro.sim.engine import Simulation
 from repro.sim.framedump import (
     compare_streams,
+    frame_diff,
     frames_digest,
     frames_to_jsonable,
 )
 
 KERNELS = ("vectorized", "scalar")
+
+#: Relative float tolerance for stream comparison; 0.0 = bit-exact.
+#: Opt-in via the environment for fractional-confidence scenarios.
+EQUIV_RTOL = float(os.environ.get("REPRO_EQUIV_RTOL", "0") or "0")
 
 
 def run_kernel(name: str, kernel: str) -> Simulation:
@@ -54,7 +68,10 @@ class TestGoldenStreams:
         frames = list(sim.metrics)
         if frames_digest(frames) == golden["digest"]:
             return
-        problems = compare_streams(golden["frames"], frames)
+        problems = compare_streams(golden["frames"], frames,
+                                   rtol=EQUIV_RTOL)
+        if not problems:
+            return  # within the opted-in tolerance
         pytest.fail(
             f"{name} [{kernel}] diverged from the pre-refactor "
             f"engine:\n" + "\n".join(problems[:20])
@@ -79,7 +96,7 @@ class TestKernelTwins:
             sim = Simulation(config, events=events)
             sim.run()
             frames[kernel] = frames_to_jsonable(sim.metrics)
-        assert frames["vectorized"] == frames["scalar"]
+        assert_streams_match(frames["vectorized"], frames["scalar"])
 
     @pytest.mark.parametrize(
         "factory", [static_decider, random_placement_decider],
@@ -94,4 +111,15 @@ class TestKernelTwins:
             sim = Simulation(config, decider_factory=factory)
             sim.run()
             frames[kernel] = frames_to_jsonable(sim.metrics)
-        assert frames["vectorized"] == frames["scalar"]
+        assert_streams_match(frames["vectorized"], frames["scalar"])
+
+
+def assert_streams_match(left, right) -> None:
+    """Exact by default; relative-tolerance when REPRO_EQUIV_RTOL set."""
+    if EQUIV_RTOL <= 0.0:
+        assert left == right
+        return
+    assert len(left) == len(right)
+    for i, (a, b) in enumerate(zip(left, right)):
+        problems = frame_diff(a, b, rtol=EQUIV_RTOL)
+        assert not problems, f"epoch {i}: " + "; ".join(problems[:5])

@@ -13,6 +13,7 @@ from repro.sim.config import (
     paper_apps_config,
     paper_scenario,
     saturation_scenario,
+    scaled_paper_layout,
     slashdot_scenario,
 )
 
@@ -116,3 +117,21 @@ class TestScenarioVariants:
             InsertConfig(rate=-1)
         with pytest.raises(ConfigError):
             InsertConfig(object_size=0)
+
+
+class TestScaledLayout:
+    def test_known_scales_match_server_counts(self):
+        assert scaled_paper_layout(1).total_servers == 200
+        assert scaled_paper_layout(10).total_servers == 2000
+        assert scaled_paper_layout(100).total_servers == 20000
+
+    def test_geography_skeleton_is_preserved(self):
+        for scale in (1, 10, 100, 3):
+            layout = scaled_paper_layout(scale)
+            assert layout.countries == 10
+            assert layout.datacenters_per_country == 2
+            assert layout.total_servers == 200 * scale
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            scaled_paper_layout(0)

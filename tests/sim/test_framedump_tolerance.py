@@ -1,0 +1,81 @@
+"""Tolerance-mode stream comparison (the fractional-confidence opt-out).
+
+Bit-exactness stays the default contract; ``frame_diff``/``compare_streams``
+accept an ``rtol`` so a scenario whose incremental eq. 2 sums drift by
+rounding ulps (see PERFORMANCE.md) can compare within a relative
+tolerance instead of forking the equivalence suite.
+"""
+
+import dataclasses
+
+from repro.sim.framedump import frame_diff, frame_to_jsonable
+from repro.sim.metrics import EpochFrame
+
+
+def make_frame(**overrides):
+    frame = EpochFrame(
+        epoch=0,
+        total_queries=100,
+        live_servers=3,
+        vnodes_total=5,
+        vnodes_per_ring={(0, 0): 5},
+        vnodes_per_server={0: 2, 1: 2, 2: 1},
+        queries_per_ring={(0, 0): 100.0},
+        mean_availability_per_ring={(0, 0): 31.0},
+        unsatisfied_partitions=0,
+        lost_partitions=0,
+        storage_used=500,
+        storage_capacity=3000,
+        insert_attempts=0,
+        insert_failures=0,
+        repairs=1,
+        economic_replications=0,
+        migrations=0,
+        suicides=0,
+        deferred=0,
+        min_price=0.5,
+        mean_price=0.625,
+        max_price=0.75,
+        unavailable_queries=0,
+        vnodes_on_expensive=2,
+        vnodes_on_cheap=3,
+        replication_bytes=100,
+        migration_bytes=0,
+    )
+    return dataclasses.replace(frame, **overrides)
+
+
+class TestFrameDiffTolerance:
+    def test_exact_mode_flags_any_ulp(self):
+        a = frame_to_jsonable(make_frame())
+        b = frame_to_jsonable(
+            make_frame(mean_price=0.625 * (1.0 + 1e-15))
+        )
+        assert frame_diff(a, b)  # bit-exact default catches the ulp
+
+    def test_rtol_absorbs_ulp_drift(self):
+        a = frame_to_jsonable(make_frame())
+        b = frame_to_jsonable(
+            make_frame(mean_price=0.625 * (1.0 + 1e-15))
+        )
+        assert not frame_diff(a, b, rtol=1e-12)
+
+    def test_rtol_still_flags_real_divergence(self):
+        a = frame_to_jsonable(make_frame())
+        b = frame_to_jsonable(make_frame(mean_price=0.7))
+        assert frame_diff(a, b, rtol=1e-12)
+
+    def test_rtol_covers_floats_nested_in_dict_fields(self):
+        a = frame_to_jsonable(make_frame())
+        b = frame_to_jsonable(
+            make_frame(
+                mean_availability_per_ring={(0, 0): 31.0 * (1 + 1e-15)}
+            )
+        )
+        assert frame_diff(a, b)
+        assert not frame_diff(a, b, rtol=1e-12)
+
+    def test_rtol_never_relaxes_integers(self):
+        a = frame_to_jsonable(make_frame())
+        b = frame_to_jsonable(make_frame(repairs=2))
+        assert frame_diff(a, b, rtol=1e-3)

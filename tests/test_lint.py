@@ -1,10 +1,11 @@
-"""Lint gate: unused imports must not creep back into ``src/``.
+"""Lint gate: unused imports must not creep back in.
 
-Runs ``ruff check`` when ruff is installed (configured via
-``ruff.toml``); otherwise falls back to a stdlib AST pass that
-enforces the F401 (unused import) rule on every module under
-``src/repro`` — the container this repo builds in has no ruff wheel,
-and the dead-import satellite of PR 1 should stay fixed either way.
+Covers ``src/``, ``benchmarks/`` and ``examples/``.  Runs ``ruff
+check`` when ruff is installed (configured via ``ruff.toml``);
+otherwise falls back to a stdlib AST pass that enforces the F401
+(unused import) rule on every module in those trees — the container
+this repo builds in has no ruff wheel, and the dead-import satellite of
+PR 1 should stay fixed either way.
 
 ``__init__.py`` files are exempt (re-export surface).
 """
@@ -18,7 +19,8 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-SRC_ROOT = REPO_ROOT / "src" / "repro"
+#: Every tree the gate covers, relative to the repo root.
+LINT_ROOTS = ("src", "benchmarks", "examples")
 
 
 def _imported_names(tree: ast.AST):
@@ -90,7 +92,7 @@ def test_no_unused_imports_in_src():
     ruff = shutil.which("ruff")
     if ruff is not None:
         proc = subprocess.run(
-            [ruff, "check", "src"],
+            [ruff, "check", *LINT_ROOTS],
             cwd=REPO_ROOT,
             capture_output=True,
             text=True,
@@ -98,10 +100,11 @@ def test_no_unused_imports_in_src():
         assert proc.returncode == 0, f"ruff check failed:\n{proc.stdout}"
         return
     problems = []
-    for path in sorted(SRC_ROOT.rglob("*.py")):
-        if path.name == "__init__.py":
-            continue
-        problems.extend(find_unused_imports(path))
+    for root in LINT_ROOTS:
+        for path in sorted((REPO_ROOT / root).rglob("*.py")):
+            if path.name == "__init__.py":
+                continue
+            problems.extend(find_unused_imports(path))
     assert not problems, "unused imports:\n" + "\n".join(problems)
 
 
