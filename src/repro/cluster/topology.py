@@ -110,6 +110,7 @@ class Cloud:
         self._diversity: np.ndarray = np.zeros((0, 0), dtype=np.int16)
         self._next_id = 0
         self._version = 0
+        self._static_vecs: Dict[str, Tuple[int, np.ndarray]] = {}
         self.add_servers(servers)
 
     @property
@@ -304,6 +305,54 @@ class Cloud:
         return np.array(
             [self._servers[sid].confidence for sid in self._server_at_slot],
             dtype=np.float64,
+        )
+
+    def capacity_vector(self) -> np.ndarray:
+        """Per-slot storage capacities (read-only; cached per version).
+
+        Capacity is immutable per server, so the vector only rebuilds
+        when cloud membership changes — epoch-hot consumers (the eq. 3
+        scorer is rebuilt every epoch) share one array instead of
+        paying an O(S) Python pass each.
+        """
+        cached = self._static_vecs.get("capacity")
+        if cached is None or cached[0] != self._version:
+            arr = np.array(
+                [
+                    self._servers[sid].storage_capacity
+                    for sid in self._server_at_slot
+                ],
+                dtype=np.int64,
+            )
+            self._static_vecs["capacity"] = (self._version, arr)
+            return arr
+        return cached[1]
+
+    def monthly_rent_vector(self) -> np.ndarray:
+        """Per-slot real monthly rents (read-only; cached per version)."""
+        cached = self._static_vecs.get("rent")
+        if cached is None or cached[0] != self._version:
+            arr = np.array(
+                [
+                    self._servers[sid].monthly_rent
+                    for sid in self._server_at_slot
+                ],
+                dtype=np.float64,
+            )
+            self._static_vecs["rent"] = (self._version, arr)
+            return arr
+        return cached[1]
+
+    def alive_vector(self) -> np.ndarray:
+        """Per-slot liveness flags (fresh each call — alive is mutable
+        outside membership changes, e.g. transient failures)."""
+        n = len(self._server_at_slot)
+        return np.fromiter(
+            (
+                self._servers[sid].alive
+                for sid in self._server_at_slot
+            ),
+            dtype=bool, count=n,
         )
 
     def storage_available_vector(self) -> np.ndarray:

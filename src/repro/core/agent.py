@@ -67,6 +67,14 @@ class AgentLedger:
         self._pos_flags: List[bool] = []
         self._free: List[int] = []
         self._live = 0
+        # Row → owning partition's dense index slot (−1 = free row or
+        # no-index registry) and a global spawn/rehome sequence — the
+        # two keys under which the epoch kernel reconstructs each
+        # partition's agent order with one lexsort instead of one
+        # Python iteration per partition (see DecisionEngine._flat_state).
+        self._pid_slot = np.zeros(0, dtype=np.int64)
+        self._seq = np.zeros(0, dtype=np.int64)
+        self._seq_counter = 0
         if capacity:
             self._grow(capacity)
 
@@ -110,6 +118,10 @@ class AgentLedger:
         sid = np.full(new_cap, -1, dtype=np.int64)
         sid[: self._cap] = self._sid
         self._sid = sid
+        pid_slot = np.full(new_cap, -1, dtype=np.int64)
+        pid_slot[: self._cap] = self._pid_slot
+        self._pid_slot = pid_slot
+        self._seq = pad(self._seq, new_cap)
         # Extend flag lists *in place*: the decision pass holds direct
         # references to them across a decide() call.
         self._neg_flags.extend([False] * extra)
@@ -124,12 +136,16 @@ class AgentLedger:
             self._grow(max(self._cap + 1, 16))
         row = self._free.pop()
         self._sid[row] = server_id
+        self._pid_slot[row] = -1
+        self._seq[row] = self._seq_counter
+        self._seq_counter += 1
         self._live += 1
         return row
 
     def release(self, row: int) -> None:
         """Return a row to the free pool, clearing its state."""
         self._sid[row] = -1
+        self._pid_slot[row] = -1
         self._pos[row] = 0
         self._count[row] = 0
         self._neg_run[row] = 0
@@ -152,6 +168,23 @@ class AgentLedger:
     def server_id_vector(self) -> np.ndarray:
         """Hosting server per row (read-only by contract; -1 = free)."""
         return self._sid
+
+    def set_pid_slot(self, row: int, slot: int) -> None:
+        """Bind a row to its partition's dense index slot."""
+        self._pid_slot[row] = slot
+
+    def bump_seq(self, row: int) -> None:
+        """Move a row to the end of its partition's agent order."""
+        self._seq[row] = self._seq_counter
+        self._seq_counter += 1
+
+    def pid_slot_vector(self) -> np.ndarray:
+        """Partition slot per row (read-only; -1 = free/unindexed)."""
+        return self._pid_slot
+
+    def seq_vector(self) -> np.ndarray:
+        """Spawn/rehome sequence per row (read-only by contract)."""
+        return self._seq
 
     def wealth(self, row: int) -> float:
         return float(self._wealth[row])
@@ -434,10 +467,22 @@ class AgentRegistry:
     can cache row/replica incidence structures across epochs.
     """
 
-    def __init__(self, window: int) -> None:
+    def __init__(self, window: int,
+                 partition_index=None) -> None:
         self._ledger = AgentLedger(window)
         self._agents: Dict[Tuple[PartitionId, int], VNodeAgent] = {}
         self._by_pid: Dict[PartitionId, List[VNodeAgent]] = {}
+        #: Shared dense partition index (vectorized kernel): rows carry
+        #: their partition's slot so the epoch kernel reconstructs
+        #: incidence in row space; None keeps the ledger slot-free.
+        self.partition_index = partition_index
+        # Ledger-row mirror of ``_by_pid`` (same per-partition order),
+        # maintained through every membership mutation so the epoch
+        # kernel's incidence rebuild reads plain int lists instead of
+        # touching one agent object per replica.  Any drift would be
+        # caught — per replica — by the rebuild's row→server check and
+        # routed to the keyed fallback, so this is a pure fast path.
+        self._rows_by_pid: Dict[PartitionId, List[int]] = {}
         self._version = 0
 
     @property
@@ -472,9 +517,14 @@ class AgentRegistry:
         if key in self._agents:
             raise AgentError(f"agent already exists for {pid}@{server_id}")
         row = self._ledger.acquire(server_id)
+        if self.partition_index is not None:
+            self._ledger.set_pid_slot(
+                row, self.partition_index.slot_of(pid)
+            )
         agent = VNodeAgent(pid, server_id, ledger=self._ledger, row=row)
         self._agents[key] = agent
         self._by_pid.setdefault(pid, []).append(agent)
+        self._rows_by_pid.setdefault(pid, []).append(row)
         self._version += 1
         return agent
 
@@ -484,9 +534,12 @@ class AgentRegistry:
             agent = self._agents.pop(key)
         except KeyError:
             raise AgentError(f"no agent for {pid}@{server_id}") from None
-        self._by_pid[pid].remove(agent)
+        idx = self._by_pid[pid].index(agent)
+        del self._by_pid[pid][idx]
+        del self._rows_by_pid[pid][idx]
         if not self._by_pid[pid]:
             del self._by_pid[pid]
+            del self._rows_by_pid[pid]
         # Detach before the row is recycled so callers holding the
         # object (split bookkeeping, failure reporting) still read the
         # agent's final state.
@@ -508,8 +561,13 @@ class AgentRegistry:
         # the per-partition list order change (removed, re-appended) to
         # mirror the catalog's move (place dst, drop src).
         agents = self._by_pid[pid]
-        agents.remove(agent)
+        idx = agents.index(agent)
+        del agents[idx]
         agents.append(agent)
+        rows = self._rows_by_pid[pid]
+        del rows[idx]
+        rows.append(agent.row)
+        self._ledger.bump_seq(agent.row)
         self._version += 1
         return agent
 
@@ -528,6 +586,16 @@ class AgentRegistry:
     def agents_of(self, pid: PartitionId) -> Sequence[VNodeAgent]:
         """Zero-copy view of one partition's agents (do not mutate)."""
         return self._by_pid.get(pid, ())
+
+    def rows_of(self, pid: PartitionId) -> Optional[List[int]]:
+        """One partition's ledger rows, in agent-list order (read-only).
+
+        The maintained mirror of ``[a.row for a in agents_of(pid)]`` —
+        the epoch kernel's incidence rebuild consumes it without paying
+        one attribute access per agent.  None when the partition has no
+        agents.
+        """
+        return self._rows_by_pid.get(pid)
 
     def on_server(self, server_id: int) -> List[VNodeAgent]:
         return [a for a in self._agents.values() if a.server_id == server_id]
@@ -575,6 +643,9 @@ class AgentRegistry:
             fresh._wealth[: len(agents)] = old._wealth[rows]
             fresh._epochs[: len(agents)] = old._epochs[rows]
             fresh._sid[: len(agents)] = old._sid[rows]
+            fresh._pid_slot[: len(agents)] = old._pid_slot[rows]
+            fresh._seq[: len(agents)] = old._seq[rows]
+            fresh._seq_counter = old._seq_counter
             window = old.window
             fresh._neg_flags[: len(agents)] = (
                 old._neg_run[rows] >= window
@@ -589,6 +660,12 @@ class AgentRegistry:
             for new_row, agent in enumerate(agents):
                 agent._rebind(fresh, new_row)
         self._ledger = fresh
+        # Every row number moved: rebuild the per-partition row mirror
+        # from the (order-preserved) agent lists.
+        self._rows_by_pid = {
+            pid: [a.row for a in members]
+            for pid, members in self._by_pid.items()
+        }
         self._version += 1
 
     def maybe_compact(self, min_capacity: int = 64) -> bool:

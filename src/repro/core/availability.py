@@ -15,14 +15,20 @@ colocated machines together.
 from __future__ import annotations
 
 from math import comb
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
+import numpy as np
 
 from repro.cluster.location import (
     CROSS_COUNTRY_DIVERSITY,
     MAX_DIVERSITY,
 )
 from repro.cluster.topology import Cloud
+from repro.ring.partition import (
+    PartitionIndex,
+    gather_float,
+    gather_int,
+)
 
 
 class AvailabilityError(ValueError):
@@ -166,10 +172,20 @@ class AvailabilityIndex:
     needing the scalar anchor there should use :func:`availability`.
     """
 
-    def __init__(self, cloud: Cloud, catalog=None) -> None:
+    def __init__(self, cloud: Cloud, catalog=None,
+                 partitions: Optional[PartitionIndex] = None) -> None:
         self._cloud = cloud
         self._catalog = None
-        self._avail: Dict[object, float] = {}
+        self._partitions = (
+            partitions if partitions is not None else PartitionIndex()
+        )
+        # Dense per-partition stores in the partition index's slot
+        # space: the eq. 2 pair sum and the replica count.  Slots of
+        # partitions that left the catalog hold the "absent" values
+        # (0.0 / 0), which is exactly what the dict-backed reads
+        # returned for them.
+        self._avail = np.zeros(0, dtype=np.float64)
+        self._counts = np.zeros(0, dtype=np.int64)
         # Per-(partition, server) pair-term totals for the suicide test,
         # memoised until the partition's membership changes.  Negative
         # streaks persist across epochs while membership rarely moves,
@@ -180,6 +196,11 @@ class AvailabilityIndex:
 
     # -- wiring ------------------------------------------------------------
 
+    @property
+    def partition_index(self) -> PartitionIndex:
+        """The dense slot space the vector reads are addressed in."""
+        return self._partitions
+
     def bind(self, catalog) -> None:
         """Subscribe to ``catalog`` and bootstrap from its current state."""
         self._catalog = catalog
@@ -189,16 +210,66 @@ class AvailabilityIndex:
     def rebuild(self, catalog) -> None:
         """Recompute every partition's pair sum from catalog state."""
         self._contrib = {}
-        self._avail = {
-            pid: availability(self._cloud, catalog.servers_of(pid))
-            for pid in catalog.partitions()
-        }
+        slot_of = self._partitions.slot_of
+        pairs = []
+        for pid in catalog.partitions():
+            servers = catalog.servers_of(pid)
+            pairs.append(
+                (slot_of(pid), availability(self._cloud, servers),
+                 len(servers))
+            )
+        self._avail = np.zeros(len(self._partitions), dtype=np.float64)
+        self._counts = np.zeros(len(self._partitions), dtype=np.int64)
+        for slot, avail, count in pairs:
+            self._avail[slot] = avail
+            self._counts[slot] = count
+
+    def _slot(self, pid) -> int:
+        """The partition's slot, with the vectors grown to cover it."""
+        slot = self._partitions.slot_of(pid)
+        if slot >= self._avail.size:
+            grown = max(64, 2 * self._avail.size, slot + 1)
+            avail = np.zeros(grown, dtype=np.float64)
+            avail[: self._avail.size] = self._avail
+            counts = np.zeros(grown, dtype=np.int64)
+            counts[: self._counts.size] = self._counts
+            self._avail = avail
+            self._counts = counts
+        return slot
 
     # -- queries -----------------------------------------------------------
 
     def availability_of(self, pid) -> float:
         """Cached eq. 2 availability (0.0 for unknown / lost partitions)."""
-        return self._avail.get(pid, 0.0)
+        slot = self._partitions.get(pid)
+        if slot is None or slot >= self._avail.size:
+            return 0.0
+        return float(self._avail[slot])
+
+    def availability_at(self, slots: np.ndarray) -> np.ndarray:
+        """Eq. 2 availability gathered at index ``slots`` (0.0 unknown)."""
+        return gather_float(self._avail, slots)
+
+    def replica_counts_at(self, slots: np.ndarray) -> np.ndarray:
+        """Catalog replica counts gathered at index ``slots`` (0 unknown).
+
+        Mirrors ``catalog.replica_count(pid)`` — all replicas, live or
+        not — maintained from the same membership events as the pair
+        sums, so metrics collection reads one vector instead of P
+        catalog lookups.
+        """
+        return gather_int(self._counts, slots)
+
+    def invalidate_contribution(self, pid) -> None:
+        """Drop the pair-term memo for one partition.
+
+        The decision pass calls this when it *queues* a membership
+        change for ``pid`` into a deferred transfer batch: the catalog
+        event that would clear the memo only fires at commit, but later
+        suicide prechecks within the same pass already reason over the
+        post-queue replica set.
+        """
+        self._contrib.pop(pid, None)
 
     def contribution(self, pid, server_id: int,
                      servers: Sequence[int]) -> float:
@@ -251,22 +322,26 @@ class AvailabilityIndex:
         gain = 0.0
         if others:
             gain = pair_gain(self._cloud, others, server_id)
-        self._avail[pid] = self._avail.get(pid, 0.0) + gain
+        slot = self._slot(pid)
+        self._avail[slot] = self._avail[slot] + gain
+        self._counts[slot] = len(servers)
 
     def replica_removed(self, pid, server_id: int,
                         servers: Sequence[int]) -> None:
         self._contrib.pop(pid, None)
+        slot = self._slot(pid)
+        self._counts[slot] = len(servers)
         if not servers:
-            self._avail.pop(pid, None)
+            self._avail[slot] = 0.0
             return
         if server_id in self._cloud and self._cloud.server(server_id).alive:
             loss = pair_gain(self._cloud, servers, server_id)
         else:
             # The server is gone from the cloud (death path without the
             # bulk drop): its pair terms cannot be derived, recompute.
-            self._avail[pid] = availability(self._cloud, servers)
+            self._avail[slot] = availability(self._cloud, servers)
             return
-        self._avail[pid] = self._avail.get(pid, 0.0) - loss
+        self._avail[slot] = self._avail[slot] - loss
 
     def server_dropped(self, server_id: int, lost: Sequence) -> None:
         # The dead server's diversity row left the cloud with it, so its
@@ -277,10 +352,12 @@ class AvailabilityIndex:
         for pid in lost:
             self._contrib.pop(pid, None)
             servers = catalog.servers_of(pid) if catalog is not None else ()
+            slot = self._slot(pid)
+            self._counts[slot] = len(servers)
             if servers:
-                self._avail[pid] = availability(self._cloud, servers)
+                self._avail[slot] = availability(self._cloud, servers)
             else:
-                self._avail.pop(pid, None)
+                self._avail[slot] = 0.0
 
     def storage_changed(self, server_id: int, delta: int) -> None:
         """Byte accounting is irrelevant to eq. 2 — no-op."""
@@ -293,11 +370,19 @@ class AvailabilityIndex:
         if contrib is not None:
             self._contrib[low] = dict(contrib)
             self._contrib[high] = dict(contrib)
-        inherited = self._avail.pop(parent, None)
-        if inherited is None:
-            return
-        self._avail[low] = inherited
-        self._avail[high] = inherited
+        n = len(servers)
+        parent_slot = self._partitions.get(parent)
+        known = parent_slot is not None and parent_slot < self._avail.size
+        inherited = float(self._avail[parent_slot]) if known else 0.0
+        if known:
+            self._avail[parent_slot] = 0.0
+            self._counts[parent_slot] = 0
+        low_slot = self._slot(low)
+        self._avail[low_slot] = inherited
+        self._counts[low_slot] = n
+        high_slot = self._slot(high)
+        self._avail[high_slot] = inherited
+        self._counts[high_slot] = n
 
 
 def diversity_histogram(cloud: Cloud, server_ids: Sequence[int]

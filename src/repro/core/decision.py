@@ -32,7 +32,12 @@ from repro.core.availability import AvailabilityIndex, availability, pair_gain
 from repro.core.board import PriceBoard
 from repro.core.economy import RentModel
 from repro.core.placement import PlacementScorer
-from repro.ring.partition import Partition, PartitionId
+from repro.ring.partition import (
+    Partition,
+    PartitionId,
+    gather_float,
+    gather_int,
+)
 from repro.ring.virtualring import RingSet
 from repro.store.consistency import DEFAULT_CONSISTENCY, ConsistencyModel
 from repro.store.replica import ReplicaCatalog
@@ -142,14 +147,20 @@ class _FlatState:
     parallel per-replica arrays, in catalog placement order, restricted
     to live servers.  ``rep_rows`` are the owning agents' ledger rows
     (−1 where the registry rows could not be aligned with the catalog's
-    member order; ``aligned[p]`` aggregates that per partition).  Valid
-    while the (catalog, registry, cloud) version key holds — i.e. until
-    any membership mutation — so steady-state epochs reuse it whole.
+    member order; ``aligned[p]`` aggregates that per partition).
+    ``pid_slots[p]`` is segment ``p``'s dense
+    :class:`~repro.ring.partition.PartitionIndex` slot and
+    ``seg_by_slot`` the inverse scatter (−1 for unrepresented slots), so
+    per-partition vectors (query counts, availability) gather straight
+    into segment order.  Valid while the (catalog, registry, cloud)
+    version key holds — i.e. until any membership mutation — so
+    steady-state epochs reuse it whole.
     """
 
     key: Tuple[int, int, int]
     pids: List[PartitionId]
-    pid_seg: Dict[PartitionId, int]
+    pid_slots: np.ndarray
+    seg_by_slot: np.ndarray
     offsets: np.ndarray
     counts: np.ndarray
     rep_slots: np.ndarray
@@ -202,6 +213,8 @@ class DecisionEngine:
             Tuple[object, List[Tuple[Partition, float]],
                   Dict[PartitionId, float]]
         ] = None
+        self._work_slots_cache: Optional[np.ndarray] = None
+        self._thr_by_slot_cache: Optional[np.ndarray] = None
         self._conf_cache: Optional[Tuple[int, np.ndarray]] = None
         #: Per-slot query totals of the last batched settlement and the
         #: cloud version they were computed under — the eq. 1 query-load
@@ -298,7 +311,9 @@ class DecisionEngine:
         n_all = len(view.server_ids)
         if not n_slots or not n_all:
             flat = _FlatState(
-                key=key, pids=[], pid_seg={},
+                key=key, pids=[],
+                pid_slots=np.zeros(0, dtype=np.intp),
+                seg_by_slot=np.zeros(0, dtype=np.intp),
                 offsets=np.zeros(1, dtype=np.intp),
                 counts=np.zeros(0, dtype=np.intp),
                 rep_slots=np.zeros(0, dtype=np.intp),
@@ -312,10 +327,7 @@ class DecisionEngine:
         max_id = max(ids)
         id_to_slot = np.full(max_id + 2, -1, dtype=np.int64)
         id_to_slot[np.asarray(ids, dtype=np.int64)] = np.arange(n_slots)
-        alive = np.fromiter(
-            (cloud.server(sid).alive for sid in ids), dtype=bool,
-            count=n_slots,
-        )
+        alive = cloud.alive_vector()
         sids_all = np.asarray(view.server_ids, dtype=np.int64)
         slots_all = id_to_slot[np.minimum(sids_all, max_id + 1)]
         known = slots_all >= 0
@@ -323,24 +335,16 @@ class DecisionEngine:
         offsets_all = np.asarray(view.offsets, dtype=np.intp)
         counts_all = np.diff(offsets_all)
         kept = np.add.reduceat(live_rep.astype(np.intp), offsets_all[:-1])
-        # Registry ledger rows aligned with the catalog's member order
-        # (mutations mirror 1:1, so the per-partition agent list
-        # normally matches placement order; any mismatch is verified
-        # below and routed to the keyed fallback).
-        rows_all = np.empty(n_all, dtype=np.intp)
-        aligned_all = np.ones(len(counts_all), dtype=bool)
-        agents_of = self._registry.agents_of
-        counts_list = counts_all.tolist()
-        pos = 0
-        for i, pid in enumerate(view.pids):
-            n = counts_list[i]
-            agents = agents_of(pid)
-            if len(agents) == n:
-                rows_all[pos:pos + n] = [a.row for a in agents]
-            else:
-                rows_all[pos:pos + n] = -1
-                aligned_all[i] = False
-            pos += n
+        # Registry ledger rows aligned with the catalog's member order.
+        # Rows carry their partition's dense index slot and a
+        # spawn/rehome sequence, so the alignment is reconstructed in
+        # row space — one lexsort plus block gathers, no Python
+        # iteration per partition.  Any segment whose row block cannot
+        # be matched 1:1 (and, below, any row whose server disagrees
+        # with the catalog) is routed to the keyed fallback.
+        rows_all, aligned_all, cat_slots = self._aligned_rows(
+            view, offsets_all, counts_all, n_all
+        )
         sid_of_row = self._registry.ledger.server_id_vector()
         valid = rows_all >= 0
         row_sid = np.where(
@@ -361,10 +365,23 @@ class DecisionEngine:
         np.cumsum(counts, out=offsets[1:])
         aligned = part_ok[live_part]
         rows = np.where(rep_ok, rows_all, -1)
+        if self._index is not None:
+            pindex = self._index.partition_index
+            pid_slots = (
+                cat_slots[live_part].astype(np.intp)
+                if cat_slots is not None
+                else pindex.slots_of(pids)
+            )
+            seg_by_slot = np.full(len(pindex), -1, dtype=np.intp)
+            seg_by_slot[pid_slots] = np.arange(len(pids), dtype=np.intp)
+        else:
+            pid_slots = np.zeros(0, dtype=np.intp)
+            seg_by_slot = np.zeros(0, dtype=np.intp)
         flat = _FlatState(
             key=key,
             pids=pids,
-            pid_seg={pid: i for i, pid in enumerate(pids)},
+            pid_slots=pid_slots,
+            seg_by_slot=seg_by_slot,
             offsets=offsets,
             counts=counts,
             rep_slots=slots_all[live_rep],
@@ -376,6 +393,75 @@ class DecisionEngine:
         )
         self._flat_cache = flat
         return flat
+
+    def _aligned_rows(self, view, offsets_all: np.ndarray,
+                      counts_all: np.ndarray, n_all: int
+                      ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Ledger rows in catalog replica order, plus per-segment flags
+        (and, on the vectorized path, every catalog pid's index slot).
+
+        Vectorized path: live rows sorted by (partition slot, spawn
+        sequence) form contiguous per-partition blocks whose internal
+        order mirrors the catalog's placement order (spawn appends,
+        rehome re-sequences to the end — the same mutations, in the
+        same order, the catalog's member lists saw).  Each catalog
+        segment then gathers its block by slot; a block whose length
+        disagrees with the catalog is flagged misaligned (−1 rows).
+        The slow path — one Python lookup per partition over the
+        registry's row mirror — serves registries without a shared
+        partition index.
+        """
+        registry = self._registry
+        pindex = (
+            self._index.partition_index if self._index is not None else None
+        )
+        if pindex is not None and registry.partition_index is pindex:
+            ledger = registry.ledger
+            slot_rows = ledger.pid_slot_vector()
+            live = np.flatnonzero(slot_rows >= 0)
+            aligned_all = np.ones(len(counts_all), dtype=bool)
+            rows_all = np.full(n_all, -1, dtype=np.intp)
+            cat_slots = pindex.slots_of(view.pids)
+            if len(live):
+                order = live[np.lexsort(
+                    (ledger.seq_vector()[live], slot_rows[live])
+                )]
+                blocks = slot_rows[order]
+                starts = np.flatnonzero(
+                    np.r_[True, blocks[1:] != blocks[:-1]]
+                )
+                lens = np.diff(np.r_[starts, len(blocks)])
+                uniq = blocks[starts]
+                pos = np.searchsorted(uniq, cat_slots)
+                pos_c = np.minimum(pos, len(uniq) - 1)
+                has = uniq[pos_c] == cat_slots
+                seg_ok = has & (lens[pos_c] == counts_all)
+                aligned_all &= seg_ok
+                if seg_ok.any():
+                    base = np.where(seg_ok, starts[pos_c], 0)
+                    within = (
+                        np.arange(n_all, dtype=np.intp)
+                        - np.repeat(offsets_all[:-1], counts_all)
+                    )
+                    take = np.repeat(base, counts_all) + within
+                    ok_rep = np.repeat(seg_ok, counts_all)
+                    rows_all[ok_rep] = order[take[ok_rep]]
+            return rows_all, aligned_all, cat_slots
+        rows_all = np.empty(n_all, dtype=np.intp)
+        aligned_all = np.ones(len(counts_all), dtype=bool)
+        rows_of = registry.rows_of
+        counts_list = counts_all.tolist()
+        pos = 0
+        for i, pid in enumerate(view.pids):
+            n = counts_list[i]
+            rows = rows_of(pid)
+            if rows is not None and len(rows) == n:
+                rows_all[pos:pos + n] = rows
+            else:
+                rows_all[pos:pos + n] = -1
+                aligned_all[i] = False
+            pos += n
+        return rows_all, aligned_all, None
 
     def _settle_batched(self, load: EpochLoad, board: PriceBoard,
                         g_of_app: Optional[Dict[int, np.ndarray]] = None
@@ -406,11 +492,19 @@ class DecisionEngine:
         if not n_rep:
             return
 
-        queries_for = load.queries_for
-        q_part = np.fromiter(
-            (queries_for(pid) for pid in flat.pids), dtype=np.float64,
-            count=n_parts,
-        )
+        if (
+            self._index is not None
+            and load.index is self._index.partition_index
+        ):
+            # Dense path: the load's counts live in the same slot space
+            # as the flat state — one gather replaces P dict lookups.
+            q_part = load.counts_at(flat.pid_slots).astype(np.float64)
+        else:
+            queries_for = load.queries_for
+            q_part = np.fromiter(
+                (queries_for(pid) for pid in flat.pids), dtype=np.float64,
+                count=n_parts,
+            )
         counts = flat.counts
         q_rep = np.repeat(q_part, counts)
         count_rep = np.repeat(counts.astype(np.float64), counts)
@@ -510,20 +604,36 @@ class DecisionEngine:
         # streaked agent fails the same suicide/migration precheck the
         # inline loop applies — which depends solely on that partition's
         # own membership and the epoch-static price board, so actions on
-        # earlier-visited partitions cannot invalidate the mask.
-        seg_of, visit = self._build_triage(board, thresholds)
-        for idx in order:
+        # earlier-visited partitions cannot invalidate the mask.  The
+        # mask is applied to the permutation as one vector filter, so
+        # the Python loop below only ever touches partitions that act
+        # (or whose incidence could not be verified).
+        flat, visit = self._build_triage(board)
+        if visit.size:
+            seg_of_work = gather_int(
+                flat.seg_by_slot, self._work_slots(), fill=-1
+            )
+            visit_work = np.where(
+                seg_of_work >= 0, visit[np.maximum(seg_of_work, 0)], True
+            )
+            order = order[visit_work[order]]
+        # Every §II-C action of the pass queues into one shared transfer
+        # batch: its pending-resource mirrors are the pass's shared
+        # budget/storage vectors (each intent sees real state minus all
+        # earlier intents — exactly what an immediate executor would
+        # see), and the single commit applies the epoch's transfers as
+        # one grouped application.
+        batch = self._transfers.open_batch()
+        for idx in order.tolist():
             partition, threshold = work[idx]
-            pid = partition.pid
-            seg = seg_of.get(pid)
-            if seg is not None and not visit[seg]:
-                continue
             g_vec = None
             if g_of_app is not None:
-                g_vec = g_of_app.get(pid.app_id)
+                g_vec = g_of_app.get(partition.pid.app_id)
             self._decide_partition(
-                partition, threshold, board, scorer, load, g_vec, stats
+                partition, threshold, board, scorer, load, g_vec, stats,
+                batch,
             )
+        batch.commit()
         return stats
 
     def _work_list(self) -> Tuple[
@@ -551,7 +661,40 @@ class DecisionEngine:
                 work.append((partition, threshold))
                 thresholds[partition.pid] = threshold
         self._work_cache = (key, work, thresholds)
+        # Dense companions (vectorized kernel only): each work item's
+        # partition-index slot, and the thresholds scattered over the
+        # slot space (np.inf where no ring claims the slot — the same
+        # default the dict lookup applied).  Slots never change once
+        # assigned, so both stay valid for the cache's lifetime.
+        self._work_slots_cache = None
+        self._thr_by_slot_cache = None
         return work, thresholds
+
+    def _work_slots(self) -> np.ndarray:
+        """Partition-index slots of the cached work list, in order."""
+        cached = self._work_slots_cache
+        if cached is None:
+            work = self._work_cache[1]
+            cached = self._index.partition_index.slots_of(
+                [partition.pid for partition, __ in work]
+            )
+            self._work_slots_cache = cached
+        return cached
+
+    def _thresholds_by_slot(self) -> np.ndarray:
+        """Ring thresholds scattered over the partition-index slots."""
+        cached = self._thr_by_slot_cache
+        if cached is None:
+            thresholds = self._work_cache[2]
+            slots = self._work_slots()
+            pindex = self._index.partition_index
+            cached = np.full(len(pindex), np.inf, dtype=np.float64)
+            cached[slots] = np.fromiter(
+                (thr for __, thr in self._work_cache[1]),
+                dtype=np.float64, count=len(thresholds),
+            )
+            self._thr_by_slot_cache = cached
+        return cached
 
     def _confidence_vector(self) -> np.ndarray:
         cached = self._conf_cache
@@ -594,9 +737,8 @@ class DecisionEngine:
             contrib[idx] = conf_r * pair.sum(axis=2)
         return contrib
 
-    def _build_triage(self, board: PriceBoard,
-                      thresholds: Dict[PartitionId, float]
-                      ) -> Tuple[Dict[PartitionId, int], List[bool]]:
+    def _build_triage(self, board: PriceBoard
+                      ) -> Tuple[_FlatState, np.ndarray]:
         """Per-partition visit mask for the §II-C pass (one array pass).
 
         Reproduces, vectorized, exactly the checks the inline loop runs
@@ -605,19 +747,16 @@ class DecisionEngine:
         threshold`` and the migration floor ``price · (1 − margin) >
         min_price``.  Partitions whose replicas all land in "no action"
         (and whose SLA holds) are skipped without touching their agents.
+        Availability and thresholds are gathered from the dense
+        partition-index stores — no per-partition Python lookups.
         """
         flat = self._flat_state()
         if not flat.pids:
-            return {}, []
+            return flat, np.zeros(0, dtype=bool)
         index = self._index
-        n_parts = len(flat.pids)
-        avail = np.fromiter(
-            (index.availability_of(pid) for pid in flat.pids),
-            dtype=np.float64, count=n_parts,
-        )
-        thr = np.fromiter(
-            (thresholds.get(pid, np.inf) for pid in flat.pids),
-            dtype=np.float64, count=n_parts,
+        avail = index.availability_at(flat.pid_slots)
+        thr = gather_float(
+            self._thresholds_by_slot(), flat.pid_slots, fill=np.inf
         )
         window = self._registry.window
         neg_run, pos_run = self._registry.ledger.streak_run_vectors()
@@ -645,7 +784,7 @@ class DecisionEngine:
             act_rep = pos_rep
         any_act = np.logical_or.reduceat(act_rep, offsets)
         visit = (avail < thr) | any_act | ~flat.aligned
-        return flat.pid_seg, visit.tolist()
+        return flat, visit
 
     def _make_scorer(self, board: PriceBoard) -> PlacementScorer:
         """Build the epoch's placement scorer; ablations override this."""
@@ -699,7 +838,8 @@ class DecisionEngine:
     def _decide_partition(self, partition: Partition, threshold: float,
                           board: PriceBoard, scorer: PlacementScorer,
                           load: EpochLoad, g_vec: Optional[np.ndarray],
-                          stats: DecisionStats) -> None:
+                          stats: DecisionStats,
+                          batch=None) -> None:
         pid = partition.pid
         # ``servers`` is threaded through the action helpers below and
         # kept an exact mirror of the catalog's (live) replica list, so
@@ -720,7 +860,8 @@ class DecisionEngine:
         avail = self._avail_of(pid, servers)
         if avail < threshold:
             self._repair(
-                partition, threshold, avail, scorer, g_vec, stats, servers
+                partition, threshold, avail, scorer, g_vec, stats, servers,
+                batch,
             )
             return
         # Availability satisfied: each agent optimises its own cost.
@@ -740,12 +881,15 @@ class DecisionEngine:
         # epoch's minimum rent to migrate — that triple check is the
         # epoch kernel's innermost loop, so it runs without the helper
         # call; :meth:`_shed` re-derives the same (memoised) quantities
-        # on the rare action path.
-        index = self._index
+        # on the rare action path.  Availability is threaded *locally*
+        # through the helpers (mirroring the exact eq. 2 deltas the
+        # deferred batch will apply at commit) because the shared
+        # batch's catalog mutations are not visible to the index until
+        # the pass ends.
         one_minus_margin = 1.0 - self._policy.migration_margin
         min_price = board.min_price()
         price = board.price
-        contribution = index.contribution
+        contribution = self._index.contribution
         # O(1) streak reads: the ledger keeps the flag lists current
         # through every record/reset/spawn/retire, so indexing them is
         # the same boolean the ``negative_streak``/``positive_streak``
@@ -763,13 +907,13 @@ class DecisionEngine:
                     # cheaper host to exist at all.
                     if price(sid) * one_minus_margin <= min_price:
                         continue
-                self._shed(partition, threshold, agent, board, scorer,
-                           g_vec, stats, servers)
-                avail = index.availability_of(pid)
+                avail = self._shed(partition, threshold, agent, board,
+                                   scorer, g_vec, stats, servers,
+                                   avail=avail, batch=batch)
             elif pos_flags[row]:
-                self._expand(partition, agent, board, scorer, load,
-                             g_vec, stats, servers)
-                avail = index.availability_of(pid)
+                avail = self._expand(partition, agent, board, scorer, load,
+                                     g_vec, stats, servers,
+                                     avail=avail, batch=batch)
 
     def _pick_source(self, servers: Sequence[int], nbytes: int,
                      batch=None) -> Optional[int]:
@@ -796,17 +940,18 @@ class DecisionEngine:
 
     def _repair(self, partition: Partition, threshold: float, avail: float,
                 scorer: PlacementScorer, g_vec: Optional[np.ndarray],
-                stats: DecisionStats, servers: List[int]) -> None:
+                stats: DecisionStats, servers: List[int],
+                batch=None) -> None:
         """Replicate until the SLA is met (bounded per epoch).
 
-        The vectorized kernel queues the whole repair chain as one
-        :class:`~repro.store.transfer.TransferBatch` — feasibility is
-        checked against the batch's exact pending mirrors, the chain's
-        availability is advanced with the same ``pair_gain`` expression
-        the catalog listener applies at execution, and the queued
-        transfers then run as one grouped application.  Decisions,
-        stats and post-commit state are identical to the one-at-a-time
-        reference path.
+        The vectorized kernel queues the repair chain into the decision
+        pass's shared :class:`~repro.store.transfer.TransferBatch` —
+        feasibility is checked against the batch's exact pending
+        mirrors, the chain's availability is advanced with the same
+        ``pair_gain`` expression the catalog listener applies at
+        execution, and the whole pass's transfers then run as one
+        grouped application.  Decisions, stats and post-commit state
+        are identical to the one-at-a-time reference path.
         """
         pid = partition.pid
         if self._index is None:
@@ -845,7 +990,6 @@ class DecisionEngine:
             if avail < threshold:
                 stats.unsatisfied_partitions += 1
             return
-        batch = self._transfers.open_batch()
         satisfied = False
         for __ in range(self._policy.repair_iterations):
             if avail >= threshold:
@@ -855,7 +999,6 @@ class DecisionEngine:
             if source is None:
                 stats.deferred += 1
                 stats.unsatisfied_partitions += 1
-                batch.commit()
                 return
             candidate = scorer.best(
                 servers, need_bytes=partition.size, g=g_vec,
@@ -864,7 +1007,6 @@ class DecisionEngine:
             )
             if candidate is None:
                 stats.unsatisfied_partitions += 1
-                batch.commit()
                 return
             blocked = batch.add_replication(
                 partition, source, candidate.server_id
@@ -872,7 +1014,6 @@ class DecisionEngine:
             if blocked is not None:
                 stats.deferred += 1
                 stats.unsatisfied_partitions += 1
-                batch.commit()
                 return
             scorer.consume_budget(
                 candidate.server_id, partition.size, "replication"
@@ -887,29 +1028,43 @@ class DecisionEngine:
             )
             servers.append(candidate.server_id)
             stats.repairs += 1
-        batch.commit()
         if not satisfied and avail < threshold:
             stats.unsatisfied_partitions += 1
 
     def _shed(self, partition: Partition, threshold: float,
               agent: VNodeAgent, board: PriceBoard,
               scorer: PlacementScorer, g_vec: Optional[np.ndarray],
-              stats: DecisionStats, servers: List[int]) -> None:
-        """Negative streak: suicide if safe, else migrate somewhere cheaper."""
+              stats: DecisionStats, servers: List[int],
+              avail: float = 0.0, batch=None) -> float:
+        """Negative streak: suicide if safe, else migrate somewhere cheaper.
+
+        Under the vectorized kernel the caller threads the partition's
+        current eq. 2 availability through ``avail`` (the shared batch
+        defers catalog commits, so the index would read stale sums
+        mid-pass); the return value is the availability after whatever
+        action was taken, advanced with the exact pair-term deltas the
+        batch's commit will apply.  The scalar reference ignores both.
+        """
         pid = partition.pid
         if self._index is None:
             # Reference kernel: per-agent rebuild, as pre-refactor.
             servers = self._live_replicas(pid)
-        if agent.server_id not in servers:
-            return
-        remaining = self._avail_without(pid, servers, agent.server_id)
+            if agent.server_id not in servers:
+                return avail
+            remaining = self._avail_without(pid, servers, agent.server_id)
+        else:
+            if agent.server_id not in servers:
+                return avail
+            remaining = avail - self._index.contribution(
+                pid, agent.server_id, servers
+            )
         if remaining >= threshold:
             self._transfers.suicide(partition, agent.server_id)
             self._registry.retire(pid, agent.server_id)
             scorer.release_storage(agent.server_id, partition.size)
             servers.remove(agent.server_id)
             stats.suicides += 1
-            return
+            return remaining
         # Require a *meaningfully* cheaper host.  At equilibrium, posted
         # prices differ only by small usage terms; without this margin
         # every vnode above the epoch's minimum price migrates forever,
@@ -924,7 +1079,7 @@ class DecisionEngine:
         if rent_cap <= min_price:
             # No server can be priced below the cap — skip the scoring
             # pass entirely (this is where cold vnodes settle).
-            return
+            return avail
         # A partition larger than the migration budget can never move on
         # that budget (the paper's own parameters allow this: 256 MB
         # partitions vs 100 MB/epoch migration).  With the policy flag
@@ -951,37 +1106,66 @@ class DecisionEngine:
             ),
         )
         if candidate is None:
-            return
+            return avail
         if budget_kind == "migration":
             if self._index is not None:
-                # Vectorized kernel: route the move through the intent
-                # batch — a single-intent batch's mirrors equal the
-                # live state, so outcomes (and deferred/failure stats)
-                # are identical to the immediate call, and the grouped
-                # commit lands before any subsequent state read.
-                batch = self._transfers.open_batch()
+                # Vectorized kernel: queue the move into the pass's
+                # shared intent batch — the mirrors make its checks
+                # (and deferred/failure stats) identical to an
+                # immediate call, and the grouped commit applies it
+                # before the next state read outside the pass.
                 blocked = batch.add_migration(
                     partition, agent.server_id, candidate.server_id
                 )
                 if blocked is not None:
                     stats.deferred += 1
-                    return
-                batch.commit()
+                    return avail
+                # Local eq. 2 ledger: add dst against the pre-move set,
+                # then remove src against the post-move set — the exact
+                # deltas (and operand order) the catalog listener
+                # applies when the queued move commits.
+                self._index.invalidate_contribution(pid)
+                avail = avail + pair_gain(
+                    self._cloud, servers, candidate.server_id
+                )
+                avail = avail - pair_gain(
+                    self._cloud, others + [candidate.server_id],
+                    agent.server_id,
+                )
             else:
                 result = self._transfers.migrate(
                     partition, agent.server_id, candidate.server_id
                 )
                 if not result.ok:
                     stats.deferred += 1
-                    return
+                    return avail
         else:
-            result = self._transfers.replicate(
-                partition, agent.server_id, candidate.server_id
-            )
-            if not result.ok:
-                stats.deferred += 1
-                return
-            self._transfers.suicide(partition, agent.server_id)
+            if self._index is not None:
+                blocked = batch.add_replication(
+                    partition, agent.server_id, candidate.server_id
+                )
+                if blocked is not None:
+                    stats.deferred += 1
+                    return avail
+                # The source copy dies now (its catalog event fires
+                # immediately); the queued destination copy lands at
+                # commit.  Mirror that chronology on the local sum.
+                self._index.invalidate_contribution(pid)
+                self._transfers.suicide(partition, agent.server_id)
+                avail = avail - pair_gain(
+                    self._cloud, others, agent.server_id
+                )
+                avail = avail + pair_gain(
+                    self._cloud, others, candidate.server_id
+                )
+            else:
+                result = self._transfers.replicate(
+                    partition, agent.server_id, candidate.server_id
+                )
+                if not result.ok:
+                    stats.deferred += 1
+                    return avail
+                self._transfers.suicide(partition, agent.server_id)
         scorer.consume_budget(
             candidate.server_id, partition.size, budget_kind
         )
@@ -992,19 +1176,26 @@ class DecisionEngine:
         servers.append(candidate.server_id)
         self._registry.rehome(pid, agent.server_id, candidate.server_id)
         stats.migrations += 1
+        return avail
 
     def _expand(self, partition: Partition, agent: VNodeAgent,
                 board: PriceBoard, scorer: PlacementScorer,
                 load: EpochLoad, g_vec: Optional[np.ndarray],
-                stats: DecisionStats, servers: List[int]) -> None:
-        """Positive streak: replicate when popularity funds the new copy."""
+                stats: DecisionStats, servers: List[int],
+                avail: float = 0.0, batch=None) -> float:
+        """Positive streak: replicate when popularity funds the new copy.
+
+        Vectorized kernel: the transfer queues into the pass's shared
+        batch and the partition's availability is advanced locally (see
+        :meth:`_shed`); returns the post-action availability.
+        """
         pid = partition.pid
         if self._index is None:
             # Reference kernel: per-agent rebuild, as pre-refactor.
             servers = self._live_replicas(pid)
         n = len(servers)
         if self._policy.max_replicas is not None and n >= self._policy.max_replicas:
-            return
+            return avail
         queries = load.queries_for(pid)
         predicted_utility = (
             self._policy.revenue_per_query * queries / (n + 1)
@@ -1020,7 +1211,7 @@ class DecisionEngine:
             # epoch (anticipated rents only rise from the floor), so the
             # eq. 3 scoring pass is skipped — provably the same outcome
             # as scoring and then failing the funding test below.
-            return
+            return avail
         candidate = scorer.best(
             servers, need_bytes=partition.size, g=g_vec,
             budget="replication",
@@ -1030,7 +1221,7 @@ class DecisionEngine:
             ),
         )
         if candidate is None:
-            return
+            return avail
         # The candidate's rent will rise once this replica's bytes land
         # there (§II-C: "the potentially increased virtual rent of the
         # candidate server after replication").
@@ -1038,13 +1229,25 @@ class DecisionEngine:
             candidate.server_id, partition.size
         )
         if predicted_utility < predicted_rent + sync_cost:
-            return
-        result = self._transfers.replicate(
-            partition, agent.server_id, candidate.server_id
-        )
-        if not result.ok:
-            stats.deferred += 1
-            return
+            return avail
+        if self._index is not None:
+            blocked = batch.add_replication(
+                partition, agent.server_id, candidate.server_id
+            )
+            if blocked is not None:
+                stats.deferred += 1
+                return avail
+            self._index.invalidate_contribution(pid)
+            avail = avail + pair_gain(
+                self._cloud, servers, candidate.server_id
+            )
+        else:
+            result = self._transfers.replicate(
+                partition, agent.server_id, candidate.server_id
+            )
+            if not result.ok:
+                stats.deferred += 1
+                return avail
         scorer.consume_budget(
             candidate.server_id, partition.size, "replication"
         )
@@ -1053,3 +1256,4 @@ class DecisionEngine:
         agent.reset_history()
         servers.append(candidate.server_id)
         stats.economic_replications += 1
+        return avail

@@ -84,6 +84,32 @@ class Candidate:
     rent: float
 
 
+@dataclass
+class _Shortlist:
+    """Top-k eq. 3 candidates of one replica set (one epoch's scorer).
+
+    ``slots`` hold the k highest epoch-start scores in (score
+    descending, slot ascending) order; ``bound`` is the highest
+    epoch-start score of every *other* slot.  Anticipated rents only
+    rise within an epoch, so ``score0`` upper-bounds every slot's score
+    for the rest of the epoch — which is what makes the k-slot argmax
+    provably equal to the full scan whenever it strictly clears
+    ``bound``.
+    """
+
+    slots: np.ndarray
+    gain: np.ndarray
+    gain_g: np.ndarray
+    score0: np.ndarray
+    bound: float
+    g_id: int
+
+
+#: Sentinel returned by the shortlist fast path when the k-window
+#: cannot prove where the argmax lies (distinct from a proven None).
+_INCONCLUSIVE = object()
+
+
 class PlacementScorer:
     """Eq. 3 scorer bound to one epoch's cloud state and price board.
 
@@ -110,7 +136,8 @@ class PlacementScorer:
     def __init__(self, cloud: Cloud, board: PriceBoard,
                  rent_weight: float = 1.0,
                  storage_alpha: float = 1.0,
-                 epochs_per_month: int = 720) -> None:
+                 epochs_per_month: int = 720,
+                 shortlist_k: Optional[int] = None) -> None:
         if rent_weight < 0:
             raise PlacementError(
                 f"rent_weight must be >= 0, got {rent_weight}"
@@ -131,20 +158,14 @@ class PlacementScorer:
         self._rents = board.price_vector(self._ids)
         self._conf = cloud.confidence_vector()
         self._storage = cloud.storage_available_vector()
-        self._capacity = np.array(
-            [cloud.server(sid).storage_capacity for sid in self._ids],
-            dtype=np.int64,
+        # Static per-server terms come from the cloud's version-cached
+        # vectors; the division is one array op, bit-identical per
+        # entry to the scalar ``monthly_rent / epochs_per_month``.
+        self._capacity = cloud.capacity_vector()
+        self._usage_price = (
+            cloud.monthly_rent_vector() / float(epochs_per_month)
         )
-        self._usage_price = np.array(
-            [
-                cloud.server(sid).monthly_rent / epochs_per_month
-                for sid in self._ids
-            ],
-            dtype=np.float64,
-        )
-        self._alive = np.array(
-            [cloud.server(sid).alive for sid in self._ids], dtype=bool
-        )
+        self._alive = cloud.alive_vector()
         self._rent_weight = rent_weight
         self._storage_alpha = storage_alpha
         self._headroom: Dict[str, np.ndarray] = {}
@@ -154,18 +175,40 @@ class PlacementScorer:
         # snapshot are valid lower bounds for the whole epoch.
         self._rents0 = self._rents.copy()
         self._floor_cache: Dict[int, float] = {}
+        # Default k: a 64-slot window on big clouds, off entirely when
+        # the cloud is small enough that the full scan is already a
+        # handful of tiny array ops and the window bookkeeping would be
+        # pure overhead.  An explicit ``shortlist_k`` always wins
+        # (tests pin both behaviors; 0 disables).
+        if shortlist_k is None:
+            n = len(self._ids)
+            shortlist_k = 64 if n > 4 * 64 else 0
         # Cached feasibility masks: the alive/storage/budget mask of
         # :meth:`best` depends only on (need_bytes, budget kind,
-        # headroom) and the scorer's mutable storage/budget state, so
-        # it is cached per key and the whole cache is dropped whenever
-        # that state moves (consume_budget / release_storage — every
-        # surviving entry would be stale then anyway).  Within an epoch
-        # most ``best`` calls share one partition size and no
-        # intervening transfer — the pre-PR O(S) mask rebuild per call
-        # collapses to a dict hit.
+        # headroom) and the scorer's mutable storage/budget state.  It
+        # is cached per key; when that state moves (consume_budget /
+        # release_storage) only the touched server's slot is re-derived
+        # in each cached mask — a transfer invalidates one slot, not
+        # the cloud.  The pre-PR O(S) mask rebuild per ``best`` call
+        # collapses to a dict hit for the whole epoch.
         self._mask_cache: Dict[
             Tuple[int, Optional[str], float], np.ndarray
         ] = {}
+        # Top-k candidate shortlists per replica set (``cache_key``):
+        # eq. 3's argmax usually lands in the few dozen best-scored
+        # slots, so repeated ``best`` calls for the same set (expanding
+        # agents of a hot partition, repair waves re-scoring after
+        # earlier transfers) scan ~k slots instead of the whole cloud —
+        # with a full-scan fallback whenever the k-window cannot
+        # *prove* it contains the argmax.  0 disables the fast path.
+        self._shortlist_k = shortlist_k
+        self._shortlists: Dict[object, _Shortlist] = {}
+        # Keys seen exactly once: a shortlist is only built on a key's
+        # *second* call — repair chains mint a fresh key per iteration
+        # (the replica set grew), and paying an O(S) argpartition for a
+        # key that is never reused would slow the very storms the
+        # shortlist exists for.
+        self._shortlist_seen: set = set()
 
     @property
     def server_ids(self) -> List[int]:
@@ -243,6 +286,18 @@ class PlacementScorer:
                 f"{headroom_fraction}"
             )
         mask = self._feasible_mask(need_bytes, budget, headroom_fraction)
+        if cache_key is not None and self._shortlist_k > 0:
+            if (
+                cache_key in self._shortlists
+                or cache_key in self._shortlist_seen
+            ):
+                found = self._best_from_shortlist(
+                    replica_servers, mask, g, max_rent, exclude, cache_key
+                )
+                if found is not _INCONCLUSIVE:
+                    return found
+            else:
+                self._shortlist_seen.add(cache_key)
         if max_rent is not None:
             # The rent cap varies per caller (migration hunts under the
             # agent's own rent), so it stays out of the cached mask.
@@ -283,12 +338,100 @@ class PlacementScorer:
             rent=float(self._rents[idx]),
         )
 
+    def _shortlist_for(self, replica_servers: Sequence[int],
+                       g: Optional[np.ndarray],
+                       cache_key: object) -> _Shortlist:
+        """The replica set's top-k window, built on first use.
+
+        One O(S) scoring pass (sharing the cached eq. 3 gain) plus an
+        ``argpartition`` — amortised over every later ``best`` call for
+        the same set, which then reads k slots instead of S.
+        """
+        g_id = id(g) if g is not None else 0
+        sl = self._shortlists.get(cache_key)
+        if sl is not None and sl.g_id == g_id:
+            return sl
+        gain = self._diversity_gain(replica_servers, cache_key)
+        gain_g = gain * g if g is not None else gain
+        score0 = gain_g - self._rent_weight * self._rents0
+        n = len(score0)
+        k = self._shortlist_k
+        if n > k:
+            part = np.argpartition(-score0, k)
+            top = part[:k]
+            bound = float(score0[part[k:]].max())
+        else:
+            top = np.arange(n)
+            bound = -np.inf
+        # (score0 descending, slot ascending) — lexsort's last key is
+        # primary; the slot tie-break mirrors np.argmax's first-index
+        # rule on the slot-ordered full scan.
+        order = top[np.lexsort((top, -score0[top]))]
+        sl = _Shortlist(
+            slots=order,
+            gain=gain[order],
+            gain_g=gain_g[order],
+            score0=score0[order],
+            bound=bound,
+            g_id=g_id,
+        )
+        self._shortlists[cache_key] = sl
+        return sl
+
+    def _best_from_shortlist(self, replica_servers: Sequence[int],
+                             mask: np.ndarray,
+                             g: Optional[np.ndarray],
+                             max_rent: Optional[float],
+                             exclude: Sequence[int],
+                             cache_key: object):
+        """Eq. 3 argmax over the top-k window, or the inconclusive
+        sentinel when the window cannot *prove* it holds the argmax.
+
+        Soundness: anticipated rents only rise within an epoch, so
+        every slot outside the window scores at most ``bound`` (its
+        epoch-start score) for the rest of the epoch.  A feasible
+        window winner *strictly* above ``bound`` therefore beats every
+        outside slot — and ties inside the window resolve to the
+        lowest slot id, exactly np.argmax's first-index rule.  On a tie
+        *with* the bound, an outside slot could match the winner and
+        carry a lower slot id, so the full scan decides.  ``None`` is
+        never concluded here: an empty feasible window says nothing
+        about the other S − k slots.
+        """
+        sl = self._shortlist_for(replica_servers, g, cache_key)
+        slots = sl.slots
+        rents_k = self._rents[slots]
+        scores_k = sl.gain_g - self._rent_weight * rents_k
+        ok = mask[slots]
+        if max_rent is not None:
+            ok = ok & (rents_k < max_rent)
+        slot_of = self._slot_of
+        for sid in (*replica_servers, *exclude):
+            slot = slot_of.get(sid)
+            if slot is not None:
+                ok = ok & (slots != slot)
+        if not ok.any():
+            return _INCONCLUSIVE
+        masked = np.where(ok, scores_k, -np.inf)
+        best = float(masked.max())
+        if not best > sl.bound:
+            return _INCONCLUSIVE
+        winners = np.flatnonzero(masked == best)
+        pos = int(winners[np.argmin(slots[winners])])
+        return Candidate(
+            server_id=self._ids[int(slots[pos])],
+            score=best,
+            diversity_gain=float(sl.gain[pos]),
+            rent=float(rents_k[pos]),
+        )
+
     def _feasible_mask(self, need_bytes: int, budget: Optional[str],
                        headroom_fraction: float) -> np.ndarray:
         """Alive ∧ storage ∧ budget feasibility, cached per key.
 
-        Treat the returned array as read-only: it is shared across calls
-        until storage or budget state moves.
+        Treat the returned array as read-only: it is shared across
+        calls, with single-slot refreshes applied in place as storage
+        or budget state moves (:meth:`_refresh_masks`).
         """
         key = (need_bytes, budget, headroom_fraction)
         cached = self._mask_cache.get(key)
@@ -386,12 +529,41 @@ class PlacementScorer:
             headroom[idx] = max(headroom[idx] - nbytes, 0)
         self._storage[idx] = max(self._storage[idx] - nbytes, 0)
         self._rents[idx] += self.anticipated_rent_bump(server_id, nbytes)
-        self._mask_cache.clear()
+        self._refresh_masks(idx)
 
     def release_storage(self, server_id: int, nbytes: int) -> None:
         """Mirror freed bytes (migration source, suicide) into the cache."""
-        self._storage[self._slot(server_id)] += nbytes
-        self._mask_cache.clear()
+        idx = self._slot(server_id)
+        self._storage[idx] += nbytes
+        self._refresh_masks(idx)
+
+    def _refresh_masks(self, idx: int) -> None:
+        """Re-derive slot ``idx`` of every cached feasibility mask.
+
+        A transfer only moves one destination's (or source's) storage
+        and budget state, so the cached masks stay valid everywhere
+        else; each entry is recomputed with exactly the expressions
+        :meth:`_feasible_mask` evaluated — O(cached masks) per transfer
+        instead of an O(S) rebuild per later ``best`` call.
+        """
+        storage = int(self._storage[idx])
+        alive = bool(self._alive[idx])
+        for (need, budget, headroom_fraction), mask in (
+            self._mask_cache.items()
+        ):
+            ok = alive
+            if ok:
+                if headroom_fraction > 0.0:
+                    reserve = np.int64(
+                        self._capacity[idx] * headroom_fraction
+                    )
+                    ok = storage >= need + reserve
+                else:
+                    ok = storage >= need
+            if ok and budget is not None:
+                # The mask's construction built this headroom vector.
+                ok = bool(self._headroom[budget][idx] >= need)
+            mask[idx] = ok
 
     def _slot(self, server_id: int) -> int:
         try:

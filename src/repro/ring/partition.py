@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
 
 from repro.cluster.server import MB
 from repro.ring.keyspace import KeyRange
@@ -144,6 +146,92 @@ class Partition:
             f"{self.pid}[{self.key_range}] size={self.size} "
             f"pop={self.popularity:.4g}"
         )
+
+
+class PartitionIndex:
+    """Dense, never-reused integer slots for partition ids.
+
+    The 100×-scale epoch kernel keeps per-partition state (query
+    counts, eq. 2 availability, replica counts) in flat numpy vectors
+    instead of ``PartitionId``-keyed dicts; this index is the shared
+    slot space those vectors are addressed in.  Slots are handed out on
+    first sight and never reassigned — a partition that leaves the
+    catalog (split parent, lost data) keeps its slot, whose vector
+    entries simply decay to the "absent" value (0) — so index arrays
+    cached by consumers stay valid as the population grows.
+    """
+
+    __slots__ = ("_slots",)
+
+    def __init__(self) -> None:
+        self._slots: Dict[PartitionId, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, pid: PartitionId) -> bool:
+        return pid in self._slots
+
+    def slot_of(self, pid: PartitionId) -> int:
+        """The partition's dense slot, assigned on first sight."""
+        slot = self._slots.get(pid)
+        if slot is None:
+            slot = len(self._slots)
+            self._slots[pid] = slot
+        return slot
+
+    def get(self, pid: PartitionId) -> Optional[int]:
+        """The partition's slot, or None when it was never indexed."""
+        return self._slots.get(pid)
+
+    def items(self):
+        """(pid, slot) pairs in assignment order."""
+        return self._slots.items()
+
+    def slots_of(self, pids: Iterable[PartitionId]) -> np.ndarray:
+        """Slots for ``pids`` in order (assigning fresh ones as needed).
+
+        Callers cache the returned array against the identity of their
+        ``pids`` container — slots never change once assigned, so the
+        array stays valid until the pid list itself is rebuilt.
+        """
+        slot_of = self.slot_of
+        pids = list(pids)
+        return np.fromiter(
+            (slot_of(pid) for pid in pids), dtype=np.intp, count=len(pids)
+        )
+
+
+def _gather(values: np.ndarray, slots: np.ndarray, fill,
+            empty_dtype) -> np.ndarray:
+    """``values[slots]`` with out-of-range slots reading as ``fill``.
+
+    Per-partition vectors trail the :class:`PartitionIndex` they are
+    addressed in: a consumer holding slots assigned *after* a vector was
+    built (a split child indexed mid-epoch) must read the "absent"
+    value for them, exactly as the dict-backed path's ``.get(pid,
+    fill)`` did.  Negative slots (the codebase's "unknown" sentinel)
+    read as ``fill`` too.
+    """
+    if not values.size:
+        return np.full(len(slots), fill, dtype=empty_dtype)
+    out = values[np.clip(slots, 0, values.size - 1)]
+    oob = (slots < 0) | (slots >= values.size)
+    if oob.any():
+        out[oob] = fill
+    return out
+
+
+def gather_int(values: np.ndarray, slots: np.ndarray,
+               fill: int = 0) -> np.ndarray:
+    """Integer clip-and-fill gather (see :func:`_gather`)."""
+    return _gather(values, slots, fill, values.dtype)
+
+
+def gather_float(values: np.ndarray, slots: np.ndarray,
+                 fill: float = 0.0) -> np.ndarray:
+    """Float clip-and-fill gather (see :func:`_gather`)."""
+    return _gather(values, slots, fill, np.float64)
 
 
 class PartitionIdAllocator:

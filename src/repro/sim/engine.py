@@ -35,7 +35,7 @@ from repro.core.board import PriceBoard, update_board
 from repro.core.decision import DecisionEngine, DecisionStats, EconomicPolicy
 from repro.core.economy import CloudCostIndex, UsageTracker
 from repro.core.placement import proximity_weights
-from repro.ring.partition import PartitionId
+from repro.ring.partition import PartitionId, PartitionIndex
 from repro.ring.virtualring import AvailabilityLevel, RingSet
 from repro.sim.config import SimConfig
 from repro.sim.metrics import EpochFrame, MetricsLog
@@ -114,19 +114,29 @@ class Simulation:
         # The incremental eq. 2 cache is shared by the decision engine
         # and metrics collection (scalar kernel: both fall back to the
         # O(R²) recomputation the reference implementation performs).
+        # Its dense partition index is the shared slot space every
+        # per-partition vector (query counts, availability, replica
+        # counts) is addressed in.
         self.avail_index: Optional[AvailabilityIndex] = None
+        self.partition_index: Optional[PartitionIndex] = None
         # Vectorized eq. 1: slot-ordered cost vectors maintained by the
         # catalog listener replace the per-server Python pricing loop.
         # (Usage-normalised pricing needs per-server trailing means and
         # stays on the scalar path.)
         self.cost_index: Optional[CloudCostIndex] = None
         if config.kernel == "vectorized":
-            self.avail_index = AvailabilityIndex(self.cloud, self.catalog)
+            self.partition_index = PartitionIndex()
+            self.avail_index = AvailabilityIndex(
+                self.cloud, self.catalog, partitions=self.partition_index
+            )
             if not config.rent_model.normalize_by_usage:
                 self.cost_index = CloudCostIndex(
                     self.cloud, config.rent_model, self.catalog
                 )
-        self.registry = AgentRegistry(config.policy.hysteresis)
+        self.registry = AgentRegistry(
+            config.policy.hysteresis,
+            partition_index=self.partition_index,
+        )
         self.transfers = TransferEngine(self.cloud, self.catalog)
         self.board = PriceBoard()
         self.popularity = PopularityMap.pareto(
@@ -147,6 +157,7 @@ class Simulation:
             ],
             config.rate_profile,
             self.streams.workload,
+            partition_index=self.partition_index,
         )
         self.insert_workload: Optional[InsertWorkload] = None
         if config.inserts is not None:
@@ -184,7 +195,9 @@ class Simulation:
         self._g_dirty = True
         self._pids_of_apps: Dict[int, List[PartitionId]] = {}
         self._pids_versions: Optional[Tuple[int, ...]] = None
-        self._pids_of_rings: List[Tuple[Tuple[int, int], List[PartitionId]]] = []
+        self._pids_of_rings: List[
+            Tuple[Tuple[int, int], List[PartitionId], Optional[np.ndarray]]
+        ] = []
         self._ring_pids_versions: Optional[Tuple[int, ...]] = None
         self._epoch = 0
         self._seed_placement()
@@ -259,15 +272,21 @@ class Simulation:
         return self._pids_of_apps
 
     def _partitions_of_rings(self) -> List[
-        Tuple[Tuple[int, int], List[PartitionId]]
+        Tuple[Tuple[int, int], List[PartitionId], Optional[np.ndarray]]
     ]:
-        """Each ring's partition ids, cached per ring version."""
+        """Each ring's partition ids (and their dense partition-index
+        slots under the vectorized kernel), cached per ring version."""
         versions = self.rings.versions()
         if self._ring_pids_versions != versions:
-            self._pids_of_rings = [
-                ((ring.app_id, ring.ring_id), [p.pid for p in ring])
-                for ring in self.rings
-            ]
+            pindex = self.partition_index
+            entries = []
+            for ring in self.rings:
+                pids = [p.pid for p in ring]
+                slots = (
+                    pindex.slots_of(pids) if pindex is not None else None
+                )
+                entries.append(((ring.app_id, ring.ring_id), pids, slots))
+            self._pids_of_rings = entries
             self._ring_pids_versions = versions
         return self._pids_of_rings
 
@@ -422,29 +441,27 @@ class Simulation:
         # scalar reference kernel keeps the recomputation).
         index = self.avail_index
         queries_for = load.queries_for
-        replica_count = self.catalog.replica_count
         if index is not None:
             # Vectorized kernel: gather the per-ring series through
-            # numpy.  Counts and queries are exact integers and the
-            # availability values come from the same cache in the same
-            # ring order, so every aggregate is bit-identical to the
-            # scalar loop below.
-            availability_of = index.availability_of
-            for key, pids in self._partitions_of_rings():
+            # numpy from the maintained per-partition vectors (replica
+            # counts and eq. 2 sums from the availability store, query
+            # counts from the epoch load's dense vector).  Counts and
+            # queries are exact integers and the availability values
+            # come from the same cache in the same ring order, so every
+            # aggregate is bit-identical to the scalar loop below.
+            dense = load.index is self.partition_index
+            for key, pids, slots in self._partitions_of_rings():
                 n = len(pids)
-                counts = np.fromiter(
-                    (replica_count(pid) for pid in pids),
-                    dtype=np.int64, count=n,
-                )
-                queries = np.fromiter(
-                    (queries_for(pid) for pid in pids),
-                    dtype=np.int64, count=n,
-                )
+                counts = index.replica_counts_at(slots)
+                if dense:
+                    queries = load.counts_at(slots)
+                else:
+                    queries = np.fromiter(
+                        (queries_for(pid) for pid in pids),
+                        dtype=np.int64, count=n,
+                    )
                 placed = counts > 0
-                avails = np.fromiter(
-                    (availability_of(pid) for pid in pids),
-                    dtype=np.float64, count=n,
-                )[placed]
+                avails = index.availability_at(slots)[placed]
                 vnodes_per_ring[key] = int(counts.sum())
                 queries_per_ring[key] = float(queries[placed].sum())
                 avail_per_ring[key] = (

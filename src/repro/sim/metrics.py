@@ -7,6 +7,15 @@ virtual nodes per ring (Fig. 3), average query load per ring per server
 economic diagnostics (prices, actions, availability satisfaction) the
 ablation benches use.  :class:`MetricsLog` turns the frame stream into
 named series.
+
+The frame stream is the epoch kernels' equivalence contract: a seeded
+run must emit bit-identical frames under the vectorized and scalar
+kernels (``tests/integration/test_kernel_equivalence.py``).  Under the
+vectorized kernel every per-ring aggregate is gathered from the
+maintained per-partition vectors — the epoch load's dense query
+counts and the availability store's eq. 2 / replica-count vectors
+(``Simulation._collect``) — in the same ring order the scalar loop
+visits, which is what keeps the aggregates exact.
 """
 
 from __future__ import annotations

@@ -11,8 +11,11 @@ an agent responsible for one copy of one partition on one server.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.cluster.topology import Cloud
 from repro.ring.partition import Partition, PartitionId
@@ -68,13 +71,15 @@ class FlatReplicaView:
     ``pids[i]`` owns the replicas ``server_ids[offsets[i]:offsets[i+1]]``
     (placement order preserved); ``offsets`` has ``len(pids) + 1``
     entries.  The batched eq. 5 settlement consumes this layout directly
-    instead of performing per-replica dict lookups.
+    instead of performing per-replica dict lookups.  ``offsets`` and
+    ``server_ids`` are numpy arrays (treat as read-only) so consumers
+    index them without a tuple→array conversion per rebuild.
     """
 
     version: int
     pids: Tuple[PartitionId, ...]
-    offsets: Tuple[int, ...]
-    server_ids: Tuple[int, ...]
+    offsets: np.ndarray
+    server_ids: np.ndarray
 
 
 @dataclass(frozen=True, order=True)
@@ -137,18 +142,20 @@ class ReplicaCatalog:
         view = self._flat_view
         if view is not None and view.version == self._version:
             return view
-        pids: List[PartitionId] = []
-        offsets: List[int] = [0]
-        flat: List[int] = []
-        for pid, servers in self._servers_of.items():
-            pids.append(pid)
-            flat.extend(servers)
-            offsets.append(len(flat))
+        servers_of = self._servers_of
+        pids = tuple(servers_of.keys())
+        counts = np.fromiter(
+            (len(s) for s in servers_of.values()), dtype=np.intp,
+            count=len(pids),
+        )
+        offsets = np.zeros(len(pids) + 1, dtype=np.intp)
+        np.cumsum(counts, out=offsets[1:])
+        flat = list(itertools.chain.from_iterable(servers_of.values()))
         view = FlatReplicaView(
             version=self._version,
-            pids=tuple(pids),
-            offsets=tuple(offsets),
-            server_ids=tuple(flat),
+            pids=pids,
+            offsets=offsets,
+            server_ids=np.array(flat, dtype=np.int64),
         )
         self._flat_view = view
         return view

@@ -12,11 +12,11 @@ queries/epoch Slashdot peak).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.ring.partition import PartitionId
+from repro.ring.partition import PartitionId, PartitionIndex, gather_int
 from repro.workload.arrivals import PoissonArrivals, RateProfile
 from repro.workload.clients import ClientGeography, uniform_geography
 from repro.workload.popularity import PopularityMap
@@ -47,17 +47,79 @@ class ApplicationSpec:
             )
 
 
-@dataclass(frozen=True)
 class EpochLoad:
-    """One epoch's query demand: counts per partition, per application."""
+    """One epoch's query demand: counts per partition, per application.
 
-    epoch: int
-    total_queries: int
-    per_app: Dict[int, int]
-    per_partition: Dict[PartitionId, int]
+    The demand is held either as a ``PartitionId``-keyed dict (the
+    reference representation) or — when the drawing mix carries a
+    :class:`~repro.ring.partition.PartitionIndex` — as a dense
+    ``counts`` vector in that index's slot space, which the vectorized
+    epoch kernel gathers from directly instead of performing one dict
+    lookup per partition per epoch.  Both representations answer
+    :meth:`queries_for` with identical integers; :attr:`per_partition`
+    is materialised lazily from the vector when someone asks for it.
+    """
+
+    __slots__ = (
+        "epoch", "total_queries", "per_app", "_per_partition",
+        "_counts", "_index",
+    )
+
+    def __init__(self, epoch: int, total_queries: int,
+                 per_app: Dict[int, int],
+                 per_partition: Optional[Dict[PartitionId, int]] = None,
+                 *, counts: Optional[np.ndarray] = None,
+                 index: Optional[PartitionIndex] = None) -> None:
+        if per_partition is None and counts is None:
+            per_partition = {}
+        if (counts is None) != (index is None):
+            raise WorkloadError(
+                "dense counts and their partition index come together"
+            )
+        self.epoch = epoch
+        self.total_queries = total_queries
+        self.per_app = per_app
+        self._per_partition = per_partition
+        self._counts = counts
+        self._index = index
+
+    @property
+    def counts(self) -> Optional[np.ndarray]:
+        """Dense per-partition counts (read-only), or None."""
+        return self._counts
+
+    @property
+    def index(self) -> Optional[PartitionIndex]:
+        """The slot space :attr:`counts` is addressed in, or None."""
+        return self._index
+
+    @property
+    def per_partition(self) -> Dict[PartitionId, int]:
+        built = self._per_partition
+        if built is None:
+            counts = self._counts
+            built = {}
+            for pid, slot in self._index.items():
+                if slot < counts.size and counts[slot]:
+                    built[pid] = int(counts[slot])
+            self._per_partition = built
+        return built
 
     def queries_for(self, pid: PartitionId) -> int:
-        return self.per_partition.get(pid, 0)
+        counts = self._counts
+        if counts is not None:
+            slot = self._index.get(pid)
+            if slot is None or slot >= counts.size:
+                return 0
+            return int(counts[slot])
+        return self._per_partition.get(pid, 0)
+
+    def counts_at(self, slots: np.ndarray) -> Optional[np.ndarray]:
+        """Counts gathered at index ``slots`` (0 where unknown), or None
+        when this load was drawn without a dense vector."""
+        if self._counts is None:
+            return None
+        return gather_int(self._counts, slots)
 
 
 class WorkloadMix:
@@ -65,7 +127,8 @@ class WorkloadMix:
 
     def __init__(self, apps: Sequence[ApplicationSpec],
                  profile: RateProfile,
-                 rng: np.random.Generator) -> None:
+                 rng: np.random.Generator,
+                 partition_index: Optional[PartitionIndex] = None) -> None:
         if not apps:
             raise WorkloadError("need at least one application")
         ids = [a.app_id for a in apps]
@@ -80,10 +143,17 @@ class WorkloadMix:
         )
         self._arrivals = PoissonArrivals(profile, rng)
         self._rng = rng
+        # With a shared partition index, draws scatter straight into a
+        # dense count vector (the vectorized kernel's EpochLoad); the
+        # draw sequence itself is identical either way.
+        self._pindex = partition_index
         # Per-app popularity share vectors, cached while neither the
         # app's partition list (same object ⇒ same contents: the engine
         # rebuilds it only on splits) nor the popularity map changed.
         self._share_cache: Dict[int, Tuple[object, int, np.ndarray]] = {}
+        # Per-app dense-slot arrays, cached against the partition-list
+        # object identity (slots never change once assigned).
+        self._slot_cache: Dict[int, Tuple[object, np.ndarray]] = {}
 
     def app(self, app_id: int) -> ApplicationSpec:
         for spec in self.apps:
@@ -106,7 +176,11 @@ class WorkloadMix:
         total = self._arrivals.draw(epoch)
         app_counts = self._rng.multinomial(total, self._shares)
         per_app: Dict[int, int] = {}
-        per_partition: Dict[PartitionId, int] = {}
+        pindex = self._pindex
+        per_partition: Optional[Dict[PartitionId, int]] = (
+            None if pindex is not None else {}
+        )
+        drawn: List[Tuple[np.ndarray, np.ndarray]] = []
         for spec, count in zip(self.apps, app_counts.tolist()):
             per_app[spec.app_id] = int(count)
             if count == 0:
@@ -128,14 +202,31 @@ class WorkloadMix:
                 shares = popularity.shares(pids)
                 self._share_cache[spec.app_id] = (pids, pop_version, shares)
             counts = self._rng.multinomial(count, shares)
-            for pid, c in zip(pids, counts.tolist()):
-                if c:
-                    per_partition[pid] = per_partition.get(pid, 0) + int(c)
+            if per_partition is None:
+                slots = self._slot_cache.get(spec.app_id)
+                if slots is None or slots[0] is not pids:
+                    slots = (pids, pindex.slots_of(pids))
+                    self._slot_cache[spec.app_id] = slots
+                drawn.append((slots[1], counts))
+            else:
+                for pid, c in zip(pids, counts.tolist()):
+                    if c:
+                        per_partition[pid] = per_partition.get(pid, 0) + int(c)
+        dense: Optional[np.ndarray] = None
+        if pindex is not None:
+            # Apps own disjoint partition sets, so per-app scatters can
+            # never collide on a slot — plain fancy assignment adds the
+            # same integers the dict accumulation would.
+            dense = np.zeros(len(pindex), dtype=np.int64)
+            for slots_arr, counts in drawn:
+                dense[slots_arr] += counts
         return EpochLoad(
             epoch=epoch,
             total_queries=int(total),
             per_app=per_app,
             per_partition=per_partition,
+            counts=dense,
+            index=pindex,
         )
 
 

@@ -203,3 +203,94 @@ class TestIncrementalCaches:
         assert scorer.rent_of(2) == pytest.approx(0.3)
         with pytest.raises(PlacementError):
             scorer.rent_of(99)
+
+
+class TestShortlist:
+    """The top-k fast path must be indistinguishable from the full scan."""
+
+    @staticmethod
+    def _random_cloud(rng, n=24):
+        cloud = Cloud()
+        for i in range(n):
+            loc = Location(
+                int(rng.integers(3)), int(rng.integers(2)),
+                int(rng.integers(2)), int(rng.integers(2)),
+                int(rng.integers(2)), int(rng.integers(4)),
+            )
+            cloud.add_server(
+                make_server(i, loc, storage_capacity=1000)
+            )
+        board = PriceBoard()
+        board.post(
+            0, {i: float(rng.uniform(0.05, 0.4)) for i in range(n)}
+        )
+        return cloud, board
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("k", [1, 2, 4, 64])
+    def test_fast_path_matches_full_scan(self, seed, k):
+        """Repeated same-key calls (the shortlist trigger) across rent
+        bumps and budget churn return exactly the full scan's pick."""
+        rng = np.random.default_rng(seed)
+        cloud, board = self._random_cloud(rng)
+        fast = PlacementScorer(cloud, board, shortlist_k=k)
+        full = PlacementScorer(cloud, board, shortlist_k=0)
+        replicas = [0, 5]
+        for step in range(12):
+            got = fast.best(
+                replicas, need_bytes=10, budget="replication",
+                cache_key="hot",
+            )
+            want = full.best(
+                replicas, need_bytes=10, budget="replication",
+                cache_key="hot",
+            )
+            assert (got is None) == (want is None), f"step {step}"
+            if got is not None:
+                assert got == want, f"step {step}: {got} vs {want}"
+                fast.consume_budget(got.server_id, 30, "replication")
+                full.consume_budget(got.server_id, 30, "replication")
+
+    def test_exhausted_shortlist_falls_back_to_full_scan(self):
+        """With k=1 the single shortlisted slot is knocked out by
+        exclusion — the window proves nothing and the full scan must
+        still find the runner-up."""
+        cloud, board = build(FOUR, rents={0: 0.1, 1: 0.1, 2: 0.1, 3: 0.1})
+        fast = PlacementScorer(cloud, board, shortlist_k=1)
+        full = PlacementScorer(cloud, board, shortlist_k=0)
+        key = "p0"
+        first = fast.best([0], need_bytes=1, cache_key=key)
+        again = fast.best(
+            [0], need_bytes=1, cache_key=key,
+            exclude=(first.server_id,),
+        )
+        want = full.best(
+            [0], need_bytes=1, cache_key=key,
+            exclude=(first.server_id,),
+        )
+        assert again == want
+        assert again.server_id != first.server_id
+
+    def test_shortlist_built_on_second_use_only(self):
+        cloud, board = build(FOUR)
+        scorer = PlacementScorer(cloud, board, shortlist_k=2)
+        scorer.best([0], need_bytes=1, cache_key="once")
+        assert "once" not in scorer._shortlists
+        scorer.best([0], need_bytes=1, cache_key="once")
+        assert "once" in scorer._shortlists
+
+    def test_tied_scores_resolve_to_lowest_slot_like_argmax(self):
+        """Equal-rent, equal-gain candidates tie; both paths must pick
+        the first slot exactly as np.argmax would."""
+        locs = [
+            (0, 0, 0, 0, 0, 0),
+            (1, 0, 0, 0, 0, 0),
+            (1, 1, 0, 0, 0, 0),
+        ]
+        cloud, board = build(locs, rents={0: 0.2, 1: 0.2, 2: 0.2})
+        fast = PlacementScorer(cloud, board, shortlist_k=2)
+        full = PlacementScorer(cloud, board, shortlist_k=0)
+        for __ in range(3):
+            got = fast.best([0], need_bytes=1, cache_key="t")
+            want = full.best([0], need_bytes=1, cache_key="t")
+            assert got == want

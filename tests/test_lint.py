@@ -1,4 +1,4 @@
-"""Lint gate: unused imports must not creep back in.
+"""Lint gate: unused imports, tracked bytecode, package docstrings.
 
 Covers ``src/``, ``benchmarks/`` and ``examples/``.  Runs ``ruff
 check`` when ruff is installed (configured via ``ruff.toml``);
@@ -7,7 +7,14 @@ otherwise falls back to a stdlib AST pass that enforces the F401
 this repo builds in has no ruff wheel, and the dead-import satellite of
 PR 1 should stay fixed either way.
 
-``__init__.py`` files are exempt (re-export surface).
+``__init__.py`` files are exempt from the import rule (re-export
+surface) but every package ``__init__.py`` under ``src/`` must carry a
+module docstring — the README/ARCHITECTURE docs link packages by their
+one-line purpose, and an undocumented package breaks that contract.
+
+The gate also fails on *tracked* ``__pycache__``/``*.pyc`` paths:
+PR 2 accidentally committed bytecode, PR 3 removed it and added the
+``.gitignore``, and this keeps it gone.
 """
 
 from __future__ import annotations
@@ -17,6 +24,8 @@ import shutil
 import subprocess
 import sys
 from pathlib import Path
+
+import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 #: Every tree the gate covers, relative to the repo root.
@@ -106,6 +115,40 @@ def test_no_unused_imports_in_src():
                 continue
             problems.extend(find_unused_imports(path))
     assert not problems, "unused imports:\n" + "\n".join(problems)
+
+
+def test_no_tracked_bytecode():
+    """``git ls-files`` must not report __pycache__ / .pyc artifacts."""
+    git = shutil.which("git")
+    if git is None or not (REPO_ROOT / ".git").exists():
+        pytest.skip("not a git checkout")
+    proc = subprocess.run(
+        [git, "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    offenders = [
+        line
+        for line in proc.stdout.splitlines()
+        if "__pycache__" in line or line.endswith(".pyc")
+    ]
+    assert not offenders, (
+        "tracked bytecode (add to .gitignore and `git rm --cached`):\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_every_src_package_has_module_docstring():
+    problems = []
+    for path in sorted((REPO_ROOT / "src").rglob("__init__.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if ast.get_docstring(tree) is None:
+            problems.append(str(path.relative_to(REPO_ROOT)))
+    assert not problems, (
+        "packages missing a module docstring:\n" + "\n".join(problems)
+    )
 
 
 def test_lint_checker_detects_planted_unused_import(tmp_path):
