@@ -112,6 +112,12 @@ def _entry(config, results, warmup_epochs: int = 0):
             kernel: round(r.epochs_per_sec, 2)
             for kernel, r in results.items()
         },
+        # Peak resident bytes of the run's stored frame stream — the
+        # columnar FrameStore's memory trajectory across PRs (dict
+        # frames dominated at scale before PR 4; see PERFORMANCE.md).
+        "frame_store_bytes": {
+            kernel: r.frame_store_bytes for kernel, r in results.items()
+        },
         "speedup_vectorized_over_scalar": (
             round(ratio, 2) if ratio is not None else None
         ),

@@ -7,14 +7,18 @@ Examples::
     python -m repro.cli run --scenario slashdot --epochs 200 --points 25
     python -m repro.cli run --scenario paper --fig3-events --epochs 300
     python -m repro.cli compare --epochs 40 --partitions 80
+    python -m repro.cli report --scenario paper --epochs 60
     python -m repro.cli profile --scenario slashdot --epochs 60
     python -m repro.cli profile --kernel vectorized --cprofile
 
 ``run`` executes one scenario and prints the per-epoch series the
 paper's figures plot; ``compare`` runs the economic policy against the
-static and random baselines on an identical scenario; ``profile``
-measures epoch throughput under the vectorized and scalar epoch
-kernels (optionally with a cProfile hot-spot listing).
+static and random baselines on an identical scenario; ``report`` runs
+one scenario and prints the per-agent economics the agent ledger
+accumulates (wealth distributions, epochs alive, migration counts,
+Fig. 2-style per-ring convergence); ``profile`` measures epoch
+throughput under the vectorized and scalar epoch kernels (optionally
+with a cProfile hot-spot listing).
 """
 
 from __future__ import annotations
@@ -80,6 +84,16 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--epochs", type=int, default=40)
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--partitions", type=int, default=100)
+
+    report = sub.add_parser(
+        "report",
+        help="run one scenario, print its per-agent economics",
+    )
+    report.add_argument("--scenario", choices=SCENARIOS, default="paper")
+    report.add_argument("--epochs", type=int, default=60)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--partitions", type=int, default=200,
+                        help="partitions per application ring")
 
     profile = sub.add_parser(
         "profile",
@@ -178,6 +192,72 @@ def cmd_compare(args, out) -> int:
              "actions"],
             rows,
         ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_report(args, out) -> int:
+    """Per-agent economics: the ledger arrays as human-readable tables."""
+    from repro.analysis.economics import summarize_economics
+
+    config = make_config(args)
+    sim = Simulation(config)
+    log = sim.run()
+    bundle = summarize_economics(sim.registry, log)
+    econ = bundle["agents"]
+    print(
+        f"scenario={args.scenario} seed={args.seed} epochs={len(log)} "
+        f"agents={econ.agents}",
+        file=out,
+    )
+    print("\nper-agent economics (ledger arrays):", file=out)
+    rows = []
+    for name, dist in (
+        ("wealth", econ.wealth),
+        ("epochs alive", econ.epochs_alive),
+        ("moves", econ.moves),
+    ):
+        rows.append([
+            name, dist["mean"], dist["std"], dist["min"],
+            dist["median"], dist["max"],
+        ])
+    print(
+        format_table(
+            ["metric", "mean", "std", "min", "median", "max"], rows
+        ),
+        file=out,
+    )
+    print(
+        f"wealth gini: {econ.wealth_gini:.4f}   "
+        f"total migrations: {econ.total_moves}",
+        file=out,
+    )
+    print("\nper-ring economy (Fig. 2-style convergence):", file=out)
+    convergence = bundle["convergence"]
+    ring_rows = []
+    for entry in bundle["rings"]:
+        settled = convergence.get(entry.ring)
+        ring_rows.append([
+            f"{entry.ring[0]}/{entry.ring[1]}",
+            entry.agents,
+            entry.wealth_mean,
+            entry.epochs_alive_mean,
+            entry.moves_total,
+            "-" if settled is None else settled,
+        ])
+    print(
+        format_table(
+            ["app/ring", "agents", "wealth/agent", "epochs alive",
+             "moves", "settled@"],
+            ring_rows,
+        ),
+        file=out,
+    )
+    print(
+        f"\nvnode spread across servers (gini, Fig. 2): "
+        f"{bundle['spread_first']:.4f} (epoch 0) -> "
+        f"{bundle['spread_last']:.4f} (final)",
         file=out,
     )
     return 0
@@ -311,6 +391,8 @@ def main(argv: Optional[Sequence[str]] = None,
         return cmd_run(args, out)
     if args.command == "compare":
         return cmd_compare(args, out)
+    if args.command == "report":
+        return cmd_report(args, out)
     if args.command == "profile":
         return cmd_profile(args, out)
     return cmd_info(out)

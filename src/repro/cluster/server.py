@@ -7,14 +7,28 @@ replication (300 MB/epoch in the paper) and migration (100 MB/epoch).
 It also carries a real monthly rent (100$ or 125$ in the evaluation)
 from which the marginal usage price of eq. 1 is derived.
 
+Storage is *array-native*: every server's mutable and static state
+lives as one row of a :class:`ServerTable` — dense per-slot columns
+(alive flags, confidence, rents, storage used/capacity, query counters
+and both bandwidth-budget column pairs) owned by the registering
+:class:`~repro.cluster.topology.Cloud` — so epoch-wide operations
+(budget resets, eq. 1 pricing inputs, placement's static vectors, the
+metrics rent split) are single array reads instead of O(S) Python
+object loops.  :class:`Server` and :class:`BandwidthBudget` remain the
+object API callers and tests use; they are thin row views, mirroring
+``VNodeAgent`` over ``AgentLedger``.  A directly constructed server
+owns a private single-row table with identical semantics until a cloud
+adopts it.
+
 Sizes are tracked in bytes throughout; helpers accept/display MB and GB
 where that is the natural unit in the paper.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
+
+import numpy as np
 
 from repro.cluster.location import Location
 
@@ -31,7 +45,107 @@ class CapacityError(ValueError):
     """Raised when a reservation would exceed a server capacity."""
 
 
-@dataclass
+class ServerTable:
+    """Columnar store of every registered server's state.
+
+    One *row* per server, indexed by the owning cloud's dense slot
+    order (row ≡ slot).  Rows are appended on registration and shifted
+    left in place on removal, so bound row views stay valid across
+    membership changes once their row index is refreshed — the same
+    compaction discipline the cloud's diversity matrix follows.
+
+    Columns are plain numpy arrays over a doubling capacity; consumers
+    must slice with ``[:len(table)]`` (the cloud's vector views do).
+    """
+
+    __slots__ = (
+        "alive", "confidence", "monthly_rent", "storage_capacity",
+        "storage_used", "query_capacity", "queries",
+        "rep_cap", "rep_used", "mig_cap", "mig_used", "_n",
+    )
+
+    def __init__(self, capacity: int = 1) -> None:
+        capacity = max(capacity, 1)
+        self.alive = np.zeros(capacity, dtype=bool)
+        self.confidence = np.zeros(capacity, dtype=np.float64)
+        self.monthly_rent = np.zeros(capacity, dtype=np.float64)
+        self.storage_capacity = np.zeros(capacity, dtype=np.int64)
+        self.storage_used = np.zeros(capacity, dtype=np.int64)
+        self.query_capacity = np.zeros(capacity, dtype=np.int64)
+        self.queries = np.zeros(capacity, dtype=np.float64)
+        self.rep_cap = np.zeros(capacity, dtype=np.int64)
+        self.rep_used = np.zeros(capacity, dtype=np.int64)
+        self.mig_cap = np.zeros(capacity, dtype=np.int64)
+        self.mig_used = np.zeros(capacity, dtype=np.int64)
+        self._n = 0
+
+    _COLUMNS = (
+        "alive", "confidence", "monthly_rent", "storage_capacity",
+        "storage_used", "query_capacity", "queries",
+        "rep_cap", "rep_used", "mig_cap", "mig_used",
+    )
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _grow(self) -> None:
+        for name in self._COLUMNS:
+            old = getattr(self, name)
+            grown = np.zeros(max(2 * len(old), 1), dtype=old.dtype)
+            grown[: len(old)] = old
+            setattr(self, name, grown)
+
+    def append_blank(self) -> int:
+        """Claim a zeroed row; returns its index."""
+        if self._n >= len(self.alive):
+            self._grow()
+        row = self._n
+        for name in self._COLUMNS:
+            getattr(self, name)[row] = 0
+        self._n += 1
+        return row
+
+    def adopt_row(self, src: "ServerTable", src_row: int) -> int:
+        """Append a copy of one row of another table; returns the row."""
+        row = self.append_blank()
+        for name in self._COLUMNS:
+            getattr(self, name)[row] = getattr(src, name)[src_row]
+        return row
+
+    def remove(self, row: int) -> None:
+        """Delete a row, shifting later rows left (in place).
+
+        The column arrays are mutated, never reallocated, so row views
+        bound to this table survive — callers only re-point their row
+        indices (the cloud does, for every slot after the gap).
+        """
+        n = self._n
+        if not 0 <= row < n:
+            raise CapacityError(f"no row {row} to remove (have {n})")
+        for name in self._COLUMNS:
+            col = getattr(self, name)
+            col[row:n - 1] = col[row + 1:n]
+        self._n = n - 1
+
+    def begin_epoch(self) -> None:
+        """Reset every row's per-epoch counters and bandwidth budgets."""
+        n = self._n
+        self.queries[:n] = 0.0
+        self.rep_used[:n] = 0
+        self.mig_used[:n] = 0
+
+    def record_queries_at(self, rows: np.ndarray,
+                          counts: np.ndarray) -> None:
+        """Charge query counts to many *distinct* rows at once.
+
+        Elementwise ``queries += count`` — the identical float64
+        operation :meth:`Server.record_queries` performs per server,
+        which is what keeps the batched settlement's per-server
+        counters bit-identical to the scalar loop's.
+        """
+        self.queries[rows] += counts
+
+
 class BandwidthBudget:
     """A per-epoch byte budget that transfers draw from.
 
@@ -39,22 +153,84 @@ class BandwidthBudget:
     background data movement cannot starve either activity.  ``reserve``
     is all-or-nothing: a transfer either fits in the remaining budget of
     this epoch or must wait for a later epoch.
+
+    A budget constructed directly owns its two counters; one reached
+    through a server is a view onto the server's table columns, so the
+    cloud's budget vectors and the object API always agree.
     """
 
-    capacity: int
-    used: int = 0
+    __slots__ = ("_table", "_row", "_kind", "_capacity", "_used")
 
-    def __post_init__(self) -> None:
-        if self.capacity < 0:
-            raise CapacityError(f"capacity must be >= 0, got {self.capacity}")
-        if not 0 <= self.used <= self.capacity:
+    def __init__(self, capacity: int, used: int = 0) -> None:
+        if capacity < 0:
+            raise CapacityError(f"capacity must be >= 0, got {capacity}")
+        if not 0 <= used <= capacity:
             raise CapacityError(
-                f"used must be in [0, {self.capacity}], got {self.used}"
+                f"used must be in [0, {capacity}], got {used}"
             )
+        self._table: Optional[ServerTable] = None
+        self._row = -1
+        self._kind = ""
+        self._capacity = capacity
+        self._used = used
+
+    # -- row-view plumbing -------------------------------------------------
+
+    def _cols(self):
+        table = self._table
+        if self._kind == "replication":
+            return table.rep_cap, table.rep_used
+        return table.mig_cap, table.mig_used
+
+    def _bind(self, table: ServerTable, row: int, kind: str) -> None:
+        """Write current values into the table columns and view them."""
+        if self._table is not None and (
+            self._table is not table
+            or self._row != row
+            or self._kind != kind
+        ):
+            # One budget object cannot view two rows: silently
+            # re-pointing would desynchronize the first server's object
+            # API from its columns.  Assign each server its own budget.
+            raise CapacityError(
+                "budget is already bound to another server's columns"
+            )
+        capacity, used = self.capacity, self.used
+        self._table, self._row, self._kind = table, row, kind
+        cap_col, used_col = self._cols()
+        cap_col[row] = capacity
+        used_col[row] = used
+
+    def _attach(self, table: ServerTable, row: int, kind: str) -> None:
+        """View an existing row without writing (values already there)."""
+        self._table, self._row, self._kind = table, row, kind
+
+    def _set_row(self, row: int) -> None:
+        self._row = row
+
+    # -- budget API --------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        if self._table is None:
+            return self._capacity
+        return int(self._cols()[0][self._row])
+
+    @property
+    def used(self) -> int:
+        if self._table is None:
+            return self._used
+        return int(self._cols()[1][self._row])
 
     @property
     def available(self) -> int:
         return self.capacity - self.used
+
+    def _set_used(self, value: int) -> None:
+        if self._table is None:
+            self._used = value
+        else:
+            self._cols()[1][self._row] = value
 
     def can_reserve(self, nbytes: int) -> bool:
         return 0 <= nbytes <= self.available
@@ -67,7 +243,7 @@ class BandwidthBudget:
             raise CapacityError(
                 f"budget exhausted: need {nbytes}, have {self.available}"
             )
-        self.used += nbytes
+        self._set_used(self.used + nbytes)
 
     def release(self, nbytes: int) -> None:
         """Give back a failed reservation within the same epoch."""
@@ -75,64 +251,162 @@ class BandwidthBudget:
             raise CapacityError(
                 f"cannot release {nbytes} bytes, only {self.used} used"
             )
-        self.used -= nbytes
+        self._set_used(self.used - nbytes)
 
     def reset(self) -> None:
         """Start a new epoch with a full budget."""
-        self.used = 0
+        self._set_used(0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BandwidthBudget):
+            return NotImplemented
+        return (self.capacity, self.used) == (other.capacity, other.used)
+
+    def __repr__(self) -> str:
+        return f"BandwidthBudget(capacity={self.capacity}, used={self.used})"
 
 
-@dataclass
 class Server:
-    """One physical node of the data cloud.
+    """One physical node of the data cloud — a :class:`ServerTable` row view.
 
     Attributes mirror the paper's model: a geographic :class:`Location`,
     a subjective ``confidence``, a ``monthly_rent`` in real currency, a
     raw storage capacity, a query-serving capacity (queries/epoch the
     access link sustains) and separate replication/migration budgets.
 
-    The mutable fields (``storage_used``, ``queries_this_epoch``) are
-    maintained by the store and the simulator; the server object itself
-    only enforces capacity invariants.
+    The mutable state (``storage_used``, ``queries_this_epoch``, the
+    budget counters) is maintained by the store and the simulator; the
+    server object itself only enforces capacity invariants.  A directly
+    constructed server owns a private single-row table;
+    ``Cloud.add_server`` adopts the row into the cloud's shared table
+    (and removal detaches it back), so the same handle stays valid
+    across registration.
     """
 
-    server_id: int
-    location: Location
-    monthly_rent: float
-    storage_capacity: int
-    query_capacity: int = 1_000_000
-    confidence: float = 1.0
-    replication_budget: BandwidthBudget = field(
-        default_factory=lambda: BandwidthBudget(DEFAULT_REPLICATION_BUDGET)
+    __slots__ = (
+        "server_id", "location", "_table", "_row",
+        "_replication_budget", "_migration_budget",
     )
-    migration_budget: BandwidthBudget = field(
-        default_factory=lambda: BandwidthBudget(DEFAULT_MIGRATION_BUDGET)
-    )
-    storage_used: int = 0
-    queries_this_epoch: float = 0.0
-    alive: bool = True
 
-    def __post_init__(self) -> None:
-        if self.server_id < 0:
-            raise ValueError(f"server_id must be >= 0, got {self.server_id}")
-        if self.monthly_rent < 0:
-            raise ValueError(f"monthly_rent must be >= 0, got {self.monthly_rent}")
-        if self.storage_capacity <= 0:
+    def __init__(self, server_id: int, location: Location,
+                 monthly_rent: float, storage_capacity: int,
+                 query_capacity: int = 1_000_000,
+                 confidence: float = 1.0,
+                 replication_budget: Optional[BandwidthBudget] = None,
+                 migration_budget: Optional[BandwidthBudget] = None,
+                 storage_used: int = 0,
+                 queries_this_epoch: float = 0.0,
+                 alive: bool = True) -> None:
+        if server_id < 0:
+            raise ValueError(f"server_id must be >= 0, got {server_id}")
+        if monthly_rent < 0:
+            raise ValueError(f"monthly_rent must be >= 0, got {monthly_rent}")
+        if storage_capacity <= 0:
             raise CapacityError(
-                f"storage_capacity must be > 0, got {self.storage_capacity}"
+                f"storage_capacity must be > 0, got {storage_capacity}"
             )
-        if self.query_capacity <= 0:
+        if query_capacity <= 0:
             raise CapacityError(
-                f"query_capacity must be > 0, got {self.query_capacity}"
+                f"query_capacity must be > 0, got {query_capacity}"
             )
-        if not 0.0 <= self.confidence <= 1.0:
+        if not 0.0 <= confidence <= 1.0:
             raise ValueError(
-                f"confidence must be in [0, 1], got {self.confidence}"
+                f"confidence must be in [0, 1], got {confidence}"
             )
-        if not 0 <= self.storage_used <= self.storage_capacity:
+        if not 0 <= storage_used <= storage_capacity:
             raise CapacityError(
-                f"storage_used out of range: {self.storage_used}"
+                f"storage_used out of range: {storage_used}"
             )
+        self.server_id = server_id
+        self.location = location
+        table = ServerTable(1)
+        row = table.append_blank()
+        table.alive[row] = alive
+        table.confidence[row] = confidence
+        table.monthly_rent[row] = monthly_rent
+        table.storage_capacity[row] = storage_capacity
+        table.storage_used[row] = storage_used
+        table.query_capacity[row] = query_capacity
+        table.queries[row] = queries_this_epoch
+        self._table = table
+        self._row = row
+        if replication_budget is None:
+            replication_budget = BandwidthBudget(DEFAULT_REPLICATION_BUDGET)
+        if migration_budget is None:
+            migration_budget = BandwidthBudget(DEFAULT_MIGRATION_BUDGET)
+        replication_budget._bind(table, row, "replication")
+        migration_budget._bind(table, row, "migration")
+        self._replication_budget = replication_budget
+        self._migration_budget = migration_budget
+
+    # -- row-view plumbing -------------------------------------------------
+
+    def _attach(self, table: ServerTable, row: int) -> None:
+        """Point the view at an adopted row (values already copied)."""
+        self._table = table
+        self._row = row
+        self._replication_budget._attach(table, row, "replication")
+        self._migration_budget._attach(table, row, "migration")
+
+    def _set_row(self, row: int) -> None:
+        """Follow a table compaction (the slot order shifted)."""
+        self._row = row
+        self._replication_budget._set_row(row)
+        self._migration_budget._set_row(row)
+
+    def _detach(self) -> None:
+        """Move state onto a private table (row is being released)."""
+        private = ServerTable(1)
+        row = private.adopt_row(self._table, self._row)
+        self._attach(private, row)
+
+    # -- column accessors --------------------------------------------------
+
+    @property
+    def monthly_rent(self) -> float:
+        return float(self._table.monthly_rent[self._row])
+
+    @property
+    def storage_capacity(self) -> int:
+        return int(self._table.storage_capacity[self._row])
+
+    @property
+    def query_capacity(self) -> int:
+        return int(self._table.query_capacity[self._row])
+
+    @property
+    def confidence(self) -> float:
+        return float(self._table.confidence[self._row])
+
+    @property
+    def storage_used(self) -> int:
+        return int(self._table.storage_used[self._row])
+
+    @property
+    def queries_this_epoch(self) -> float:
+        return float(self._table.queries[self._row])
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._table.alive[self._row])
+
+    @property
+    def replication_budget(self) -> BandwidthBudget:
+        return self._replication_budget
+
+    @replication_budget.setter
+    def replication_budget(self, budget: BandwidthBudget) -> None:
+        budget._bind(self._table, self._row, "replication")
+        self._replication_budget = budget
+
+    @property
+    def migration_budget(self) -> BandwidthBudget:
+        return self._migration_budget
+
+    @migration_budget.setter
+    def migration_budget(self, budget: BandwidthBudget) -> None:
+        budget._bind(self._table, self._row, "migration")
+        self._migration_budget = budget
 
     # -- storage ----------------------------------------------------------
 
@@ -159,7 +433,7 @@ class Server:
                 f"server {self.server_id} full: need {nbytes}, "
                 f"have {self.storage_available}"
             )
-        self.storage_used += nbytes
+        self._table.storage_used[self._row] += nbytes
 
     def free_storage(self, nbytes: int) -> None:
         """Account for replica data removed from this server."""
@@ -167,7 +441,7 @@ class Server:
             raise CapacityError(
                 f"cannot free {nbytes} bytes, only {self.storage_used} used"
             )
-        self.storage_used -= nbytes
+        self._table.storage_used[self._row] -= nbytes
 
     # -- queries -----------------------------------------------------------
 
@@ -189,27 +463,29 @@ class Server:
         """
         if count < 0:
             raise ValueError(f"query count must be >= 0, got {count}")
-        self.queries_this_epoch += count
+        self._table.queries[self._row] += count
 
     # -- epoch lifecycle ----------------------------------------------------
 
     def begin_epoch(self) -> None:
         """Reset per-epoch counters and bandwidth budgets."""
-        self.queries_this_epoch = 0.0
-        self.replication_budget.reset()
-        self.migration_budget.reset()
+        table, row = self._table, self._row
+        table.queries[row] = 0.0
+        table.rep_used[row] = 0
+        table.mig_used[row] = 0
 
     def fail(self) -> None:
         """Mark the server as failed; its replicas are lost instantly."""
-        self.alive = False
+        self._table.alive[self._row] = False
 
     def restore(self) -> None:
         """Bring a failed server back, empty."""
-        self.alive = True
-        self.storage_used = 0
-        self.queries_this_epoch = 0.0
-        self.replication_budget.reset()
-        self.migration_budget.reset()
+        table, row = self._table, self._row
+        table.alive[row] = True
+        table.storage_used[row] = 0
+        table.queries[row] = 0.0
+        table.rep_used[row] = 0
+        table.mig_used[row] = 0
 
     def __str__(self) -> str:
         state = "up" if self.alive else "DOWN"

@@ -24,7 +24,7 @@ from repro.cluster.location import (
     diversity,
     diversity_from_depth,
 )
-from repro.cluster.server import GB, Server, make_server
+from repro.cluster.server import GB, Server, ServerTable, make_server
 
 
 class TopologyError(ValueError):
@@ -101,16 +101,23 @@ class Cloud:
     server ids: ``slot_of[server_id]`` gives the row/column.  Rebuilt
     incrementally on arrivals and lazily compacted on removals, it keeps
     eq. 3 candidate scoring a single numpy expression per virtual node.
+
+    Server state itself is columnar: registration adopts each server's
+    row into the cloud-owned :class:`~repro.cluster.server.ServerTable`
+    (row ≡ slot), so per-epoch resets, the eq. 1 pricing inputs and
+    every per-slot vector view below are single array operations over
+    the table's columns instead of O(S) Python loops over objects.
     """
 
     def __init__(self, servers: Iterable[Server] = ()) -> None:
         self._servers: Dict[int, Server] = {}
         self._slot_of: Dict[int, int] = {}
         self._server_at_slot: List[int] = []
+        self._table = ServerTable()
         self._diversity: np.ndarray = np.zeros((0, 0), dtype=np.int16)
         self._next_id = 0
         self._version = 0
-        self._static_vecs: Dict[str, Tuple[int, np.ndarray]] = {}
+        self._slot_lookup: Optional[Tuple[int, np.ndarray]] = None
         self.add_servers(servers)
 
     @property
@@ -155,12 +162,23 @@ class Cloud:
             raise TopologyError(f"unknown server id {server_id}") from None
 
     @property
+    def table(self) -> ServerTable:
+        """The cloud-owned server column store (row ≡ slot).
+
+        Treat the columns as read-only — all mutation flows through the
+        :class:`Server` row views so capacity invariants keep holding.
+        """
+        return self._table
+
+    @property
     def total_storage_capacity(self) -> int:
-        return sum(s.storage_capacity for s in self._servers.values())
+        n = len(self._table)
+        return int(self._table.storage_capacity[:n].sum())
 
     @property
     def total_storage_used(self) -> int:
-        return sum(s.storage_used for s in self._servers.values())
+        n = len(self._table)
+        return int(self._table.storage_used[:n].sum())
 
     # -- diversity ----------------------------------------------------------
 
@@ -193,12 +211,19 @@ class Cloud:
             grown[n, slot] = d
             grown[slot, n] = d
         self._diversity = grown
-        self._servers[server.server_id] = server
-        self._slot_of[server.server_id] = n
-        self._server_at_slot.append(server.server_id)
-        self._next_id = max(self._next_id, server.server_id + 1)
+        self._adopt(server, n)
         self._version += 1
         return server
+
+    def _adopt(self, server: Server, slot: int) -> None:
+        """Copy a server's row into the cloud table at ``slot``."""
+        row = self._table.adopt_row(server._table, server._row)
+        assert row == slot
+        server._attach(self._table, row)
+        self._servers[server.server_id] = server
+        self._slot_of[server.server_id] = slot
+        self._server_at_slot.append(server.server_id)
+        self._next_id = max(self._next_id, server.server_id + 1)
 
     def add_servers(self, servers: Iterable[Server]) -> None:
         """Register many servers with one vectorized matrix extension.
@@ -262,11 +287,7 @@ class Cloud:
         grown[:n_old, n_old:] = grown[n_old:, :n_old].T
         self._diversity = grown
         for offset, server in enumerate(new):
-            slot = n_old + offset
-            self._servers[server.server_id] = server
-            self._slot_of[server.server_id] = slot
-            self._server_at_slot.append(server.server_id)
-            self._next_id = max(self._next_id, server.server_id + 1)
+            self._adopt(server, n_old + offset)
         self._version += 1
 
     def spawn_server(self, location: Location, **kwargs) -> Server:
@@ -275,23 +296,32 @@ class Cloud:
         return self.add_server(server)
 
     def remove_server(self, server_id: int) -> Server:
-        """Remove a server (crash or decommission) and compact the matrix."""
+        """Remove a server (crash or decommission) and compact the matrix.
+
+        The returned handle detaches onto a private single-row table,
+        so callers holding it still read the server's final state; the
+        cloud table's later rows shift left (row ≡ slot is preserved)
+        and the surviving row views follow.
+        """
         server = self.server(server_id)
         gone = self._slot_of.pop(server_id)
         del self._servers[server_id]
         self._server_at_slot.pop(gone)
         keep = [s for s in range(self._diversity.shape[0]) if s != gone]
         self._diversity = self._diversity[np.ix_(keep, keep)]
+        server._detach()
+        self._table.remove(gone)
         for slot, sid in enumerate(self._server_at_slot):
             self._slot_of[sid] = slot
+            if slot >= gone:
+                self._servers[sid]._set_row(slot)
         server.fail()
         self._version += 1
         return server
 
     def begin_epoch(self) -> None:
-        """Reset per-epoch counters on every server."""
-        for server in self._servers.values():
-            server.begin_epoch()
+        """Reset per-epoch counters on every server (one column pass)."""
+        self._table.begin_epoch()
 
     # -- vector views (for placement scoring) --------------------------------
 
@@ -302,67 +332,93 @@ class Cloud:
         )
 
     def confidence_vector(self) -> np.ndarray:
-        return np.array(
-            [self._servers[sid].confidence for sid in self._server_at_slot],
-            dtype=np.float64,
-        )
+        n = len(self._table)
+        return self._table.confidence[:n].copy()
 
     def capacity_vector(self) -> np.ndarray:
-        """Per-slot storage capacities (read-only; cached per version).
-
-        Capacity is immutable per server, so the vector only rebuilds
-        when cloud membership changes — epoch-hot consumers (the eq. 3
-        scorer is rebuilt every epoch) share one array instead of
-        paying an O(S) Python pass each.
-        """
-        cached = self._static_vecs.get("capacity")
-        if cached is None or cached[0] != self._version:
-            arr = np.array(
-                [
-                    self._servers[sid].storage_capacity
-                    for sid in self._server_at_slot
-                ],
-                dtype=np.int64,
-            )
-            self._static_vecs["capacity"] = (self._version, arr)
-            return arr
-        return cached[1]
+        """Per-slot storage capacities (fresh copy of the table column)."""
+        n = len(self._table)
+        return self._table.storage_capacity[:n].copy()
 
     def monthly_rent_vector(self) -> np.ndarray:
-        """Per-slot real monthly rents (read-only; cached per version)."""
-        cached = self._static_vecs.get("rent")
-        if cached is None or cached[0] != self._version:
-            arr = np.array(
-                [
-                    self._servers[sid].monthly_rent
-                    for sid in self._server_at_slot
-                ],
-                dtype=np.float64,
-            )
-            self._static_vecs["rent"] = (self._version, arr)
-            return arr
-        return cached[1]
+        """Per-slot real monthly rents (fresh copy of the table column)."""
+        n = len(self._table)
+        return self._table.monthly_rent[:n].copy()
+
+    def query_capacity_vector(self) -> np.ndarray:
+        """Per-slot query capacities (fresh copy of the table column)."""
+        n = len(self._table)
+        return self._table.query_capacity[:n].copy()
 
     def alive_vector(self) -> np.ndarray:
-        """Per-slot liveness flags (fresh each call — alive is mutable
+        """Per-slot liveness flags (fresh copy — alive is mutable
         outside membership changes, e.g. transient failures)."""
-        n = len(self._server_at_slot)
-        return np.fromiter(
-            (
-                self._servers[sid].alive
-                for sid in self._server_at_slot
-            ),
-            dtype=bool, count=n,
-        )
+        n = len(self._table)
+        return self._table.alive[:n].copy()
 
     def storage_available_vector(self) -> np.ndarray:
-        return np.array(
-            [
-                self._servers[sid].storage_available
-                for sid in self._server_at_slot
-            ],
-            dtype=np.int64,
-        )
+        n = len(self._table)
+        table = self._table
+        return table.storage_capacity[:n] - table.storage_used[:n]
+
+    def storage_used_vector(self) -> np.ndarray:
+        """Per-slot storage-used bytes (fresh copy of the table column)."""
+        n = len(self._table)
+        return self._table.storage_used[:n].copy()
+
+    def queries_vector(self) -> np.ndarray:
+        """Per-slot epoch query counters (fresh copy of the column)."""
+        n = len(self._table)
+        return self._table.queries[:n].copy()
+
+    def budget_available_vector(self, kind: str) -> np.ndarray:
+        """Remaining per-epoch bandwidth of every server, slot order.
+
+        ``kind`` is ``"replication"`` or ``"migration"``; one array
+        subtraction over the table's budget column pair.
+        """
+        n = len(self._table)
+        table = self._table
+        if kind == "replication":
+            return table.rep_cap[:n] - table.rep_used[:n]
+        if kind == "migration":
+            return table.mig_cap[:n] - table.mig_used[:n]
+        raise TopologyError(f"unknown budget kind {kind!r}")
+
+    def record_queries_at(self, slots: np.ndarray,
+                          counts: np.ndarray) -> None:
+        """Charge per-slot query totals (batched settlement handoff)."""
+        if np.any(counts < 0):
+            raise TopologyError("query counts must be >= 0")
+        n = len(self._table)
+        if len(slots) and (np.min(slots) < 0 or np.max(slots) >= n):
+            # Hidden capacity rows would swallow the counts silently;
+            # a stale slot index must fail like an unknown server id.
+            raise TopologyError(f"slot out of range for {n} servers")
+        self._table.record_queries_at(slots, counts)
+
+    def slot_lookup(self) -> np.ndarray:
+        """Dense ``server_id -> slot`` map (−1 = unknown id).
+
+        Sized ``max(id) + 2`` so callers can clip unknown ids to the
+        sentinel tail.  Cached per :attr:`version`; treat as read-only.
+        Assumes the engine's id discipline — ids are assigned
+        sequentially and never reused, so ``max(id)`` stays O(servers
+        ever added); a sparse gigantic id space would make this map
+        large (the epoch kernel's own id→slot gather in `_flat_state`
+        shares the same assumption).
+        """
+        cached = self._slot_lookup
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        n = len(self._server_at_slot)
+        max_id = max(self._server_at_slot) if n else 0
+        lookup = np.full(max_id + 2, -1, dtype=np.int64)
+        if n:
+            ids = np.asarray(self._server_at_slot, dtype=np.int64)
+            lookup[ids] = np.arange(n)
+        self._slot_lookup = (self._version, lookup)
+        return lookup
 
 
 def build_cloud(layout: CloudLayout = PAPER_LAYOUT, *,

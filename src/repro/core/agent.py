@@ -60,6 +60,7 @@ class AgentLedger:
         self._pos_run = np.zeros(0, dtype=np.int64)
         self._wealth = np.zeros(0, dtype=np.float64)
         self._epochs = np.zeros(0, dtype=np.int64)
+        self._moves = np.zeros(0, dtype=np.int64)
         self._sid = np.zeros(0, dtype=np.int64)
         #: Materialized streak flags (plain lists: O(1) scalar reads in
         #: the decision loop without numpy scalar-indexing overhead).
@@ -115,6 +116,7 @@ class AgentLedger:
         self._pos_run = pad(self._pos_run, new_cap)
         self._wealth = pad(self._wealth, new_cap)
         self._epochs = pad(self._epochs, new_cap)
+        self._moves = pad(self._moves, new_cap)
         sid = np.full(new_cap, -1, dtype=np.int64)
         sid[: self._cap] = self._sid
         self._sid = sid
@@ -152,6 +154,7 @@ class AgentLedger:
         self._pos_run[row] = 0
         self._wealth[row] = 0.0
         self._epochs[row] = 0
+        self._moves[row] = 0
         self._neg_flags[row] = False
         self._pos_flags[row] = False
         self._free.append(row)
@@ -194,6 +197,40 @@ class AgentLedger:
 
     def epochs_alive(self, row: int) -> int:
         return int(self._epochs[row])
+
+    def moves(self, row: int) -> int:
+        return int(self._moves[row])
+
+    def add_move(self, row: int) -> None:
+        """Count one migration for the row's agent."""
+        self._moves[row] += 1
+
+    def set_moves(self, row: int, value: int) -> None:
+        self._moves[row] = value
+
+    # -- analysis vectors --------------------------------------------------
+    #
+    # Read-only by contract; indexed by row over the full capacity —
+    # restrict to :meth:`live_row_indices` before aggregating.  These
+    # are what lets the analysis layer read per-agent economics (wealth
+    # distributions, epochs alive, migration counts) as plain array
+    # gathers instead of touching one agent object per replica.
+
+    def live_row_indices(self) -> np.ndarray:
+        """Rows currently owned by live agents (ascending row order)."""
+        return np.flatnonzero(self._sid >= 0)
+
+    def wealth_vector(self) -> np.ndarray:
+        """Cumulative eq. 5 wealth per row (read-only by contract)."""
+        return self._wealth
+
+    def epochs_alive_vector(self) -> np.ndarray:
+        """Settled epochs per row (read-only by contract)."""
+        return self._epochs
+
+    def moves_vector(self) -> np.ndarray:
+        """Completed migrations per row (read-only by contract)."""
+        return self._moves
 
     def window_values(self, row: int) -> List[float]:
         """The recorded balances, oldest first (≤ ``window`` entries)."""
@@ -313,6 +350,7 @@ class AgentLedger:
             "pos_run": int(self._pos_run[row]),
             "wealth": float(self._wealth[row]),
             "epochs": int(self._epochs[row]),
+            "moves": int(self._moves[row]),
             "sid": int(self._sid[row]),
         }
 
@@ -325,6 +363,7 @@ class AgentLedger:
         self._pos_run[row] = state["pos_run"]
         self._wealth[row] = state["wealth"]
         self._epochs[row] = state["epochs"]
+        self._moves[row] = state.get("moves", 0)
         self._sid[row] = state["sid"]
         self._neg_flags[row] = state["neg_run"] >= self._window
         self._pos_flags[row] = state["pos_run"] >= self._window
@@ -339,7 +378,7 @@ class VNodeAgent:
     with identical semantics.
     """
 
-    __slots__ = ("pid", "_ledger", "_row", "moves")
+    __slots__ = ("pid", "_ledger", "_row")
 
     def __init__(self, pid: PartitionId, server_id: int,
                  window: Optional[int] = None,
@@ -358,7 +397,6 @@ class VNodeAgent:
         self.pid = pid
         self._ledger = ledger
         self._row = row
-        self.moves = 0
 
     # -- ledger plumbing ---------------------------------------------------
 
@@ -408,6 +446,15 @@ class VNodeAgent:
         return self._ledger.epochs_alive(self._row)
 
     @property
+    def moves(self) -> int:
+        """Completed migrations — a ledger column, like the balances."""
+        return self._ledger.moves(self._row)
+
+    @moves.setter
+    def moves(self, value: int) -> None:
+        self._ledger.set_moves(self._row, value)
+
+    @property
     def balances(self) -> Tuple[float, ...]:
         """The balance window, oldest first — an *immutable* snapshot.
 
@@ -445,7 +492,7 @@ class VNodeAgent:
     def moved_to(self, server_id: int) -> None:
         """Re-home the agent after a migration."""
         self._ledger.set_server_id(self._row, server_id)
-        self.moves += 1
+        self._ledger.add_move(self._row)
         self.reset_history()
 
     def __str__(self) -> str:
@@ -597,6 +644,10 @@ class AgentRegistry:
         """
         return self._rows_by_pid.get(pid)
 
+    def partitions(self) -> List[PartitionId]:
+        """Every partition that currently has at least one agent."""
+        return list(self._by_pid.keys())
+
     def on_server(self, server_id: int) -> List[VNodeAgent]:
         return [a for a in self._agents.values() if a.server_id == server_id]
 
@@ -642,6 +693,7 @@ class AgentRegistry:
             fresh._pos_run[: len(agents)] = old._pos_run[rows]
             fresh._wealth[: len(agents)] = old._wealth[rows]
             fresh._epochs[: len(agents)] = old._epochs[rows]
+            fresh._moves[: len(agents)] = old._moves[rows]
             fresh._sid[: len(agents)] = old._sid[rows]
             fresh._pid_slot[: len(agents)] = old._pid_slot[rows]
             fresh._seq[: len(agents)] = old._seq[rows]

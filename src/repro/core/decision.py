@@ -21,6 +21,7 @@ decision that cannot be executed this epoch is simply retried later.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -544,13 +545,16 @@ class DecisionEngine:
         rents = board.price_vector(cloud.server_ids)[flat.rep_slots]
 
         # Per-server query counters: one sequential (left-fold) bincount
-        # in replica visit order, applied to the touched servers only.
+        # in replica visit order, then one vectorized column add onto
+        # the server table (counters start each epoch at exactly 0.0,
+        # so the elementwise ``+=`` is the same float computation as
+        # the per-server ``record_queries`` fold).
         totals = np.bincount(
             flat.rep_slots, weights=shares, minlength=flat.n_slots
         )
-        servers = cloud.servers()
-        for slot in np.flatnonzero(totals).tolist():
-            servers[slot].record_queries(float(totals[slot]))
+        touched = np.flatnonzero(totals)
+        if touched.size:
+            cloud.record_queries_at(touched, totals[touched])
         self.query_totals = totals
 
         # Agent ledger: one vectorized column write for the aligned
@@ -580,11 +584,17 @@ class DecisionEngine:
         stats = DecisionStats()
         scorer = self._make_scorer(board)
         # Liveness is fixed for the whole decision pass (failures land
-        # between epochs); one set build serves every partition.
-        self._live_ids = frozenset(
-            sid for sid in self._cloud.server_ids
-            if self._cloud.server(sid).alive
-        )
+        # between epochs); one set build serves every partition.  The
+        # alive column replaces the per-server attribute walk (and in
+        # the overwhelmingly common all-alive case, the compress too).
+        ids = self._cloud.server_ids
+        alive = self._cloud.alive_vector()
+        if alive.all():
+            self._live_ids = frozenset(ids)
+        else:
+            self._live_ids = frozenset(
+                itertools.compress(ids, alive.tolist())
+            )
         work, thresholds = self._work_list()
         order = rng.permutation(len(work))
         if self._index is None:

@@ -227,23 +227,18 @@ class CloudCostIndex(CatalogListener):
         cloud = self._cloud
         if self._cloud_version == cloud.version:
             return
-        servers = cloud.servers()
         self._ids = cloud.server_ids
-        self._up = np.array(
-            [s.monthly_rent for s in servers], dtype=np.float64
-        ) / float(self._model.epochs_per_month)
-        self._capacity = np.array(
-            [s.storage_capacity for s in servers], dtype=np.int64
+        # Column reads off the cloud's ServerTable: the same float64 /
+        # int64 values the per-server attribute walk produced, gathered
+        # as single array copies.
+        self._up = (
+            cloud.monthly_rent_vector()
+            / float(self._model.epochs_per_month)
         )
-        self._query_capacity = np.array(
-            [s.query_capacity for s in servers], dtype=np.int64
-        )
-        self._storage = np.array(
-            [s.storage_used for s in servers], dtype=np.int64
-        )
-        self._queries = np.array(
-            [s.queries_this_epoch for s in servers], dtype=np.float64
-        )
+        self._capacity = cloud.capacity_vector()
+        self._query_capacity = cloud.query_capacity_vector()
+        self._storage = cloud.storage_used_vector()
+        self._queries = cloud.queries_vector()
         self._cloud_version = cloud.version
 
     def refresh(self) -> None:

@@ -459,19 +459,11 @@ class PlacementScorer:
         cached = self._headroom.get(kind)
         if cached is not None:
             return cached
-        if kind == "replication":
-            values = [
-                self._cloud.server(sid).replication_budget.available
-                for sid in self._ids
-            ]
-        elif kind == "migration":
-            values = [
-                self._cloud.server(sid).migration_budget.available
-                for sid in self._ids
-            ]
-        else:
+        if kind not in ("replication", "migration"):
             raise PlacementError(f"unknown budget kind {kind!r}")
-        arr = np.array(values, dtype=np.int64)
+        # One column-pair subtraction off the cloud's ServerTable —
+        # values identical to the per-server budget walk.
+        arr = self._cloud.budget_available_vector(kind)
         self._headroom[kind] = arr
         return arr
 

@@ -20,8 +20,10 @@ from repro.sim.engine import (
 )
 from repro.sim.metrics import (
     EpochFrame,
+    FrameStore,
     MetricsError,
     MetricsLog,
+    ServerVnodeHistogram,
     load_balance_index,
 )
 from repro.sim.reporting import (
@@ -38,10 +40,12 @@ __all__ = [
     "ConfigError",
     "DeciderFactory",
     "EpochFrame",
+    "FrameStore",
     "InsertConfig",
     "MetricsError",
     "MetricsLog",
     "RingConfig",
+    "ServerVnodeHistogram",
     "RngStreams",
     "STREAMS",
     "SeedError",

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.cluster.confidence import ConfidenceModel
 from repro.cluster.server import GB, MB
 from repro.cluster.topology import CloudLayout
 from repro.core.availability import paper_thresholds
@@ -166,6 +167,12 @@ class SimConfig:
     # harness compare against).  Seeded runs produce bit-identical
     # EpochFrame streams under either kernel.
     kernel: str = "vectorized"
+    # Per-server confidence assignment (eq. 2 weights).  None keeps the
+    # evaluation's uniform conf ≡ 1.0.  Fractional confidences make
+    # eq. 2 pair terms non-integer, so such scenarios compare kernel
+    # streams under a relative tolerance rather than bit-exactly (see
+    # PERFORMANCE.md and the golden registry's per-scenario rtol).
+    confidence: Optional[ConfidenceModel] = None
 
     def __post_init__(self) -> None:
         if not self.apps:

@@ -38,7 +38,7 @@ from repro.core.placement import proximity_weights
 from repro.ring.partition import PartitionId, PartitionIndex
 from repro.ring.virtualring import AvailabilityLevel, RingSet
 from repro.sim.config import SimConfig
-from repro.sim.metrics import EpochFrame, MetricsLog
+from repro.sim.metrics import EpochFrame, MetricsLog, ServerVnodeHistogram
 from repro.sim.seeds import RngStreams
 from repro.store.replica import ReplicaCatalog
 from repro.store.transfer import TransferEngine
@@ -93,6 +93,7 @@ class Simulation:
             expensive_fraction=config.expensive_fraction,
             cheap_rent=config.cheap_rent,
             expensive_rent=config.expensive_rent,
+            confidence=config.confidence,
             rng=self.streams.topology,
         )
         self._apply_budgets(self.cloud.server_ids)
@@ -199,6 +200,10 @@ class Simulation:
             Tuple[Tuple[int, int], List[PartitionId], Optional[np.ndarray]]
         ] = []
         self._ring_pids_versions: Optional[Tuple[int, ...]] = None
+        # Frame-histogram id tuple, shared across every epoch of one
+        # cloud-membership version (the frame store keeps one reference,
+        # not one tuple per epoch).
+        self._hist_ids: Optional[Tuple[int, Tuple[int, ...]]] = None
         self._epoch = 0
         self._seed_placement()
 
@@ -425,12 +430,42 @@ class Simulation:
             if sid in self.cloud and self.cloud.server(sid).alive
         ]
 
+    def _server_histogram(self) -> ServerVnodeHistogram:
+        """Fig. 2 vnodes-per-server counts, gathered from the catalog.
+
+        One bincount over the catalog's flat replica view in cloud slot
+        space — O(V) numpy instead of the O(S) per-server Python dict
+        build the frames used to store.  Counts are identical to
+        ``catalog.vnode_count(sid)`` per live server id (replicas on a
+        transiently dead but still-registered server count, exactly as
+        the dict did).
+        """
+        cloud = self.cloud
+        cached = self._hist_ids
+        if cached is None or cached[0] != cloud.version:
+            cached = (cloud.version, tuple(cloud.server_ids))
+            self._hist_ids = cached
+        ids = cached[1]
+        view = self.catalog.flat_view()
+        lookup = cloud.slot_lookup()
+        sids = view.server_ids
+        slots = lookup[np.minimum(sids, len(lookup) - 1)]
+        known = slots >= 0
+        counts = np.bincount(
+            slots[known], minlength=len(ids)
+        ).astype(np.int64)
+        return ServerVnodeHistogram(ids, counts)
+
     def _collect(self, epoch: int, load: EpochLoad, stats: DecisionStats,
                  inserts: InsertOutcome) -> EpochFrame:
-        vnodes_per_server = {
-            sid: self.catalog.vnode_count(sid)
-            for sid in self.cloud.server_ids
-        }
+        if self.avail_index is not None:
+            vnodes_per_server = self._server_histogram()
+        else:
+            # Scalar reference kernel: the pre-refactor per-server walk.
+            vnodes_per_server = {
+                sid: self.catalog.vnode_count(sid)
+                for sid in self.cloud.server_ids
+            }
         vnodes_per_ring: Dict[Tuple[int, int], int] = {}
         queries_per_ring: Dict[Tuple[int, int], float] = {}
         avail_per_ring: Dict[Tuple[int, int], float] = {}
@@ -491,13 +526,24 @@ class Simulation:
                 avail_per_ring[key] = (
                     float(np.mean(avails)) if avails else 0.0
                 )
-        expensive = 0
-        cheap = 0
-        for sid, n in vnodes_per_server.items():
-            if self.cloud.server(sid).monthly_rent > self.config.cheap_rent:
-                expensive += n
-            else:
-                cheap += n
+        if isinstance(vnodes_per_server, ServerVnodeHistogram):
+            # Rent-tier split as one masked sum over the count vector
+            # (ids are in slot order, matching the rent column).
+            counts = vnodes_per_server.counts
+            rents = self.cloud.monthly_rent_vector()
+            expensive = int(counts[rents > self.config.cheap_rent].sum())
+            cheap = int(counts.sum()) - expensive
+        else:
+            expensive = 0
+            cheap = 0
+            for sid, n in vnodes_per_server.items():
+                if (
+                    self.cloud.server(sid).monthly_rent
+                    > self.config.cheap_rent
+                ):
+                    expensive += n
+                else:
+                    cheap += n
         return EpochFrame(
             epoch=epoch,
             total_queries=load.total_queries,

@@ -17,6 +17,7 @@ import dataclasses
 import hashlib
 import json
 import math
+from collections.abc import Mapping
 from typing import Any, Dict, Iterable, List
 
 from repro.sim.metrics import EpochFrame, MetricsLog
@@ -36,7 +37,9 @@ def _encode_value(value: Any) -> Any:
         return value
     if isinstance(value, str) or value is None:
         return value
-    if isinstance(value, dict):
+    if isinstance(value, Mapping):
+        # Covers plain dicts and the columnar frame store's lazy
+        # histogram view — identical canonical form either way.
         return [
             [_encode_key(k), _encode_value(v)]
             for k, v in sorted(value.items())

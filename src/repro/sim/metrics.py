@@ -8,6 +8,18 @@ economic diagnostics (prices, actions, availability satisfaction) the
 ablation benches use.  :class:`MetricsLog` turns the frame stream into
 named series.
 
+Storage is *columnar*: :class:`MetricsLog` keeps a :class:`FrameStore`
+— every scalar field as one growable array, the per-server vnode
+histogram as one compact count vector per epoch sharing a per-version
+server-id tuple — instead of a list of frames full of dicts.  At
+20 000 servers a stored ``{sid: count}`` dict dominated frame memory;
+the column store holds the same information in one int64 vector per
+epoch.  :class:`EpochFrame` remains the frame API: reads materialize a
+lightweight row view whose ``vnodes_per_server`` is a lazy
+:class:`ServerVnodeHistogram` mapping over the stored arrays, so
+``framedump``, the goldens, reporting and the examples see
+byte-identical streams.
+
 The frame stream is the epoch kernels' equivalence contract: a seeded
 run must emit bit-identical frames under the vectorized and scalar
 kernels (``tests/integration/test_kernel_equivalence.py``).  Under the
@@ -20,8 +32,10 @@ visits, which is what keeps the aggregates exact.
 
 from __future__ import annotations
 
+import sys
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,16 +44,75 @@ class MetricsError(KeyError):
     """Raised when a requested series is unavailable."""
 
 
-@dataclass(frozen=True)
+class ServerVnodeHistogram(Mapping):
+    """Lazy ``{server_id: vnode count}`` view over two arrays.
+
+    The Fig. 2 observable without the dict: a shared server-id tuple
+    (one per cloud-membership version, not per epoch) plus one compact
+    count vector.  Behaves like the dict the engine used to build —
+    same iteration order (slot order), same items, equality against
+    plain dicts — while storing no per-entry objects.
+    """
+
+    __slots__ = ("_ids", "_counts", "_index")
+
+    def __init__(self, server_ids: Tuple[int, ...],
+                 counts: np.ndarray) -> None:
+        if len(server_ids) != len(counts):
+            raise MetricsError(
+                f"histogram mismatch: {len(server_ids)} ids, "
+                f"{len(counts)} counts"
+            )
+        self._ids = tuple(server_ids)
+        self._counts = counts
+        self._index: Optional[Dict[int, int]] = None
+
+    @property
+    def server_ids(self) -> Tuple[int, ...]:
+        return self._ids
+
+    @property
+    def counts(self) -> np.ndarray:
+        """The per-server count vector, slot order (do not mutate)."""
+        return self._counts
+
+    def _lookup(self) -> Dict[int, int]:
+        index = self._index
+        if index is None:
+            index = {sid: i for i, sid in enumerate(self._ids)}
+            self._index = index
+        return index
+
+    def __getitem__(self, server_id: int) -> int:
+        idx = self._lookup().get(server_id)
+        if idx is None:
+            raise KeyError(server_id)
+        return int(self._counts[idx])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, server_id: object) -> bool:
+        return server_id in self._lookup()
+    # keys()/values()/items() come from Mapping: proper dict-view
+    # objects (set operations on keys() keep working), whose iteration
+    # goes through __getitem__ and therefore yields Python ints — which
+    # is what the framedump codec requires.
+
+
+@dataclass(frozen=True, slots=True)
 class EpochFrame:
-    """One epoch's observables."""
+    """One epoch's observables (a row view when read from the log)."""
 
     epoch: int
     total_queries: int
     live_servers: int
     vnodes_total: int
     vnodes_per_ring: Dict[Tuple[int, int], int]
-    vnodes_per_server: Dict[int, int]
+    vnodes_per_server: Mapping
     queries_per_ring: Dict[Tuple[int, int], float]
     mean_availability_per_ring: Dict[Tuple[int, int], float]
     unsatisfied_partitions: int
@@ -80,78 +153,295 @@ class EpochFrame:
         return self.queries_per_ring.get(ring, 0.0) / self.live_servers
 
 
-class MetricsLog:
-    """Ordered frames plus series extraction helpers."""
+#: EpochFrame scalar fields by storage class, in field order.
+INT_FIELDS: Tuple[str, ...] = (
+    "epoch", "total_queries", "live_servers", "vnodes_total",
+    "unsatisfied_partitions", "lost_partitions", "storage_used",
+    "storage_capacity", "insert_attempts", "insert_failures", "repairs",
+    "economic_replications", "migrations", "suicides", "deferred",
+    "unavailable_queries", "vnodes_on_expensive", "vnodes_on_cheap",
+    "replication_bytes", "migration_bytes",
+)
+FLOAT_FIELDS: Tuple[str, ...] = ("min_price", "mean_price", "max_price")
+RING_FIELDS: Tuple[str, ...] = (
+    "vnodes_per_ring", "queries_per_ring", "mean_availability_per_ring",
+)
 
-    def __init__(self) -> None:
-        self._frames: List[EpochFrame] = []
 
-    def append(self, frame: EpochFrame) -> None:
-        if self._frames and frame.epoch <= self._frames[-1].epoch:
-            raise MetricsError(
-                f"non-monotonic epoch {frame.epoch} after "
-                f"{self._frames[-1].epoch}"
-            )
-        self._frames.append(frame)
+class _Column:
+    """A growable typed array (append-only)."""
+
+    __slots__ = ("_arr", "_n")
+
+    def __init__(self, dtype) -> None:
+        self._arr = np.zeros(16, dtype=dtype)
+        self._n = 0
+
+    def append(self, value) -> None:
+        if self._n >= len(self._arr):
+            grown = np.zeros(2 * len(self._arr), dtype=self._arr.dtype)
+            grown[: self._n] = self._arr
+            self._arr = grown
+        self._arr[self._n] = value
+        self._n += 1
 
     def __len__(self) -> int:
-        return len(self._frames)
+        return self._n
 
-    def __iter__(self):
-        return iter(self._frames)
+    def __getitem__(self, i: int):
+        return self._arr[i]
 
-    def __getitem__(self, idx: int) -> EpochFrame:
-        return self._frames[idx]
+    def view(self) -> np.ndarray:
+        """The live prefix (do not mutate; re-fetch after appends)."""
+        return self._arr[: self._n]
+
+    @property
+    def nbytes(self) -> int:
+        return self._arr.nbytes
+
+
+class FrameStore:
+    """Columnar backing store for an :class:`EpochFrame` stream.
+
+    Scalar fields live in growable int64/float64 columns; the per-ring
+    dicts (a handful of entries each) are kept per epoch as-is; the
+    per-server vnode histogram is stored as one count vector per epoch
+    plus a server-id tuple shared across epochs of one cloud-membership
+    version.  :meth:`frame` materializes a row view on demand — round
+    trips are exact (int64/float64 hold every value the engine emits),
+    so a stored stream serializes byte-identically to the frames it was
+    appended from.
+    """
+
+    __slots__ = ("_ints", "_floats", "_rings", "_hist_ids", "_hist_counts")
+
+    def __init__(self) -> None:
+        self._ints: Dict[str, _Column] = {
+            name: _Column(np.int64) for name in INT_FIELDS
+        }
+        self._floats: Dict[str, _Column] = {
+            name: _Column(np.float64) for name in FLOAT_FIELDS
+        }
+        self._rings: Dict[str, List[Dict]] = {
+            name: [] for name in RING_FIELDS
+        }
+        self._hist_ids: List[Tuple[int, ...]] = []
+        self._hist_counts: List[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._ints["epoch"])
+
+    def append(self, frame: EpochFrame) -> None:
+        for name, column in self._ints.items():
+            column.append(int(getattr(frame, name)))
+        for name, column in self._floats.items():
+            column.append(float(getattr(frame, name)))
+        for name, stored in self._rings.items():
+            stored.append(getattr(frame, name))
+        hist = frame.vnodes_per_server
+        if isinstance(hist, ServerVnodeHistogram):
+            ids, counts = hist.server_ids, hist.counts
+        else:
+            ids = tuple(hist)
+            counts = np.fromiter(
+                (hist[sid] for sid in ids), dtype=np.int64, count=len(ids)
+            )
+        # Share the id tuple with the previous epoch when membership
+        # did not change — the common case, and what keeps the store's
+        # footprint one count vector per epoch.
+        if self._hist_ids and self._hist_ids[-1] == ids:
+            ids = self._hist_ids[-1]
+        self._hist_ids.append(ids)
+        self._hist_counts.append(counts)
+
+    def frame(self, index: int) -> EpochFrame:
+        """Materialize one epoch as a row view (lazy histogram)."""
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"frame index {index} out of range ({n})")
+        fields: Dict[str, object] = {
+            name: int(column[index]) for name, column in self._ints.items()
+        }
+        for name, column in self._floats.items():
+            fields[name] = float(column[index])
+        for name, stored in self._rings.items():
+            fields[name] = stored[index]
+        fields["vnodes_per_server"] = ServerVnodeHistogram(
+            self._hist_ids[index], self._hist_counts[index]
+        )
+        return EpochFrame(**fields)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._ints or name in self._floats
+
+    @property
+    def last_epoch(self) -> int:
+        if not len(self):
+            raise MetricsError("no frames collected")
+        return int(self._ints["epoch"][len(self) - 1])
+
+    def column(self, name: str) -> np.ndarray:
+        """One scalar field over all epochs, as float64 (fresh array)."""
+        column = self._ints.get(name)
+        if column is None:
+            column = self._floats.get(name)
+        if column is None:
+            raise MetricsError(f"unknown column {name!r}")
+        return column.view().astype(np.float64)
+
+    def int_column_total(self, name: str) -> int:
+        """Exact Python-int sum of one int column (no float64 cast).
+
+        Byte counters can cross 2^53 over a long 100×-scale run, where
+        a float64 sum silently loses integer exactness.
+        """
+        column = self._ints.get(name)
+        if column is None:
+            raise MetricsError(f"unknown int column {name!r}")
+        return int(sum(int(v) for v in column.view().tolist()))
+
+    def ring_dicts(self, name: str) -> List[Dict]:
+        if name not in self._rings:
+            raise MetricsError(f"unknown ring field {name!r}")
+        return self._rings[name]
+
+    def histogram(self, index: int) -> ServerVnodeHistogram:
+        if index < 0:
+            index += len(self)
+        return ServerVnodeHistogram(
+            self._hist_ids[index], self._hist_counts[index]
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the stored stream.
+
+        Counts every column array, each epoch's histogram vector, the
+        shared id tuples (once per distinct tuple) and the small
+        per-ring dicts — the store only grows, so the value at the end
+        of a run is its peak.
+        """
+        total = sum(c.nbytes for c in self._ints.values())
+        total += sum(c.nbytes for c in self._floats.values())
+        total += sum(counts.nbytes for counts in self._hist_counts)
+        seen = set()
+        for ids in self._hist_ids:
+            if id(ids) not in seen:
+                seen.add(id(ids))
+                total += sys.getsizeof(ids)
+        for stored in self._rings.values():
+            total += sum(sys.getsizeof(d) for d in stored)
+        return total
+
+
+class MetricsLog:
+    """Ordered frames plus series extraction helpers (column-backed)."""
+
+    def __init__(self) -> None:
+        self._store = FrameStore()
+
+    @property
+    def store(self) -> FrameStore:
+        """The columnar backing store (read-only by contract)."""
+        return self._store
+
+    @property
+    def nbytes(self) -> int:
+        """Peak resident bytes of the stored frame stream."""
+        return self._store.nbytes
+
+    def append(self, frame: EpochFrame) -> None:
+        store = self._store
+        if len(store) and frame.epoch <= store.last_epoch:
+            raise MetricsError(
+                f"non-monotonic epoch {frame.epoch} after "
+                f"{store.last_epoch}"
+            )
+        store.append(frame)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self) -> Iterator[EpochFrame]:
+        store = self._store
+        return (store.frame(i) for i in range(len(store)))
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return [
+                self._store.frame(i)
+                for i in range(*idx.indices(len(self._store)))
+            ]
+        return self._store.frame(idx)
 
     @property
     def last(self) -> EpochFrame:
-        if not self._frames:
+        if not len(self._store):
             raise MetricsError("no frames collected")
-        return self._frames[-1]
+        return self._store.frame(len(self._store) - 1)
 
     def epochs(self) -> List[int]:
-        return [f.epoch for f in self._frames]
+        return [int(e) for e in self._store.column("epoch")]
 
     def series(self, name: str) -> np.ndarray:
         """A scalar attribute of every frame as an array."""
-        if not self._frames:
+        store = self._store
+        if not len(store):
             raise MetricsError("no frames collected")
-        if not hasattr(self._frames[0], name):
+        if store.has_column(name):
+            return store.column(name)
+        # Derived attributes (properties) fall back to materialization.
+        if not hasattr(EpochFrame, name):
             raise MetricsError(f"unknown series {name!r}")
         return np.array(
-            [getattr(f, name) for f in self._frames], dtype=np.float64
+            [getattr(frame, name) for frame in self], dtype=np.float64
         )
 
     def ring_series(self, attr: str, ring: Tuple[int, int]) -> np.ndarray:
         """A per-ring dict attribute projected onto one ring."""
-        out = []
-        for frame in self._frames:
-            mapping: Dict = getattr(frame, attr)
-            out.append(mapping.get(ring, 0))
+        out = [
+            mapping.get(ring, 0) for mapping in self._store.ring_dicts(attr)
+        ]
         return np.array(out, dtype=np.float64)
 
     def rings(self) -> List[Tuple[int, int]]:
         seen: Dict[Tuple[int, int], None] = {}
-        for frame in self._frames:
-            for ring in frame.vnodes_per_ring:
+        for mapping in self._store.ring_dicts("vnodes_per_ring"):
+            for ring in mapping:
                 seen.setdefault(ring, None)
         return sorted(seen)
 
     def query_load_series(self, ring: Tuple[int, int]) -> np.ndarray:
         """Fig. 4 series: average per-server query load of one ring."""
-        return np.array(
-            [f.query_load_per_server(ring) for f in self._frames],
-            dtype=np.float64,
-        )
+        live = self._store.column("live_servers")
+        queries = self._store.ring_dicts("queries_per_ring")
+        out = [
+            (queries[i].get(ring, 0.0) / live[i]) if live[i] else 0.0
+            for i in range(len(self._store))
+        ]
+        return np.array(out, dtype=np.float64)
 
-    def vnode_histogram(self, epoch_index: int = -1) -> Dict[int, int]:
-        """Fig. 2 snapshot: vnodes per server at one epoch."""
-        return dict(self._frames[epoch_index].vnodes_per_server)
+    def vnode_histogram(self, epoch_index: int = -1) -> Mapping:
+        """Fig. 2 snapshot: vnodes per server at one epoch.
+
+        Returns the stored histogram *view* (a read-only mapping over
+        the count vector) — no O(S) dict copy per access.
+        """
+        return self._store.histogram(epoch_index)
+
+    def vnode_counts(self, epoch_index: int = -1) -> np.ndarray:
+        """One epoch's per-server vnode counts, slot order (read-only)."""
+        return self._store.histogram(epoch_index).counts
 
     def storage_fraction_series(self) -> np.ndarray:
-        return np.array(
-            [f.storage_fraction for f in self._frames], dtype=np.float64
-        )
+        used = self._store.column("storage_used")
+        cap = self._store.column("storage_capacity")
+        out = np.zeros(len(used), dtype=np.float64)
+        nonzero = cap > 0
+        np.divide(used, cap, out=out, where=nonzero)
+        return out
 
     def cumulative_insert_failures(self) -> np.ndarray:
         return np.cumsum(self.series("insert_failures"))
@@ -159,13 +449,21 @@ class MetricsLog:
     def total_rent_paid(self) -> float:
         """Sum over epochs of mean price × vnodes — total cost proxy."""
         return float(
-            sum(f.mean_price * f.vnodes_total for f in self._frames)
+            (
+                self._store.column("mean_price")
+                * self._store.column("vnodes_total")
+            ).sum()
         )
 
     def total_bytes_moved(self) -> int:
-        """Cumulative maintenance traffic (replication + migration)."""
-        return int(
-            sum(f.replication_bytes + f.migration_bytes for f in self._frames)
+        """Cumulative maintenance traffic (replication + migration).
+
+        Summed over exact integers — byte totals outgrow float64's
+        53-bit mantissa on long 100×-scale runs.
+        """
+        return (
+            self._store.int_column_total("replication_bytes")
+            + self._store.int_column_total("migration_bytes")
         )
 
     def action_totals(self) -> Dict[str, int]:

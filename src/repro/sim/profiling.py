@@ -33,6 +33,9 @@ class ThroughputResult:
     epochs: int
     seconds: float
     total_queries: int
+    #: Peak resident bytes of the run's stored frame stream (the
+    #: columnar FrameStore only grows, so end-of-run is the peak).
+    frame_store_bytes: int = 0
 
     @property
     def epochs_per_sec(self) -> float:
@@ -78,6 +81,7 @@ def measure_throughput(config: SimConfig, *,
             epochs=horizon,
             seconds=elapsed,
             total_queries=int(sum(f.total_queries for f in frames)),
+            frame_store_bytes=sim.metrics.nbytes,
         )
         if best is None or result.seconds < best.seconds:
             best = result

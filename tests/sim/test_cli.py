@@ -72,6 +72,28 @@ class TestRun:
         assert "ins_fail" in text
 
 
+class TestReport:
+    def test_prints_agent_economics(self):
+        code, text = run_cli(
+            "report", "--epochs", "6", "--partitions", "10",
+        )
+        assert code == 0
+        assert "per-agent economics" in text
+        assert "wealth" in text
+        assert "epochs alive" in text
+        assert "moves" in text
+        assert "app/ring" in text
+        assert "vnode spread" in text
+
+    def test_report_accepts_scenarios(self):
+        code, text = run_cli(
+            "report", "--scenario", "slashdot", "--epochs", "5",
+            "--partitions", "10",
+        )
+        assert code == 0
+        assert "scenario=slashdot" in text
+
+
 class TestCompare:
     def test_compare_three_policies(self):
         code, text = run_cli(

@@ -151,6 +151,42 @@ def test_every_src_package_has_module_docstring():
     )
 
 
+def test_row_view_classes_declare_slots():
+    """Row views over column stores must not grow a per-instance dict.
+
+    The repo's scale story rests on columnar state (AgentLedger,
+    ServerTable, FrameStore) with thin object views; a view class that
+    silently gains ``__dict__`` re-introduces a per-row Python dict —
+    exactly the overhead the stores exist to remove.  Every row-view
+    (and the budget/histogram view helpers) must declare ``__slots__``
+    in its own body, and no class on its MRO may contribute a
+    ``__dict__``.
+    """
+    from repro.cluster.server import BandwidthBudget, Server, ServerTable
+    from repro.core.agent import VNodeAgent
+    from repro.sim.metrics import EpochFrame, ServerVnodeHistogram
+
+    row_views = (
+        Server, BandwidthBudget, ServerTable, VNodeAgent,
+        EpochFrame, ServerVnodeHistogram,
+    )
+    problems = []
+    for cls in row_views:
+        if "__slots__" not in cls.__dict__:
+            problems.append(f"{cls.__name__} does not declare __slots__")
+        dict_owners = [
+            base.__name__
+            for base in cls.__mro__
+            if "__dict__" in getattr(base, "__dict__", {})
+        ]
+        if dict_owners:
+            problems.append(
+                f"{cls.__name__} instances carry __dict__ "
+                f"(via {', '.join(dict_owners)})"
+            )
+    assert not problems, "row-view slot violations:\n" + "\n".join(problems)
+
+
 def test_lint_checker_detects_planted_unused_import(tmp_path):
     """The fallback checker itself must actually catch the F401 case."""
     planted = tmp_path / "planted.py"
