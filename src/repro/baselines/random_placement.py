@@ -44,9 +44,13 @@ class RandomScorer(PlacementScorer):
              exclude: Sequence[int] = (),
              budget: Optional[str] = None,
              headroom_fraction: float = 0.0,
-             cache_key: Optional[object] = None) -> Optional[Candidate]:
+             cache_key: Optional[object] = None,
+             memo_key: Optional[object] = None) -> Optional[Candidate]:
         # ``cache_key`` identifies the replica set for eq. 3 gain
-        # caching; the random ablation never scores, so it is unused.
+        # caching and ``memo_key`` the shared-argmax memo; the random
+        # ablation never scores (and must consume one rng draw per
+        # call — ``best_is_pure`` is False, so callers always pass
+        # ``memo_key=None``), so both are unused.
         ids = self.server_ids
         blocked = set(replica_servers) | set(exclude)
         headroom = (

@@ -31,6 +31,7 @@ from typing import Optional
 import numpy as np
 
 from repro.cluster.location import Location
+from repro.util.columns import ColumnSet, ColumnSpec
 
 #: One binary megabyte / gigabyte, in bytes.
 MB: int = 1 << 20
@@ -54,62 +55,53 @@ class ServerTable:
     membership changes once their row index is refreshed — the same
     compaction discipline the cloud's diversity matrix follows.
 
-    Columns are plain numpy arrays over a doubling capacity; consumers
-    must slice with ``[:len(table)]`` (the cloud's vector views do).
+    Columns are plain numpy arrays over a doubling capacity (managed by
+    the shared :class:`~repro.util.columns.ColumnSet`); consumers must
+    slice with ``[:len(table)]`` (the cloud's vector views do).
     """
 
     __slots__ = (
         "alive", "confidence", "monthly_rent", "storage_capacity",
         "storage_used", "query_capacity", "queries",
-        "rep_cap", "rep_used", "mig_cap", "mig_used", "_n",
+        "rep_cap", "rep_used", "mig_cap", "mig_used", "_n", "_cols",
+    )
+
+    _SPECS = (
+        ColumnSpec("alive", bool),
+        ColumnSpec("confidence", np.float64),
+        ColumnSpec("monthly_rent", np.float64),
+        ColumnSpec("storage_capacity", np.int64),
+        ColumnSpec("storage_used", np.int64),
+        ColumnSpec("query_capacity", np.int64),
+        ColumnSpec("queries", np.float64),
+        ColumnSpec("rep_cap", np.int64),
+        ColumnSpec("rep_used", np.int64),
+        ColumnSpec("mig_cap", np.int64),
+        ColumnSpec("mig_used", np.int64),
     )
 
     def __init__(self, capacity: int = 1) -> None:
-        capacity = max(capacity, 1)
-        self.alive = np.zeros(capacity, dtype=bool)
-        self.confidence = np.zeros(capacity, dtype=np.float64)
-        self.monthly_rent = np.zeros(capacity, dtype=np.float64)
-        self.storage_capacity = np.zeros(capacity, dtype=np.int64)
-        self.storage_used = np.zeros(capacity, dtype=np.int64)
-        self.query_capacity = np.zeros(capacity, dtype=np.int64)
-        self.queries = np.zeros(capacity, dtype=np.float64)
-        self.rep_cap = np.zeros(capacity, dtype=np.int64)
-        self.rep_used = np.zeros(capacity, dtype=np.int64)
-        self.mig_cap = np.zeros(capacity, dtype=np.int64)
-        self.mig_used = np.zeros(capacity, dtype=np.int64)
+        self._cols = ColumnSet(self, self._SPECS, max(capacity, 1))
         self._n = 0
-
-    _COLUMNS = (
-        "alive", "confidence", "monthly_rent", "storage_capacity",
-        "storage_used", "query_capacity", "queries",
-        "rep_cap", "rep_used", "mig_cap", "mig_used",
-    )
 
     def __len__(self) -> int:
         return self._n
 
-    def _grow(self) -> None:
-        for name in self._COLUMNS:
-            old = getattr(self, name)
-            grown = np.zeros(max(2 * len(old), 1), dtype=old.dtype)
-            grown[: len(old)] = old
-            setattr(self, name, grown)
-
     def append_blank(self) -> int:
         """Claim a zeroed row; returns its index."""
-        if self._n >= len(self.alive):
-            self._grow()
+        cols = self._cols
+        if self._n >= cols.capacity:
+            cols.grow()
         row = self._n
-        for name in self._COLUMNS:
-            getattr(self, name)[row] = 0
+        # Re-zero explicitly: removal shifts leave stale tail copies.
+        cols.clear_row(row)
         self._n += 1
         return row
 
     def adopt_row(self, src: "ServerTable", src_row: int) -> int:
         """Append a copy of one row of another table; returns the row."""
         row = self.append_blank()
-        for name in self._COLUMNS:
-            getattr(self, name)[row] = getattr(src, name)[src_row]
+        self._cols.copy_row(src._cols, src_row, row)
         return row
 
     def remove(self, row: int) -> None:
@@ -122,9 +114,7 @@ class ServerTable:
         n = self._n
         if not 0 <= row < n:
             raise CapacityError(f"no row {row} to remove (have {n})")
-        for name in self._COLUMNS:
-            col = getattr(self, name)
-            col[row:n - 1] = col[row + 1:n]
+        self._cols.shift_remove(row, n)
         self._n = n - 1
 
     def begin_epoch(self) -> None:

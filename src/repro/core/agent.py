@@ -24,6 +24,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.ring.partition import PartitionId
+from repro.util.columns import ColumnSet, ColumnSpec
 
 
 class AgentError(ValueError):
@@ -53,28 +54,34 @@ class AgentLedger:
             raise AgentError(f"window must be >= 1, got {window}")
         self._window = window
         self._cap = 0
-        self._bal = np.zeros((0, window), dtype=np.float64)
-        self._pos = np.zeros(0, dtype=np.int64)
-        self._count = np.zeros(0, dtype=np.int64)
-        self._neg_run = np.zeros(0, dtype=np.int64)
-        self._pos_run = np.zeros(0, dtype=np.int64)
-        self._wealth = np.zeros(0, dtype=np.float64)
-        self._epochs = np.zeros(0, dtype=np.int64)
-        self._moves = np.zeros(0, dtype=np.int64)
-        self._sid = np.zeros(0, dtype=np.int64)
+        # Row columns live on the shared growable-column core; the
+        # ledger keeps only the semantics (free list, streak flags,
+        # ring-buffer positions) on top.  ``_pid_slot`` is each row's
+        # owning partition's dense index slot (−1 = free row or
+        # no-index registry) and ``_seq`` a global spawn/rehome
+        # sequence — the two keys under which the epoch kernel
+        # reconstructs each partition's agent order with one lexsort
+        # instead of one Python iteration per partition (see
+        # DecisionEngine._flat_state).
+        self._cols = ColumnSet(self, (
+            ColumnSpec("_bal", np.float64, width=window),
+            ColumnSpec("_pos", np.int64),
+            ColumnSpec("_count", np.int64),
+            ColumnSpec("_neg_run", np.int64),
+            ColumnSpec("_pos_run", np.int64),
+            ColumnSpec("_wealth", np.float64),
+            ColumnSpec("_epochs", np.int64),
+            ColumnSpec("_moves", np.int64),
+            ColumnSpec("_sid", np.int64, fill=-1),
+            ColumnSpec("_pid_slot", np.int64, fill=-1),
+            ColumnSpec("_seq", np.int64),
+        ))
         #: Materialized streak flags (plain lists: O(1) scalar reads in
         #: the decision loop without numpy scalar-indexing overhead).
         self._neg_flags: List[bool] = []
         self._pos_flags: List[bool] = []
         self._free: List[int] = []
         self._live = 0
-        # Row → owning partition's dense index slot (−1 = free row or
-        # no-index registry) and a global spawn/rehome sequence — the
-        # two keys under which the epoch kernel reconstructs each
-        # partition's agent order with one lexsort instead of one
-        # Python iteration per partition (see DecisionEngine._flat_state).
-        self._pid_slot = np.zeros(0, dtype=np.int64)
-        self._seq = np.zeros(0, dtype=np.int64)
         self._seq_counter = 0
         if capacity:
             self._grow(capacity)
@@ -101,35 +108,15 @@ class AgentLedger:
         ledgers, compaction targets — are honored exactly so the
         retirement path does not allocate 16-row blocks per agent.
         """
-        new_cap = max(need, self._cap * 2)
-        extra = new_cap - self._cap
-
-        def pad(arr: np.ndarray, shape) -> np.ndarray:
-            grown = np.zeros(shape, dtype=arr.dtype)
-            grown[: self._cap] = arr
-            return grown
-
-        self._bal = pad(self._bal, (new_cap, self._window))
-        self._pos = pad(self._pos, new_cap)
-        self._count = pad(self._count, new_cap)
-        self._neg_run = pad(self._neg_run, new_cap)
-        self._pos_run = pad(self._pos_run, new_cap)
-        self._wealth = pad(self._wealth, new_cap)
-        self._epochs = pad(self._epochs, new_cap)
-        self._moves = pad(self._moves, new_cap)
-        sid = np.full(new_cap, -1, dtype=np.int64)
-        sid[: self._cap] = self._sid
-        self._sid = sid
-        pid_slot = np.full(new_cap, -1, dtype=np.int64)
-        pid_slot[: self._cap] = self._pid_slot
-        self._pid_slot = pid_slot
-        self._seq = pad(self._seq, new_cap)
+        old_cap = self._cap
+        new_cap = self._cols.grow(need)
+        extra = new_cap - old_cap
         # Extend flag lists *in place*: the decision pass holds direct
         # references to them across a decide() call.
         self._neg_flags.extend([False] * extra)
         self._pos_flags.extend([False] * extra)
         # Hand out low row indices first.
-        self._free.extend(range(new_cap - 1, self._cap - 1, -1))
+        self._free.extend(range(new_cap - 1, old_cap - 1, -1))
         self._cap = new_cap
 
     def acquire(self, server_id: int) -> int:
@@ -146,15 +133,7 @@ class AgentLedger:
 
     def release(self, row: int) -> None:
         """Return a row to the free pool, clearing its state."""
-        self._sid[row] = -1
-        self._pid_slot[row] = -1
-        self._pos[row] = 0
-        self._count[row] = 0
-        self._neg_run[row] = 0
-        self._pos_run[row] = 0
-        self._wealth[row] = 0.0
-        self._epochs[row] = 0
-        self._moves[row] = 0
+        self._cols.clear_row(row)
         self._neg_flags[row] = False
         self._pos_flags[row] = False
         self._free.append(row)
@@ -686,17 +665,7 @@ class AgentRegistry:
         fresh = AgentLedger(old.window, capacity=max(len(agents), 1))
         if agents:
             rows = np.array([a.row for a in agents], dtype=np.intp)
-            fresh._bal[: len(agents)] = old._bal[rows]
-            fresh._pos[: len(agents)] = old._pos[rows]
-            fresh._count[: len(agents)] = old._count[rows]
-            fresh._neg_run[: len(agents)] = old._neg_run[rows]
-            fresh._pos_run[: len(agents)] = old._pos_run[rows]
-            fresh._wealth[: len(agents)] = old._wealth[rows]
-            fresh._epochs[: len(agents)] = old._epochs[rows]
-            fresh._moves[: len(agents)] = old._moves[rows]
-            fresh._sid[: len(agents)] = old._sid[rows]
-            fresh._pid_slot[: len(agents)] = old._pid_slot[rows]
-            fresh._seq[: len(agents)] = old._seq[rows]
+            fresh._cols.gather_rows(old._cols, rows)
             fresh._seq_counter = old._seq_counter
             window = old.window
             fresh._neg_flags[: len(agents)] = (

@@ -42,7 +42,7 @@ from repro.ring.partition import (
 from repro.ring.virtualring import RingSet
 from repro.store.consistency import DEFAULT_CONSISTENCY, ConsistencyModel
 from repro.store.replica import ReplicaCatalog
-from repro.store.transfer import TransferEngine
+from repro.store.transfer import TransferEngine, TransferKind
 from repro.workload.mix import EpochLoad
 
 #: Epoch-kernel implementations accepted by :class:`DecisionEngine` and
@@ -217,6 +217,13 @@ class DecisionEngine:
         self._work_slots_cache: Optional[np.ndarray] = None
         self._thr_by_slot_cache: Optional[np.ndarray] = None
         self._conf_cache: Optional[Tuple[int, np.ndarray]] = None
+        # Repair-wavefront exhaustion proofs, keyed by partition size:
+        # the surviving destinations (mask-feasible slots whose batched
+        # replication budget still fits the bytes), computed as one
+        # grouped vector pass and revalidated by (batch reservation
+        # count, scorer enable clock) — the only events that can move
+        # them.  Reset at every decision pass.
+        self._exhausted_repair: Dict[int, Tuple] = {}
         #: Per-slot query totals of the last batched settlement and the
         #: cloud version they were computed under — the eq. 1 query-load
         #: handoff consumed by :class:`repro.core.economy.CloudCostIndex`.
@@ -618,7 +625,7 @@ class DecisionEngine:
         # mask is applied to the permutation as one vector filter, so
         # the Python loop below only ever touches partitions that act
         # (or whose incidence could not be verified).
-        flat, visit = self._build_triage(board)
+        flat, visit, repairing = self._build_triage(board)
         if visit.size:
             seg_of_work = gather_int(
                 flat.seg_by_slot, self._work_slots(), fill=-1
@@ -627,6 +634,18 @@ class DecisionEngine:
                 seg_of_work >= 0, visit[np.maximum(seg_of_work, 0)], True
             )
             order = order[visit_work[order]]
+        # Grouped repair kernel, wave 0: every SLA-short partition's
+        # first eq. 3 argmax will be asked for inside its repair chain
+        # below; score them all now as grouped array ops and hand the
+        # scorer certified top-k shortlists, so the chains read k slots
+        # instead of each paying a full cloud scan.  Pure precompute —
+        # decisions, order and stats are untouched (the shortlist path
+        # is provably-exact or falls back).
+        self._exhausted_repair = {}
+        if repairing.size:
+            self._preload_repair_shortlists(
+                flat, repairing, scorer, g_of_app
+            )
         # Every §II-C action of the pass queues into one shared transfer
         # batch: its pending-resource mirrors are the pass's shared
         # budget/storage vectors (each intent sees real state minus all
@@ -748,7 +767,7 @@ class DecisionEngine:
         return contrib
 
     def _build_triage(self, board: PriceBoard
-                      ) -> Tuple[_FlatState, np.ndarray]:
+                      ) -> Tuple[_FlatState, np.ndarray, np.ndarray]:
         """Per-partition visit mask for the §II-C pass (one array pass).
 
         Reproduces, vectorized, exactly the checks the inline loop runs
@@ -759,10 +778,17 @@ class DecisionEngine:
         (and whose SLA holds) are skipped without touching their agents.
         Availability and thresholds are gathered from the dense
         partition-index stores — no per-partition Python lookups.
+
+        Also returns the *repair wavefront*: the flat-segment indices
+        of every partition whose eq. 2 availability sits below its
+        ring's threshold — exactly the partitions whose visit will open
+        a §II-C repair chain — so the decision pass can precompute
+        their grouped eq. 3 shortlists before the chain loop runs.
         """
         flat = self._flat_state()
         if not flat.pids:
-            return flat, np.zeros(0, dtype=bool)
+            empty = np.zeros(0, dtype=np.intp)
+            return flat, np.zeros(0, dtype=bool), empty
         index = self._index
         avail = index.availability_at(flat.pid_slots)
         thr = gather_float(
@@ -793,8 +819,53 @@ class DecisionEngine:
         else:
             act_rep = pos_rep
         any_act = np.logical_or.reduceat(act_rep, offsets)
-        visit = (avail < thr) | any_act | ~flat.aligned
-        return flat, visit
+        short = avail < thr
+        visit = short | any_act | ~flat.aligned
+        repairing = np.flatnonzero(short & np.isfinite(thr))
+        return flat, visit, repairing
+
+    def _preload_repair_shortlists(self, flat: _FlatState,
+                                   repairing: np.ndarray,
+                                   scorer: PlacementScorer,
+                                   g_of_app: Optional[
+                                       Dict[int, np.ndarray]
+                                   ]) -> None:
+        """Wave 0 of the grouped repair kernel (§II-C maintenance).
+
+        Collects every repairing partition's live replica set — the
+        flat incidence segments are exactly the catalog-order,
+        live-filtered lists :meth:`_decide_partition` will rebuild at
+        visit time — under the same ``(pid, tuple(servers))`` key the
+        chain's first :meth:`PlacementScorer.best` call passes, and
+        asks the scorer to build all their shortlists in one grouped
+        pass.  Skipped when the scorer has no certified shortlist fast
+        path (small clouds, ablation scorers), and for *storm-sized*
+        waves: a wave executing more transfers than a window holds
+        sweeps its anticipated-rent bumps straight past the epoch-start
+        bounds, so nearly every window would come back inconclusive —
+        the storms are carried by the batched exhaustion proof
+        (:meth:`_repair_blocked_everywhere`) instead.  Either way the
+        chains score exactly as before.
+        """
+        preload = getattr(scorer, "preload_shortlists", None)
+        k = getattr(scorer, "shortlist_k", 0)
+        if (
+            preload is None
+            or not scorer.best_is_pure
+            or not k
+            or len(repairing) > k
+        ):
+            return
+        offsets = flat.offsets
+        get_g = g_of_app.get if g_of_app is not None else None
+        entries = []
+        for seg in repairing.tolist():
+            pid = flat.pids[seg]
+            lo, hi = int(offsets[seg]), int(offsets[seg + 1])
+            key = (pid, tuple(flat.rep_sids[lo:hi].tolist()))
+            g = get_g(pid.app_id) if get_g is not None else None
+            entries.append((key, flat.rep_slots[lo:hi], g))
+        preload(entries)
 
     def _make_scorer(self, board: PriceBoard) -> PlacementScorer:
         """Build the epoch's placement scorer; ablations override this."""
@@ -925,6 +996,61 @@ class DecisionEngine:
                                      g_vec, stats, servers,
                                      avail=avail, batch=batch)
 
+    def _repair_blocked_everywhere(self, scorer: PlacementScorer, batch,
+                                   partition: Partition,
+                                   servers: List[int]) -> bool:
+        """Grouped §II-C repair feasibility: prove the blocked outcome.
+
+        During a repair storm most servers' batched replication budgets
+        are drained by their own *outgoing* transfers — state the
+        scorer's candidate mask deliberately does not see (matching the
+        sequential reference, whose scorer also tracks destinations
+        only).  The chain would then score the whole cloud, pick the
+        eq. 3 argmax, and have the batch refuse it.  Whenever every
+        mask-feasible slot whose batched budget still fits the bytes is
+        one of the partition's *own replicas* (the argmax excludes
+        those — typically just the chain's source), the refusal is
+        already decided: whatever slot the argmax picks has a drained
+        budget, so ``add_replication`` returns ``NO_DEST_BANDWIDTH``.
+
+        The proof needs ``feasible count > len(servers)`` (so the
+        argmax provably returns *some* candidate rather than None,
+        whose stats differ), plus the surviving-destination set — one
+        grouped ``mask ∧ (batched budget ≥ size)`` pass over the
+        batch's mirrored budget vector, cached per partition size and
+        revalidated only when a reservation landed or storage was
+        freed (the scorer's enable clock).  Frame-observable state is
+        untouched: the skipped scan only fed a failure record, whose
+        destination id no frame ever sees (the record carries the −1
+        "no destination" sentinel instead).
+        """
+        if not getattr(scorer, "best_is_pure", False):
+            return False
+        feasible_mask = getattr(scorer, "feasible_mask", None)
+        if feasible_mask is None:
+            return False
+        size = partition.size
+        mask, count = feasible_mask(size, "replication", 0.0)
+        if count <= len(servers):
+            return False
+        state = (batch.reserve_count, scorer.enable_clock)
+        cached = self._exhausted_repair.get(size)
+        if cached is None or cached[0] != state:
+            avail = batch.budget_available_vector(
+                TransferKind.REPLICATION
+            )
+            ok = np.flatnonzero(mask & (avail >= size))
+            # Large surviving sets cannot be swallowed by any replica
+            # list; remember only that the proof is out of reach.
+            cached = (state, ok.tolist() if len(ok) <= 64 else None)
+            self._exhausted_repair[size] = cached
+        ok = cached[1]
+        if ok is None or len(ok) > len(servers):
+            return False
+        slot = self._cloud.slot
+        replica_slots = {slot(sid) for sid in servers}
+        return all(s in replica_slots for s in ok)
+
     def _pick_source(self, servers: Sequence[int], nbytes: int,
                      batch=None) -> Optional[int]:
         """A live replica whose replication budget can ship ``nbytes``.
@@ -1010,10 +1136,36 @@ class DecisionEngine:
                 stats.deferred += 1
                 stats.unsatisfied_partitions += 1
                 return
+            if self._repair_blocked_everywhere(
+                scorer, batch, partition, servers
+            ):
+                # Grouped exhaustion proof: the eq. 3 scan would pick a
+                # candidate the batch must refuse — same stats, no scan.
+                batch.defer_without_destination(partition, source)
+                stats.deferred += 1
+                stats.unsatisfied_partitions += 1
+                return
+            # Shared-argmax memo: the query is fully determined by
+            # (replica *set*, size, proximity vector) plus scorer
+            # state the memo's touch clocks track — the eq. 3 gain
+            # sums over the set and the knockouts are the set, so the
+            # key sorts it, letting partitions sharing a replica set
+            # (bootstrap siblings on one seed server, whatever their
+            # placement order) and repeated attempts between state
+            # changes resolve to one scan.  Impure scorers (the random
+            # ablation draws rng per call) must never memoize.
+            memo_key = (
+                (
+                    tuple(sorted(servers)), partition.size,
+                    id(g_vec) if g_vec is not None else 0,
+                )
+                if scorer.best_is_pure else None
+            )
             candidate = scorer.best(
                 servers, need_bytes=partition.size, g=g_vec,
                 budget="replication",
                 cache_key=(pid, tuple(servers)),
+                memo_key=memo_key,
             )
             if candidate is None:
                 stats.unsatisfied_partitions += 1

@@ -23,6 +23,7 @@ import numpy as np
 from repro.cluster.server import Server
 from repro.cluster.topology import Cloud
 from repro.store.replica import CatalogListener
+from repro.util.columns import ColumnSet, ColumnSpec
 
 #: Epochs per month used to spread the real rent.  The evaluation's
 #: epoch is best read as ~1 hour (bandwidth budgets of 300 MB/epoch),
@@ -136,36 +137,74 @@ class UsageTracker:
     Tracks an exponentially weighted mean of the combined storage/query
     usage so that ``up`` can reflect "the mean usage of the server in
     the previous month" (§II-A) without storing a month of history.
+
+    Storage is a ServerTable-style column: one float64 mean per server
+    id (ids are assigned densely and never reused), NaN where no
+    observation has landed yet.  :meth:`observe_cloud` folds a whole
+    epoch as one column pass over the cloud's server table — the same
+    elementwise float operations, per entry, as the scalar
+    :meth:`observe` — instead of one Python call per server.
     """
 
     def __init__(self, horizon: int = DEFAULT_EPOCHS_PER_MONTH) -> None:
         if horizon <= 0:
             raise EconomyError(f"horizon must be > 0, got {horizon}")
         self._decay = 1.0 - 1.0 / horizon
-        self._means: Dict[int, float] = {}
+        self._cols = ColumnSet(
+            self, (ColumnSpec("_mean", np.float64, fill=np.nan),)
+        )
+
+    def _ensure(self, max_id: int) -> None:
+        if max_id >= self._cols.capacity:
+            self._cols.grow(max_id + 1)
 
     def observe(self, server: Server) -> None:
         usage = 0.5 * (server.storage_usage + min(server.query_load, 1.0))
-        prev = self._means.get(server.server_id)
-        if prev is None:
-            self._means[server.server_id] = usage
+        sid = server.server_id
+        self._ensure(sid)
+        prev = self._mean[sid]
+        if np.isnan(prev):
+            self._mean[sid] = usage
         else:
-            self._means[server.server_id] = (
+            self._mean[sid] = (
                 self._decay * prev + (1.0 - self._decay) * usage
             )
 
     def observe_cloud(self, cloud: Cloud) -> None:
-        for server in cloud:
-            self.observe(server)
+        """Fold one epoch's usage for every live server (column pass).
+
+        Bit-identical to calling :meth:`observe` per server: the usage
+        expression and the blend are the same float64 operations
+        applied elementwise, and each server id is visited once.
+        """
+        ids = np.asarray(cloud.server_ids, dtype=np.int64)
+        if not len(ids):
+            return
+        self._ensure(int(ids.max()))
+        table = cloud.table
+        n = len(table)
+        storage_usage = table.storage_used[:n] / table.storage_capacity[:n]
+        query_load = table.queries[:n] / table.query_capacity[:n]
+        usage = 0.5 * (storage_usage + np.minimum(query_load, 1.0))
+        prev = self._mean[ids]
+        blended = self._decay * prev + (1.0 - self._decay) * usage
+        self._mean[ids] = np.where(np.isnan(prev), usage, blended)
 
     def mean_usage(self, server_id: int) -> Optional[float]:
-        return self._means.get(server_id)
+        if not 0 <= server_id < self._cols.capacity:
+            return None
+        value = self._mean[server_id]
+        return None if np.isnan(value) else float(value)
 
     def means(self) -> Dict[int, float]:
-        return dict(self._means)
+        """Observed means as ``{server_id: mean}`` (ascending id)."""
+        observed = np.flatnonzero(~np.isnan(self._mean))
+        values = self._mean[observed]
+        return dict(zip(observed.tolist(), values.tolist()))
 
     def forget(self, server_id: int) -> None:
-        self._means.pop(server_id, None)
+        if 0 <= server_id < self._cols.capacity:
+            self._mean[server_id] = np.nan
 
 
 class CloudCostIndex(CatalogListener):

@@ -89,12 +89,15 @@ class _Shortlist:
     """Top-k eq. 3 candidates of one replica set (one epoch's scorer).
 
     ``slots`` hold the k highest epoch-start scores in (score
-    descending, slot ascending) order; ``bound`` is the highest
-    epoch-start score of every *other* slot.  Anticipated rents only
-    rise within an epoch, so ``score0`` upper-bounds every slot's score
-    for the rest of the epoch — which is what makes the k-slot argmax
-    provably equal to the full scan whenever it strictly clears
-    ``bound``.
+    descending, slot ascending) order — plus the lowest-slot holder of
+    the outside bound, so boundary ties resolve in-window; ``bound`` is
+    the highest epoch-start score of every *other* slot and
+    ``bound_slot`` the lowest slot achieving it.  Anticipated rents
+    only rise within an epoch, so ``score0`` upper-bounds every slot's
+    score for the rest of the epoch — which is what makes the k-slot
+    argmax provably equal to the full scan whenever it clears the
+    outside's best ``(score, slot)`` key (strictly on score, or on the
+    first-index tie-break against ``bound_slot``).
     """
 
     slots: np.ndarray
@@ -102,6 +105,7 @@ class _Shortlist:
     gain_g: np.ndarray
     score0: np.ndarray
     bound: float
+    bound_slot: int
     g_id: int
 
 
@@ -194,6 +198,12 @@ class PlacementScorer:
         self._mask_cache: Dict[
             Tuple[int, Optional[str], float], np.ndarray
         ] = {}
+        # Maintained popcount per cached mask (updated with the same
+        # single-slot refreshes), so "how many feasible candidates are
+        # left" is an O(1) read for the repair wavefront's proofs.
+        self._mask_counts: Dict[
+            Tuple[int, Optional[str], float], int
+        ] = {}
         # Top-k candidate shortlists per replica set (``cache_key``):
         # eq. 3's argmax usually lands in the few dozen best-scored
         # slots, so repeated ``best`` calls for the same set (expanding
@@ -209,6 +219,23 @@ class PlacementScorer:
         # key that is never reused would slow the very storms the
         # shortlist exists for.
         self._shortlist_seen: set = set()
+        # Shared-argmax memo (the grouped repair kernel's core): two
+        # ``best`` calls with the same feasibility key, replica set and
+        # proximity vector are the *same query* unless the scorer's
+        # mutable state moved in a way that can change the answer.
+        # Anticipated rents only rise and masks only shrink — except
+        # through :meth:`release_storage` — so a memoized answer stays
+        # exact while (a) no storage was released since it was stored
+        # and (b) the winning slot itself was not touched: every other
+        # slot's score can only have dropped, and the first-index
+        # tie-break already preferred the winner (see :meth:`best`).
+        # ``_touch`` records each slot's last mutation tick;
+        # ``_enable_clock`` the last mask-enabling event.
+        self._touch = np.full(len(self._ids), -1, dtype=np.int64)
+        self._touch_clock = 0
+        self._enable_clock = -1
+        self._best_memo: Dict[object,
+                              Tuple[int, int, Optional[Candidate]]] = {}
 
     @property
     def server_ids(self) -> List[int]:
@@ -260,8 +287,22 @@ class PlacementScorer:
              exclude: Sequence[int] = (),
              budget: Optional[str] = None,
              headroom_fraction: float = 0.0,
-             cache_key: Optional[object] = None) -> Optional[Candidate]:
+             cache_key: Optional[object] = None,
+             memo_key: Optional[object] = None) -> Optional[Candidate]:
         """Feasible argmax of eq. 3, or None when no server qualifies.
+
+        ``memo_key`` opts the call into the shared-argmax memo: the
+        caller asserts the key captures *every* query input except the
+        scorer's mutable state (replica set, need, budget class,
+        headroom, proximity vector — the §II-C repair chains key on
+        ``(servers, size, g)``, which two partitions sharing a replica
+        set legitimately share).  A memoized candidate is returned only
+        while provably still the argmax: no storage release since it
+        was stored (masks could only have shrunk, so a ``None`` stays
+        ``None``), and the winning slot untouched (its score is
+        unchanged while every other score can only have dropped; the
+        first-index tie-break already preferred it, and lower slots
+        were strictly below it when memoized).  Anything else rescans.
 
         Excluded are: current replica holders (a server holds at most
         one copy of a partition), dead servers, servers without
@@ -285,6 +326,14 @@ class PlacementScorer:
                 f"headroom_fraction must be in [0, 1), got "
                 f"{headroom_fraction}"
             )
+        if memo_key is not None:
+            hit = self._best_memo.get(memo_key)
+            if hit is not None:
+                slot, tick, candidate = hit
+                if self._enable_clock <= tick and (
+                    slot < 0 or self._touch[slot] <= tick
+                ):
+                    return candidate
         mask = self._feasible_mask(need_bytes, budget, headroom_fraction)
         if cache_key is not None and self._shortlist_k > 0:
             if (
@@ -295,7 +344,7 @@ class PlacementScorer:
                     replica_servers, mask, g, max_rent, exclude, cache_key
                 )
                 if found is not _INCONCLUSIVE:
-                    return found
+                    return self._memoize(memo_key, found)
             else:
                 self._shortlist_seen.add(cache_key)
         if max_rent is not None:
@@ -305,7 +354,7 @@ class PlacementScorer:
         if not mask.any():
             # Budget/storage-exhausted epochs hit this constantly; skip
             # the eq. 3 gain/score work when no server qualifies.
-            return None
+            return self._memoize(memo_key, None)
         gain = self._diversity_gain(replica_servers, cache_key)
         if g is not None:
             if len(g) != len(self._ids):
@@ -330,13 +379,148 @@ class PlacementScorer:
                 scores[slot] = -np.inf
         idx = int(np.argmax(scores))
         if not np.isfinite(scores[idx]):
-            return None
-        return Candidate(
+            return self._memoize(memo_key, None)
+        return self._memoize(memo_key, Candidate(
             server_id=self._ids[idx],
             score=float(scores[idx]),
             diversity_gain=float(gain[idx]),
             rent=float(self._rents[idx]),
-        )
+        ))
+
+    def _memoize(self, memo_key: Optional[object],
+                 candidate: Optional[Candidate]) -> Optional[Candidate]:
+        """Record a ``best`` answer under the shared-argmax memo."""
+        if memo_key is not None:
+            slot = (
+                self._slot_of[candidate.server_id]
+                if candidate is not None else -1
+            )
+            self._best_memo[memo_key] = (
+                slot, self._touch_clock, candidate
+            )
+        return candidate
+
+    @property
+    def shortlist_k(self) -> int:
+        """Size of the top-k candidate windows (0 = fast path off)."""
+        return self._shortlist_k
+
+    @property
+    def touch_clock(self) -> int:
+        """Tick of the last mutable-state change (monotone)."""
+        return self._touch_clock
+
+    @property
+    def enable_clock(self) -> int:
+        """Tick of the last mask-*enabling* change (storage release)."""
+        return self._enable_clock
+
+    def preload_shortlists(self, entries: Sequence) -> int:
+        """Grouped wave-0 shortlist build for many replica sets at once.
+
+        ``entries`` are ``(cache_key, replica_slots, g)`` triples — the
+        repair wavefront: every SLA-short partition's live replica set
+        (as cloud slot indices), keyed exactly as the §II-C repair
+        chain's first :meth:`best` call will ask for it.  Instead of
+        each chain paying a full O(S) eq. 3 scoring pass, the sets are
+        grouped by replication degree (and proximity vector) and scored
+        as chunked ``(partitions × servers)`` array expressions; each
+        row is then reduced to the same top-k window + outside bound
+        :meth:`_shortlist_for` builds one at a time, so the chains'
+        argmaxes resolve over k slots with the usual strict-bound
+        certificate (full-scan fallback on any tie with the bound).
+
+        Every float operation matches :meth:`_shortlist_for`
+        elementwise (diversity sums are exact small integers in
+        float64, so grouping cannot change a single bit), which is what
+        keeps the wavefront byte-identical to per-chain scoring.
+        Returns the number of shortlists built; 0 when the shortlist
+        fast path is disabled.
+        """
+        k = self._shortlist_k
+        n = len(self._ids)
+        if not k or not n:
+            return 0
+        groups: Dict[Tuple[int, int], List] = {}
+        for key, slots, g in entries:
+            if key in self._shortlists:
+                continue
+            gid = id(g) if g is not None else 0
+            groups.setdefault((len(slots), gid), []).append(
+                (key, slots, g)
+            )
+        built = 0
+        matrix = self._cloud.diversity_matrix()
+        for (degree, __), items in groups.items():
+            if not degree:
+                continue
+            g = items[0][2]
+            # Bound the per-chunk temporaries: the largest is the
+            # (rows × degree × servers) gather feeding the gain sum.
+            max_chunk = max(1, (32 << 20) // (degree * n * 8))
+            for start in range(0, len(items), max_chunk):
+                chunk = items[start:start + max_chunk]
+                slot_mat = np.stack(
+                    [slots for __k, slots, __g in chunk]
+                )
+                # Row gathers summed in float64: exact integers, so
+                # the accumulation order cannot matter.
+                div_sum = matrix[slot_mat].sum(axis=1, dtype=np.float64)
+                gain = div_sum * self._conf[None, :]
+                gain_g = gain * g[None, :] if g is not None else gain
+                score0 = gain_g - self._rent_weight * self._rents0[None, :]
+                self._store_shortlists(chunk, gain, gain_g, score0, g)
+                built += len(chunk)
+        return built
+
+    def _store_shortlists(self, chunk: Sequence, gain: np.ndarray,
+                          gain_g: np.ndarray, score0: np.ndarray,
+                          g: Optional[np.ndarray]) -> None:
+        """Reduce grouped score rows to per-key :class:`_Shortlist`s.
+
+        Same ordering contract as :meth:`_shortlist_for`: each window
+        holds its k best epoch-start scores in (score descending, slot
+        ascending) order, with ``bound`` the best score outside it.
+        """
+        rows, n = score0.shape
+        k = self._shortlist_k
+        g_id = id(g) if g is not None else 0
+        if n > k:
+            part = np.argpartition(-score0, k, axis=1)
+            top = part[:, :k]
+            rest_scores = np.take_along_axis(score0, part[:, k:], axis=1)
+            bounds = rest_scores.max(axis=1)
+            # Each row's lowest slot scoring exactly its bound (argmax
+            # of the equality mask = first True), kept in-window so
+            # boundary ties certify (see _shortlist_for).
+            bound_slots = np.argmax(score0 == bounds[:, None], axis=1)
+            top = np.concatenate([top, bound_slots[:, None]], axis=1)
+        else:
+            top = np.tile(np.arange(n), (rows, 1))
+            bounds = np.full(rows, -np.inf)
+            bound_slots = np.full(rows, n)
+        top_scores = np.take_along_axis(score0, top, axis=1)
+        width = top.shape[1]
+        # One flat lexsort orders every row's window at once: keys are
+        # (row, -score0, slot), so within a row the order is exactly
+        # _shortlist_for's lexsort((top, -score0[top])).
+        row_idx = np.repeat(np.arange(rows), width)
+        order = np.lexsort((top.ravel(), -top_scores.ravel(), row_idx))
+        ordered = top.ravel()[order].reshape(rows, width)
+        take = np.take_along_axis
+        gain_k = take(gain, ordered, axis=1)
+        gain_g_k = take(gain_g, ordered, axis=1)
+        score0_k = take(score0, ordered, axis=1)
+        for r, (key, __slots, __g) in enumerate(chunk):
+            self._shortlists[key] = _Shortlist(
+                slots=ordered[r],
+                gain=gain_k[r],
+                gain_g=gain_g_k[r],
+                score0=score0_k[r],
+                bound=float(bounds[r]),
+                bound_slot=int(bound_slots[r]),
+                g_id=g_id,
+            )
 
     def _shortlist_for(self, replica_servers: Sequence[int],
                        g: Optional[np.ndarray],
@@ -360,9 +544,16 @@ class PlacementScorer:
             part = np.argpartition(-score0, k)
             top = part[:k]
             bound = float(score0[part[k:]].max())
+            # The lowest slot scoring exactly ``bound`` (ties are the
+            # norm on uniform clouds): keeping it in the window lets a
+            # boundary tie resolve by the first-index rule instead of
+            # forcing the full scan.
+            bound_slot = int(np.argmax(score0 == bound))
+            top = np.append(top, bound_slot)
         else:
             top = np.arange(n)
             bound = -np.inf
+            bound_slot = n
         # (score0 descending, slot ascending) — lexsort's last key is
         # primary; the slot tie-break mirrors np.argmax's first-index
         # rule on the slot-ordered full scan.
@@ -373,6 +564,7 @@ class PlacementScorer:
             gain_g=gain_g[order],
             score0=score0[order],
             bound=bound,
+            bound_slot=bound_slot,
             g_id=g_id,
         )
         self._shortlists[cache_key] = sl
@@ -388,15 +580,18 @@ class PlacementScorer:
         sentinel when the window cannot *prove* it holds the argmax.
 
         Soundness: anticipated rents only rise within an epoch, so
-        every slot outside the window scores at most ``bound`` (its
-        epoch-start score) for the rest of the epoch.  A feasible
-        window winner *strictly* above ``bound`` therefore beats every
-        outside slot — and ties inside the window resolve to the
-        lowest slot id, exactly np.argmax's first-index rule.  On a tie
-        *with* the bound, an outside slot could match the winner and
-        carry a lower slot id, so the full scan decides.  ``None`` is
-        never concluded here: an empty feasible window says nothing
-        about the other S − k slots.
+        every slot outside the window holds a ``(score, slot)`` argmax
+        key of at most ``(bound, bound_slot)`` — its score is capped by
+        its epoch-start value, and every outside slot scoring exactly
+        ``bound`` carries a slot id above ``bound_slot`` (the lowest
+        such slot is kept *inside* the window).  A feasible window
+        winner strictly above ``bound``, or tying it from a slot no
+        higher than ``bound_slot``, therefore beats every outside slot
+        under np.argmax's first-index rule; ties inside the window
+        already resolve to the lowest slot id.  Any other boundary tie
+        falls back to the full scan.  ``None`` is never concluded here:
+        an empty feasible window says nothing about the other S − k
+        slots.
         """
         sl = self._shortlist_for(replica_servers, g, cache_key)
         slots = sl.slots
@@ -414,10 +609,12 @@ class PlacementScorer:
             return _INCONCLUSIVE
         masked = np.where(ok, scores_k, -np.inf)
         best = float(masked.max())
-        if not best > sl.bound:
+        if best < sl.bound:
             return _INCONCLUSIVE
         winners = np.flatnonzero(masked == best)
         pos = int(winners[np.argmin(slots[winners])])
+        if best == sl.bound and int(slots[pos]) > sl.bound_slot:
+            return _INCONCLUSIVE
         return Candidate(
             server_id=self._ids[int(slots[pos])],
             score=best,
@@ -446,7 +643,22 @@ class PlacementScorer:
         if budget is not None:
             mask &= self._budget_headroom(budget) >= need_bytes
         self._mask_cache[key] = mask
+        self._mask_counts[key] = int(mask.sum())
         return mask
+
+    def feasible_mask(self, need_bytes: int, budget: Optional[str] = None,
+                      headroom_fraction: float = 0.0
+                      ) -> Tuple[np.ndarray, int]:
+        """The cached feasibility mask and its live popcount.
+
+        The mask is exactly what :meth:`best` applies before scoring
+        (treat as read-only); the count is maintained through the same
+        single-slot refreshes, so callers can reason about candidate
+        existence without an O(S) scan.
+        """
+        mask = self._feasible_mask(need_bytes, budget, headroom_fraction)
+        return mask, self._mask_counts[need_bytes, budget,
+                                       headroom_fraction]
 
     def _budget_headroom(self, kind: str) -> np.ndarray:
         """Remaining per-epoch bandwidth of every server, slot order.
@@ -522,12 +734,20 @@ class PlacementScorer:
         self._storage[idx] = max(self._storage[idx] - nbytes, 0)
         self._rents[idx] += self.anticipated_rent_bump(server_id, nbytes)
         self._refresh_masks(idx)
+        self._touch_clock += 1
+        self._touch[idx] = self._touch_clock
 
     def release_storage(self, server_id: int, nbytes: int) -> None:
         """Mirror freed bytes (migration source, suicide) into the cache."""
         idx = self._slot(server_id)
         self._storage[idx] += nbytes
         self._refresh_masks(idx)
+        # Freed storage can *re-enable* masked candidates — the one
+        # event that breaks the only-gets-worse monotonicity every
+        # memoized answer (and exhaustion proof) relies on.
+        self._touch_clock += 1
+        self._touch[idx] = self._touch_clock
+        self._enable_clock = self._touch_clock
 
     def _refresh_masks(self, idx: int) -> None:
         """Re-derive slot ``idx`` of every cached feasibility mask.
@@ -540,6 +760,7 @@ class PlacementScorer:
         """
         storage = int(self._storage[idx])
         alive = bool(self._alive[idx])
+        counts = self._mask_counts
         for (need, budget, headroom_fraction), mask in (
             self._mask_cache.items()
         ):
@@ -555,6 +776,9 @@ class PlacementScorer:
             if ok and budget is not None:
                 # The mask's construction built this headroom vector.
                 ok = bool(self._headroom[budget][idx] >= need)
+            was = bool(mask[idx])
+            if ok != was:
+                counts[need, budget, headroom_fraction] += 1 if ok else -1
             mask[idx] = ok
 
     def _slot(self, server_id: int) -> int:

@@ -39,6 +39,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.util.columns import GrowableColumn
+
 
 class MetricsError(KeyError):
     """Raised when a requested series is unavailable."""
@@ -166,64 +168,149 @@ FLOAT_FIELDS: Tuple[str, ...] = ("min_price", "mean_price", "max_price")
 RING_FIELDS: Tuple[str, ...] = (
     "vnodes_per_ring", "queries_per_ring", "mean_availability_per_ring",
 )
+#: Storage dtype of each ring-keyed field's value column.
+RING_FIELD_DTYPES: Dict[str, object] = {
+    "vnodes_per_ring": np.int64,
+    "queries_per_ring": np.float64,
+    "mean_availability_per_ring": np.float64,
+}
 
 
-class _Column:
-    """A growable typed array (append-only)."""
+class _RingField:
+    """One ring-keyed frame field as per-ring value/presence columns.
 
-    __slots__ = ("_arr", "_n")
+    The engine emits a tiny ``{(app_id, ring_id): value}`` dict per
+    epoch for each of the three per-ring observables; storing those
+    dicts per epoch is what the column store exists to avoid.  Here
+    each ring key owns one growable value column plus one presence
+    column (rings can appear mid-run — elasticity — and hand-built
+    frame streams may drop a ring for an epoch), so a whole run is
+    R columns regardless of epoch count, and per-ring series are plain
+    array gathers.
+
+    Round trips are exact for the value types the engine emits (Python
+    ``int`` for counts, ``float`` for queries/availabilities).  An
+    epoch whose mapping carries anything else — hand-built frames in
+    tests — is kept verbatim in a per-epoch overflow dict instead of
+    being coerced, so :meth:`get` always reproduces the appended
+    mapping exactly.
+    """
+
+    __slots__ = ("_dtype", "_is_int", "_keys", "_cols", "_present",
+                 "_raw", "_n")
 
     def __init__(self, dtype) -> None:
-        self._arr = np.zeros(16, dtype=dtype)
+        self._dtype = dtype
+        self._is_int = np.issubdtype(np.dtype(dtype), np.integer)
+        self._keys: List = []
+        self._cols: Dict[object, GrowableColumn] = {}
+        self._present: Dict[object, GrowableColumn] = {}
+        self._raw: Dict[int, Dict] = {}
         self._n = 0
 
-    def append(self, value) -> None:
-        if self._n >= len(self._arr):
-            grown = np.zeros(2 * len(self._arr), dtype=self._arr.dtype)
-            grown[: self._n] = self._arr
-            self._arr = grown
-        self._arr[self._n] = value
+    def _representable(self, value: object) -> bool:
+        if self._is_int:
+            return isinstance(value, (int, np.integer)) and not isinstance(
+                value, bool
+            )
+        return isinstance(value, (float, np.floating))
+
+    def append(self, mapping: Mapping) -> None:
+        epoch = self._n
+        items = dict(mapping)
+        if not all(self._representable(v) for v in items.values()):
+            # Exactness beats compactness: park the odd epoch verbatim.
+            self._raw[epoch] = items
+            items = {}
+        for key in items:
+            if key not in self._cols:
+                self._keys.append(key)
+                column = GrowableColumn(self._dtype)
+                present = GrowableColumn(bool)
+                # Backfill the epochs before this ring first appeared.
+                for __ in range(epoch):
+                    column.append(0)
+                    present.append(False)
+                self._cols[key] = column
+                self._present[key] = present
+        for key in self._keys:
+            if key in items:
+                self._cols[key].append(items[key])
+                self._present[key].append(True)
+            else:
+                self._cols[key].append(0)
+                self._present[key].append(False)
         self._n += 1
 
-    def __len__(self) -> int:
-        return self._n
+    def get(self, index: int) -> Dict:
+        """The epoch's mapping, reconstructed exactly."""
+        raw = self._raw.get(index)
+        if raw is not None:
+            return dict(raw)
+        cast = int if self._is_int else float
+        return {
+            key: cast(self._cols[key][index])
+            for key in self._keys
+            if self._present[key][index]
+        }
 
-    def __getitem__(self, i: int):
-        return self._arr[i]
+    def keys(self) -> List:
+        """Every ring key ever stored (first-appearance order)."""
+        seen = dict.fromkeys(self._keys)
+        for mapping in self._raw.values():
+            seen.update(dict.fromkeys(mapping))
+        return list(seen)
 
-    def view(self) -> np.ndarray:
-        """The live prefix (do not mutate; re-fetch after appends)."""
-        return self._arr[: self._n]
+    def series(self, ring) -> np.ndarray:
+        """One ring's values over all epochs (0 where absent), float64."""
+        if self._raw:
+            # Overflow epochs are test-stream territory; take the
+            # exact per-epoch path rather than splicing arrays.
+            return np.array(
+                [self.get(i).get(ring, 0) for i in range(self._n)],
+                dtype=np.float64,
+            )
+        column = self._cols.get(ring)
+        if column is None:
+            return np.zeros(self._n, dtype=np.float64)
+        values = column.view().astype(np.float64)
+        return np.where(self._present[ring].view(), values, 0.0)
 
     @property
     def nbytes(self) -> int:
-        return self._arr.nbytes
+        total = sum(c.nbytes for c in self._cols.values())
+        total += sum(c.nbytes for c in self._present.values())
+        total += sum(sys.getsizeof(d) for d in self._raw.values())
+        return total
 
 
 class FrameStore:
     """Columnar backing store for an :class:`EpochFrame` stream.
 
     Scalar fields live in growable int64/float64 columns; the per-ring
-    dicts (a handful of entries each) are kept per epoch as-is; the
-    per-server vnode histogram is stored as one count vector per epoch
-    plus a server-id tuple shared across epochs of one cloud-membership
+    fields live in a ring-keyed column block (one value/presence column
+    pair per ring per field — see :class:`_RingField`); the per-server
+    vnode histogram is stored as one count vector per epoch plus a
+    server-id tuple shared across epochs of one cloud-membership
     version.  :meth:`frame` materializes a row view on demand — round
-    trips are exact (int64/float64 hold every value the engine emits),
-    so a stored stream serializes byte-identically to the frames it was
+    trips are exact (int64/float64 hold every value the engine emits,
+    and off-type test streams overflow to verbatim storage), so a
+    stored stream serializes byte-identically to the frames it was
     appended from.
     """
 
     __slots__ = ("_ints", "_floats", "_rings", "_hist_ids", "_hist_counts")
 
     def __init__(self) -> None:
-        self._ints: Dict[str, _Column] = {
-            name: _Column(np.int64) for name in INT_FIELDS
+        self._ints: Dict[str, GrowableColumn] = {
+            name: GrowableColumn(np.int64) for name in INT_FIELDS
         }
-        self._floats: Dict[str, _Column] = {
-            name: _Column(np.float64) for name in FLOAT_FIELDS
+        self._floats: Dict[str, GrowableColumn] = {
+            name: GrowableColumn(np.float64) for name in FLOAT_FIELDS
         }
-        self._rings: Dict[str, List[Dict]] = {
-            name: [] for name in RING_FIELDS
+        self._rings: Dict[str, _RingField] = {
+            name: _RingField(RING_FIELD_DTYPES[name])
+            for name in RING_FIELDS
         }
         self._hist_ids: List[Tuple[int, ...]] = []
         self._hist_counts: List[np.ndarray] = []
@@ -267,7 +354,7 @@ class FrameStore:
         for name, column in self._floats.items():
             fields[name] = float(column[index])
         for name, stored in self._rings.items():
-            fields[name] = stored[index]
+            fields[name] = stored.get(index)
         fields["vnodes_per_server"] = ServerVnodeHistogram(
             self._hist_ids[index], self._hist_counts[index]
         )
@@ -302,10 +389,24 @@ class FrameStore:
             raise MetricsError(f"unknown int column {name!r}")
         return int(sum(int(v) for v in column.view().tolist()))
 
-    def ring_dicts(self, name: str) -> List[Dict]:
-        if name not in self._rings:
+    def _ring_field(self, name: str) -> _RingField:
+        field = self._rings.get(name)
+        if field is None:
             raise MetricsError(f"unknown ring field {name!r}")
-        return self._rings[name]
+        return field
+
+    def ring_dicts(self, name: str) -> List[Dict]:
+        """Per-epoch mappings of one ring field (materialized views)."""
+        field = self._ring_field(name)
+        return [field.get(i) for i in range(len(self))]
+
+    def ring_series(self, name: str, ring) -> np.ndarray:
+        """One ring's values over all epochs (0 absent) as float64."""
+        return self._ring_field(name).series(ring)
+
+    def ring_keys(self, name: str = "vnodes_per_ring") -> List:
+        """Every ring key one field ever stored, first-appearance order."""
+        return self._ring_field(name).keys()
 
     def histogram(self, index: int) -> ServerVnodeHistogram:
         if index < 0:
@@ -332,7 +433,7 @@ class FrameStore:
                 seen.add(id(ids))
                 total += sys.getsizeof(ids)
         for stored in self._rings.values():
-            total += sum(sys.getsizeof(d) for d in stored)
+            total += stored.nbytes
         return total
 
 
@@ -400,28 +501,19 @@ class MetricsLog:
         )
 
     def ring_series(self, attr: str, ring: Tuple[int, int]) -> np.ndarray:
-        """A per-ring dict attribute projected onto one ring."""
-        out = [
-            mapping.get(ring, 0) for mapping in self._store.ring_dicts(attr)
-        ]
-        return np.array(out, dtype=np.float64)
+        """A per-ring attribute projected onto one ring (column gather)."""
+        return self._store.ring_series(attr, ring)
 
     def rings(self) -> List[Tuple[int, int]]:
-        seen: Dict[Tuple[int, int], None] = {}
-        for mapping in self._store.ring_dicts("vnodes_per_ring"):
-            for ring in mapping:
-                seen.setdefault(ring, None)
-        return sorted(seen)
+        return sorted(self._store.ring_keys("vnodes_per_ring"))
 
     def query_load_series(self, ring: Tuple[int, int]) -> np.ndarray:
         """Fig. 4 series: average per-server query load of one ring."""
         live = self._store.column("live_servers")
-        queries = self._store.ring_dicts("queries_per_ring")
-        out = [
-            (queries[i].get(ring, 0.0) / live[i]) if live[i] else 0.0
-            for i in range(len(self._store))
-        ]
-        return np.array(out, dtype=np.float64)
+        queries = self._store.ring_series("queries_per_ring", ring)
+        out = np.zeros(len(queries), dtype=np.float64)
+        np.divide(queries, live, out=out, where=live > 0)
+        return out
 
     def vnode_histogram(self, epoch_index: int = -1) -> Mapping:
         """Fig. 2 snapshot: vnodes per server at one epoch.

@@ -349,6 +349,15 @@ class TransferBatch:
         self._items: List[TransferRequest] = []
         self._pending_budget: Dict[Tuple[TransferKind, int], int] = {}
         self._pending_storage: Dict[int, int] = {}
+        # Slot-ordered mirrors of ``budget_available`` (built lazily,
+        # maintained on every reservation): the repair wavefront's
+        # grouped feasibility checks read the whole cloud's remaining
+        # batched budget as one vector instead of S dict probes.
+        # ``reserve_count`` versions those mirrors — budgets only move
+        # when something reserves, so cached conclusions about them are
+        # valid while the count holds.
+        self._avail_vectors: Dict[TransferKind, np.ndarray] = {}
+        self._reserve_count = 0
         # Replica-identity mirror: placements queued (and not since
         # vacated) / sources vacated by queued migrations.  Together
         # with the catalog they answer "would this (pid, server) hold a
@@ -356,6 +365,11 @@ class TransferBatch:
         # duplicate/source check evaluates.
         self._pending_replicas: Set[Tuple[object, int]] = set()
         self._vacated: Set[Tuple[object, int]] = set()
+
+    @property
+    def reserve_count(self) -> int:
+        """Number of reservations applied (mirror version stamp)."""
+        return self._reserve_count
 
     def _has_replica_now(self, pid, server_id: int) -> bool:
         """Replica presence as of the queued state (catalog ± pending)."""
@@ -382,6 +396,27 @@ class TransferBatch:
     def storage_available(self, server_id: int) -> int:
         real = self._cloud.server(server_id).storage_available
         return real - self._pending_storage.get(server_id, 0)
+
+    def budget_available_vector(self, kind: TransferKind) -> np.ndarray:
+        """Per-slot remaining budget as of this batch (read-only).
+
+        Values equal :meth:`budget_available` per live server, kept
+        current through every reservation.  Within one decision pass
+        the entries only ever *decrease* — blocked intents reserve
+        nothing and nothing un-reserves — which is what lets the repair
+        wavefront's exhaustion proof stay valid once established.
+        """
+        vec = self._avail_vectors.get(kind)
+        if vec is None:
+            vec = self._cloud.budget_available_vector(kind.value).astype(
+                np.int64, copy=True
+            )
+            slot = self._cloud.slot
+            for (pending_kind, sid), nbytes in self._pending_budget.items():
+                if pending_kind is kind and sid in self._cloud:
+                    vec[slot(sid)] -= nbytes
+            self._avail_vectors[kind] = vec
+        return vec
 
     # -- queuing ------------------------------------------------------------
 
@@ -424,6 +459,13 @@ class TransferBatch:
         self._pending_storage[dst_id] = (
             self._pending_storage.get(dst_id, 0) + size
         )
+        vec = self._avail_vectors.get(kind)
+        if vec is not None:
+            slot = self._cloud.slot
+            if src_id is not None:
+                vec[slot(src_id)] -= size
+            vec[slot(dst_id)] -= size
+        self._reserve_count += 1
 
     def _add(self, kind: TransferKind, partition: Partition,
              src_id: Optional[int], dst_id: int
@@ -454,6 +496,27 @@ class TransferBatch:
             TransferRequest(kind, partition, src_id, dst_id)
         )
         return None
+
+    def defer_without_destination(self, partition: Partition,
+                                  src_id: Optional[int],
+                                  kind: TransferKind = (
+                                      TransferKind.REPLICATION
+                                  )) -> TransferOutcome:
+        """Account a transfer that is provably blocked at *every*
+        destination (the repair wavefront's grouped exhaustion proof).
+
+        Bookkeeping mirrors a blocked :meth:`add_replication` — engine
+        deferred count plus a failure record — except no eq. 3 argmax
+        was ever computed, so the record carries ``dst = -1`` ("no
+        destination reachable") instead of a specific server.
+        """
+        result = TransferResult(
+            kind, TransferOutcome.NO_DEST_BANDWIDTH, partition.pid,
+            src_id, -1, partition.size,
+        )
+        self._engine.stats.deferred += 1
+        self._engine.stats.failures.append(result)
+        return TransferOutcome.NO_DEST_BANDWIDTH
 
     def add_replication(self, partition: Partition, src_id: Optional[int],
                         dst_id: int) -> Optional[TransferOutcome]:
@@ -495,4 +558,5 @@ class TransferBatch:
         self._pending_storage.clear()
         self._pending_replicas.clear()
         self._vacated.clear()
+        self._avail_vectors.clear()
         return self._engine.execute_batch(items, preverified=True)

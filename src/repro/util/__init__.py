@@ -1,0 +1,23 @@
+"""Dependency-free utilities shared across the repro packages.
+
+Currently home to the growable-column core (:mod:`repro.util.columns`)
+that backs every array store in the codebase — the agent ledger, the
+server table and the metrics frame store.  Modules here may import
+numpy and the standard library only: ``repro.cluster`` and
+``repro.core`` both build on this package, so anything heavier would
+recreate the import cycles the column core exists to avoid.
+"""
+
+from repro.util.columns import (
+    ColumnError,
+    ColumnSet,
+    ColumnSpec,
+    GrowableColumn,
+)
+
+__all__ = [
+    "ColumnError",
+    "ColumnSet",
+    "ColumnSpec",
+    "GrowableColumn",
+]

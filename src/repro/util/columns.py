@@ -1,0 +1,219 @@
+"""The shared growable-column core behind every array store.
+
+Three subsystems keep their state as dense numpy columns with doubling
+growth: the agent ledger (:class:`repro.core.agent.AgentLedger` — rows
+acquired/released through a free list, −1 sentinels for unowned rows),
+the server table (:class:`repro.cluster.server.ServerTable` — row ≡
+cloud slot, removal shifts later rows left in lockstep) and the metrics
+frame store (:class:`repro.sim.metrics.FrameStore` — append-only
+per-epoch columns).  Each used to carry its own copy of the growth and
+fill machinery; this module is the single parameterised implementation.
+
+Two shapes cover all of them:
+
+* :class:`ColumnSet` — a lockstep group of named columns living as
+  attributes of an *owner* object (so hot paths read ``table.alive``
+  directly, no indirection).  Growth, sentinel fill, row clearing,
+  row copies, shift-removal and compaction gathers are the set's job;
+  domain semantics (free lists, liveness flags, slot bookkeeping) stay
+  with the owner.
+* :class:`GrowableColumn` — a single append-only typed column.
+
+This module must stay dependency-free (numpy + stdlib only): both
+``repro.cluster`` and ``repro.core`` build on it, and anything heavier
+would introduce import cycles.
+
+The lint gate (``tests/test_lint.py``) rejects new ad-hoc
+doubling-growth allocations in ``src/`` outside this module — grow a
+column here, not inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+class ColumnError(ValueError):
+    """Raised for invalid column-store usage."""
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One named column of a :class:`ColumnSet`.
+
+    ``fill`` is the value fresh capacity *and* cleared rows take — 0 for
+    plain counters, −1 for "no owner" sentinels (the agent ledger's
+    server-id and partition-slot columns).  ``width`` > 0 declares a
+    two-dimensional column of ``(rows, width)`` — the ledger's balance
+    window matrix.
+    """
+
+    name: str
+    dtype: object
+    fill: object = 0
+    width: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ColumnError(f"column name must be an identifier: "
+                              f"{self.name!r}")
+        if self.width < 0:
+            raise ColumnError(f"width must be >= 0, got {self.width}")
+
+    def allocate(self, capacity: int) -> np.ndarray:
+        shape = (capacity, self.width) if self.width else capacity
+        if isinstance(self.fill, (int, float)) and self.fill == 0:
+            return np.zeros(shape, dtype=self.dtype)
+        return np.full(shape, self.fill, dtype=self.dtype)
+
+
+class ColumnSet:
+    """A lockstep group of growable columns stored on an owner object.
+
+    The arrays live as plain attributes of ``owner`` (named by their
+    :class:`ColumnSpec`), so consumers index ``owner.<column>`` with no
+    wrapper overhead; the set only orchestrates the operations all
+    columns must perform together.  Capacity passed to the constructor
+    (and to :meth:`grow`'s ``need``) is honored exactly — doubling only
+    kicks in when the requested capacity is below twice the current one,
+    which is what lets single-row detached stores stay single-row.
+    """
+
+    __slots__ = ("_owner", "_specs", "_cap")
+
+    def __init__(self, owner: object, specs: Sequence[ColumnSpec],
+                 capacity: int = 0) -> None:
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ColumnError(f"duplicate column names: {names}")
+        if capacity < 0:
+            raise ColumnError(f"capacity must be >= 0, got {capacity}")
+        self._owner = owner
+        self._specs: Tuple[ColumnSpec, ...] = tuple(specs)
+        self._cap = capacity
+        for spec in self._specs:
+            setattr(owner, spec.name, spec.allocate(capacity))
+
+    @property
+    def capacity(self) -> int:
+        return self._cap
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self._specs)
+
+    def _col(self, name: str) -> np.ndarray:
+        return getattr(self._owner, name)
+
+    def grow(self, need: int = 0) -> int:
+        """Grow to ``max(need, 2 × capacity)`` rows; returns the new
+        capacity.  Explicit needs beyond the doubling are honored
+        exactly (single-row detached stores, compaction targets stay
+        tight); anything else doubles, keeping appends amortized O(1).
+
+        Existing rows are copied verbatim; fresh rows carry each
+        column's fill value.
+        """
+        new_cap = max(need, 2 * self._cap)
+        if new_cap <= self._cap:
+            return self._cap
+        for spec in self._specs:
+            grown = spec.allocate(new_cap)
+            grown[: self._cap] = self._col(spec.name)
+            setattr(self._owner, spec.name, grown)
+        self._cap = new_cap
+        return new_cap
+
+    def clear_row(self, row: int) -> None:
+        """Reset one row of every column to its fill value."""
+        for spec in self._specs:
+            self._col(spec.name)[row] = spec.fill
+
+    def copy_row(self, src: "ColumnSet", src_row: int,
+                 dst_row: int) -> None:
+        """Copy one row of every column from another (same-spec) set."""
+        self._check_compatible(src)
+        for spec in self._specs:
+            self._col(spec.name)[dst_row] = src._col(spec.name)[src_row]
+
+    def shift_remove(self, row: int, n: int) -> None:
+        """Delete row ``row`` of the live prefix ``[:n]``, shifting the
+        later rows left *in place* (arrays are mutated, never
+        reallocated — bound row views survive, as the server table's
+        compaction discipline requires)."""
+        if not 0 <= row < n:
+            raise ColumnError(f"no row {row} to remove (have {n})")
+        for spec in self._specs:
+            col = self._col(spec.name)
+            col[row:n - 1] = col[row + 1:n]
+
+    def gather_rows(self, src: "ColumnSet", rows: np.ndarray) -> None:
+        """Compaction gather: write ``src``'s ``rows`` (in order) into
+        this set's leading rows.  Capacity must already fit them."""
+        self._check_compatible(src)
+        count = len(rows)
+        if count > self._cap:
+            raise ColumnError(
+                f"cannot gather {count} rows into capacity {self._cap}"
+            )
+        for spec in self._specs:
+            self._col(spec.name)[:count] = src._col(spec.name)[rows]
+
+    def _check_compatible(self, other: "ColumnSet") -> None:
+        if self.names != other.names:
+            raise ColumnError(
+                f"column sets differ: {self.names} vs {other.names}"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        return sum(self._col(spec.name).nbytes for spec in self._specs)
+
+
+class GrowableColumn:
+    """A single append-only typed column (doubling growth)."""
+
+    __slots__ = ("_arr", "_n")
+
+    def __init__(self, dtype, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ColumnError(f"capacity must be >= 1, got {capacity}")
+        self._arr = np.zeros(capacity, dtype=dtype)
+        self._n = 0
+
+    def append(self, value) -> None:
+        if self._n >= len(self._arr):
+            grown = np.zeros(2 * len(self._arr), dtype=self._arr.dtype)
+            grown[: self._n] = self._arr
+            self._arr = grown
+        self._arr[self._n] = value
+        self._n += 1
+
+    def extend(self, values: Iterable) -> None:
+        for value in values:
+            self.append(value)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i: int):
+        # Index against the *logical* length, not the backing
+        # capacity: col[-1] must be the last appended value and
+        # out-of-range reads must fail, never return fill slots.
+        n = self._n
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(f"column index out of range ({n})")
+        return self._arr[i]
+
+    def view(self) -> np.ndarray:
+        """The live prefix (do not mutate; re-fetch after appends)."""
+        return self._arr[: self._n]
+
+    @property
+    def nbytes(self) -> int:
+        return self._arr.nbytes

@@ -183,7 +183,11 @@ class TestCompactionAfterDeath:
 
 
 class TestTableMechanics:
-    def test_remove_shifts_in_place(self):
+    # Growth, shift-removal and fill mechanics are the shared column
+    # core's job and are pinned once in tests/core/test_columns.py;
+    # here only the table's own bookkeeping on top of them.
+
+    def test_remove_tracks_length(self):
         table = ServerTable()
         for value in (10, 20, 30):
             row = table.append_blank()
@@ -191,10 +195,6 @@ class TestTableMechanics:
         table.remove(1)
         assert len(table) == 2
         assert table.storage_used[:2].tolist() == [10, 30]
-
-    def test_remove_out_of_range(self):
-        table = ServerTable()
-        table.append_blank()
         with pytest.raises(ValueError):
             table.remove(5)
 

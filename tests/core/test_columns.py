@@ -1,0 +1,188 @@
+"""The shared growable-column core (`repro.util.columns`).
+
+One suite for the growth, sentinel-fill, clear/flag, shift-removal and
+compaction-gather semantics that the agent ledger, the server table and
+the metrics frame store used to each re-implement (and each re-test).
+The store suites now only pin their *domain* contracts on top of these
+primitives.
+"""
+
+import numpy as np
+import pytest
+
+from repro.util.columns import (
+    ColumnError,
+    ColumnSet,
+    ColumnSpec,
+    GrowableColumn,
+)
+
+
+class Owner:
+    """A plain attribute bag for ColumnSet to hang arrays on."""
+
+
+SPECS = (
+    ColumnSpec("values", np.float64),
+    ColumnSpec("owner_id", np.int64, fill=-1),
+    ColumnSpec("flags", bool),
+    ColumnSpec("window", np.float64, width=3),
+)
+
+
+def make_set(capacity=0):
+    owner = Owner()
+    return owner, ColumnSet(owner, SPECS, capacity)
+
+
+class TestColumnSpec:
+    def test_rejects_non_identifier_names(self):
+        with pytest.raises(ColumnError):
+            ColumnSpec("not a name", np.int64)
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(ColumnError):
+            ColumnSpec("w", np.int64, width=-1)
+
+    def test_allocate_applies_fill(self):
+        arr = ColumnSpec("c", np.int64, fill=-1).allocate(4)
+        assert arr.tolist() == [-1, -1, -1, -1]
+
+    def test_allocate_2d(self):
+        arr = ColumnSpec("w", np.float64, width=2).allocate(3)
+        assert arr.shape == (3, 2)
+
+
+class TestColumnSet:
+    def test_initial_capacity_is_exact(self):
+        __, cols = make_set(capacity=5)
+        assert cols.capacity == 5
+
+    def test_initial_fill_values(self):
+        owner, __ = make_set(capacity=2)
+        assert owner.owner_id.tolist() == [-1, -1]
+        assert owner.values.tolist() == [0.0, 0.0]
+        assert owner.window.shape == (2, 3)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ColumnError):
+            ColumnSet(Owner(), (SPECS[0], SPECS[0]))
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ColumnError):
+            ColumnSet(Owner(), SPECS, capacity=-1)
+
+    def test_grow_doubles_and_honors_exact_need(self):
+        __, cols = make_set(capacity=1)
+        assert cols.grow() == 2        # no need -> doubling
+        assert cols.grow(16) == 16     # explicit need beyond 2x wins
+        assert cols.grow(10) == 32     # below 2x -> doubling
+
+    def test_grow_preserves_rows_and_fills_fresh_capacity(self):
+        owner, cols = make_set(capacity=2)
+        owner.values[0] = 1.5
+        owner.owner_id[0] = 7
+        owner.window[0] = (1.0, 2.0, 3.0)
+        cols.grow(4)
+        assert owner.values.tolist() == [1.5, 0.0, 0.0, 0.0]
+        assert owner.owner_id.tolist() == [7, -1, -1, -1]
+        assert owner.window[0].tolist() == [1.0, 2.0, 3.0]
+        assert owner.window[2:].tolist() == [[0, 0, 0], [0, 0, 0]]
+
+    def test_clear_row_writes_fills(self):
+        owner, cols = make_set(capacity=2)
+        owner.values[1] = 9.0
+        owner.owner_id[1] = 4
+        owner.flags[1] = True
+        owner.window[1] = (5.0, 6.0, 7.0)
+        cols.clear_row(1)
+        assert owner.values[1] == 0.0
+        assert owner.owner_id[1] == -1
+        assert not owner.flags[1]
+        assert owner.window[1].tolist() == [0.0, 0.0, 0.0]
+
+    def test_copy_row_across_sets(self):
+        src_owner, src = make_set(capacity=1)
+        src_owner.values[0] = 2.5
+        src_owner.owner_id[0] = 3
+        src_owner.window[0] = (1.0, 1.5, 2.0)
+        dst_owner, dst = make_set(capacity=2)
+        dst.copy_row(src, 0, 1)
+        assert dst_owner.values[1] == 2.5
+        assert dst_owner.owner_id[1] == 3
+        assert dst_owner.window[1].tolist() == [1.0, 1.5, 2.0]
+
+    def test_copy_row_rejects_mismatched_sets(self):
+        __, cols = make_set(capacity=1)
+        other_owner = Owner()
+        other = ColumnSet(other_owner, (ColumnSpec("x", np.int64),), 1)
+        with pytest.raises(ColumnError):
+            cols.copy_row(other, 0, 0)
+
+    def test_shift_remove_moves_later_rows_left_in_place(self):
+        owner, cols = make_set(capacity=3)
+        owner.values[:] = (10.0, 20.0, 30.0)
+        owner.window[:] = np.arange(9).reshape(3, 3)
+        before = owner.values  # identity must survive (bound views)
+        cols.shift_remove(1, 3)
+        assert owner.values is before
+        assert owner.values[:2].tolist() == [10.0, 30.0]
+        assert owner.window[1].tolist() == [6.0, 7.0, 8.0]
+
+    def test_shift_remove_out_of_range(self):
+        __, cols = make_set(capacity=3)
+        with pytest.raises(ColumnError):
+            cols.shift_remove(2, 2)
+
+    def test_gather_rows_compacts_in_order(self):
+        src_owner, src = make_set(capacity=4)
+        src_owner.values[:] = (1.0, 2.0, 3.0, 4.0)
+        src_owner.owner_id[:] = (10, 11, 12, 13)
+        dst_owner, dst = make_set(capacity=2)
+        dst.gather_rows(src, np.array([3, 1]))
+        assert dst_owner.values.tolist() == [4.0, 2.0]
+        assert dst_owner.owner_id.tolist() == [13, 11]
+
+    def test_gather_rows_capacity_checked(self):
+        __, src = make_set(capacity=4)
+        __, dst = make_set(capacity=1)
+        with pytest.raises(ColumnError):
+            dst.gather_rows(src, np.array([0, 1]))
+
+    def test_nbytes_counts_all_columns(self):
+        __, cols = make_set(capacity=4)
+        # values(8) + owner_id(8) + flags(1) + window(3*8) per row.
+        assert cols.nbytes == 4 * (8 + 8 + 1 + 24)
+
+
+class TestGrowableColumn:
+    def test_append_and_view(self):
+        col = GrowableColumn(np.int64, capacity=2)
+        for v in (5, 6, 7):
+            col.append(v)
+        assert len(col) == 3
+        assert col.view().tolist() == [5, 6, 7]
+        assert int(col[1]) == 6
+
+    def test_indexing_respects_logical_length(self):
+        # Negative and out-of-range indices must resolve against the
+        # appended prefix, never the backing capacity's fill slots.
+        col = GrowableColumn(np.int64, capacity=16)
+        for v in (5, 6, 7):
+            col.append(v)
+        assert int(col[-1]) == 7
+        with pytest.raises(IndexError):
+            col[3]
+        with pytest.raises(IndexError):
+            col[-4]
+
+    def test_doubling_growth_preserves_prefix(self):
+        col = GrowableColumn(np.float64, capacity=1)
+        values = [float(i) * 0.5 for i in range(40)]
+        col.extend(values)
+        assert col.view().tolist() == values
+        assert col.nbytes >= 40 * 8
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ColumnError):
+            GrowableColumn(np.int64, capacity=0)

@@ -90,7 +90,8 @@ class TestKernelTwins:
     @pytest.mark.parametrize("seed", [11, 23, 47])
     @pytest.mark.parametrize(
         "scenario", ["paper-uniform", "discrete-geo", "fig3-elasticity",
-                     "saturation-splits", "confidence-tiers"]
+                     "saturation-splits", "confidence-tiers",
+                     "churn-confidence"]
     )
     def test_twin_streams_identical(self, scenario, seed):
         frames = {}

@@ -177,3 +177,30 @@ class TestStoreAccessors:
         assert isinstance(stored, ServerVnodeHistogram)
         assert stored == {7: 2, 9: 1}
         assert dump_frames([frame]) == dump_log(log)
+
+    def test_numpy_scalar_ring_values_stay_columnar(self):
+        # A producer handing the ring block np.int64/np.float64 values
+        # must not demote the epoch to the verbatim-dict overflow path
+        # (that would quietly reintroduce per-epoch ring dicts).
+        import numpy as np
+
+        log = MetricsLog()
+        frame = EpochFrame(
+            epoch=0, total_queries=1, live_servers=2, vnodes_total=3,
+            vnodes_per_ring={(0, 0): np.int64(3)},
+            vnodes_per_server={7: 2, 9: 1},
+            queries_per_ring={(0, 0): np.float64(1.0)},
+            mean_availability_per_ring={(0, 0): 31.0},
+            unsatisfied_partitions=0, lost_partitions=0,
+            storage_used=0, storage_capacity=1,
+            insert_attempts=0, insert_failures=0, repairs=0,
+            economic_replications=0, migrations=0, suicides=0,
+            deferred=0, min_price=0.1, mean_price=0.1, max_price=0.1,
+            unavailable_queries=0, vnodes_on_expensive=0,
+            vnodes_on_cheap=3,
+        )
+        log.append(frame)
+        for name in ("vnodes_per_ring", "queries_per_ring"):
+            assert not log.store._rings[name]._raw
+        assert log[0].vnodes_per_ring == {(0, 0): 3}
+        assert log.ring_series("vnodes_per_ring", (0, 0)).tolist() == [3.0]

@@ -151,6 +151,112 @@ def test_every_src_package_has_module_docstring():
     )
 
 
+#: The only module allowed to implement doubling-growth allocation.
+COLUMN_CORE = Path("src/repro/util/columns.py")
+
+#: numpy allocators whose doubling use marks an ad-hoc growable array.
+_ALLOCATORS = ("zeros", "empty", "full")
+
+
+def _is_doubling_size(node: ast.AST) -> bool:
+    """True when an allocation-size expression doubles a length/capacity.
+
+    Matches the growth idiom all three column stores used to carry
+    inline: ``2 * <something derived from len()/capacity>`` (either
+    operand order), possibly wrapped in ``max(...)`` or a tuple shape.
+    """
+    for sub in ast.walk(node):
+        if not (isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Mult)):
+            continue
+        operands = (sub.left, sub.right)
+        if not any(
+            isinstance(op, ast.Constant) and op.value == 2
+            for op in operands
+        ):
+            continue
+        for op in operands:
+            for leaf in ast.walk(op):
+                if (
+                    isinstance(leaf, ast.Call)
+                    and isinstance(leaf.func, ast.Name)
+                    and leaf.func.id == "len"
+                ):
+                    return True
+                if (
+                    isinstance(leaf, (ast.Name, ast.Attribute))
+                    and "cap" in (
+                        leaf.id if isinstance(leaf, ast.Name) else leaf.attr
+                    ).lower()
+                ):
+                    return True
+    return False
+
+
+def find_adhoc_growth_arrays(path: Path):
+    """Doubling-growth numpy allocations outside the shared column core."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    try:
+        shown = path.relative_to(REPO_ROOT)
+    except ValueError:
+        shown = path
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _ALLOCATORS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("np", "numpy")
+        ):
+            continue
+        if _is_doubling_size(node.args[0]):
+            problems.append(
+                f"{shown}:{node.lineno}: ad-hoc doubling-growth "
+                f"np.{func.attr} — use repro.util.columns instead"
+            )
+    return problems
+
+
+def test_no_adhoc_doubling_growth_arrays_in_src():
+    """Growable-array machinery belongs to the shared column core.
+
+    PR 5 collapsed three copies of the doubling-growth idiom
+    (AgentLedger, ServerTable, metrics._Column) into
+    ``repro.util.columns``; this gate keeps new copies from sneaking
+    back in anywhere under ``src/`` outside that module.
+    """
+    problems = []
+    for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+        if path.relative_to(REPO_ROOT) == COLUMN_CORE:
+            continue
+        problems.extend(find_adhoc_growth_arrays(path))
+    assert not problems, (
+        "ad-hoc growable arrays (move growth into repro.util.columns):\n"
+        + "\n".join(problems)
+    )
+
+
+def test_growth_gate_detects_planted_doubling_alloc(tmp_path):
+    """The growth checker itself must catch the idiom it bans."""
+    planted = tmp_path / "planted.py"
+    planted.write_text(
+        "import numpy as np\n\n\ndef grow(arr):\n"
+        "    grown = np.zeros(max(2 * len(arr), 1), dtype=arr.dtype)\n"
+        "    grown[: len(arr)] = arr\n"
+        "    return grown\n"
+    )
+    problems = find_adhoc_growth_arrays(planted)
+    assert len(problems) == 1 and "doubling-growth" in problems[0]
+    benign = tmp_path / "benign.py"
+    benign.write_text(
+        "import numpy as np\n\n\ndef pair_matrix(n):\n"
+        "    return np.zeros((n + 1, n + 1))\n"
+    )
+    assert not find_adhoc_growth_arrays(benign)
+
+
 def test_row_view_classes_declare_slots():
     """Row views over column stores must not grow a per-instance dict.
 
