@@ -24,7 +24,11 @@ partition-index stores, row-space incidence rebuild, visited-only
 decision pass, top-k shortlists — see PERFORMANCE.md).
 ``fig4-slashdot-100x-bootstrap`` times the *first* epochs after
 single-replica seeding — the §II-C repair storm the grouped repair
-kernel targets (PR 5).
+kernel targets (PR 5).  ``fig4-asymmetric-partition`` (and its gated
+``-100x`` counting-fabric twin) runs the same fig4 shape with the
+gossip control plane on — loss plus an asymmetric country cut — and
+records per-code message counts alongside epochs/s, the control-plane
+overhead row PERFORMANCE.md tracks (PR 6).
 
 Run just this harness with::
 
@@ -41,6 +45,7 @@ from pathlib import Path
 
 import dataclasses
 
+from repro.net.model import NetConfig, NetPartition
 from repro.sim.config import scaled_paper_layout, slashdot_scenario
 from repro.sim.profiling import compare_kernels, speedup
 
@@ -72,9 +77,29 @@ FIG4_100X_WARMUP = 25
 #: 0 with no warmup (the storm itself is the workload).
 FIG4_100X_BOOT_EPOCHS = 4
 
+#: The faulty-net control-plane probe: the Fig. 4 scenario with the
+#: full gossip fabric carrying every heartbeat/price message under
+#: loss plus a mid-run asymmetric country cut — the per-epoch overhead
+#: of the ISSUE 6 control plane relative to plain fig4-slashdot.
+FIG4_NET_EPOCHS = 60
+
 #: Opt-in gate for the 100× probe (minutes of wall clock + a ~1 GB
 #: diversity matrix — not CI material).
 RUN_100X = os.environ.get("REPRO_BENCH_100X", "") not in ("", "0")
+
+
+def _asymmetric_net(start: int, *, fabric: str = "full") -> NetConfig:
+    return NetConfig(
+        loss=0.1,
+        rounds_per_epoch=2,
+        partitions=(
+            NetPartition(
+                start_epoch=start, heal_epoch=start + 10, depth=2,
+                asymmetric=True,
+            ),
+        ),
+        fabric=fabric,
+    )
 
 
 def _fig4_config(partitions: int):
@@ -105,7 +130,14 @@ def _fig4_scaled_config(scale: int, warmup: int, epochs: int):
 
 def _entry(config, results, warmup_epochs: int = 0):
     ratio = speedup(results)
+    messages = {
+        kernel: r.messages
+        for kernel, r in results.items()
+        if r.messages is not None
+    }
+    extra = {"messages": messages} if messages else {}
     return {
+        **extra,
         "epochs": {k: r.epochs for k, r in results.items()},
         # Untimed epochs before the measurement window: the scaled
         # variants time the epochs right after the bootstrap — for the
@@ -158,6 +190,28 @@ def test_epoch_throughput_fig4():
         scaled, scaled_results, warmup_epochs=FIG4_10X_WARMUP
     )
 
+    # Same fig4 shape with the gossip control plane on: loss=10% and an
+    # asymmetric country cut mid-run.  Message counts land in the
+    # entry; the epochs/s ratio against fig4-slashdot is the
+    # control-plane overhead PERFORMANCE.md tracks.
+    net_cfg = dataclasses.replace(
+        _fig4_config(200),
+        epochs=FIG4_NET_EPOCHS,
+        net=_asymmetric_net(FIG4_NET_EPOCHS // 3),
+    )
+    net_results = compare_kernels(
+        net_cfg, epochs=FIG4_NET_EPOCHS, repeats=2
+    )
+    assert all(
+        r.messages is not None
+        and r.messages["HEARTBEAT"]["sent"] > 0
+        and r.messages["HEARTBEAT"]["dropped_partition"] > 0
+        for r in net_results.values()
+    ), "the faulty-net probe must actually carry (and cut) traffic"
+    payload["scenarios"]["fig4-asymmetric-partition"] = _entry(
+        net_cfg, net_results
+    )
+
     if RUN_100X:
         big = _fig4_scaled_config(
             100, FIG4_100X_WARMUP, FIG4_100X_EPOCHS
@@ -181,6 +235,30 @@ def test_epoch_throughput_fig4():
         boot_entry = _entry(boot, boot_results)
         boot_entry["measured_on"] = dict(payload["machine"])
         payload["scenarios"]["fig4-slashdot-100x-bootstrap"] = boot_entry
+
+        # Control plane at 100× (20 000 servers): the full per-message
+        # fabric is capped at 4 096 nodes, so this runs the *counting*
+        # fabric — message counts are binomially sampled and detection
+        # verdicts come from the oracle at sampled-delay fidelity,
+        # which is the honest way to carry gossip bookkeeping at this
+        # scale without simulating 120 000 pushes per epoch.
+        big_net = dataclasses.replace(
+            _fig4_scaled_config(100, FIG4_100X_WARMUP, FIG4_100X_EPOCHS),
+            net=_asymmetric_net(
+                FIG4_100X_WARMUP + 1, fabric="counting"
+            ),
+        )
+        big_net_results = compare_kernels(
+            big_net, epochs=FIG4_100X_EPOCHS,
+            warmup_epochs=FIG4_100X_WARMUP,
+            kernels=("vectorized",),
+        )
+        net_entry = _entry(
+            big_net, big_net_results, warmup_epochs=FIG4_100X_WARMUP
+        )
+        net_entry["fabric"] = "counting"
+        net_entry["measured_on"] = dict(payload["machine"])
+        payload["scenarios"]["fig4-asymmetric-partition-100x"] = net_entry
     elif BENCH_PATH.exists():
         # Keep the last opted-in measurements on record instead of
         # silently dropping the scenarios from the JSON.  A corrupt
@@ -190,7 +268,11 @@ def test_epoch_throughput_fig4():
             previous = json.loads(BENCH_PATH.read_text())
         except ValueError:
             previous = {}
-        for name in ("fig4-slashdot-100x", "fig4-slashdot-100x-bootstrap"):
+        for name in (
+            "fig4-slashdot-100x",
+            "fig4-slashdot-100x-bootstrap",
+            "fig4-asymmetric-partition-100x",
+        ):
             carried = previous.get("scenarios", {}).get(name)
             if carried is not None:
                 payload["scenarios"][name] = carried

@@ -8,28 +8,47 @@ down".  This example fails an entire datacenter mid-run and shows
 
 * that no partition loses all replicas (diversity paid off),
 * how the repair burst restores every SLA within a few epochs,
-* where the replacement replicas land.
+* where the replacement replicas land,
+
+then replays the exact same outage under a *lossy gossip control
+plane*: detection is no longer instant — the outage has to be noticed
+by the failure detector through dropped heartbeats — and the report
+shows how many epochs that lag cost and what it did to availability
+(the oracle-vs-faulty twin pattern from ``repro.analysis.divergence``).
 
 Run:  python examples/datacenter_outage.py
 """
 
+import dataclasses
 
 from repro import Simulation, availability, paper_scenario
+from repro.analysis.divergence import compare_runs
+from repro.analysis.series import first_nonzero_epoch
 from repro.cluster.events import EventSchedule, ScopedOutage
+from repro.net.model import NetConfig
 from repro.sim.seeds import RngStreams
 
 OUTAGE_EPOCH = 30
 EPOCHS = 60
 
+#: A control plane bad enough to notice: every fourth message lost.
+FAULTY_NET = NetConfig(
+    loss=0.25, rounds_per_epoch=2, suspect_rounds=3, dead_rounds=8
+)
 
-def main() -> None:
-    config = paper_scenario(epochs=EPOCHS, partitions=60)
+
+def build_sim(config) -> Simulation:
     events = EventSchedule(
         [ScopedOutage(epoch=OUTAGE_EPOCH, depth=3)],  # depth 3 = datacenter
         layout=config.layout,
         rng=RngStreams(config.seed).events,
     )
-    sim = Simulation(config, events=events)
+    return Simulation(config, events=events)
+
+
+def main() -> None:
+    config = paper_scenario(epochs=EPOCHS, partitions=60)
+    sim = build_sim(config)
 
     for epoch in range(EPOCHS):
         frame = sim.step()
@@ -40,7 +59,7 @@ def main() -> None:
     log = sim.metrics
     after = log.last
 
-    lost_servers = events.log.all_removed
+    lost_servers = sim.events.log.all_removed
     print(f"datacenter outage at epoch {OUTAGE_EPOCH}: "
           f"{len(lost_servers)} servers vanished "
           f"({before.live_servers} -> {at_outage.live_servers})")
@@ -75,6 +94,35 @@ def main() -> None:
     print("replica distribution per (continent, country):")
     for key in sorted(per_country):
         print(f"  {key}: {per_country[key]}")
+
+    # -- same outage, lossy control plane ------------------------------
+    faulty = build_sim(dataclasses.replace(config, net=FAULTY_NET))
+    faulty.run()
+    rlog = faulty.robustness
+
+    detections = rlog.series("detections")
+    lag = first_nonzero_epoch(detections[OUTAGE_EPOCH:])
+    detected_at = None if lag is None else OUTAGE_EPOCH + lag
+    print(f"\nsame outage under a lossy gossip net "
+          f"(loss={FAULTY_NET.loss:.0%}):")
+    print(f"  outage at epoch {OUTAGE_EPOCH}, gossip detected it at "
+          f"epoch {detected_at} "
+          f"({int(detections.sum())} detections total)")
+    totals = rlog.message_totals()["HEARTBEAT"]
+    print(f"  heartbeats: {totals['sent']} sent, "
+          f"{totals['dropped_loss']} lost in flight")
+    print(f"  false-suspicion rate: "
+          f"{rlog.false_suspicion_rate():.4%}")
+
+    report = compare_runs(log, faulty.metrics)
+    print(f"  availability delta vs instant detection (oracle-faulty): "
+          f"mean {report.availability_gap:+.2f}, peak "
+          f"{report.peak_availability_gap:+.2f} at epoch "
+          f"{report.peak_availability_epoch}")
+    deltas = report.deltas()
+    print(f"  extra maintenance while flying blind: "
+          f"repairs {deltas['repairs']:+.0f}, replication bytes "
+          f"{deltas['replication_bytes']:+,.0f}")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,8 @@ Examples::
     python -m repro.cli run --scenario paper --epochs 50
     python -m repro.cli run --scenario slashdot --epochs 200 --points 25
     python -m repro.cli run --scenario paper --fig3-events --epochs 300
+    python -m repro.cli run --net-loss 0.2 --net-partition 30:40:2:asym \
+        --divergence --epochs 80
     python -m repro.cli compare --epochs 40 --partitions 80
     python -m repro.cli report --scenario paper --epochs 60
     python -m repro.cli profile --scenario slashdot --epochs 60
@@ -33,6 +35,7 @@ from repro.baselines.random_placement import random_placement_decider
 from repro.baselines.static import static_decider
 from repro.cluster.events import fig3_schedule
 from repro.core.decision import KERNELS
+from repro.net.model import NetConfig, NetPartition
 from repro.sim.config import (
     SimConfig,
     paper_scenario,
@@ -77,6 +80,27 @@ def build_parser() -> argparse.ArgumentParser:
                      default="economic")
     run.add_argument("--fig3-events", action="store_true",
                      help="add the +20/-20 server schedule of Fig. 3")
+    run.add_argument("--net", action="store_true",
+                     help="run the gossip control plane (zero-fault "
+                          "unless loss/partition flags are given)")
+    run.add_argument("--net-loss", type=float, default=0.0,
+                     help="per-message loss probability (implies --net)")
+    run.add_argument("--net-delay", type=int, default=0,
+                     help="max gossip delivery delay in rounds "
+                          "(implies --net)")
+    run.add_argument("--net-fabric", choices=("full", "counting"),
+                     default="full",
+                     help="message fabric: exact per-message 'full' or "
+                          "sampled-count 'counting' for large clouds")
+    run.add_argument("--net-partition", action="append", default=None,
+                     metavar="START:HEAL[:DEPTH[:asym]]",
+                     help="cut one location subtree off for epochs "
+                          "[START, HEAL); DEPTH 1-5 (default 2 = "
+                          "country); append ':asym' for a one-way cut; "
+                          "repeatable (implies --net)")
+    run.add_argument("--divergence", action="store_true",
+                     help="also run the oracle (net=None) twin and "
+                          "print the divergence report")
 
     compare = sub.add_parser(
         "compare", help="economic vs static vs random on one scenario"
@@ -136,18 +160,98 @@ def make_config(args) -> SimConfig:
     return saturation_scenario(epochs=args.epochs, seed=args.seed)
 
 
+def parse_partition(spec: str) -> NetPartition:
+    parts = spec.split(":")
+    asymmetric = False
+    if parts and parts[-1] == "asym":
+        asymmetric = True
+        parts = parts[:-1]
+    if not 2 <= len(parts) <= 3:
+        raise CliError(
+            f"--net-partition wants START:HEAL[:DEPTH[:asym]], "
+            f"got {spec!r}"
+        )
+    try:
+        start, heal = int(parts[0]), int(parts[1])
+        depth = int(parts[2]) if len(parts) == 3 else 2
+        return NetPartition(
+            start_epoch=start, heal_epoch=heal, depth=depth,
+            asymmetric=asymmetric,
+        )
+    except ValueError as exc:
+        raise CliError(f"bad --net-partition {spec!r}: {exc}")
+
+
+def make_net(args):
+    partitions = tuple(
+        parse_partition(spec) for spec in (args.net_partition or ())
+    )
+    wants_net = (
+        args.net or args.net_loss > 0.0 or args.net_delay > 0
+        or partitions or args.divergence
+    )
+    if not wants_net:
+        return None
+    return NetConfig(
+        loss=args.net_loss,
+        delay_max=args.net_delay,
+        partitions=partitions,
+        fabric=args.net_fabric,
+    )
+
+
+def print_robustness(sim, out) -> None:
+    summary = sim.robustness.summary()
+    stale = summary["staleness"]
+    retries = summary["retries"]
+    print(
+        f"control plane: false-suspicion rate "
+        f"{summary['false_suspicion_rate']:.4%}, staleness "
+        f"mean {stale['mean']:.2f} / p95 {stale['p95']:.2f} / "
+        f"max {stale['max']:.0f} epochs",
+        file=out,
+    )
+    print(
+        f"  detections={summary['detections']} "
+        f"wasted_transfers={summary['wasted_transfers']} "
+        f"retries={retries['pushed']}p/{retries['succeeded']}s/"
+        f"{retries['dropped']}d "
+        f"price_lag<={summary['max_price_version_lag']}",
+        file=out,
+    )
+    rows = [
+        [code, c["sent"], c["delivered"], c["dropped_loss"],
+         c["dropped_partition"]]
+        for code, c in sorted(summary["messages"].items())
+    ]
+    print(
+        format_table(
+            ["message", "sent", "delivered", "drop(loss)", "drop(cut)"],
+            rows,
+        ),
+        file=out,
+    )
+
+
+def make_events(config, args):
+    if not args.fig3_events:
+        return None
+    return fig3_schedule(
+        layout=config.layout,
+        storage_capacity=config.server_storage,
+        query_capacity=config.server_query_capacity,
+        rng=RngStreams(config.seed).events,
+    )
+
+
 def cmd_run(args, out) -> int:
     config = make_config(args)
-    events = None
-    if args.fig3_events:
-        events = fig3_schedule(
-            layout=config.layout,
-            storage_capacity=config.server_storage,
-            query_capacity=config.server_query_capacity,
-            rng=RngStreams(config.seed).events,
-        )
+    net = make_net(args)
+    if net is not None:
+        config = dataclasses.replace(config, net=net)
     sim = Simulation(
-        config, events=events, decider_factory=POLICIES[args.policy]
+        config, events=make_events(config, args),
+        decider_factory=POLICIES[args.policy],
     )
     log = sim.run()
     columns = {
@@ -166,6 +270,23 @@ def cmd_run(args, out) -> int:
     print(series_table(log, columns, points=args.points), file=out)
     print("-" * 60, file=out)
     print(summarize(log), file=out)
+    if sim.robustness is not None:
+        print("-" * 60, file=out)
+        print_robustness(sim, out)
+    if args.divergence:
+        from repro.analysis.divergence import (
+            compare_runs,
+            oracle_twin_config,
+        )
+
+        twin_cfg = oracle_twin_config(config)
+        twin = Simulation(
+            twin_cfg, events=make_events(twin_cfg, args),
+            decider_factory=POLICIES[args.policy],
+        )
+        twin.run()
+        print("-" * 60, file=out)
+        print(compare_runs(twin.metrics, log).render(), file=out)
     return 0
 
 

@@ -129,17 +129,33 @@ class EventSchedule:
     def events_at(self, epoch: int) -> List[CloudEvent]:
         return [e for e in self._events if e.epoch == epoch]  # type: ignore
 
-    def apply(self, epoch: int, cloud: Cloud) -> Tuple[List[int], List[int]]:
-        """Fire this epoch's events; return (added_ids, removed_ids)."""
+    def apply(self, epoch: int, cloud: Cloud,
+              kill_only: bool = False) -> Tuple[List[int], List[int]]:
+        """Fire this epoch's events; return (added_ids, removed_ids).
+
+        ``kill_only`` is the faulty-network mode: victims ``fail()`` in
+        place (slot, diversity row and catalog entries retained) instead
+        of leaving the cloud — actual removal completes only when the
+        gossip layer *detects* the death.  Victim selection then draws
+        from the physically-live servers, which is exactly the candidate
+        list the default mode sees (dead servers have already left the
+        cloud there), so the rng draws are identical in both modes for
+        any schedule whose deaths are all detected before the next
+        event fires — in particular always under a zero-fault network.
+        """
         added: List[int] = []
         removed: List[int] = []
         for event in self.events_at(epoch):
             if isinstance(event, AddServers):
                 added.extend(self._apply_add(event, cloud))
             elif isinstance(event, RemoveServers):
-                removed.extend(self._apply_remove(event, cloud))
+                removed.extend(
+                    self._apply_remove(event, cloud, kill_only)
+                )
             elif isinstance(event, ScopedOutage):
-                removed.extend(self._apply_outage(event, cloud))
+                removed.extend(
+                    self._apply_outage(event, cloud, kill_only)
+                )
             else:
                 raise EventError(f"unknown event type: {event!r}")
         if added:
@@ -162,8 +178,15 @@ class EventSchedule:
             ids.append(server.server_id)
         return ids
 
-    def _apply_remove(self, event: RemoveServers, cloud: Cloud) -> List[int]:
-        candidates = list(cloud.server_ids)
+    def _apply_remove(self, event: RemoveServers, cloud: Cloud,
+                      kill_only: bool = False) -> List[int]:
+        if kill_only:
+            candidates = [
+                sid for sid in cloud.server_ids
+                if cloud.server(sid).alive
+            ]
+        else:
+            candidates = list(cloud.server_ids)
         if event.exclude_recent:
             recent = set(self.log.all_added)
             spared = [sid for sid in candidates if sid not in recent]
@@ -179,15 +202,34 @@ class EventSchedule:
         )
         victims = [candidates[i] for i in chosen]
         for sid in victims:
-            cloud.remove_server(sid)
+            if kill_only:
+                cloud.server(sid).fail()
+            else:
+                cloud.remove_server(sid)
         return victims
 
-    def _apply_outage(self, event: ScopedOutage, cloud: Cloud) -> List[int]:
-        ids = cloud.server_ids
+    def _apply_outage(self, event: ScopedOutage, cloud: Cloud,
+                      kill_only: bool = False) -> List[int]:
+        if kill_only:
+            ids = [
+                sid for sid in cloud.server_ids
+                if cloud.server(sid).alive
+            ]
+        else:
+            ids = cloud.server_ids
         if not ids:
             return []
         pivot_id = ids[int(self._rng.integers(len(ids)))]
         prefix = cloud.server(pivot_id).location.prefix(event.depth)
+        if kill_only:
+            victims = [
+                s.server_id
+                for s in cloud
+                if s.alive and s.location.prefix(event.depth) == prefix
+            ]
+            for sid in victims:
+                cloud.server(sid).fail()
+            return victims
         victims = [
             s.server_id
             for s in cloud

@@ -15,7 +15,7 @@ colocated machines together.
 from __future__ import annotations
 
 from math import comb
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -35,17 +35,34 @@ class AvailabilityError(ValueError):
     """Raised for invalid availability queries."""
 
 
-def availability(cloud: Cloud, server_ids: Sequence[int]) -> float:
+#: Optional liveness override: maps a server id to whether the caller
+#: *believes* it alive.  ``None`` means physical liveness (the
+#: pre-existing inline path, kept byte-identical).
+LivenessPredicate = Callable[[int], bool]
+
+
+def availability(cloud: Cloud, server_ids: Sequence[int],
+                 is_alive: Optional[LivenessPredicate] = None) -> float:
     """Eq. 2 availability of a replica set.
 
     Dead or unknown servers contribute nothing: a replica on a failed
     machine is lost, so only live replicas count toward the estimate.
+    ``is_alive`` substitutes a *believed* liveness column for the
+    physical one (the stale-membership seam); servers unknown to the
+    cloud are always excluded (their diversity rows are gone).
     """
-    live = [
-        sid
-        for sid in server_ids
-        if sid in cloud and cloud.server(sid).alive
-    ]
+    if is_alive is None:
+        live = [
+            sid
+            for sid in server_ids
+            if sid in cloud and cloud.server(sid).alive
+        ]
+    else:
+        live = [
+            sid
+            for sid in server_ids
+            if sid in cloud and is_alive(sid)
+        ]
     if len(set(live)) != len(live):
         raise AvailabilityError(f"duplicate servers in replica set: {server_ids}")
     if len(live) < 2:
@@ -61,33 +78,48 @@ def availability(cloud: Cloud, server_ids: Sequence[int]) -> float:
 
 
 def availability_without(cloud: Cloud, server_ids: Sequence[int],
-                         excluded: int) -> float:
+                         excluded: int,
+                         is_alive: Optional[LivenessPredicate] = None
+                         ) -> float:
     """Availability if ``excluded`` dropped its replica — the suicide test."""
     remaining = [sid for sid in server_ids if sid != excluded]
     if len(remaining) == len(server_ids):
         raise AvailabilityError(
             f"server {excluded} not in replica set {server_ids}"
         )
-    return availability(cloud, remaining)
+    return availability(cloud, remaining, is_alive=is_alive)
 
 
 def pair_gain(cloud: Cloud, server_ids: Sequence[int],
-              candidate: int) -> float:
+              candidate: int,
+              is_alive: Optional[LivenessPredicate] = None) -> float:
     """Availability added by replicating onto ``candidate`` (eq. 2 delta)."""
     if candidate in server_ids:
         raise AvailabilityError(f"candidate {candidate} already hosts a replica")
     cand = cloud.server(candidate)
-    if not cand.alive:
+    if is_alive is None:
+        if not cand.alive:
+            return 0.0
+    elif not is_alive(candidate):
         return 0.0
     row = cloud.diversity_row(candidate)
     gain = 0.0
-    for sid in server_ids:
-        if sid in cloud and cloud.server(sid).alive:
-            gain += (
-                cand.confidence
-                * cloud.server(sid).confidence
-                * row[cloud.slot(sid)]
-            )
+    if is_alive is None:
+        for sid in server_ids:
+            if sid in cloud and cloud.server(sid).alive:
+                gain += (
+                    cand.confidence
+                    * cloud.server(sid).confidence
+                    * row[cloud.slot(sid)]
+                )
+    else:
+        for sid in server_ids:
+            if sid in cloud and is_alive(sid):
+                gain += (
+                    cand.confidence
+                    * cloud.server(sid).confidence
+                    * row[cloud.slot(sid)]
+                )
     return gain
 
 
@@ -191,6 +223,12 @@ class AvailabilityIndex:
         # streaks persist across epochs while membership rarely moves,
         # so the hit rate in steady state is high.
         self._contrib: Dict[object, Dict[int, float]] = {}
+        # Optional believed-liveness override for every internal eq. 2
+        # evaluation (the stale-membership seam).  ``None`` keeps the
+        # physical paths bit-identical.  Callers that flip a belief must
+        # refresh the affected partitions (:meth:`refresh_server`) —
+        # the delta accounting assumes sums reflect the current column.
+        self._liveness: Optional[LivenessPredicate] = None
         if catalog is not None:
             self.bind(catalog)
 
@@ -207,6 +245,36 @@ class AvailabilityIndex:
         catalog.add_listener(self)
         self.rebuild(catalog)
 
+    def set_liveness(self,
+                     predicate: Optional[LivenessPredicate]) -> None:
+        """Install (or clear) the believed-liveness override.
+
+        The caller owns coherence: on every belief *flip* for a server,
+        call :meth:`refresh_server` so the cached pair sums are
+        recomputed under the new column.
+        """
+        self._liveness = predicate
+
+    def refresh_partition(self, pid) -> None:
+        """Recompute one partition's pair sum under the current column."""
+        catalog = self._catalog
+        servers = catalog.servers_of(pid) if catalog is not None else ()
+        self._contrib.pop(pid, None)
+        slot = self._slot(pid)
+        self._counts[slot] = len(servers)
+        self._avail[slot] = (
+            availability(self._cloud, servers, is_alive=self._liveness)
+            if servers else 0.0
+        )
+
+    def refresh_server(self, server_id: int) -> None:
+        """Recompute every partition hosting ``server_id`` (belief flip)."""
+        catalog = self._catalog
+        if catalog is None:
+            return
+        for pid in catalog.partitions_on(server_id):
+            self.refresh_partition(pid)
+
     def rebuild(self, catalog) -> None:
         """Recompute every partition's pair sum from catalog state."""
         self._contrib = {}
@@ -215,7 +283,9 @@ class AvailabilityIndex:
         for pid in catalog.partitions():
             servers = catalog.servers_of(pid)
             pairs.append(
-                (slot_of(pid), availability(self._cloud, servers),
+                (slot_of(pid),
+                 availability(self._cloud, servers,
+                              is_alive=self._liveness),
                  len(servers))
             )
         self._avail = np.zeros(len(self._partitions), dtype=np.float64)
@@ -292,24 +362,39 @@ class AvailabilityIndex:
             if cached is not None:
                 return cached
         cloud = self._cloud
+        pred = self._liveness
         total = 0.0
         if server_id in cloud:
             me = cloud.server(server_id)
-            if me.alive:
+            me_counts = me.alive if pred is None else pred(server_id)
+            if me_counts:
                 row = cloud.diversity_row(server_id)
                 slot = cloud.slot
                 server = cloud.server
-                for sid in servers:
-                    if (
-                        sid != server_id
-                        and sid in cloud
-                        and server(sid).alive
-                    ):
-                        total += (
-                            me.confidence
-                            * server(sid).confidence
-                            * row[slot(sid)]
-                        )
+                if pred is None:
+                    for sid in servers:
+                        if (
+                            sid != server_id
+                            and sid in cloud
+                            and server(sid).alive
+                        ):
+                            total += (
+                                me.confidence
+                                * server(sid).confidence
+                                * row[slot(sid)]
+                            )
+                else:
+                    for sid in servers:
+                        if (
+                            sid != server_id
+                            and sid in cloud
+                            and pred(sid)
+                        ):
+                            total += (
+                                me.confidence
+                                * server(sid).confidence
+                                * row[slot(sid)]
+                            )
         cache[server_id] = total
         return total
 
@@ -321,7 +406,8 @@ class AvailabilityIndex:
         others = [sid for sid in servers if sid != server_id]
         gain = 0.0
         if others:
-            gain = pair_gain(self._cloud, others, server_id)
+            gain = pair_gain(self._cloud, others, server_id,
+                             is_alive=self._liveness)
         slot = self._slot(pid)
         self._avail[slot] = self._avail[slot] + gain
         self._counts[slot] = len(servers)
@@ -334,12 +420,22 @@ class AvailabilityIndex:
         if not servers:
             self._avail[slot] = 0.0
             return
-        if server_id in self._cloud and self._cloud.server(server_id).alive:
-            loss = pair_gain(self._cloud, servers, server_id)
+        pred = self._liveness
+        counts = (
+            server_id in self._cloud
+            and (
+                self._cloud.server(server_id).alive
+                if pred is None else pred(server_id)
+            )
+        )
+        if counts:
+            loss = pair_gain(self._cloud, servers, server_id,
+                             is_alive=pred)
         else:
             # The server is gone from the cloud (death path without the
             # bulk drop): its pair terms cannot be derived, recompute.
-            self._avail[slot] = availability(self._cloud, servers)
+            self._avail[slot] = availability(self._cloud, servers,
+                                             is_alive=pred)
             return
         self._avail[slot] = self._avail[slot] - loss
 
@@ -355,7 +451,9 @@ class AvailabilityIndex:
             slot = self._slot(pid)
             self._counts[slot] = len(servers)
             if servers:
-                self._avail[slot] = availability(self._cloud, servers)
+                self._avail[slot] = availability(
+                    self._cloud, servers, is_alive=self._liveness
+                )
             else:
                 self._avail[slot] = 0.0
 

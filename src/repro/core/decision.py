@@ -33,6 +33,7 @@ from repro.core.availability import AvailabilityIndex, availability, pair_gain
 from repro.core.board import PriceBoard
 from repro.core.economy import RentModel
 from repro.core.placement import PlacementScorer
+from repro.net.membership import OracleMembership
 from repro.ring.partition import (
     Partition,
     PartitionId,
@@ -153,12 +154,12 @@ class _FlatState:
     :class:`~repro.ring.partition.PartitionIndex` slot and
     ``seg_by_slot`` the inverse scatter (−1 for unrepresented slots), so
     per-partition vectors (query counts, availability) gather straight
-    into segment order.  Valid while the (catalog, registry, cloud)
-    version key holds — i.e. until any membership mutation — so
-    steady-state epochs reuse it whole.
+    into segment order.  Valid while the (catalog, registry, cloud,
+    membership-view) version key holds — i.e. until any membership
+    mutation or belief flip — so steady-state epochs reuse it whole.
     """
 
-    key: Tuple[int, int, int]
+    key: Tuple[int, ...]
     pids: List[PartitionId]
     pid_slots: np.ndarray
     seg_by_slot: np.ndarray
@@ -181,13 +182,22 @@ class DecisionEngine:
                  policy: EconomicPolicy,
                  rent_model: Optional[RentModel] = None,
                  kernel: str = "vectorized",
-                 avail_index: Optional[AvailabilityIndex] = None) -> None:
+                 avail_index: Optional[AvailabilityIndex] = None,
+                 membership=None) -> None:
         if kernel not in KERNELS:
             raise KernelError(
                 f"kernel must be one of {KERNELS}, got {kernel!r}"
             )
         self._rent_model = rent_model if rent_model is not None else RentModel()
         self._cloud = cloud
+        # The MembershipView seam: every liveness read below goes
+        # through ``self._membership`` — the oracle default delegates
+        # straight to the cloud (pre-existing behavior, byte-for-byte),
+        # a gossip-backed service substitutes *believed* columns.
+        self._membership = (
+            membership if membership is not None
+            else OracleMembership(cloud)
+        )
         self._rings = rings
         self._catalog = catalog
         self._registry = registry
@@ -300,14 +310,16 @@ class DecisionEngine:
     def _flat_state(self) -> _FlatState:
         """The epoch kernel's live replica/agent incidence, cached.
 
-        Rebuilt only when the catalog, registry or cloud version moved
-        (any membership mutation); mutation-free epochs — the steady
-        state — reuse the whole structure.
+        Rebuilt only when the catalog, registry, cloud or membership
+        view's version moved (any membership mutation or belief flip);
+        mutation-free epochs — the steady state — reuse the whole
+        structure.
         """
         key = (
             self._catalog.version,
             self._registry.version,
             self._cloud.version,
+            self._membership.version,
         )
         cached = self._flat_cache
         if cached is not None and cached.key == key:
@@ -335,7 +347,7 @@ class DecisionEngine:
         max_id = max(ids)
         id_to_slot = np.full(max_id + 2, -1, dtype=np.int64)
         id_to_slot[np.asarray(ids, dtype=np.int64)] = np.arange(n_slots)
-        alive = cloud.alive_vector()
+        alive = self._membership.believed_vector()
         sids_all = np.asarray(view.server_ids, dtype=np.int64)
         slots_all = id_to_slot[np.minimum(sids_all, max_id + 1)]
         known = slots_all >= 0
@@ -591,11 +603,12 @@ class DecisionEngine:
         stats = DecisionStats()
         scorer = self._make_scorer(board)
         # Liveness is fixed for the whole decision pass (failures land
-        # between epochs); one set build serves every partition.  The
-        # alive column replaces the per-server attribute walk (and in
-        # the overwhelmingly common all-alive case, the compress too).
+        # between epochs, belief flips in the membership phase); one
+        # set build serves every partition.  The believed column
+        # replaces the per-server attribute walk (and in the
+        # overwhelmingly common all-alive case, the compress too).
         ids = self._cloud.server_ids
-        alive = self._cloud.alive_vector()
+        alive = self._membership.believed_vector()
         if alive.all():
             self._live_ids = frozenset(ids)
         else:
@@ -874,22 +887,30 @@ class DecisionEngine:
             rent_weight=self._policy.rent_weight,
             storage_alpha=self._rent_model.alpha,
             epochs_per_month=self._rent_model.epochs_per_month,
+            alive_override=self._membership.believed_vector(),
         )
 
     # -- per-partition logic ------------------------------------------------------
 
     def _live_replicas(self, pid: PartitionId) -> List[int]:
+        believed = self._membership.believed
         return [
             sid
             for sid in self._catalog.servers_of(pid)
-            if sid in self._cloud and self._cloud.server(sid).alive
+            if believed(sid)
         ]
 
     def _availability_set(self, servers: Sequence[int]) -> float:
-        key = tuple(sorted(servers))
+        pred = self._membership.predicate
+        key: Tuple = tuple(sorted(servers))
+        if pred is not None:
+            # Belief flips change a set's value; the view version keys
+            # the memo only while a non-physical belief is active, so
+            # the oracle path keeps the engine-lifetime keys untouched.
+            key = (self._membership.version, key)
         cached = self._avail_memo.get(key)
         if cached is None:
-            cached = availability(self._cloud, servers)
+            cached = availability(self._cloud, servers, is_alive=pred)
             self._avail_memo[key] = cached
         return cached
 
@@ -1186,7 +1207,8 @@ class DecisionEngine:
             # chain-local value stays bit-identical to the post-commit
             # cached sum the next reader sees.
             avail = avail + pair_gain(
-                self._cloud, servers, candidate.server_id
+                self._cloud, servers, candidate.server_id,
+                is_alive=self._membership.predicate,
             )
             servers.append(candidate.server_id)
             stats.repairs += 1
@@ -1287,12 +1309,14 @@ class DecisionEngine:
                 # deltas (and operand order) the catalog listener
                 # applies when the queued move commits.
                 self._index.invalidate_contribution(pid)
+                pred = self._membership.predicate
                 avail = avail + pair_gain(
-                    self._cloud, servers, candidate.server_id
+                    self._cloud, servers, candidate.server_id,
+                    is_alive=pred,
                 )
                 avail = avail - pair_gain(
                     self._cloud, others + [candidate.server_id],
-                    agent.server_id,
+                    agent.server_id, is_alive=pred,
                 )
             else:
                 result = self._transfers.migrate(
@@ -1314,11 +1338,13 @@ class DecisionEngine:
                 # commit.  Mirror that chronology on the local sum.
                 self._index.invalidate_contribution(pid)
                 self._transfers.suicide(partition, agent.server_id)
+                pred = self._membership.predicate
                 avail = avail - pair_gain(
-                    self._cloud, others, agent.server_id
+                    self._cloud, others, agent.server_id, is_alive=pred
                 )
                 avail = avail + pair_gain(
-                    self._cloud, others, candidate.server_id
+                    self._cloud, others, candidate.server_id,
+                    is_alive=pred,
                 )
             else:
                 result = self._transfers.replicate(
@@ -1401,7 +1427,8 @@ class DecisionEngine:
                 return avail
             self._index.invalidate_contribution(pid)
             avail = avail + pair_gain(
-                self._cloud, servers, candidate.server_id
+                self._cloud, servers, candidate.server_id,
+                is_alive=self._membership.predicate,
             )
         else:
             result = self._transfers.replicate(

@@ -141,7 +141,8 @@ class PlacementScorer:
                  rent_weight: float = 1.0,
                  storage_alpha: float = 1.0,
                  epochs_per_month: int = 720,
-                 shortlist_k: Optional[int] = None) -> None:
+                 shortlist_k: Optional[int] = None,
+                 alive_override: Optional[np.ndarray] = None) -> None:
         if rent_weight < 0:
             raise PlacementError(
                 f"rent_weight must be >= 0, got {rent_weight}"
@@ -169,7 +170,15 @@ class PlacementScorer:
         self._usage_price = (
             cloud.monthly_rent_vector() / float(epochs_per_month)
         )
-        self._alive = cloud.alive_vector()
+        # ``alive_override`` is the faulty-network *believed* column;
+        # candidates the board believes dead score as infeasible even
+        # while physically up (and ghosts stay targetable until the
+        # gossip layer detects them — the transfer engine then refuses
+        # the copy with a typed network outcome).
+        self._alive = (
+            alive_override if alive_override is not None
+            else cloud.alive_vector()
+        )
         self._rent_weight = rent_weight
         self._storage_alpha = storage_alpha
         self._headroom: Dict[str, np.ndarray] = {}

@@ -16,7 +16,11 @@ from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
-from repro.gossip.heartbeat import GossipConfig, GossipError
+from repro.gossip.heartbeat import (
+    GossipConfig,
+    GossipError,
+    _default_gossip_rng,
+)
 
 
 @dataclass
@@ -37,7 +41,7 @@ class VersionedGossip:
         if len(set(node_ids)) != len(node_ids):
             raise GossipError("node ids must be unique")
         self.config = config
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else _default_gossip_rng()
         self._nodes: List[int] = list(node_ids)
         self._crashed: Set[int] = set()
         self._round = 0

@@ -29,6 +29,22 @@ class GossipError(ValueError):
     """Raised for invalid gossip parameters."""
 
 
+def _default_gossip_rng() -> np.random.Generator:
+    """Seed-0 ``gossip`` spawn stream from :class:`RngStreams`.
+
+    Standalone gossip components used to default to a bare
+    ``default_rng(0)``; deriving the default from the same spawn-stream
+    family the simulator uses keeps a standalone detector's draws
+    independent of every other stream at the same master seed (and of
+    any future stream appended after ``gossip``).  Imported lazily —
+    ``repro.sim`` pulls in the core packages at import time and the
+    gossip substrate must stay importable on its own.
+    """
+    from repro.sim.seeds import RngStreams
+
+    return RngStreams(0).gossip
+
+
 @dataclass(frozen=True)
 class GossipConfig:
     """Round-based push-gossip parameters."""
@@ -75,7 +91,7 @@ class FailureDetector:
         if not node_ids:
             raise GossipError("need at least one node")
         self.config = config
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else _default_gossip_rng()
         self._nodes: List[int] = list(node_ids)
         self._crashed: Set[int] = set()
         self._round = 0

@@ -1,0 +1,451 @@
+"""Message-count-accurate gossip fabrics over the faulty network.
+
+Two implementations of the same surface:
+
+* :class:`GossipFabric` ("full") — a per-observer age matrix
+  (observer × subject, int32 rounds-since-heard).  Every heartbeat
+  push is an explicit message: drawn targets, reachability check, loss
+  roll, delayed elementwise-min merge.  Membership verdicts (believed
+  dead, false suspects, staleness) are read from the *board
+  observer's* row — the lowest physically-live registered id, i.e. the
+  election winner, which costs zero extra messages because every node
+  derives it from its own view.  O(N²) state, capped at
+  :data:`~repro.net.model.FULL_FABRIC_MAX_NODES` nodes.
+
+* :class:`CountingFabric` ("counting") — no per-pair state.  Message
+  counts are sampled push-for-push (binomial draws over the same
+  target distribution), so totals match the full fabric in
+  distribution, but membership and price verdicts are *oracle*
+  (detection after ``ceil(dead_rounds / rounds_per_epoch)`` epochs,
+  prices current).  This is what makes the 100× control-plane
+  overhead row measurable at all; PERFORMANCE.md says so explicitly.
+
+Both fabrics draw every random choice from the ``gossip`` seed
+stream, so faulty-network runs reproduce from one ``SimConfig.seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.topology import Cloud
+from repro.net.model import (
+    FULL_FABRIC_MAX_NODES,
+    HEARTBEAT,
+    LOST_LIVE_NODE,
+    NEW_NODE,
+    PRICE,
+    NetConfig,
+    NetError,
+    NetworkModel,
+)
+
+#: Sentinel age for "observer has never heard of this subject".
+UNKNOWN_AGE = -1
+
+
+class GossipFabric:
+    """Full-state push gossip: one age row per registered server."""
+
+    def __init__(self, config: NetConfig, net: NetworkModel,
+                 cloud: Cloud, rng: np.random.Generator) -> None:
+        self._config = config
+        self._net = net
+        self._cloud = cloud
+        self._rng = rng
+        self._ids: List[int] = []
+        self._row: Dict[int, int] = {}
+        self._age = np.zeros((0, 0), dtype=np.int32)
+        self._ver = np.zeros(0, dtype=np.int64)
+        self._pending_bootstrap: List[int] = []
+
+    # -- registration ------------------------------------------------------
+
+    def _check_capacity(self, n: int) -> None:
+        if n > FULL_FABRIC_MAX_NODES:
+            raise NetError(
+                f"full fabric capped at {FULL_FABRIC_MAX_NODES} nodes "
+                f"(requested {n}); use NetConfig(fabric='counting')"
+            )
+
+    def register_initial(self, server_ids: List[int]) -> None:
+        """Bootstrap a converged membership (everyone knows everyone)."""
+        self._check_capacity(len(server_ids))
+        self._ids = list(server_ids)
+        self._row = {sid: i for i, sid in enumerate(self._ids)}
+        n = len(self._ids)
+        self._age = np.zeros((n, n), dtype=np.int32)
+        self._ver = np.full(n, -1, dtype=np.int64)
+
+    def register_join(self, sid: int) -> None:
+        """A new server joins: known to itself, learned epidemically.
+
+        The joiner bootstraps by contacting the board observer (one
+        NEW_NODE each way: the joiner announces itself, the board
+        returns its membership snapshot).  If the contact is currently
+        unreachable it is retried every round until it lands.
+        """
+        if sid in self._row:
+            return
+        n = len(self._ids)
+        self._check_capacity(n + 1)
+        # Exact-size rebuild: joins arrive in rare event batches, so a
+        # fresh (n+1)² copy per join beats keeping doubling slack.
+        age = np.full((n + 1, n + 1), UNKNOWN_AGE, dtype=np.int32)
+        age[:n, :n] = self._age
+        age[n, n] = 0
+        self._age = age
+        ver = np.full(n + 1, -1, dtype=np.int64)
+        ver[:n] = self._ver
+        self._ver = ver
+        self._row[sid] = n
+        self._ids.append(sid)
+        self._pending_bootstrap.append(sid)
+        self._attempt_bootstrap(sid)
+
+    def unregister(self, sid: int) -> None:
+        """Remove a detected-dead server's row/column entirely."""
+        row = self._row.pop(sid, None)
+        if row is None:
+            return
+        keep = [i for i in range(len(self._ids)) if i != row]
+        self._age = self._age[np.ix_(keep, keep)].copy()
+        self._ver = self._ver[keep].copy()
+        self._ids.pop(row)
+        self._row = {s: i for i, s in enumerate(self._ids)}
+        if sid in self._pending_bootstrap:
+            self._pending_bootstrap.remove(sid)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _phys_alive(self, sid: int) -> bool:
+        cloud = self._cloud
+        return sid in cloud and cloud.server(sid).alive
+
+    def _live_rows(self) -> List[int]:
+        return [
+            i for i, sid in enumerate(self._ids) if self._phys_alive(sid)
+        ]
+
+    def board_observer(self) -> Optional[int]:
+        """The election winner: lowest physically-live registered id.
+
+        Derived by every node from its own view at zero message cost
+        (the ELECTION code never increments — by construction).
+        """
+        live = [sid for sid in self._ids if self._phys_alive(sid)]
+        return min(live) if live else None
+
+    def _board_row(self) -> Optional[int]:
+        sid = self.board_observer()
+        return None if sid is None else self._row[sid]
+
+    def _attempt_bootstrap(self, sid: int) -> bool:
+        board = self.board_observer()
+        if board is None or board == sid:
+            self._pending_bootstrap = [
+                s for s in self._pending_bootstrap if s != sid
+            ]
+            return True
+        stats = self._net.stats
+        stats.record(NEW_NODE, sent=2)
+        if not self._net.reachable(sid, board):
+            stats.record(NEW_NODE, dropped_partition=2)
+            return False
+        if self._config.loss and self._net.lost():
+            stats.record(NEW_NODE, dropped_loss=2)
+            return False
+        stats.record(NEW_NODE, delivered=2)
+        i, b = self._row[sid], self._row[board]
+        self._age[b, i] = 0
+        # Membership snapshot: the joiner adopts the board's view.
+        np.minimum(
+            self._age[i], self._age[b],
+            out=self._age[i],
+            where=(self._age[b] >= 0) & (self._age[i] >= 0),
+        )
+        unknown = (self._age[i] < 0) & (self._age[b] >= 0)
+        self._age[i][unknown] = self._age[b][unknown]
+        self._age[i, i] = 0
+        self._ver[i] = max(self._ver[i], self._ver[b])
+        self._pending_bootstrap = [
+            s for s in self._pending_bootstrap if s != sid
+        ]
+        return True
+
+    def _targets(self, observer_row: int) -> np.ndarray:
+        # Candidates are every *known* subject, dead-believed included
+        # (SWIM-style): if declared-dead peers were never probed again,
+        # two sides of a healed partition — each believing the other
+        # dead — would never exchange another message and the split
+        # brain would be permanent.  Pushes addressed to a host that is
+        # physically down simply drop (counted as partition drops), so
+        # real ghosts still age out and are unregistered on detection.
+        row = self._age[observer_row]
+        cand = np.flatnonzero(row >= 0)
+        cand = cand[cand != observer_row]
+        if cand.size == 0:
+            return cand
+        k = min(self._config.fanout, cand.size)
+        picks = self._rng.choice(cand.size, size=k, replace=False)
+        return cand[np.sort(picks)]
+
+    # -- rounds ------------------------------------------------------------
+
+    def membership_round(self) -> None:
+        """One heartbeat round: age, refresh self, push fanout views."""
+        age = self._age
+        age[age >= 0] += 1
+        live = self._live_rows()
+        for i in live:
+            age[i, i] = 0
+        for sid in list(self._pending_bootstrap):
+            self._attempt_bootstrap(sid)
+        stats = self._net.stats
+        cfg = self._config
+        net = self._net
+        ids = self._ids
+        for i in live:
+            for j in self._targets(i):
+                j = int(j)
+                stats.record(HEARTBEAT, sent=1)
+                if not self._phys_alive(ids[j]) or not net.reachable(
+                    ids[i], ids[j]
+                ):
+                    stats.record(HEARTBEAT, dropped_partition=1)
+                    continue
+                if cfg.loss and net.lost():
+                    stats.record(HEARTBEAT, dropped_loss=1)
+                    continue
+                stats.record(HEARTBEAT, delivered=1)
+                self._merge(i, j)
+
+    def _merge(self, src_row: int, dst_row: int) -> None:
+        incoming = self._age[src_row]
+        if self._config.delay_max:
+            d = int(self._rng.integers(self._config.delay_max + 1))
+            if d:
+                incoming = incoming.copy()
+                incoming[incoming >= 0] += d
+        recv = self._age[dst_row]
+        known_in = incoming >= 0
+        newly = known_in & (recv < 0)
+        n_new = int(np.count_nonzero(newly))
+        if n_new:
+            # The push taught the receiver about previously unknown
+            # members (id + believed rent travel with it).
+            self._net.stats.record(NEW_NODE, sent=n_new, delivered=n_new)
+            recv[newly] = incoming[newly]
+        both = known_in & (recv >= 0)
+        np.minimum(recv, incoming, out=recv, where=both)
+        recv[dst_row] = 0
+
+    def publish_version(self, version: int) -> None:
+        row = self._board_row()
+        if row is not None:
+            self._ver[row] = max(self._ver[row], version)
+
+    def price_round(self) -> None:
+        """One price-dissemination round: versions ride fanout pushes."""
+        stats = self._net.stats
+        cfg = self._config
+        net = self._net
+        ids = self._ids
+        for i in self._live_rows():
+            if self._ver[i] < 0:
+                continue
+            for j in self._targets(i):
+                j = int(j)
+                stats.record(PRICE, sent=1)
+                if not self._phys_alive(ids[j]) or not net.reachable(
+                    ids[i], ids[j]
+                ):
+                    stats.record(PRICE, dropped_partition=1)
+                    continue
+                if cfg.loss and net.lost():
+                    stats.record(PRICE, dropped_loss=1)
+                    continue
+                stats.record(PRICE, delivered=1)
+                if self._ver[i] > self._ver[j]:
+                    self._ver[j] = self._ver[i]
+
+    # -- verdicts (board observer's view) ----------------------------------
+
+    def believed_dead(self) -> List[int]:
+        """Registered subjects the board observer believes dead."""
+        row = self._board_row()
+        if row is None:
+            return []
+        ages = self._age[row]
+        dead = ages >= self._config.dead_rounds
+        return [self._ids[i] for i in np.flatnonzero(dead)]
+
+    def suspected(self) -> List[int]:
+        """Subjects at suspect age (inclusive) in the board's view."""
+        row = self._board_row()
+        if row is None:
+            return []
+        ages = self._age[row]
+        sus = ages >= self._config.suspect_rounds
+        return [self._ids[i] for i in np.flatnonzero(sus)]
+
+    def staleness(self) -> Tuple[float, int]:
+        """(mean, max) board-view age over physically-live subjects."""
+        row = self._board_row()
+        if row is None:
+            return 0.0, 0
+        ages = self._age[row]
+        live = [
+            i for i, sid in enumerate(self._ids)
+            if self._phys_alive(sid) and ages[i] >= 0
+        ]
+        if not live:
+            return 0.0, 0
+        vals = ages[live]
+        return float(vals.mean()), int(vals.max())
+
+    def effective_version(self, believed_live: List[int]) -> int:
+        """Oldest newest-version among believed-live registered nodes.
+
+        −1 when some believed-live node has never heard any board
+        broadcast (callers clamp to the earliest snapshot they hold).
+        """
+        best: Optional[int] = None
+        for sid in believed_live:
+            row = self._row.get(sid)
+            if row is None:
+                continue
+            v = int(self._ver[row])
+            if best is None or v < best:
+                best = v
+        return -1 if best is None else best
+
+    def record_tombstones(self, believed_live_count: int) -> None:
+        """The board's reliable LOST_LIVE_NODE broadcast on detection."""
+        n = max(0, believed_live_count - 1)
+        self._net.stats.record(LOST_LIVE_NODE, sent=n, delivered=n)
+
+
+class CountingFabric:
+    """Stateless-per-pair fabric: exact sampled counts, oracle verdicts."""
+
+    def __init__(self, config: NetConfig, net: NetworkModel,
+                 cloud: Cloud, rng: np.random.Generator) -> None:
+        self._config = config
+        self._net = net
+        self._cloud = cloud
+        self._rng = rng
+        self._ids: List[int] = []
+        self._known = set()
+
+    # -- registration (id bookkeeping only) --------------------------------
+
+    def register_initial(self, server_ids: List[int]) -> None:
+        self._ids = list(server_ids)
+        self._known = set(server_ids)
+
+    def register_join(self, sid: int) -> None:
+        if sid in self._known:
+            return
+        self._ids.append(sid)
+        self._known.add(sid)
+        self._net.stats.record(NEW_NODE, sent=2, delivered=2)
+
+    def unregister(self, sid: int) -> None:
+        if sid in self._known:
+            self._known.remove(sid)
+            self._ids.remove(sid)
+
+    def _phys_alive(self, sid: int) -> bool:
+        cloud = self._cloud
+        return sid in cloud and cloud.server(sid).alive
+
+    def board_observer(self) -> Optional[int]:
+        live = [sid for sid in self._ids if self._phys_alive(sid)]
+        return min(live) if live else None
+
+    # -- rounds ------------------------------------------------------------
+
+    def _round_counts(self, code: str) -> None:
+        """Sample one round's pushes without per-pair state.
+
+        Each live node pushes to ``min(fanout, live−1)`` uniform
+        targets; cut-crossing and lost pushes are binomial draws over
+        the same distribution the full fabric samples push-by-push.
+        """
+        live = [sid for sid in self._ids if self._phys_alive(sid)]
+        n = len(live)
+        if n < 2:
+            return
+        per_node = min(self._config.fanout, n - 1)
+        sent = n * per_node
+        stats = self._net.stats
+        stats.record(code, sent=sent)
+        dropped_cut = 0
+        for cut in self._net.active_cuts():
+            in_a = [
+                sid for sid in live if cut.in_a(self._cloud, sid)
+            ]
+            a, b = len(in_a), n - len(in_a)
+            if a == 0 or b == 0:
+                continue
+            # B→A pushes always drop across the cut; A→B only when the
+            # cut is symmetric.
+            p_hit_a = a / (n - 1)
+            dropped_cut += int(self._rng.binomial(b * per_node, p_hit_a))
+            if not cut.asymmetric:
+                p_hit_b = b / (n - 1)
+                dropped_cut += int(
+                    self._rng.binomial(a * per_node, p_hit_b)
+                )
+        for sid in self._net.flapped_ids():
+            if self._phys_alive(sid):
+                # All of the flapped node's own pushes drop, plus every
+                # push that drew it as a target.
+                dropped_cut += per_node
+                dropped_cut += int(
+                    self._rng.binomial((n - 1) * per_node, 1.0 / (n - 1))
+                )
+        dropped_cut = min(dropped_cut, sent)
+        remaining = sent - dropped_cut
+        dropped_loss = 0
+        if self._config.loss and remaining:
+            dropped_loss = int(
+                self._rng.binomial(remaining, self._config.loss)
+            )
+        stats.record(
+            code,
+            delivered=sent - dropped_cut - dropped_loss,
+            dropped_loss=dropped_loss,
+            dropped_partition=dropped_cut,
+        )
+
+    def membership_round(self) -> None:
+        self._round_counts(HEARTBEAT)
+
+    def price_round(self) -> None:
+        self._round_counts(PRICE)
+
+    def publish_version(self, version: int) -> None:
+        """Oracle prices: the counting fabric never lags the board."""
+
+    # -- verdicts: oracle --------------------------------------------------
+
+    def believed_dead(self) -> List[int]:
+        """Detection is handled by the membership service's age rule."""
+        return []
+
+    def suspected(self) -> List[int]:
+        return []
+
+    def staleness(self) -> Tuple[float, int]:
+        return 0.0, 0
+
+    def effective_version(self, believed_live: List[int]) -> int:
+        return -2  # sentinel: "current" — the service uses the real board
+
+    def record_tombstones(self, believed_live_count: int) -> None:
+        n = max(0, believed_live_count - 1)
+        self._net.stats.record(LOST_LIVE_NODE, sent=n, delivered=n)

@@ -27,6 +27,7 @@ from repro.cluster.topology import CloudLayout
 from repro.core.availability import paper_thresholds
 from repro.core.decision import KERNELS, EconomicPolicy
 from repro.core.economy import RentModel
+from repro.net.model import NetConfig
 from repro.workload.arrivals import ConstantRate, RateProfile
 from repro.workload.clients import ClientGeography, uniform_geography
 from repro.workload.slashdot import slashdot_profile
@@ -173,6 +174,14 @@ class SimConfig:
     # streams under a relative tolerance rather than bit-exactly (see
     # PERFORMANCE.md and the golden registry's per-scenario rtol).
     confidence: Optional[ConfidenceModel] = None
+    # Faulty control-plane network (ROADMAP item 3).  None keeps the
+    # idealized instant-membership engine path byte-for-byte; a
+    # NetConfig routes every heartbeat/price/membership message through
+    # the repro.net fabric and the engine consumes *believed* (stale)
+    # membership and price columns.  A zero-fault NetConfig (loss=0,
+    # delay_max=0, no partitions/flaps) reproduces the idealized run
+    # exactly while still counting every control-plane message.
+    net: Optional[NetConfig] = None
 
     def __post_init__(self) -> None:
         if not self.apps:

@@ -35,13 +35,25 @@ from repro.core.board import PriceBoard, update_board
 from repro.core.decision import DecisionEngine, DecisionStats, EconomicPolicy
 from repro.core.economy import CloudCostIndex, UsageTracker
 from repro.core.placement import proximity_weights
+from repro.net.membership import MembershipService
 from repro.ring.partition import PartitionId, PartitionIndex
-from repro.ring.virtualring import AvailabilityLevel, RingSet
+from repro.ring.virtualring import AvailabilityLevel, RingError, RingSet
 from repro.sim.config import SimConfig
-from repro.sim.metrics import EpochFrame, MetricsLog, ServerVnodeHistogram
+from repro.sim.metrics import (
+    ControlPlaneFrame,
+    EpochFrame,
+    MetricsLog,
+    RobustnessLog,
+    ServerVnodeHistogram,
+)
 from repro.sim.seeds import RngStreams
 from repro.store.replica import ReplicaCatalog
-from repro.store.transfer import TransferEngine
+from repro.store.transfer import (
+    NETWORK_OUTCOMES,
+    RetryQueue,
+    TransferEngine,
+    TransferKind,
+)
 from repro.workload.inserts import InsertOutcome, InsertWorkload
 from repro.workload.mix import ApplicationSpec, EpochLoad, WorkloadMix
 from repro.workload.popularity import PopularityMap
@@ -64,6 +76,7 @@ class SimContext:
     rent_model: object = None
     kernel: str = "vectorized"
     avail_index: Optional[AvailabilityIndex] = None
+    membership: object = None
 
 
 DeciderFactory = Callable[[SimContext], object]
@@ -75,6 +88,7 @@ def economic_decider(ctx: SimContext) -> DecisionEngine:
         ctx.cloud, ctx.rings, ctx.catalog, ctx.registry, ctx.transfers,
         ctx.policy, rent_model=ctx.rent_model,
         kernel=ctx.kernel, avail_index=ctx.avail_index,
+        membership=ctx.membership,
     )
 
 
@@ -139,6 +153,24 @@ class Simulation:
             partition_index=self.partition_index,
         )
         self.transfers = TransferEngine(self.cloud, self.catalog)
+        # Faulty-network control plane (ISSUE 6).  ``config.net is
+        # None`` leaves every seam below default-off: no membership
+        # service, no reachability checks, no retry queue — the epoch
+        # loop is byte-for-byte the pre-existing one.
+        self.membership_service: Optional[MembershipService] = None
+        self.retry_queue: Optional[RetryQueue] = None
+        self.robustness: Optional[RobustnessLog] = None
+        self._retry_skip: set = set()
+        if config.net is not None:
+            self.membership_service = MembershipService(
+                config.net, self.cloud, self.streams,
+                avail_index=self.avail_index, catalog=self.catalog,
+            )
+            self.transfers.set_reachability(
+                self.membership_service.net.reachable
+            )
+            self.retry_queue = RetryQueue()
+            self.robustness = RobustnessLog()
         self.board = PriceBoard()
         self.popularity = PopularityMap.pareto(
             [p.pid for p in self.rings.all_partitions()],
@@ -181,6 +213,7 @@ class Simulation:
             rent_model=config.rent_model,
             kernel=config.kernel,
             avail_index=self.avail_index,
+            membership=self.membership_service,
         )
         self.decider = decider_factory(self.context)
         self.metrics = MetricsLog()
@@ -361,12 +394,33 @@ class Simulation:
     def step(self) -> EpochFrame:
         """Advance the simulation by one epoch and return its frame."""
         epoch = self._epoch
-        added, removed = self.events.apply(epoch, self.cloud)
+        service = self.membership_service
+        added, removed = self.events.apply(
+            epoch, self.cloud, kill_only=service is not None
+        )
         if added:
             self._apply_budgets(added)
-        for sid in removed:
-            self.catalog.drop_server(sid)
-            self.registry.drop_server(sid)
+        if service is None:
+            for sid in removed:
+                self.catalog.drop_server(sid)
+                self.registry.drop_server(sid)
+        else:
+            # Phase A: event-schedule kills become ghosts; heartbeat
+            # rounds run over the faulty net; detected deaths complete
+            # removal in kill order (the zero-fault config detects
+            # every kill the same epoch, replaying the instant-removal
+            # path above exactly).
+            if added:
+                service.register_added(added)
+            if removed:
+                service.record_kills(removed, epoch)
+            service.begin_epoch(epoch)
+            removed = service.run_membership_phase(epoch)
+            for sid in removed:
+                self.cloud.remove_server(sid)
+                self.catalog.drop_server(sid)
+                self.registry.drop_server(sid)
+                service.on_removed(sid)
         if added or removed:
             self._g_dirty = True
         if self.usage_tracker is not None and epoch > 0:
@@ -391,21 +445,37 @@ class Simulation:
             self.board, epoch, self.cloud, self.config.rent_model,
             self.usage_tracker, cost_index,
         )
+        board = self.board
+        if service is not None:
+            # Phase B: disseminate the freshly posted column over the
+            # faulty net; decide/settle consume whatever (possibly
+            # stale) column the board observer's gossip view converged
+            # on.  Zero-fault: ``effective_board`` returns the real
+            # board object.
+            service.publish_prices(epoch, self.board)
+            board = service.effective_board(self.board)
         self.cloud.begin_epoch()
         self.transfers.begin_epoch()
+        if self.retry_queue is not None:
+            self.retry_queue.begin_epoch()
+            self._drain_retries(epoch)
         if self._g_dirty:
             self._refresh_proximity()
         load = self.mix.draw(
             epoch, self._partitions_of_apps(), self.popularity
         )
-        self.decider.settle(load, self.board, self._g_of_app)
+        self.decider.settle(load, board, self._g_of_app)
         stats: DecisionStats = self.decider.decide(
-            self.board, load, self.streams.decisions, self._g_of_app
+            board, load, self.streams.decisions, self._g_of_app
         )
+        if self.retry_queue is not None:
+            self._push_retries(epoch)
         insert_outcome = self._apply_inserts(epoch)
         self._apply_splits()
         frame = self._collect(epoch, load, stats, insert_outcome)
         self.metrics.append(frame)
+        if self.robustness is not None:
+            self.robustness.append(self._collect_control_plane(epoch))
         # Keep the agent ledger dense after retirement-heavy epochs so
         # batched settlement touches contiguous rows.
         self.registry.maybe_compact()
@@ -421,9 +491,106 @@ class Simulation:
             self.step()
         return self.metrics
 
+    # -- faulty-network control plane ----------------------------------------
+
+    def _drain_retries(self, epoch: int) -> None:
+        """Re-attempt queued repair transfers whose backoff expired.
+
+        Each due entry is re-validated first — the partition may have
+        split away, the destination may have been removed, or a later
+        repair may already have landed a replica there — and resolved
+        as failed if stale.  A fresh source is picked among currently
+        believed-live replicas (budget headroom permitting); a renewed
+        network failure re-queues with doubled backoff.
+        """
+        queue = self.retry_queue
+        service = self.membership_service
+        self._retry_skip = set()
+        for entry in queue.due(epoch):
+            self._retry_skip.add((entry.pid, entry.dst, entry.kind))
+            try:
+                partition = self.rings.partition(entry.pid)
+            except RingError:
+                queue.resolve(False)
+                continue
+            if (
+                entry.dst not in self.cloud
+                or self.catalog.has_replica(entry.pid, entry.dst)
+            ):
+                queue.resolve(False)
+                continue
+            src = None
+            best = -1
+            for sid in self.catalog.servers_of(entry.pid):
+                if sid == entry.dst or not service.believed(sid):
+                    continue
+                headroom = self.cloud.server(sid).replication_budget.available
+                if headroom >= partition.size and headroom > best:
+                    src = sid
+                    best = headroom
+            result = self.transfers.replicate(partition, src, entry.dst)
+            if result.ok:
+                self.registry.spawn(entry.pid, entry.dst)
+                queue.resolve(True)
+            elif result.outcome in NETWORK_OUTCOMES:
+                queue.requeue(entry, epoch)
+            else:
+                queue.resolve(False)
+
+    def _push_retries(self, epoch: int) -> None:
+        """Queue this epoch's network-failed repair replications."""
+        queue = self.retry_queue
+        skip = self._retry_skip
+        for failure in self.transfers.stats.failures:
+            if (
+                failure.kind is TransferKind.REPLICATION
+                and failure.outcome in NETWORK_OUTCOMES
+                and (failure.pid, failure.dst, failure.kind) not in skip
+            ):
+                queue.push(failure, epoch)
+
+    def _collect_control_plane(self, epoch: int) -> ControlPlaneFrame:
+        service = self.membership_service
+        queue = self.retry_queue
+        pushed, retried, succeeded, dropped = queue.epoch_counts()
+        stale_mean, stale_max = service.staleness()
+        wasted = sum(
+            1
+            for f in self.transfers.stats.failures
+            if f.outcome in NETWORK_OUTCOMES
+        )
+        return ControlPlaneFrame(
+            epoch=epoch,
+            messages=service.net.stats.epoch_counts(),
+            actual_live=service.actual_live_count(),
+            believed_live=service.believed_live_count(),
+            ghosts=service.ghost_count,
+            false_suspects=service.false_suspect_count,
+            detections=service.last_detections,
+            staleness_mean=stale_mean,
+            staleness_max=stale_max,
+            price_version_lag=service.price_version_lag,
+            retries_pushed=pushed,
+            retries_retried=retried,
+            retries_succeeded=succeeded,
+            retries_dropped=dropped,
+            wasted_transfers=wasted,
+            conflicting_repair_risk=service.net.split_replica_partitions(
+                self.catalog
+            ),
+        )
+
     # -- observables -----------------------------------------------------------
 
     def _live_replicas(self, pid: PartitionId) -> List[int]:
+        service = self.membership_service
+        if service is not None:
+            believed = service.believed
+            return [
+                sid
+                for sid in self.catalog.servers_of(pid)
+                if believed(sid)
+            ]
         return [
             sid
             for sid in self.catalog.servers_of(pid)
@@ -505,6 +672,8 @@ class Simulation:
                 unavailable += int(queries[~placed].sum())
                 lost += int(n - int(placed.sum()))
         else:
+            service = self.membership_service
+            pred = service.predicate if service is not None else None
             for ring in self.rings:
                 key = (ring.app_id, ring.ring_id)
                 count = 0
@@ -517,7 +686,9 @@ class Simulation:
                     count += len(replicas)
                     if replicas:
                         served += queries
-                        avails.append(availability(self.cloud, replicas))
+                        avails.append(
+                            availability(self.cloud, replicas, is_alive=pred)
+                        )
                     else:
                         unavailable += queries
                         lost += 1

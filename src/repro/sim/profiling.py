@@ -36,6 +36,9 @@ class ThroughputResult:
     #: Peak resident bytes of the run's stored frame stream (the
     #: columnar FrameStore only grows, so end-of-run is the peak).
     frame_store_bytes: int = 0
+    #: Per-code message totals when the run carried the gossip control
+    #: plane (``config.net``), else None.
+    messages: Optional[Dict[str, Dict[str, int]]] = None
 
     @property
     def epochs_per_sec(self) -> float:
@@ -82,6 +85,10 @@ def measure_throughput(config: SimConfig, *,
             seconds=elapsed,
             total_queries=int(sum(f.total_queries for f in frames)),
             frame_store_bytes=sim.metrics.nbytes,
+            messages=(
+                sim.robustness.message_totals()
+                if sim.robustness is not None else None
+            ),
         )
         if best is None or result.seconds < best.seconds:
             best = result

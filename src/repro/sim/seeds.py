@@ -26,6 +26,12 @@ STREAMS = (
     "events",
     "inserts",
     "workload",
+    # Control-plane streams (appended, never reordered: spawn order is
+    # part of the reproducibility contract — inserting a name above
+    # would shift every later stream's child seed and silently change
+    # all seeded runs).
+    "gossip",
+    "net",
 )
 
 

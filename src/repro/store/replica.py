@@ -262,6 +262,13 @@ class ReplicaCatalog:
         if nbytes < 0:
             raise ReplicaError(f"cannot grow by negative bytes: {nbytes}")
         for sid in self._servers_of.get(pid, ()):
+            # A replica on a down-but-undetected host (a ghost, in the
+            # faulty-network control plane) misses the write: the host
+            # cannot receive bytes.  Under instant detection dead
+            # servers are dropped before any insert, so this guard
+            # never fires there.
+            if not self._cloud.server(sid).alive:
+                continue
             self._cloud.server(sid).allocate_storage(nbytes)
             for listener in self._listeners:
                 listener.storage_changed(sid, nbytes)
@@ -276,6 +283,10 @@ class ReplicaCatalog:
         if nbytes < 0:
             raise ReplicaError(f"cannot shrink by negative bytes: {nbytes}")
         for sid in self._servers_of.get(pid, ()):
+            # Mirror of the grow guard: a down host processes no
+            # deletes either (its bytes die with it on removal).
+            if not self._cloud.server(sid).alive:
+                continue
             self._cloud.server(sid).free_storage(nbytes)
             for listener in self._listeners:
                 listener.storage_changed(sid, -nbytes)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -34,7 +34,23 @@ class TransferOutcome(enum.Enum):
     NO_DEST_BANDWIDTH = "no_dest_bandwidth"
     NO_DEST_STORAGE = "no_dest_storage"
     DEST_DOWN = "dest_down"
+    SOURCE_DOWN = "source_down"
+    DEST_UNREACHABLE = "dest_unreachable"
     REJECTED = "rejected"
+
+
+#: Outcomes caused by the network/membership being wrong about an
+#: endpoint rather than by resource exhaustion.  These are what the
+#: retry queue re-attempts with backoff: the condition clears when
+#: membership converges or the partition heals, whereas a budget or
+#: storage failure is the decision economy's own business.
+NETWORK_OUTCOMES = frozenset(
+    {
+        TransferOutcome.DEST_DOWN,
+        TransferOutcome.SOURCE_DOWN,
+        TransferOutcome.DEST_UNREACHABLE,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -88,6 +104,19 @@ class TransferEngine:
         self._cloud = cloud
         self._catalog = catalog
         self.stats = TransferStats()
+        # Control-plane reachability (the faulty-network seam): when
+        # set, a transfer whose endpoints cannot currently talk fails
+        # with DEST_UNREACHABLE instead of silently succeeding.  None
+        # (the default) keeps the pre-existing behavior byte-identical.
+        self._reachable: Optional[Callable[[int, int], bool]] = None
+
+    def set_reachability(self,
+                         fn: Optional[Callable[[int, int], bool]]) -> None:
+        self._reachable = fn
+
+    @property
+    def reachability(self) -> Optional[Callable[[int, int], bool]]:
+        return self._reachable
 
     def begin_epoch(self) -> None:
         self.stats.reset()
@@ -95,10 +124,26 @@ class TransferEngine:
     def _check_endpoints(self, partition: Partition, src_id: Optional[int],
                          dst_id: int, kind: TransferKind
                          ) -> Optional[TransferOutcome]:
-        """Validate a transfer; reserve bandwidth on success."""
+        """Validate a transfer; reserve bandwidth on success.
+
+        Check order is part of the outcome contract (the batch mirror
+        replays it verbatim): dst liveness, src liveness, reachability,
+        dst storage, src budget, dst budget.  Under oracle membership
+        the liveness/reachability additions can never fire — the
+        decision paths physically filter their endpoints — so the
+        observable sequence is unchanged there.
+        """
         dst = self._cloud.server(dst_id)
         if not dst.alive:
             return TransferOutcome.DEST_DOWN
+        if src_id is not None:
+            if not self._cloud.server(src_id).alive:
+                return TransferOutcome.SOURCE_DOWN
+            if (
+                self._reachable is not None
+                and not self._reachable(src_id, dst_id)
+            ):
+                return TransferOutcome.DEST_UNREACHABLE
         if not dst.can_store(partition.size):
             return TransferOutcome.NO_DEST_STORAGE
         src_budget = None
@@ -289,6 +334,11 @@ class TransferEngine:
             for sid in touched
         ):
             return False
+        if self._reachable is not None and not all(
+            r.src is None or self._reachable(r.src, r.dst)
+            for r in requests
+        ):
+            return False
         slot = {sid: i for i, sid in enumerate(touched)}
         storage_need = np.zeros(len(touched), dtype=np.int64)
         np.add.at(storage_need, [slot[d] for d in dsts], sizes)
@@ -427,6 +477,12 @@ class TransferBatch:
         dst = self._cloud.server(dst_id)
         if not dst.alive:
             return TransferOutcome.DEST_DOWN
+        if src_id is not None:
+            if not self._cloud.server(src_id).alive:
+                return TransferOutcome.SOURCE_DOWN
+            reachable = self._engine.reachability
+            if reachable is not None and not reachable(src_id, dst_id):
+                return TransferOutcome.DEST_UNREACHABLE
         size = partition.size
         if not (0 <= size <= self.storage_available(dst_id)):
             return TransferOutcome.NO_DEST_STORAGE
@@ -560,3 +616,117 @@ class TransferBatch:
         self._vacated.clear()
         self._avail_vectors.clear()
         return self._engine.execute_batch(items, preverified=True)
+
+
+@dataclass
+class RetryEntry:
+    """One transfer awaiting re-attempt after a network-typed failure."""
+
+    pid: object
+    dst: int
+    kind: TransferKind
+    attempts: int
+    next_epoch: int
+
+
+class RetryQueue:
+    """Capped exponential backoff for network-failed transfers.
+
+    A transfer that failed with one of :data:`NETWORK_OUTCOMES` —
+    membership was wrong about an endpoint or a partition cut the path
+    — is re-queued and re-attempted once its backoff expires:
+    ``base_delay`` epochs after the first failure, doubling per
+    further failure up to ``cap``, for at most ``max_attempts``
+    attempts total.  Entries are deduplicated by (pid, dst, kind):
+    repair chains re-propose the same destination every epoch while
+    membership is stale, and retrying one copy is the degradation the
+    tentpole asks for — commit what you can, don't storm.
+
+    The queue never fills under a zero-fault network: the outcomes
+    that feed it cannot occur there.
+    """
+
+    def __init__(self, base_delay: int = 1, cap: int = 8,
+                 max_attempts: int = 6) -> None:
+        if base_delay < 1:
+            raise ValueError(
+                f"base_delay must be >= 1, got {base_delay}"
+            )
+        if cap < base_delay:
+            raise ValueError(f"cap must be >= base_delay, got {cap}")
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.base_delay = base_delay
+        self.cap = cap
+        self.max_attempts = max_attempts
+        self._entries: Dict[Tuple[object, int, TransferKind],
+                            RetryEntry] = {}
+        self.pushed = 0
+        self.retried = 0
+        self.succeeded = 0
+        self.dropped = 0
+        self._epoch_base = (0, 0, 0, 0)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _backoff(self, attempts: int) -> int:
+        return min(self.cap, self.base_delay << (attempts - 1))
+
+    def push(self, result: TransferResult, epoch: int) -> bool:
+        """Queue a failed transfer for retry; False if not retryable."""
+        if result.outcome not in NETWORK_OUTCOMES:
+            return False
+        key = (result.pid, result.dst, result.kind)
+        if key in self._entries:
+            return False
+        self._entries[key] = RetryEntry(
+            pid=result.pid, dst=result.dst, kind=result.kind,
+            attempts=1, next_epoch=epoch + self._backoff(1),
+        )
+        self.pushed += 1
+        return True
+
+    def due(self, epoch: int) -> List[RetryEntry]:
+        """Pop every entry whose backoff has expired (stable order)."""
+        ready = [
+            e for e in self._entries.values() if e.next_epoch <= epoch
+        ]
+        for entry in ready:
+            del self._entries[(entry.pid, entry.dst, entry.kind)]
+        self.retried += len(ready)
+        return ready
+
+    def requeue(self, entry: RetryEntry, epoch: int) -> bool:
+        """Re-queue a retried entry that failed again; False = capped."""
+        attempts = entry.attempts + 1
+        if attempts > self.max_attempts:
+            self.dropped += 1
+            return False
+        key = (entry.pid, entry.dst, entry.kind)
+        self._entries[key] = RetryEntry(
+            pid=entry.pid, dst=entry.dst, kind=entry.kind,
+            attempts=attempts,
+            next_epoch=epoch + self._backoff(attempts),
+        )
+        return True
+
+    def resolve(self, succeeded: bool) -> None:
+        """Record a retried entry's terminal outcome."""
+        if succeeded:
+            self.succeeded += 1
+        else:
+            self.dropped += 1
+
+    def begin_epoch(self) -> None:
+        self._epoch_base = (
+            self.pushed, self.retried, self.succeeded, self.dropped
+        )
+
+    def epoch_counts(self) -> Tuple[int, int, int, int]:
+        """(pushed, retried, succeeded, dropped) since ``begin_epoch``."""
+        base = self._epoch_base
+        now = (self.pushed, self.retried, self.succeeded, self.dropped)
+        return tuple(n - b for n, b in zip(now, base))

@@ -1,0 +1,128 @@
+"""Randomized fault-schedule equivalence sweep (PR 5 harness + net).
+
+Adds the network dimension to the randomized equivalence harness:
+
+* **zero-fault identity** — every randomized scenario, re-run with a
+  zero-fault :class:`NetConfig` threaded through the whole control
+  plane, must emit a frame stream identical to its oracle
+  (``net=None``) twin.  The PR 5 scenario generator supplies the
+  adversarial clouds; the net layer must be invisible at zero faults.
+* **faulty determinism** — a run with active faults is not contracted
+  to match its oracle twin (that divergence is the measurement), but
+  it must be *reproducible*: same seed, same faults, same kernel ⇒
+  same stream; and it must complete under both kernels.
+
+Seeds 0–3 run in tier-1; the wider sweep carries ``slow``::
+
+    PYTHONPATH=src python -m pytest -m slow tests/integration/test_fault_equivalence.py -q
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.net.model import LinkFlap, NetConfig, NetPartition
+from repro.sim.engine import Simulation
+from repro.sim.framedump import frame_diff, frames_to_jsonable
+from test_randomized_equivalence import FRACTIONAL_RTOL, random_scenario
+
+KERNELS = ("vectorized", "scalar")
+FAST_SEEDS = tuple(range(4))
+SLOW_SEEDS = tuple(range(4, 24))
+
+ZERO_FAULT = NetConfig(fanout=3, rounds_per_epoch=2)
+
+
+def run_stream(config, make_events, decider):
+    sim = Simulation(
+        config, events=make_events(config), decider_factory=decider
+    )
+    sim.run()
+    return sim, frames_to_jsonable(sim.metrics)
+
+
+def assert_streams_equal(left, right, rtol, label):
+    assert len(left) == len(right), label
+    if rtol <= 0.0:
+        assert left == right, label
+        return
+    for i, (a, b) in enumerate(zip(left, right)):
+        problems = frame_diff(a, b, rtol=rtol)
+        assert not problems, (
+            f"{label} epoch {i}: " + "; ".join(problems[:5])
+        )
+
+
+def assert_zero_fault_matches_oracle(seed: int) -> None:
+    config, make_events, decider, rtol = random_scenario(seed)
+    for kernel in KERNELS:
+        base = dataclasses.replace(config, kernel=kernel)
+        _, oracle = run_stream(base, make_events, decider)
+        wired = dataclasses.replace(base, net=ZERO_FAULT)
+        sim, faulty = run_stream(wired, make_events, decider)
+        assert sim.membership_service.net.stats.total_sent() > 0
+        assert_streams_equal(
+            oracle, faulty, rtol,
+            f"seed {seed} [{kernel}]: zero-fault net diverged from oracle",
+        )
+
+
+def faulty_net(epochs: int) -> NetConfig:
+    mid = max(1, epochs // 3)
+    return NetConfig(
+        loss=0.15,
+        delay_max=1,
+        rounds_per_epoch=3,
+        suspect_rounds=4,
+        dead_rounds=8,
+        partitions=(
+            NetPartition(
+                start_epoch=mid, heal_epoch=mid + 2, depth=2,
+                asymmetric=True,
+            ),
+        ),
+        flaps=(LinkFlap(start_epoch=mid + 1, heal_epoch=mid + 3),),
+    )
+
+
+def assert_faulty_run_deterministic(seed: int) -> None:
+    config, make_events, decider, _ = random_scenario(seed)
+    net = faulty_net(config.epochs)
+    for kernel in KERNELS:
+        cfg = dataclasses.replace(config, kernel=kernel, net=net)
+        sims = []
+        streams = []
+        for _ in range(2):
+            sim, stream = run_stream(cfg, make_events, decider)
+            sims.append(sim)
+            streams.append(stream)
+        assert streams[0] == streams[1], (
+            f"seed {seed} [{kernel}]: faulty run not reproducible"
+        )
+        log = sims[0].robustness
+        assert log is not None and len(log) == cfg.epochs
+        assert log.message_totals()["HEARTBEAT"]["sent"] > 0
+
+
+class TestZeroFaultEquivalence:
+    @pytest.mark.parametrize("seed", FAST_SEEDS)
+    def test_randomized_zero_fault_fast(self, seed):
+        assert_zero_fault_matches_oracle(seed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_randomized_zero_fault_sweep(self, seed):
+        assert_zero_fault_matches_oracle(seed)
+
+
+class TestFaultyDeterminism:
+    @pytest.mark.parametrize("seed", FAST_SEEDS[:2])
+    def test_faulty_runs_reproduce_fast(self, seed):
+        assert_faulty_run_deterministic(seed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", SLOW_SEEDS[:8])
+    def test_faulty_runs_reproduce_sweep(self, seed):
+        assert_faulty_run_deterministic(seed)

@@ -1,0 +1,199 @@
+"""Unit tests for the gossip fabrics (full age-matrix and counting)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import CloudLayout, build_cloud
+from repro.net.fabric import UNKNOWN_AGE, CountingFabric, GossipFabric
+from repro.net.model import (
+    HEARTBEAT,
+    NEW_NODE,
+    PRICE,
+    NetConfig,
+    NetError,
+    NetPartition,
+    NetworkModel,
+)
+
+
+def tiny_layout(racks=1, per_rack=6):
+    return CloudLayout(
+        countries=2,
+        countries_per_continent=1,
+        datacenters_per_country=1,
+        rooms_per_datacenter=1,
+        racks_per_room=racks,
+        servers_per_rack=per_rack,
+    )
+
+
+def make_fabric(config, cloud=None, seed=0, counting=False):
+    cloud = cloud if cloud is not None else build_cloud(tiny_layout())
+    net = NetworkModel(config, cloud, np.random.default_rng(seed + 1))
+    cls = CountingFabric if counting else GossipFabric
+    fabric = cls(config, net, cloud, np.random.default_rng(seed))
+    fabric.register_initial(cloud.server_ids)
+    return fabric, net, cloud
+
+
+class TestBoardObserver:
+    def test_lowest_live_id_wins(self):
+        fabric, _, cloud = make_fabric(NetConfig())
+        assert fabric.board_observer() == min(cloud.server_ids)
+
+    def test_election_skips_dead(self):
+        fabric, _, cloud = make_fabric(NetConfig())
+        first = min(cloud.server_ids)
+        cloud.server(first).fail()
+        live = sorted(s for s in cloud.server_ids if s != first)
+        assert fabric.board_observer() == live[0]
+
+
+class TestHeartbeatRounds:
+    def test_zero_fault_rounds_keep_everyone_fresh(self):
+        fabric, net, _ = make_fabric(NetConfig())
+        for _ in range(6):
+            fabric.membership_round()
+        assert fabric.believed_dead() == []
+        assert fabric.suspected() == []
+        counts = net.stats.snapshot()[HEARTBEAT]
+        assert counts[0] > 0
+        assert counts[0] == counts[1]  # sent == delivered, nothing drops
+
+    def test_message_accounting_is_exact(self):
+        fabric, net, cloud = make_fabric(NetConfig(loss=0.4), seed=3)
+        for _ in range(10):
+            fabric.membership_round()
+        sent, delivered, d_loss, d_cut = net.stats.snapshot()[HEARTBEAT]
+        assert sent == delivered + d_loss + d_cut
+        assert d_loss > 0
+        assert d_cut == 0
+        # fanout pushes per live node per round
+        assert sent == 10 * len(cloud) * 3
+
+    def test_dead_server_ages_to_detection(self):
+        config = NetConfig(suspect_rounds=2, dead_rounds=4)
+        fabric, _, cloud = make_fabric(config)
+        victim = cloud.server_ids[-1]
+        cloud.server(victim).fail()
+        for _ in range(2):
+            fabric.membership_round()
+        assert victim in fabric.suspected()
+        assert victim not in fabric.believed_dead()
+        for _ in range(2):
+            fabric.membership_round()
+        assert victim in fabric.believed_dead()
+
+    def test_partition_starves_cross_side_knowledge(self):
+        cut = NetPartition(start_epoch=0, heal_epoch=100, depth=2)
+        config = NetConfig(
+            partitions=(cut,), suspect_rounds=2, dead_rounds=4
+        )
+        fabric, net, cloud = make_fabric(config, seed=5)
+        net.begin_epoch(0)
+        (active,) = net.active_cuts()
+        board = fabric.board_observer()
+        far = [
+            s for s in cloud.server_ids
+            if active.in_a(cloud, s)
+            != active.in_a(cloud, board)
+        ]
+        assert far
+        for _ in range(4):
+            fabric.membership_round()
+        dead = set(fabric.believed_dead())
+        # Every cross-side server is a false suspect at the board — all
+        # are physically alive.
+        assert set(far) <= dead
+        assert all(cloud.server(s).alive for s in dead)
+
+    def test_staleness_grows_under_total_silence(self):
+        cut = NetPartition(start_epoch=0, heal_epoch=100, depth=2)
+        config = NetConfig(partitions=(cut,), dead_rounds=50)
+        fabric, net, _ = make_fabric(config, seed=5)
+        net.begin_epoch(0)
+        for _ in range(6):
+            fabric.membership_round()
+        mean, peak = fabric.staleness()
+        assert peak == 6
+        assert 0.0 < mean <= 6.0
+
+
+class TestJoinsAndRemovals:
+    def test_join_bootstraps_via_board(self):
+        fabric, net, cloud = make_fabric(NetConfig())
+        template = cloud.server(cloud.server_ids[0])
+        joiner = cloud.spawn_server(
+            template.location, monthly_rent=template.monthly_rent,
+            storage_capacity=template.storage_capacity,
+        )
+        fabric.register_join(joiner.server_id)
+        assert net.stats.snapshot()[NEW_NODE] == (2, 2, 0, 0)
+        fabric.membership_round()
+        assert joiner.server_id not in fabric.believed_dead()
+
+    def test_unregister_forgets_subject(self):
+        fabric, _, cloud = make_fabric(
+            NetConfig(suspect_rounds=2, dead_rounds=4)
+        )
+        victim = cloud.server_ids[-1]
+        cloud.server(victim).fail()
+        for _ in range(4):
+            fabric.membership_round()
+        assert victim in fabric.believed_dead()
+        fabric.unregister(victim)
+        assert victim not in fabric.believed_dead()
+
+    def test_capacity_cap(self):
+        fabric, _, _ = make_fabric(NetConfig())
+        with pytest.raises(NetError):
+            fabric._check_capacity(5000)
+
+
+class TestPriceRounds:
+    def test_version_spreads_to_everyone_without_faults(self):
+        fabric, _, cloud = make_fabric(NetConfig())
+        fabric.publish_version(7)
+        for _ in range(8):
+            fabric.price_round()
+        assert fabric.effective_version(cloud.server_ids) == 7
+
+    def test_unheard_node_reports_minus_one(self):
+        fabric, _, cloud = make_fabric(NetConfig())
+        assert fabric.effective_version(cloud.server_ids) == -1
+
+    def test_price_messages_counted(self):
+        fabric, net, _ = make_fabric(NetConfig())
+        fabric.publish_version(0)
+        fabric.price_round()
+        sent = net.stats.snapshot()[PRICE][0]
+        assert sent >= 3  # at least the board's own fanout pushes
+
+
+class TestCountingFabric:
+    def test_counts_without_state(self):
+        config = NetConfig(loss=0.3, fabric="counting")
+        fabric, net, cloud = make_fabric(config, counting=True, seed=2)
+        for _ in range(5):
+            fabric.membership_round()
+        sent, delivered, d_loss, d_cut = net.stats.snapshot()[HEARTBEAT]
+        assert sent == 5 * len(cloud) * 3
+        assert sent == delivered + d_loss + d_cut
+        assert d_loss > 0
+
+    def test_oracle_verdicts(self):
+        config = NetConfig(fabric="counting")
+        fabric, _, _ = make_fabric(config, counting=True)
+        assert fabric.believed_dead() == []
+        assert fabric.staleness() == (0.0, 0)
+        assert fabric.effective_version([1, 2]) == -2
+
+    def test_partition_drops_sampled(self):
+        cut = NetPartition(start_epoch=0, heal_epoch=10, depth=2)
+        config = NetConfig(partitions=(cut,), fabric="counting")
+        fabric, net, _ = make_fabric(config, counting=True, seed=4)
+        net.begin_epoch(0)
+        for _ in range(5):
+            fabric.membership_round()
+        d_cut = net.stats.snapshot()[HEARTBEAT][3]
+        assert d_cut > 0

@@ -63,6 +63,39 @@ class TestRun:
         )
         assert code == 0
 
+    def test_net_flag_prints_control_plane(self):
+        code, text = run_cli(
+            "run", "--epochs", "5", "--partitions", "10", "--net",
+        )
+        assert code == 0
+        assert "control plane" in text
+        assert "HEARTBEAT" in text
+        assert "false-suspicion rate" in text
+
+    def test_no_net_flags_no_control_plane(self):
+        code, text = run_cli(
+            "run", "--epochs", "5", "--partitions", "10",
+        )
+        assert code == 0
+        assert "control plane" not in text
+
+    def test_faulty_net_with_divergence_report(self):
+        code, text = run_cli(
+            "run", "--epochs", "8", "--partitions", "10",
+            "--net-loss", "0.3", "--net-partition", "3:6:2:asym",
+            "--divergence",
+        )
+        assert code == 0
+        assert "drop(loss)" in text
+        assert "divergence vs oracle-membership twin" in text
+
+    def test_bad_partition_spec_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli(
+                "run", "--epochs", "4", "--partitions", "10",
+                "--net-partition", "banana",
+            )
+
     def test_saturation_columns(self):
         code, text = run_cli(
             "run", "--scenario", "saturation", "--epochs", "4",

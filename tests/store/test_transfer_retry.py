@@ -1,0 +1,169 @@
+"""Typed network outcomes on transfers and the retry/backoff queue."""
+
+import pytest
+
+from repro.cluster.server import BandwidthBudget
+from repro.cluster.topology import CloudLayout, build_cloud
+from repro.ring.partition import KeyRange, Partition, PartitionId
+from repro.store.replica import ReplicaCatalog
+from repro.store.transfer import (
+    NETWORK_OUTCOMES,
+    RetryQueue,
+    TransferEngine,
+    TransferKind,
+    TransferOutcome,
+    TransferResult,
+)
+
+MB = 1024 * 1024
+
+
+def tiny_layout():
+    return CloudLayout(
+        countries=2,
+        countries_per_continent=1,
+        datacenters_per_country=1,
+        rooms_per_datacenter=1,
+        racks_per_room=1,
+        servers_per_rack=3,
+    )
+
+
+def make_engine():
+    cloud = build_cloud(tiny_layout())
+    for sid in cloud.server_ids:
+        server = cloud.server(sid)
+        server.replication_budget = BandwidthBudget(300 * MB)
+        server.migration_budget = BandwidthBudget(100 * MB)
+    catalog = ReplicaCatalog(cloud)
+    return TransferEngine(cloud, catalog), cloud, catalog
+
+
+def make_partition(seq=0, size=10 * MB):
+    return Partition(
+        PartitionId(1, 1, seq), KeyRange(0, 1 << 31), size=size
+    )
+
+
+def net_failure(pid=None, dst=0, outcome=TransferOutcome.DEST_DOWN):
+    return TransferResult(
+        TransferKind.REPLICATION, outcome,
+        pid if pid is not None else PartitionId(1, 1, 0),
+        None, dst, MB,
+    )
+
+
+class TestTypedOutcomes:
+    def test_dest_down(self):
+        engine, cloud, catalog = make_engine()
+        part = make_partition()
+        src, dst = cloud.server_ids[0], cloud.server_ids[1]
+        catalog.place(part, src)
+        cloud.server(dst).fail()
+        result = engine.replicate(part, src, dst)
+        assert result.outcome is TransferOutcome.DEST_DOWN
+        assert not result.ok
+        assert result in engine.stats.failures
+
+    def test_source_down(self):
+        engine, cloud, catalog = make_engine()
+        part = make_partition()
+        src, dst = cloud.server_ids[0], cloud.server_ids[1]
+        catalog.place(part, src)
+        cloud.server(src).fail()
+        result = engine.replicate(part, src, dst)
+        assert result.outcome is TransferOutcome.SOURCE_DOWN
+
+    def test_dest_unreachable_via_reachability_seam(self):
+        engine, cloud, catalog = make_engine()
+        part = make_partition()
+        src, dst = cloud.server_ids[0], cloud.server_ids[1]
+        catalog.place(part, src)
+        engine.set_reachability(lambda a, b: False)
+        result = engine.replicate(part, src, dst)
+        assert result.outcome is TransferOutcome.DEST_UNREACHABLE
+        engine.set_reachability(None)
+        result = engine.replicate(part, src, dst)
+        assert result.ok
+
+    def test_no_reachability_check_without_source(self):
+        # Seed-style dst-only replication has no src endpoint to cut.
+        engine, cloud, _ = make_engine()
+        part = make_partition()
+        engine.set_reachability(lambda a, b: False)
+        result = engine.replicate(part, None, cloud.server_ids[0])
+        assert result.ok
+
+    def test_network_outcomes_are_exactly_the_endpoint_faults(self):
+        assert NETWORK_OUTCOMES == {
+            TransferOutcome.DEST_DOWN,
+            TransferOutcome.SOURCE_DOWN,
+            TransferOutcome.DEST_UNREACHABLE,
+        }
+
+
+class TestRetryQueue:
+    def test_push_only_network_outcomes(self):
+        queue = RetryQueue()
+        budget_fail = TransferResult(
+            TransferKind.REPLICATION,
+            TransferOutcome.NO_DEST_BANDWIDTH,
+            PartitionId(1, 1, 0), None, 3, MB,
+        )
+        assert not queue.push(budget_fail, epoch=0)
+        assert queue.push(net_failure(dst=3), epoch=0)
+        assert len(queue) == 1
+
+    def test_dedup_by_key(self):
+        queue = RetryQueue()
+        assert queue.push(net_failure(dst=3), epoch=0)
+        assert not queue.push(net_failure(dst=3), epoch=0)
+        assert queue.push(net_failure(dst=4), epoch=0)
+        assert len(queue) == 2
+
+    def test_backoff_doubles_up_to_cap(self):
+        queue = RetryQueue(base_delay=1, cap=8)
+        queue.push(net_failure(), epoch=0)
+        (entry,) = queue.due(1)
+        assert entry.next_epoch == 1  # first retry after base_delay
+        delays = []
+        epoch = 1
+        while queue.requeue(entry, epoch):
+            (entry,) = queue.due(10_000)
+            delays.append(entry.next_epoch - epoch)
+            epoch = entry.next_epoch
+        assert delays == [2, 4, 8, 8, 8]  # doubling, then capped
+
+    def test_due_respects_next_epoch(self):
+        queue = RetryQueue(base_delay=2)
+        queue.push(net_failure(), epoch=0)
+        assert queue.due(1) == []
+        assert len(queue.due(2)) == 1
+        assert len(queue) == 0
+
+    def test_max_attempts_drops(self):
+        queue = RetryQueue(base_delay=1, cap=1, max_attempts=2)
+        queue.push(net_failure(), epoch=0)
+        (entry,) = queue.due(1)
+        assert queue.requeue(entry, 1)  # attempt 2
+        (entry,) = queue.due(99)
+        assert not queue.requeue(entry, 99)  # attempt 3 > max
+        assert queue.dropped == 1
+
+    def test_epoch_counts_are_deltas(self):
+        queue = RetryQueue()
+        queue.push(net_failure(dst=1), epoch=0)
+        queue.begin_epoch()
+        queue.push(net_failure(dst=2), epoch=1)
+        queue.due(99)
+        queue.resolve(True)
+        queue.resolve(False)
+        assert queue.epoch_counts() == (1, 2, 1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryQueue(base_delay=0)
+        with pytest.raises(ValueError):
+            RetryQueue(base_delay=4, cap=2)
+        with pytest.raises(ValueError):
+            RetryQueue(max_attempts=0)

@@ -293,6 +293,63 @@ def test_row_view_classes_declare_slots():
     assert not problems, "row-view slot violations:\n" + "\n".join(problems)
 
 
+#: Decide-path modules that must consume liveness exclusively through
+#: the MembershipView seam (``self._membership``), never by reading the
+#: cloud's physical alive column directly.  The faulty-network control
+#: plane (PR 6) depends on this: one stray ``server.alive`` /
+#: ``cloud.alive_vector()`` in a decision path silently re-introduces
+#: oracle membership and the stale-belief measurements lie.
+MEMBERSHIP_SEALED = (Path("src/repro/core/decision.py"),)
+
+#: Physical-liveness reads banned inside sealed modules.
+_ALIVE_ATTRS = frozenset({"alive", "alive_vector"})
+
+
+def find_direct_alive_reads(path: Path):
+    """``.alive`` / ``.alive_vector`` attribute reads in a sealed module."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    try:
+        shown = path.relative_to(REPO_ROOT)
+    except ValueError:
+        shown = path
+    problems = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr in _ALIVE_ATTRS:
+            problems.append(
+                f"{shown}:{node.lineno}: direct liveness read "
+                f"'.{node.attr}' — go through the MembershipView seam"
+            )
+    return problems
+
+
+def test_decide_paths_use_membership_seam_only():
+    problems = []
+    for rel in MEMBERSHIP_SEALED:
+        problems.extend(find_direct_alive_reads(REPO_ROOT / rel))
+    assert not problems, (
+        "decision paths reading physical liveness directly:\n"
+        + "\n".join(problems)
+    )
+
+
+def test_alive_gate_detects_planted_direct_read(tmp_path):
+    """The membership-seam checker must catch the idiom it bans."""
+    planted = tmp_path / "planted.py"
+    planted.write_text(
+        "def live_ids(cloud):\n"
+        "    vec = cloud.alive_vector()\n"
+        "    return [s.server_id for s in cloud if s.alive]\n"
+    )
+    problems = find_direct_alive_reads(planted)
+    assert len(problems) == 2
+    benign = tmp_path / "benign.py"
+    benign.write_text(
+        "def live_ids(view):\n"
+        "    return [sid for sid in view.ids if view.believed(sid)]\n"
+    )
+    assert not find_direct_alive_reads(benign)
+
+
 def test_lint_checker_detects_planted_unused_import(tmp_path):
     """The fallback checker itself must actually catch the F401 case."""
     planted = tmp_path / "planted.py"
