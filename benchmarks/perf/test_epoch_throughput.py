@@ -29,6 +29,11 @@ kernel targets (PR 5).  ``fig4-asymmetric-partition`` (and its gated
 gossip control plane on — loss plus an asymmetric country cut — and
 records per-code message counts alongside epochs/s, the control-plane
 overhead row PERFORMANCE.md tracks (PR 6).
+``fig4-quorum-under-faults`` routes quorum client traffic through the
+stale-view data plane under loss=10% plus one link-flap window and
+records client ops/s plus the consistency audit's anomaly counts —
+the lost-write count doubles as a regression gate on the
+sloppy-quorum durability contract (PR 7).
 
 Run just this harness with::
 
@@ -41,12 +46,18 @@ from __future__ import annotations
 import json
 import os
 import platform
+import time
 from pathlib import Path
 
 import dataclasses
 
-from repro.net.model import NetConfig, NetPartition
-from repro.sim.config import scaled_paper_layout, slashdot_scenario
+from repro.net.model import LinkFlap, NetConfig, NetPartition
+from repro.sim.chaos import run_consistency_audit
+from repro.sim.config import (
+    DataPlaneConfig,
+    scaled_paper_layout,
+    slashdot_scenario,
+)
 from repro.sim.profiling import compare_kernels, speedup
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -82,6 +93,16 @@ FIG4_100X_BOOT_EPOCHS = 4
 #: loss plus a mid-run asymmetric country cut — the per-epoch overhead
 #: of the ISSUE 6 control plane relative to plain fig4-slashdot.
 FIG4_NET_EPOCHS = 60
+
+#: The stale-view data-plane probe (ISSUE 7): quorum client traffic
+#: routed through the believed membership view under loss=10% with
+#: one link-flap window, settled, and audited.  The row tracks client
+#: ops/s (whole-run wall clock: economy + control plane + serving)
+#: and the audit's anomaly counts — the lost-write count must be zero
+#: or the sloppy-quorum durability contract broke.
+FIG4_DP_EPOCHS = 40
+FIG4_DP_SETTLE = 16
+FIG4_DP_FLAP = (10, 20)
 
 #: Opt-in gate for the 100× probe (minutes of wall clock + a ~1 GB
 #: diversity matrix — not CI material).
@@ -212,6 +233,53 @@ def test_epoch_throughput_fig4():
         net_cfg, net_results
     )
 
+    # Quorum serving under faults: client ops through the believed
+    # view at loss=10% with one flap window, then the consistency
+    # audit over the settled history.
+    dp_cfg = dataclasses.replace(
+        _fig4_config(200),
+        epochs=FIG4_DP_EPOCHS,
+        net=NetConfig(
+            loss=0.1,
+            rounds_per_epoch=2,
+            flaps=(LinkFlap(
+                start_epoch=FIG4_DP_FLAP[0], heal_epoch=FIG4_DP_FLAP[1],
+            ),),
+        ),
+        data_plane=DataPlaneConfig(ops_per_epoch=32),
+    )
+    start = time.perf_counter()
+    audit = run_consistency_audit(dp_cfg, settle_epochs=FIG4_DP_SETTLE)
+    elapsed = time.perf_counter() - start
+    report = audit.report
+    dp_summary = audit.sim.robustness.data_plane_summary()
+    assert report.operations > 0
+    assert audit.green, report.render()
+    payload["scenarios"]["fig4-quorum-under-faults"] = {
+        "epochs": FIG4_DP_EPOCHS,
+        "settle_epochs": FIG4_DP_SETTLE,
+        "net": {"loss": 0.1, "flap_window": list(FIG4_DP_FLAP)},
+        "client_ops": report.operations,
+        "ops_per_sec": round(report.operations / elapsed, 1),
+        "anomalies": {
+            "lost_writes": report.lost_writes,
+            "strong_stale_reads": report.stale_reads,
+            "dirty_ghost_reads": report.dirty_ghost_reads,
+            "weak_stale_reads": report.weak_stale_reads,
+            "failed_ops": report.failed_ops,
+        },
+        "serving": {
+            "replica_timeouts": dp_summary["replica_timeouts"],
+            "replica_unreachable": dp_summary["replica_unreachable"],
+            "suspects_skipped": dp_summary["suspects_skipped"],
+            "hints_parked": dp_summary["hints_parked"],
+            "hints_drained": dp_summary["hints_drained"],
+            "hints_expired": dp_summary["hints_expired"],
+            "read_repairs": dp_summary["read_repairs"],
+        },
+        "audit_green": audit.green,
+    }
+
     if RUN_100X:
         big = _fig4_scaled_config(
             100, FIG4_100X_WARMUP, FIG4_100X_EPOCHS
@@ -281,7 +349,19 @@ def test_epoch_throughput_fig4():
 
     print("\nepoch throughput (epochs/sec):")
     for name, entry in payload["scenarios"].items():
-        eps = entry["epochs_per_sec"]
+        eps = entry.get("epochs_per_sec")
+        if eps is None:
+            # The data-plane row tracks client ops/s, not kernel
+            # epochs/s.
+            anomalies = entry["anomalies"]
+            print(
+                f"  {name:20s} {entry['client_ops']} client ops at "
+                f"{entry['ops_per_sec']:8.1f} ops/s   audit "
+                f"{'GREEN' if entry['audit_green'] else 'RED'} "
+                f"(lost {anomalies['lost_writes']}, stale "
+                f"{anomalies['strong_stale_reads']})"
+            )
+            continue
         scalar = (
             f"{eps['scalar']:8.2f}" if "scalar" in eps else "       —"
         )

@@ -15,6 +15,10 @@ plane*: detection is no longer instant — the outage has to be noticed
 by the failure detector through dropped heartbeats — and the report
 shows how many epochs that lag cost and what it did to availability
 (the oracle-vs-faulty twin pattern from ``repro.analysis.divergence``).
+The faulty twin also carries quorum client traffic through the
+stale-view data plane, so next to the detection lag you see what the
+lag *served*: replica timeouts, diverted (hinted) writes, and the
+consistency-audit verdict over the whole history.
 
 Run:  python examples/datacenter_outage.py
 """
@@ -22,10 +26,12 @@ Run:  python examples/datacenter_outage.py
 import dataclasses
 
 from repro import Simulation, availability, paper_scenario
+from repro.analysis.consistency import audit_history
 from repro.analysis.divergence import compare_runs
 from repro.analysis.series import first_nonzero_epoch
 from repro.cluster.events import EventSchedule, ScopedOutage
 from repro.net.model import NetConfig
+from repro.sim.config import DataPlaneConfig
 from repro.sim.seeds import RngStreams
 
 OUTAGE_EPOCH = 30
@@ -96,7 +102,9 @@ def main() -> None:
         print(f"  {key}: {per_country[key]}")
 
     # -- same outage, lossy control plane ------------------------------
-    faulty = build_sim(dataclasses.replace(config, net=FAULTY_NET))
+    faulty = build_sim(dataclasses.replace(
+        config, net=FAULTY_NET, data_plane=DataPlaneConfig(),
+    ))
     faulty.run()
     rlog = faulty.robustness
 
@@ -113,6 +121,27 @@ def main() -> None:
           f"{totals['dropped_loss']} lost in flight")
     print(f"  false-suspicion rate: "
           f"{rlog.false_suspicion_rate():.4%}")
+
+    # What the detection lag looked like to clients: the quorum data
+    # plane routed every op through the *believed* view the whole time.
+    plane = faulty.data_plane
+    dp = rlog.data_plane_summary()
+    audit = audit_history(
+        plane.history, final_versions=plane.surviving_versions()
+    )
+    print(f"  data plane while flying blind: "
+          f"{dp['reads']} reads / {dp['writes']} writes, "
+          f"{dp['replica_timeouts']} replica timeouts (ghosts), "
+          f"{dp['suspects_skipped']} healthy replicas skipped on "
+          f"suspicion")
+    print(f"  hinted handoff: {dp['hints_parked']} parked, "
+          f"{dp['hints_drained']} drained, "
+          f"{dp['read_repairs']} read-repairs")
+    print(f"  consistency audit: "
+          f"{'GREEN' if audit.green else 'RED'} — "
+          f"{audit.lost_writes} lost writes, "
+          f"{audit.stale_reads} strong stale reads, "
+          f"{audit.dirty_ghost_reads} dirty ghost reads")
 
     report = compare_runs(log, faulty.metrics)
     print(f"  availability delta vs instant detection (oracle-faulty): "

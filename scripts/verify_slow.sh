@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Opt-in slow verification tier: the minutes-long sweeps tier-1
+# deselects (-m "not slow" in setup.cfg).  Covers the randomized
+# kernel-equivalence seeds, the faulty-net equivalence matrix, and
+# the multi-seed consistency-audit chaos sweep.
+#
+# Usage:  scripts/verify_slow.sh [extra pytest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHONPATH=src python -m pytest -m slow -q "$@"

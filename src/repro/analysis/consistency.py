@@ -1,0 +1,197 @@
+"""Linearizability-lite consistency audit over a client history.
+
+The chaos harness (:mod:`repro.sim.chaos`) runs client traffic through
+the stale-view data plane under randomized network faults, then hands
+the recorded history here.  The checker replays the operations in
+issue order against the committed ground truth it reconstructs — per
+key, the highest version any *successful strong-level write*
+(``quorum`` / ``all``) stamped — and classifies every deviation:
+
+* **stale read** — a strong-level read observed a version older than a
+  strong write committed *before* it.  Transiently possible under
+  sloppy quorum: a hinted ack does not extend the read-overlap
+  guarantee until the hint drains, which is exactly the window the
+  audit is built to measure.  ONE-level reads are *expected* to be
+  stale sometimes; they are tallied separately, not flagged.
+* **lost write** — a committed strong write whose version no surviving
+  copy (replica or parked hint) carries at audit time.  The guarantee
+  under network-only fault schedules is that this count is zero: acked
+  copies never physically vanish, and the catalog mirror drains a
+  decommissioned replica's copies before dropping them.
+* **dirty ghost read** — a read served by a physically dead replica.
+  Impossible through :class:`repro.store.quorum.QuorumKVStore` (every
+  contact goes through ``membership.responds``); checked so histories
+  from looser stores replay under the same audit.
+
+The checker is deliberately *lite*: versions are totally ordered per
+key by the store's central stamp, so full linearizability checking
+collapses to monotonicity against the committed frontier — no
+permutation search needed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Levels whose reads must observe every previously committed strong
+#: write (R + W > N) once the system has quiesced.
+STRONG_LEVELS = frozenset({"quorum", "all"})
+
+#: A key's identity in the audit: (app_id, ring_id, key bytes).
+KeyIdent = Tuple[int, int, bytes]
+
+
+class AnomalyKind(enum.Enum):
+    """Classification of one observed consistency deviation."""
+
+    STALE_READ = "stale_read"
+    LOST_WRITE = "lost_write"
+    DIRTY_GHOST_READ = "dirty_ghost_read"
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One classified deviation, anchored to the op that exposed it."""
+
+    kind: AnomalyKind
+    seq: int
+    epoch: int
+    key: KeyIdent
+    detail: str
+
+
+@dataclass
+class ConsistencyReport:
+    """The audit verdict over one client history."""
+
+    operations: int = 0
+    reads: int = 0
+    writes: int = 0
+    failed_ops: int = 0
+    weak_stale_reads: int = 0
+    committed_keys: int = 0
+    anomalies: List[Anomaly] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        out = {kind.value: 0 for kind in AnomalyKind}
+        for anomaly in self.anomalies:
+            out[anomaly.kind.value] += 1
+        return out
+
+    @property
+    def stale_reads(self) -> int:
+        return self.counts()[AnomalyKind.STALE_READ.value]
+
+    @property
+    def lost_writes(self) -> int:
+        return self.counts()[AnomalyKind.LOST_WRITE.value]
+
+    @property
+    def dirty_ghost_reads(self) -> int:
+        return self.counts()[AnomalyKind.DIRTY_GHOST_READ.value]
+
+    @property
+    def green(self) -> bool:
+        """The durability verdict: no committed write lost, no dirty
+        ghost served.  (Transient strong stale reads are reported but
+        do not redden the audit — they are the measured cost of sloppy
+        quorum, bounded by hint drain.)"""
+        return self.lost_writes == 0 and self.dirty_ghost_reads == 0
+
+    def render(self) -> str:
+        counts = self.counts()
+        lines = [
+            "consistency audit "
+            + ("GREEN" if self.green else "RED"),
+            f"  operations: {self.operations} "
+            f"({self.reads} reads, {self.writes} writes, "
+            f"{self.failed_ops} failed)",
+            f"  committed keys: {self.committed_keys}",
+            f"  lost writes: {counts['lost_write']}",
+            f"  strong stale reads: {counts['stale_read']}",
+            f"  dirty ghost reads: {counts['dirty_ghost_read']}",
+            f"  weak (ONE-level) stale reads: {self.weak_stale_reads}",
+        ]
+        for anomaly in self.anomalies[:10]:
+            lines.append(
+                f"    {anomaly.kind.value} @seq {anomaly.seq} "
+                f"epoch {anomaly.epoch}: {anomaly.detail}"
+            )
+        if len(self.anomalies) > 10:
+            lines.append(
+                f"    ... and {len(self.anomalies) - 10} more"
+            )
+        return "\n".join(lines)
+
+
+def audit_history(
+    history: Sequence,
+    final_versions: Optional[Mapping[KeyIdent, int]] = None,
+) -> ConsistencyReport:
+    """Replay a client history and classify every anomaly.
+
+    ``history`` is any sequence of records with the
+    :class:`repro.store.dataplane.ClientOp` attributes (``seq``,
+    ``epoch``, ``kind``, ``level``, ``app_id``, ``ring_id``, ``key``,
+    ``ok``, ``version``, ``ghost_served``), in issue order.
+    ``final_versions`` maps each key identity to the freshest version
+    any surviving copy holds at audit time; when provided, committed
+    writes are checked for durability (lost-write detection).
+    """
+    report = ConsistencyReport()
+    committed: Dict[KeyIdent, Tuple[int, int]] = {}  # ident -> (version, seq)
+    for op in history:
+        report.operations += 1
+        ident: KeyIdent = (op.app_id, op.ring_id, op.key)
+        if op.kind == "put":
+            report.writes += 1
+            if not op.ok:
+                report.failed_ops += 1
+                continue
+            if op.level in STRONG_LEVELS:
+                prev = committed.get(ident)
+                if prev is None or op.version > prev[0]:
+                    committed[ident] = (op.version, op.seq)
+            continue
+        report.reads += 1
+        if getattr(op, "ghost_served", False):
+            report.anomalies.append(Anomaly(
+                kind=AnomalyKind.DIRTY_GHOST_READ,
+                seq=op.seq, epoch=op.epoch, key=ident,
+                detail="read answered by a physically dead replica",
+            ))
+        if not op.ok:
+            report.failed_ops += 1
+            continue
+        frontier = committed.get(ident)
+        if frontier is None or op.version >= frontier[0]:
+            continue
+        if op.level in STRONG_LEVELS:
+            report.anomalies.append(Anomaly(
+                kind=AnomalyKind.STALE_READ,
+                seq=op.seq, epoch=op.epoch, key=ident,
+                detail=(
+                    f"strong read saw v{op.version} after "
+                    f"v{frontier[0]} committed at seq {frontier[1]}"
+                ),
+            ))
+        else:
+            report.weak_stale_reads += 1
+    report.committed_keys = len(committed)
+    if final_versions is not None:
+        for ident, (version, seq) in sorted(
+            committed.items(), key=lambda item: item[1][1]
+        ):
+            surviving = final_versions.get(ident, 0)
+            if surviving < version:
+                report.anomalies.append(Anomaly(
+                    kind=AnomalyKind.LOST_WRITE,
+                    seq=seq, epoch=-1, key=ident,
+                    detail=(
+                        f"committed v{version} survives only as "
+                        f"v{surviving}"
+                    ),
+                ))
+    return report

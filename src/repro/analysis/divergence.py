@@ -144,6 +144,27 @@ def oracle_twin_config(config):
     return dataclasses.replace(config, net=None)
 
 
+def data_plane_deltas(oracle, faulty) -> Dict[str, int]:
+    """Faulty-minus-oracle totals over the data-plane frame streams.
+
+    Both arguments are :class:`repro.sim.metrics.RobustnessLog`
+    instances collected from data-plane-enabled runs (the oracle twin
+    keeps its data plane — it simply never times out or parks hints).
+    The delta per :data:`repro.sim.metrics.DATA_PLANE_FIELDS` total
+    reads as "extra serving degradation the faults caused": replica
+    timeouts, diverted writes, repair traffic.
+    """
+    from repro.sim.metrics import DATA_PLANE_FIELDS
+
+    a = oracle.data_plane_summary()
+    b = faulty.data_plane_summary()
+    return {
+        name: int(b[name]) - int(a[name])
+        for name in DATA_PLANE_FIELDS
+        if name not in ("epoch", "hint_queue_depth")
+    }
+
+
 def _first_mismatch(
     a: np.ndarray, b: np.ndarray, rtol: float
 ) -> Optional[int]:

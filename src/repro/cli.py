@@ -35,7 +35,7 @@ from repro.baselines.random_placement import random_placement_decider
 from repro.baselines.static import static_decider
 from repro.cluster.events import fig3_schedule
 from repro.core.decision import KERNELS
-from repro.net.model import NetConfig, NetPartition
+from repro.net.model import LinkFlap, NetConfig, NetPartition
 from repro.sim.config import (
     SimConfig,
     paper_scenario,
@@ -98,9 +98,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "[START, HEAL); DEPTH 1-5 (default 2 = "
                           "country); append ':asym' for a one-way cut; "
                           "repeatable (implies --net)")
+    run.add_argument("--net-flap", action="append", default=None,
+                     metavar="START:END[:PERIOD]",
+                     help="flap one drawn server's links inside "
+                          "[START, END): down/up windows of PERIOD "
+                          "epochs (one continuous window if PERIOD "
+                          "omitted); repeatable (implies --net)")
     run.add_argument("--divergence", action="store_true",
                      help="also run the oracle (net=None) twin and "
                           "print the divergence report")
+    run.add_argument("--consistency-audit", action="store_true",
+                     help="run quorum client traffic through the "
+                          "believed-membership data plane, settle, and "
+                          "print the consistency-audit report "
+                          "(implies --net)")
 
     compare = sub.add_parser(
         "compare", help="economic vs static vs random on one scenario"
@@ -182,13 +193,51 @@ def parse_partition(spec: str) -> NetPartition:
         raise CliError(f"bad --net-partition {spec!r}: {exc}")
 
 
+def parse_flap(spec: str) -> tuple:
+    """``START:END[:PERIOD]`` → alternating LinkFlap windows.
+
+    With a PERIOD the server's links go down for PERIOD epochs, up for
+    PERIOD, down again … inside [START, END) — the repeated-flap
+    pattern that manufactures recurring false suspicion.  Without a
+    PERIOD the whole interval is one continuous flap window.
+    """
+    parts = spec.split(":")
+    if not 2 <= len(parts) <= 3:
+        raise CliError(
+            f"--net-flap wants START:END[:PERIOD], got {spec!r}"
+        )
+    try:
+        start, end = int(parts[0]), int(parts[1])
+        period = int(parts[2]) if len(parts) == 3 else 0
+        if period < 0:
+            raise ValueError(f"PERIOD must be >= 0, got {period}")
+        if period == 0:
+            return (LinkFlap(start_epoch=start, heal_epoch=end),)
+        flaps = []
+        at = start
+        while at < end:
+            flaps.append(LinkFlap(
+                start_epoch=at, heal_epoch=min(at + period, end)
+            ))
+            at += 2 * period
+        return tuple(flaps)
+    except ValueError as exc:
+        raise CliError(f"bad --net-flap {spec!r}: {exc}")
+
+
 def make_net(args):
     partitions = tuple(
         parse_partition(spec) for spec in (args.net_partition or ())
     )
+    flaps = tuple(
+        flap
+        for spec in (args.net_flap or ())
+        for flap in parse_flap(spec)
+    )
     wants_net = (
         args.net or args.net_loss > 0.0 or args.net_delay > 0
-        or partitions or args.divergence
+        or partitions or flaps or args.divergence
+        or args.consistency_audit
     )
     if not wants_net:
         return None
@@ -196,6 +245,7 @@ def make_net(args):
         loss=args.net_loss,
         delay_max=args.net_delay,
         partitions=partitions,
+        flaps=flaps,
         fabric=args.net_fabric,
     )
 
@@ -233,6 +283,38 @@ def print_robustness(sim, out) -> None:
     )
 
 
+def print_data_plane(sim, out) -> None:
+    summary = sim.robustness.data_plane_summary()
+    print(
+        f"data plane: {summary['reads']} reads / "
+        f"{summary['writes']} writes "
+        f"({summary['read_failures'] + summary['write_failures']} "
+        f"failed), {summary['replica_timeouts']} replica timeouts, "
+        f"{summary['replica_unreachable']} unreachable, "
+        f"{summary['suspects_skipped']} suspects skipped",
+        file=out,
+    )
+    print(
+        f"  repair ladder: {summary['read_repairs']} read-repairs, "
+        f"hints {summary['hints_parked']}p/"
+        f"{summary['hints_drained']}d/{summary['hints_expired']}x "
+        f"(peak depth {summary['peak_hint_queue_depth']}, final "
+        f"{summary['final_hint_queue_depth']}), anti-entropy "
+        f"{summary['anti_entropy_keys']} keys / "
+        f"{summary['anti_entropy_bytes']:,} bytes",
+        file=out,
+    )
+    rows = [
+        [level, row["ok"], row["timeouts"], row["stale"]]
+        for level, row in sorted(summary["levels"].items())
+    ]
+    if rows:
+        print(
+            format_table(["level", "ok", "timeouts", "stale"], rows),
+            file=out,
+        )
+
+
 def make_events(config, args):
     if not args.fig3_events:
         return None
@@ -249,11 +331,27 @@ def cmd_run(args, out) -> int:
     net = make_net(args)
     if net is not None:
         config = dataclasses.replace(config, net=net)
-    sim = Simulation(
-        config, events=make_events(config, args),
-        decider_factory=POLICIES[args.policy],
-    )
-    log = sim.run()
+    audit = None
+    if args.consistency_audit:
+        from repro.sim.chaos import run_consistency_audit
+        from repro.sim.config import DataPlaneConfig
+
+        if config.data_plane is None:
+            config = dataclasses.replace(
+                config, data_plane=DataPlaneConfig()
+            )
+        audit = run_consistency_audit(
+            config, events=make_events(config, args),
+            decider_factory=POLICIES[args.policy],
+        )
+        sim = audit.sim
+        log = sim.metrics
+    else:
+        sim = Simulation(
+            config, events=make_events(config, args),
+            decider_factory=POLICIES[args.policy],
+        )
+        log = sim.run()
     columns = {
         "queries": log.series("total_queries"),
         "servers": log.series("live_servers"),
@@ -270,9 +368,15 @@ def cmd_run(args, out) -> int:
     print(series_table(log, columns, points=args.points), file=out)
     print("-" * 60, file=out)
     print(summarize(log), file=out)
-    if sim.robustness is not None:
+    if sim.robustness is not None and sim.membership_service is not None:
         print("-" * 60, file=out)
         print_robustness(sim, out)
+    if sim.data_plane is not None:
+        print("-" * 60, file=out)
+        print_data_plane(sim, out)
+    if audit is not None:
+        print("-" * 60, file=out)
+        print(audit.report.render(), file=out)
     if args.divergence:
         from repro.analysis.divergence import (
             compare_runs,
@@ -284,7 +388,9 @@ def cmd_run(args, out) -> int:
             twin_cfg, events=make_events(twin_cfg, args),
             decider_factory=POLICIES[args.policy],
         )
-        twin.run()
+        # Match the faulty run's horizon (an audit run keeps stepping
+        # through its settle phase, so the log can exceed config.epochs).
+        twin.run(len(log))
         print("-" * 60, file=out)
         print(compare_runs(twin.metrics, log).render(), file=out)
     return 0

@@ -63,6 +63,21 @@ class OracleMembership:
     def believed_ids(self) -> List[int]:
         return [s.server_id for s in self._cloud if s.alive]
 
+    def responds(self, server_id: int) -> bool:
+        """Physical contact probe — identical to belief for the oracle.
+
+        The data plane (router/quorum, lint-sealed against direct
+        ``Cloud.alive`` reads) models contacting a replica through this
+        method: under the oracle, belief and reality coincide, so a
+        believed-live replica always answers.
+        """
+        cloud = self._cloud
+        return server_id in cloud and cloud.server(server_id).alive
+
+    def reachable(self, src: int, dst: int) -> bool:
+        """Perfect network: every pair of live servers can talk."""
+        return True
+
     @property
     def predicate(self) -> Optional[Callable[[int], bool]]:
         """``None`` selects the physical inline paths downstream."""
@@ -197,6 +212,24 @@ class MembershipService:
         ids = cloud.server_ids
         vec = self.believed_vector()
         return [sid for sid, b in zip(ids, vec.tolist()) if b]
+
+    def responds(self, server_id: int) -> bool:
+        """Physical contact probe: does the server actually answer?
+
+        This is the one sanctioned liveness read the data plane may
+        perform — contacting a replica and observing whether it
+        responds is exactly what a real coordinator does.  A ghost
+        (``believed`` True, ``responds`` False) therefore yields a
+        per-replica timeout instead of a silent success, and a false
+        suspect (``believed`` False, ``responds`` True) is skipped by
+        routing even though it would answer.
+        """
+        cloud = self._cloud
+        return server_id in cloud and cloud.server(server_id).alive
+
+    def reachable(self, src: int, dst: int) -> bool:
+        """Whether a data-plane message from ``src`` reaches ``dst`` now."""
+        return self.net.reachable(src, dst)
 
     @property
     def predicate(self) -> Optional[Callable[[int], bool]]:

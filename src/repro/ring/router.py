@@ -5,6 +5,14 @@ resolve where a query executes.  The router prefers the geographically
 closest live replica, which realises the paper's network-proximity goal
 (§II-B): data mostly accessed from a region should be served from — and
 eventually migrate to — that region.
+
+Since ISSUE 7 the router routes on the *believed* membership view
+(``membership`` parameter, lint-sealed against direct ``Cloud.alive``
+reads): a real deployment's router only knows what its failure
+detector tells it, so ghosts are routable (the caller's contact will
+time out) and false suspects are not (their data is skipped).  The
+default :class:`~repro.net.membership.OracleMembership` reproduces the
+pre-seam physical behavior exactly.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import List, Optional, Tuple
 
 from repro.cluster.location import Location, diversity
 from repro.cluster.topology import Cloud
+from repro.net.membership import OracleMembership
 from repro.ring.hashing import Key
 from repro.ring.partition import Partition, PartitionId
 from repro.ring.virtualring import RingSet
@@ -40,19 +49,23 @@ class Router:
     """Resolves keys to replicas over the current catalog state."""
 
     def __init__(self, cloud: Cloud, rings: RingSet,
-                 catalog: ReplicaCatalog) -> None:
+                 catalog: ReplicaCatalog, *,
+                 membership=None) -> None:
         self._cloud = cloud
         self._rings = rings
         self._catalog = catalog
+        self._membership = (
+            membership if membership is not None else OracleMembership(cloud)
+        )
 
     def partition_of(self, app_id: int, ring_id: int, key: Key) -> Partition:
         return self._rings.ring(app_id, ring_id).lookup(key)
 
     def live_replicas(self, pid: PartitionId) -> List[int]:
+        """Believed-live replica servers (routing acts on belief)."""
+        believed = self._membership.believed
         return [
-            sid
-            for sid in self._catalog.servers_of(pid)
-            if sid in self._cloud and self._cloud.server(sid).alive
+            sid for sid in self._catalog.servers_of(pid) if believed(sid)
         ]
 
     def route(self, app_id: int, ring_id: int, key: Key,

@@ -141,6 +141,85 @@ class InsertConfig:
 
 
 @dataclass(frozen=True)
+class DataPlaneConfig:
+    """The stale-view serving data plane riding on the epoch loop.
+
+    When attached to a :class:`SimConfig`, every epoch runs
+    ``ops_per_epoch`` synthetic client get/put operations through a
+    :class:`repro.store.quorum.QuorumKVStore` routed by the run's
+    *believed* membership view, drains hinted handoffs, and performs a
+    budget-capped anti-entropy pass — emitting one
+    :class:`repro.sim.metrics.DataPlaneFrame` per epoch into the
+    :class:`repro.sim.metrics.RobustnessLog`.
+
+    The data plane is an observer overlay: it owns its own versioned
+    copies and its own RNG stream (``dataplane``), touches no
+    economic state, and therefore leaves the golden EpochFrame
+    streams byte-identical whether enabled or not.
+    """
+
+    level: str = "quorum"
+    ops_per_epoch: int = 48
+    read_fraction: float = 0.6
+    keyspace: int = 96
+    value_size: int = 64
+    hint_ttl: int = 32
+    hint_base_delay: int = 1
+    hint_backoff_cap: int = 8
+    anti_entropy_partitions: int = 8
+    anti_entropy_bytes: int = 1 << 20
+    read_repair: bool = True
+
+    def __post_init__(self) -> None:
+        if self.level not in ("one", "quorum", "all"):
+            raise ConfigError(
+                f"level must be 'one', 'quorum' or 'all', got "
+                f"{self.level!r}"
+            )
+        if self.ops_per_epoch < 0:
+            raise ConfigError(
+                f"ops_per_epoch must be >= 0, got {self.ops_per_epoch}"
+            )
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigError(
+                f"read_fraction must be in [0, 1], got "
+                f"{self.read_fraction}"
+            )
+        if self.keyspace < 1:
+            raise ConfigError(
+                f"keyspace must be >= 1, got {self.keyspace}"
+            )
+        if self.value_size < 1:
+            raise ConfigError(
+                f"value_size must be >= 1, got {self.value_size}"
+            )
+        if self.hint_ttl < 1:
+            raise ConfigError(
+                f"hint_ttl must be >= 1, got {self.hint_ttl}"
+            )
+        if self.hint_base_delay < 1:
+            raise ConfigError(
+                f"hint_base_delay must be >= 1, got "
+                f"{self.hint_base_delay}"
+            )
+        if self.hint_backoff_cap < self.hint_base_delay:
+            raise ConfigError(
+                f"hint_backoff_cap must be >= hint_base_delay, got "
+                f"{self.hint_backoff_cap} < {self.hint_base_delay}"
+            )
+        if self.anti_entropy_partitions < 0:
+            raise ConfigError(
+                f"anti_entropy_partitions must be >= 0, got "
+                f"{self.anti_entropy_partitions}"
+            )
+        if self.anti_entropy_bytes < 0:
+            raise ConfigError(
+                f"anti_entropy_bytes must be >= 0, got "
+                f"{self.anti_entropy_bytes}"
+            )
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Complete description of one simulation run."""
 
@@ -182,6 +261,11 @@ class SimConfig:
     # delay_max=0, no partitions/flaps) reproduces the idealized run
     # exactly while still counting every control-plane message.
     net: Optional[NetConfig] = None
+    # Stale-view serving data plane (ISSUE 7).  None skips it; a
+    # DataPlaneConfig runs quorum client traffic + hinted handoff +
+    # read repair + anti-entropy over the believed membership view,
+    # with per-epoch DataPlaneFrame metrics in the RobustnessLog.
+    data_plane: Optional[DataPlaneConfig] = None
 
     def __post_init__(self) -> None:
         if not self.apps:

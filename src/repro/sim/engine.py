@@ -35,7 +35,7 @@ from repro.core.board import PriceBoard, update_board
 from repro.core.decision import DecisionEngine, DecisionStats, EconomicPolicy
 from repro.core.economy import CloudCostIndex, UsageTracker
 from repro.core.placement import proximity_weights
-from repro.net.membership import MembershipService
+from repro.net.membership import MembershipService, OracleMembership
 from repro.ring.partition import PartitionId, PartitionIndex
 from repro.ring.virtualring import AvailabilityLevel, RingError, RingSet
 from repro.sim.config import SimConfig
@@ -47,6 +47,7 @@ from repro.sim.metrics import (
     ServerVnodeHistogram,
 )
 from repro.sim.seeds import RngStreams
+from repro.store.dataplane import DataPlane
 from repro.store.replica import ReplicaCatalog
 from repro.store.transfer import (
     NETWORK_OUTCOMES,
@@ -239,6 +240,27 @@ class Simulation:
         self._hist_ids: Optional[Tuple[int, Tuple[int, ...]]] = None
         self._epoch = 0
         self._seed_placement()
+        # Stale-view serving data plane (ISSUE 7).  Built after seed
+        # placement so its catalog mirror only tracks changes from
+        # here on; an observer overlay, so the EpochFrame stream is
+        # unchanged whether or not it is enabled.
+        self.data_plane: Optional[DataPlane] = None
+        if config.data_plane is not None:
+            if self.robustness is None:
+                self.robustness = RobustnessLog()
+            membership = (
+                self.membership_service
+                if self.membership_service is not None
+                else OracleMembership(self.cloud)
+            )
+            self.data_plane = DataPlane(
+                config.data_plane, self.cloud, self.rings, self.catalog,
+                membership, rng=self.streams.dataplane,
+                apps=[
+                    (app.app_id, ring.ring_id)
+                    for app in config.apps for ring in app.rings
+                ],
+            )
 
     # -- construction helpers ------------------------------------------------
 
@@ -472,10 +494,17 @@ class Simulation:
             self._push_retries(epoch)
         insert_outcome = self._apply_inserts(epoch)
         self._apply_splits()
+        if self.data_plane is not None:
+            self.data_plane.step(epoch)
         frame = self._collect(epoch, load, stats, insert_outcome)
         self.metrics.append(frame)
         if self.robustness is not None:
-            self.robustness.append(self._collect_control_plane(epoch))
+            if self.membership_service is not None:
+                self.robustness.append(self._collect_control_plane(epoch))
+            if self.data_plane is not None:
+                self.robustness.append_data_plane(
+                    self.data_plane.collect_frame(epoch)
+                )
         # Keep the agent ledger dense after retirement-heavy epochs so
         # batched settlement touches contiguous rows.
         self.registry.maybe_compact()

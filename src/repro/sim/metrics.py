@@ -625,6 +625,66 @@ CONTROL_FIELDS: Tuple[str, ...] = (
 )
 
 
+@dataclass(frozen=True)
+class DataPlaneFrame:
+    """One epoch's data-plane observables (stale-view serving runs).
+
+    The quorum store's mirror of :class:`ControlPlaneFrame`: emitted
+    when the run carries a :class:`repro.sim.config.DataPlaneConfig`,
+    per-epoch deltas of the store's monotonic counters plus the hint
+    queue depth at collection time.  ``levels`` maps a consistency
+    level value (``"one"`` / ``"quorum"`` / ``"all"``) to its
+    ``(ok_ops, replica_timeouts, stale_copies_observed)`` counts.
+    """
+
+    epoch: int
+    reads: int
+    writes: int
+    read_failures: int
+    write_failures: int
+    replica_timeouts: int
+    replica_unreachable: int
+    suspects_skipped: int
+    stale_observed: int
+    read_repairs: int
+    handoff_writes: int
+    hints_parked: int
+    hints_drained: int
+    hints_expired: int
+    hint_queue_depth: int
+    anti_entropy_partitions: int
+    anti_entropy_keys: int
+    anti_entropy_bytes: int
+    levels: Dict[str, Tuple[int, int, int]]
+
+    @property
+    def operations(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def failures(self) -> int:
+        return self.read_failures + self.write_failures
+
+    @property
+    def failure_rate(self) -> float:
+        attempted = self.operations + self.failures
+        if attempted == 0:
+            return 0.0
+        return self.failures / attempted
+
+
+#: DataPlaneFrame scalar fields exposed through
+#: :meth:`RobustnessLog.data_plane_series`.
+DATA_PLANE_FIELDS: Tuple[str, ...] = (
+    "epoch", "reads", "writes", "read_failures", "write_failures",
+    "replica_timeouts", "replica_unreachable", "suspects_skipped",
+    "stale_observed", "read_repairs", "handoff_writes",
+    "hints_parked", "hints_drained", "hints_expired",
+    "hint_queue_depth", "anti_entropy_partitions", "anti_entropy_keys",
+    "anti_entropy_bytes",
+)
+
+
 class RobustnessLog:
     """Per-epoch control-plane frames plus the robustness aggregates.
 
@@ -637,6 +697,7 @@ class RobustnessLog:
 
     def __init__(self) -> None:
         self._frames: List[ControlPlaneFrame] = []
+        self._data_frames: List[DataPlaneFrame] = []
 
     def append(self, frame: ControlPlaneFrame) -> None:
         if self._frames and frame.epoch <= self._frames[-1].epoch:
@@ -645,6 +706,18 @@ class RobustnessLog:
                 f"{self._frames[-1].epoch}"
             )
         self._frames.append(frame)
+
+    def append_data_plane(self, frame: DataPlaneFrame) -> None:
+        """Append one epoch's data-plane frame (monotonic epochs)."""
+        if (
+            self._data_frames
+            and frame.epoch <= self._data_frames[-1].epoch
+        ):
+            raise MetricsError(
+                f"non-monotonic data-plane epoch {frame.epoch} after "
+                f"{self._data_frames[-1].epoch}"
+            )
+        self._data_frames.append(frame)
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -707,8 +780,56 @@ class RobustnessLog:
             "max": float(maxes.max()),
         }
 
+    @property
+    def data_plane(self) -> List[DataPlaneFrame]:
+        """The data-plane frame stream (empty when not collected)."""
+        return self._data_frames
+
+    def data_plane_series(self, name: str) -> np.ndarray:
+        if name not in DATA_PLANE_FIELDS and not hasattr(
+            DataPlaneFrame, name
+        ):
+            raise MetricsError(f"unknown data-plane series {name!r}")
+        return np.array(
+            [getattr(f, name) for f in self._data_frames],
+            dtype=np.float64,
+        )
+
+    def data_plane_summary(self) -> Dict[str, object]:
+        """Whole-run data-plane totals plus the per-level breakdown."""
+        frames = self._data_frames
+        levels: Dict[str, List[int]] = {}
+        for frame in frames:
+            for level, row in frame.levels.items():
+                agg = levels.setdefault(level, [0, 0, 0])
+                for k in range(3):
+                    agg[k] += row[k]
+        totals = {
+            name: int(sum(getattr(f, name) for f in frames))
+            for name in DATA_PLANE_FIELDS
+            if name not in ("epoch", "hint_queue_depth")
+        }
+        totals["peak_hint_queue_depth"] = int(
+            max((f.hint_queue_depth for f in frames), default=0)
+        )
+        totals["final_hint_queue_depth"] = int(
+            frames[-1].hint_queue_depth if frames else 0
+        )
+        totals["levels"] = {
+            level: {"ok": agg[0], "timeouts": agg[1], "stale": agg[2]}
+            for level, agg in levels.items()
+        }
+        return totals
+
     def summary(self) -> Dict[str, object]:
         """The robustness report block (text render in analysis/)."""
+        frames = self._frames
+        out = self._control_summary()
+        if self._data_frames:
+            out["data_plane"] = self.data_plane_summary()
+        return out
+
+    def _control_summary(self) -> Dict[str, object]:
         frames = self._frames
         return {
             "epochs": len(frames),

@@ -32,6 +32,9 @@ STREAMS = (
     # all seeded runs).
     "gossip",
     "net",
+    # Data-plane client traffic (ISSUE 7) — appended for the same
+    # reason: earlier children are unchanged by a longer spawn.
+    "dataplane",
 )
 
 

@@ -5,6 +5,8 @@ from repro.store.consistency import (
     ConsistencyError,
     ConsistencyModel,
 )
+from repro.store.dataplane import ClientOp, DataPlane
+from repro.store.hints import Hint, HintError, HintStore
 from repro.store.kvstore import (
     KVStore,
     NoReplicaError,
@@ -12,11 +14,13 @@ from repro.store.kvstore import (
     StoreError,
 )
 from repro.store.quorum import (
+    DataPlaneStats,
     Level,
     QuorumError,
     QuorumKVStore,
     QuorumReadResult,
     QuorumWriteResult,
+    ReplicaOutcome,
     Versioned,
 )
 from repro.store.replica import (
@@ -37,11 +41,18 @@ from repro.store.transfer import (
 
 __all__ = [
     "CatalogListener",
+    "ClientOp",
     "ConsistencyError",
     "ConsistencyModel",
     "DEFAULT_CONSISTENCY",
+    "DataPlane",
+    "DataPlaneStats",
+    "Hint",
+    "HintError",
+    "HintStore",
     "KVStore",
     "Level",
+    "ReplicaOutcome",
     "QuorumError",
     "QuorumKVStore",
     "QuorumReadResult",

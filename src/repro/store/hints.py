@@ -1,0 +1,232 @@
+"""Hinted handoff: writes parked for replicas believed dead.
+
+When a sloppy-quorum write cannot reach a replica — the membership
+view believes it dead, it turned out to be a ghost (timeout), or a
+partition cut the path — the coordinator diverts the write to a
+*hint*: a record parked on a healthy non-replica holder, addressed to
+the missed target.  Hints are drained once the target rehabilitates
+(believed live again, physically responding, and reachable from the
+holder) and expire after a TTL so a permanently dead target does not
+pin storage forever.
+
+Drain attempts reuse the capped-backoff discipline of
+:class:`repro.store.transfer.RetryQueue` via
+:func:`repro.store.transfer.capped_backoff`: a hint whose target is
+not yet ready backs off ``base_delay`` epochs, doubling per further
+failed probe up to ``cap``, instead of being re-probed every epoch.
+
+Hints deduplicate per ``(target, partition, key)`` keeping only the
+freshest version — delivering an older parked write after a newer one
+landed would be a lost-update bug, and versions are totally ordered
+per key by construction (see :mod:`repro.store.quorum`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ring.partition import PartitionId
+from repro.store.transfer import capped_backoff
+
+
+class HintError(ValueError):
+    """Raised for malformed hint-store configurations."""
+
+
+@dataclass
+class Hint:
+    """One parked write addressed to a missed replica.
+
+    ``holder`` is the believed-live server physically storing the
+    hint: delivery additionally requires the holder itself to respond
+    and to reach the target (the hint travels holder → target).
+    """
+
+    target: int
+    holder: int
+    pid: PartitionId
+    key: bytes
+    value: Optional[bytes]
+    version: int
+    born_epoch: int
+    attempts: int = 0
+    next_epoch: int = 0
+
+
+class HintStore:
+    """TTL-bounded, backoff-paced parking lot for diverted writes."""
+
+    def __init__(
+        self,
+        *,
+        ttl: int = 32,
+        base_delay: int = 1,
+        cap: int = 8,
+    ) -> None:
+        if ttl < 1:
+            raise HintError(f"ttl must be >= 1, got {ttl}")
+        if base_delay < 1:
+            raise HintError(f"base_delay must be >= 1, got {base_delay}")
+        if cap < base_delay:
+            raise HintError(
+                f"cap must be >= base_delay, got {cap} < {base_delay}"
+            )
+        self.ttl = ttl
+        self.base_delay = base_delay
+        self.cap = cap
+        self._hints: Dict[Tuple[int, PartitionId, bytes], Hint] = {}
+        # Lifetime counters (monotonic; per-epoch deltas via epoch_counts).
+        self.parked = 0
+        self.refreshed = 0
+        self.drained = 0
+        self.expired = 0
+        self.dropped = 0
+        self._epoch_base = (0, 0, 0, 0, 0)
+
+    def __len__(self) -> int:
+        return len(self._hints)
+
+    @property
+    def depth(self) -> int:
+        """Current hint queue depth (outstanding parked writes)."""
+        return len(self._hints)
+
+    def park(
+        self,
+        *,
+        target: int,
+        holder: int,
+        pid: PartitionId,
+        key: bytes,
+        value: Optional[bytes],
+        version: int,
+        epoch: int,
+    ) -> bool:
+        """Park a missed write; False if an equal/fresher hint exists.
+
+        A fresher write for the same (target, pid, key) *refreshes*
+        the existing hint in place — value, version, holder, TTL clock
+        and backoff all reset, because the newest version is the only
+        one worth delivering.
+        """
+        key3 = (target, pid, key)
+        existing = self._hints.get(key3)
+        if existing is not None:
+            if version <= existing.version:
+                return False
+            existing.holder = holder
+            existing.value = value
+            existing.version = version
+            existing.born_epoch = epoch
+            existing.attempts = 0
+            existing.next_epoch = epoch + self.base_delay
+            self.refreshed += 1
+            return True
+        self._hints[key3] = Hint(
+            target=target, holder=holder, pid=pid, key=key,
+            value=value, version=version, born_epoch=epoch,
+            attempts=0, next_epoch=epoch + self.base_delay,
+        )
+        self.parked += 1
+        return True
+
+    def for_target(self, target: int) -> List[Hint]:
+        """Outstanding hints addressed to one server (insertion order)."""
+        return [h for h in self._hints.values() if h.target == target]
+
+    def hinted_targets(self) -> Tuple[int, ...]:
+        """Distinct servers with at least one outstanding hint."""
+        seen: Dict[int, None] = {}
+        for hint in self._hints.values():
+            seen.setdefault(hint.target, None)
+        return tuple(seen)
+
+    def drain(
+        self,
+        epoch: int,
+        *,
+        ready: Callable[[Hint], bool],
+        deliver: Callable[[Hint], bool],
+    ) -> Tuple[int, int]:
+        """One drain pass; returns ``(delivered, expired)``.
+
+        For every outstanding hint, in parking order: expire it if its
+        TTL has lapsed; skip it while its backoff clock has not come
+        due; probe ``ready`` (target rehabilitated, holder up, path
+        open) and on failure re-arm the backoff; otherwise hand it to
+        ``deliver``.  A ``deliver`` returning False means the hint is
+        obsolete (target no longer a replica, partition gone) and is
+        dropped rather than retried.
+        """
+        delivered = expired = 0
+        for key3, hint in list(self._hints.items()):
+            if epoch - hint.born_epoch > self.ttl:
+                del self._hints[key3]
+                self.expired += 1
+                expired += 1
+                continue
+            if hint.next_epoch > epoch:
+                continue
+            if not ready(hint):
+                hint.attempts += 1
+                hint.next_epoch = epoch + capped_backoff(
+                    hint.attempts, self.base_delay, self.cap
+                )
+                continue
+            del self._hints[key3]
+            if deliver(hint):
+                self.drained += 1
+                delivered += 1
+            else:
+                self.dropped += 1
+        return delivered, expired
+
+    def rekey_partition(
+        self,
+        parent: PartitionId,
+        mapper: Callable[[bytes], PartitionId],
+    ) -> int:
+        """Re-address hints of a split parent to its children.
+
+        ``mapper`` maps a key to the child partition now owning it.
+        Returns the number of hints moved.
+        """
+        moved = 0
+        for key3 in [k for k in self._hints if k[1] == parent]:
+            hint = self._hints.pop(key3)
+            hint.pid = mapper(hint.key)
+            new_key3 = (hint.target, hint.pid, hint.key)
+            existing = self._hints.get(new_key3)
+            if existing is None or existing.version < hint.version:
+                self._hints[new_key3] = hint
+                moved += 1
+            else:
+                self.dropped += 1
+        return moved
+
+    def drop_target(self, target: int) -> int:
+        """Discard every hint addressed to ``target`` (left the cloud)."""
+        stale = [k for k in self._hints if k[0] == target]
+        for key3 in stale:
+            del self._hints[key3]
+        self.dropped += len(stale)
+        return len(stale)
+
+    def begin_epoch(self) -> None:
+        """Snapshot counters so :meth:`epoch_counts` reports deltas."""
+        self._epoch_base = (
+            self.parked, self.refreshed, self.drained,
+            self.expired, self.dropped,
+        )
+
+    def epoch_counts(self) -> Dict[str, int]:
+        """Counter deltas since the last :meth:`begin_epoch`."""
+        base = self._epoch_base
+        return {
+            "parked": self.parked - base[0],
+            "refreshed": self.refreshed - base[1],
+            "drained": self.drained - base[2],
+            "expired": self.expired - base[3],
+            "dropped": self.dropped - base[4],
+        }

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.location import Location, diversity
 from repro.cluster.topology import Cloud
+from repro.net.membership import OracleMembership
 from repro.ring.hashing import Key, hash_key
 from repro.ring.partition import Partition, PartitionId
 from repro.ring.virtualring import RingSet, VirtualRing
@@ -51,10 +52,14 @@ class KVStore:
     """Replicated key-value store over a cloud, ring set and catalog."""
 
     def __init__(self, cloud: Cloud, rings: RingSet,
-                 catalog: ReplicaCatalog) -> None:
+                 catalog: ReplicaCatalog, *,
+                 membership=None) -> None:
         self._cloud = cloud
         self._rings = rings
         self._catalog = catalog
+        self._membership = (
+            membership if membership is not None else OracleMembership(cloud)
+        )
         self._objects: Dict[PartitionId, Dict[bytes, bytes]] = {}
 
     # -- routing -----------------------------------------------------------
@@ -73,11 +78,14 @@ class KVStore:
 
     def _pick_replica(self, pid: PartitionId,
                       client: Optional[Location]) -> Tuple[int, int]:
-        """Choose the serving replica: lowest diversity to the client."""
+        """Choose the serving replica: lowest diversity to the client.
+
+        Candidates come from the believed membership view — the store
+        can only route to replicas its failure detector vouches for.
+        """
+        believed = self._membership.believed
         candidates = [
-            sid
-            for sid in self._catalog.servers_of(pid)
-            if sid in self._cloud and self._cloud.server(sid).alive
+            sid for sid in self._catalog.servers_of(pid) if believed(sid)
         ]
         if not candidates:
             raise NoReplicaError(f"no live replica for {pid}")

@@ -1,4 +1,4 @@
-"""Quorum reads/writes with per-replica versions and read repair.
+"""Quorum reads/writes routed through the *believed* membership view.
 
 The economy prices the network cost of keeping replicas consistent
 (§II-C); this module supplies the consistency substrate itself, in the
@@ -11,6 +11,36 @@ Unlike :class:`~repro.store.kvstore.KVStore` (which models replicas as
 byte-identical and is the economy's data plane), the quorum store keeps
 *physically separate* per-server copies so staleness, divergence after
 failures, and repair are all observable.
+
+Since ISSUE 7 the store never reads ``Cloud.alive`` directly (the
+``tests/test_lint.py`` membership seal enforces this): replica
+selection goes through a membership view's ``believed`` verdicts, and
+actually contacting a replica goes through its ``responds`` /
+``reachable`` probes — so the store *routes on belief* and *fails on
+reality*, exactly like a real coordinator behind an imperfect failure
+detector:
+
+* a **ghost** (dead but believed live) is selected for the operation
+  and yields a per-replica ``TIMEOUT`` outcome instead of a silent
+  success;
+* a **false suspect** (alive but believed dead) is *skipped*, not
+  read, even though it holds data;
+* a replica the coordinator cannot currently reach (partition, flap)
+  yields ``UNREACHABLE``.
+
+On that seam sits the classic repair ladder: **sloppy quorum with
+hinted handoff** (an attached :class:`~repro.store.hints.HintStore`
+lets a write count diverted hints toward its quorum; hints drain when
+the target rehabilitates), **read repair** (stale copies observed
+during a quorum read are patched inline), and a budget-capped
+**anti-entropy pass** (:meth:`QuorumKVStore.anti_entropy`) that walks
+partitions round-robin exchanging digests so replicas no read ever
+touches still converge.
+
+With the default :class:`~repro.net.membership.OracleMembership` view
+(``membership=None``) belief equals reality and every probe succeeds,
+so behavior is byte-identical to the pre-seam store — the same
+identity argument the control plane makes for ``net is None``.
 """
 
 from __future__ import annotations
@@ -21,10 +51,17 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.location import Location, diversity
 from repro.cluster.topology import Cloud
-from repro.ring.hashing import Key
+from repro.net.membership import OracleMembership
+from repro.ring.hashing import Key, hash_key
 from repro.ring.partition import PartitionId
 from repro.ring.virtualring import RingSet
-from repro.store.replica import ReplicaCatalog
+from repro.store.hints import HintStore
+from repro.store.replica import CatalogListener, ReplicaCatalog
+
+#: Modeled wire overhead per patched key during anti-entropy digest
+#: exchange (version stamp + addressing), counted into
+#: ``anti_entropy_bytes`` on top of the value payload.
+DIGEST_OVERHEAD_BYTES = 16
 
 
 class QuorumError(RuntimeError):
@@ -53,6 +90,15 @@ class Level(enum.Enum):
         return n
 
 
+class ReplicaOutcome(enum.Enum):
+    """What happened when the coordinator tried one replica."""
+
+    OK = "ok"
+    TIMEOUT = "timeout"          # believed live, physically dead (ghost)
+    UNREACHABLE = "unreachable"  # believed live, path from coordinator cut
+    SKIPPED = "skipped"          # believed dead (suspect), never tried
+
+
 @dataclass(frozen=True)
 class Versioned:
     """One replica's copy of one key."""
@@ -73,6 +119,7 @@ class QuorumReadResult:
     version: int
     contacted: Tuple[int, ...]
     stale_replicas: Tuple[int, ...]
+    attempts: Tuple[Tuple[int, str], ...] = ()
 
     @property
     def found(self) -> bool:
@@ -86,6 +133,43 @@ class QuorumWriteResult:
     version: int
     acked: Tuple[int, ...]
     missed: Tuple[int, ...]
+    hinted: Tuple[int, ...] = ()
+    attempts: Tuple[Tuple[int, str], ...] = ()
+
+
+class DataPlaneStats:
+    """Monotonic data-plane counters (per-epoch deltas upstream).
+
+    ``levels`` aggregates per consistency level: level value →
+    ``[ok_ops, replica_timeouts, stale_copies_observed]``.
+    """
+
+    SCALARS = (
+        "reads", "writes", "read_failures", "write_failures",
+        "replica_timeouts", "replica_unreachable", "suspects_skipped",
+        "stale_observed", "read_repairs", "handoff_writes",
+        "hints_parked", "hints_drained", "hints_expired",
+        "anti_entropy_partitions", "anti_entropy_keys",
+        "anti_entropy_bytes",
+    )
+
+    def __init__(self) -> None:
+        for name in self.SCALARS:
+            setattr(self, name, 0)
+        self.levels: Dict[str, List[int]] = {}
+
+    def bump_level(self, level: Level, *, ok: int = 0, timeouts: int = 0,
+                   stale: int = 0) -> None:
+        row = self.levels.setdefault(level.value, [0, 0, 0])
+        row[0] += ok
+        row[1] += timeouts
+        row[2] += stale
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.SCALARS}
+
+    def level_rows(self) -> Dict[str, Tuple[int, int, int]]:
+        return {lv: tuple(row) for lv, row in self.levels.items()}
 
 
 class QuorumKVStore:
@@ -93,14 +177,35 @@ class QuorumKVStore:
 
     def __init__(self, cloud: Cloud, rings: RingSet,
                  catalog: ReplicaCatalog, *,
-                 read_repair: bool = True) -> None:
+                 read_repair: bool = True,
+                 membership=None,
+                 hints: Optional[HintStore] = None,
+                 track_catalog: bool = False) -> None:
         self._cloud = cloud
         self._rings = rings
         self._catalog = catalog
         self._read_repair = read_repair
+        self._membership = (
+            membership if membership is not None else OracleMembership(cloud)
+        )
+        self._reachable = getattr(self._membership, "reachable", None)
+        self._hints = hints
+        self.stats = DataPlaneStats()
+        self._epoch = 0
+        self._ae_cursor = 0
         # (server, partition) -> key -> Versioned
         self._copies: Dict[Tuple[int, PartitionId], Dict[bytes, Versioned]] = {}
         self._next_version: Dict[Tuple[PartitionId, bytes], int] = {}
+        if track_catalog:
+            catalog.add_listener(_CopyMirror(self))
+
+    @property
+    def hints(self) -> Optional[HintStore]:
+        return self._hints
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Advance the store's clock (hint TTL / backoff timebase)."""
+        self._epoch = epoch
 
     # -- plumbing ------------------------------------------------------------
 
@@ -114,21 +219,48 @@ class QuorumKVStore:
     def _route(self, app_id: int, ring_id: int, key: Key) -> PartitionId:
         return self._rings.ring(app_id, ring_id).lookup(key).pid
 
-    def _live_replicas(self, pid: PartitionId,
-                       client: Optional[Location]) -> List[int]:
-        """Live replica servers, closest to the client first."""
-        live = [
-            sid
-            for sid in self._catalog.servers_of(pid)
-            if sid in self._cloud and self._cloud.server(sid).alive
+    def _believed_replicas(self, pid: PartitionId,
+                           client: Optional[Location]) -> List[int]:
+        """Believed-live replica servers, closest to the client first.
+
+        Belief, not ground truth: ghosts are *included* (and will time
+        out on contact), false suspects are *excluded* (and counted as
+        skipped even though they would answer).
+        """
+        believed = self._membership.believed
+        out = [
+            sid for sid in self._catalog.servers_of(pid) if believed(sid)
         ]
         if client is not None:
-            live.sort(
+            out.sort(
                 key=lambda sid: diversity(
                     client, self._cloud.server(sid).location
                 )
             )
-        return live
+        return out
+
+    def _count_suspects(self, pid: PartitionId,
+                        believed: List[int]) -> None:
+        """Count skipped replicas that would actually have answered."""
+        chosen = set(believed)
+        membership = self._membership
+        for sid in self._catalog.servers_of(pid):
+            if sid not in chosen and membership.responds(sid):
+                self.stats.suspects_skipped += 1
+
+    def _contact(self, coordinator: Optional[int],
+                 sid: int) -> ReplicaOutcome:
+        """Physically try one believed-live replica."""
+        if not self._membership.responds(sid):
+            return ReplicaOutcome.TIMEOUT
+        if (
+            coordinator is not None
+            and coordinator != sid
+            and self._reachable is not None
+            and not self._reachable(coordinator, sid)
+        ):
+            return ReplicaOutcome.UNREACHABLE
+        return ReplicaOutcome.OK
 
     def _copy(self, sid: int, pid: PartitionId) -> Dict[bytes, Versioned]:
         return self._copies.setdefault((sid, pid), {})
@@ -140,9 +272,12 @@ class QuorumKVStore:
             client: Optional[Location] = None) -> QuorumWriteResult:
         """Write ``value``; succeeds when ``level`` many replicas ack.
 
-        Dead replicas miss the write and stay stale until read repair
-        or a later write reaches them — the divergence window the
-        consistency-cost model charges for.
+        Replicas that miss the write (believed dead, timed out, or
+        unreachable) stay stale until hinted handoff, read repair or
+        anti-entropy reaches them — the divergence window the
+        consistency-cost model charges for.  With a
+        :class:`~repro.store.hints.HintStore` attached, a parked hint
+        counts toward the quorum (sloppy quorum).
         """
         if not isinstance(value, bytes):
             raise TypeError(f"value must be bytes, got {type(value).__name__}")
@@ -160,23 +295,94 @@ class QuorumKVStore:
         pid = self._route(app_id, ring_id, key)
         kb = self._key_bytes(key)
         all_replicas = self._catalog.servers_of(pid)
-        live = self._live_replicas(pid, client)
+        believed = self._believed_replicas(pid, client)
         need = level.required(len(all_replicas))
-        if len(live) < need:
+        stats = self.stats
+        self._count_suspects(pid, believed)
+        if self._hints is None and len(believed) < need:
+            # Strict quorum: refuse before consuming a version, so a
+            # rejected write leaves no trace.  (With hints attached,
+            # diverted writes may still assemble a sloppy quorum.)
+            stats.write_failures += 1
             raise QuorumError(
                 f"write quorum {need}/{len(all_replicas)} unreachable "
-                f"for {pid}: only {len(live)} live replicas"
+                f"for {pid}: only {len(believed)} believed-live replicas"
             )
         vkey = (pid, kb)
         version = self._next_version.get(vkey, 0) + 1
         self._next_version[vkey] = version
         stamped = Versioned(value=value, version=version)
-        for sid in live:
-            self._copy(sid, pid)[kb] = stamped
-        missed = tuple(sid for sid in all_replicas if sid not in live)
+        acked: List[int] = []
+        attempts: List[Tuple[int, str]] = []
+        coordinator: Optional[int] = None
+        for sid in believed:
+            outcome = self._contact(coordinator, sid)
+            attempts.append((sid, outcome.value))
+            if outcome is ReplicaOutcome.OK:
+                if coordinator is None:
+                    coordinator = sid
+                self._copy(sid, pid)[kb] = stamped
+                acked.append(sid)
+            elif outcome is ReplicaOutcome.TIMEOUT:
+                stats.replica_timeouts += 1
+                stats.bump_level(level, timeouts=1)
+            else:
+                stats.replica_unreachable += 1
+        acked_set = set(acked)
+        missed = tuple(sid for sid in all_replicas if sid not in acked_set)
+        hinted: Tuple[int, ...] = ()
+        if self._hints is not None and missed:
+            hinted = self._park_hints(
+                pid, kb, stamped, missed, client, coordinator
+            )
+        if len(acked) + len(hinted) < need:
+            stats.write_failures += 1
+            raise QuorumError(
+                f"write quorum {need}/{len(all_replicas)} failed for "
+                f"{pid}: {len(acked)} acks + {len(hinted)} hints"
+            )
+        stats.writes += 1
+        stats.bump_level(level, ok=1)
+        if hinted and len(acked) < need:
+            stats.handoff_writes += 1
         return QuorumWriteResult(
-            version=version, acked=tuple(live), missed=missed
+            version=version, acked=tuple(acked), missed=missed,
+            hinted=hinted, attempts=tuple(attempts),
         )
+
+    def _park_hints(self, pid: PartitionId, kb: bytes, stamped: Versioned,
+                    targets: Tuple[int, ...], client: Optional[Location],
+                    coordinator: Optional[int]) -> Tuple[int, ...]:
+        """Divert a missed write to hints on healthy non-replica holders."""
+        assert self._hints is not None
+        replicas = set(self._catalog.servers_of(pid))
+        holders = [
+            sid for sid in self._membership.believed_ids()
+            if sid not in replicas
+        ]
+        if client is not None:
+            holders.sort(
+                key=lambda sid: diversity(
+                    client, self._cloud.server(sid).location
+                )
+            )
+        holder: Optional[int] = None
+        for sid in holders:
+            if self._contact(coordinator, sid) is ReplicaOutcome.OK:
+                holder = sid
+                break
+        if holder is None:
+            return ()
+        hinted: List[int] = []
+        for target in targets:
+            self._hints.park(
+                target=target, holder=holder, pid=pid, key=kb,
+                value=stamped.value, version=stamped.version,
+                epoch=self._epoch,
+            )
+            self.stats.hints_parked += 1
+            hinted.append(target)
+        return tuple(hinted)
 
     def get(self, app_id: int, ring_id: int, key: Key, *,
             level: Level = Level.QUORUM,
@@ -185,18 +391,47 @@ class QuorumKVStore:
 
         With ``read_repair`` enabled (default), contacted replicas
         holding older versions are updated in place, Dynamo-style.
+        Believed-live replicas that fail to answer (ghosts) or cannot
+        be reached push the coordinator further down the preference
+        list; the quorum fails only when fewer than ``level`` replicas
+        actually respond.
         """
         pid = self._route(app_id, ring_id, key)
         kb = self._key_bytes(key)
         all_replicas = self._catalog.servers_of(pid)
-        live = self._live_replicas(pid, client)
+        believed = self._believed_replicas(pid, client)
         need = level.required(len(all_replicas))
-        if len(live) < need:
+        stats = self.stats
+        self._count_suspects(pid, believed)
+        if len(believed) < need:
+            stats.read_failures += 1
             raise QuorumError(
                 f"read quorum {need}/{len(all_replicas)} unreachable "
-                f"for {pid}: only {len(live)} live replicas"
+                f"for {pid}: only {len(believed)} believed-live replicas"
             )
-        contacted = live[:need]
+        contacted: List[int] = []
+        attempts: List[Tuple[int, str]] = []
+        coordinator: Optional[int] = None
+        for sid in believed:
+            if len(contacted) >= need:
+                break
+            outcome = self._contact(coordinator, sid)
+            attempts.append((sid, outcome.value))
+            if outcome is ReplicaOutcome.OK:
+                if coordinator is None:
+                    coordinator = sid
+                contacted.append(sid)
+            elif outcome is ReplicaOutcome.TIMEOUT:
+                stats.replica_timeouts += 1
+                stats.bump_level(level, timeouts=1)
+            else:
+                stats.replica_unreachable += 1
+        if len(contacted) < need:
+            stats.read_failures += 1
+            raise QuorumError(
+                f"read quorum {need}/{len(all_replicas)} assembled only "
+                f"{len(contacted)} responses for {pid}"
+            )
         freshest: Optional[Versioned] = None
         holders: Dict[int, int] = {}
         for sid in contacted:
@@ -206,24 +441,136 @@ class QuorumKVStore:
                 freshest is None or copy.version > freshest.version
             ):
                 freshest = copy
+        stats.reads += 1
+        stats.bump_level(level, ok=1)
         if freshest is None:
             return QuorumReadResult(
                 value=None, version=0,
                 contacted=tuple(contacted), stale_replicas=(),
+                attempts=tuple(attempts),
             )
         stale = tuple(
             sid for sid, v in holders.items() if v < freshest.version
         )
+        stats.stale_observed += len(stale)
+        stats.bump_level(level, stale=len(stale))
         if self._read_repair and stale:
             for sid in stale:
                 self._copy(sid, pid)[kb] = freshest
+            stats.read_repairs += len(stale)
         value = None if freshest.is_tombstone else freshest.value
         return QuorumReadResult(
             value=value,
             version=freshest.version,
             contacted=tuple(contacted),
             stale_replicas=stale,
+            attempts=tuple(attempts),
         )
+
+    # -- repair ladder ---------------------------------------------------------
+
+    def drain_hints(self, epoch: int) -> Tuple[int, int]:
+        """Deliver due hints to rehabilitated targets.
+
+        Returns ``(delivered, expired)``.  A hint delivers only when
+        its holder still responds, its target is believed live *and*
+        physically answers, and the holder→target path is open; a hint
+        whose target is no longer a replica of the partition is
+        dropped as obsolete.
+        """
+        if self._hints is None:
+            return (0, 0)
+        membership = self._membership
+
+        def ready(hint) -> bool:
+            if not membership.responds(hint.holder):
+                return False
+            if not (membership.believed(hint.target)
+                    and membership.responds(hint.target)):
+                return False
+            return (
+                self._reachable is None
+                or self._reachable(hint.holder, hint.target)
+            )
+
+        def deliver(hint) -> bool:
+            if not self._catalog.has_replica(hint.pid, hint.target):
+                return False
+            copy = self._copy(hint.target, hint.pid)
+            held = copy.get(hint.key)
+            if held is None or held.version < hint.version:
+                copy[hint.key] = Versioned(
+                    value=hint.value, version=hint.version
+                )
+            return True
+
+        delivered, expired = self._hints.drain(
+            epoch, ready=ready, deliver=deliver
+        )
+        self.stats.hints_drained += delivered
+        self.stats.hints_expired += expired
+        return delivered, expired
+
+    def anti_entropy(self, epoch: int = 0, *,
+                     max_partitions: Optional[int] = None,
+                     max_bytes: Optional[int] = None
+                     ) -> Tuple[int, int, int]:
+        """One budget-capped digest-exchange pass over the catalog.
+
+        Walks partitions round-robin from a persistent cursor; for
+        each, the believed-live *responding* replicas exchange per-key
+        version digests and every copy is patched up to the freshest
+        version observed.  Stops after ``max_partitions`` partitions
+        or once ``max_bytes`` of patch traffic has been sent (the
+        partition in flight is finished, so the byte budget may
+        overshoot by one partition).  Returns
+        ``(partitions_scanned, keys_patched, bytes_sent)``.
+        """
+        pids = self._catalog.partitions()
+        n = len(pids)
+        if n == 0:
+            return (0, 0, 0)
+        membership = self._membership
+        limit = n if max_partitions is None else min(n, max_partitions)
+        scanned = patched = sent = 0
+        start = self._ae_cursor % n
+        examined = 0
+        for i in range(n):
+            if scanned >= limit:
+                break
+            if max_bytes is not None and sent >= max_bytes:
+                break
+            pid = pids[(start + i) % n]
+            examined += 1
+            scanned += 1
+            online = [
+                sid for sid in self._catalog.servers_of(pid)
+                if membership.believed(sid) and membership.responds(sid)
+            ]
+            if len(online) < 2:
+                continue
+            freshest: Dict[bytes, Versioned] = {}
+            for sid in online:
+                for kb, copy in self._copy(sid, pid).items():
+                    best = freshest.get(kb)
+                    if best is None or copy.version > best.version:
+                        freshest[kb] = copy
+            if not freshest:
+                continue
+            for sid in online:
+                copy_map = self._copy(sid, pid)
+                for kb, best in freshest.items():
+                    held = copy_map.get(kb)
+                    if held is None or held.version < best.version:
+                        copy_map[kb] = best
+                        patched += 1
+                        payload = len(best.value) if best.value else 0
+                        sent += payload + DIGEST_OVERHEAD_BYTES
+        self._ae_cursor = (start + examined) % n
+        self.stats.anti_entropy_partitions += scanned
+        self.stats.anti_entropy_keys += patched
+        self.stats.anti_entropy_bytes += sent
+        return (scanned, patched, sent)
 
     # -- introspection -----------------------------------------------------------
 
@@ -246,3 +593,101 @@ class QuorumKVStore:
         if not versions:
             return 0
         return max(versions) - min(versions)
+
+    def surviving_version(self, app_id: int, ring_id: int,
+                          key: Key) -> int:
+        """Freshest version any replica copy *or parked hint* holds.
+
+        The consistency audit's ground truth: a committed write is
+        lost only when no surviving copy — including hints still
+        awaiting delivery — carries a version at least as new.
+        """
+        pid = self._route(app_id, ring_id, key)
+        kb = self._key_bytes(key)
+        best = 0
+        for sid in self._catalog.servers_of(pid):
+            copy = self._copy(sid, pid).get(kb)
+            if copy is not None and copy.version > best:
+                best = copy.version
+        if self._hints is not None:
+            for hint in self._hints._hints.values():
+                if hint.pid == pid and hint.key == kb \
+                        and hint.version > best:
+                    best = hint.version
+        return best
+
+    # -- catalog mirroring (track_catalog=True) --------------------------------
+
+    def _mirror_replica_added(self, pid: PartitionId, server_id: int,
+                              servers: Tuple[int, ...]) -> None:
+        donor = None
+        for sid in servers:
+            if sid == server_id:
+                continue
+            copy_map = self._copies.get((sid, pid))
+            if copy_map:
+                donor = copy_map
+                break
+        if donor:
+            self._copies[(server_id, pid)] = dict(donor)
+
+    def _mirror_replica_removed(self, pid: PartitionId, server_id: int,
+                                servers: Tuple[int, ...]) -> None:
+        moved = self._copies.pop((server_id, pid), None)
+        if not moved or not servers:
+            return
+        # Decommission drain: a planned removal hands its newer
+        # versions to a surviving replica before vanishing.
+        dst = self._copy(servers[0], pid)
+        for kb, copy in moved.items():
+            held = dst.get(kb)
+            if held is None or held.version < copy.version:
+                dst[kb] = copy
+
+    def _mirror_server_dropped(self, server_id: int,
+                               lost) -> None:
+        # A crash loses the machine's bytes — no drain.
+        for pid in lost:
+            self._copies.pop((server_id, pid), None)
+        if self._hints is not None:
+            self._hints.drop_target(server_id)
+
+    def _mirror_partition_split(self, parent: PartitionId,
+                                low: PartitionId,
+                                high: PartitionId) -> None:
+        low_range = self._rings.partition(low).key_range
+
+        def child_of(kb: bytes) -> PartitionId:
+            return low if low_range.contains_position(hash_key(kb)) else high
+
+        for sid, pid in [k for k in self._copies if k[1] == parent]:
+            bucket = self._copies.pop((sid, parent))
+            split: Dict[PartitionId, Dict[bytes, Versioned]] = {}
+            for kb, copy in bucket.items():
+                split.setdefault(child_of(kb), {})[kb] = copy
+            for child, copies in split.items():
+                self._copies[(sid, child)] = copies
+        for vk in [k for k in self._next_version if k[0] == parent]:
+            version = self._next_version.pop(vk)
+            self._next_version[(child_of(vk[1]), vk[1])] = version
+        if self._hints is not None:
+            self._hints.rekey_partition(parent, child_of)
+
+
+class _CopyMirror(CatalogListener):
+    """Keeps a :class:`QuorumKVStore`'s copies aligned with the catalog."""
+
+    def __init__(self, store: QuorumKVStore) -> None:
+        self._store = store
+
+    def replica_added(self, pid, server_id, servers) -> None:
+        self._store._mirror_replica_added(pid, server_id, tuple(servers))
+
+    def replica_removed(self, pid, server_id, servers) -> None:
+        self._store._mirror_replica_removed(pid, server_id, tuple(servers))
+
+    def server_dropped(self, server_id, lost) -> None:
+        self._store._mirror_server_dropped(server_id, lost)
+
+    def partition_split(self, parent, low, high, servers) -> None:
+        self._store._mirror_partition_split(parent, low, high)

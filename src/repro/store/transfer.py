@@ -53,6 +53,18 @@ NETWORK_OUTCOMES = frozenset(
 )
 
 
+def capped_backoff(attempts: int, base_delay: int, cap: int) -> int:
+    """Epochs to wait after the ``attempts``-th consecutive failure.
+
+    ``base_delay`` after the first failure, doubling per further
+    failure, never exceeding ``cap``.  Shared by :class:`RetryQueue`
+    (control-plane transfer retries) and
+    :class:`repro.store.hints.HintStore` (data-plane hinted handoff)
+    so both repair paths pace themselves identically.
+    """
+    return min(cap, base_delay << (attempts - 1))
+
+
 @dataclass(frozen=True)
 class TransferResult:
     """Outcome of one attempted replica transfer."""
@@ -673,7 +685,7 @@ class RetryQueue:
         return len(self._entries)
 
     def _backoff(self, attempts: int) -> int:
-        return min(self.cap, self.base_delay << (attempts - 1))
+        return capped_backoff(attempts, self.base_delay, self.cap)
 
     def push(self, result: TransferResult, epoch: int) -> bool:
         """Queue a failed transfer for retry; False if not retryable."""

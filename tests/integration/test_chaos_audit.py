@@ -1,0 +1,68 @@
+"""Multi-seed consistency-audit chaos sweep (ISSUE 7 harness).
+
+Each seed draws a different network-only fault schedule — loss level,
+partition windows, link flaps — runs quorum client traffic through
+the stale-view data plane, settles, and audits the recorded history.
+The sweep-wide contract:
+
+* **zero lost writes** — every committed QUORUM write survives on a
+  replica copy or a parked hint; network faults alone can never lose
+  acked data,
+* **no dirty ghost reads** — contact goes through
+  ``membership.responds``, so a physically dead replica never serves,
+* **hints drain** — after the quiet tail plus the settle phase the
+  hint queue is empty (nothing parked forever against a healed cloud).
+
+Strong stale reads are allowed (the sloppy-quorum window the audit
+measures), but only while hints were in flight.
+
+Seeds 0-1 run in tier-1; the wider sweep carries ``slow``::
+
+    PYTHONPATH=src python -m pytest -m slow tests/integration/test_chaos_audit.py -q
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.sim.chaos import random_fault_schedule, run_consistency_audit
+from repro.sim.config import DataPlaneConfig, paper_scenario
+
+EPOCHS = 24
+SETTLE = 16
+FAST_SEEDS = tuple(range(2))
+SLOW_SEEDS = tuple(range(2, 18))
+
+
+def run_audit(seed: int):
+    net = random_fault_schedule(seed, EPOCHS, quiet_tail=8)
+    config = dataclasses.replace(
+        paper_scenario(epochs=EPOCHS, partitions=30, seed=seed),
+        net=net,
+        data_plane=DataPlaneConfig(ops_per_epoch=24),
+    )
+    return run_consistency_audit(config, settle_epochs=SETTLE)
+
+
+def check(audit) -> None:
+    report = audit.report
+    assert report.operations > 0
+    assert report.lost_writes == 0, report.render()
+    assert report.dirty_ghost_reads == 0, report.render()
+    assert audit.green
+    assert audit.sim.data_plane.hints.depth == 0, (
+        "hints still parked after the settle phase"
+    )
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_audit_green_fast_seeds(seed):
+    check(run_audit(seed))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_audit_green_slow_sweep(seed):
+    check(run_audit(seed))

@@ -29,6 +29,36 @@ class TestParser:
         assert not args.fig3_events
 
 
+class TestParseFlap:
+    def test_continuous_window(self):
+        from repro.cli import parse_flap
+
+        (flap,) = parse_flap("2:6")
+        assert (flap.start_epoch, flap.heal_epoch) == (2, 6)
+
+    def test_periodic_windows_alternate(self):
+        from repro.cli import parse_flap
+
+        flaps = parse_flap("2:10:2")
+        spans = [(f.start_epoch, f.heal_epoch) for f in flaps]
+        assert spans == [(2, 4), (6, 8)]
+
+    def test_final_window_clamped_to_end(self):
+        from repro.cli import parse_flap
+
+        flaps = parse_flap("0:5:2")
+        assert [(f.start_epoch, f.heal_epoch) for f in flaps] == [
+            (0, 2), (4, 5),
+        ]
+
+    def test_bad_specs(self):
+        from repro.cli import CliError, parse_flap
+
+        for spec in ("6", "a:b", "2:6:-1", "2:6:2:9"):
+            with pytest.raises(CliError):
+                parse_flap(spec)
+
+
 class TestInfo:
     def test_prints_paper_parameters(self):
         code, text = run_cli("info")
@@ -95,6 +125,38 @@ class TestRun:
                 "run", "--epochs", "4", "--partitions", "10",
                 "--net-partition", "banana",
             )
+
+    def test_net_flap_implies_control_plane(self):
+        code, text = run_cli(
+            "run", "--epochs", "8", "--partitions", "10",
+            "--net-flap", "2:6",
+        )
+        assert code == 0
+        assert "control plane" in text
+
+    def test_bad_flap_spec_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli(
+                "run", "--epochs", "4", "--partitions", "10",
+                "--net-flap", "6",
+            )
+        with pytest.raises(SystemExit):
+            run_cli(
+                "run", "--epochs", "4", "--partitions", "10",
+                "--net-flap", "2:6:-1",
+            )
+
+    def test_consistency_audit_prints_report(self):
+        code, text = run_cli(
+            "run", "--epochs", "8", "--partitions", "10",
+            "--net-loss", "0.1", "--net-flap", "2:6:2",
+            "--consistency-audit",
+        )
+        assert code == 0
+        assert "data plane:" in text
+        assert "repair ladder:" in text
+        assert "consistency audit GREEN" in text
+        assert "lost writes: 0" in text
 
     def test_saturation_columns(self):
         code, text = run_cli(

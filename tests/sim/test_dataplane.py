@@ -1,0 +1,180 @@
+"""Data-plane overlay tests: frames, engine wiring, golden invariance."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.divergence import data_plane_deltas
+from repro.cluster.topology import CloudLayout
+from repro.core.decision import EconomicPolicy
+from repro.core.economy import RentModel
+from repro.net.model import NetConfig, NetPartition
+from repro.sim.config import (
+    AppConfig,
+    DataPlaneConfig,
+    RingConfig,
+    SimConfig,
+)
+from repro.sim.engine import Simulation
+from repro.sim.metrics import (
+    DATA_PLANE_FIELDS,
+    DataPlaneFrame,
+    MetricsError,
+    RobustnessLog,
+)
+
+
+def small_config(*, epochs=8, seed=0, net=None, data_plane=None):
+    layout = CloudLayout(
+        countries=4, countries_per_continent=2,
+        datacenters_per_country=1, rooms_per_datacenter=1,
+        racks_per_room=1, servers_per_rack=5,
+    )
+    apps = (
+        AppConfig(
+            app_id=0, name="a", query_share=1.0,
+            rings=(
+                RingConfig(
+                    ring_id=0, threshold=20.0, target_replicas=2,
+                    partitions=6, partition_capacity=10_000,
+                    initial_partition_size=1000,
+                ),
+            ),
+        ),
+    )
+    return SimConfig(
+        layout=layout, apps=apps, epochs=epochs, seed=seed,
+        server_storage=50_000, server_query_capacity=100,
+        replication_budget=20_000, migration_budget=8_000,
+        base_rate=200.0, policy=EconomicPolicy(hysteresis=2),
+        rent_model=RentModel(alpha=1.0),
+        net=net, data_plane=data_plane,
+    )
+
+
+def frame(epoch, **kwargs):
+    base = {name: 0 for name in DATA_PLANE_FIELDS if name != "epoch"}
+    base.update(kwargs)
+    return DataPlaneFrame(epoch=epoch, levels={}, **base)
+
+
+class TestRobustnessLogDataPlane:
+    def test_append_and_series(self):
+        log = RobustnessLog()
+        log.append_data_plane(frame(0, reads=3))
+        log.append_data_plane(frame(1, reads=5, hints_parked=2))
+        assert len(log.data_plane) == 2
+        assert list(log.data_plane_series("reads")) == [3, 5]
+
+    def test_non_monotonic_epoch_rejected(self):
+        log = RobustnessLog()
+        log.append_data_plane(frame(3))
+        with pytest.raises(MetricsError):
+            log.append_data_plane(frame(3))
+
+    def test_summary_sums_and_peaks(self):
+        log = RobustnessLog()
+        log.append_data_plane(frame(0, reads=3, hint_queue_depth=4))
+        log.append_data_plane(frame(1, reads=2, hint_queue_depth=1))
+        summary = log.data_plane_summary()
+        assert summary["reads"] == 5
+        assert summary["peak_hint_queue_depth"] == 4
+        assert summary["final_hint_queue_depth"] == 1
+
+    def test_summary_aggregates_levels(self):
+        log = RobustnessLog()
+        log.append_data_plane(dataclasses.replace(
+            frame(0), levels={"quorum": (3, 1, 0)}
+        ))
+        log.append_data_plane(dataclasses.replace(
+            frame(1), levels={"quorum": (2, 0, 1), "one": (1, 0, 0)}
+        ))
+        levels = log.data_plane_summary()["levels"]
+        assert levels["quorum"] == {"ok": 5, "timeouts": 1, "stale": 1}
+        assert levels["one"] == {"ok": 1, "timeouts": 0, "stale": 0}
+
+    def test_empty_summary(self):
+        summary = RobustnessLog().data_plane_summary()
+        assert summary["reads"] == 0
+        assert summary["levels"] == {}
+
+
+class TestEngineIntegration:
+    def test_oracle_run_collects_clean_frames(self):
+        sim = Simulation(small_config(data_plane=DataPlaneConfig()))
+        sim.run()
+        frames = sim.robustness.data_plane
+        assert len(frames) == 8
+        summary = sim.robustness.data_plane_summary()
+        assert summary["reads"] > 0 and summary["writes"] > 0
+        # Oracle view: no ghosts, no suspects, nothing to hint.
+        assert summary["replica_timeouts"] == 0
+        assert summary["suspects_skipped"] == 0
+        assert summary["hints_parked"] == 0
+        assert summary["read_failures"] == 0
+        assert summary["write_failures"] == 0
+
+    def test_data_plane_leaves_economy_untouched(self):
+        # The acceptance bar: enabling the overlay must not perturb
+        # the EpochFrame stream (goldens stay byte-identical).
+        bare = Simulation(small_config())
+        bare.run()
+        overlaid = Simulation(small_config(data_plane=DataPlaneConfig()))
+        overlaid.run()
+        assert len(bare.metrics) == len(overlaid.metrics)
+        for a, b in zip(bare.metrics, overlaid.metrics):
+            assert a == b
+
+    def test_history_supports_clean_audit(self):
+        from repro.analysis.consistency import audit_history
+
+        sim = Simulation(small_config(data_plane=DataPlaneConfig()))
+        sim.run()
+        plane = sim.data_plane
+        report = audit_history(
+            plane.history, final_versions=plane.surviving_versions()
+        )
+        assert report.green
+        assert report.operations == len(plane.history) > 0
+        assert report.stale_reads == 0
+        assert report.lost_writes == 0
+
+    def test_faulty_run_diverges_from_oracle_twin(self):
+        net = NetConfig(
+            rounds_per_epoch=2, suspect_rounds=2, dead_rounds=6,
+            partitions=(NetPartition(
+                start_epoch=2, heal_epoch=5, depth=2,
+            ),),
+        )
+        faulty = Simulation(small_config(
+            net=net, data_plane=DataPlaneConfig(),
+        ))
+        faulty.run()
+        oracle = Simulation(small_config(data_plane=DataPlaneConfig()))
+        oracle.run()
+        deltas = data_plane_deltas(
+            oracle.robustness, faulty.robustness
+        )
+        assert "epoch" not in deltas and "hint_queue_depth" not in deltas
+        # The partition forces at least some serving degradation.
+        degradation = (
+            deltas["replica_timeouts"] + deltas["replica_unreachable"]
+            + deltas["suspects_skipped"] + deltas["hints_parked"]
+        )
+        assert degradation > 0
+
+    def test_same_seed_same_history(self):
+        runs = []
+        for _ in range(2):
+            sim = Simulation(small_config(data_plane=DataPlaneConfig()))
+            sim.run()
+            runs.append(sim.data_plane.history)
+        assert runs[0] == runs[1]
+
+    def test_ops_per_epoch_zero_disables_clients(self):
+        sim = Simulation(small_config(
+            data_plane=DataPlaneConfig(ops_per_epoch=0),
+        ))
+        sim.run()
+        assert sim.data_plane.history == []
+        assert sim.robustness.data_plane_summary()["reads"] == 0

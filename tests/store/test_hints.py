@@ -1,0 +1,185 @@
+"""Tests for hinted handoff: TTL, backoff pacing, dedup, rekeying."""
+
+import pytest
+
+from repro.ring.partition import PartitionId
+from repro.store.hints import Hint, HintError, HintStore
+from repro.store.transfer import capped_backoff
+
+PID = PartitionId(0, 0, 0)
+PID2 = PartitionId(0, 0, 1)
+
+
+def park(store, *, target=1, holder=9, pid=PID, key=b"k",
+         version=1, epoch=0, value=b"v"):
+    return store.park(
+        target=target, holder=holder, pid=pid, key=key,
+        value=value, version=version, epoch=epoch,
+    )
+
+
+class TestCappedBackoff:
+    def test_doubles_then_caps(self):
+        delays = [capped_backoff(n, 1, 8) for n in range(1, 7)]
+        assert delays == [1, 2, 4, 8, 8, 8]
+
+    def test_base_delay_scales(self):
+        assert capped_backoff(1, 3, 12) == 3
+        assert capped_backoff(2, 3, 12) == 6
+        assert capped_backoff(3, 3, 12) == 12
+        assert capped_backoff(9, 3, 12) == 12
+
+
+class TestConstruction:
+    def test_rejects_bad_ttl(self):
+        with pytest.raises(HintError):
+            HintStore(ttl=0)
+
+    def test_rejects_bad_base_delay(self):
+        with pytest.raises(HintError):
+            HintStore(base_delay=0)
+
+    def test_rejects_cap_below_base(self):
+        with pytest.raises(HintError):
+            HintStore(base_delay=4, cap=2)
+
+
+class TestParkAndDedup:
+    def test_park_counts_and_depth(self):
+        store = HintStore()
+        assert park(store, target=1)
+        assert park(store, target=2)
+        assert store.depth == 2
+        assert len(store) == 2
+        assert store.parked == 2
+
+    def test_fresher_version_refreshes_in_place(self):
+        store = HintStore(base_delay=2)
+        park(store, version=1, epoch=0, holder=9)
+        assert park(store, version=5, epoch=4, holder=7, value=b"new")
+        assert store.depth == 1
+        assert store.refreshed == 1
+        (hint,) = store.for_target(1)
+        assert hint.version == 5
+        assert hint.holder == 7
+        assert hint.value == b"new"
+        assert hint.born_epoch == 4          # TTL clock reset
+        assert hint.attempts == 0            # backoff reset
+        assert hint.next_epoch == 4 + 2
+
+    def test_stale_park_is_refused(self):
+        store = HintStore()
+        park(store, version=3)
+        assert not park(store, version=3)
+        assert not park(store, version=2)
+        assert store.depth == 1
+        assert store.for_target(1)[0].version == 3
+
+    def test_targets_and_for_target(self):
+        store = HintStore()
+        park(store, target=4, key=b"a")
+        park(store, target=4, key=b"b")
+        park(store, target=6, key=b"a")
+        assert store.hinted_targets() == (4, 6)
+        assert len(store.for_target(4)) == 2
+
+
+class TestDrain:
+    def test_delivers_ready_hints(self):
+        store = HintStore()
+        park(store, epoch=0)
+        delivered, expired = store.drain(
+            1, ready=lambda h: True, deliver=lambda h: True
+        )
+        assert (delivered, expired) == (1, 0)
+        assert store.depth == 0
+        assert store.drained == 1
+
+    def test_ttl_expires_old_hints(self):
+        store = HintStore(ttl=4)
+        park(store, epoch=0)
+        delivered, expired = store.drain(
+            5, ready=lambda h: True, deliver=lambda h: True
+        )
+        assert (delivered, expired) == (0, 1)
+        assert store.expired == 1
+        assert store.depth == 0
+
+    def test_backoff_paces_probes(self):
+        store = HintStore(base_delay=1, cap=8, ttl=100)
+        park(store, epoch=0)  # next_epoch = 1
+        probes = []
+
+        def ready(hint):
+            probes.append(True)
+            return False
+
+        for epoch in range(1, 17):
+            store.drain(epoch, ready=ready, deliver=lambda h: True)
+        # Probed at epochs 1, 2, 4, 8, 16 — doubling gaps, capped at 8.
+        assert len(probes) == 5
+        (hint,) = store.for_target(1)
+        assert hint.attempts == 5
+        assert hint.next_epoch == 16 + 8
+
+    def test_not_due_hints_are_skipped_silently(self):
+        store = HintStore(base_delay=4)
+        park(store, epoch=0)  # next_epoch = 4
+        delivered, expired = store.drain(
+            2, ready=lambda h: pytest.fail("probed early"),
+            deliver=lambda h: True,
+        )
+        assert (delivered, expired) == (0, 0)
+        assert store.depth == 1
+
+    def test_obsolete_delivery_drops(self):
+        store = HintStore()
+        park(store, epoch=0)
+        delivered, __ = store.drain(
+            1, ready=lambda h: True, deliver=lambda h: False
+        )
+        assert delivered == 0
+        assert store.dropped == 1
+        assert store.depth == 0
+
+
+class TestRekeyAndDrop:
+    def test_rekey_moves_hints_to_children(self):
+        store = HintStore()
+        park(store, key=b"a")
+        park(store, key=b"b")
+        moved = store.rekey_partition(PID, lambda kb: PID2)
+        assert moved == 2
+        assert all(h.pid == PID2 for h in store.for_target(1))
+
+    def test_rekey_collision_keeps_fresher(self):
+        store = HintStore()
+        park(store, pid=PID, key=b"a", version=3)
+        park(store, pid=PID2, key=b"a", version=7)
+        moved = store.rekey_partition(PID, lambda kb: PID2)
+        assert moved == 0
+        assert store.depth == 1
+        assert store.for_target(1)[0].version == 7
+        assert store.dropped == 1
+
+    def test_drop_target_discards_all_its_hints(self):
+        store = HintStore()
+        park(store, target=1, key=b"a")
+        park(store, target=1, key=b"b")
+        park(store, target=2, key=b"a")
+        assert store.drop_target(1) == 2
+        assert store.hinted_targets() == (2,)
+        assert store.dropped == 2
+
+
+class TestEpochCounts:
+    def test_deltas_since_begin_epoch(self):
+        store = HintStore()
+        park(store, target=1)
+        store.begin_epoch()
+        park(store, target=2)
+        store.drain(1, ready=lambda h: True, deliver=lambda h: True)
+        counts = store.epoch_counts()
+        assert counts["parked"] == 1
+        assert counts["drained"] == 2
+        assert counts["expired"] == 0

@@ -299,7 +299,16 @@ def test_row_view_classes_declare_slots():
 #: plane (PR 6) depends on this: one stray ``server.alive`` /
 #: ``cloud.alive_vector()`` in a decision path silently re-introduces
 #: oracle membership and the stale-belief measurements lie.
-MEMBERSHIP_SEALED = (Path("src/repro/core/decision.py"),)
+#: ISSUE 7 extended the seal to the data plane: router and kv/quorum
+#: stores route on *belief* (``membership.believed``) and probe reality
+#: only through ``membership.responds`` / ``membership.reachable`` —
+#: the sanctioned contact seam that lives in net/membership.py.
+MEMBERSHIP_SEALED = (
+    Path("src/repro/core/decision.py"),
+    Path("src/repro/ring/router.py"),
+    Path("src/repro/store/kvstore.py"),
+    Path("src/repro/store/quorum.py"),
+)
 
 #: Physical-liveness reads banned inside sealed modules.
 _ALIVE_ATTRS = frozenset({"alive", "alive_vector"})
