@@ -17,21 +17,79 @@ counts as a surviving copy.  Strong stale reads *can* appear while
 hints are in flight; the audit reports them as the measured
 consistency cost of sloppy quorum.
 
-Run:  python examples/chaos_consistency.py
+The base scenario is the ``chaos-consistency`` entry of the
+declarative spec registry (:mod:`repro.sim.specs`); each sweep seed
+replaces only the chaos draw in the failure tier.  The script asserts
+every compiled config still equals the hand-built construction the
+example used before the registry existed.
+
+Run:            python examples/chaos_consistency.py
+Dump the spec:  python examples/chaos_consistency.py --spec chaos.json
+                python -m repro.cli scenario run chaos.json
 """
 
+import argparse
 import dataclasses
 
-from repro.sim.chaos import random_fault_schedule, run_consistency_audit
+from repro.sim.chaos import random_fault_schedule
 from repro.sim.config import DataPlaneConfig, paper_scenario
+from repro.sim.scenario import compile_spec
+from repro.sim import specs
 
-EPOCHS = 40
+BASE_SPEC = specs.get("chaos-consistency").spec
+EPOCHS = BASE_SPEC.operations.epochs
 SEEDS = (3, 11, 42)
 
 
-def main() -> None:
+def spec_for(seed: int):
+    """The base spec with only the chaos draw swapped out."""
+    failure = dataclasses.replace(
+        BASE_SPEC.failure,
+        chaos=dataclasses.replace(BASE_SPEC.failure.chaos, seed=seed),
+    )
+    return dataclasses.replace(BASE_SPEC, failure=failure)
+
+
+def legacy_config(seed: int):
+    """The pre-registry hand-built config (the migration guard)."""
+    return dataclasses.replace(
+        paper_scenario(epochs=EPOCHS, partitions=40),
+        net=random_fault_schedule(seed, EPOCHS, quiet_tail=10),
+        data_plane=DataPlaneConfig(ops_per_epoch=32),
+    )
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Chaos audit sweep (registry spec: chaos-consistency)"
+    )
+    parser.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="write the scenario spec JSON to PATH and exit "
+             "('-' for stdout)",
+    )
+    return parser.parse_args(argv)
+
+
+def dump_spec(path: str) -> None:
+    if path == "-":
+        print(BASE_SPEC.to_json())
+        return
+    with open(path, "w") as fh:
+        fh.write(BASE_SPEC.to_json() + "\n")
+    print(f"wrote {path}")
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    if args.spec:
+        dump_spec(args.spec)
+        return
     for seed in SEEDS:
-        net = random_fault_schedule(seed, EPOCHS, quiet_tail=10)
+        compiled = compile_spec(spec_for(seed))
+        assert compiled.config == legacy_config(seed), \
+            f"chaos-consistency spec (seed {seed}) drifted from legacy"
+        net = compiled.config.net
         print(f"schedule #{seed}: loss={net.loss:.1%}, "
               f"{len(net.partitions)} partition window(s), "
               f"{len(net.flaps)} flap window(s)")
@@ -43,11 +101,7 @@ def main() -> None:
             print(f"  link flap over epochs "
                   f"[{flap.start_epoch}, {flap.heal_epoch})")
 
-        config = dataclasses.replace(
-            paper_scenario(epochs=EPOCHS, partitions=40),
-            net=net, data_plane=DataPlaneConfig(ops_per_epoch=32),
-        )
-        audit = run_consistency_audit(config, settle_epochs=16)
+        audit = compiled.run_audit()
 
         summary = audit.sim.robustness.data_plane_summary()
         print(f"  served {summary['reads']} reads / "

@@ -7,17 +7,66 @@ takes writes at different consistency levels while one replica is down,
 demonstrating the staleness window of ONE, the read-your-writes
 guarantee of QUORUM (R + W > N) and read repair healing the divergence.
 
-Run:  python examples/consistency_levels.py
+The placement run is a declarative spec (``SPEC`` below, a short paper
+cloud); ``--spec`` dumps it as JSON for
+``python -m repro.cli scenario run``.
+
+Run:            python examples/consistency_levels.py
+Dump the spec:  python examples/consistency_levels.py --spec levels.json
 """
+
+import argparse
 
 from repro import Simulation, paper_scenario
 from repro.cluster import Location
+from repro.sim.scenario import (
+    ConstraintsSpec,
+    OperationsSpec,
+    ScenarioSpec,
+    compile_spec,
+)
 from repro.store.quorum import Level, QuorumError, QuorumKVStore
 
+#: The convergence run: the paper cloud, 30 partitions, 20 epochs.
+SPEC = ScenarioSpec(
+    name="consistency-levels",
+    summary="short paper-cloud run used to place the 3-replica ring",
+    constraints=ConstraintsSpec(partitions=30),
+    operations=OperationsSpec(epochs=20),
+)
 
-def main() -> None:
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Quorum consistency levels on a converged placement"
+    )
+    parser.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="write the scenario spec JSON to PATH and exit "
+             "('-' for stdout)",
+    )
+    return parser.parse_args(argv)
+
+
+def dump_spec(path: str) -> None:
+    if path == "-":
+        print(SPEC.to_json())
+        return
+    with open(path, "w") as fh:
+        fh.write(SPEC.to_json() + "\n")
+    print(f"wrote {path}")
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    if args.spec:
+        dump_spec(args.spec)
+        return
     # Converge the paper cloud so ring 1 (3-replica SLA) is placed.
-    sim = Simulation(paper_scenario(epochs=20, partitions=30))
+    config = compile_spec(SPEC).config
+    assert config == paper_scenario(epochs=20, partitions=30), \
+        "consistency-levels spec drifted from the legacy factory"
+    sim = Simulation(config)
     sim.run()
     store = QuorumKVStore(sim.cloud, sim.rings, sim.catalog)
 

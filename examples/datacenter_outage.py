@@ -20,22 +20,33 @@ stale-view data plane, so next to the detection lag you see what the
 lag *served*: replica timeouts, diverted (hinted) writes, and the
 consistency-audit verdict over the whole history.
 
-Run:  python examples/datacenter_outage.py
+The faulty twin is the ``datacenter-outage`` entry of the declarative
+spec registry (:mod:`repro.sim.specs`) — outage event, lossy net and
+quorum traffic all in the spec; the oracle twin is the same compiled
+config with the net and data plane stripped.  The script asserts both
+still equal the hand-built configs the example used before the
+registry existed.
+
+Run:            python examples/datacenter_outage.py
+Dump the spec:  python examples/datacenter_outage.py --spec outage.json
+                python -m repro.cli scenario run outage.json
 """
 
+import argparse
 import dataclasses
 
 from repro import Simulation, availability, paper_scenario
 from repro.analysis.consistency import audit_history
 from repro.analysis.divergence import compare_runs
 from repro.analysis.series import first_nonzero_epoch
-from repro.cluster.events import EventSchedule, ScopedOutage
 from repro.net.model import NetConfig
 from repro.sim.config import DataPlaneConfig
-from repro.sim.seeds import RngStreams
+from repro.sim.scenario import compile_events, compile_spec
+from repro.sim import specs
 
-OUTAGE_EPOCH = 30
-EPOCHS = 60
+SPEC = specs.get("datacenter-outage").spec
+EPOCHS = SPEC.operations.epochs
+OUTAGE_EPOCH = SPEC.failure.events[0].epoch
 
 #: A control plane bad enough to notice: every fourth message lost.
 FAULTY_NET = NetConfig(
@@ -43,17 +54,54 @@ FAULTY_NET = NetConfig(
 )
 
 
-def build_sim(config) -> Simulation:
-    events = EventSchedule(
-        [ScopedOutage(epoch=OUTAGE_EPOCH, depth=3)],  # depth 3 = datacenter
-        layout=config.layout,
-        rng=RngStreams(config.seed).events,
+def legacy_configs():
+    """The pre-registry hand-built configs (the migration guard)."""
+    oracle = paper_scenario(epochs=EPOCHS, partitions=60)
+    faulty = dataclasses.replace(
+        oracle, net=FAULTY_NET, data_plane=DataPlaneConfig()
     )
-    return Simulation(config, events=events)
+    return oracle, faulty
 
 
-def main() -> None:
-    config = paper_scenario(epochs=EPOCHS, partitions=60)
+def build_sim(config) -> Simulation:
+    return Simulation(config, events=compile_events(SPEC, config))
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Datacenter outage (registry spec: datacenter-outage)"
+    )
+    parser.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="write the scenario spec JSON to PATH and exit "
+             "('-' for stdout)",
+    )
+    return parser.parse_args(argv)
+
+
+def dump_spec(path: str) -> None:
+    if path == "-":
+        print(SPEC.to_json())
+        return
+    with open(path, "w") as fh:
+        fh.write(SPEC.to_json() + "\n")
+    print(f"wrote {path}")
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    if args.spec:
+        dump_spec(args.spec)
+        return
+    faulty_config = compile_spec(SPEC).config
+    config = dataclasses.replace(
+        faulty_config, net=None, data_plane=None
+    )
+    legacy_oracle, legacy_faulty = legacy_configs()
+    assert config == legacy_oracle, \
+        "datacenter-outage spec drifted from the legacy oracle config"
+    assert faulty_config == legacy_faulty, \
+        "datacenter-outage spec drifted from the legacy faulty config"
     sim = build_sim(config)
 
     for epoch in range(EPOCHS):
@@ -102,9 +150,7 @@ def main() -> None:
         print(f"  {key}: {per_country[key]}")
 
     # -- same outage, lossy control plane ------------------------------
-    faulty = build_sim(dataclasses.replace(
-        config, net=FAULTY_NET, data_plane=DataPlaneConfig(),
-    ))
+    faulty = build_sim(faulty_config)
     faulty.run()
     rlog = faulty.robustness
 

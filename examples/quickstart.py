@@ -6,8 +6,16 @@ Builds a small geo-distributed cloud, creates one application with a
 the replicas, and then uses the data-plane KV API (put / get / delete)
 against the resulting placement.
 
-Run:  python examples/quickstart.py
+The same scenario can be written as a declarative spec
+(:mod:`repro.sim.scenario`): ``SPEC`` below compiles to exactly the
+hand-built ``SimConfig`` this example teaches, and ``--spec`` dumps it
+as JSON for ``python -m repro.cli scenario run``.
+
+Run:            python examples/quickstart.py
+Dump the spec:  python examples/quickstart.py --spec quickstart.json
 """
+
+import argparse
 
 from repro import (
     CloudLayout,
@@ -18,17 +26,64 @@ from repro import (
 )
 from repro.cluster import Location
 from repro.sim.config import AppConfig, RingConfig, SimConfig
+from repro.sim.scenario import (
+    ConstraintsSpec,
+    FlowsSpec,
+    LayoutSpec,
+    OperationsSpec,
+    ScenarioSpec,
+    ServerClassesSpec,
+    StructureSpec,
+    TenantSpec,
+    TierSpec,
+    compile_spec,
+)
+
+#: The declarative twin of the hand-built config in :func:`make_config`.
+SPEC = ScenarioSpec(
+    name="quickstart",
+    summary="one app, one 2-replica SLA ring on a 96-server toy cloud",
+    structure=StructureSpec(
+        layout=LayoutSpec(
+            countries=4, countries_per_continent=2,
+            datacenters_per_country=2, rooms_per_datacenter=1,
+            racks_per_room=2, servers_per_rack=3,
+        ),
+        classes=ServerClassesSpec(
+            storage=4 * 1024 * 1024, query_capacity=500
+        ),
+    ),
+    flows=FlowsSpec(base_rate=300.0),
+    constraints=ConstraintsSpec(
+        tenants=(
+            TenantSpec(
+                name="quickstart-app", share=1.0,
+                tiers=(
+                    TierSpec(
+                        replicas=2, threshold=20.0, partitions=16,
+                        partition_capacity=64 * 1024, initial_size=0,
+                        ring_id=0,
+                    ),
+                ),
+            ),
+        ),
+        replication_budget=1024 * 1024,
+        migration_budget=512 * 1024,
+    ),
+    operations=OperationsSpec(epochs=15),
+)
 
 
-def main() -> None:
-    # -- 1. Describe the scenario: one app, one ring, SLA of 2 dispersed
-    #       replicas (threshold 20 forces at least cross-datacenter pairs).
+def make_config() -> SimConfig:
+    """The scenario spelled out with the raw config dataclasses —
+    one app, one ring, SLA of 2 dispersed replicas (threshold 20
+    forces at least cross-datacenter pairs)."""
     layout = CloudLayout(
         countries=4, countries_per_continent=2,
         datacenters_per_country=2, rooms_per_datacenter=1,
         racks_per_room=2, servers_per_rack=3,
     )
-    config = SimConfig(
+    return SimConfig(
         layout=layout,
         apps=(
             AppConfig(
@@ -52,6 +107,39 @@ def main() -> None:
         migration_budget=512 * 1024,
         base_rate=300.0,
     )
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Skute quickstart: economy-placed KV store"
+    )
+    parser.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="write the scenario spec JSON to PATH and exit "
+             "('-' for stdout)",
+    )
+    return parser.parse_args(argv)
+
+
+def dump_spec(path: str) -> None:
+    if path == "-":
+        print(SPEC.to_json())
+        return
+    with open(path, "w") as fh:
+        fh.write(SPEC.to_json() + "\n")
+    print(f"wrote {path}")
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    if args.spec:
+        dump_spec(args.spec)
+        return
+    # -- 1. Describe the scenario (the spec compiles to the same thing).
+    config = make_config()
+    assert compile_spec(SPEC).config == config, \
+        "quickstart spec drifted from the hand-built config"
+    layout = config.layout
 
     # -- 2. Let the economy converge: agents replicate until every
     #       partition meets the availability threshold.

@@ -7,27 +7,71 @@ economy replicate popular partitions while the spike builds (balancing
 per-server load), then suicide the surplus replicas as traffic fades —
 no operator, no global coordinator.
 
-Run:  python examples/slashdot_surge.py
+The scenario itself is the ``slashdot-surge`` entry of the declarative
+spec registry (:mod:`repro.sim.specs`); this script compiles it and
+asserts the compiled config still equals the hand-built factory call
+the example used before the registry existed.
+
+Run:            python examples/slashdot_surge.py
+Dump the spec:  python examples/slashdot_surge.py --spec surge.json
+                python -m repro.cli scenario run surge.json
 """
 
+import argparse
 
 from repro import Simulation, slashdot_scenario
 from repro.analysis.stats import jain_index
+from repro.sim.scenario import compile_spec
+from repro.sim import specs
 
-EPOCHS = 220
-SPIKE_EPOCH, RAMP, DECAY = 40, 25, 120
+SPEC = specs.get("slashdot-surge").spec
+SURGE = SPEC.flows.surges[0]
+EPOCHS = SPEC.operations.epochs
+SPIKE_EPOCH = SURGE.spike_epoch
 
 
-def main() -> None:
-    config = slashdot_scenario(
+def legacy_config():
+    """The pre-registry hand-built factory call (the migration guard)."""
+    return slashdot_scenario(
         epochs=EPOCHS,
         spike_epoch=SPIKE_EPOCH,
-        ramp_epochs=RAMP,
-        decay_epochs=DECAY,
+        ramp_epochs=SURGE.ramp_epochs,
+        decay_epochs=SURGE.decay_epochs,
         partitions=60,
         base_rate=2000.0,
         peak_rate=61 * 2000.0,
     )
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Slashdot surge (registry spec: slashdot-surge)"
+    )
+    parser.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="write the scenario spec JSON to PATH and exit "
+             "('-' for stdout)",
+    )
+    return parser.parse_args(argv)
+
+
+def dump_spec(path: str) -> None:
+    if path == "-":
+        print(SPEC.to_json())
+        return
+    with open(path, "w") as fh:
+        fh.write(SPEC.to_json() + "\n")
+    print(f"wrote {path}")
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    if args.spec:
+        dump_spec(args.spec)
+        return
+    config = compile_spec(SPEC).config
+    assert config == legacy_config(), \
+        "slashdot-surge spec drifted from the legacy factory"
     sim = Simulation(config)
 
     print(f"{'epoch':>6} {'rate':>8} {'vnodes':>7} {'jain':>6} "

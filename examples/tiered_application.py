@@ -8,19 +8,58 @@ value.  This example models a shop whose order records are critical
 (4-replica gold tier) while session caches are expendable (2-replica
 standard tier), and prices the difference.
 
-Run:  python examples/tiered_application.py
+The two-tier tenant is exactly what a :class:`TenantSpec` with two
+:class:`TierSpec` entries says; ``SPEC`` below compiles to the same
+hand-built config, and ``--spec`` dumps it as JSON for
+``python -m repro.cli scenario run``.
+
+Run:            python examples/tiered_application.py
+Dump the spec:  python examples/tiered_application.py --spec shop.json
 """
+
+import argparse
 
 from repro import KVStore, Simulation, availability, paper_thresholds
 from repro.cluster import CloudLayout
 from repro.sim.config import AppConfig, RingConfig, SimConfig
+from repro.sim.scenario import (
+    ConstraintsSpec,
+    FlowsSpec,
+    OperationsSpec,
+    ScenarioSpec,
+    TenantSpec,
+    TierSpec,
+    compile_spec,
+)
 
 GOLD, STANDARD = 0, 1
 
+#: The declarative twin of the hand-built config in :func:`make_config`.
+SPEC = ScenarioSpec(
+    name="tiered-application",
+    summary="one shop tenant with 4-replica gold and 2-replica "
+            "standard tiers",
+    flows=FlowsSpec(base_rate=2000.0),
+    constraints=ConstraintsSpec(
+        tenants=(
+            TenantSpec(
+                name="shop", share=1.0,
+                tiers=(
+                    TierSpec(replicas=4, partitions=40, ring_id=GOLD),
+                    TierSpec(replicas=2, partitions=40,
+                             ring_id=STANDARD),
+                ),
+            ),
+        ),
+    ),
+    operations=OperationsSpec(epochs=40),
+)
 
-def main() -> None:
+
+def make_config() -> SimConfig:
+    """The same two-tier shop spelled out with the raw dataclasses."""
     th = paper_thresholds()
-    config = SimConfig(
+    return SimConfig(
         layout=CloudLayout(),
         apps=(
             AppConfig(
@@ -42,6 +81,37 @@ def main() -> None:
         epochs=40,
         base_rate=2000.0,
     )
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Gold/standard availability tiers in one application"
+    )
+    parser.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="write the scenario spec JSON to PATH and exit "
+             "('-' for stdout)",
+    )
+    return parser.parse_args(argv)
+
+
+def dump_spec(path: str) -> None:
+    if path == "-":
+        print(SPEC.to_json())
+        return
+    with open(path, "w") as fh:
+        fh.write(SPEC.to_json() + "\n")
+    print(f"wrote {path}")
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    if args.spec:
+        dump_spec(args.spec)
+        return
+    config = make_config()
+    assert compile_spec(SPEC).config == config, \
+        "tiered-application spec drifted from the hand-built config"
     sim = Simulation(config)
     log = sim.run()
 

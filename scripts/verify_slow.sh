@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
 # Opt-in slow verification tier: the minutes-long sweeps tier-1
 # deselects (-m "not slow" in setup.cfg).  Covers the randomized
-# kernel-equivalence seeds, the faulty-net equivalence matrix, and
-# the multi-seed consistency-audit chaos sweep.
+# spec-sampled kernel-equivalence seeds, the faulty-net equivalence
+# matrix, the sampled paper-invariant sweep, and the multi-seed
+# consistency-audit chaos sweep.
 #
 # Usage:  scripts/verify_slow.sh [extra pytest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== stage: scenarios (spec schema + full named-scenario pins) =="
+PYTHONPATH=src python -m pytest -q \
+    tests/sim/test_scenario_spec.py \
+    tests/integration/test_named_scenarios.py
+
+echo "== stage: slow sweeps =="
 PYTHONPATH=src python -m pytest -m slow -q "$@"

@@ -12,6 +12,10 @@ Examples::
     python -m repro.cli report --scenario paper --epochs 60
     python -m repro.cli profile --scenario slashdot --epochs 60
     python -m repro.cli profile --kernel vectorized --cprofile
+    python -m repro.cli scenario list
+    python -m repro.cli scenario show slashdot-spike
+    python -m repro.cli scenario run chaos-consistency --points 10
+    python -m repro.cli scenario run my_spec.json --epochs 20
 
 ``run`` executes one scenario and prints the per-epoch series the
 paper's figures plot; ``compare`` runs the economic policy against the
@@ -20,7 +24,11 @@ one scenario and prints the per-agent economics the agent ledger
 accumulates (wealth distributions, epochs alive, migration counts,
 Fig. 2-style per-ring convergence); ``profile`` measures epoch
 throughput under the vectorized and scalar epoch kernels (optionally
-with a cProfile hot-spot listing).
+with a cProfile hot-spot listing); ``scenario`` works with the
+declarative spec registry (:mod:`repro.sim.specs`) — ``list`` the
+catalog, ``show`` one spec as JSON, or ``run`` a registry name or a
+spec JSON file (honoring the spec's failure schedules, data-plane
+traffic and audit toggle).
 """
 
 from __future__ import annotations
@@ -46,7 +54,9 @@ from repro.sim.config import (
 from repro.sim.engine import Simulation, economic_decider
 from repro.sim.profiling import compare_kernels, measure_throughput, speedup
 from repro.sim.reporting import format_table, series_table, summarize
+from repro.sim.scenario import SpecError, compile_spec, load_spec
 from repro.sim.seeds import RngStreams
+from repro.sim import specs
 
 SCENARIOS = ("paper", "slashdot", "saturation")
 
@@ -154,6 +164,39 @@ def build_parser() -> argparse.ArgumentParser:
                               "vectorized run")
     profile.add_argument("--json", dest="json_path", default=None,
                          help="also write the results to this JSON file")
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative spec registry: list / show / run",
+    )
+    scen_sub = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scen_list = scen_sub.add_parser(
+        "list", help="list the named scenarios in the registry"
+    )
+    scen_list.add_argument("--json", action="store_true",
+                           help="emit the catalog as JSON")
+    scen_show = scen_sub.add_parser(
+        "show", help="print one spec as JSON"
+    )
+    scen_show.add_argument("spec", metavar="NAME|PATH",
+                           help="registry name or spec JSON file")
+    scen_run = scen_sub.add_parser(
+        "run", help="compile one spec and run it"
+    )
+    scen_run.add_argument("spec", metavar="NAME|PATH",
+                          help="registry name or spec JSON file")
+    scen_run.add_argument("--epochs", type=int, default=None,
+                          help="override the spec's horizon")
+    scen_run.add_argument("--seed", type=int, default=None,
+                          help="override the spec's seed")
+    scen_run.add_argument("--kernel", choices=KERNELS, default=None,
+                          help="override the spec's epoch kernel")
+    scen_run.add_argument("--points", type=int, default=20,
+                          help="epochs sampled in the output table")
+    scen_run.add_argument("--policy", choices=sorted(POLICIES),
+                          default="economic")
 
     sub.add_parser("info", help="print the paper scenario's parameters")
     return parser
@@ -326,6 +369,34 @@ def make_events(config, args):
     )
 
 
+def print_series_report(config, sim, log, points, out,
+                        audit=None) -> None:
+    """The per-epoch series table plus whatever planes the run had."""
+    columns = {
+        "queries": log.series("total_queries"),
+        "servers": log.series("live_servers"),
+        "vnodes": log.series("vnodes_total"),
+        "repairs": log.series("repairs"),
+        "migr": log.series("migrations"),
+        "unsat": log.series("unsatisfied_partitions"),
+    }
+    if config.inserts is not None:
+        columns["ins_fail"] = log.series("insert_failures")
+        columns["used%"] = 100.0 * log.storage_fraction_series()
+    print(series_table(log, columns, points=points), file=out)
+    print("-" * 60, file=out)
+    print(summarize(log), file=out)
+    if sim.robustness is not None and sim.membership_service is not None:
+        print("-" * 60, file=out)
+        print_robustness(sim, out)
+    if sim.data_plane is not None:
+        print("-" * 60, file=out)
+        print_data_plane(sim, out)
+    if audit is not None:
+        print("-" * 60, file=out)
+        print(audit.report.render(), file=out)
+
+
 def cmd_run(args, out) -> int:
     config = make_config(args)
     net = make_net(args)
@@ -352,31 +423,9 @@ def cmd_run(args, out) -> int:
             decider_factory=POLICIES[args.policy],
         )
         log = sim.run()
-    columns = {
-        "queries": log.series("total_queries"),
-        "servers": log.series("live_servers"),
-        "vnodes": log.series("vnodes_total"),
-        "repairs": log.series("repairs"),
-        "migr": log.series("migrations"),
-        "unsat": log.series("unsatisfied_partitions"),
-    }
-    if config.inserts is not None:
-        columns["ins_fail"] = log.series("insert_failures")
-        columns["used%"] = 100.0 * log.storage_fraction_series()
     print(f"scenario={args.scenario} policy={args.policy} "
           f"seed={args.seed}", file=out)
-    print(series_table(log, columns, points=args.points), file=out)
-    print("-" * 60, file=out)
-    print(summarize(log), file=out)
-    if sim.robustness is not None and sim.membership_service is not None:
-        print("-" * 60, file=out)
-        print_robustness(sim, out)
-    if sim.data_plane is not None:
-        print("-" * 60, file=out)
-        print_data_plane(sim, out)
-    if audit is not None:
-        print("-" * 60, file=out)
-        print(audit.report.render(), file=out)
+    print_series_report(config, sim, log, args.points, out, audit=audit)
     if args.divergence:
         from repro.analysis.divergence import (
             compare_runs,
@@ -581,6 +630,99 @@ def cmd_profile(args, out) -> int:
     return 0
 
 
+def resolve_spec(token: str):
+    """A registry name, or (failing that) a path to a spec JSON file."""
+    if token in specs.REGISTRY:
+        return specs.REGISTRY[token].spec
+    import os
+
+    if os.path.exists(token):
+        try:
+            return load_spec(token)
+        except SpecError as exc:
+            raise CliError(f"bad spec file {token!r}: {exc}")
+    raise CliError(
+        f"unknown scenario {token!r} (and no such file); "
+        f"see 'scenario list'"
+    )
+
+
+def cmd_scenario_list(args, out) -> int:
+    entries = [specs.get(name) for name in specs.names()]
+    if args.json:
+        catalog = {
+            e.name: {
+                "summary": e.summary,
+                "epochs": e.spec.operations.epochs,
+                "pin_epochs": e.pin_epochs,
+            }
+            for e in entries
+        }
+        print(json.dumps(catalog, indent=2, sort_keys=True), file=out)
+        return 0
+    rows = [
+        [e.name, e.spec.operations.epochs, e.pin_epochs, e.summary]
+        for e in entries
+    ]
+    print(
+        format_table(["scenario", "epochs", "pin", "summary"], rows),
+        file=out,
+    )
+    return 0
+
+
+def cmd_scenario_show(args, out) -> int:
+    spec = resolve_spec(args.spec)
+    print(spec.to_json(), file=out)
+    return 0
+
+
+def cmd_scenario_run(args, out) -> int:
+    spec = resolve_spec(args.spec)
+    overrides = {}
+    if args.epochs is not None:
+        overrides["epochs"] = args.epochs
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.kernel is not None:
+        overrides["kernel"] = args.kernel
+    try:
+        if overrides:
+            spec = spec.with_operations(**overrides)
+        compiled = compile_spec(spec)
+    except SpecError as exc:
+        raise CliError(f"spec {spec.name!r} failed to compile: {exc}")
+    decider = POLICIES[args.policy]
+    if spec.operations.audit:
+        audit = compiled.run_audit(decider_factory=decider)
+        sim = audit.sim
+        log = sim.metrics
+    else:
+        audit = None
+        sim = compiled.simulation(decider_factory=decider)
+        log = sim.run()
+    ops = spec.operations
+    print(
+        f"scenario={spec.name} policy={args.policy} seed={ops.seed} "
+        f"epochs={ops.epochs} kernel={ops.kernel}",
+        file=out,
+    )
+    if spec.summary:
+        print(spec.summary, file=out)
+    print_series_report(
+        compiled.config, sim, log, args.points, out, audit=audit
+    )
+    return 0
+
+
+def cmd_scenario(args, out) -> int:
+    if args.scenario_command == "list":
+        return cmd_scenario_list(args, out)
+    if args.scenario_command == "show":
+        return cmd_scenario_show(args, out)
+    return cmd_scenario_run(args, out)
+
+
 def cmd_info(out) -> int:
     cfg = paper_scenario()
     rows = [
@@ -622,6 +764,8 @@ def main(argv: Optional[Sequence[str]] = None,
         return cmd_report(args, out)
     if args.command == "profile":
         return cmd_profile(args, out)
+    if args.command == "scenario":
+        return cmd_scenario(args, out)
     return cmd_info(out)
 
 

@@ -1,0 +1,1369 @@
+"""Declarative scenario specs: tiered, validated, compiled to configs.
+
+ROADMAP item 3 (the SNIPPETS.md snippet 3 decomposition): a scenario is
+*data* — five tiered sections instead of a hand-built factory —
+
+* **structure** — cloud shape (explicit layout or paper scale) and the
+  server classes (rent split, storage/query capacity, confidence
+  distribution);
+* **flows** — composable workload phases: the base Poisson rate,
+  flash-crowd surges, diurnal cycles, the Fig. 5 insert stream, and
+  zipf data-plane client traffic;
+* **constraints** — tenants with per-tier SLAs (replicas, thresholds,
+  partition geometry), bandwidth budgets, and the economic policy /
+  rent-model knobs;
+* **failure** — membership events (join/leave waves, scoped outages)
+  plus the control-plane fault schedule (loss, delay, partitions,
+  flaps) or a seeded chaos draw;
+* **operations** — horizon, master seed, epoch kernel, equivalence
+  tolerance and the consistency-audit toggle.
+
+:func:`compile_spec` lowers a spec *deterministically* onto today's
+runtime objects (:class:`repro.sim.config.SimConfig`,
+:class:`repro.cluster.events.EventSchedule`,
+:class:`repro.net.model.NetConfig`,
+:class:`repro.sim.config.DataPlaneConfig`): compiling the same spec
+twice yields equal configs and byte-identical frame streams.  The
+seven legacy golden scenarios are expressed as specs in
+:mod:`repro.sim.specs` and compile to *exactly* the configs their
+hand-built factories produced (pinned by tests/sim/test_scenario_spec
+and the golden suite itself).
+
+Specs round-trip losslessly through plain dicts/JSON
+(:meth:`ScenarioSpec.to_dict` / :meth:`ScenarioSpec.from_dict`), which
+is what the CLI's ``scenario run <path>`` and the examples' ``--spec``
+dumps ride on.  :func:`sample_spec` draws seeded random specs — the
+randomized equivalence/invariant harnesses sample *this* space instead
+of ad-hoc knobs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.confidence import ConfidenceModel
+from repro.cluster.events import (
+    AddServers,
+    EventSchedule,
+    RemoveServers,
+    ScopedOutage,
+)
+from repro.cluster.server import GB, MB
+from repro.cluster.topology import CloudLayout
+from repro.core.availability import paper_thresholds
+from repro.core.decision import KERNELS, EconomicPolicy
+from repro.core.economy import RentModel
+from repro.net.model import LinkFlap, NetConfig, NetPartition
+from repro.sim.config import (
+    AppConfig,
+    DataPlaneConfig,
+    InsertConfig,
+    RingConfig,
+    SimConfig,
+    paper_apps_config,
+    scaled_paper_layout,
+)
+from repro.sim.seeds import RngStreams
+from repro.workload.arrivals import RateProfile
+from repro.workload.clients import ClientGeography, hotspot, mixture
+from repro.workload.slashdot import slashdot_profile
+
+
+class SpecError(ValueError):
+    """Raised for invalid or inconsistent scenario specs."""
+
+
+# ---------------------------------------------------------------------------
+# dict <-> dataclass plumbing (strict: unknown keys are errors)
+# ---------------------------------------------------------------------------
+
+
+def _build(cls, data: Mapping, parsers: Optional[Dict[str, Callable]] = None):
+    """Construct ``cls`` from a mapping, rejecting unknown keys."""
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"{cls.__name__} section must be a mapping, got "
+            f"{type(data).__name__}"
+        )
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - names)
+    if unknown:
+        raise SpecError(f"{cls.__name__}: unknown keys {unknown}")
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in data:
+            continue
+        raw = data[f.name]
+        parse = (parsers or {}).get(f.name)
+        kwargs[f.name] = parse(raw) if parse is not None else raw
+    try:
+        return cls(**kwargs)
+    except SpecError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"{cls.__name__}: {exc}") from exc
+
+
+def _plain(value: Any) -> Any:
+    """Spec value -> JSON-able plain data (dicts keep int keys as pairs)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {}
+        for f in dataclasses.fields(value):
+            out[f.name] = _plain(getattr(value, f.name))
+        if isinstance(value, _EVENT_TYPES):
+            out["kind"] = _EVENT_KINDS[type(value)]
+        return out
+    if isinstance(value, dict):
+        return [[_plain(k), _plain(v)] for k, v in sorted(value.items())]
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+def _pairs_to_dict(raw: Any, key_type=int) -> Dict:
+    """Inverse of the pair-list dict encoding (accepts mappings too)."""
+    if isinstance(raw, Mapping):
+        return {key_type(k): v for k, v in raw.items()}
+    return {key_type(k): v for k, v in raw}
+
+
+# ---------------------------------------------------------------------------
+# Tier 1 — structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LayoutSpec:
+    """An explicit cloud shape (mirrors :class:`CloudLayout`)."""
+
+    countries: int = 10
+    countries_per_continent: int = 2
+    datacenters_per_country: int = 2
+    rooms_per_datacenter: int = 1
+    racks_per_room: int = 2
+    servers_per_rack: int = 5
+
+    def __post_init__(self) -> None:
+        for f in dataclasses.fields(self):
+            if getattr(self, f.name) < 1:
+                raise SpecError(f"layout.{f.name} must be >= 1")
+
+    def compile(self) -> CloudLayout:
+        return CloudLayout(**dataclasses.asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LayoutSpec":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
+class ServerClassesSpec:
+    """Heterogeneous server classes: the rent split and per-box capacity."""
+
+    cheap_rent: float = 100.0
+    expensive_rent: float = 125.0
+    expensive_fraction: float = 0.3
+    storage: int = 5 * GB
+    query_capacity: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.cheap_rent < 0 or self.expensive_rent < 0:
+            raise SpecError("rents must be >= 0")
+        if not 0.0 <= self.expensive_fraction <= 1.0:
+            raise SpecError(
+                f"expensive_fraction must be in [0, 1], got "
+                f"{self.expensive_fraction}"
+            )
+        if self.storage <= 0:
+            raise SpecError(f"storage must be > 0, got {self.storage}")
+        if self.query_capacity <= 0:
+            raise SpecError(
+                f"query_capacity must be > 0, got {self.query_capacity}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ServerClassesSpec":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
+class ConfidenceSpec:
+    """Per-country trust tiers (eq. 2 weights)."""
+
+    base: float = 1.0
+    country_factors: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base <= 1.0:
+            raise SpecError(f"confidence base must be in [0, 1], got {self.base}")
+        for country, factor in self.country_factors.items():
+            if not 0.0 <= factor <= 1.0:
+                raise SpecError(
+                    f"confidence factor for country {country} must be in "
+                    f"[0, 1], got {factor}"
+                )
+
+    def compile(self) -> ConfidenceModel:
+        return ConfidenceModel(
+            base=self.base, country_factors=dict(self.country_factors)
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ConfidenceSpec":
+        return _build(cls, data, {"country_factors": _pairs_to_dict})
+
+
+@dataclass(frozen=True)
+class StructureSpec:
+    """Tier 1: cloud shape and server classes."""
+
+    scale: int = 1
+    layout: Optional[LayoutSpec] = None
+    classes: ServerClassesSpec = field(default_factory=ServerClassesSpec)
+    confidence: Optional[ConfidenceSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.scale < 1:
+            raise SpecError(f"scale must be >= 1, got {self.scale}")
+        if self.layout is not None and self.scale != 1:
+            raise SpecError("give either an explicit layout or a scale, not both")
+
+    def compile_layout(self) -> CloudLayout:
+        if self.layout is not None:
+            return self.layout.compile()
+        return scaled_paper_layout(self.scale)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StructureSpec":
+        return _build(cls, data, {
+            "layout": lambda raw: None if raw is None
+            else LayoutSpec.from_dict(raw),
+            "classes": ServerClassesSpec.from_dict,
+            "confidence": lambda raw: None if raw is None
+            else ConfidenceSpec.from_dict(raw),
+        })
+
+
+# ---------------------------------------------------------------------------
+# Tier 2 — flows
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """One Slashdot-style surge: linear ramp to ``peak_factor``× then decay."""
+
+    spike_epoch: int
+    ramp_epochs: int
+    decay_epochs: int
+    peak_factor: float
+
+    def __post_init__(self) -> None:
+        if self.spike_epoch < 0:
+            raise SpecError(f"spike_epoch must be >= 0, got {self.spike_epoch}")
+        if self.ramp_epochs <= 0 or self.decay_epochs <= 0:
+            raise SpecError("ramp_epochs and decay_epochs must be > 0")
+        if self.peak_factor < 1.0:
+            raise SpecError(
+                f"peak_factor must be >= 1, got {self.peak_factor}"
+            )
+
+    @property
+    def window(self) -> Tuple[int, int]:
+        """The [start, end) epoch span the surge shapes."""
+        return (
+            self.spike_epoch,
+            self.spike_epoch + self.ramp_epochs + self.decay_epochs,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FlashCrowd":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
+class Diurnal:
+    """A sinusoidal day/night cycle multiplying the base rate."""
+
+    period: int = 24
+    amplitude: float = 0.5
+    phase: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period < 2:
+            raise SpecError(f"period must be >= 2, got {self.period}")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise SpecError(
+                f"amplitude must be in [0, 1], got {self.amplitude}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Diurnal":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
+class InsertStream:
+    """The Fig. 5 insert stream (mirrors :class:`InsertConfig`)."""
+
+    rate: int = 2000
+    object_size: int = 500 * 1024
+    start_epoch: int = 0
+    routing: str = "keyspace"
+
+    def compile(self) -> InsertConfig:
+        return InsertConfig(**dataclasses.asdict(self))
+
+    def __post_init__(self) -> None:
+        self.compile()  # delegate validation to InsertConfig
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "InsertStream":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
+class ClientTraffic:
+    """Zipf-keyed data-plane traffic (mirrors :class:`DataPlaneConfig`)."""
+
+    level: str = "quorum"
+    ops_per_epoch: int = 48
+    read_fraction: float = 0.6
+    keyspace: int = 96
+    value_size: int = 64
+    hint_ttl: int = 32
+    hint_base_delay: int = 1
+    hint_backoff_cap: int = 8
+    anti_entropy_partitions: int = 8
+    anti_entropy_bytes: int = 1 << 20
+    read_repair: bool = True
+
+    def compile(self) -> DataPlaneConfig:
+        return DataPlaneConfig(**dataclasses.asdict(self))
+
+    def __post_init__(self) -> None:
+        self.compile()  # delegate validation to DataPlaneConfig
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ClientTraffic":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
+class ComposedProfile:
+    """Base rate × diurnal cycle × every surge multiplier.
+
+    Used only when the flow set needs genuine composition; the single
+    flash-crowd case compiles to the paper's
+    :func:`repro.workload.slashdot.slashdot_profile` bit-for-bit.
+    """
+
+    base_rate: float
+    surges: Tuple[FlashCrowd, ...] = ()
+    diurnal: Optional[Diurnal] = None
+
+    def _surge_multiplier(self, surge: FlashCrowd, epoch: int) -> float:
+        t0 = surge.spike_epoch
+        t1 = t0 + surge.ramp_epochs
+        t2 = t1 + surge.decay_epochs
+        if epoch <= t0 or epoch >= t2:
+            return 1.0
+        if epoch <= t1:
+            frac = (epoch - t0) / (t1 - t0)
+            return 1.0 + frac * (surge.peak_factor - 1.0)
+        frac = (epoch - t1) / (t2 - t1)
+        return surge.peak_factor + frac * (1.0 - surge.peak_factor)
+
+    def __call__(self, epoch: int) -> float:
+        rate = self.base_rate
+        if self.diurnal is not None:
+            angle = (
+                2.0 * np.pi * (epoch - self.diurnal.phase)
+                / self.diurnal.period
+            )
+            rate *= 1.0 + self.diurnal.amplitude * float(np.sin(angle))
+        for surge in self.surges:
+            rate *= self._surge_multiplier(surge, epoch)
+        return rate
+
+
+@dataclass(frozen=True)
+class FlowsSpec:
+    """Tier 2: the composable workload phases."""
+
+    base_rate: float = 3000.0
+    surges: Tuple[FlashCrowd, ...] = ()
+    diurnal: Optional[Diurnal] = None
+    inserts: Optional[InsertStream] = None
+    traffic: Optional[ClientTraffic] = None
+    popularity_shape: float = 1.0
+    popularity_scale: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate < 0:
+            raise SpecError(f"base_rate must be >= 0, got {self.base_rate}")
+        windows = sorted(s.window for s in self.surges)
+        for (_, end), (start, _) in zip(windows, windows[1:]):
+            if start < end:
+                raise SpecError(
+                    f"overlapping surge phases: epoch {start} < {end}"
+                )
+
+    def compile_profile(self) -> Optional[RateProfile]:
+        """The rate profile, or None for a constant base rate.
+
+        A single surge with no diurnal cycle lowers onto the paper's
+        own :func:`slashdot_profile` so legacy scenarios stay
+        float-for-float identical; anything composite uses
+        :class:`ComposedProfile`.
+        """
+        if not self.surges and self.diurnal is None:
+            return None
+        if len(self.surges) == 1 and self.diurnal is None:
+            surge = self.surges[0]
+            return slashdot_profile(
+                base_rate=self.base_rate,
+                peak_rate=self.base_rate * surge.peak_factor,
+                spike_epoch=surge.spike_epoch,
+                ramp_epochs=surge.ramp_epochs,
+                decay_epochs=surge.decay_epochs,
+            )
+        return ComposedProfile(
+            base_rate=self.base_rate,
+            surges=tuple(sorted(self.surges, key=lambda s: s.spike_epoch)),
+            diurnal=self.diurnal,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FlowsSpec":
+        return _build(cls, data, {
+            "surges": lambda raw: tuple(
+                FlashCrowd.from_dict(s) for s in raw
+            ),
+            "diurnal": lambda raw: None if raw is None
+            else Diurnal.from_dict(raw),
+            "inserts": lambda raw: None if raw is None
+            else InsertStream.from_dict(raw),
+            "traffic": lambda raw: None if raw is None
+            else ClientTraffic.from_dict(raw),
+        })
+
+
+# ---------------------------------------------------------------------------
+# Tier 3 — constraints
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GeoSpec:
+    """A client geography: uniform, a country hotspot, or a mixture."""
+
+    kind: str = "uniform"
+    country: int = 0
+    concentration: float = 0.8
+    components: Tuple[Tuple["GeoSpec", float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("uniform", "hotspot", "mixture"):
+            raise SpecError(
+                f"geography kind must be 'uniform', 'hotspot' or "
+                f"'mixture', got {self.kind!r}"
+            )
+        if self.kind == "mixture" and not self.components:
+            raise SpecError("mixture geography needs components")
+        if self.kind == "hotspot" and self.country < 0:
+            raise SpecError(f"country must be >= 0, got {self.country}")
+
+    def compile(self, layout: CloudLayout) -> ClientGeography:
+        if self.kind == "uniform":
+            return ClientGeography()
+        if self.kind == "hotspot":
+            if self.country >= layout.countries:
+                raise SpecError(
+                    f"hotspot country {self.country} outside the "
+                    f"{layout.countries}-country layout"
+                )
+            return hotspot(
+                layout, self.country, concentration=self.concentration
+            )
+        return mixture([
+            (geo.compile(layout), weight)
+            for geo, weight in self.components
+        ])
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "GeoSpec":
+        return _build(cls, data, {
+            "components": lambda raw: tuple(
+                (GeoSpec.from_dict(g), w) for g, w in raw
+            ),
+        })
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One availability tier of a tenant: one virtual ring."""
+
+    replicas: int
+    partitions: int = 200
+    partition_capacity: int = 256 * MB
+    initial_size: int = 96 * MB
+    threshold: Optional[float] = None
+    ring_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise SpecError(f"replicas must be >= 1, got {self.replicas}")
+        if self.partitions < 1:
+            raise SpecError(f"partitions must be >= 1, got {self.partitions}")
+        if self.threshold is None and self.replicas not in paper_thresholds():
+            raise SpecError(
+                f"no paper threshold for {self.replicas} replicas — "
+                f"give an explicit threshold"
+            )
+
+    def compile(self, index: int) -> RingConfig:
+        threshold = self.threshold
+        if threshold is None:
+            threshold = paper_thresholds()[self.replicas]
+        return RingConfig(
+            ring_id=self.ring_id if self.ring_id is not None else index,
+            threshold=threshold,
+            target_replicas=self.replicas,
+            partitions=self.partitions,
+            partition_capacity=self.partition_capacity,
+            initial_partition_size=self.initial_size,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TierSpec":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One application: its query share, SLA tiers and client geography."""
+
+    name: str
+    share: float
+    tiers: Tuple[TierSpec, ...]
+    geography: GeoSpec = field(default_factory=GeoSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("tenant needs a name")
+        if self.share <= 0:
+            raise SpecError(f"share must be > 0, got {self.share}")
+        if not self.tiers:
+            raise SpecError(f"tenant {self.name!r} needs at least one tier")
+
+    def compile(self, app_id: int, layout: CloudLayout) -> AppConfig:
+        return AppConfig(
+            app_id=app_id,
+            name=self.name,
+            query_share=self.share,
+            rings=tuple(
+                tier.compile(i) for i, tier in enumerate(self.tiers)
+            ),
+            geography=self.geography.compile(layout),
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TenantSpec":
+        return _build(cls, data, {
+            "tiers": lambda raw: tuple(TierSpec.from_dict(t) for t in raw),
+            "geography": GeoSpec.from_dict,
+        })
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Economic-policy knobs (mirrors :class:`EconomicPolicy` defaults)."""
+
+    hysteresis: int = 3
+    revenue_per_query: float = 0.01
+    repair_iterations: int = 8
+    rent_weight: float = 1.0
+    migration_margin: float = 0.05
+    storage_headroom: float = 0.1
+    max_replicas: Optional[int] = None
+
+    def compile(self) -> EconomicPolicy:
+        return EconomicPolicy(**dataclasses.asdict(self))
+
+    def __post_init__(self) -> None:
+        self.compile()  # delegate validation to EconomicPolicy
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PolicySpec":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
+class EconomySpec:
+    """Rent-model knobs (mirrors :class:`RentModel` defaults)."""
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    normalize_by_usage: bool = False
+
+    def compile(self) -> RentModel:
+        return RentModel(
+            alpha=self.alpha, beta=self.beta,
+            normalize_by_usage=self.normalize_by_usage,
+        )
+
+    def __post_init__(self) -> None:
+        self.compile()  # delegate validation to RentModel
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "EconomySpec":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
+class ConstraintsSpec:
+    """Tier 3: tenants/SLAs, bandwidth budgets, economic policy."""
+
+    tenants: Optional[Tuple[TenantSpec, ...]] = None
+    partitions: int = 200
+    partition_capacity: int = 256 * MB
+    initial_size: int = 96 * MB
+    replication_budget: int = 300 * MB
+    migration_budget: int = 100 * MB
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    economy: EconomySpec = field(default_factory=EconomySpec)
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1:
+            raise SpecError(f"partitions must be >= 1, got {self.partitions}")
+        for name in ("replication_budget", "migration_budget",
+                     "partition_capacity"):
+            if getattr(self, name) < 0:
+                raise SpecError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+        if not 0 <= self.initial_size <= self.partition_capacity:
+            raise SpecError(
+                "initial_size must be within partition_capacity"
+            )
+
+    def compile_apps(self, layout: CloudLayout) -> Tuple[AppConfig, ...]:
+        if self.tenants is None:
+            return paper_apps_config(
+                partitions=self.partitions,
+                partition_capacity=self.partition_capacity,
+                initial_partition_size=self.initial_size,
+            )
+        return tuple(
+            tenant.compile(i, layout)
+            for i, tenant in enumerate(self.tenants)
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ConstraintsSpec":
+        return _build(cls, data, {
+            "tenants": lambda raw: None if raw is None else tuple(
+                TenantSpec.from_dict(t) for t in raw
+            ),
+            "policy": PolicySpec.from_dict,
+            "economy": EconomySpec.from_dict,
+        })
+
+
+# ---------------------------------------------------------------------------
+# Tier 4 — failure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinWave:
+    """``count`` servers join at ``epoch`` (capacities default to the
+    structure tier's server class)."""
+
+    epoch: int
+    count: int
+    storage: Optional[int] = None
+    query_capacity: Optional[int] = None
+    rent: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0 or self.count < 1:
+            raise SpecError("join wave needs epoch >= 0 and count >= 1")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "JoinWave":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
+class LeaveWave:
+    """``count`` uncorrelated servers fail at ``epoch``."""
+
+    epoch: int
+    count: int
+    exclude_recent: bool = True
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0 or self.count < 1:
+            raise SpecError("leave wave needs epoch >= 0 and count >= 1")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LeaveWave":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
+class OutageEvent:
+    """A correlated outage of one location subtree (2=country … 5=rack)."""
+
+    epoch: int
+    depth: int
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise SpecError(f"epoch must be >= 0, got {self.epoch}")
+        if not 1 <= self.depth <= 5:
+            raise SpecError(f"depth must be in [1, 5], got {self.depth}")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "OutageEvent":
+        return _build(cls, data)
+
+
+_EVENT_TYPES = (JoinWave, LeaveWave, OutageEvent)
+_EVENT_KINDS = {JoinWave: "join", LeaveWave: "leave", OutageEvent: "outage"}
+_EVENT_PARSERS = {
+    "join": JoinWave.from_dict,
+    "leave": LeaveWave.from_dict,
+    "outage": OutageEvent.from_dict,
+}
+
+
+def _parse_event(raw: Mapping):
+    if not isinstance(raw, Mapping) or "kind" not in raw:
+        raise SpecError("failure event needs a 'kind' tag")
+    kind = raw["kind"]
+    if kind not in _EVENT_PARSERS:
+        raise SpecError(
+            f"unknown failure-event kind {kind!r} "
+            f"(expected one of {sorted(_EVENT_PARSERS)})"
+        )
+    body = {k: v for k, v in raw.items() if k != "kind"}
+    return _EVENT_PARSERS[kind](body)
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A scheduled network cut (mirrors :class:`NetPartition`)."""
+
+    start: int
+    heal: int
+    depth: int = 2
+    asymmetric: bool = False
+
+    def compile(self) -> NetPartition:
+        return NetPartition(
+            start_epoch=self.start, heal_epoch=self.heal,
+            depth=self.depth, asymmetric=self.asymmetric,
+        )
+
+    def __post_init__(self) -> None:
+        try:
+            self.compile()
+        except ValueError as exc:
+            raise SpecError(f"partition window: {exc}") from exc
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PartitionWindow":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
+class FlapWindow:
+    """One drawn server's links flap (mirrors :class:`LinkFlap`)."""
+
+    start: int
+    heal: int
+
+    def compile(self) -> LinkFlap:
+        return LinkFlap(start_epoch=self.start, heal_epoch=self.heal)
+
+    def __post_init__(self) -> None:
+        try:
+            self.compile()
+        except ValueError as exc:
+            raise SpecError(f"flap window: {exc}") from exc
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FlapWindow":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
+class NetSpec:
+    """Control-plane fault knobs (mirrors :class:`NetConfig`)."""
+
+    loss: float = 0.0
+    delay_max: int = 0
+    fanout: int = 3
+    rounds_per_epoch: int = 3
+    suspect_rounds: int = 4
+    dead_rounds: int = 10
+    fabric: str = "full"
+    partitions: Tuple[PartitionWindow, ...] = ()
+    flaps: Tuple[FlapWindow, ...] = ()
+
+    def compile(self) -> NetConfig:
+        return NetConfig(
+            fanout=self.fanout,
+            loss=self.loss,
+            delay_max=self.delay_max,
+            rounds_per_epoch=self.rounds_per_epoch,
+            suspect_rounds=self.suspect_rounds,
+            dead_rounds=self.dead_rounds,
+            partitions=tuple(p.compile() for p in self.partitions),
+            flaps=tuple(f.compile() for f in self.flaps),
+            fabric=self.fabric,
+        )
+
+    def __post_init__(self) -> None:
+        try:
+            self.compile()
+        except ValueError as exc:
+            raise SpecError(f"net: {exc}") from exc
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "NetSpec":
+        return _build(cls, data, {
+            "partitions": lambda raw: tuple(
+                PartitionWindow.from_dict(p) for p in raw
+            ),
+            "flaps": lambda raw: tuple(
+                FlapWindow.from_dict(f) for f in raw
+            ),
+        })
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A seeded random fault draw (:func:`repro.sim.chaos.random_fault_schedule`)."""
+
+    seed: int = 0
+    loss_lo: float = 0.02
+    loss_hi: float = 0.15
+    max_partitions: int = 2
+    max_flaps: int = 2
+    quiet_tail: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_lo <= self.loss_hi < 1.0:
+            raise SpecError(
+                f"need 0 <= loss_lo <= loss_hi < 1, got "
+                f"{self.loss_lo}, {self.loss_hi}"
+            )
+        if self.max_partitions < 0 or self.max_flaps < 0:
+            raise SpecError("max_partitions and max_flaps must be >= 0")
+        if self.quiet_tail < 0:
+            raise SpecError(f"quiet_tail must be >= 0, got {self.quiet_tail}")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ChaosSpec":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Tier 4: membership events and the control-plane fault schedule."""
+
+    events: Tuple[object, ...] = ()
+    net: Optional[NetSpec] = None
+    chaos: Optional[ChaosSpec] = None
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if not isinstance(event, _EVENT_TYPES):
+                raise SpecError(
+                    f"unknown failure event {type(event).__name__}"
+                )
+
+    def compile_net(self, epochs: int) -> Optional[NetConfig]:
+        base = self.net.compile() if self.net is not None else None
+        if self.chaos is None:
+            return base
+        from repro.sim.chaos import random_fault_schedule
+
+        return random_fault_schedule(
+            self.chaos.seed,
+            epochs,
+            loss_range=(self.chaos.loss_lo, self.chaos.loss_hi),
+            max_partitions=self.chaos.max_partitions,
+            max_flaps=self.chaos.max_flaps,
+            quiet_tail=self.chaos.quiet_tail,
+            base=base,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FailureSpec":
+        return _build(cls, data, {
+            "events": lambda raw: tuple(_parse_event(e) for e in raw),
+            "net": lambda raw: None if raw is None
+            else NetSpec.from_dict(raw),
+            "chaos": lambda raw: None if raw is None
+            else ChaosSpec.from_dict(raw),
+        })
+
+
+# ---------------------------------------------------------------------------
+# Tier 5 — operations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OperationsSpec:
+    """Tier 5: horizon, seeds, kernel, audits, comparison tolerance."""
+
+    epochs: int = 100
+    seed: int = 0
+    kernel: str = "vectorized"
+    rtol: float = 0.0
+    audit: bool = False
+    settle_epochs: int = 16
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise SpecError(f"epochs must be >= 1, got {self.epochs}")
+        if self.kernel not in KERNELS:
+            raise SpecError(
+                f"kernel must be one of {KERNELS}, got {self.kernel!r}"
+            )
+        if self.rtol < 0:
+            raise SpecError(f"rtol must be >= 0, got {self.rtol}")
+        if self.settle_epochs < 0:
+            raise SpecError(
+                f"settle_epochs must be >= 0, got {self.settle_epochs}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "OperationsSpec":
+        return _build(cls, data)
+
+
+# ---------------------------------------------------------------------------
+# The spec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative scenario: five tiers plus a name and a one-liner."""
+
+    name: str
+    summary: str = ""
+    structure: StructureSpec = field(default_factory=StructureSpec)
+    flows: FlowsSpec = field(default_factory=FlowsSpec)
+    constraints: ConstraintsSpec = field(default_factory=ConstraintsSpec)
+    failure: FailureSpec = field(default_factory=FailureSpec)
+    operations: OperationsSpec = field(default_factory=OperationsSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("scenario needs a name")
+        if self.operations.audit and self.flows.traffic is None:
+            raise SpecError(
+                f"{self.name}: a consistency audit needs client traffic "
+                f"(flows.traffic)"
+            )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-able dict; lossless under :meth:`from_dict`."""
+        return _plain(self)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        return _build(cls, data, {
+            "structure": StructureSpec.from_dict,
+            "flows": FlowsSpec.from_dict,
+            "constraints": ConstraintsSpec.from_dict,
+            "failure": FailureSpec.from_dict,
+            "operations": OperationsSpec.from_dict,
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"bad spec JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # -- convenience -------------------------------------------------------
+
+    def with_operations(self, **changes) -> "ScenarioSpec":
+        """A copy with operations-tier fields replaced (epochs, seed …)."""
+        return dataclasses.replace(
+            self,
+            operations=dataclasses.replace(self.operations, **changes),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_config(spec: ScenarioSpec) -> SimConfig:
+    """Lower a spec onto a :class:`SimConfig` (deterministic)."""
+    structure = spec.structure
+    flows = spec.flows
+    constraints = spec.constraints
+    ops = spec.operations
+    layout = structure.compile_layout()
+    classes = structure.classes
+    try:
+        return SimConfig(
+            layout=layout,
+            apps=constraints.compile_apps(layout),
+            epochs=ops.epochs,
+            seed=ops.seed,
+            server_storage=classes.storage,
+            server_query_capacity=classes.query_capacity,
+            replication_budget=constraints.replication_budget,
+            migration_budget=constraints.migration_budget,
+            expensive_fraction=classes.expensive_fraction,
+            cheap_rent=classes.cheap_rent,
+            expensive_rent=classes.expensive_rent,
+            rent_model=constraints.economy.compile(),
+            policy=constraints.policy.compile(),
+            base_rate=flows.base_rate,
+            profile=flows.compile_profile(),
+            inserts=(
+                None if flows.inserts is None else flows.inserts.compile()
+            ),
+            popularity_shape=flows.popularity_shape,
+            popularity_scale=flows.popularity_scale,
+            kernel=ops.kernel,
+            confidence=(
+                None if structure.confidence is None
+                else structure.confidence.compile()
+            ),
+            net=spec.failure.compile_net(ops.epochs),
+            data_plane=(
+                None if flows.traffic is None else flows.traffic.compile()
+            ),
+        )
+    except SpecError:
+        raise
+    except ValueError as exc:
+        raise SpecError(f"{spec.name}: {exc}") from exc
+
+
+def compile_events(spec: ScenarioSpec,
+                   config: SimConfig) -> Optional[EventSchedule]:
+    """A *fresh* event schedule for one run (schedules are stateful)."""
+    if not spec.failure.events:
+        return None
+    events: List[object] = []
+    for event in spec.failure.events:
+        if isinstance(event, JoinWave):
+            events.append(AddServers(
+                epoch=event.epoch,
+                count=event.count,
+                storage_capacity=(
+                    config.server_storage if event.storage is None
+                    else event.storage
+                ),
+                query_capacity=(
+                    config.server_query_capacity
+                    if event.query_capacity is None
+                    else event.query_capacity
+                ),
+                monthly_rent=event.rent,
+            ))
+        elif isinstance(event, LeaveWave):
+            events.append(RemoveServers(
+                epoch=event.epoch,
+                count=event.count,
+                exclude_recent=event.exclude_recent,
+            ))
+        else:
+            events.append(ScopedOutage(
+                epoch=event.epoch, depth=event.depth
+            ))
+    return EventSchedule(
+        events, layout=config.layout, rng=RngStreams(config.seed).events
+    )
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """A spec lowered onto runtime objects, ready to run."""
+
+    spec: ScenarioSpec
+    config: SimConfig
+
+    def events(self) -> Optional[EventSchedule]:
+        """A fresh event schedule (one per run — schedules are stateful)."""
+        return compile_events(self.spec, self.config)
+
+    @property
+    def rtol(self) -> float:
+        """The spec's opted-in kernel-equivalence tolerance."""
+        return self.spec.operations.rtol
+
+    def simulation(self, *, decider_factory=None):
+        """Build a :class:`repro.sim.engine.Simulation` for this scenario."""
+        from repro.sim.engine import Simulation
+
+        kwargs = {}
+        if decider_factory is not None:
+            kwargs["decider_factory"] = decider_factory
+        return Simulation(self.config, events=self.events(), **kwargs)
+
+    def run_audit(self, *, decider_factory=None):
+        """Run the scenario through the consistency-audit harness."""
+        from repro.sim.chaos import run_consistency_audit
+
+        kwargs = {}
+        if decider_factory is not None:
+            kwargs["decider_factory"] = decider_factory
+        return run_consistency_audit(
+            self.config,
+            events=self.events(),
+            settle_epochs=self.spec.operations.settle_epochs,
+            **kwargs,
+        )
+
+
+def compile_spec(spec: ScenarioSpec) -> CompiledScenario:
+    """Validate and lower a spec; the one entry point callers need."""
+    return CompiledScenario(spec=spec, config=compile_config(spec))
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One named-scenario registry row: the spec plus its pin horizon.
+
+    ``pin_epochs`` is the short horizon the golden-digest suite
+    (``tests/integration/test_named_scenarios.py``) runs the scenario
+    for — shorter than the spec's own horizon so sweeping the whole
+    catalog stays cheap.
+    """
+
+    spec: ScenarioSpec
+    pin_epochs: int
+
+    def __post_init__(self) -> None:
+        if self.pin_epochs < 1:
+            raise SpecError(
+                f"{self.spec.name}: pin_epochs must be >= 1, got "
+                f"{self.pin_epochs}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def summary(self) -> str:
+        return self.spec.summary
+
+    def pinned(self) -> CompiledScenario:
+        """Compile the spec at its pin horizon (for digest pinning)."""
+        return compile_spec(self.spec.with_operations(epochs=self.pin_epochs))
+
+
+def load_spec(path) -> ScenarioSpec:
+    """Read a spec from a JSON file (the CLI's ``scenario run <path>``)."""
+    from pathlib import Path
+
+    return ScenarioSpec.from_json(Path(path).read_text())
+
+
+# ---------------------------------------------------------------------------
+# Paper-shaped building blocks
+# ---------------------------------------------------------------------------
+
+
+#: The evaluation's query shares over the three applications (§III-A).
+PAPER_SHARES: Tuple[float, ...] = (4.0 / 7.0, 2.0 / 7.0, 1.0 / 7.0)
+
+
+def paper_tenants(*, partitions: int = 200,
+                  partition_capacity: int = 256 * MB,
+                  initial_size: int = 96 * MB) -> Tuple[TenantSpec, ...]:
+    """The three §III-A tenants as explicit specs.
+
+    Compiles to exactly :func:`repro.sim.config.paper_apps_config`
+    (ring ids match app ids, thresholds come from
+    :func:`paper_thresholds`) — the starting point for scenarios that
+    override per-tenant fields such as geography.
+    """
+    return tuple(
+        TenantSpec(
+            name=f"app-{i + 1}",
+            share=share,
+            tiers=(
+                TierSpec(
+                    replicas=2 + i,
+                    partitions=partitions,
+                    partition_capacity=partition_capacity,
+                    initial_size=initial_size,
+                    ring_id=i,
+                ),
+            ),
+        )
+        for i, share in enumerate(PAPER_SHARES)
+    )
+
+
+# ---------------------------------------------------------------------------
+# The spec sampler — the randomized harnesses draw from *this* space
+# ---------------------------------------------------------------------------
+
+
+def sample_spec(seed: int) -> ScenarioSpec:
+    """Draw one seeded random scenario spec (fault-free).
+
+    The sampled space covers what the ad-hoc knob randomization in the
+    PR 5 equivalence harness covered — cloud shape, partition counts,
+    tight policy bounds, base rate, fractional confidences, join/leave
+    churn, insert streams — plus the flow phases specs added (flash
+    crowds, diurnal cycles, zipf data-plane traffic).  Fractional
+    confidences set ``operations.rtol`` to the same 1e-9 the golden
+    registry grants them; everything else compares bit-exactly.
+
+    The draw is deterministic per seed, and the spec compiles with
+    ``net=None`` so both epoch kernels must agree on the frame stream.
+    """
+    rng = np.random.default_rng(99_000 + seed)
+    layout = LayoutSpec(
+        countries=int(rng.integers(3, 6)),
+        countries_per_continent=int(rng.integers(1, 3)),
+        datacenters_per_country=int(rng.integers(1, 3)),
+        rooms_per_datacenter=1,
+        racks_per_room=int(rng.integers(1, 3)),
+        servers_per_rack=int(rng.integers(2, 5)),
+    )
+    total = layout.compile().total_servers
+    epochs = int(rng.integers(8, 14))
+    structure = StructureSpec(
+        layout=layout,
+        classes=ServerClassesSpec(
+            storage=int(rng.integers(2, 6)) * GB,
+        ),
+    )
+    rtol = 0.0
+    if rng.random() < 0.5:
+        countries = rng.choice(
+            layout.countries, size=min(2, layout.countries), replace=False
+        )
+        structure = dataclasses.replace(
+            structure,
+            confidence=ConfidenceSpec(
+                base=float(rng.uniform(0.85, 1.0)),
+                country_factors={
+                    int(c): float(rng.uniform(0.8, 1.0)) for c in countries
+                },
+            ),
+        )
+        rtol = 1e-9
+    flows = FlowsSpec(base_rate=float(rng.uniform(500.0, 4000.0)))
+    if rng.random() < 0.25:
+        flows = dataclasses.replace(
+            flows,
+            inserts=InsertStream(
+                rate=int(rng.integers(50, 400)),
+                object_size=256 * 1024,
+            ),
+        )
+    if rng.random() < 0.25:
+        flows = dataclasses.replace(
+            flows,
+            surges=(FlashCrowd(
+                spike_epoch=int(rng.integers(1, max(2, epochs - 4))),
+                ramp_epochs=int(rng.integers(1, 4)),
+                decay_epochs=int(rng.integers(2, 6)),
+                peak_factor=float(rng.uniform(2.0, 8.0)),
+            ),),
+        )
+    if rng.random() < 0.2:
+        flows = dataclasses.replace(
+            flows,
+            diurnal=Diurnal(
+                period=int(rng.integers(4, 9)),
+                amplitude=float(rng.uniform(0.2, 0.8)),
+                phase=int(rng.integers(0, 4)),
+            ),
+        )
+    if rng.random() < 0.2:
+        flows = dataclasses.replace(
+            flows,
+            traffic=ClientTraffic(
+                ops_per_epoch=int(rng.integers(8, 17)),
+                keyspace=int(rng.integers(16, 49)),
+            ),
+        )
+    constraints = ConstraintsSpec(
+        partitions=int(rng.integers(4, 13)),
+        policy=PolicySpec(
+            hysteresis=int(rng.integers(2, 4)),
+            repair_iterations=int(rng.integers(1, 5)),
+            migration_margin=float(rng.uniform(0.0, 0.1)),
+            storage_headroom=float(rng.uniform(0.0, 0.15)),
+        ),
+    )
+    events: List[object] = []
+    if rng.random() < 0.6:
+        add_epoch = int(rng.integers(1, max(2, epochs - 4)))
+        events.append(JoinWave(
+            epoch=add_epoch,
+            count=int(rng.integers(1, max(2, total // 3))),
+        ))
+        events.append(LeaveWave(
+            epoch=int(rng.integers(add_epoch + 1, epochs)),
+            count=int(rng.integers(1, max(2, total // 4))),
+        ))
+    return ScenarioSpec(
+        name=f"sampled-{seed}",
+        summary=f"seeded random spec #{seed} from the sampler space",
+        structure=structure,
+        flows=flows,
+        constraints=constraints,
+        failure=FailureSpec(events=tuple(events)),
+        operations=OperationsSpec(
+            epochs=epochs,
+            seed=int(rng.integers(1_000_000)),
+            rtol=rtol,
+        ),
+    )
+
+
+def sample_chaos_spec(seed: int) -> ScenarioSpec:
+    """Draw one seeded chaos-audit spec (network faults + quorum traffic).
+
+    The sampled space matches the ISSUE 7 chaos sweep: a paper-shaped
+    cloud, a :class:`ChaosSpec` fault draw keyed by the same seed, zipf
+    quorum traffic, and the consistency audit armed.  Under network-only
+    faults the audit must come back GREEN (zero lost writes, zero dirty
+    ghost reads) — the sweep-wide contract
+    ``tests/integration/test_chaos_audit.py`` enforces.
+    """
+    return ScenarioSpec(
+        name=f"chaos-{seed}",
+        summary=f"seeded chaos-audit draw #{seed}: random faults + quorum traffic",
+        flows=FlowsSpec(traffic=ClientTraffic(ops_per_epoch=24)),
+        constraints=ConstraintsSpec(partitions=30),
+        failure=FailureSpec(chaos=ChaosSpec(seed=seed, quiet_tail=8)),
+        operations=OperationsSpec(epochs=24, seed=seed, audit=True),
+    )

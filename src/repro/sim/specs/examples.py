@@ -1,0 +1,63 @@
+"""The four rewritten examples as specs.
+
+Each spec compiles to the exact :class:`SimConfig` its example script
+historically hand-built (the scripts now assert that equality as a
+migration guard).  ``datacenter-outage`` and ``chaos-consistency``
+compile to the *faulty* twin; the examples derive their oracle twin by
+stripping ``net``/``data_plane`` off the compiled config.
+"""
+
+from __future__ import annotations
+
+from repro.sim.scenario import (
+    ChaosSpec,
+    ClientTraffic,
+    ConstraintsSpec,
+    FailureSpec,
+    FlashCrowd,
+    FlowsSpec,
+    NetSpec,
+    OperationsSpec,
+    OutageEvent,
+    ScenarioEntry,
+    ScenarioSpec,
+)
+
+SPECS = (
+    ScenarioEntry(ScenarioSpec(
+        name="slashdot-surge",
+        summary="examples/slashdot_surge: 61x spike over a 60-partition cloud",
+        flows=FlowsSpec(base_rate=2000.0, surges=(
+            FlashCrowd(spike_epoch=40, ramp_epochs=25, decay_epochs=120,
+                       peak_factor=61.0),
+        )),
+        constraints=ConstraintsSpec(partitions=60),
+        operations=OperationsSpec(epochs=220),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="multi-tenant-sla",
+        summary="examples/multi_tenant_sla: 3 tenants, 3 SLA rings, 50 epochs",
+        constraints=ConstraintsSpec(partitions=60),
+        operations=OperationsSpec(epochs=50),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="datacenter-outage",
+        summary="examples/datacenter_outage: DC dies under a lossy gossip net",
+        flows=FlowsSpec(traffic=ClientTraffic()),
+        constraints=ConstraintsSpec(partitions=60),
+        failure=FailureSpec(
+            events=(OutageEvent(epoch=30, depth=3),),
+            net=NetSpec(loss=0.25, rounds_per_epoch=2, suspect_rounds=3,
+                        dead_rounds=8),
+        ),
+        operations=OperationsSpec(epochs=60),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="chaos-consistency",
+        summary="examples/chaos_consistency: seeded fault draw + quorum audit",
+        flows=FlowsSpec(traffic=ClientTraffic(ops_per_epoch=32)),
+        constraints=ConstraintsSpec(partitions=40),
+        failure=FailureSpec(chaos=ChaosSpec(seed=3, quiet_tail=10)),
+        operations=OperationsSpec(epochs=40, audit=True),
+    ), pin_epochs=12),
+)

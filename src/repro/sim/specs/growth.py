@@ -1,0 +1,90 @@
+"""Growth and SLA-tier scenarios: insert streams, ring ladders, classes.
+
+These exercise the *constraints* tier — multi-ring tenants, explicit
+thresholds, heterogeneous server classes — and the storage-bound
+economy under insert-driven growth.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.server import GB, MB
+from repro.sim.scenario import (
+    ConfidenceSpec,
+    ConstraintsSpec,
+    Diurnal,
+    EconomySpec,
+    FlowsSpec,
+    InsertStream,
+    OperationsSpec,
+    PolicySpec,
+    ScenarioEntry,
+    ScenarioSpec,
+    ServerClassesSpec,
+    StructureSpec,
+    TenantSpec,
+    TierSpec,
+)
+
+SPECS = (
+    ScenarioEntry(ScenarioSpec(
+        name="insert-popularity-growth",
+        summary="popularity-routed inserts: growth follows the query skew",
+        structure=StructureSpec(classes=ServerClassesSpec(storage=2 * GB)),
+        flows=FlowsSpec(inserts=InsertStream(routing="popularity")),
+        constraints=ConstraintsSpec(
+            partitions=24,
+            initial_size=32 * MB,
+            policy=PolicySpec(hysteresis=2, migration_margin=0.02,
+                              storage_headroom=0.05),
+            economy=EconomySpec(alpha=8.0),
+        ),
+        operations=OperationsSpec(epochs=30, seed=31),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="insert-diurnal-mix",
+        summary="insert stream under a diurnal query cycle (growth + waves)",
+        structure=StructureSpec(classes=ServerClassesSpec(storage=3 * GB)),
+        flows=FlowsSpec(
+            inserts=InsertStream(rate=1000),
+            diurnal=Diurnal(period=8, amplitude=0.5),
+        ),
+        constraints=ConstraintsSpec(
+            partitions=24,
+            initial_size=48 * MB,
+            economy=EconomySpec(alpha=4.0),
+        ),
+        operations=OperationsSpec(epochs=30, seed=32),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="sla-ladder",
+        summary="one tenant climbing 2/3/4-replica rings + a basic tenant",
+        constraints=ConstraintsSpec(
+            tenants=(
+                TenantSpec(name="premium", share=0.75, tiers=(
+                    TierSpec(replicas=2, partitions=12),
+                    TierSpec(replicas=3, partitions=12),
+                    TierSpec(replicas=4, partitions=12),
+                )),
+                TenantSpec(name="basic", share=0.25, tiers=(
+                    TierSpec(replicas=2, partitions=12),
+                )),
+            ),
+        ),
+        operations=OperationsSpec(epochs=30, seed=33),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="premium-classes",
+        summary="60% expensive servers at 200$ rent + shaky-country trust",
+        structure=StructureSpec(
+            classes=ServerClassesSpec(
+                cheap_rent=80.0, expensive_rent=200.0,
+                expensive_fraction=0.6,
+            ),
+            confidence=ConfidenceSpec(
+                base=0.98, country_factors={2: 0.85, 6: 0.9},
+            ),
+        ),
+        constraints=ConstraintsSpec(partitions=24),
+        operations=OperationsSpec(epochs=30, seed=34, rtol=1e-9),
+    ), pin_epochs=8),
+)

@@ -1,0 +1,122 @@
+"""The seven legacy golden scenarios, re-expressed as specs.
+
+Each spec compiles to a :class:`SimConfig` *equal* to what the
+hand-built factory in ``tests/integration/golden_scenarios.py``
+historically produced (dataclass equality — same floats, same
+defaults), so the committed golden frame streams stay byte-identical.
+``tests/sim/test_scenario_spec.py`` pins that equality explicitly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.server import GB, MB
+from repro.sim.scenario import (
+    ConfidenceSpec,
+    ConstraintsSpec,
+    EconomySpec,
+    FailureSpec,
+    FlashCrowd,
+    FlowsSpec,
+    GeoSpec,
+    InsertStream,
+    JoinWave,
+    LeaveWave,
+    OperationsSpec,
+    PolicySpec,
+    ScenarioEntry,
+    ScenarioSpec,
+    ServerClassesSpec,
+    StructureSpec,
+    paper_tenants,
+)
+
+
+def _discrete_geo_tenants():
+    tenants = list(paper_tenants(partitions=24))
+    tenants[0] = dataclasses.replace(
+        tenants[0], geography=GeoSpec(kind="hotspot", country=0)
+    )
+    tenants[1] = dataclasses.replace(
+        tenants[1],
+        geography=GeoSpec(kind="mixture", components=(
+            (GeoSpec(kind="hotspot", country=3), 0.7),
+            (GeoSpec(kind="hotspot", country=7), 0.3),
+        )),
+    )
+    # tenants[2] keeps the uniform geography: the mixed case exercises
+    # the per-app dispatch between the g-path and the uniform fast path.
+    return tuple(tenants)
+
+
+SPECS = (
+    ScenarioEntry(ScenarioSpec(
+        name="paper-uniform",
+        summary="§III-A base cloud: 200 servers, 3 tenants, Poisson(3000)",
+        constraints=ConstraintsSpec(partitions=40),
+        operations=OperationsSpec(epochs=30, seed=1),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="slashdot-spike",
+        summary="Fig. 4 in miniature: 61x flash crowd, expansion then decay",
+        flows=FlowsSpec(surges=(
+            FlashCrowd(spike_epoch=8, ramp_epochs=5, decay_epochs=18,
+                       peak_factor=61.0),
+        )),
+        constraints=ConstraintsSpec(partitions=24),
+        operations=OperationsSpec(epochs=40, seed=2),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="saturation-splits",
+        summary="Fig. 5 insert stream saturating shrunken 2 GB disks",
+        structure=StructureSpec(classes=ServerClassesSpec(storage=2 * GB)),
+        flows=FlowsSpec(inserts=InsertStream()),
+        constraints=ConstraintsSpec(
+            partitions=24,
+            initial_size=32 * MB,
+            policy=PolicySpec(hysteresis=2, migration_margin=0.02,
+                              storage_headroom=0.05),
+            economy=EconomySpec(alpha=8.0),
+        ),
+        operations=OperationsSpec(epochs=30, seed=3),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="fig3-elasticity",
+        summary="Fig. 3 churn: +12 servers at epoch 8, -12 at epoch 20",
+        constraints=ConstraintsSpec(partitions=24),
+        failure=FailureSpec(events=(
+            JoinWave(epoch=8, count=12),
+            LeaveWave(epoch=20, count=12),
+        )),
+        operations=OperationsSpec(epochs=40, seed=4),
+    ), pin_epochs=10),
+    ScenarioEntry(ScenarioSpec(
+        name="discrete-geo",
+        summary="regional tenants: hotspot + mixture geographies (eq. 4)",
+        constraints=ConstraintsSpec(tenants=_discrete_geo_tenants()),
+        operations=OperationsSpec(epochs=30, seed=5),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="confidence-tiers",
+        summary="fractional per-country trust tiers (eq. 2 at rtol 1e-9)",
+        structure=StructureSpec(confidence=ConfidenceSpec(
+            base=0.97, country_factors={0: 0.9, 3: 0.85, 7: 0.95},
+        )),
+        constraints=ConstraintsSpec(partitions=24),
+        operations=OperationsSpec(epochs=30, seed=7, rtol=1e-9),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="churn-confidence",
+        summary="fractional confidences plus join/leave waves mid-run",
+        structure=StructureSpec(confidence=ConfidenceSpec(
+            base=0.96, country_factors={1: 0.88, 4: 0.92, 8: 0.97},
+        )),
+        constraints=ConstraintsSpec(partitions=24),
+        failure=FailureSpec(events=(
+            JoinWave(epoch=8, count=14),
+            LeaveWave(epoch=18, count=14),
+        )),
+        operations=OperationsSpec(epochs=30, seed=11, rtol=1e-9),
+    ), pin_epochs=10),
+)

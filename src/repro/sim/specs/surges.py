@@ -1,0 +1,105 @@
+"""Load-surge scenarios: flash crowds, diurnal cycles, tight budgets.
+
+These exercise the *flows* tier's composition seams — multi-surge
+cascades, sinusoidal day/night cycles, regional phase inversion — and
+the economy's contraction/expansion loop under them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.server import MB
+from repro.sim.scenario import (
+    ConstraintsSpec,
+    Diurnal,
+    FailureSpec,
+    FlashCrowd,
+    FlowsSpec,
+    GeoSpec,
+    JoinWave,
+    LeaveWave,
+    OperationsSpec,
+    ScenarioEntry,
+    ScenarioSpec,
+    paper_tenants,
+)
+
+
+def _regional_tenants(partitions: int, countries):
+    """Paper tenants, each pinned to its own hotspot country."""
+    return tuple(
+        dataclasses.replace(
+            tenant, geography=GeoSpec(kind="hotspot", country=country)
+        )
+        for tenant, country in zip(paper_tenants(partitions=partitions),
+                                   countries)
+    )
+
+
+SPECS = (
+    ScenarioEntry(ScenarioSpec(
+        name="flash-crowd-cascade",
+        summary="two back-to-back flash crowds: contraction meets re-expansion",
+        flows=FlowsSpec(surges=(
+            FlashCrowd(spike_epoch=6, ramp_epochs=3, decay_epochs=8,
+                       peak_factor=20.0),
+            FlashCrowd(spike_epoch=20, ramp_epochs=2, decay_epochs=10,
+                       peak_factor=40.0),
+        )),
+        constraints=ConstraintsSpec(partitions=24),
+        operations=OperationsSpec(epochs=40, seed=21),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="diurnal-two-region",
+        summary="day/night sine cycle over two regional hotspot tenants",
+        flows=FlowsSpec(diurnal=Diurnal(period=12, amplitude=0.6)),
+        constraints=ConstraintsSpec(
+            tenants=_regional_tenants(24, (0, 5, 8)),
+            partitions=24,
+        ),
+        operations=OperationsSpec(epochs=36, seed=22),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="hotspot-inversion",
+        summary="antipodal hotspots + phase-shifted diurnal = load inversion",
+        flows=FlowsSpec(
+            diurnal=Diurnal(period=10, amplitude=0.8, phase=5),
+            surges=(FlashCrowd(spike_epoch=12, ramp_epochs=2,
+                               decay_epochs=6, peak_factor=8.0),),
+        ),
+        constraints=ConstraintsSpec(
+            tenants=_regional_tenants(20, (0, 9, 4)),
+            partitions=20,
+        ),
+        operations=OperationsSpec(epochs=30, seed=23),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="budget-crunch",
+        summary="a 20x surge against quartered replication/migration budgets",
+        flows=FlowsSpec(surges=(
+            FlashCrowd(spike_epoch=6, ramp_epochs=3, decay_epochs=10,
+                       peak_factor=20.0),
+        )),
+        constraints=ConstraintsSpec(
+            partitions=24,
+            replication_budget=128 * MB,
+            migration_budget=32 * MB,
+        ),
+        operations=OperationsSpec(epochs=30, seed=24),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="elastic-spike",
+        summary="Fig. 3 meets Fig. 4: servers join at the ramp, leave after",
+        flows=FlowsSpec(surges=(
+            FlashCrowd(spike_epoch=8, ramp_epochs=4, decay_epochs=12,
+                       peak_factor=30.0),
+        )),
+        constraints=ConstraintsSpec(partitions=24),
+        failure=FailureSpec(events=(
+            JoinWave(epoch=9, count=20),
+            LeaveWave(epoch=28, count=20),
+        )),
+        operations=OperationsSpec(epochs=36, seed=25),
+    ), pin_epochs=8),
+)

@@ -16,6 +16,12 @@ The sweep-wide contract:
 Strong stale reads are allowed (the sloppy-quorum window the audit
 measures), but only while hints were in flight.
 
+Since ISSUE 8 each seed's scenario is drawn from the declarative spec
+space (:func:`repro.sim.scenario.sample_chaos_spec`) — the same seeds
+compile to the exact configs this sweep historically hand-built
+(``tests/sim/test_scenario_spec.py`` pins that equality), so the
+sweep's verdicts are unchanged by the migration.
+
 Seeds 0-1 run in tier-1; the wider sweep carries ``slow``::
 
     PYTHONPATH=src python -m pytest -m slow tests/integration/test_chaos_audit.py -q
@@ -23,27 +29,16 @@ Seeds 0-1 run in tier-1; the wider sweep carries ``slow``::
 
 from __future__ import annotations
 
-import dataclasses
-
 import pytest
 
-from repro.sim.chaos import random_fault_schedule, run_consistency_audit
-from repro.sim.config import DataPlaneConfig, paper_scenario
+from repro.sim.scenario import compile_spec, sample_chaos_spec
 
-EPOCHS = 24
-SETTLE = 16
 FAST_SEEDS = tuple(range(2))
 SLOW_SEEDS = tuple(range(2, 18))
 
 
 def run_audit(seed: int):
-    net = random_fault_schedule(seed, EPOCHS, quiet_tail=8)
-    config = dataclasses.replace(
-        paper_scenario(epochs=EPOCHS, partitions=30, seed=seed),
-        net=net,
-        data_plane=DataPlaneConfig(ops_per_epoch=24),
-    )
-    return run_consistency_audit(config, settle_epochs=SETTLE)
+    return compile_spec(sample_chaos_spec(seed)).run_audit()
 
 
 def check(audit) -> None:

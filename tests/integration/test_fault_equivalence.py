@@ -1,16 +1,22 @@
-"""Randomized fault-schedule equivalence sweep (PR 5 harness + net).
+"""Randomized fault-schedule equivalence sweep (net dimension).
 
 Adds the network dimension to the randomized equivalence harness:
 
-* **zero-fault identity** — every randomized scenario, re-run with a
+* **zero-fault identity** — every sampled scenario spec, re-run with a
   zero-fault :class:`NetConfig` threaded through the whole control
   plane, must emit a frame stream identical to its oracle
-  (``net=None``) twin.  The PR 5 scenario generator supplies the
-  adversarial clouds; the net layer must be invisible at zero faults.
+  (``net=None``) twin.  The spec sampler
+  (:func:`repro.sim.scenario.sample_spec`) supplies the adversarial
+  clouds; the net layer must be invisible at zero faults.
 * **faulty determinism** — a run with active faults is not contracted
   to match its oracle twin (that divergence is the measurement), but
   it must be *reproducible*: same seed, same faults, same kernel ⇒
   same stream; and it must complete under both kernels.
+
+Since ISSUE 8 the scenarios come from the same sampled-spec space as
+``test_randomized_equivalence.py`` (which also supplies the decider
+draw), so every dimension added to the spec schema is exercised under
+the net layer automatically.
 
 Seeds 0–3 run in tier-1; the wider sweep carries ``slow``::
 
@@ -26,7 +32,8 @@ import pytest
 from repro.net.model import LinkFlap, NetConfig, NetPartition
 from repro.sim.engine import Simulation
 from repro.sim.framedump import frame_diff, frames_to_jsonable
-from test_randomized_equivalence import FRACTIONAL_RTOL, random_scenario
+from repro.sim.scenario import compile_events, compile_spec, sample_spec
+from test_randomized_equivalence import draw_decider
 
 KERNELS = ("vectorized", "scalar")
 FAST_SEEDS = tuple(range(4))
@@ -35,9 +42,11 @@ SLOW_SEEDS = tuple(range(4, 24))
 ZERO_FAULT = NetConfig(fanout=3, rounds_per_epoch=2)
 
 
-def run_stream(config, make_events, decider):
+def run_stream(spec, config, decider):
     sim = Simulation(
-        config, events=make_events(config), decider_factory=decider
+        config,
+        events=compile_events(spec, config),
+        decider_factory=decider,
     )
     sim.run()
     return sim, frames_to_jsonable(sim.metrics)
@@ -56,12 +65,14 @@ def assert_streams_equal(left, right, rtol, label):
 
 
 def assert_zero_fault_matches_oracle(seed: int) -> None:
-    config, make_events, decider, rtol = random_scenario(seed)
+    spec = sample_spec(seed)
+    decider = draw_decider(seed)
+    rtol = spec.operations.rtol
     for kernel in KERNELS:
-        base = dataclasses.replace(config, kernel=kernel)
-        _, oracle = run_stream(base, make_events, decider)
+        base = compile_spec(spec.with_operations(kernel=kernel)).config
+        _, oracle = run_stream(spec, base, decider)
         wired = dataclasses.replace(base, net=ZERO_FAULT)
-        sim, faulty = run_stream(wired, make_events, decider)
+        sim, faulty = run_stream(spec, wired, decider)
         assert sim.membership_service.net.stats.total_sent() > 0
         assert_streams_equal(
             oracle, faulty, rtol,
@@ -88,14 +99,16 @@ def faulty_net(epochs: int) -> NetConfig:
 
 
 def assert_faulty_run_deterministic(seed: int) -> None:
-    config, make_events, decider, _ = random_scenario(seed)
-    net = faulty_net(config.epochs)
+    spec = sample_spec(seed)
+    decider = draw_decider(seed)
+    net = faulty_net(spec.operations.epochs)
     for kernel in KERNELS:
-        cfg = dataclasses.replace(config, kernel=kernel, net=net)
+        base = compile_spec(spec.with_operations(kernel=kernel)).config
+        cfg = dataclasses.replace(base, net=net)
         sims = []
         streams = []
         for _ in range(2):
-            sim, stream = run_stream(cfg, make_events, decider)
+            sim, stream = run_stream(spec, cfg, decider)
             sims.append(sim)
             streams.append(stream)
         assert streams[0] == streams[1], (

@@ -1,0 +1,91 @@
+"""Golden-digest pins for every named scenario in the registry.
+
+Each registry entry (:mod:`repro.sim.specs`) is compiled at its
+``pin_epochs`` horizon and run once under the default kernel; the
+SHA-256 digest of its lossless frame stream must match the committed
+pin in ``tests/integration/golden/named_scenarios.json``.  The pin
+horizon is deliberately short — the point is *did this scenario's
+behavior change*, not a full-horizon replay (the seven legacy goldens
+keep their full frame-by-frame streams in the per-scenario files).
+
+Adding a scenario without a pin fails here AND in the lint gate
+(``tests/test_lint.py``), so the catalog cannot silently grow unpinned
+entries.
+
+**Regenerate-and-commit workflow** (only when a *deliberate*
+behavioral change or a new scenario lands — say so in the commit
+message)::
+
+    PYTHONPATH=src python tests/integration/test_named_scenarios.py
+    git add tests/integration/golden/named_scenarios.json
+
+The regenerator rewrites every pin; eyeball the diff — only scenarios
+you meant to change (or add) should move.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim import specs
+from repro.sim.framedump import frames_digest
+
+PIN_PATH = Path(__file__).resolve().parent / "golden" / "named_scenarios.json"
+
+
+def load_pins() -> dict:
+    return json.loads(PIN_PATH.read_text())
+
+
+def run_pinned(name: str):
+    """Run one registry entry at its pin horizon; return (digest, epochs)."""
+    entry = specs.get(name)
+    sim = entry.pinned().simulation()
+    sim.run()
+    frames = list(sim.metrics)
+    return frames_digest(frames), len(frames)
+
+
+PINS = load_pins() if PIN_PATH.exists() else {}
+
+
+@pytest.mark.parametrize("name", sorted(specs.REGISTRY))
+def test_named_scenario_digest(name):
+    assert name in PINS, (
+        f"scenario {name!r} has no committed digest — regenerate: "
+        f"PYTHONPATH=src python {Path(__file__).name}"
+    )
+    digest, epochs = run_pinned(name)
+    assert epochs == PINS[name]["epochs"], name
+    assert digest == PINS[name]["digest"], (
+        f"{name}: frame stream changed — if deliberate, regenerate "
+        f"named_scenarios.json and say so in the commit message"
+    )
+
+
+def test_no_stale_pins():
+    assert set(PINS) == set(specs.REGISTRY), (
+        "pins and registry disagree — regenerate named_scenarios.json"
+    )
+
+
+def main() -> None:
+    pins = {}
+    for name in sorted(specs.REGISTRY):
+        digest, epochs = run_pinned(name)
+        pins[name] = {
+            "digest": digest,
+            "epochs": epochs,
+            "summary": specs.get(name).summary,
+        }
+        print(f"{name}: {epochs} epochs, digest {digest[:16]}")
+    PIN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    PIN_PATH.write_text(json.dumps(pins, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {PIN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,7 @@ from repro.core.availability import availability
 from repro.sim.config import InsertConfig
 from repro.sim.engine import Simulation
 from repro.sim.metrics import load_balance_index
+from repro.sim.scenario import LeaveWave, OutageEvent, compile_spec, sample_spec
 from repro.workload.slashdot import slashdot_profile
 from tests.sim.test_engine import consistency_check, small_config, small_layout
 
@@ -210,3 +211,47 @@ class TestDifferentiation:
             for p in ring:
                 servers = sim.catalog.servers_of(p.pid)
                 assert availability(sim.cloud, servers) >= ring.level.threshold
+
+
+def check_sampled_invariants(seed: int) -> None:
+    """Universal invariants over one sampled-spec run.
+
+    Unlike the figure miniatures above (which assert *qualitative
+    paper claims* on curated configs), these must hold for every spec
+    the sampler can draw — adversarially small clouds, churn waves,
+    surges, insert streams included.
+    """
+    spec = sample_spec(seed)
+    compiled = compile_spec(spec)
+    sim = compiled.simulation()
+    log = sim.run()
+    # Cross-module bookkeeping agrees (catalog <-> registry <-> rings).
+    consistency_check(sim)
+    # Physical capacity is never violated, whatever the economy did.
+    for server in sim.cloud:
+        assert server.storage_used <= server.storage_capacity
+    last = log.last
+    # Frame accounting matches ground truth at the horizon.
+    assert last.vnodes_total == sim.catalog.total_replicas
+    assert sum(last.vnodes_per_server.values()) == last.vnodes_total
+    # Every partition still in the catalog has at least one live copy.
+    for pid in sim.catalog.partitions():
+        assert sim.catalog.replica_count(pid) >= 1
+    # Without membership loss there is no way to lose a partition.
+    destructive = (LeaveWave, OutageEvent)
+    if not any(isinstance(e, destructive) for e in spec.failure.events):
+        assert log.series("lost_partitions").max() == 0
+
+
+class TestSampledSpecInvariants:
+    """Paper invariants over the same sampled-spec space the
+    randomized kernel-equivalence harness draws from."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_invariants_fast_seeds(self, seed):
+        check_sampled_invariants(seed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(4, 16))
+    def test_invariants_sweep(self, seed):
+        check_sampled_invariants(seed)

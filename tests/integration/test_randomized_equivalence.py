@@ -1,16 +1,27 @@
-"""Randomized kernel-equivalence micro-harness.
+"""Randomized kernel-equivalence harness over the sampled-spec space.
 
 The hand-picked golden scenarios pin seven behavioral regimes; this
 harness removes the "hand-picked" qualifier.  Each seed draws a small
-random scenario — cloud shape, partition counts, policy knobs
-(including tight ``repair_iterations`` bounds), base rate, optional
-fractional per-country confidences, optional join/leave churn waves,
-optional insert stream, and sometimes a forced tiny top-k shortlist so
-the grouped repair kernel's certified fast path runs on a cloud small
-enough to fall back often — and runs it to completion under both epoch
-kernels.  The frame streams must match exactly, or within the same
-1e-9 relative tolerance the fractional-confidence goldens use (eq. 2
-pair sums accumulate in different orders across kernels there).
+random *scenario spec* from :func:`repro.sim.scenario.sample_spec` —
+cloud shape, partition counts, policy knobs (including tight
+``repair_iterations`` bounds), base rate, optional fractional
+per-country confidences, optional join/leave churn waves, optional
+insert stream, optional flash-crowd/diurnal flow phases, optional
+zipf data-plane traffic — compiles it, and runs it to completion under
+both epoch kernels.  The frame streams must match exactly, or within
+the 1e-9 relative tolerance the sampler assigns to
+fractional-confidence draws (eq. 2 pair sums accumulate in different
+orders across kernels there).
+
+Sampling *specs* instead of ad-hoc knobs means this harness, the
+spec-validation suite, the named-scenario digests and the sampled
+paper-invariant checks all exercise the same declared scenario space
+— a new flow or constraint added to the spec schema is automatically
+sampled here.
+
+On top of the spec, a test-side coin keeps the old forced-shortlist
+decider draw: a tiny top-k shortlist makes the grouped repair kernel's
+certified fast path run on clouds small enough to fall back often.
 
 Seeds 0–3 run in tier-1; the remaining sweep (seeds 4–23) carries the
 ``slow`` marker and is opt-in::
@@ -20,27 +31,18 @@ Seeds 0–3 run in tier-1; the remaining sweep (seeds 4–23) carries the
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Callable, Optional, Tuple
+from typing import Callable
 
 import numpy as np
 import pytest
 
-from repro.cluster.confidence import ConfidenceModel
-from repro.cluster.events import AddServers, EventSchedule, RemoveServers
-from repro.cluster.server import GB
-from repro.cluster.topology import CloudLayout
-from repro.core.decision import DecisionEngine, EconomicPolicy
+from repro.core.decision import DecisionEngine
 from repro.core.placement import PlacementScorer
-from repro.sim.config import InsertConfig, SimConfig, paper_scenario
 from repro.sim.engine import Simulation, economic_decider
 from repro.sim.framedump import frame_diff, frames_to_jsonable
-from repro.sim.seeds import RngStreams
+from repro.sim.scenario import compile_spec, sample_spec
 
 KERNELS = ("vectorized", "scalar")
-#: Fractional-confidence scenarios compare under the same tolerance the
-#: golden registry grants them; everything else must be bit-exact.
-FRACTIONAL_RTOL = 1e-9
 
 FAST_SEEDS = tuple(range(4))
 SLOW_SEEDS = tuple(range(4, 24))
@@ -75,113 +77,29 @@ def forced_shortlist_decider(k: int) -> Callable:
     return factory
 
 
-def random_scenario(seed: int) -> Tuple[
-    SimConfig, Callable[[SimConfig], Optional[EventSchedule]],
-    Callable, float,
-]:
-    """Draw one seeded scenario: (config, events factory, decider, rtol).
-
-    The events factory builds a *fresh* schedule per call — schedules
-    are stateful (rng, applied-event log), so each kernel run needs its
-    own instance seeded identically.
-    """
-    rng = np.random.default_rng(99_000 + seed)
-    layout = CloudLayout(
-        countries=int(rng.integers(3, 6)),
-        countries_per_continent=int(rng.integers(1, 3)),
-        datacenters_per_country=int(rng.integers(1, 3)),
-        rooms_per_datacenter=1,
-        racks_per_room=int(rng.integers(1, 3)),
-        servers_per_rack=int(rng.integers(2, 5)),
-    )
-    epochs = int(rng.integers(8, 14))
-    config = paper_scenario(
-        epochs=epochs,
-        seed=int(rng.integers(1_000_000)),
-        partitions=int(rng.integers(4, 13)),
-        base_rate=float(rng.uniform(500.0, 4000.0)),
-    )
-    config = dataclasses.replace(
-        config,
-        layout=layout,
-        server_storage=int(rng.integers(2, 6)) * GB,
-        policy=EconomicPolicy(
-            hysteresis=int(rng.integers(2, 4)),
-            repair_iterations=int(rng.integers(1, 5)),
-            migration_margin=float(rng.uniform(0.0, 0.1)),
-            storage_headroom=float(rng.uniform(0.0, 0.15)),
-        ),
-    )
-    rtol = 0.0
-    if rng.random() < 0.5:
-        countries = rng.choice(
-            layout.countries, size=min(2, layout.countries), replace=False
-        )
-        config = dataclasses.replace(
-            config,
-            confidence=ConfidenceModel(
-                base=float(rng.uniform(0.85, 1.0)),
-                country_factors={
-                    int(c): float(rng.uniform(0.8, 1.0)) for c in countries
-                },
-            ),
-        )
-        rtol = FRACTIONAL_RTOL
-    if rng.random() < 0.25:
-        config = dataclasses.replace(
-            config,
-            inserts=InsertConfig(
-                rate=int(rng.integers(50, 400)),
-                object_size=256 * 1024,
-            ),
-        )
-    events_spec = []
-    if rng.random() < 0.6:
-        total = layout.total_servers
-        add_epoch = int(rng.integers(1, max(2, epochs - 4)))
-        events_spec.append(
-            ("add", add_epoch, int(rng.integers(1, max(2, total // 3))))
-        )
-        events_spec.append((
-            "remove",
-            int(rng.integers(add_epoch + 1, epochs)),
-            int(rng.integers(1, max(2, total // 4))),
-        ))
-
-    def make_events(cfg: SimConfig) -> Optional[EventSchedule]:
-        if not events_spec:
-            return None
-        events = []
-        for kind, epoch, count in events_spec:
-            if kind == "add":
-                events.append(AddServers(
-                    epoch=epoch, count=count,
-                    storage_capacity=cfg.server_storage,
-                    query_capacity=cfg.server_query_capacity,
-                ))
-            else:
-                events.append(RemoveServers(epoch=epoch, count=count))
-        return EventSchedule(
-            events, layout=cfg.layout, rng=RngStreams(cfg.seed).events
-        )
-
+def draw_decider(seed: int) -> Callable:
+    """The test-side decider draw (kept out of the spec space on purpose:
+    a decider is harness instrumentation, not scenario data)."""
+    rng = np.random.default_rng(77_000 + seed)
     if rng.random() < 0.4:
-        decider = forced_shortlist_decider(int(rng.integers(2, 7)))
-    else:
-        decider = economic_decider
-    return config, make_events, decider, rtol
+        return forced_shortlist_decider(int(rng.integers(2, 7)))
+    return economic_decider
 
 
 def assert_kernels_agree(seed: int) -> None:
-    config, make_events, decider, rtol = random_scenario(seed)
+    spec = sample_spec(seed)
+    decider = draw_decider(seed)
     frames = {}
     for kernel in KERNELS:
-        cfg = dataclasses.replace(config, kernel=kernel)
+        compiled = compile_spec(spec.with_operations(kernel=kernel))
         sim = Simulation(
-            cfg, events=make_events(cfg), decider_factory=decider
+            compiled.config,
+            events=compiled.events(),
+            decider_factory=decider,
         )
         sim.run()
         frames[kernel] = frames_to_jsonable(sim.metrics)
+    rtol = spec.operations.rtol
     left, right = frames["vectorized"], frames["scalar"]
     assert len(left) == len(right)
     if rtol <= 0.0:

@@ -198,3 +198,91 @@ class TestCompare:
         for policy in ("economic", "static", "random"):
             assert policy in text
         assert "rent/epoch" in text
+
+
+class TestScenario:
+    def test_list_names_every_registry_entry(self):
+        from repro.sim import specs
+
+        code, text = run_cli("scenario", "list")
+        assert code == 0
+        for name in specs.names():
+            assert name in text
+
+    def test_list_json_is_the_catalog(self):
+        import json
+
+        from repro.sim import specs
+
+        code, text = run_cli("scenario", "list", "--json")
+        assert code == 0
+        catalog = json.loads(text)
+        assert set(catalog) == set(specs.REGISTRY)
+        entry = catalog["paper-uniform"]
+        assert set(entry) == {"summary", "epochs", "pin_epochs"}
+
+    def test_show_round_trips(self):
+        from repro.sim.scenario import ScenarioSpec
+        from repro.sim import specs
+
+        code, text = run_cli("scenario", "show", "slashdot-spike")
+        assert code == 0
+        assert ScenarioSpec.from_json(text) == specs.get(
+            "slashdot-spike"
+        ).spec
+
+    def test_run_registry_name_with_overrides(self):
+        code, text = run_cli(
+            "scenario", "run", "paper-uniform",
+            "--epochs", "4", "--points", "4", "--seed", "9",
+            "--kernel", "scalar",
+        )
+        assert code == 0
+        assert "scenario=paper-uniform" in text
+        assert "seed=9 epochs=4 kernel=scalar" in text
+        assert "final vnodes" in text
+
+    def test_run_spec_file(self, tmp_path):
+        from repro.sim import specs
+
+        spec = specs.get("paper-uniform").spec.with_operations(epochs=4)
+        path = tmp_path / "mini.json"
+        path.write_text(spec.to_json())
+        code, text = run_cli(
+            "scenario", "run", str(path), "--points", "4",
+        )
+        assert code == 0
+        assert "scenario=paper-uniform" in text
+
+    def test_run_audit_spec_prints_report(self):
+        code, text = run_cli(
+            "scenario", "run", "chaos-audit-7",
+            "--epochs", "10", "--points", "5",
+        )
+        assert code == 0
+        assert "consistency audit" in text
+        assert "data plane:" in text
+
+    def test_net_spec_prints_control_plane(self):
+        code, text = run_cli(
+            "scenario", "run", "lossy-gossip",
+            "--epochs", "5", "--points", "5",
+        )
+        assert code == 0
+        assert "control plane" in text
+
+    def test_unknown_name_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli("scenario", "run", "no-such-scenario")
+
+    def test_bad_spec_file_exits(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "structure": {"warp": 9}}')
+        with pytest.raises(SystemExit):
+            run_cli("scenario", "show", str(path))
+
+    def test_bad_override_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli(
+                "scenario", "run", "paper-uniform", "--epochs", "0",
+            )

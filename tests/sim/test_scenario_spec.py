@@ -1,0 +1,380 @@
+"""The declarative scenario engine: validation, compile, round-trip.
+
+Three layers of guarantees:
+
+* **validation** — malformed specs fail loudly at construction or
+  ``from_dict`` time (unknown keys anywhere in the tree, overlapping
+  surge phases, negative budgets, impossible tiers);
+* **compilation** — ``compile_spec`` is deterministic, and the seven
+  legacy golden scenarios plus the four rewritten examples compile to
+  configs *equal* to their historical hand-built factories (the
+  constructions are inlined here as ground truth — config equality
+  implies byte-identical frame streams without re-running them);
+* **serialization** — every registry spec and sampled spec round-trips
+  losslessly through ``to_dict``/``from_dict`` and JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.confidence import ConfidenceModel
+from repro.cluster.events import (
+    AddServers,
+    EventSchedule,
+    RemoveServers,
+    ScopedOutage,
+    fig3_schedule,
+)
+from repro.net.model import NetConfig
+from repro.sim import specs
+from repro.sim.chaos import random_fault_schedule
+from repro.sim.config import (
+    DataPlaneConfig,
+    paper_scenario,
+    saturation_scenario,
+    slashdot_scenario,
+)
+from repro.sim.scenario import (
+    ChaosSpec,
+    ConfidenceSpec,
+    ConstraintsSpec,
+    Diurnal,
+    FlashCrowd,
+    FlowsSpec,
+    GeoSpec,
+    OperationsSpec,
+    ScenarioEntry,
+    ScenarioSpec,
+    SpecError,
+    StructureSpec,
+    TenantSpec,
+    TierSpec,
+    compile_spec,
+    paper_tenants,
+    sample_chaos_spec,
+    sample_spec,
+)
+from repro.sim.seeds import RngStreams
+from repro.workload.clients import hotspot, mixture
+
+
+class TestValidation:
+    def test_unknown_top_level_key(self):
+        with pytest.raises(SpecError, match="unknown keys"):
+            ScenarioSpec.from_dict({"name": "x", "bogus": 1})
+
+    def test_bad_tier_keys(self):
+        data = {
+            "name": "x",
+            "constraints": {
+                "tenants": [{
+                    "name": "t", "share": 1.0,
+                    "tiers": [{"replicas": 2, "quorum_size": 3}],
+                }],
+            },
+        }
+        with pytest.raises(SpecError, match="unknown keys.*quorum_size"):
+            ScenarioSpec.from_dict(data)
+
+    def test_overlapping_surge_phases(self):
+        with pytest.raises(SpecError, match="overlapping surge"):
+            FlowsSpec(surges=(
+                FlashCrowd(spike_epoch=5, ramp_epochs=3, decay_epochs=5,
+                           peak_factor=2.0),
+                FlashCrowd(spike_epoch=7, ramp_epochs=2, decay_epochs=4,
+                           peak_factor=3.0),
+            ))
+
+    def test_adjacent_surges_allowed(self):
+        FlowsSpec(surges=(
+            FlashCrowd(spike_epoch=2, ramp_epochs=2, decay_epochs=2,
+                       peak_factor=2.0),
+            FlashCrowd(spike_epoch=6, ramp_epochs=2, decay_epochs=2,
+                       peak_factor=2.0),
+        ))
+
+    def test_negative_budget(self):
+        with pytest.raises(SpecError, match="replication_budget"):
+            ConstraintsSpec(replication_budget=-1)
+        with pytest.raises(SpecError, match="migration_budget"):
+            ConstraintsSpec(migration_budget=-1)
+
+    def test_bad_kernel(self):
+        with pytest.raises(SpecError, match="kernel"):
+            OperationsSpec(kernel="quantum")
+
+    def test_bad_epochs(self):
+        with pytest.raises(SpecError, match="epochs"):
+            OperationsSpec(epochs=0)
+
+    def test_tier_without_paper_threshold_needs_explicit(self):
+        with pytest.raises(SpecError, match="threshold"):
+            TierSpec(replicas=7)
+        TierSpec(replicas=7, threshold=500.0)  # explicit is fine
+
+    def test_audit_requires_traffic(self):
+        with pytest.raises(SpecError, match="traffic"):
+            ScenarioSpec(name="x", operations=OperationsSpec(audit=True))
+
+    def test_layout_and_scale_conflict(self):
+        from repro.sim.scenario import LayoutSpec
+
+        with pytest.raises(SpecError, match="layout or a scale"):
+            StructureSpec(scale=10, layout=LayoutSpec())
+
+    def test_unknown_event_kind(self):
+        with pytest.raises(SpecError, match="failure-event kind"):
+            ScenarioSpec.from_dict({
+                "name": "x",
+                "failure": {"events": [{"kind": "meteor", "epoch": 1}]},
+            })
+
+    def test_hotspot_country_out_of_range(self):
+        spec = ScenarioSpec(
+            name="x",
+            constraints=ConstraintsSpec(tenants=(
+                TenantSpec(name="t", share=1.0,
+                           tiers=(TierSpec(replicas=2),),
+                           geography=GeoSpec(kind="hotspot", country=50)),
+            )),
+        )
+        with pytest.raises(SpecError, match="country"):
+            compile_spec(spec)
+
+    def test_bad_confidence_factor(self):
+        with pytest.raises(SpecError, match="factor"):
+            ConfidenceSpec(base=0.9, country_factors={0: 1.5})
+
+    def test_bad_diurnal_amplitude(self):
+        with pytest.raises(SpecError, match="amplitude"):
+            Diurnal(amplitude=1.5)
+
+    def test_bad_chaos_loss_range(self):
+        with pytest.raises(SpecError, match="loss"):
+            ChaosSpec(loss_lo=0.5, loss_hi=0.2)
+
+    def test_tenant_needs_tiers(self):
+        with pytest.raises(SpecError, match="tier"):
+            TenantSpec(name="t", share=1.0, tiers=())
+
+    def test_entry_pin_epochs(self):
+        with pytest.raises(SpecError, match="pin_epochs"):
+            ScenarioEntry(ScenarioSpec(name="x"), pin_epochs=0)
+
+
+class TestCompile:
+    @pytest.mark.parametrize("name", sorted(specs.REGISTRY))
+    def test_compile_deterministic(self, name):
+        spec = specs.get(name).spec
+        assert compile_spec(spec).config == compile_spec(spec).config
+
+    @pytest.mark.parametrize("name", sorted(specs.REGISTRY))
+    def test_round_trip_identity(self, name):
+        spec = specs.get(name).spec
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_single_surge_lowers_to_slashdot_profile(self):
+        from repro.workload.slashdot import slashdot_profile
+
+        flows = FlowsSpec(base_rate=3000.0, surges=(
+            FlashCrowd(spike_epoch=8, ramp_epochs=5, decay_epochs=18,
+                       peak_factor=61.0),
+        ))
+        assert flows.compile_profile() == slashdot_profile(
+            base_rate=3000.0, peak_rate=183000.0,
+            spike_epoch=8, ramp_epochs=5, decay_epochs=18,
+        )
+
+    def test_no_flows_means_no_profile(self):
+        assert FlowsSpec().compile_profile() is None
+
+    def test_composed_profile_diurnal_and_surges(self):
+        profile = FlowsSpec(
+            base_rate=1000.0,
+            diurnal=Diurnal(period=8, amplitude=0.5),
+            surges=(FlashCrowd(spike_epoch=4, ramp_epochs=2,
+                               decay_epochs=2, peak_factor=5.0),),
+        ).compile_profile()
+        # phase 0 of the sine: diurnal multiplier is exactly 1.
+        assert profile(0) == pytest.approx(1000.0)
+        # mid-ramp epoch 5: halfway to 5x, diurnal sin(2*pi*5/8) < 0.
+        assert profile(5) < 3000.0
+        assert profile(6) == pytest.approx(1000.0 * 5.0 * 0.5)
+        for epoch in range(0, 32):
+            assert profile(epoch) >= 0.0
+
+    def test_fresh_events_per_call(self):
+        compiled = compile_spec(specs.get("fig3-elasticity").spec)
+        first = compiled.events()
+        second = compiled.events()
+        assert first is not second
+        assert list(first.events) == list(second.events)
+
+    def test_with_operations_override(self):
+        spec = specs.get("paper-uniform").spec
+        shorter = spec.with_operations(epochs=5, kernel="scalar")
+        config = compile_spec(shorter).config
+        assert config.epochs == 5
+        assert config.kernel == "scalar"
+        # the original spec is untouched (specs are immutable values)
+        assert spec.operations.epochs == 30
+
+
+class TestLegacyEquality:
+    """The seven goldens + four examples, against their historical builds.
+
+    These constructions are verbatim copies of what
+    ``golden_scenarios.py`` and the example scripts hand-built before
+    the registry existed.  Config equality here implies the committed
+    golden frame streams stay byte-identical under the spec path.
+    """
+
+    def compiled(self, name):
+        return compile_spec(specs.get(name).spec)
+
+    def test_paper_uniform(self):
+        assert self.compiled("paper-uniform").config == paper_scenario(
+            epochs=30, seed=1, partitions=40
+        )
+
+    def test_slashdot_spike(self):
+        assert self.compiled("slashdot-spike").config == slashdot_scenario(
+            epochs=40, seed=2, partitions=24,
+            spike_epoch=8, ramp_epochs=5, decay_epochs=18,
+        )
+
+    def test_saturation_splits(self):
+        assert self.compiled("saturation-splits").config == (
+            saturation_scenario(epochs=30, seed=3, partitions=24)
+        )
+
+    def test_fig3_elasticity(self):
+        compiled = self.compiled("fig3-elasticity")
+        config = paper_scenario(epochs=40, seed=4, partitions=24)
+        assert compiled.config == config
+        legacy = fig3_schedule(
+            add_epoch=8, remove_epoch=20, count=12,
+            layout=config.layout,
+            storage_capacity=config.server_storage,
+            query_capacity=config.server_query_capacity,
+            rng=RngStreams(config.seed).events,
+        )
+        assert list(compiled.events().events) == list(legacy.events)
+
+    def test_discrete_geo(self):
+        base = paper_scenario(epochs=30, seed=5, partitions=24)
+        layout = base.layout
+        apps = list(base.apps)
+        apps[0] = dataclasses.replace(
+            apps[0], geography=hotspot(layout, 0)
+        )
+        apps[1] = dataclasses.replace(
+            apps[1],
+            geography=mixture(
+                [(hotspot(layout, 3), 0.7), (hotspot(layout, 7), 0.3)]
+            ),
+        )
+        legacy = dataclasses.replace(base, apps=tuple(apps))
+        assert self.compiled("discrete-geo").config == legacy
+
+    def test_confidence_tiers(self):
+        legacy = dataclasses.replace(
+            paper_scenario(epochs=30, seed=7, partitions=24),
+            confidence=ConfidenceModel(
+                base=0.97, country_factors={0: 0.9, 3: 0.85, 7: 0.95},
+            ),
+        )
+        compiled = self.compiled("confidence-tiers")
+        assert compiled.config == legacy
+        assert compiled.rtol == 1e-9
+
+    def test_churn_confidence(self):
+        config = dataclasses.replace(
+            paper_scenario(epochs=30, seed=11, partitions=24),
+            confidence=ConfidenceModel(
+                base=0.96, country_factors={1: 0.88, 4: 0.92, 8: 0.97},
+            ),
+        )
+        compiled = self.compiled("churn-confidence")
+        assert compiled.config == config
+        legacy = EventSchedule(
+            [
+                AddServers(
+                    epoch=8, count=14,
+                    storage_capacity=config.server_storage,
+                    query_capacity=config.server_query_capacity,
+                ),
+                RemoveServers(epoch=18, count=14),
+            ],
+            layout=config.layout,
+            rng=RngStreams(config.seed).events,
+        )
+        assert list(compiled.events().events) == list(legacy.events)
+
+    def test_example_slashdot_surge(self):
+        assert self.compiled("slashdot-surge").config == slashdot_scenario(
+            epochs=220, spike_epoch=40, ramp_epochs=25, decay_epochs=120,
+            partitions=60, base_rate=2000.0, peak_rate=61 * 2000.0,
+        )
+
+    def test_example_multi_tenant_sla(self):
+        assert self.compiled("multi-tenant-sla").config == paper_scenario(
+            epochs=50, partitions=60
+        )
+
+    def test_example_datacenter_outage(self):
+        legacy = dataclasses.replace(
+            paper_scenario(epochs=60, partitions=60),
+            net=NetConfig(loss=0.25, rounds_per_epoch=2,
+                          suspect_rounds=3, dead_rounds=8),
+            data_plane=DataPlaneConfig(),
+        )
+        compiled = self.compiled("datacenter-outage")
+        assert compiled.config == legacy
+        assert list(compiled.events().events) == [
+            ScopedOutage(epoch=30, depth=3)
+        ]
+
+    def test_example_chaos_consistency(self):
+        legacy = dataclasses.replace(
+            paper_scenario(epochs=40, partitions=40),
+            net=random_fault_schedule(3, 40, quiet_tail=10),
+            data_plane=DataPlaneConfig(ops_per_epoch=32),
+        )
+        assert self.compiled("chaos-consistency").config == legacy
+
+    def test_paper_tenants_equal_paper_apps(self):
+        from repro.sim.config import paper_apps_config
+
+        compiled = tuple(
+            t.compile(i, paper_scenario(epochs=1).layout)
+            for i, t in enumerate(paper_tenants(partitions=24))
+        )
+        assert compiled == paper_apps_config(partitions=24)
+
+
+class TestSampler:
+    def test_deterministic(self):
+        assert sample_spec(3) == sample_spec(3)
+        assert sample_chaos_spec(5) == sample_chaos_spec(5)
+
+    def test_seeds_vary(self):
+        assert sample_spec(0) != sample_spec(1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sampled_specs_compile_and_round_trip(self, seed):
+        spec = sample_spec(seed)
+        compile_spec(spec)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_chaos_sampler_matches_legacy_audit_config(self):
+        legacy = dataclasses.replace(
+            paper_scenario(epochs=24, partitions=30, seed=0),
+            net=random_fault_schedule(0, 24, quiet_tail=8),
+            data_plane=DataPlaneConfig(ops_per_epoch=24),
+        )
+        assert compile_spec(sample_chaos_spec(0)).config == legacy

@@ -359,6 +359,76 @@ def test_alive_gate_detects_planted_direct_read(tmp_path):
     assert not find_direct_alive_reads(benign)
 
 
+#: The scenario-spec registry package and its golden-digest pin file.
+SPECS_DIR = Path("src/repro/sim/specs")
+NAMED_PINS = Path("tests/integration/golden/named_scenarios.json")
+
+
+def test_every_specs_module_is_registered():
+    """Every module under ``repro/sim/specs`` must feed the registry.
+
+    A scenario file that defines specs but is not imported by the
+    package ``__init__`` would silently drop out of the CLI catalog,
+    the digest pins and the lint gate below — so each ``*.py`` in the
+    package must export a non-empty ``SPECS`` tuple whose entries all
+    appear (by identity) in ``specs.REGISTRY``.
+    """
+    import importlib
+
+    from repro.sim import specs
+
+    problems = []
+    for path in sorted((REPO_ROOT / SPECS_DIR).glob("*.py")):
+        if path.name == "__init__.py":
+            continue
+        shown = SPECS_DIR / path.name
+        module = importlib.import_module(f"repro.sim.specs.{path.stem}")
+        module_specs = getattr(module, "SPECS", ())
+        if not module_specs:
+            problems.append(f"{shown}: no non-empty SPECS tuple")
+            continue
+        for entry in module_specs:
+            if specs.REGISTRY.get(entry.name) is not entry:
+                problems.append(
+                    f"{shown}: {entry.name!r} is not in the registry — "
+                    f"add the module to specs.MODULES"
+                )
+    assert not problems, (
+        "unregistered scenario specs:\n" + "\n".join(problems)
+    )
+
+
+def test_every_registry_entry_has_golden_digest():
+    """Every named scenario must carry a committed framedump digest.
+
+    ``tests/integration/test_named_scenarios.py`` runs the pins; this
+    gate fails *fast* (no simulation) when the registry and the pin
+    file drift — a new scenario without a regenerated pin file, or a
+    pin left behind by a deleted scenario.
+    """
+    import json
+
+    from repro.sim import specs
+
+    pin_path = REPO_ROOT / NAMED_PINS
+    assert pin_path.exists(), f"missing pin file {NAMED_PINS}"
+    pins = json.loads(pin_path.read_text())
+    missing = sorted(set(specs.REGISTRY) - set(pins))
+    stale = sorted(set(pins) - set(specs.REGISTRY))
+    assert not missing, (
+        "scenarios with no golden digest (regenerate "
+        "named_scenarios.json): " + ", ".join(missing)
+    )
+    assert not stale, (
+        "pins for scenarios no longer in the registry: "
+        + ", ".join(stale)
+    )
+    empty = sorted(
+        name for name, pin in pins.items() if not pin.get("digest")
+    )
+    assert not empty, "pins with empty digests: " + ", ".join(empty)
+
+
 def test_lint_checker_detects_planted_unused_import(tmp_path):
     """The fallback checker itself must actually catch the F401 case."""
     planted = tmp_path / "planted.py"
