@@ -1,0 +1,93 @@
+"""100× ramp perf smoke: fail on a >25% throughput regression.
+
+Re-measures the ``fig4-slashdot-100x`` probe (the post-bootstrap ramp
+into the Slashdot spike — the window the steady-state optimisations
+target) and compares it against the vectorized epochs/s recorded in
+the checked-in ``BENCH_epoch_throughput.json``.  A drop past the
+regression budget exits non-zero, which is what lets
+``scripts/verify_slow.sh`` catch a perf regression without anyone
+remembering to eyeball the bench JSON.
+
+The budget is deliberately loose (25%) because the reference number
+was measured on whatever machine last opted into the 100× bench —
+shared-runner steal alone moves single-vCPU timings by tens of
+percent, and the gate must only fire on real losses (a clobbered
+cache, an accidentally quadratic pass), not on scheduler noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from test_epoch_throughput import (  # noqa: E402
+    BENCH_PATH,
+    FIG4_100X_EPOCHS,
+    FIG4_100X_WARMUP,
+    _fig4_scaled_config,
+)
+
+from repro.sim.profiling import measure_throughput  # noqa: E402
+
+SCENARIO = "fig4-slashdot-100x"
+MAX_REGRESSION = 0.25
+
+
+def reference_eps() -> float | None:
+    """The checked-in vectorized epochs/s of the ramp probe, if any."""
+    if not BENCH_PATH.exists():
+        return None
+    try:
+        payload = json.loads(BENCH_PATH.read_text())
+    except ValueError:
+        return None
+    entry = payload.get("scenarios", {}).get(SCENARIO)
+    if entry is None:
+        return None
+    return entry.get("epochs_per_sec", {}).get("vectorized")
+
+
+def main() -> int:
+    ref = reference_eps()
+    if ref is None:
+        print(
+            f"perf smoke: no {SCENARIO!r} reference in "
+            f"{BENCH_PATH.name} — run the 100x bench "
+            f"(REPRO_BENCH_100X=1) to record one; skipping"
+        )
+        return 0
+    config = dataclasses.replace(
+        _fig4_scaled_config(100, FIG4_100X_WARMUP, FIG4_100X_EPOCHS),
+        kernel="vectorized",
+    )
+    result = measure_throughput(
+        config, epochs=FIG4_100X_EPOCHS,
+        warmup_epochs=FIG4_100X_WARMUP, repeats=2,
+    )
+    measured = result.epochs_per_sec
+    floor = ref * (1.0 - MAX_REGRESSION)
+    verdict = "OK" if measured >= floor else "REGRESSION"
+    print(
+        f"perf smoke: {SCENARIO} vectorized {measured:.3f} epochs/s "
+        f"vs reference {ref:.3f} (floor {floor:.3f}) — {verdict}"
+    )
+    if measured < floor:
+        print(
+            f"perf smoke: ramp probe lost more than "
+            f"{MAX_REGRESSION:.0%} vs the checked-in bench JSON",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

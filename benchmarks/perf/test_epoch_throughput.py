@@ -51,6 +51,9 @@ from pathlib import Path
 
 import dataclasses
 
+import numpy as np
+
+from repro.cluster.events import AddServers, EventSchedule, RemoveServers
 from repro.net.model import LinkFlap, NetConfig, NetPartition
 from repro.sim.chaos import run_consistency_audit
 from repro.sim.config import (
@@ -87,6 +90,14 @@ FIG4_100X_WARMUP = 25
 #: the regime the grouped repair kernel targets.  Measured from epoch
 #: 0 with no warmup (the storm itself is the workload).
 FIG4_100X_BOOT_EPOCHS = 4
+#: The 100× *churn* probe (ISSUE 9): post-bootstrap epochs carrying
+#: join/leave waves — every epoch mutates the cloud and catalog, so
+#: the whole window exercises the incremental-incidence splice (wall
+#: (a)); the mutation-side epochs/s of its churn split is the headline
+#: before/after number.
+FIG4_100X_CHURN_EPOCHS = 6
+FIG4_100X_CHURN_WARMUP = 25
+FIG4_100X_CHURN_WAVE = 100
 
 #: The faulty-net control-plane probe: the Fig. 4 scenario with the
 #: full gossip fabric carrying every heartbeat/price message under
@@ -149,6 +160,30 @@ def _fig4_scaled_config(scale: int, warmup: int, epochs: int):
     )
 
 
+def _churn_schedule_factory(config, warmup: int, epochs: int,
+                            wave: int = FIG4_100X_CHURN_WAVE):
+    """Fresh join/leave wave schedules for the churn probe.
+
+    Schedules are stateful (rng draws, event log), so each repeat gets
+    a new, identically-seeded instance.  Waves alternate joins and
+    leaves across the measured window — every measured epoch starts
+    with a cloud mutation, the regime the incidence splice targets.
+    """
+    def factory():
+        events = []
+        for i in range(epochs):
+            epoch = warmup + i
+            if i % 2 == 0:
+                events.append(AddServers(epoch=epoch, count=wave))
+            else:
+                events.append(RemoveServers(epoch=epoch, count=wave))
+        return EventSchedule(
+            events, layout=config.layout,
+            rng=np.random.default_rng(999),
+        )
+    return factory
+
+
 def _entry(config, results, warmup_epochs: int = 0):
     ratio = speedup(results)
     messages = {
@@ -157,6 +192,24 @@ def _entry(config, results, warmup_epochs: int = 0):
         if r.messages is not None
     }
     extra = {"messages": messages} if messages else {}
+    churn_split = {}
+    for kernel, r in results.items():
+        if not (r.mutation_epochs or r.steady_epochs):
+            continue
+        mut_eps = r.mutation_epochs_per_sec
+        steady_eps = r.steady_epochs_per_sec
+        churn_split[kernel] = {
+            "mutation_epochs": r.mutation_epochs,
+            "mutation_epochs_per_sec": (
+                round(mut_eps, 3) if mut_eps is not None else None
+            ),
+            "steady_epochs": r.steady_epochs,
+            "steady_epochs_per_sec": (
+                round(steady_eps, 3) if steady_eps is not None else None
+            ),
+        }
+    if churn_split:
+        extra["churn_split"] = churn_split
     return {
         **extra,
         "epochs": {k: r.epochs for k, r in results.items()},
@@ -198,14 +251,17 @@ def test_epoch_throughput_fig4():
     }
 
     base = _fig4_config(200)
-    base_results = compare_kernels(base, epochs=FIG4_EPOCHS, repeats=2)
+    base_results = compare_kernels(
+        base, epochs=FIG4_EPOCHS, repeats=2, split=True
+    )
     payload["scenarios"]["fig4-slashdot"] = _entry(base, base_results)
 
     scaled = _fig4_scaled_config(
         10, FIG4_10X_WARMUP, FIG4_10X_EPOCHS
     )
     scaled_results = compare_kernels(
-        scaled, epochs=FIG4_10X_EPOCHS, warmup_epochs=FIG4_10X_WARMUP
+        scaled, epochs=FIG4_10X_EPOCHS, warmup_epochs=FIG4_10X_WARMUP,
+        split=True,
     )
     payload["scenarios"]["fig4-slashdot-10x"] = _entry(
         scaled, scaled_results, warmup_epochs=FIG4_10X_WARMUP
@@ -221,7 +277,7 @@ def test_epoch_throughput_fig4():
         net=_asymmetric_net(FIG4_NET_EPOCHS // 3),
     )
     net_results = compare_kernels(
-        net_cfg, epochs=FIG4_NET_EPOCHS, repeats=2
+        net_cfg, epochs=FIG4_NET_EPOCHS, repeats=2, split=True
     )
     assert all(
         r.messages is not None
@@ -287,7 +343,7 @@ def test_epoch_throughput_fig4():
         big_results = compare_kernels(
             big, epochs=FIG4_100X_EPOCHS,
             warmup_epochs=FIG4_100X_WARMUP,
-            kernels=("vectorized",),
+            kernels=("vectorized",), split=True,
         )
         entry = _entry(big, big_results, warmup_epochs=FIG4_100X_WARMUP)
         # Stamp where this number was measured: when later runs carry
@@ -298,7 +354,7 @@ def test_epoch_throughput_fig4():
         boot = _fig4_scaled_config(100, 0, FIG4_100X_BOOT_EPOCHS)
         boot_results = compare_kernels(
             boot, epochs=FIG4_100X_BOOT_EPOCHS,
-            kernels=("vectorized",),
+            kernels=("vectorized",), split=True,
         )
         boot_entry = _entry(boot, boot_results)
         boot_entry["measured_on"] = dict(payload["machine"])
@@ -319,7 +375,7 @@ def test_epoch_throughput_fig4():
         big_net_results = compare_kernels(
             big_net, epochs=FIG4_100X_EPOCHS,
             warmup_epochs=FIG4_100X_WARMUP,
-            kernels=("vectorized",),
+            kernels=("vectorized",), split=True,
         )
         net_entry = _entry(
             big_net, big_net_results, warmup_epochs=FIG4_100X_WARMUP
@@ -327,6 +383,28 @@ def test_epoch_throughput_fig4():
         net_entry["fabric"] = "counting"
         net_entry["measured_on"] = dict(payload["machine"])
         payload["scenarios"]["fig4-asymmetric-partition-100x"] = net_entry
+
+        # Mutation-heavy epochs at 100×: alternating join/leave waves
+        # across the measured window, so every timed epoch pays the
+        # incidence-rebuild path.  The churn_split's mutation side is
+        # the wall-(a) before/after number.
+        churn = _fig4_scaled_config(
+            100, FIG4_100X_CHURN_WARMUP, FIG4_100X_CHURN_EPOCHS
+        )
+        churn_results = compare_kernels(
+            churn, epochs=FIG4_100X_CHURN_EPOCHS,
+            warmup_epochs=FIG4_100X_CHURN_WARMUP,
+            kernels=("vectorized",), split=True,
+            events_factory=_churn_schedule_factory(
+                churn, FIG4_100X_CHURN_WARMUP, FIG4_100X_CHURN_EPOCHS
+            ),
+        )
+        churn_entry = _entry(
+            churn, churn_results, warmup_epochs=FIG4_100X_CHURN_WARMUP
+        )
+        churn_entry["churn_wave_servers"] = FIG4_100X_CHURN_WAVE
+        churn_entry["measured_on"] = dict(payload["machine"])
+        payload["scenarios"]["fig4-churn-100x"] = churn_entry
     elif BENCH_PATH.exists():
         # Keep the last opted-in measurements on record instead of
         # silently dropping the scenarios from the JSON.  A corrupt
@@ -340,10 +418,23 @@ def test_epoch_throughput_fig4():
             "fig4-slashdot-100x",
             "fig4-slashdot-100x-bootstrap",
             "fig4-asymmetric-partition-100x",
+            "fig4-churn-100x",
         ):
             carried = previous.get("scenarios", {}).get(name)
             if carried is not None:
                 payload["scenarios"][name] = carried
+
+    # Before/after bookkeeping: a ``baseline_pr9`` block (captured on
+    # the pre-optimization tree) rides along verbatim so the JSON keeps
+    # both sides of the ISSUE 9 comparison in one place.
+    if BENCH_PATH.exists():
+        try:
+            previous = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            previous = {}
+        baseline = previous.get("baseline_pr9")
+        if baseline is not None:
+            payload["baseline_pr9"] = baseline
 
     BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
 

@@ -16,3 +16,6 @@ PYTHONPATH=src python -m pytest -q \
 
 echo "== stage: slow sweeps =="
 PYTHONPATH=src python -m pytest -m slow -q "$@"
+
+echo "== stage: perf smoke (100x ramp vs checked-in bench JSON) =="
+PYTHONPATH=src python benchmarks/perf/perf_smoke.py

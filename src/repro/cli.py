@@ -144,10 +144,18 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         help="measure epoch throughput of the epoch kernels",
     )
-    profile.add_argument("--scenario", choices=SCENARIOS,
-                         default="slashdot")
-    profile.add_argument("--epochs", type=int, default=60)
-    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--scenario", default="slashdot",
+                         metavar="NAME|PATH",
+                         help="built-in preset (paper, slashdot, "
+                              "saturation), a scenario-registry name "
+                              "(see 'scenario list'), or a spec JSON "
+                              "file")
+    profile.add_argument("--epochs", type=int, default=None,
+                         help="epochs to time (default 60; registry "
+                              "specs default to their own horizon)")
+    profile.add_argument("--seed", type=int, default=None,
+                         help="rng seed (default 0; registry specs "
+                              "default to their own seed)")
     profile.add_argument("--partitions", type=int, default=200)
     profile.add_argument("--scale", type=int, default=1,
                          help="grow the scenario N× (partitions and "
@@ -162,6 +170,8 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--cprofile", action="store_true",
                          help="print cProfile hot spots of one "
                               "vectorized run")
+    profile.add_argument("--top", type=int, default=20,
+                         help="rows of the --cprofile hot-spot table")
     profile.add_argument("--json", dest="json_path", default=None,
                          help="also write the results to this JSON file")
 
@@ -542,31 +552,69 @@ def cmd_report(args, out) -> int:
 def cmd_profile(args, out) -> int:
     if args.scale < 1:
         raise CliError("--scale must be >= 1")
-    if args.scale > 1:
-        if args.scenario == "saturation":
-            # The saturation scenario's parameters (shrunken disks,
-            # fixed insert rate) encode a deliberate oversubscription
-            # ratio that growing only the cloud would silently destroy.
-            raise CliError(
-                "--scale supports the paper and slashdot scenarios"
+    events_factory = None
+    if args.scenario in SCENARIOS:
+        if args.epochs is None:
+            args.epochs = 60
+        if args.seed is None:
+            args.seed = 0
+        if args.scale > 1:
+            if args.scenario == "saturation":
+                # The saturation scenario's parameters (shrunken disks,
+                # fixed insert rate) encode a deliberate
+                # oversubscription ratio that growing only the cloud
+                # would silently destroy.
+                raise CliError(
+                    "--scale supports the paper and slashdot scenarios"
+                )
+            args.partitions = args.partitions * args.scale
+            config = dataclasses.replace(
+                make_config(args), layout=scaled_paper_layout(args.scale)
             )
-        args.partitions = args.partitions * args.scale
-        config = dataclasses.replace(
-            make_config(args), layout=scaled_paper_layout(args.scale)
-        )
+        else:
+            config = make_config(args)
     else:
-        config = make_config(args)
+        # Registry specs (and spec JSON files) profile as-is: the spec
+        # carries its own horizon, seed, layout and failure schedule,
+        # so profiling runs measure exactly what the scenario engine
+        # replays — explicit --epochs/--seed override the spec.
+        if args.scale > 1:
+            raise CliError("--scale supports the built-in presets")
+        spec = resolve_spec(args.scenario)
+        overrides = {}
+        if args.epochs is not None:
+            overrides["epochs"] = args.epochs
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        try:
+            if overrides:
+                spec = spec.with_operations(**overrides)
+            compiled = compile_spec(spec)
+        except SpecError as exc:
+            raise CliError(
+                f"spec {spec.name!r} failed to compile: {exc}"
+            )
+        config = compiled.config
+        args.epochs = config.epochs
+        args.seed = config.seed
+        args.partitions = sum(
+            ring.partitions for app in config.apps for ring in app.rings
+        )
+        if spec.failure.events:
+            # Schedules are stateful (rng draws, event log): each
+            # timed repeat needs a fresh, identically-seeded instance.
+            events_factory = compiled.events
     if args.kernel == "both":
         results = compare_kernels(
             config, epochs=args.epochs, warmup_epochs=args.warmup,
-            repeats=args.repeats,
+            repeats=args.repeats, events_factory=events_factory,
         )
     else:
         cfg = dataclasses.replace(config, kernel=args.kernel)
         results = {
             args.kernel: measure_throughput(
                 cfg, epochs=args.epochs, warmup_epochs=args.warmup,
-                repeats=args.repeats,
+                repeats=args.repeats, events_factory=events_factory,
             )
         }
     rows = [
@@ -617,7 +665,9 @@ def cmd_profile(args, out) -> int:
         import pstats
 
         sim = Simulation(
-            dataclasses.replace(config, kernel="vectorized")
+            dataclasses.replace(config, kernel="vectorized"),
+            events=events_factory() if events_factory is not None
+            else None,
         )
         if args.warmup:
             sim.run(args.warmup)
@@ -626,7 +676,7 @@ def cmd_profile(args, out) -> int:
         sim.run(args.epochs)
         profiler.disable()
         stats = pstats.Stats(profiler, stream=out)
-        stats.sort_stats("tottime").print_stats(20)
+        stats.sort_stats("tottime").print_stats(args.top)
     return 0
 
 

@@ -167,16 +167,13 @@ class EventSchedule:
     def _apply_add(self, event: AddServers, cloud: Cloud) -> List[int]:
         existing = [s.location for s in cloud]
         locations = fresh_locations(self._layout, existing, event.count)
-        ids = []
-        for location in locations:
-            server = cloud.spawn_server(
-                location,
-                monthly_rent=event.monthly_rent,
-                storage_capacity=event.storage_capacity,
-                query_capacity=event.query_capacity,
-            )
-            ids.append(server.server_id)
-        return ids
+        servers = cloud.spawn_servers(
+            locations,
+            monthly_rent=event.monthly_rent,
+            storage_capacity=event.storage_capacity,
+            query_capacity=event.query_capacity,
+        )
+        return [server.server_id for server in servers]
 
     def _apply_remove(self, event: RemoveServers, cloud: Cloud,
                       kill_only: bool = False) -> List[int]:
@@ -201,11 +198,11 @@ class EventSchedule:
             len(candidates), size=event.count, replace=False
         )
         victims = [candidates[i] for i in chosen]
-        for sid in victims:
-            if kill_only:
+        if kill_only:
+            for sid in victims:
                 cloud.server(sid).fail()
-            else:
-                cloud.remove_server(sid)
+        else:
+            cloud.remove_servers(victims)
         return victims
 
     def _apply_outage(self, event: ScopedOutage, cloud: Cloud,
@@ -235,8 +232,7 @@ class EventSchedule:
             for s in cloud
             if s.location.prefix(event.depth) == prefix
         ]
-        for sid in victims:
-            cloud.remove_server(sid)
+        cloud.remove_servers(victims)
         return victims
 
 

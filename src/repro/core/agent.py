@@ -63,17 +63,26 @@ class AgentLedger:
         # reconstructs each partition's agent order with one lexsort
         # instead of one Python iteration per partition (see
         # DecisionEngine._flat_state).
+        # Dtype policy (ISSUE 9): bounded counters and slot/server ids
+        # are int32 — ring positions and streak runs are bounded by the
+        # window/horizon, ids by the cloud's size — which halves the
+        # ledger's integer footprint at scale.  The float64 keep-list:
+        # ``_bal`` and ``_wealth`` are eq. 5 accumulators whose values
+        # feed frame streams bit-for-bit, and ``_seq`` stays int64 — it
+        # is a never-reset global spawn/rehome counter whose ordering
+        # the incidence alignment depends on (a wrap would silently
+        # reorder blocks).
         self._cols = ColumnSet(self, (
             ColumnSpec("_bal", np.float64, width=window),
-            ColumnSpec("_pos", np.int64),
-            ColumnSpec("_count", np.int64),
-            ColumnSpec("_neg_run", np.int64),
-            ColumnSpec("_pos_run", np.int64),
+            ColumnSpec("_pos", np.int32),
+            ColumnSpec("_count", np.int32),
+            ColumnSpec("_neg_run", np.int32),
+            ColumnSpec("_pos_run", np.int32),
             ColumnSpec("_wealth", np.float64),
-            ColumnSpec("_epochs", np.int64),
-            ColumnSpec("_moves", np.int64),
-            ColumnSpec("_sid", np.int64, fill=-1),
-            ColumnSpec("_pid_slot", np.int64, fill=-1),
+            ColumnSpec("_epochs", np.int32),
+            ColumnSpec("_moves", np.int32),
+            ColumnSpec("_sid", np.int32, fill=-1),
+            ColumnSpec("_pid_slot", np.int32, fill=-1),
             ColumnSpec("_seq", np.int64),
         ))
         #: Materialized streak flags (plain lists: O(1) scalar reads in
@@ -510,6 +519,17 @@ class AgentRegistry:
         # routed to the keyed fallback, so this is a pure fast path.
         self._rows_by_pid: Dict[PartitionId, List[int]] = {}
         self._version = 0
+        # Mutation journal: the pid of every spawn/retire/rehome, in
+        # order, so the epoch kernel's incremental incidence splice can
+        # rebuild exactly the touched partitions instead of re-sorting
+        # the whole ledger.  ``_mutation_base`` is the global position
+        # of the log's first entry; a consumer whose anchor fell off
+        # the (capped) log simply rebuilds from scratch.  Compactions
+        # renumber every row, so they carry their own counter instead
+        # of a per-pid entry.
+        self._mutation_log: List[PartitionId] = []
+        self._mutation_base = 0
+        self._compactions = 0
 
     @property
     def window(self) -> int:
@@ -523,6 +543,37 @@ class AgentRegistry:
     def version(self) -> int:
         """Monotone membership counter; derived caches key off it."""
         return self._version
+
+    @property
+    def compactions(self) -> int:
+        """How many times the ledger was repacked (rows renumbered)."""
+        return self._compactions
+
+    @property
+    def mutation_position(self) -> int:
+        """Global position just past the last journaled mutation."""
+        return self._mutation_base + len(self._mutation_log)
+
+    def mutations_since(self, position: int) -> Optional[List[PartitionId]]:
+        """Partitions touched since ``position``, in order.
+
+        None when the requested span fell off the capped journal (or
+        lies in the future) — the caller must treat the registry as
+        arbitrarily changed and rebuild.
+        """
+        if not self._mutation_base <= position <= self.mutation_position:
+            return None
+        return self._mutation_log[position - self._mutation_base:]
+
+    _MUTATION_LOG_CAP = 16384
+
+    def _log_mutation(self, pid: PartitionId) -> None:
+        log = self._mutation_log
+        if len(log) >= self._MUTATION_LOG_CAP:
+            drop = len(log) // 2
+            del log[:drop]
+            self._mutation_base += drop
+        log.append(pid)
 
     def __len__(self) -> int:
         return len(self._agents)
@@ -551,6 +602,7 @@ class AgentRegistry:
         self._agents[key] = agent
         self._by_pid.setdefault(pid, []).append(agent)
         self._rows_by_pid.setdefault(pid, []).append(row)
+        self._log_mutation(pid)
         self._version += 1
         return agent
 
@@ -572,6 +624,7 @@ class AgentRegistry:
         row = agent.row
         agent._detach()
         self._ledger.release(row)
+        self._log_mutation(pid)
         self._version += 1
         return agent
 
@@ -594,6 +647,7 @@ class AgentRegistry:
         del rows[idx]
         rows.append(agent.row)
         self._ledger.bump_seq(agent.row)
+        self._log_mutation(pid)
         self._version += 1
         return agent
 
@@ -687,6 +741,7 @@ class AgentRegistry:
             pid: [a.row for a in members]
             for pid, members in self._by_pid.items()
         }
+        self._compactions += 1
         self._version += 1
 
     def maybe_compact(self, min_capacity: int = 64) -> bool:

@@ -42,7 +42,7 @@ from repro.ring.partition import (
 )
 from repro.ring.virtualring import RingSet
 from repro.store.consistency import DEFAULT_CONSISTENCY, ConsistencyModel
-from repro.store.replica import ReplicaCatalog
+from repro.store.replica import CatalogListener, ReplicaCatalog
 from repro.store.transfer import TransferEngine, TransferKind
 from repro.workload.mix import EpochLoad
 
@@ -173,6 +173,88 @@ class _FlatState:
     n_slots: int
 
 
+class _IncidenceJournal(CatalogListener):
+    """Catalog-delta journal feeding the incremental incidence splice.
+
+    Accumulates, between two alignment snapshots, which partitions'
+    replica segments changed — and whether anything *structural*
+    happened that invalidates the cached segment layout wholesale: a
+    partition appearing or vanishing (the catalog's pid order shifts),
+    a server drop, a split, or simply more touched partitions than the
+    cap (at which point a full rebuild is cheaper anyway).  ``events``
+    counts callbacks seen, so the consumer can prove the journal covers
+    every catalog version bump since its anchor.
+    """
+
+    __slots__ = ("touched", "structural", "events", "_cap")
+
+    def __init__(self, cap: int = 512) -> None:
+        self.touched: set = set()
+        self.structural = False
+        self.events = 0
+        self._cap = cap
+
+    def _touch(self, pid: PartitionId) -> None:
+        touched = self.touched
+        if len(touched) < self._cap:
+            touched.add(pid)
+        else:
+            self.structural = True
+
+    def replica_added(self, pid, server_id, servers) -> None:
+        self.events += 1
+        if len(servers) == 1:
+            # First replica: a new pid key changes the view's segment
+            # order — the cached layout no longer applies.
+            self.structural = True
+        else:
+            self._touch(pid)
+
+    def replica_removed(self, pid, server_id, servers) -> None:
+        self.events += 1
+        if not servers:
+            self.structural = True
+        else:
+            self._touch(pid)
+
+    def server_dropped(self, server_id, lost) -> None:
+        self.events += 1
+        self.structural = True
+
+    def partition_split(self, parent, low, high, servers) -> None:
+        self.events += 1
+        self.structural = True
+
+    def rebase(self) -> None:
+        """Forget everything — a fresh alignment snapshot was taken."""
+        self.touched.clear()
+        self.structural = False
+        self.events = 0
+
+
+@dataclass
+class _AlignCache:
+    """One catalog↔ledger alignment snapshot (shared-index path).
+
+    ``key`` is ``(catalog.version, registry.version, registry
+    compactions)`` — deliberately *excluding* the cloud and membership
+    versions: the row alignment depends only on catalog member order
+    and ledger rows, so pure churn epochs (server arrivals, belief
+    flips) reuse the arrays wholesale.  ``slot_to_seg`` scatters a
+    partition-index slot to its segment position in the snapshot's
+    ``view.pids`` order; ``reg_pos`` anchors the registry's mutation
+    journal.
+    """
+
+    key: Tuple[int, int, int]
+    rows_all: np.ndarray
+    aligned_all: np.ndarray
+    cat_slots: np.ndarray
+    offsets_all: np.ndarray
+    slot_to_seg: np.ndarray
+    reg_pos: int
+
+
 class DecisionEngine:
     """Runs settlement (eq. 5) and decisions (§II-C) for the whole cloud."""
 
@@ -216,6 +298,21 @@ class DecisionEngine:
                 avail_index if avail_index is not None
                 else AvailabilityIndex(cloud, catalog)
             )
+        # Incremental incidence maintenance (vectorized kernel): the
+        # alignment snapshot plus the catalog-delta journal that lets
+        # mutation epochs splice touched segments instead of re-sorting
+        # the whole ledger.  Counters and the cross-check flag are the
+        # test surface for the splice-vs-rebuild equivalence contract.
+        self._align_cache: Optional[_AlignCache] = None
+        self._cat_journal = _IncidenceJournal()
+        if kernel == "vectorized":
+            catalog.add_listener(self._cat_journal)
+        self.align_splices = 0
+        self.align_rebuilds = 0
+        self.align_reuses = 0
+        #: When True, every splice is immediately verified against a
+        #: full rebuild (tests; far too slow for production epochs).
+        self.align_check = False
         # Vectorized-kernel caches: the flat replica/agent incidence
         # structure (valid while catalog, registry and cloud versions
         # hold), the rings' work list, and the confidence vector.
@@ -420,53 +517,63 @@ class DecisionEngine:
         """Ledger rows in catalog replica order, plus per-segment flags
         (and, on the vectorized path, every catalog pid's index slot).
 
-        Vectorized path: live rows sorted by (partition slot, spawn
-        sequence) form contiguous per-partition blocks whose internal
-        order mirrors the catalog's placement order (spawn appends,
-        rehome re-sequences to the end — the same mutations, in the
-        same order, the catalog's member lists saw).  Each catalog
-        segment then gathers its block by slot; a block whose length
-        disagrees with the catalog is flagged misaligned (−1 rows).
-        The slow path — one Python lookup per partition over the
-        registry's row mirror — serves registries without a shared
-        partition index.
+        Vectorized path, incrementally maintained: the alignment is
+        cached against (catalog version, registry version, ledger
+        compactions) — notably *not* the cloud/membership versions, so
+        pure churn epochs reuse it untouched.  When the versions moved
+        but the catalog/registry journals prove the delta was a small
+        set of touched partitions, only those segments are rebuilt
+        (from the registry's maintained row mirror) and the untouched
+        regions are spliced across as contiguous block copies.  The
+        full (slot, spawn-sequence) lexsort — whose per-partition block
+        order mirrors the catalog's placement order because spawn
+        appends and rehome re-sequences to the end, the same mutations
+        in the same order the catalog's member lists saw — survives in
+        :meth:`_rebuild_alignment` as the structural/fallback path, and
+        is what splices are cross-checked against in the tests.  A
+        segment whose row block cannot be matched 1:1 with the catalog
+        is flagged misaligned (−1 rows) on every path alike.  The slow
+        keyed path — one Python lookup per partition — serves
+        registries without a shared partition index.
         """
         registry = self._registry
         pindex = (
             self._index.partition_index if self._index is not None else None
         )
         if pindex is not None and registry.partition_index is pindex:
-            ledger = registry.ledger
-            slot_rows = ledger.pid_slot_vector()
-            live = np.flatnonzero(slot_rows >= 0)
-            aligned_all = np.ones(len(counts_all), dtype=bool)
-            rows_all = np.full(n_all, -1, dtype=np.intp)
-            cat_slots = pindex.slots_of(view.pids)
-            if len(live):
-                order = live[np.lexsort(
-                    (ledger.seq_vector()[live], slot_rows[live])
-                )]
-                blocks = slot_rows[order]
-                starts = np.flatnonzero(
-                    np.r_[True, blocks[1:] != blocks[:-1]]
-                )
-                lens = np.diff(np.r_[starts, len(blocks)])
-                uniq = blocks[starts]
-                pos = np.searchsorted(uniq, cat_slots)
-                pos_c = np.minimum(pos, len(uniq) - 1)
-                has = uniq[pos_c] == cat_slots
-                seg_ok = has & (lens[pos_c] == counts_all)
-                aligned_all &= seg_ok
-                if seg_ok.any():
-                    base = np.where(seg_ok, starts[pos_c], 0)
-                    within = (
-                        np.arange(n_all, dtype=np.intp)
-                        - np.repeat(offsets_all[:-1], counts_all)
+            cache = self._align_cache
+            key = (
+                self._catalog.version, registry.version,
+                registry.compactions,
+            )
+            if cache is not None and cache.key == key:
+                # Pure cloud/membership movement: the alignment depends
+                # on neither, so churn epochs reuse the arrays whole.
+                self.align_reuses += 1
+                return cache.rows_all, cache.aligned_all, cache.cat_slots
+            spliced = None
+            if cache is not None:
+                touched = self._splice_touched(cache)
+                if touched is not None:
+                    spliced = self._splice_alignment(
+                        cache, touched, view, offsets_all, counts_all,
+                        n_all, key,
                     )
-                    take = np.repeat(base, counts_all) + within
-                    ok_rep = np.repeat(seg_ok, counts_all)
-                    rows_all[ok_rep] = order[take[ok_rep]]
-            return rows_all, aligned_all, cat_slots
+            if spliced is not None:
+                self.align_splices += 1
+                if self.align_check:
+                    self._verify_alignment(
+                        spliced, view, offsets_all, counts_all, n_all, key
+                    )
+                cache = spliced
+            else:
+                cache = self._rebuild_alignment(
+                    view, offsets_all, counts_all, n_all, key
+                )
+                self.align_rebuilds += 1
+            self._align_cache = cache
+            self._cat_journal.rebase()
+            return cache.rows_all, cache.aligned_all, cache.cat_slots
         rows_all = np.empty(n_all, dtype=np.intp)
         aligned_all = np.ones(len(counts_all), dtype=bool)
         rows_of = registry.rows_of
@@ -482,6 +589,172 @@ class DecisionEngine:
                 aligned_all[i] = False
             pos += n
         return rows_all, aligned_all, None
+
+    def _splice_touched(self, cache: _AlignCache) -> Optional[set]:
+        """The touched-partition set, when the journals prove the delta.
+
+        None routes to the full rebuild: something structural happened
+        (pid order shifted, server drop, split, compaction, journal
+        overflow) or a version bump is unaccounted for — the splice
+        must never run on an incomplete delta.
+        """
+        journal = self._cat_journal
+        if journal.structural:
+            return None
+        registry = self._registry
+        cat_version, reg_version, compactions = cache.key
+        if registry.compactions != compactions:
+            return None
+        if self._catalog.version - cat_version != journal.events:
+            return None
+        reg_touched = registry.mutations_since(cache.reg_pos)
+        if reg_touched is None:
+            return None
+        if len(reg_touched) != registry.version - reg_version:
+            return None
+        touched = set(journal.touched)
+        touched.update(reg_touched)
+        return touched
+
+    def _splice_alignment(self, cache: _AlignCache, touched: set,
+                          view, offsets_all: np.ndarray,
+                          counts_all: np.ndarray, n_all: int,
+                          key: Tuple[int, int, int]
+                          ) -> Optional[_AlignCache]:
+        """Rebuild only the touched segments; block-copy the rest.
+
+        The non-structural guarantee means the view's pid order — and
+        therefore the segment layout — is unchanged, so every untouched
+        region is one contiguous slice in both the old and new
+        per-replica arrays.  Touched segments re-read the registry's
+        row mirror, with exactly the slow path's length check deciding
+        the per-segment aligned flag.  Any inconsistency (unknown pid,
+        shifted gap length) returns None — rebuild instead.
+        """
+        registry = self._registry
+        pindex = self._index.partition_index
+        slot_to_seg = cache.slot_to_seg
+        n_segs = len(counts_all)
+        if n_segs != len(cache.offsets_all) - 1:
+            return None
+        segs = set()
+        for pid in touched:
+            slot = pindex.get(pid)
+            if slot is None or not 0 <= slot < len(slot_to_seg):
+                return None
+            seg = int(slot_to_seg[slot])
+            if seg < 0:
+                return None
+            segs.add(seg)
+        rows_all = np.empty(n_all, dtype=np.intp)
+        aligned_all = cache.aligned_all.copy()
+        old_rows = cache.rows_all
+        old_off = cache.offsets_all
+        rows_of = registry.rows_of
+        pids = view.pids
+        prev = 0
+        for seg in sorted(segs) + [n_segs]:
+            if seg > prev:
+                o0, o1 = old_off[prev], old_off[seg]
+                b0, b1 = offsets_all[prev], offsets_all[seg]
+                if o1 - o0 != b1 - b0:
+                    return None
+                rows_all[b0:b1] = old_rows[o0:o1]
+            if seg == n_segs:
+                break
+            lo, hi = offsets_all[seg], offsets_all[seg + 1]
+            rows = rows_of(pids[seg])
+            if rows is not None and len(rows) == hi - lo:
+                rows_all[lo:hi] = rows
+                aligned_all[seg] = True
+            else:
+                rows_all[lo:hi] = -1
+                aligned_all[seg] = False
+            prev = seg + 1
+        return _AlignCache(
+            key=key,
+            rows_all=rows_all,
+            aligned_all=aligned_all,
+            cat_slots=cache.cat_slots,
+            offsets_all=offsets_all.copy(),
+            slot_to_seg=slot_to_seg,
+            reg_pos=registry.mutation_position,
+        )
+
+    def _rebuild_alignment(self, view, offsets_all: np.ndarray,
+                           counts_all: np.ndarray, n_all: int,
+                           key: Tuple[int, int, int]) -> _AlignCache:
+        """Full alignment from scratch — the sanctioned lexsort site.
+
+        Live rows sorted by (partition slot, spawn sequence) form
+        contiguous per-partition blocks; each catalog segment gathers
+        its block by slot.  This is the splice's ground truth and the
+        structural-event fallback; the lint gate pins the decision
+        pass's only ``np.lexsort`` here.
+        """
+        registry = self._registry
+        pindex = self._index.partition_index
+        ledger = registry.ledger
+        slot_rows = ledger.pid_slot_vector()
+        live = np.flatnonzero(slot_rows >= 0)
+        aligned_all = np.ones(len(counts_all), dtype=bool)
+        rows_all = np.full(n_all, -1, dtype=np.intp)
+        cat_slots = pindex.slots_of(view.pids)
+        if len(live):
+            order = live[np.lexsort(
+                (ledger.seq_vector()[live], slot_rows[live])
+            )]
+            blocks = slot_rows[order]
+            starts = np.flatnonzero(
+                np.r_[True, blocks[1:] != blocks[:-1]]
+            )
+            lens = np.diff(np.r_[starts, len(blocks)])
+            uniq = blocks[starts]
+            pos = np.searchsorted(uniq, cat_slots)
+            pos_c = np.minimum(pos, len(uniq) - 1)
+            has = uniq[pos_c] == cat_slots
+            seg_ok = has & (lens[pos_c] == counts_all)
+            aligned_all &= seg_ok
+            if seg_ok.any():
+                base = np.where(seg_ok, starts[pos_c], 0)
+                within = (
+                    np.arange(n_all, dtype=np.intp)
+                    - np.repeat(offsets_all[:-1], counts_all)
+                )
+                take = np.repeat(base, counts_all) + within
+                ok_rep = np.repeat(seg_ok, counts_all)
+                rows_all[ok_rep] = order[take[ok_rep]]
+        slot_to_seg = np.full(len(pindex), -1, dtype=np.intp)
+        if len(cat_slots):
+            slot_to_seg[cat_slots] = np.arange(
+                len(counts_all), dtype=np.intp
+            )
+        return _AlignCache(
+            key=key,
+            rows_all=rows_all,
+            aligned_all=aligned_all,
+            cat_slots=cat_slots,
+            offsets_all=offsets_all.copy(),
+            slot_to_seg=slot_to_seg,
+            reg_pos=registry.mutation_position,
+        )
+
+    def _verify_alignment(self, spliced: _AlignCache, view,
+                          offsets_all: np.ndarray, counts_all: np.ndarray,
+                          n_all: int, key: Tuple[int, int, int]) -> None:
+        """Cross-check a splice against the ground-truth rebuild."""
+        truth = self._rebuild_alignment(
+            view, offsets_all, counts_all, n_all, key
+        )
+        if not (
+            np.array_equal(spliced.rows_all, truth.rows_all)
+            and np.array_equal(spliced.aligned_all, truth.aligned_all)
+            and np.array_equal(spliced.cat_slots, truth.cat_slots)
+        ):
+            raise KernelError(
+                "incremental incidence splice diverged from the full "
+                f"rebuild at key {key}"
+            )
 
     def _settle_batched(self, load: EpochLoad, board: PriceBoard,
                         g_of_app: Optional[Dict[int, np.ndarray]] = None

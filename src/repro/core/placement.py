@@ -183,6 +183,23 @@ class PlacementScorer:
         self._storage_alpha = storage_alpha
         self._headroom: Dict[str, np.ndarray] = {}
         self._gain_cache: Dict[object, np.ndarray] = {}
+        # Placement-class canonicalisation: eq. 3's gain depends only
+        # on the *locations* of the replica set (diversity is a pure
+        # location function), so every per-set cache below is keyed by
+        # the sorted location tuple — the set's placement class — via
+        # :meth:`_class_key`.  Partitions sharing a replica set (or,
+        # degenerately, sets whose servers share locations) then share
+        # one gain row sum and one top-k shortlist instead of building
+        # identical copies per ``cache_key``.  ``_class_div`` holds the
+        # pre-confidence diversity sums: exact small-integer float64
+        # vectors, which is what makes both the class sharing and the
+        # prefix extension in :meth:`_class_div_sum` bit-identical to
+        # a fresh per-set scan.
+        self._class_keys: Dict[object, object] = {}
+        self._class_div: Dict[object, np.ndarray] = {}
+        self._locs: Dict[int, Location] = {}
+        self.class_gain_reuses = 0
+        self.class_div_extends = 0
         # Epoch-start rents: anticipated rents only *rise* within an
         # epoch (consume_budget adds eq. 1 bumps), so minima over this
         # snapshot are valid lower bounds for the whole epoch.
@@ -250,6 +267,76 @@ class PlacementScorer:
     def server_ids(self) -> List[int]:
         return list(self._ids)
 
+    def _class_key(self, replica_servers: Sequence[int],
+                   cache_key: object) -> object:
+        """The replica set's placement-class key, memoised per cache_key.
+
+        Diversity is a pure function of server *locations*, so every
+        set with the same sorted location tuple scores identically —
+        the class key ``("cls", locations)`` lets all of them share one
+        cache entry.  A set containing a server the scorer's cloud no
+        longer knows (raced removal) cannot be classed by location and
+        falls back to the private ``("raw", cache_key)`` key, which
+        degrades to exactly the old per-key caching.  The memo is
+        sound because every ``cache_key`` the engine mints embeds the
+        replica tuple itself.
+        """
+        key = self._class_keys.get(cache_key)
+        if key is None:
+            if all(sid in self._cloud for sid in replica_servers):
+                key = ("cls", tuple(sorted(
+                    self._location(sid) for sid in replica_servers
+                )))
+            else:
+                key = ("raw", cache_key)
+            self._class_keys[cache_key] = key
+        return key
+
+    def _location(self, sid: int) -> Location:
+        """Memoised server-location lookup (stable per epoch scorer)."""
+        loc = self._locs.get(sid)
+        if loc is None:
+            loc = self._cloud.server(sid).location
+            self._locs[sid] = loc
+        return loc
+
+    def _class_div_sum(self, replica_servers: Sequence[int],
+                       locs: object) -> np.ndarray:
+        """Pre-confidence diversity row sum of one placement class.
+
+        Diversity values are integers at most 63, so the summed float64
+        vectors are exact and *order-independent* — which licenses two
+        reuses a post-confidence cache could never make bit-safe:
+        classes are shared across whatever order each caller lists the
+        set in, and a §II-C repair chain that appended its accepted
+        candidate extends the previous iteration's class with one
+        ``diversity_row`` addition instead of re-summing the whole set.
+        (The confidence multiply stays outside: ``(a + b) · c`` and
+        ``a·c + b·c`` differ in the last ulp for fractional ``c``.)
+        """
+        cached = self._class_div.get(locs)
+        if cached is not None:
+            return cached
+        cloud = self._cloud
+        div_sum = None
+        if len(replica_servers) > 1:
+            prev_locs = tuple(sorted(
+                self._location(sid)
+                for sid in replica_servers[:-1]
+            ))
+            prev = self._class_div.get(prev_locs)
+            if prev is not None:
+                div_sum = prev + cloud.diversity_row(
+                    replica_servers[-1]
+                )
+                self.class_div_extends += 1
+        if div_sum is None:
+            div_sum = np.zeros(len(self._ids), dtype=np.float64)
+            for sid in replica_servers:
+                div_sum += cloud.diversity_row(sid)
+        self._class_div[locs] = div_sum
+        return div_sum
+
     def _diversity_gain(self, replica_servers: Sequence[int],
                         cache_key: Optional[object] = None) -> np.ndarray:
         """Σ_k conf · diversity(s_k, ·) over the replica set, per slot.
@@ -259,12 +346,22 @@ class PlacementScorer:
         rent state, so callers scoring the same set repeatedly within
         one epoch (every expanding agent of a hot partition, each
         iteration of a §II-C repair chain) can pass a ``cache_key``
-        identifying the set and pay for the rows once.
+        identifying the set and pay for the rows once.  Keys are
+        canonicalised to placement classes (:meth:`_class_key`), so
+        "the same set" means the same location multiset — however many
+        partitions share it.
         """
         if cache_key is not None:
-            cached = self._gain_cache.get(cache_key)
+            ckey = self._class_key(replica_servers, cache_key)
+            cached = self._gain_cache.get(ckey)
             if cached is not None:
+                self.class_gain_reuses += 1
                 return cached
+            if ckey[0] == "cls":
+                div_sum = self._class_div_sum(replica_servers, ckey[1])
+                gain = div_sum * self._conf
+                self._gain_cache[ckey] = gain
+                return gain
         n = len(self._ids)
         div_sum = np.zeros(n, dtype=np.float64)
         for sid in replica_servers:
@@ -272,7 +369,7 @@ class PlacementScorer:
                 div_sum += self._cloud.diversity_row(sid)
         gain = div_sum * self._conf
         if cache_key is not None:
-            self._gain_cache[cache_key] = gain
+            self._gain_cache[ckey] = gain
         return gain
 
     def scores(self, replica_servers: Sequence[int],
@@ -345,17 +442,19 @@ class PlacementScorer:
                     return candidate
         mask = self._feasible_mask(need_bytes, budget, headroom_fraction)
         if cache_key is not None and self._shortlist_k > 0:
+            skey = self._class_key(replica_servers, cache_key)
             if (
-                cache_key in self._shortlists
-                or cache_key in self._shortlist_seen
+                skey in self._shortlists
+                or skey in self._shortlist_seen
             ):
                 found = self._best_from_shortlist(
-                    replica_servers, mask, g, max_rent, exclude, cache_key
+                    replica_servers, mask, g, max_rent, exclude,
+                    cache_key, skey,
                 )
                 if found is not _INCONCLUSIVE:
                     return self._memoize(memo_key, found)
             else:
-                self._shortlist_seen.add(cache_key)
+                self._shortlist_seen.add(skey)
         if max_rent is not None:
             # The rent cap varies per caller (migration hunts under the
             # agent's own rent), so it stays out of the cached mask.
@@ -451,12 +550,22 @@ class PlacementScorer:
         if not k or not n:
             return 0
         groups: Dict[Tuple[int, int], List] = {}
+        batch_seen: set = set()
+        ids = self._ids
         for key, slots, g in entries:
-            if key in self._shortlists:
+            # Canonicalise to the placement class before grouping:
+            # repairing partitions that share a replica set (bootstrap
+            # siblings, co-located hot partitions) collapse to one row
+            # of the grouped scoring pass and one stored window.
+            skey = self._class_key(
+                [ids[int(s)] for s in slots], key
+            )
+            if skey in self._shortlists or skey in batch_seen:
                 continue
+            batch_seen.add(skey)
             gid = id(g) if g is not None else 0
             groups.setdefault((len(slots), gid), []).append(
-                (key, slots, g)
+                (skey, slots, g)
             )
         built = 0
         matrix = self._cloud.diversity_matrix()
@@ -533,15 +642,21 @@ class PlacementScorer:
 
     def _shortlist_for(self, replica_servers: Sequence[int],
                        g: Optional[np.ndarray],
-                       cache_key: object) -> _Shortlist:
-        """The replica set's top-k window, built on first use.
+                       cache_key: object,
+                       skey: object) -> _Shortlist:
+        """The placement class's top-k window, built on first use.
 
         One O(S) scoring pass (sharing the cached eq. 3 gain) plus an
         ``argpartition`` — amortised over every later ``best`` call for
-        the same set, which then reads k slots instead of S.
+        the same *class* (``skey``), which then reads k slots instead
+        of S.  Class sharing is bit-safe because the window's contents
+        are pure functions of the class gain, ``g`` and the epoch-start
+        rents; the proof logic in :meth:`_best_from_shortlist` then
+        certifies each answer against the full scan regardless of
+        which set built the window.
         """
         g_id = id(g) if g is not None else 0
-        sl = self._shortlists.get(cache_key)
+        sl = self._shortlists.get(skey)
         if sl is not None and sl.g_id == g_id:
             return sl
         gain = self._diversity_gain(replica_servers, cache_key)
@@ -576,7 +691,7 @@ class PlacementScorer:
             bound_slot=bound_slot,
             g_id=g_id,
         )
-        self._shortlists[cache_key] = sl
+        self._shortlists[skey] = sl
         return sl
 
     def _best_from_shortlist(self, replica_servers: Sequence[int],
@@ -584,7 +699,8 @@ class PlacementScorer:
                              g: Optional[np.ndarray],
                              max_rent: Optional[float],
                              exclude: Sequence[int],
-                             cache_key: object):
+                             cache_key: object,
+                             skey: object):
         """Eq. 3 argmax over the top-k window, or the inconclusive
         sentinel when the window cannot *prove* it holds the argmax.
 
@@ -602,7 +718,7 @@ class PlacementScorer:
         an empty feasible window says nothing about the other S − k
         slots.
         """
-        sl = self._shortlist_for(replica_servers, g, cache_key)
+        sl = self._shortlist_for(replica_servers, g, cache_key, skey)
         slots = sl.slots
         rents_k = self._rents[slots]
         scores_k = sl.gain_g - self._rent_weight * rents_k

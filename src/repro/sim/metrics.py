@@ -13,8 +13,8 @@ Storage is *columnar*: :class:`MetricsLog` keeps a :class:`FrameStore`
 histogram as one compact count vector per epoch sharing a per-version
 server-id tuple — instead of a list of frames full of dicts.  At
 20 000 servers a stored ``{sid: count}`` dict dominated frame memory;
-the column store holds the same information in one int64 vector per
-epoch.  :class:`EpochFrame` remains the frame API: reads materialize a
+the column store holds the same information in one compact int32
+vector per epoch (``HIST_COUNT_DTYPE``).  :class:`EpochFrame` remains the frame API: reads materialize a
 lightweight row view whose ``vnodes_per_server`` is a lazy
 :class:`ServerVnodeHistogram` mapping over the stored arrays, so
 ``framedump``, the goldens, reporting and the examples see
@@ -174,6 +174,13 @@ RING_FIELD_DTYPES: Dict[str, object] = {
     "queries_per_ring": np.float64,
     "mean_availability_per_ring": np.float64,
 }
+#: Storage dtype of the per-epoch vnode histogram vectors — the frame
+#: store's dominant allocation at scale (one S-wide vector per epoch;
+#: 20 000 servers × int64 was 160 KB/epoch).  Per-server vnode counts
+#: are bounded far below 2^31, and reads go through ``int(...)`` casts,
+#: so int32 storage round-trips exactly; :meth:`FrameStore.append`
+#: still keeps a wider vector verbatim if its values would not fit.
+HIST_COUNT_DTYPE = np.int32
 
 
 class _RingField:
@@ -333,6 +340,12 @@ class FrameStore:
             counts = np.fromiter(
                 (hist[sid] for sid in ids), dtype=np.int64, count=len(ids)
             )
+        if counts.dtype != HIST_COUNT_DTYPE:
+            # Narrow for storage only when exact: a hand-built stream
+            # carrying counts past the int32 range keeps its dtype.
+            narrowed = counts.astype(HIST_COUNT_DTYPE)
+            if np.array_equal(narrowed, counts):
+                counts = narrowed
         # Share the id tuple with the previous epoch when membership
         # did not change — the common case, and what keeps the store's
         # footprint one count vector per epoch.

@@ -14,7 +14,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.decision import KERNELS
 from repro.sim.config import SimConfig
@@ -39,6 +39,15 @@ class ThroughputResult:
     #: Per-code message totals when the run carried the gossip control
     #: plane (``config.net``), else None.
     messages: Optional[Dict[str, Dict[str, int]]] = None
+    #: Mutation/steady split (``measure_throughput(split=True)``): a
+    #: *mutation epoch* is one whose step moved the cloud or catalog
+    #: version (churn waves, transfers, splits) — exactly the epochs
+    #: that invalidate the flat incidence cache; the remainder are
+    #: steady-state epochs that reuse it whole.
+    mutation_epochs: int = 0
+    mutation_seconds: float = 0.0
+    steady_epochs: int = 0
+    steady_seconds: float = 0.0
 
     @property
     def epochs_per_sec(self) -> float:
@@ -46,11 +55,29 @@ class ThroughputResult:
             return float("inf")
         return self.epochs / self.seconds
 
+    @property
+    def mutation_epochs_per_sec(self) -> Optional[float]:
+        if not self.mutation_epochs:
+            return None
+        if self.mutation_seconds <= 0:
+            return float("inf")
+        return self.mutation_epochs / self.mutation_seconds
+
+    @property
+    def steady_epochs_per_sec(self) -> Optional[float]:
+        if not self.steady_epochs:
+            return None
+        if self.steady_seconds <= 0:
+            return float("inf")
+        return self.steady_epochs / self.steady_seconds
+
 
 def measure_throughput(config: SimConfig, *,
                        epochs: Optional[int] = None,
                        warmup_epochs: int = 0,
-                       repeats: int = 1) -> ThroughputResult:
+                       repeats: int = 1,
+                       events_factory: Optional[Callable[[], object]] = None,
+                       split: bool = False) -> ThroughputResult:
     """Best-of-``repeats`` wall-clock throughput of one scenario.
 
     Construction cost (cloud build, seeding) is excluded — the harness
@@ -60,6 +87,12 @@ def measure_throughput(config: SimConfig, *,
     single-replica seeding are transfer-bound in any kernel).  Best-of
     is the standard perf-measurement choice: every slower run is the
     same work plus scheduler noise.
+
+    ``events_factory`` builds a fresh :class:`EventSchedule` per repeat
+    (schedules are stateful — rng, log — so one instance cannot be
+    replayed); ``split=True`` steps the timed window one epoch at a
+    time and classifies each as mutation vs steady by whether the
+    cloud/catalog versions moved, filling the result's split fields.
     """
     if repeats < 1:
         raise ProfilingError(f"repeats must be >= 1, got {repeats}")
@@ -72,12 +105,33 @@ def measure_throughput(config: SimConfig, *,
         raise ProfilingError(f"epochs must be >= 1, got {horizon}")
     best: Optional[ThroughputResult] = None
     for __ in range(repeats):
-        sim = Simulation(config)
+        if events_factory is not None:
+            sim = Simulation(config, events=events_factory())
+        else:
+            sim = Simulation(config)
         if warmup_epochs:
             sim.run(warmup_epochs)
-        start = time.perf_counter()
-        sim.run(horizon)
-        elapsed = time.perf_counter() - start
+        mut_epochs = steady_count = 0
+        mut_seconds = steady_seconds = 0.0
+        if split:
+            perf_counter = time.perf_counter
+            start = perf_counter()
+            for __e in range(horizon):
+                ver = (sim.cloud.version, sim.catalog.version)
+                t0 = perf_counter()
+                sim.step()
+                dt = perf_counter() - t0
+                if (sim.cloud.version, sim.catalog.version) != ver:
+                    mut_epochs += 1
+                    mut_seconds += dt
+                else:
+                    steady_count += 1
+                    steady_seconds += dt
+            elapsed = perf_counter() - start
+        else:
+            start = time.perf_counter()
+            sim.run(horizon)
+            elapsed = time.perf_counter() - start
         frames = list(sim.metrics)[-horizon:]
         result = ThroughputResult(
             kernel=config.kernel,
@@ -89,6 +143,10 @@ def measure_throughput(config: SimConfig, *,
                 sim.robustness.message_totals()
                 if sim.robustness is not None else None
             ),
+            mutation_epochs=mut_epochs,
+            mutation_seconds=mut_seconds,
+            steady_epochs=steady_count,
+            steady_seconds=steady_seconds,
         )
         if best is None or result.seconds < best.seconds:
             best = result
@@ -100,7 +158,9 @@ def compare_kernels(config: SimConfig, *,
                     epochs: Optional[int] = None,
                     warmup_epochs: int = 0,
                     repeats: int = 1,
-                    kernels: Tuple[str, ...] = KERNELS
+                    kernels: Tuple[str, ...] = KERNELS,
+                    events_factory: Optional[Callable[[], object]] = None,
+                    split: bool = False
                     ) -> Dict[str, ThroughputResult]:
     """Measure the same scenario under each kernel."""
     results: Dict[str, ThroughputResult] = {}
@@ -108,7 +168,7 @@ def compare_kernels(config: SimConfig, *,
         cfg = dataclasses.replace(config, kernel=kernel)
         results[kernel] = measure_throughput(
             cfg, epochs=epochs, warmup_epochs=warmup_epochs,
-            repeats=repeats,
+            repeats=repeats, events_factory=events_factory, split=split,
         )
     return results
 

@@ -65,9 +65,15 @@ def capped_backoff(attempts: int, base_delay: int, cap: int) -> int:
     return min(cap, base_delay << (attempts - 1))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransferResult:
-    """Outcome of one attempted replica transfer."""
+    """Outcome of one attempted replica transfer.
+
+    Slotted: bootstrap storms mint one of these per blocked intent
+    (thousands per mutation epoch at 100×), and the failure log's
+    entries are recycled through :class:`TransferStats`'s pool, so the
+    record must stay a compact fixed-layout value object.
+    """
 
     kind: TransferKind
     outcome: TransferOutcome
@@ -81,9 +87,56 @@ class TransferResult:
         return self.outcome is TransferOutcome.COMPLETED
 
 
+_RESULT_FIELDS = ("kind", "outcome", "pid", "src", "dst", "nbytes")
+
+
+class _FailurePool:
+    """Recycled :class:`TransferResult` flyweights for the failure log.
+
+    Failure records live exactly one epoch — appended on a blocked
+    intent, drained by the engine's retry push, cleared at
+    ``begin_epoch`` — so the pool hands the same objects back out
+    instead of allocating per attempt.  Only *failure* records are
+    pooled: completed results escape to callers and must stay
+    immutable forever.
+    """
+
+    __slots__ = ("_free",)
+
+    def __init__(self) -> None:
+        self._free: List[TransferResult] = []
+
+    def take(self, kind: TransferKind, outcome: TransferOutcome,
+             pid: object, src: Optional[int], dst: int,
+             nbytes: int) -> TransferResult:
+        free = self._free
+        if not free:
+            return TransferResult(kind, outcome, pid, src, dst, nbytes)
+        result = free.pop()
+        write = object.__setattr__
+        write(result, "kind", kind)
+        write(result, "outcome", outcome)
+        write(result, "pid", pid)
+        write(result, "src", src)
+        write(result, "dst", dst)
+        write(result, "nbytes", nbytes)
+        return result
+
+    def recycle(self, results: List[TransferResult]) -> None:
+        self._free.extend(results)
+
+
 @dataclass
 class TransferStats:
-    """Aggregate transfer accounting for one epoch (reset by the engine)."""
+    """Aggregate transfer accounting for one epoch (reset by the engine).
+
+    ``no_destination`` counts the repair wavefront's blocked-everywhere
+    deferrals (count-only: no per-attempt record is minted for the
+    ``dst = -1`` exhaustion sentinel — a storm can hit the proof
+    thousands of times per epoch, and nothing ever consumed the
+    records).  Entries of ``failures`` are pool-recycled at
+    :meth:`reset`: hold no references across epochs.
+    """
 
     replications: int = 0
     migrations: int = 0
@@ -91,7 +144,19 @@ class TransferStats:
     bytes_moved: int = 0
     replication_bytes: int = 0
     migration_bytes: int = 0
+    no_destination: int = 0
     failures: List[TransferResult] = field(default_factory=list)
+    _pool: _FailurePool = field(
+        default_factory=_FailurePool, repr=False, compare=False
+    )
+
+    def record_failure(self, kind: TransferKind, outcome: TransferOutcome,
+                       pid: object, src: Optional[int], dst: int,
+                       nbytes: int) -> TransferResult:
+        """Append (and return) one pooled failure record."""
+        result = self._pool.take(kind, outcome, pid, src, dst, nbytes)
+        self.failures.append(result)
+        return result
 
     def reset(self) -> None:
         self.replications = 0
@@ -100,6 +165,8 @@ class TransferStats:
         self.bytes_moved = 0
         self.replication_bytes = 0
         self.migration_bytes = 0
+        self.no_destination = 0
+        self._pool.recycle(self.failures)
         self.failures.clear()
 
 
@@ -182,20 +249,16 @@ class TransferEngine:
         """
         kind = TransferKind.REPLICATION
         if self._catalog.has_replica(partition.pid, dst_id):
-            result = TransferResult(
+            return self.stats.record_failure(
                 kind, TransferOutcome.REJECTED, partition.pid,
                 src_id, dst_id, partition.size,
             )
-            self.stats.failures.append(result)
-            return result
         blocked = self._check_endpoints(partition, src_id, dst_id, kind)
         if blocked is not None:
-            result = TransferResult(
+            self.stats.deferred += 1
+            return self.stats.record_failure(
                 kind, blocked, partition.pid, src_id, dst_id, partition.size
             )
-            self.stats.deferred += 1
-            self.stats.failures.append(result)
-            return result
         self._catalog.place(partition, dst_id)
         self.stats.replications += 1
         self.stats.bytes_moved += partition.size
@@ -214,20 +277,16 @@ class TransferEngine:
                 f"{partition.pid} has no replica on {src_id} to migrate"
             )
         if self._catalog.has_replica(partition.pid, dst_id):
-            result = TransferResult(
+            return self.stats.record_failure(
                 kind, TransferOutcome.REJECTED, partition.pid,
                 src_id, dst_id, partition.size,
             )
-            self.stats.failures.append(result)
-            return result
         blocked = self._check_endpoints(partition, src_id, dst_id, kind)
         if blocked is not None:
-            result = TransferResult(
+            self.stats.deferred += 1
+            return self.stats.record_failure(
                 kind, blocked, partition.pid, src_id, dst_id, partition.size
             )
-            self.stats.deferred += 1
-            self.stats.failures.append(result)
-            return result
         self._catalog.move(partition, src_id, dst_id)
         self.stats.migrations += 1
         self.stats.bytes_moved += partition.size
@@ -540,19 +599,17 @@ class TransferBatch:
              ) -> Optional[TransferOutcome]:
         pid = partition.pid
         if self._has_replica_now(pid, dst_id):
-            result = TransferResult(
+            self._engine.stats.record_failure(
                 kind, TransferOutcome.REJECTED, pid,
                 src_id, dst_id, partition.size,
             )
-            self._engine.stats.failures.append(result)
             return TransferOutcome.REJECTED
         blocked = self._check(partition, src_id, dst_id, kind)
         if blocked is not None:
-            result = TransferResult(
+            self._engine.stats.deferred += 1
+            self._engine.stats.record_failure(
                 kind, blocked, pid, src_id, dst_id, partition.size
             )
-            self._engine.stats.deferred += 1
-            self._engine.stats.failures.append(result)
             return blocked
         self._reserve(partition, src_id, dst_id, kind)
         self._pending_replicas.add((pid, dst_id))
@@ -573,17 +630,17 @@ class TransferBatch:
         """Account a transfer that is provably blocked at *every*
         destination (the repair wavefront's grouped exhaustion proof).
 
-        Bookkeeping mirrors a blocked :meth:`add_replication` — engine
-        deferred count plus a failure record — except no eq. 3 argmax
-        was ever computed, so the record carries ``dst = -1`` ("no
-        destination reachable") instead of a specific server.
+        Bookkeeping mirrors a blocked :meth:`add_replication`'s engine
+        deferred count — but no eq. 3 argmax was ever computed and
+        there is no destination to name, so the exhaustion sentinel is
+        recorded count-only (``TransferStats.no_destination``) instead
+        of minting a ``dst = -1`` failure record per attempt.  Nothing
+        downstream consumed those records: ``NO_DEST_BANDWIDTH`` is not
+        a network outcome, so the retry queue and the wasted-transfer
+        tally never matched them.
         """
-        result = TransferResult(
-            kind, TransferOutcome.NO_DEST_BANDWIDTH, partition.pid,
-            src_id, -1, partition.size,
-        )
         self._engine.stats.deferred += 1
-        self._engine.stats.failures.append(result)
+        self._engine.stats.no_destination += 1
         return TransferOutcome.NO_DEST_BANDWIDTH
 
     def add_replication(self, partition: Partition, src_id: Optional[int],

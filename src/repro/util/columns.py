@@ -30,8 +30,9 @@ column here, not inline.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,6 +50,12 @@ class ColumnSpec:
     server-id and partition-slot columns).  ``width`` > 0 declares a
     two-dimensional column of ``(rows, width)`` — the ledger's balance
     window matrix.
+
+    The dtype is validated against the fill: a sentinel that cannot be
+    stored exactly in the column's dtype (an out-of-range or fractional
+    fill in an integer column) is a spec error, not a silent numpy
+    cast.  This is what makes narrow-dtype overrides safe — a column
+    narrowed past its sentinel fails at declaration, not at read time.
     """
 
     name: str
@@ -62,12 +69,59 @@ class ColumnSpec:
                               f"{self.name!r}")
         if self.width < 0:
             raise ColumnError(f"width must be >= 0, got {self.width}")
+        dtype = np.dtype(self.dtype)
+        if isinstance(self.fill, (int, float, np.integer, np.floating)):
+            if np.issubdtype(dtype, np.integer):
+                info = np.iinfo(dtype)
+                if self.fill != int(self.fill):
+                    raise ColumnError(
+                        f"column {self.name!r}: fractional fill "
+                        f"{self.fill!r} in integer dtype {dtype}"
+                    )
+                if not info.min <= int(self.fill) <= info.max:
+                    raise ColumnError(
+                        f"column {self.name!r}: fill {self.fill!r} does "
+                        f"not fit dtype {dtype} "
+                        f"[{info.min}, {info.max}]"
+                    )
+
+    def with_dtype(self, dtype) -> "ColumnSpec":
+        """The same column under an overridden dtype (re-validated)."""
+        return dataclasses.replace(self, dtype=dtype)
 
     def allocate(self, capacity: int) -> np.ndarray:
         shape = (capacity, self.width) if self.width else capacity
         if isinstance(self.fill, (int, float)) and self.fill == 0:
             return np.zeros(shape, dtype=self.dtype)
         return np.full(shape, self.fill, dtype=self.dtype)
+
+
+def apply_dtype_overrides(
+    specs: Sequence[ColumnSpec],
+    overrides: Optional[Mapping[str, object]],
+) -> Tuple[ColumnSpec, ...]:
+    """Rebind per-column dtypes by name (the narrow-dtype hook).
+
+    Owners declare their semantic layout once and pass a
+    ``{name: dtype}`` mapping to narrow (or widen) individual columns;
+    unknown names raise, and every override re-runs the fill/dtype
+    validation.  Keeping the mechanism here — instead of each owner
+    mutating its spec list inline — gives the overflow semantics one
+    home and one test surface.
+    """
+    if not overrides:
+        return tuple(specs)
+    by_name = {spec.name: spec for spec in specs}
+    unknown = set(overrides) - set(by_name)
+    if unknown:
+        raise ColumnError(
+            f"dtype overrides for unknown columns: {sorted(unknown)}"
+        )
+    return tuple(
+        spec.with_dtype(overrides[spec.name])
+        if spec.name in overrides else spec
+        for spec in specs
+    )
 
 
 class ColumnSet:
@@ -85,7 +139,10 @@ class ColumnSet:
     __slots__ = ("_owner", "_specs", "_cap")
 
     def __init__(self, owner: object, specs: Sequence[ColumnSpec],
-                 capacity: int = 0) -> None:
+                 capacity: int = 0,
+                 dtype_overrides: Optional[Mapping[str, object]] = None
+                 ) -> None:
+        specs = apply_dtype_overrides(specs, dtype_overrides)
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
             raise ColumnError(f"duplicate column names: {names}")

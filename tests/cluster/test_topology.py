@@ -127,6 +127,47 @@ class TestCloudMutation:
         assert cloud.server(0).queries_this_epoch == 0
 
 
+class TestBulkWaves:
+    """The wave paths must equal their sequential counterparts exactly
+    (the churn bench leans on them: one matrix pass per wave, not one
+    full-matrix copy per server)."""
+
+    WAVE = [Location(1, 1, 0, 0, 0, i) for i in range(3)]
+
+    def test_spawn_servers_matches_sequential(self):
+        bulk, seq = small_cloud(4), small_cloud(4)
+        spawned = bulk.spawn_servers(self.WAVE, storage_capacity=7)
+        for location in self.WAVE:
+            seq.spawn_server(location, storage_capacity=7)
+        assert [s.server_id for s in spawned] == [4, 5, 6]
+        assert bulk.server_ids == seq.server_ids
+        assert np.array_equal(
+            bulk.diversity_matrix(), seq.diversity_matrix()
+        )
+        assert bulk.server(5).storage_capacity == 7
+
+    def test_remove_servers_matches_sequential(self):
+        bulk, seq = small_cloud(5), small_cloud(5)
+        removed = bulk.remove_servers([3, 0])
+        for sid in (3, 0):
+            seq.remove_server(sid)
+        assert bulk.server_ids == seq.server_ids == [1, 2, 4]
+        assert np.array_equal(
+            bulk.diversity_matrix(), seq.diversity_matrix()
+        )
+        for server in removed:
+            assert not server.alive
+        # Survivor row views stay live (row ≡ slot preserved).
+        bulk.server(4).record_queries(2)
+        assert bulk.server(4).queries_this_epoch == 2
+
+    def test_remove_servers_unknown_id_leaves_cloud_intact(self):
+        cloud = small_cloud(3)
+        with pytest.raises(TopologyError):
+            cloud.remove_servers([1, 99])
+        assert cloud.server_ids == [0, 1, 2]
+
+
 class TestVectors:
     def test_rent_vector_order(self):
         cloud = small_cloud(3)

@@ -15,6 +15,7 @@ from repro.util.columns import (
     ColumnSet,
     ColumnSpec,
     GrowableColumn,
+    apply_dtype_overrides,
 )
 
 
@@ -51,6 +52,52 @@ class TestColumnSpec:
     def test_allocate_2d(self):
         arr = ColumnSpec("w", np.float64, width=2).allocate(3)
         assert arr.shape == (3, 2)
+
+
+class TestNarrowDtypes:
+    """The ISSUE 9 dtype-override hook: fills must fit the dtype."""
+
+    def test_fill_out_of_range_rejected(self):
+        with pytest.raises(ColumnError):
+            ColumnSpec("c", np.int32, fill=2**40)
+        with pytest.raises(ColumnError):
+            ColumnSpec("c", np.int8, fill=-129)
+
+    def test_fractional_fill_in_integer_dtype_rejected(self):
+        with pytest.raises(ColumnError):
+            ColumnSpec("c", np.int32, fill=0.5)
+
+    def test_sentinel_fill_fits_narrow_dtype(self):
+        arr = ColumnSpec("c", np.int32, fill=-1).allocate(3)
+        assert arr.dtype == np.int32
+        assert arr.tolist() == [-1, -1, -1]
+
+    def test_with_dtype_revalidates(self):
+        spec = ColumnSpec("c", np.int64, fill=2**40)
+        assert spec.with_dtype(np.int64).dtype is np.int64
+        with pytest.raises(ColumnError):
+            spec.with_dtype(np.int32)
+
+    def test_overrides_unknown_name_rejected(self):
+        with pytest.raises(ColumnError):
+            apply_dtype_overrides(SPECS, {"no_such_column": np.int32})
+
+    def test_overrides_rebind_only_named_columns(self):
+        narrowed = apply_dtype_overrides(
+            SPECS, {"owner_id": np.int32}
+        )
+        by_name = {s.name: s for s in narrowed}
+        assert np.dtype(by_name["owner_id"].dtype) == np.int32
+        assert np.dtype(by_name["values"].dtype) == np.float64
+
+    def test_column_set_applies_overrides(self):
+        owner = Owner()
+        ColumnSet(
+            owner, SPECS, capacity=2,
+            dtype_overrides={"owner_id": np.int32},
+        )
+        assert owner.owner_id.dtype == np.int32
+        assert owner.owner_id.tolist() == [-1, -1]
 
 
 class TestColumnSet:

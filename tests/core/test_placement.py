@@ -274,10 +274,58 @@ class TestShortlist:
     def test_shortlist_built_on_second_use_only(self):
         cloud, board = build(FOUR)
         scorer = PlacementScorer(cloud, board, shortlist_k=2)
+        skey = scorer._class_key([0], "once")
         scorer.best([0], need_bytes=1, cache_key="once")
-        assert "once" not in scorer._shortlists
+        assert skey not in scorer._shortlists
         scorer.best([0], need_bytes=1, cache_key="once")
-        assert "once" in scorer._shortlists
+        assert skey in scorer._shortlists
+
+    def test_shortlists_shared_across_same_class_keys(self):
+        """Two partitions on the same replica set share one placement
+        class: the second key's first ``best`` call already rides the
+        window the first key's calls built."""
+        cloud, board = build(FOUR)
+        fast = PlacementScorer(cloud, board, shortlist_k=2)
+        full = PlacementScorer(cloud, board, shortlist_k=0)
+        fast.best([0], need_bytes=1, cache_key=("p1", (0,)))
+        fast.best([0], need_bytes=1, cache_key=("p1", (0,)))
+        assert len(fast._shortlists) == 1
+        got = fast.best([0], need_bytes=1, cache_key=("p2", (0,)))
+        want = full.best([0], need_bytes=1)
+        assert got == want
+        assert len(fast._shortlists) == 1
+
+    def test_gain_cache_shared_across_same_class_keys(self):
+        cloud, board = build(FOUR)
+        scorer = PlacementScorer(cloud, board)
+        a = scorer.scores([0, 2], cache_key=("p1", (0, 2)))
+        before = scorer.class_gain_reuses
+        b = scorer.scores([2, 0], cache_key=("p2", (2, 0)))
+        assert scorer.class_gain_reuses == before + 1
+        assert len(scorer._gain_cache) == 1
+        assert a.tolist() == b.tolist()
+
+    def test_class_div_prefix_extension_is_bit_identical(self):
+        """A repair chain appending its accepted candidate extends the
+        previous class's diversity sum by one row — bit-identical to a
+        fresh full sum of the grown set."""
+        cloud, board = build(FOUR)
+        chain = PlacementScorer(cloud, board)
+        fresh = PlacementScorer(cloud, board)
+        chain.scores([0, 2], cache_key=("p", (0, 2)))
+        got = chain.scores([0, 2, 3], cache_key=("p", (0, 2, 3)))
+        assert chain.class_div_extends == 1
+        want = fresh.scores([0, 2, 3], cache_key=("p", (0, 2, 3)))
+        assert fresh.class_div_extends == 0
+        assert got.tobytes() == want.tobytes()
+
+    def test_unknown_server_falls_back_to_raw_key(self):
+        cloud, board = build(FOUR)
+        scorer = PlacementScorer(cloud, board)
+        key = ("p", (0, 99))
+        scorer.scores([0, 99], cache_key=key)
+        assert scorer._class_key([0, 99], key) == ("raw", key)
+        assert ("raw", key) in scorer._gain_cache
 
     def test_tied_scores_resolve_to_lowest_slot_like_argmax(self):
         """Equal-rent, equal-gain candidates tie; both paths must pick

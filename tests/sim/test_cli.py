@@ -286,3 +286,53 @@ class TestScenario:
             run_cli(
                 "scenario", "run", "paper-uniform", "--epochs", "0",
             )
+
+
+class TestProfile:
+    def test_builtin_preset_still_profiles(self):
+        code, text = run_cli(
+            "profile", "--scenario", "paper", "--epochs", "3",
+            "--partitions", "10", "--kernel", "vectorized",
+            "--repeats", "1",
+        )
+        assert code == 0
+        assert "scenario=paper" in text
+        assert "vectorized" in text
+
+    def test_registry_spec_resolves_with_own_horizon(self):
+        # paper-uniform comes from the PR 8 spec registry; with no
+        # --epochs the spec's own horizon is profiled.
+        code, text = run_cli(
+            "profile", "--scenario", "paper-uniform",
+            "--kernel", "vectorized", "--repeats", "1",
+        )
+        assert code == 0
+        assert "scenario=paper-uniform" in text
+
+    def test_registry_spec_epochs_override(self):
+        code, text = run_cli(
+            "profile", "--scenario", "paper-uniform", "--epochs", "4",
+            "--kernel", "vectorized", "--repeats", "1",
+        )
+        assert code == 0
+        assert " 4 " in text.replace("4\n", "4 ")
+
+    def test_cprofile_top_limits_table(self):
+        code, text = run_cli(
+            "profile", "--scenario", "paper", "--epochs", "2",
+            "--partitions", "10", "--kernel", "vectorized",
+            "--repeats", "1", "--cprofile", "--top", "3",
+        )
+        assert code == 0
+        assert "restriction <3>" in text
+
+    def test_unknown_scenario_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli("profile", "--scenario", "no-such-scenario")
+
+    def test_scale_rejected_for_specs(self):
+        with pytest.raises(SystemExit):
+            run_cli(
+                "profile", "--scenario", "paper-uniform",
+                "--scale", "2",
+            )

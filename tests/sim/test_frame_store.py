@@ -98,6 +98,26 @@ class TestHistogramView:
         assert all(type(v) is int for __, v in hist.items())
 
 
+def _hist_frame(counts: np.ndarray, ids=None, epoch: int = 0) -> EpochFrame:
+    """A minimal frame around one vnode histogram."""
+    if ids is None:
+        ids = tuple(range(len(counts)))
+    return EpochFrame(
+        epoch=epoch, total_queries=1, live_servers=len(ids),
+        vnodes_total=int(counts.sum()),
+        vnodes_per_ring={(0, 0): 1},
+        vnodes_per_server=ServerVnodeHistogram(ids, counts),
+        queries_per_ring={(0, 0): 1.0},
+        mean_availability_per_ring={(0, 0): 31.0},
+        unsatisfied_partitions=0, lost_partitions=0,
+        storage_used=0, storage_capacity=1,
+        insert_attempts=0, insert_failures=0, repairs=0,
+        economic_replications=0, migrations=0, suicides=0,
+        deferred=0, min_price=0.1, mean_price=0.1, max_price=0.1,
+        unavailable_queries=0, vnodes_on_expensive=0, vnodes_on_cheap=0,
+    )
+
+
 class TestStoreAccessors:
     def test_series_and_ring_series_match_frames(self, sim_and_log):
         __, log = sim_and_log
@@ -177,6 +197,28 @@ class TestStoreAccessors:
         assert isinstance(stored, ServerVnodeHistogram)
         assert stored == {7: 2, 9: 1}
         assert dump_frames([frame]) == dump_log(log)
+
+    def test_histogram_counts_stored_int32_when_exact(self):
+        # ISSUE 9 narrow-dtype core: the dominant per-epoch allocation
+        # (one count vector over the server-id tuple) is stored int32
+        # whenever the narrowing round-trips exactly.
+        log = MetricsLog()
+        counts = np.arange(50, dtype=np.int64)
+        log.append(_hist_frame(counts))
+        stored = log.store._hist_counts[0]
+        assert stored.dtype == np.int32
+        hist = log[0].vnodes_per_server
+        assert list(hist.values()) == counts.tolist()
+
+    def test_histogram_counts_past_int32_keep_their_dtype(self):
+        # A hand-built stream carrying counts past the int32 range must
+        # not be clipped by the storage narrowing.
+        log = MetricsLog()
+        counts = np.array([2**40, 1], dtype=np.int64)
+        log.append(_hist_frame(counts, ids=(7, 9)))
+        stored = log.store._hist_counts[0]
+        assert stored.dtype == np.int64
+        assert log[0].vnodes_per_server[7] == 2**40
 
     def test_numpy_scalar_ring_values_stay_columnar(self):
         # A producer handing the ring block np.int64/np.float64 values

@@ -359,6 +359,73 @@ def test_alive_gate_detects_planted_direct_read(tmp_path):
     assert not find_direct_alive_reads(benign)
 
 
+#: The decide path whose incidence alignment is maintained incrementally
+#: (ISSUE 9 wall (a)), and the one function still sanctioned to pay the
+#: full lexsort rebuild.  Any other ``np.lexsort`` in the module is a
+#: per-epoch wall sneaking back in: the splice path exists precisely so
+#: mutation epochs stop re-sorting the whole incidence table.
+LEXSORT_SEALED = Path("src/repro/core/decision.py")
+LEXSORT_SANCTIONED = "_rebuild_alignment"
+
+
+def find_unsanctioned_lexsorts(path: Path, sanctioned=LEXSORT_SANCTIONED):
+    """``np.lexsort`` calls outside the sanctioned rebuild function."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    try:
+        shown = path.relative_to(REPO_ROOT)
+    except ValueError:
+        shown = path
+    problems = []
+
+    def visit(node: ast.AST, func: str | None) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func = node.name
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "lexsort"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in ("np", "numpy")
+            and func != sanctioned
+        ):
+            problems.append(
+                f"{shown}:{node.lineno}: np.lexsort outside "
+                f"{sanctioned} — splice the alignment incrementally "
+                f"or route through the sanctioned rebuild"
+            )
+        for child in ast.iter_child_nodes(node):
+            visit(child, func)
+
+    visit(tree, None)
+    return problems
+
+
+def test_decision_lexsorts_only_in_sanctioned_rebuild():
+    problems = find_unsanctioned_lexsorts(REPO_ROOT / LEXSORT_SEALED)
+    assert not problems, (
+        "full incidence re-sorts outside the sanctioned rebuild:\n"
+        + "\n".join(problems)
+    )
+
+
+def test_lexsort_gate_detects_planted_resort(tmp_path):
+    """The lexsort checker must catch the idiom it bans."""
+    planted = tmp_path / "planted.py"
+    planted.write_text(
+        "import numpy as np\n\n\ndef _splice_alignment(cache):\n"
+        "    order = np.lexsort((cache.slots, cache.pids))\n"
+        "    return order\n"
+    )
+    problems = find_unsanctioned_lexsorts(planted)
+    assert len(problems) == 1 and "np.lexsort" in problems[0]
+    benign = tmp_path / "benign.py"
+    benign.write_text(
+        "import numpy as np\n\n\ndef _rebuild_alignment(cache):\n"
+        "    return np.lexsort((cache.slots, cache.pids))\n"
+    )
+    assert not find_unsanctioned_lexsorts(benign)
+
+
 #: The scenario-spec registry package and its golden-digest pin file.
 SPECS_DIR = Path("src/repro/sim/specs")
 NAMED_PINS = Path("tests/integration/golden/named_scenarios.json")
