@@ -2,7 +2,8 @@
 
 Re-measures the ``fig4-slashdot-100x`` probe (the post-bootstrap ramp
 into the Slashdot spike — the window the steady-state optimisations
-target) and compares it against the vectorized epochs/s recorded in
+target) and the ``fig4-serving-steady`` probe (the live front door's
+request throughput) and compares each against the numbers recorded in
 the checked-in ``BENCH_epoch_throughput.json``.  A drop past the
 regression budget exits non-zero, which is what lets
 ``scripts/verify_slow.sh`` catch a perf regression without anyone
@@ -32,30 +33,40 @@ from test_epoch_throughput import (  # noqa: E402
     BENCH_PATH,
     FIG4_100X_EPOCHS,
     FIG4_100X_WARMUP,
+    FIG4_SERVE_EPOCHS,
+    FIG4_SERVE_RATE,
+    _fig4_config,
     _fig4_scaled_config,
 )
 
+from repro.sim.config import ServingConfig  # noqa: E402
+from repro.sim.engine import Simulation  # noqa: E402
 from repro.sim.profiling import measure_throughput  # noqa: E402
 
 SCENARIO = "fig4-slashdot-100x"
+SERVE_SCENARIO = "fig4-serving-steady"
 MAX_REGRESSION = 0.25
 
 
-def reference_eps() -> float | None:
-    """The checked-in vectorized epochs/s of the ramp probe, if any."""
+def _scenario_entry(name: str) -> dict | None:
     if not BENCH_PATH.exists():
         return None
     try:
         payload = json.loads(BENCH_PATH.read_text())
     except ValueError:
         return None
-    entry = payload.get("scenarios", {}).get(SCENARIO)
+    return payload.get("scenarios", {}).get(name)
+
+
+def reference_eps() -> float | None:
+    """The checked-in vectorized epochs/s of the ramp probe, if any."""
+    entry = _scenario_entry(SCENARIO)
     if entry is None:
         return None
     return entry.get("epochs_per_sec", {}).get("vectorized")
 
 
-def main() -> int:
+def check_ramp() -> int:
     ref = reference_eps()
     if ref is None:
         print(
@@ -87,6 +98,56 @@ def main() -> int:
         )
         return 1
     return 0
+
+
+def check_serving() -> int:
+    """Re-run the serving probe against its checked-in throughput row.
+
+    Same skip-if-absent contract as the ramp gate: the row only exists
+    after the bench harness has been run once, and the budget is the
+    same loose 25% so only a real serving-path slowdown (a per-request
+    rescan, an accidentally quadratic costing pass) fires it.
+    """
+    entry = _scenario_entry(SERVE_SCENARIO)
+    ref = (entry or {}).get("requests_per_sec_wall")
+    if ref is None:
+        print(
+            f"perf smoke: no {SERVE_SCENARIO!r} reference in "
+            f"{BENCH_PATH.name} — run the perf bench to record one; "
+            f"skipping"
+        )
+        return 0
+    import time
+
+    config = dataclasses.replace(
+        _fig4_config(200),
+        epochs=FIG4_SERVE_EPOCHS,
+        serving=ServingConfig(requests_per_epoch=FIG4_SERVE_RATE),
+    )
+    start = time.perf_counter()
+    sim = Simulation(config)
+    sim.run()
+    elapsed = time.perf_counter() - start
+    requests = sim.serving_log.summary()["requests"]
+    measured = requests / elapsed
+    floor = ref * (1.0 - MAX_REGRESSION)
+    verdict = "OK" if measured >= floor else "REGRESSION"
+    print(
+        f"perf smoke: {SERVE_SCENARIO} {measured:.1f} requests/s "
+        f"vs reference {ref:.1f} (floor {floor:.1f}) — {verdict}"
+    )
+    if measured < floor:
+        print(
+            f"perf smoke: serving probe lost more than "
+            f"{MAX_REGRESSION:.0%} vs the checked-in bench JSON",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main() -> int:
+    return check_ramp() or check_serving()
 
 
 if __name__ == "__main__":

@@ -34,6 +34,11 @@ stale-view data plane under loss=10% plus one link-flap window and
 records client ops/s plus the consistency audit's anomaly counts —
 the lost-write count doubles as a regression gate on the
 sloppy-quorum durability contract (PR 7).
+``fig4-serving-steady`` runs the live-serving front door (open-loop
+get/put requests, quorum level) on a steady fig4 cloud and records
+sustained requests/s (wall clock), the steady-state p50/p99/p999
+read & write tails and SLA attainment — the serving cost-model row
+the perf-smoke gate tracks (PR 10).
 
 Run just this harness with::
 
@@ -58,9 +63,11 @@ from repro.net.model import LinkFlap, NetConfig, NetPartition
 from repro.sim.chaos import run_consistency_audit
 from repro.sim.config import (
     DataPlaneConfig,
+    ServingConfig,
     scaled_paper_layout,
     slashdot_scenario,
 )
+from repro.sim.engine import Simulation
 from repro.sim.profiling import compare_kernels, speedup
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -114,6 +121,14 @@ FIG4_NET_EPOCHS = 60
 FIG4_DP_EPOCHS = 40
 FIG4_DP_SETTLE = 16
 FIG4_DP_FLAP = (10, 20)
+
+#: The live-serving probe (ISSUE 10): an open-loop front door pushing
+#: quorum get/put requests through the router + store every epoch on
+#: the fig4 shape while the economy rebalances underneath.  The row
+#: tracks sustained requests/s (wall clock) plus the steady-state
+#: latency tails — the serving-path cost model PERFORMANCE.md tracks.
+FIG4_SERVE_EPOCHS = 40
+FIG4_SERVE_RATE = 256
 
 #: Opt-in gate for the 100× probe (minutes of wall clock + a ~1 GB
 #: diversity matrix — not CI material).
@@ -336,6 +351,51 @@ def test_epoch_throughput_fig4():
         "audit_green": audit.green,
     }
 
+    # Live serving on a steady cloud: the front door's own wall-clock
+    # cost plus the latency tails it reports.  epochs_per_sec is what
+    # the perf-smoke gate tracks for this row.
+    serve_cfg = dataclasses.replace(
+        _fig4_config(200),
+        epochs=FIG4_SERVE_EPOCHS,
+        serving=ServingConfig(requests_per_epoch=FIG4_SERVE_RATE),
+    )
+    start = time.perf_counter()
+    serve_sim = Simulation(serve_cfg)
+    serve_sim.run()
+    elapsed = time.perf_counter() - start
+    serve_summary = serve_sim.serving_log.summary()
+    assert serve_summary["requests"] == (
+        FIG4_SERVE_RATE * FIG4_SERVE_EPOCHS
+    )
+    payload["scenarios"]["fig4-serving-steady"] = {
+        "epochs": FIG4_SERVE_EPOCHS,
+        "requests_per_epoch": FIG4_SERVE_RATE,
+        "requests": serve_summary["requests"],
+        "requests_per_sec_wall": round(
+            serve_summary["requests"] / elapsed, 1
+        ),
+        "epochs_per_sec": {
+            "vectorized": round(FIG4_SERVE_EPOCHS / elapsed, 3)
+        },
+        "latency_ms": {
+            "read": {
+                "p50": round(serve_summary["read_p50_ms"], 2),
+                "p99": round(serve_summary["read_p99_ms"], 2),
+                "p999": round(serve_summary["read_p999_ms"], 2),
+            },
+            "write": {
+                "p50": round(serve_summary["write_p50_ms"], 2),
+                "p99": round(serve_summary["write_p99_ms"], 2),
+                "p999": round(serve_summary["write_p999_ms"], 2),
+            },
+        },
+        "sla_attainment": round(serve_summary["sla_attainment"], 4),
+        "failures": (
+            serve_summary["read_failures"]
+            + serve_summary["write_failures"]
+        ),
+    }
+
     if RUN_100X:
         big = _fig4_scaled_config(
             100, FIG4_100X_WARMUP, FIG4_100X_EPOCHS
@@ -456,7 +516,7 @@ def test_epoch_throughput_fig4():
         scalar = (
             f"{eps['scalar']:8.2f}" if "scalar" in eps else "       —"
         )
-        ratio = entry["speedup_vectorized_over_scalar"]
+        ratio = entry.get("speedup_vectorized_over_scalar")
         print(
             f"  {name:20s} vectorized {eps['vectorized']:8.2f}   "
             f"scalar {scalar}   "

@@ -17,5 +17,11 @@ PYTHONPATH=src python -m pytest -q \
 echo "== stage: slow sweeps =="
 PYTHONPATH=src python -m pytest -m slow -q "$@"
 
-echo "== stage: perf smoke (100x ramp vs checked-in bench JSON) =="
+echo "== stage: serving (front-door suite + live CLI run) =="
+PYTHONPATH=src python -m pytest -q tests/serve
+PYTHONPATH=src python -m repro.cli run --scenario paper --epochs 10 \
+    --partitions 60 --serve --serve-rate 128 --serve-workers 32 \
+    > /dev/null
+
+echo "== stage: perf smoke (100x ramp + serving vs checked-in bench JSON) =="
 PYTHONPATH=src python benchmarks/perf/perf_smoke.py

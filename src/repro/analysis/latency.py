@@ -123,6 +123,27 @@ def expected_response_time(model: LatencyModel, cloud: Cloud,
     return acc / total_w
 
 
+def weighted_percentile(values: np.ndarray, weights: np.ndarray,
+                        q: float) -> float:
+    """Inverse-CDF percentile of ``values`` under non-negative ``weights``.
+
+    The q-th percentile is the smallest value whose cumulative weight
+    reaches ``q`` percent of the total.  With all weights equal this is
+    the classic "nearest-rank" percentile (no interpolation), which is
+    what a popularity-weighted tail should report: an actual observed
+    value, not a blend of two.
+    """
+    if len(values) != len(weights):
+        raise LatencyError("values and weights must have equal length")
+    total = float(weights.sum())
+    if total <= 0:
+        raise LatencyError("weights must have positive total")
+    order = np.argsort(values, kind="stable")
+    cum = np.cumsum(weights[order])
+    idx = int(np.searchsorted(cum, (q / 100.0) * total, side="left"))
+    return float(values[order][min(idx, len(values) - 1)])
+
+
 def app_response_times(model: LatencyModel, cloud: Cloud,
                        catalog: ReplicaCatalog,
                        pids: Sequence[PartitionId],
@@ -131,8 +152,13 @@ def app_response_times(model: LatencyModel, cloud: Cloud,
                        ) -> Dict[str, float]:
     """Summary statistics of expected read RTT over an app's partitions.
 
-    ``weights`` (e.g. popularity) weight the mean; percentiles are
-    unweighted over partitions.
+    With ``weights=None`` (or an empty mapping) every partition counts
+    equally — the explicit unweighted path.  A non-empty ``weights``
+    mapping (e.g. popularity) weights the mean *and* the percentiles,
+    so a skewed app's p50/p95 reflect what its traffic actually sees;
+    partitions absent from the mapping get weight 0.  Passing weights
+    that sum to zero is an error (it would silently degenerate to the
+    unweighted view), as is a negative weight.
     """
     if not pids:
         raise LatencyError("no partitions given")
@@ -144,16 +170,27 @@ def app_response_times(model: LatencyModel, cloud: Cloud,
         dtype=np.float64,
     )
     if weights:
-        w = np.array([weights.get(pid, 0.0) for pid in pids])
-        mean = float((rtts * w).sum() / w.sum()) if w.sum() > 0 else float(
-            rtts.mean()
+        w = np.array(
+            [weights.get(pid, 0.0) for pid in pids], dtype=np.float64
         )
+        if (w < 0).any():
+            raise LatencyError("weights must be >= 0")
+        if w.sum() <= 0:
+            raise LatencyError(
+                "weights sum to zero over the given partitions; pass "
+                "weights=None for the unweighted summary"
+            )
+        mean = float((rtts * w).sum() / w.sum())
+        p50 = weighted_percentile(rtts, w, 50)
+        p95 = weighted_percentile(rtts, w, 95)
     else:
         mean = float(rtts.mean())
+        p50 = float(np.percentile(rtts, 50))
+        p95 = float(np.percentile(rtts, 95))
     return {
         "mean_ms": mean,
-        "p50_ms": float(np.percentile(rtts, 50)),
-        "p95_ms": float(np.percentile(rtts, 95)),
+        "p50_ms": p50,
+        "p95_ms": p95,
         "max_ms": float(rtts.max()),
     }
 

@@ -114,6 +114,25 @@ def build_parser() -> argparse.ArgumentParser:
                           "[START, END): down/up windows of PERIOD "
                           "epochs (one continuous window if PERIOD "
                           "omitted); repeatable (implies --net)")
+    run.add_argument("--serve", action="store_true",
+                     help="run the live-serving front door: open-loop "
+                          "get/put requests over the quorum data plane "
+                          "with per-epoch p50/p99/p999 latency tails")
+    run.add_argument("--serve-rate", type=int, default=None,
+                     metavar="N",
+                     help="serving requests per epoch (implies --serve)")
+    run.add_argument("--serve-read-fraction", type=float, default=None,
+                     metavar="F",
+                     help="fraction of serving requests that are reads "
+                          "(implies --serve)")
+    run.add_argument("--serve-workers", type=int, default=None,
+                     metavar="N",
+                     help="virtual executors of the front door's event "
+                          "loop (implies --serve)")
+    run.add_argument("--serve-level", choices=("one", "quorum", "all"),
+                     default=None,
+                     help="consistency level of serving requests "
+                          "(implies --serve)")
     run.add_argument("--divergence", action="store_true",
                      help="also run the oracle (net=None) twin and "
                           "print the divergence report")
@@ -368,6 +387,53 @@ def print_data_plane(sim, out) -> None:
         )
 
 
+def print_serving(sim, out) -> None:
+    summary = sim.serving_log.summary()
+    if not summary.get("epochs"):
+        print("serving: no frames collected", file=out)
+        return
+    print(
+        f"serving: {summary['requests']} requests "
+        f"({summary['reads']} reads / {summary['writes']} writes, "
+        f"{summary['read_failures'] + summary['write_failures']} "
+        f"failed) at {summary['mean_requests_per_sec']:.1f} req/s, "
+        f"SLA attainment {summary['sla_attainment']:.2%}",
+        file=out,
+    )
+    rows = [
+        ["read", summary["read_p50_ms"], summary["read_p99_ms"],
+         summary["read_p999_ms"], summary["peak_read_p999_ms"]],
+        ["write", summary["write_p50_ms"], summary["write_p99_ms"],
+         summary["write_p999_ms"], summary["peak_write_p999_ms"]],
+    ]
+    rows = [
+        [kind] + [f"{v:.1f}" for v in vals]
+        for kind, *vals in rows
+    ]
+    print(
+        format_table(
+            ["op", "p50 ms", "p99 ms", "p999 ms", "peak p999"], rows
+        ),
+        file=out,
+    )
+    tenants = sim.serving.sla.tenant_view()
+    tenant_rows = [
+        [f"app {app_id} ring {ring_id}", row["requests"],
+         row["read_violations"], row["write_violations"],
+         f"{row['attainment']:.2%}"]
+        for (app_id, ring_id), row in tenants.items()
+    ]
+    if tenant_rows:
+        print(
+            format_table(
+                ["tenant", "requests", "read viol", "write viol",
+                 "attainment"],
+                tenant_rows,
+            ),
+            file=out,
+        )
+
+
 def make_events(config, args):
     if not args.fig3_events:
         return None
@@ -402,9 +468,28 @@ def print_series_report(config, sim, log, points, out,
     if sim.data_plane is not None:
         print("-" * 60, file=out)
         print_data_plane(sim, out)
+    if getattr(sim, "serving", None) is not None:
+        print("-" * 60, file=out)
+        print_serving(sim, out)
     if audit is not None:
         print("-" * 60, file=out)
         print(audit.report.render(), file=out)
+
+
+def make_serving(args):
+    """A ServingConfig from the --serve* flags, or None."""
+    overrides = {
+        "requests_per_epoch": args.serve_rate,
+        "read_fraction": args.serve_read_fraction,
+        "workers": args.serve_workers,
+        "level": args.serve_level,
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    if not args.serve and not overrides:
+        return None
+    from repro.sim.config import ServingConfig
+
+    return ServingConfig(**overrides)
 
 
 def cmd_run(args, out) -> int:
@@ -412,6 +497,9 @@ def cmd_run(args, out) -> int:
     net = make_net(args)
     if net is not None:
         config = dataclasses.replace(config, net=net)
+    serving = make_serving(args)
+    if serving is not None:
+        config = dataclasses.replace(config, serving=serving)
     audit = None
     if args.consistency_audit:
         from repro.sim.chaos import run_consistency_audit

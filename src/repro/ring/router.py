@@ -76,18 +76,25 @@ class Router:
 
     def route_partition(self, pid: PartitionId,
                         *, client: Optional[Location] = None) -> Route:
-        """Resolve a query already attributed to a partition."""
+        """Resolve a query already attributed to a partition.
+
+        Ties are pinned: among equally-close believed-live replicas the
+        *lowest server id* wins.  Catalog iteration order depends on
+        placement history (and may differ between kernels), so serving
+        traffic routed here must not inherit it — the tie-break keeps
+        replay byte-deterministic across runs and kernels.
+        """
         replicas = self.live_replicas(pid)
         if not replicas:
             raise RoutingError(f"no live replica for {pid}")
         if client is None:
-            return Route(pid, replicas[0], 0)
+            return Route(pid, min(replicas), 0)
         best_sid, best_d = replicas[0], diversity(
             client, self._cloud.server(replicas[0]).location
         )
         for sid in replicas[1:]:
             d = diversity(client, self._cloud.server(sid).location)
-            if d < best_d:
+            if d < best_d or (d == best_d and sid < best_sid):
                 best_sid, best_d = sid, d
         return Route(pid, best_sid, best_d)
 
@@ -112,10 +119,13 @@ class Router:
         for client, weight in weights:
             if weight <= 0:
                 continue
+            # Same tie-break as route_partition: equal diversity goes
+            # to the lowest server id, never to catalog order.
             best = min(
                 replicas,
-                key=lambda sid: diversity(
-                    client, self._cloud.server(sid).location
+                key=lambda sid: (
+                    diversity(client, self._cloud.server(sid).location),
+                    sid,
                 ),
             )
             totals[best] += weight

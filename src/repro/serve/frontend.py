@@ -1,0 +1,298 @@
+"""The live-serving front door: request scheduler over the quorum store.
+
+:class:`ServingFrontEnd` is what the engine instantiates when a
+:class:`repro.sim.config.ServingConfig` is attached: the open-loop
+:class:`~repro.serve.loadgen.LoadGenerator` produces each epoch's
+arrival stream, a deterministic event-loop scheduler admits requests
+onto ``workers`` virtual executors, each request is routed through
+:class:`repro.ring.router.Router` (believed membership, lowest-id tie
+break) to its coordinator replica and executed against a
+:class:`repro.store.quorum.QuorumKVStore`, and its latency is costed
+with :class:`repro.analysis.latency.LatencyModel` RTTs along the
+quorum path:
+
+* **coordinator hop** — client → nearest believed-live replica, the
+  route the Router resolves;
+* **replica fan-out** — the coordinator contacts the quorum in
+  parallel, so the fan-out costs the *slowest* contacted leg
+  (coordinator → replica RTT for acks, the timeout penalty for ghosts
+  and cut links);
+* **queueing delay** — an arrival finding every worker busy waits; the
+  wait lands in the latency tails, which is how overload becomes
+  user-visible.
+
+The scheduler is an explicit event loop over *simulated* time rather
+than an OS thread pool: store mutations execute in arrival order, so a
+run replays bit-identically (same spec + seed ⇒ the identical
+``ServingFrame`` stream) — the property the golden suite demands and
+preemptive threads cannot give.
+
+Like the data-plane overlay, the front door is side-effect-free toward
+the economy: own copies, own hints, own RNG stream, no writes to
+partition sizes or server state — enabling it leaves the golden
+EpochFrame streams byte-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.latency import LatencyModel
+from repro.cluster.location import Location, diversity
+from repro.ring.router import Router, RoutingError
+from repro.ring.virtualring import RingSet
+from repro.serve.loadgen import Arrival, LoadGenerator
+from repro.serve.sla import SlaLedger, SlaPolicy
+from repro.store.hints import HintStore
+from repro.store.quorum import Level, QuorumError, QuorumKVStore
+from repro.store.replica import ReplicaCatalog
+
+# NOTE: repro.sim.metrics is imported lazily inside _collect so this
+# module can be imported from either package side without a cycle.
+
+
+class ServingFrontEnd:
+    """Owns the request-serving stack for one simulation run."""
+
+    def __init__(self, config, cloud, rings: RingSet,
+                 catalog: ReplicaCatalog, membership, *,
+                 rng: np.random.Generator,
+                 apps: Sequence[Tuple[int, int]],
+                 sites: Sequence[Location] = (),
+                 latency_model: Optional[LatencyModel] = None) -> None:
+        self.config = config
+        self.level = Level(config.level)
+        self.model = (
+            latency_model if latency_model is not None else LatencyModel()
+        )
+        self._cloud = cloud
+        self.router = Router(cloud, rings, catalog, membership=membership)
+        self.hints = HintStore(
+            ttl=config.hint_ttl,
+            base_delay=config.hint_base_delay,
+            cap=config.hint_backoff_cap,
+        )
+        self.store = QuorumKVStore(
+            cloud, rings, catalog,
+            read_repair=config.read_repair,
+            membership=membership,
+            hints=self.hints,
+            track_catalog=True,
+        )
+        self.sla = SlaLedger(SlaPolicy(
+            read_ms=config.sla_read_ms, write_ms=config.sla_write_ms,
+        ))
+        self.loadgen: Optional[LoadGenerator] = None
+        if config.requests_per_epoch > 0:
+            self.loadgen = LoadGenerator(
+                apps=apps,
+                requests_per_epoch=config.requests_per_epoch,
+                read_fraction=config.read_fraction,
+                keyspace=config.keyspace,
+                value_size=config.value_size,
+                epoch_ms=config.epoch_ms,
+                rng=rng,
+                sites=sites,
+            )
+        #: Cleared (e.g. during an audit settle phase) to stop
+        #: admitting requests while hints keep draining.
+        self.serving_enabled = True
+        self.total_requests = 0
+        self.total_failures = 0
+        # Durability ground truth: the freshest version each key was
+        # *acknowledged* at.  Bounded by the keyspace, so keeping every
+        # entry is cheap, and :meth:`lost_writes` can audit that no
+        # acked write ever stops surviving (copies + parked hints).
+        self._acked: Dict[Tuple[int, int, bytes], int] = {}
+
+    # -- epoch loop ------------------------------------------------------------
+
+    def step(self, epoch: int):
+        """Serve one epoch's arrivals; returns its ServingFrame."""
+        self.store.begin_epoch(epoch)
+        self.sla.begin_epoch()
+        read_lat: List[float] = []
+        write_lat: List[float] = []
+        queue_wait = 0.0
+        read_failures = write_failures = 0
+        if self.loadgen is not None and self.serving_enabled:
+            arrivals = self.loadgen.draw(epoch)
+            stats = self._serve(arrivals, read_lat, write_lat)
+            queue_wait, read_failures, write_failures = stats
+        self.store.drain_hints(epoch)
+        cfg = self.config
+        if cfg.anti_entropy_partitions > 0:
+            self.store.anti_entropy(
+                epoch,
+                max_partitions=cfg.anti_entropy_partitions,
+                max_bytes=cfg.anti_entropy_bytes,
+            )
+        return self._collect(
+            epoch, read_lat, write_lat, queue_wait,
+            read_failures, write_failures,
+        )
+
+    def _serve(self, arrivals: List[Arrival],
+               read_lat: List[float],
+               write_lat: List[float]) -> Tuple[float, int, int]:
+        """Admit one epoch's arrivals through the event-loop scheduler.
+
+        ``workers`` virtual executors are modelled as a min-heap of
+        free times: each arrival (already in time order) starts at
+        ``max(arrival, earliest free worker)``, runs for its costed
+        quorum-path service time, and its user-visible latency is
+        queueing wait plus service.  Execution order equals arrival
+        order, which is what keeps the store state — and therefore the
+        whole frame stream — replayable.
+        """
+        free = [0.0] * self.config.workers
+        heapq.heapify(free)
+        total_wait = 0.0
+        read_failures = write_failures = 0
+        for arrival in arrivals:
+            worker_free = heapq.heappop(free)
+            start = max(arrival.offset_ms, worker_free)
+            service_ms, ok = self._execute(arrival)
+            heapq.heappush(free, start + service_ms)
+            latency = (start - arrival.offset_ms) + service_ms
+            total_wait += start - arrival.offset_ms
+            self.total_requests += 1
+            if not ok:
+                self.total_failures += 1
+                if arrival.kind == "get":
+                    read_failures += 1
+                else:
+                    write_failures += 1
+            if arrival.kind == "get":
+                read_lat.append(latency)
+            else:
+                write_lat.append(latency)
+            self.sla.record(
+                arrival.app_id, arrival.ring_id, arrival.kind,
+                latency, ok,
+            )
+        return total_wait, read_failures, write_failures
+
+    def _execute(self, arrival: Arrival) -> Tuple[float, bool]:
+        """Run one request; returns (service time in ms, success).
+
+        The service time is the RTT cost along the quorum path: the
+        client→coordinator hop resolved by the Router, plus the
+        slowest leg of the coordinator's replica fan-out.  A replica
+        that times out (ghost) or is unreachable (cut link) costs the
+        configured timeout penalty — the coordinator waits it out —
+        and a failed quorum costs at least that penalty on top of the
+        hop, since the coordinator gave up only after waiting.
+        """
+        cfg = self.config
+        model = self.model
+        pid = self.router.partition_of(
+            arrival.app_id, arrival.ring_id, arrival.key
+        ).pid
+        try:
+            route = self.router.route_partition(
+                pid, client=arrival.client
+            )
+        except RoutingError:
+            # No believed-live replica at all: the client burns a full
+            # timeout against a dead partition.
+            return cfg.timeout_penalty_ms, False
+        coordinator_ms = model.rtt(route.distance)
+        coord_loc = self._cloud.server(route.server_id).location
+        try:
+            if arrival.kind == "get":
+                result = self.store.get(
+                    arrival.app_id, arrival.ring_id, arrival.key,
+                    level=self.level, client=arrival.client,
+                )
+            else:
+                result = self.store.put(
+                    arrival.app_id, arrival.ring_id, arrival.key,
+                    arrival.value, level=self.level,
+                    client=arrival.client,
+                )
+        except QuorumError:
+            return coordinator_ms + cfg.timeout_penalty_ms, False
+        if arrival.kind == "put":
+            acked_key = (arrival.app_id, arrival.ring_id, arrival.key)
+            if result.version > self._acked.get(acked_key, 0):
+                self._acked[acked_key] = result.version
+        fan_out = 0.0
+        for sid, outcome in result.attempts:
+            if outcome == "ok":
+                leg = model.rtt(diversity(
+                    coord_loc, self._cloud.server(sid).location
+                ))
+            elif outcome in ("timeout", "unreachable"):
+                leg = cfg.timeout_penalty_ms
+            else:  # skipped: believed dead, never contacted
+                continue
+            if leg > fan_out:
+                fan_out = leg
+        return coordinator_ms + fan_out, True
+
+    # -- frame collection ------------------------------------------------------
+
+    def _collect(self, epoch: int, read_lat: List[float],
+                 write_lat: List[float], queue_wait: float,
+                 read_failures: int, write_failures: int):
+        from repro.sim.metrics import ServingFrame
+
+        def tails(latencies: List[float]) -> Tuple[float, float, float]:
+            if not latencies:
+                return (0.0, 0.0, 0.0)
+            arr = np.asarray(latencies, dtype=np.float64)
+            return (
+                float(np.percentile(arr, 50)),
+                float(np.percentile(arr, 99)),
+                float(np.percentile(arr, 99.9)),
+            )
+
+        read_p50, read_p99, read_p999 = tails(read_lat)
+        write_p50, write_p99, write_p999 = tails(write_lat)
+        requests = len(read_lat) + len(write_lat)
+        sla_reads, sla_writes = self.sla.epoch_counts()
+        return ServingFrame(
+            epoch=epoch,
+            requests=requests,
+            reads=len(read_lat),
+            writes=len(write_lat),
+            read_failures=read_failures,
+            write_failures=write_failures,
+            sla_read_violations=sla_reads,
+            sla_write_violations=sla_writes,
+            requests_per_sec=requests / (self.config.epoch_ms / 1000.0),
+            read_p50_ms=read_p50,
+            read_p99_ms=read_p99,
+            read_p999_ms=read_p999,
+            write_p50_ms=write_p50,
+            write_p99_ms=write_p99,
+            write_p999_ms=write_p999,
+            mean_queue_ms=(queue_wait / requests if requests else 0.0),
+        )
+
+    # -- audit ground truth ----------------------------------------------------
+
+    def surviving_version(self, app_id: int, ring_id: int,
+                          key: bytes) -> int:
+        """Freshest surviving version (copies + parked hints) of a key."""
+        return self.store.surviving_version(app_id, ring_id, key)
+
+    def lost_writes(self) -> List[Tuple[int, int, bytes, int, int]]:
+        """Acked writes no surviving copy or hint still carries.
+
+        Returns ``(app_id, ring_id, key, acked_version, surviving)``
+        rows; empty means the sloppy-quorum durability contract held
+        for every request the front door acknowledged.
+        """
+        lost = []
+        for (app_id, ring_id, key), version in sorted(
+            self._acked.items()
+        ):
+            surviving = self.store.surviving_version(app_id, ring_id, key)
+            if surviving < version:
+                lost.append((app_id, ring_id, key, version, surviving))
+        return lost

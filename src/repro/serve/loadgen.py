@@ -1,0 +1,129 @@
+"""Open-loop arrival generation for the serving front door.
+
+A real front door does not wait for one request to finish before the
+next one arrives: load is *open-loop* — arrivals come from an external
+client population at their own pace, and a slow backend shows up as
+queueing delay, not as a slower arrival rate.  :class:`LoadGenerator`
+models that with exponential inter-arrival gaps (a Poisson process)
+over the epoch's ``epoch_ms`` window, drawn from the dedicated
+``serving`` RNG stream so enabling the front door perturbs no other
+stochastic component.
+
+Per-request fields are drawn in a fixed order (gap, app, key, site,
+read/write coin) from one generator, which is the determinism contract
+the replay tests pin: same spec + seed ⇒ the identical arrival stream,
+epoch by epoch.
+
+Keys follow the same Zipf(1) skew the data-plane clients and the
+query-popularity model use (rank ``i`` drawn with probability
+∝ 1/(i+1)), under a distinct ``sv-`` key prefix so serving traffic
+never collides with data-plane audit keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.location import Location
+
+
+class ServeError(ValueError):
+    """Raised for invalid serving front-door parameters."""
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One admitted request: what, where from, and when it arrived."""
+
+    offset_ms: float  # arrival time within the epoch's window
+    kind: str  # "get" | "put"
+    app_id: int
+    ring_id: int
+    key: bytes
+    value: Optional[bytes]  # None for gets
+    client: Optional[Location]
+
+
+class LoadGenerator:
+    """Poisson arrivals of get/put requests over a Zipf key universe."""
+
+    def __init__(self, *, apps: Sequence[Tuple[int, int]],
+                 requests_per_epoch: int, read_fraction: float,
+                 keyspace: int, value_size: int, epoch_ms: float,
+                 rng: np.random.Generator,
+                 sites: Sequence[Location] = ()) -> None:
+        if not apps:
+            raise ServeError("need at least one (app_id, ring_id)")
+        if requests_per_epoch < 0:
+            raise ServeError(
+                f"requests_per_epoch must be >= 0, got "
+                f"{requests_per_epoch}"
+            )
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ServeError(
+                f"read_fraction must be in [0, 1], got {read_fraction}"
+            )
+        if keyspace < 1:
+            raise ServeError(f"keyspace must be >= 1, got {keyspace}")
+        if value_size < 1:
+            raise ServeError(f"value_size must be >= 1, got {value_size}")
+        if epoch_ms <= 0:
+            raise ServeError(f"epoch_ms must be > 0, got {epoch_ms}")
+        self._apps = tuple(apps)
+        self._requests = requests_per_epoch
+        self._read_fraction = read_fraction
+        self._value_size = value_size
+        self._epoch_ms = epoch_ms
+        self._rng = rng
+        self._sites = tuple(sites)
+        self._keys = tuple(
+            f"sv-{i:06d}".encode("ascii") for i in range(keyspace)
+        )
+        weights = 1.0 / (np.arange(keyspace, dtype=np.float64) + 1.0)
+        self._weights = weights / weights.sum()
+        # Open loop: the mean gap keeps the configured rate regardless
+        # of how fast the backend drains.
+        self._mean_gap_ms = epoch_ms / max(requests_per_epoch, 1)
+
+    @property
+    def keys(self) -> Tuple[bytes, ...]:
+        return self._keys
+
+    def _value(self, epoch: int, index: int) -> bytes:
+        stamp = f"sv-e{epoch}-i{index}-".encode("ascii")
+        pad = self._value_size - len(stamp)
+        if pad <= 0:
+            return stamp[: self._value_size]
+        return stamp + b"x" * pad
+
+    def draw(self, epoch: int) -> List[Arrival]:
+        """One epoch's arrivals, sorted by offset by construction."""
+        rng = self._rng
+        out: List[Arrival] = []
+        t = 0.0
+        for i in range(self._requests):
+            t += float(rng.exponential(self._mean_gap_ms))
+            app_id, ring_id = self._apps[
+                int(rng.integers(len(self._apps)))
+            ]
+            key = self._keys[
+                int(rng.choice(len(self._keys), p=self._weights))
+            ]
+            client = None
+            if self._sites:
+                client = self._sites[int(rng.integers(len(self._sites)))]
+            if float(rng.random()) < self._read_fraction:
+                out.append(Arrival(
+                    offset_ms=t, kind="get", app_id=app_id,
+                    ring_id=ring_id, key=key, value=None, client=client,
+                ))
+            else:
+                out.append(Arrival(
+                    offset_ms=t, kind="put", app_id=app_id,
+                    ring_id=ring_id, key=key,
+                    value=self._value(epoch, i), client=client,
+                ))
+        return out

@@ -1,0 +1,94 @@
+"""Per-ring / per-tenant SLA evaluation for the serving front door.
+
+The paper's economics are availability economics — replicas are bought
+to keep availability above per-ring thresholds.  The SLA view closes
+the loop to what users actually see: each ring (one tenant's
+availability tier) gets a latency target per operation kind, every
+request is judged against it, and the ledger reports attainment per
+tenant.  A failed request (no quorum) always violates — unavailability
+is the worst latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.serve.loadgen import ServeError
+
+
+@dataclass(frozen=True)
+class SlaPolicy:
+    """Latency targets (milliseconds) per operation kind."""
+
+    read_ms: float = 60.0
+    write_ms: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.read_ms <= 0 or self.write_ms <= 0:
+            raise ServeError(
+                f"SLA targets must be > 0, got read {self.read_ms} / "
+                f"write {self.write_ms}"
+            )
+
+    def target(self, kind: str) -> float:
+        return self.read_ms if kind == "get" else self.write_ms
+
+
+class SlaLedger:
+    """Counts requests and SLA violations per (app_id, ring_id) tenant."""
+
+    def __init__(self, policy: SlaPolicy) -> None:
+        self.policy = policy
+        # (app_id, ring_id) -> [requests, read_violations, write_violations]
+        self._tenants: Dict[Tuple[int, int], list] = {}
+        self.read_violations = 0
+        self.write_violations = 0
+        self._epoch_base = (0, 0)
+
+    def record(self, app_id: int, ring_id: int, kind: str,
+               latency_ms: float, ok: bool) -> bool:
+        """Judge one request; returns True when it violated its SLA."""
+        row = self._tenants.setdefault((app_id, ring_id), [0, 0, 0])
+        row[0] += 1
+        violated = (not ok) or latency_ms > self.policy.target(kind)
+        if violated:
+            if kind == "get":
+                row[1] += 1
+                self.read_violations += 1
+            else:
+                row[2] += 1
+                self.write_violations += 1
+        return violated
+
+    def begin_epoch(self) -> None:
+        """Snapshot counters so :meth:`epoch_counts` reports deltas."""
+        self._epoch_base = (self.read_violations, self.write_violations)
+
+    def epoch_counts(self) -> Tuple[int, int]:
+        """(read, write) violation deltas since :meth:`begin_epoch`."""
+        return (
+            self.read_violations - self._epoch_base[0],
+            self.write_violations - self._epoch_base[1],
+        )
+
+    def tenant_view(self) -> Dict[Tuple[int, int], Dict[str, float]]:
+        """Whole-run attainment per tenant ring.
+
+        ``attainment`` is the fraction of requests inside their SLA —
+        the user-visible counterpart of the ring's availability tier.
+        """
+        out: Dict[Tuple[int, int], Dict[str, float]] = {}
+        for tenant, (requests, reads, writes) in sorted(
+            self._tenants.items()
+        ):
+            violations = reads + writes
+            out[tenant] = {
+                "requests": requests,
+                "read_violations": reads,
+                "write_violations": writes,
+                "attainment": (
+                    1.0 - violations / requests if requests else 1.0
+                ),
+            }
+        return out

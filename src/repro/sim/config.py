@@ -220,6 +220,126 @@ class DataPlaneConfig:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """The live-serving front door riding on the epoch loop (ISSUE 10).
+
+    When attached to a :class:`SimConfig`, every epoch an open-loop
+    arrival stream of ``requests_per_epoch`` get/put requests (its own
+    ``serving`` RNG stream) is admitted by a deterministic event-loop
+    scheduler over ``workers`` virtual executors, routed through
+    :class:`repro.ring.router.Router` to a
+    :class:`repro.store.quorum.QuorumKVStore`, and costed with
+    :class:`repro.analysis.latency.LatencyModel` RTTs along the quorum
+    path (coordinator hop + slowest-of-quorum replica fan-out +
+    timeout penalties under faults) — emitting one
+    :class:`repro.sim.metrics.ServingFrame` per epoch with
+    requests/sec, p50/p99/p999 read & write latency and SLA-violation
+    counts.
+
+    Like the data plane, the front door is an observer overlay: it
+    owns its own versioned copies, hints and RNG stream and touches no
+    economic state, so enabling it leaves the golden EpochFrame
+    streams byte-identical.
+    """
+
+    level: str = "quorum"
+    requests_per_epoch: int = 512
+    read_fraction: float = 0.9
+    keyspace: int = 256
+    value_size: int = 64
+    #: Virtual executors of the front end's event loop: requests queue
+    #: when every worker is busy, so queueing delay shows in the tails.
+    #: A cross-continent round trip is ~120 ms and a quorum op pays
+    #: two of them, so 512 req/s of ~200 ms ops needs ~100 executors
+    #: to sit below saturation; 128 leaves headroom for fault windows.
+    workers: int = 128
+    #: Simulated wall-clock milliseconds one epoch represents — the
+    #: arrival window the open-loop generator spreads requests over and
+    #: the denominator of ``requests_per_sec``.
+    epoch_ms: float = 1000.0
+    #: Coordinator-side cost of waiting out a replica that times out or
+    #: cannot be reached (also the floor cost of a failed quorum).
+    timeout_penalty_ms: float = 250.0
+    #: Latency targets: a worst-case healthy quorum op costs two
+    #: cross-continent round trips (~240 ms), so 250/400 ms classify
+    #: timeout waits and queueing excursions as violations without
+    #: penalizing clean geography.
+    sla_read_ms: float = 250.0
+    sla_write_ms: float = 400.0
+    hint_ttl: int = 32
+    hint_base_delay: int = 1
+    hint_backoff_cap: int = 8
+    anti_entropy_partitions: int = 8
+    anti_entropy_bytes: int = 1 << 20
+    read_repair: bool = True
+
+    def __post_init__(self) -> None:
+        if self.level not in ("one", "quorum", "all"):
+            raise ConfigError(
+                f"level must be 'one', 'quorum' or 'all', got "
+                f"{self.level!r}"
+            )
+        if self.requests_per_epoch < 0:
+            raise ConfigError(
+                f"requests_per_epoch must be >= 0, got "
+                f"{self.requests_per_epoch}"
+            )
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigError(
+                f"read_fraction must be in [0, 1], got "
+                f"{self.read_fraction}"
+            )
+        if self.keyspace < 1:
+            raise ConfigError(
+                f"keyspace must be >= 1, got {self.keyspace}"
+            )
+        if self.value_size < 1:
+            raise ConfigError(
+                f"value_size must be >= 1, got {self.value_size}"
+            )
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.epoch_ms <= 0:
+            raise ConfigError(
+                f"epoch_ms must be > 0, got {self.epoch_ms}"
+            )
+        if self.timeout_penalty_ms < 0:
+            raise ConfigError(
+                f"timeout_penalty_ms must be >= 0, got "
+                f"{self.timeout_penalty_ms}"
+            )
+        if self.sla_read_ms <= 0 or self.sla_write_ms <= 0:
+            raise ConfigError(
+                f"SLA targets must be > 0, got read {self.sla_read_ms} "
+                f"/ write {self.sla_write_ms}"
+            )
+        if self.hint_ttl < 1:
+            raise ConfigError(
+                f"hint_ttl must be >= 1, got {self.hint_ttl}"
+            )
+        if self.hint_base_delay < 1:
+            raise ConfigError(
+                f"hint_base_delay must be >= 1, got "
+                f"{self.hint_base_delay}"
+            )
+        if self.hint_backoff_cap < self.hint_base_delay:
+            raise ConfigError(
+                f"hint_backoff_cap must be >= hint_base_delay, got "
+                f"{self.hint_backoff_cap} < {self.hint_base_delay}"
+            )
+        if self.anti_entropy_partitions < 0:
+            raise ConfigError(
+                f"anti_entropy_partitions must be >= 0, got "
+                f"{self.anti_entropy_partitions}"
+            )
+        if self.anti_entropy_bytes < 0:
+            raise ConfigError(
+                f"anti_entropy_bytes must be >= 0, got "
+                f"{self.anti_entropy_bytes}"
+            )
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Complete description of one simulation run."""
 
@@ -266,6 +386,11 @@ class SimConfig:
     # read repair + anti-entropy over the believed membership view,
     # with per-epoch DataPlaneFrame metrics in the RobustnessLog.
     data_plane: Optional[DataPlaneConfig] = None
+    # Live-serving front door (ISSUE 10).  None skips it; a
+    # ServingConfig admits an open-loop request stream through the
+    # router → quorum store each epoch and reports per-epoch
+    # throughput, latency tails and SLA violations as ServingFrames.
+    serving: Optional[ServingConfig] = None
 
     def __post_init__(self) -> None:
         if not self.apps:

@@ -45,8 +45,10 @@ from repro.sim.metrics import (
     MetricsLog,
     RobustnessLog,
     ServerVnodeHistogram,
+    ServingLog,
 )
 from repro.sim.seeds import RngStreams
+from repro.serve.frontend import ServingFrontEnd
 from repro.store.dataplane import DataPlane
 from repro.store.replica import ReplicaCatalog
 from repro.store.transfer import (
@@ -55,6 +57,7 @@ from repro.store.transfer import (
     TransferEngine,
     TransferKind,
 )
+from repro.workload.clients import uniform_over_countries
 from repro.workload.inserts import InsertOutcome, InsertWorkload
 from repro.workload.mix import ApplicationSpec, EpochLoad, WorkloadMix
 from repro.workload.popularity import PopularityMap
@@ -261,6 +264,31 @@ class Simulation:
                     for app in config.apps for ring in app.rings
                 ],
             )
+        # Live-serving front door (ISSUE 10).  Same observer-overlay
+        # contract as the data plane: own store copies, own hints, own
+        # RNG stream — the EpochFrame stream is byte-identical whether
+        # serving is on or off.
+        self.serving: Optional[ServingFrontEnd] = None
+        self.serving_log: Optional[ServingLog] = None
+        if config.serving is not None:
+            membership = (
+                self.membership_service
+                if self.membership_service is not None
+                else OracleMembership(self.cloud)
+            )
+            self.serving = ServingFrontEnd(
+                config.serving, self.cloud, self.rings, self.catalog,
+                membership, rng=self.streams.serving,
+                apps=[
+                    (app.app_id, ring.ring_id)
+                    for app in config.apps for ring in app.rings
+                ],
+                # The front door needs client locations to cost the
+                # client→coordinator hop; country sites match the
+                # uniform geography the paper's workloads assume.
+                sites=uniform_over_countries(config.layout).sites,
+            )
+            self.serving_log = ServingLog()
 
     # -- construction helpers ------------------------------------------------
 
@@ -496,6 +524,8 @@ class Simulation:
         self._apply_splits()
         if self.data_plane is not None:
             self.data_plane.step(epoch)
+        if self.serving is not None:
+            self.serving_log.append(self.serving.step(epoch))
         frame = self._collect(epoch, load, stats, insert_outcome)
         self.metrics.append(frame)
         if self.robustness is not None:

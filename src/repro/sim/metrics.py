@@ -871,6 +871,176 @@ class RobustnessLog:
         }
 
 
+@dataclass(frozen=True, slots=True)
+class ServingFrame:
+    """One epoch's live-serving observables (front-door runs).
+
+    Emitted by :class:`repro.serve.frontend.ServingFrontEnd` when the
+    run carries a :class:`repro.sim.config.ServingConfig`: the request
+    throughput, the read/write latency tails (p50/p99/p999 over the
+    epoch's costed per-request latencies) and the SLA violation deltas.
+    Like the control- and data-plane frames it rides alongside the
+    :class:`EpochFrame` stream without touching it — the goldens stay
+    byte-identical whether serving is on or off.
+    """
+
+    epoch: int
+    requests: int
+    reads: int
+    writes: int
+    read_failures: int
+    write_failures: int
+    sla_read_violations: int
+    sla_write_violations: int
+    requests_per_sec: float
+    read_p50_ms: float
+    read_p99_ms: float
+    read_p999_ms: float
+    write_p50_ms: float
+    write_p99_ms: float
+    write_p999_ms: float
+    mean_queue_ms: float
+
+    @property
+    def failures(self) -> int:
+        return self.read_failures + self.write_failures
+
+    @property
+    def sla_violations(self) -> int:
+        return self.sla_read_violations + self.sla_write_violations
+
+
+#: ServingFrame scalar fields by storage class, in field order.
+SERVING_INT_FIELDS: Tuple[str, ...] = (
+    "epoch", "requests", "reads", "writes", "read_failures",
+    "write_failures", "sla_read_violations", "sla_write_violations",
+)
+SERVING_FLOAT_FIELDS: Tuple[str, ...] = (
+    "requests_per_sec", "read_p50_ms", "read_p99_ms", "read_p999_ms",
+    "write_p50_ms", "write_p99_ms", "write_p999_ms", "mean_queue_ms",
+)
+
+
+class ServingLog:
+    """Columnar store for a :class:`ServingFrame` stream.
+
+    The serving front door emits one small all-scalar frame per epoch,
+    so the whole stream packs into one int64/float64 column per field —
+    the same treatment the EpochFrame scalars get — with exact row
+    round trips through :meth:`frame`.
+    """
+
+    __slots__ = ("_ints", "_floats")
+
+    def __init__(self) -> None:
+        self._ints: Dict[str, GrowableColumn] = {
+            name: GrowableColumn(np.int64) for name in SERVING_INT_FIELDS
+        }
+        self._floats: Dict[str, GrowableColumn] = {
+            name: GrowableColumn(np.float64)
+            for name in SERVING_FLOAT_FIELDS
+        }
+
+    def __len__(self) -> int:
+        return len(self._ints["epoch"])
+
+    def append(self, frame: ServingFrame) -> None:
+        epochs = self._ints["epoch"]
+        if len(epochs) and frame.epoch <= int(epochs[len(epochs) - 1]):
+            raise MetricsError(
+                f"non-monotonic serving epoch {frame.epoch} after "
+                f"{int(epochs[len(epochs) - 1])}"
+            )
+        for name, column in self._ints.items():
+            column.append(int(getattr(frame, name)))
+        for name, column in self._floats.items():
+            column.append(float(getattr(frame, name)))
+
+    def frame(self, index: int) -> ServingFrame:
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(
+                f"serving frame index {index} out of range ({n})"
+            )
+        fields: Dict[str, object] = {
+            name: int(column[index]) for name, column in self._ints.items()
+        }
+        for name, column in self._floats.items():
+            fields[name] = float(column[index])
+        return ServingFrame(**fields)
+
+    def __iter__(self) -> Iterator[ServingFrame]:
+        return (self.frame(i) for i in range(len(self)))
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return [
+                self.frame(i) for i in range(*idx.indices(len(self)))
+            ]
+        return self.frame(idx)
+
+    @property
+    def last(self) -> ServingFrame:
+        if not len(self):
+            raise MetricsError("no serving frames collected")
+        return self.frame(len(self) - 1)
+
+    def series(self, name: str) -> np.ndarray:
+        """One scalar field over all epochs, as float64 (fresh array)."""
+        column = self._ints.get(name)
+        if column is None:
+            column = self._floats.get(name)
+        if column is None:
+            if not hasattr(ServingFrame, name):
+                raise MetricsError(f"unknown serving series {name!r}")
+            return np.array(
+                [getattr(f, name) for f in self], dtype=np.float64
+            )
+        return column.view().astype(np.float64)
+
+    def summary(self) -> Dict[str, object]:
+        """Whole-run serving totals plus steady-state tail medians."""
+        if not len(self):
+            return {"epochs": 0}
+        totals = {
+            name: int(self._ints[name].view().sum())
+            for name in SERVING_INT_FIELDS
+            if name != "epoch"
+        }
+        out: Dict[str, object] = {"epochs": len(self)}
+        out.update(totals)
+        out["mean_requests_per_sec"] = float(
+            self.series("requests_per_sec").mean()
+        )
+        # Median-of-epochs keeps a single fault window from dominating
+        # the headline tails.
+        for name in ("read_p50_ms", "read_p99_ms", "read_p999_ms",
+                     "write_p50_ms", "write_p99_ms", "write_p999_ms"):
+            out[name] = float(np.median(self.series(name)))
+        out["peak_read_p999_ms"] = float(
+            self.series("read_p999_ms").max()
+        )
+        out["peak_write_p999_ms"] = float(
+            self.series("write_p999_ms").max()
+        )
+        requests = totals["requests"]
+        violations = (
+            totals["sla_read_violations"] + totals["sla_write_violations"]
+        )
+        out["sla_attainment"] = (
+            1.0 - violations / requests if requests else 1.0
+        )
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        total = sum(c.nbytes for c in self._ints.values())
+        total += sum(c.nbytes for c in self._floats.values())
+        return total
+
+
 def load_balance_index(loads: Sequence[float]) -> float:
     """Jain's fairness index of per-server loads: 1.0 = perfectly even.
 

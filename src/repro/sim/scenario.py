@@ -64,6 +64,7 @@ from repro.sim.config import (
     DataPlaneConfig,
     InsertConfig,
     RingConfig,
+    ServingConfig,
     SimConfig,
     paper_apps_config,
     scaled_paper_layout,
@@ -355,6 +356,38 @@ class ClientTraffic:
 
 
 @dataclass(frozen=True)
+class ServingTraffic:
+    """Live-serving front-door load (mirrors :class:`ServingConfig`)."""
+
+    level: str = "quorum"
+    requests_per_epoch: int = 512
+    read_fraction: float = 0.9
+    keyspace: int = 256
+    value_size: int = 64
+    workers: int = 128
+    epoch_ms: float = 1000.0
+    timeout_penalty_ms: float = 250.0
+    sla_read_ms: float = 250.0
+    sla_write_ms: float = 400.0
+    hint_ttl: int = 32
+    hint_base_delay: int = 1
+    hint_backoff_cap: int = 8
+    anti_entropy_partitions: int = 8
+    anti_entropy_bytes: int = 1 << 20
+    read_repair: bool = True
+
+    def compile(self) -> ServingConfig:
+        return ServingConfig(**dataclasses.asdict(self))
+
+    def __post_init__(self) -> None:
+        self.compile()  # delegate validation to ServingConfig
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ServingTraffic":
+        return _build(cls, data)
+
+
+@dataclass(frozen=True)
 class ComposedProfile:
     """Base rate × diurnal cycle × every surge multiplier.
 
@@ -401,6 +434,7 @@ class FlowsSpec:
     diurnal: Optional[Diurnal] = None
     inserts: Optional[InsertStream] = None
     traffic: Optional[ClientTraffic] = None
+    serving: Optional[ServingTraffic] = None
     popularity_shape: float = 1.0
     popularity_scale: float = 50.0
 
@@ -451,6 +485,8 @@ class FlowsSpec:
             else InsertStream.from_dict(raw),
             "traffic": lambda raw: None if raw is None
             else ClientTraffic.from_dict(raw),
+            "serving": lambda raw: None if raw is None
+            else ServingTraffic.from_dict(raw),
         })
 
 
@@ -1060,6 +1096,9 @@ def compile_config(spec: ScenarioSpec) -> SimConfig:
             net=spec.failure.compile_net(ops.epochs),
             data_plane=(
                 None if flows.traffic is None else flows.traffic.compile()
+            ),
+            serving=(
+                None if flows.serving is None else flows.serving.compile()
             ),
         )
     except SpecError:

@@ -35,6 +35,9 @@ STREAMS = (
     # Data-plane client traffic (ISSUE 7) — appended for the same
     # reason: earlier children are unchanged by a longer spawn.
     "dataplane",
+    # Live-serving front door arrivals (ISSUE 10) — appended last so
+    # every earlier stream's child seed is untouched.
+    "serving",
 )
 
 

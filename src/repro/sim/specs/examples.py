@@ -21,6 +21,7 @@ from repro.sim.scenario import (
     OutageEvent,
     ScenarioEntry,
     ScenarioSpec,
+    ServingTraffic,
 )
 
 SPECS = (
@@ -50,6 +51,15 @@ SPECS = (
             net=NetSpec(loss=0.25, rounds_per_epoch=2, suspect_rounds=3,
                         dead_rounds=8),
         ),
+        operations=OperationsSpec(epochs=60),
+    ), pin_epochs=8),
+    ScenarioEntry(ScenarioSpec(
+        name="serving-steady",
+        summary="live front door: 256 req/epoch quorum serving, steady cloud",
+        flows=FlowsSpec(serving=ServingTraffic(
+            requests_per_epoch=256, keyspace=128, workers=64,
+        )),
+        constraints=ConstraintsSpec(partitions=60),
         operations=OperationsSpec(epochs=60),
     ), pin_epochs=8),
     ScenarioEntry(ScenarioSpec(

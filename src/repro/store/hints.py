@@ -151,24 +151,40 @@ class HintStore:
     ) -> Tuple[int, int]:
         """One drain pass; returns ``(delivered, expired)``.
 
-        For every outstanding hint, in parking order: expire it if its
-        TTL has lapsed; skip it while its backoff clock has not come
-        due; probe ``ready`` (target rehabilitated, holder up, path
-        open) and on failure re-arm the backoff; otherwise hand it to
-        ``deliver``.  A ``deliver`` returning False means the hint is
-        obsolete (target no longer a replica, partition gone) and is
-        dropped rather than retried.
+        For every outstanding hint, in parking order: skip it while its
+        backoff clock has not come due; probe ``ready`` (target
+        rehabilitated, holder up, path open) and on failure re-arm the
+        backoff; otherwise hand it to ``deliver``.  A ``deliver``
+        returning False means the hint is obsolete (target no longer a
+        replica, partition gone) and is dropped rather than retried.
+
+        TTL boundary (pinned by tests): a hint parked at epoch ``e``
+        lives through epochs ``e .. e+ttl`` inclusive and expires at
+        exactly ``e+ttl`` — its *expiry epoch* — not an epoch before or
+        after.  On the expiry epoch the hint gets one last-gasp
+        delivery attempt that overrides backoff pacing; if it lands it
+        counts as drained, never expired.  Only a hint still undeliverable
+        on its expiry epoch is expired.
         """
         delivered = expired = 0
         for key3, hint in list(self._hints.items()):
-            if epoch - hint.born_epoch > self.ttl:
+            age = epoch - hint.born_epoch
+            if age > self.ttl:
+                # Past the expiry epoch (a drain pass was skipped):
+                # the window is gone, no delivery attempt.
                 del self._hints[key3]
                 self.expired += 1
                 expired += 1
                 continue
-            if hint.next_epoch > epoch:
+            expiring = age == self.ttl
+            if hint.next_epoch > epoch and not expiring:
                 continue
             if not ready(hint):
+                if expiring:
+                    del self._hints[key3]
+                    self.expired += 1
+                    expired += 1
+                    continue
                 hint.attempts += 1
                 hint.next_epoch = epoch + capped_backoff(
                     hint.attempts, self.base_delay, self.cap

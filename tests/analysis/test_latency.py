@@ -10,6 +10,7 @@ from repro.analysis.latency import (
     OverheadLedger,
     app_response_times,
     expected_response_time,
+    weighted_percentile,
 )
 from repro.cluster.location import Location
 from repro.cluster.server import make_server
@@ -126,6 +127,100 @@ class TestExpectedResponseTime:
             app_response_times(
                 LatencyModel(), cloud, catalog, [], uniform_geography()
             )
+
+
+def split_setup():
+    """Half the partitions near the hotspot, half across the ocean."""
+    cloud = Cloud()
+    cloud.add_server(make_server(0, Location(0, 0, 0, 0, 0, 0),
+                                 storage_capacity=10**9))
+    cloud.add_server(make_server(1, Location(1, 0, 0, 0, 0, 0),
+                                 storage_capacity=10**9))
+    rings = RingSet()
+    ring = rings.add_ring(0, 0, AvailabilityLevel(1.0, 2), 2,
+                          initial_size=10)
+    catalog = ReplicaCatalog(cloud)
+    parts = ring.partitions()
+    for p in parts[: len(parts) // 2]:
+        catalog.place(p, 0)
+    for p in parts[len(parts) // 2:]:
+        catalog.place(p, 1)
+    return cloud, ring, catalog
+
+
+class TestWeightedPercentile:
+    def test_equal_weights_match_nearest_rank(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        w = np.ones(4)
+        assert weighted_percentile(values, w, 50) == 2.0
+        assert weighted_percentile(values, w, 100) == 4.0
+
+    def test_skewed_weights_shift_the_median(self):
+        values = np.array([1.0, 100.0])
+        assert weighted_percentile(values, np.array([1.0, 9.0]), 50) == 100.0
+        assert weighted_percentile(values, np.array([9.0, 1.0]), 50) == 1.0
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(LatencyError):
+            weighted_percentile(np.array([1.0]), np.array([0.0]), 50)
+
+
+class TestAppResponseTimeWeights:
+    """Regression pins for the ISSUE 10 weight-handling fixes."""
+
+    def test_all_zero_weights_raise_not_fall_back(self):
+        # Previously an all-zero weight vector silently degraded to the
+        # unweighted mean; it must be an error.
+        cloud, ring, catalog = split_setup()
+        pids = [p.pid for p in ring]
+        with pytest.raises(LatencyError):
+            app_response_times(
+                LatencyModel(), cloud, catalog, pids,
+                hotspot(LAYOUT, 0, concentration=1.0),
+                weights={pid: 0.0 for pid in pids},
+            )
+
+    def test_negative_weight_rejected(self):
+        cloud, ring, catalog = split_setup()
+        pids = [p.pid for p in ring]
+        weights = {pid: 1.0 for pid in pids}
+        weights[pids[0]] = -1.0
+        with pytest.raises(LatencyError):
+            app_response_times(
+                LatencyModel(), cloud, catalog, pids,
+                hotspot(LAYOUT, 0, concentration=1.0), weights=weights,
+            )
+
+    def test_percentiles_honor_weights(self):
+        # All popularity on the far partitions: the weighted tail must
+        # report the far RTT, the unweighted tail the near one.
+        cloud, ring, catalog = split_setup()
+        geo = hotspot(LAYOUT, 0, concentration=1.0)
+        pids = [p.pid for p in ring]
+        far = {pid: 1.0 for pid in pids[len(pids) // 2:]}
+        weighted = app_response_times(
+            LatencyModel(), cloud, catalog, pids, geo, weights=far
+        )
+        unweighted = app_response_times(
+            LatencyModel(), cloud, catalog, pids, geo
+        )
+        assert weighted["p50_ms"] == pytest.approx(DEFAULT_RTT_MS[63])
+        assert weighted["p95_ms"] == pytest.approx(DEFAULT_RTT_MS[63])
+        assert weighted["mean_ms"] == pytest.approx(DEFAULT_RTT_MS[63])
+        assert unweighted["p50_ms"] < weighted["p50_ms"]
+
+    def test_no_weights_stays_unweighted(self):
+        cloud, ring, catalog = split_setup()
+        geo = hotspot(LAYOUT, 0, concentration=1.0)
+        pids = [p.pid for p in ring]
+        stats = app_response_times(
+            LatencyModel(), cloud, catalog, pids, geo
+        )
+        # None and {} are the same documented unweighted path.
+        empty_stats = app_response_times(
+            LatencyModel(), cloud, catalog, pids, geo, weights={}
+        )
+        assert empty_stats == stats
 
 
 class TestOverheadLedger:

@@ -70,6 +70,62 @@ class TestRoute:
             router.route_partition(PartitionId(9, 9, 9))
 
 
+class TestTieBreak:
+    """ISSUE 10 pin: equal-diversity ties go to the lowest server id."""
+
+    def tie_setup(self, *, reversed_placement):
+        # Servers 0 and 1 sit in different continents; a client in a
+        # third continent sees both at diversity 63 — an exact tie.
+        cloud = Cloud()
+        cloud.add_server(make_server(0, Location(0, 0, 0, 0, 0, 0),
+                                     storage_capacity=10**9))
+        cloud.add_server(make_server(1, Location(1, 0, 0, 0, 0, 0),
+                                     storage_capacity=10**9))
+        rings = RingSet()
+        ring = rings.add_ring(0, 0, LEVEL, 4, initial_size=100)
+        catalog = ReplicaCatalog(cloud)
+        order = (1, 0) if reversed_placement else (0, 1)
+        for p in ring:
+            for sid in order:
+                catalog.place(p, sid)
+        return cloud, rings, catalog, ring
+
+    def test_exact_tie_routes_to_lowest_id(self):
+        cloud, rings, catalog, ring = self.tie_setup(reversed_placement=False)
+        router = Router(cloud, rings, catalog)
+        client = Location(2, 0, 0, 0, 0, 0)
+        route = router.route_partition(ring.partitions()[0].pid,
+                                       client=client)
+        assert route.distance == 63
+        assert route.server_id == 0
+
+    def test_tie_break_is_independent_of_catalog_order(self):
+        # Same tie with the catalog built in reverse placement order:
+        # the winner must not change.
+        cloud, rings, catalog, ring = self.tie_setup(reversed_placement=True)
+        router = Router(cloud, rings, catalog)
+        pid = ring.partitions()[0].pid
+        assert catalog.servers_of(pid) == [1, 0]
+        route = router.route_partition(pid, client=Location(2, 0, 0, 0, 0, 0))
+        assert route.server_id == 0
+
+    def test_clientless_route_picks_lowest_id(self):
+        cloud, rings, catalog, ring = self.tie_setup(reversed_placement=True)
+        router = Router(cloud, rings, catalog)
+        route = router.route_partition(ring.partitions()[0].pid)
+        assert route.server_id == 0
+
+    def test_spread_tie_goes_to_lowest_id(self):
+        cloud, rings, catalog, ring = self.tie_setup(reversed_placement=True)
+        router = Router(cloud, rings, catalog)
+        pid = ring.partitions()[0].pid
+        shares = dict(router.spread(
+            pid, [(Location(2, 0, 0, 0, 0, 0), 1.0)]
+        ))
+        assert shares[0] == pytest.approx(1.0)
+        assert shares[1] == pytest.approx(0.0)
+
+
 class TestSpread:
     def test_uniform_spread(self):
         cloud, rings, catalog, ring = setup()

@@ -1,0 +1,162 @@
+"""Unit tests for the serving front end: costing, scheduling, frames.
+
+The costing tests pin the quorum-path RTT model on a 3-continent
+micro-cloud where every leg has a known diversity: client and
+coordinator share a location (rtt 0.1 ms) and all replica fan-out legs
+are cross-continent (rtt 120 ms), so a healthy ALL-level op costs
+exactly 120.1 ms — any drift in coordinator-hop or slowest-leg math
+moves that number.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.location import Location
+from repro.cluster.server import make_server
+from repro.cluster.topology import Cloud
+from repro.net.membership import OracleMembership
+from repro.ring.virtualring import AvailabilityLevel, RingSet
+from repro.serve.frontend import ServingFrontEnd
+from repro.sim.config import ServingConfig
+from repro.sim.metrics import ServingFrame
+
+
+class GhostMembership:
+    """Everyone believed live; ``ghosts`` never answer (stale view)."""
+
+    def __init__(self, cloud, ghosts=()):
+        self._cloud = cloud
+        self._ghosts = frozenset(ghosts)
+
+    def believed(self, server_id):
+        return server_id in self._cloud
+
+    def believed_ids(self):
+        return [s.server_id for s in self._cloud]
+
+    def responds(self, server_id):
+        return server_id in self._cloud and server_id not in self._ghosts
+
+    def reachable(self, src, dst):
+        return True
+
+
+def build(*, replicas=3, config=None, ghosts=None, seed=0):
+    cloud = Cloud()
+    for i in range(3):
+        cloud.add_server(
+            make_server(i, Location(i, 0, 0, 0, 0, 0),
+                        storage_capacity=10**9)
+        )
+    rings = RingSet()
+    ring = rings.add_ring(0, 0, AvailabilityLevel(1.0, replicas), 4,
+                          initial_size=0)
+    from repro.store.replica import ReplicaCatalog
+
+    catalog = ReplicaCatalog(cloud)
+    for p in ring:
+        for sid in range(replicas):
+            catalog.place(p, sid)
+    membership = (
+        OracleMembership(cloud) if ghosts is None
+        else GhostMembership(cloud, ghosts)
+    )
+    if config is None:
+        config = ServingConfig(
+            level="all", requests_per_epoch=32, read_fraction=0.5,
+            keyspace=8, workers=64, timeout_penalty_ms=250.0,
+        )
+    front = ServingFrontEnd(
+        config, cloud, rings, catalog, membership,
+        rng=np.random.default_rng(seed),
+        apps=[(0, 0)],
+        sites=(Location(0, 0, 0, 0, 0, 0),),
+    )
+    return cloud, front
+
+
+class TestCosting:
+    def test_healthy_all_level_costs_two_hops(self):
+        """Coordinator hop (0.1) + slowest cross-continent leg (120)."""
+        __, front = build()
+        frame = front.step(0)
+        assert frame.requests == 32
+        assert frame.read_failures == 0 and frame.write_failures == 0
+        for name in ("read_p50_ms", "read_p99_ms", "read_p999_ms",
+                     "write_p50_ms", "write_p99_ms", "write_p999_ms"):
+            assert getattr(frame, name) == pytest.approx(120.1)
+        assert frame.mean_queue_ms == 0.0
+
+    def test_ghost_replica_costs_timeout_penalty(self):
+        """A believed-live dead replica is waited out on the write path
+        (writes fan to every believed replica: the slowest leg becomes
+        the 250 ms penalty), while QUORUM reads stop at the first two
+        healthy replicas and never touch the ghost."""
+        config = ServingConfig(
+            level="quorum", requests_per_epoch=32, read_fraction=0.5,
+            keyspace=8, workers=64, timeout_penalty_ms=250.0,
+        )
+        __, front = build(config=config, ghosts=(2,))
+        frame = front.step(0)
+        assert frame.read_failures == 0 and frame.write_failures == 0
+        assert frame.read_p50_ms == pytest.approx(120.1)
+        assert frame.write_p50_ms == pytest.approx(250.1)
+
+    def test_failed_quorum_counts_failure_and_violation(self):
+        """Two ghosts out of three kill the ALL quorum: every op fails,
+        pays coordinator hop + penalty, and violates its SLA."""
+        __, front = build(ghosts=(1, 2))
+        frame = front.step(0)
+        assert frame.read_failures == frame.reads
+        assert frame.write_failures == frame.writes
+        assert frame.sla_read_violations == frame.reads
+        assert frame.sla_write_violations == frame.writes
+
+    def test_single_worker_queues(self):
+        """One executor serializes the epoch: queueing shows in both
+        the mean wait and the latency tails."""
+        config = ServingConfig(
+            level="all", requests_per_epoch=32, read_fraction=0.5,
+            keyspace=8, workers=1,
+        )
+        __, front = build(config=config)
+        frame = front.step(0)
+        assert frame.mean_queue_ms > 0.0
+        assert frame.read_p999_ms > 120.1
+
+
+class TestStep:
+    def test_frames_are_deterministic(self):
+        __, a = build(seed=5)
+        __, b = build(seed=5)
+        for epoch in range(4):
+            assert a.step(epoch) == b.step(epoch)
+
+    def test_frame_type_and_epoch(self):
+        __, front = build()
+        frame = front.step(3)
+        assert isinstance(frame, ServingFrame)
+        assert frame.epoch == 3
+        assert frame.reads + frame.writes == frame.requests
+        assert frame.requests_per_sec == pytest.approx(32.0)
+
+    def test_serving_disabled_emits_empty_frames(self):
+        __, front = build()
+        front.serving_enabled = False
+        frame = front.step(0)
+        assert frame.requests == 0
+        assert frame.read_p999_ms == 0.0
+        assert front.total_requests == 0
+
+    def test_zero_rate_builds_no_loadgen(self):
+        config = ServingConfig(requests_per_epoch=0)
+        __, front = build(config=config)
+        assert front.loadgen is None
+        assert front.step(0).requests == 0
+
+    def test_acked_writes_survive(self):
+        __, front = build()
+        for epoch in range(3):
+            front.step(epoch)
+        assert front.total_requests == 96
+        assert front.lost_writes() == []

@@ -42,6 +42,30 @@ class TestStreams:
         with pytest.raises(SeedError):
             RngStreams(-1)
 
+    def test_stream_order_is_pinned(self):
+        """Spawn order is the reproducibility contract: append-only.
+
+        Inserting or reordering a name shifts every later stream's
+        child seed and silently changes all seeded runs — new streams
+        go at the END (``dataplane`` then ``serving`` are the pinned
+        tail so far).
+        """
+        assert STREAMS == (
+            "topology", "popularity", "arrivals", "decisions", "events",
+            "inserts", "workload", "gossip", "net", "dataplane",
+            "serving",
+        )
+
+    def test_serving_stream_isolated(self):
+        """Front-door draws must not perturb the economy's streams."""
+        plain = RngStreams(5)
+        baseline = plain.decisions.integers(0, 10**9, 5)
+        perturbed = RngStreams(5)
+        perturbed.serving.integers(0, 10**9, 1000)
+        assert list(
+            perturbed.decisions.integers(0, 10**9, 5)
+        ) == list(baseline)
+
     def test_draws_from_one_stream_do_not_shift_another(self):
         """The isolation property the ablation benches rely on."""
         plain = RngStreams(3)

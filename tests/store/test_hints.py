@@ -132,6 +132,66 @@ class TestDrain:
         assert (delivered, expired) == (0, 0)
         assert store.depth == 1
 
+    def test_ttl_one_expires_on_epoch_one(self):
+        # ISSUE 10 pin: parked at e with ttl=k the hint expires at
+        # exactly e+k — for ttl=1, epoch 1, not epoch 2.
+        store = HintStore(ttl=1)
+        park(store, epoch=0)
+        delivered, expired = store.drain(
+            1, ready=lambda h: False, deliver=lambda h: True
+        )
+        assert (delivered, expired) == (0, 1)
+        assert store.depth == 0
+        assert store.expired == 1
+
+    def test_hint_survives_until_expiry_epoch(self):
+        # One epoch before e+ttl the hint must still be parked.
+        store = HintStore(ttl=2)
+        park(store, epoch=0)
+        delivered, expired = store.drain(
+            1, ready=lambda h: False, deliver=lambda h: True
+        )
+        assert (delivered, expired) == (0, 0)
+        assert store.depth == 1
+        delivered, expired = store.drain(
+            2, ready=lambda h: False, deliver=lambda h: True
+        )
+        assert (delivered, expired) == (0, 1)
+        assert store.depth == 0
+
+    def test_delivery_on_expiry_epoch_counts_as_drained(self):
+        # ISSUE 10 pin: a hint whose target comes back exactly on the
+        # expiry epoch is drained, never expired.
+        store = HintStore(ttl=1)
+        park(store, epoch=0)
+        delivered, expired = store.drain(
+            1, ready=lambda h: True, deliver=lambda h: True
+        )
+        assert (delivered, expired) == (1, 0)
+        assert store.drained == 1
+        assert store.expired == 0
+
+    def test_expiry_epoch_overrides_backoff_pacing(self):
+        # next_epoch says "not due yet" but the TTL window closes this
+        # epoch: the last-gasp attempt runs anyway.
+        store = HintStore(ttl=2, base_delay=8, cap=8)
+        park(store, epoch=0)  # next_epoch = 8, far past expiry
+        delivered, expired = store.drain(
+            2, ready=lambda h: True, deliver=lambda h: True
+        )
+        assert (delivered, expired) == (1, 0)
+
+    def test_past_expiry_hint_expires_without_attempt(self):
+        # A drain pass skipped past the expiry epoch: the window is
+        # gone, ready() must not even be probed.
+        store = HintStore(ttl=1)
+        park(store, epoch=0)
+        delivered, expired = store.drain(
+            3, ready=lambda h: pytest.fail("probed past expiry"),
+            deliver=lambda h: True,
+        )
+        assert (delivered, expired) == (0, 1)
+
     def test_obsolete_delivery_drops(self):
         store = HintStore()
         park(store, epoch=0)

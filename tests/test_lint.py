@@ -303,9 +303,15 @@ def test_row_view_classes_declare_slots():
 #: stores route on *belief* (``membership.believed``) and probe reality
 #: only through ``membership.responds`` / ``membership.reachable`` —
 #: the sanctioned contact seam that lives in net/membership.py.
+#: ISSUE 10 extends it to the serving front door: request routing and
+#: latency costing must see the same believed view the router serves
+#: from, or the reported tails stop reflecting stale-belief reality.
 MEMBERSHIP_SEALED = (
     Path("src/repro/core/decision.py"),
     Path("src/repro/ring/router.py"),
+    Path("src/repro/serve/frontend.py"),
+    Path("src/repro/serve/loadgen.py"),
+    Path("src/repro/serve/sla.py"),
     Path("src/repro/store/kvstore.py"),
     Path("src/repro/store/quorum.py"),
 )
